@@ -1,0 +1,374 @@
+//! Sampled bipartite layers ("blocks") for layer-sampling GCNs.
+//!
+//! A block connects an *input* node list (layer ℓ−1) to an *output* node
+//! list (layer ℓ): each output node owns a gather list of input positions
+//! (its sampled neighbors) plus its own position (the self path). This is
+//! the `E_LS^{(ℓ)}` structure in the paper's Fig. 1 (upper half).
+//!
+//! The forward aggregation is a mean over the gather list; the backward
+//! pass scatters gradients through a lazily built reverse CSR so it is
+//! exact (verified against finite differences in the layer tests).
+
+use gsgcn_nn::adam::{AdamHyper, AdamParam};
+use gsgcn_tensor::{gemm, init, ops, DMatrix};
+use rayon::prelude::*;
+
+/// One sampled bipartite layer.
+#[derive(Clone, Debug)]
+pub struct SampledBlock {
+    /// Gather offsets: `offsets[i]..offsets[i+1]` delimits output node
+    /// `i`'s sampled input positions. May contain duplicates (sampling
+    /// with replacement).
+    pub offsets: Vec<usize>,
+    /// Concatenated input positions.
+    pub targets: Vec<u32>,
+    /// Output node `i`'s own position in the input layer.
+    pub self_idx: Vec<u32>,
+    /// Input layer size.
+    pub n_in: usize,
+}
+
+impl SampledBlock {
+    /// Number of output nodes.
+    pub fn n_out(&self) -> usize {
+        self.self_idx.len()
+    }
+
+    /// Gather list of output node `i`.
+    pub fn gather_list(&self, i: usize) -> &[u32] {
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Sanity checks (positions in range, offsets well formed).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.len() != self.n_out() + 1 {
+            return Err("offsets length must be n_out+1".into());
+        }
+        if *self.offsets.last().unwrap() != self.targets.len() {
+            return Err("offsets must end at targets length".into());
+        }
+        if self.targets.iter().any(|&t| (t as usize) >= self.n_in) {
+            return Err("gather target out of range".into());
+        }
+        if self.self_idx.iter().any(|&t| (t as usize) >= self.n_in) {
+            return Err("self index out of range".into());
+        }
+        Ok(())
+    }
+
+    /// Mean-aggregate input features through the gather lists.
+    pub fn forward_agg(&self, h_in: &DMatrix) -> DMatrix {
+        assert_eq!(h_in.rows(), self.n_in, "input feature rows mismatch");
+        let f = h_in.cols();
+        let mut out = DMatrix::zeros(self.n_out(), f);
+        out.data_mut()
+            .par_chunks_mut(f.max(1))
+            .enumerate()
+            .for_each(|(i, row)| {
+                let list = self.gather_list(i);
+                if list.is_empty() {
+                    return;
+                }
+                for &t in list {
+                    for (o, &s) in row.iter_mut().zip(h_in.row(t as usize)) {
+                        *o += s;
+                    }
+                }
+                let inv = 1.0 / list.len() as f32;
+                for o in row.iter_mut() {
+                    *o *= inv;
+                }
+            });
+        out
+    }
+
+    /// Gather the self rows.
+    pub fn forward_self(&self, h_in: &DMatrix) -> DMatrix {
+        h_in.gather_rows(&self.self_idx)
+    }
+
+    /// Backward of [`SampledBlock::forward_agg`]: scatter `d_agg` to input positions
+    /// with the mean weights.
+    pub fn backward_agg(&self, d_agg: &DMatrix) -> DMatrix {
+        assert_eq!(d_agg.rows(), self.n_out());
+        let f = d_agg.cols();
+        let mut d_in = DMatrix::zeros(self.n_in, f);
+        // Reverse CSR: input position → (output node, weight) list.
+        let (rev_offsets, rev_out) = self.reverse_csr();
+        d_in.data_mut()
+            .par_chunks_mut(f.max(1))
+            .enumerate()
+            .for_each(|(j, row)| {
+                for &oi in &rev_out[rev_offsets[j]..rev_offsets[j + 1]] {
+                    let deg = self.offsets[oi as usize + 1] - self.offsets[oi as usize];
+                    let w = 1.0 / deg as f32;
+                    for (o, &g) in row.iter_mut().zip(d_agg.row(oi as usize)) {
+                        *o += w * g;
+                    }
+                }
+            });
+        d_in
+    }
+
+    /// Backward of [`SampledBlock::forward_self`]: scatter `d_self` rows to self
+    /// positions (accumulating — several outputs may share an input).
+    pub fn backward_self_into(&self, d_self: &DMatrix, d_in: &mut DMatrix) {
+        assert_eq!(d_self.rows(), self.n_out());
+        assert_eq!(d_in.rows(), self.n_in);
+        // Sequential: self positions can repeat across outputs.
+        for (i, &j) in self.self_idx.iter().enumerate() {
+            for (o, &g) in d_in.row_mut(j as usize).iter_mut().zip(d_self.row(i)) {
+                *o += g;
+            }
+        }
+    }
+
+    /// Build the reverse CSR (counting sort over targets).
+    fn reverse_csr(&self) -> (Vec<usize>, Vec<u32>) {
+        let mut counts = vec![0usize; self.n_in + 1];
+        for &t in &self.targets {
+            counts[t as usize + 1] += 1;
+        }
+        for j in 0..self.n_in {
+            counts[j + 1] += counts[j];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut rev_out = vec![0u32; self.targets.len()];
+        for i in 0..self.n_out() {
+            for &t in self.gather_list(i) {
+                rev_out[cursor[t as usize]] = i as u32;
+                cursor[t as usize] += 1;
+            }
+        }
+        (offsets, rev_out)
+    }
+}
+
+/// Cached forward state of a block layer.
+#[derive(Clone, Debug)]
+struct BlockCache {
+    agg: DMatrix,
+    self_feats: DMatrix,
+    output: DMatrix,
+}
+
+/// A GCN layer operating on a [`SampledBlock`] (same weight semantics as
+/// `gsgcn_nn::gcn_layer::GcnLayer`: `W_neigh`/`W_self`, concat, ReLU).
+#[derive(Clone, Debug)]
+pub struct BlockLayer {
+    pub w_neigh: AdamParam,
+    pub w_self: AdamParam,
+    pub activation: bool,
+    cache: Option<BlockCache>,
+}
+
+/// Gradients of a block layer.
+#[derive(Clone, Debug)]
+pub struct BlockLayerGrads {
+    pub d_w_neigh: DMatrix,
+    pub d_w_self: DMatrix,
+}
+
+impl BlockLayer {
+    /// Layer mapping `in_dim → 2·half_dim`.
+    pub fn new(in_dim: usize, half_dim: usize, activation: bool, seed: u64) -> Self {
+        BlockLayer {
+            w_neigh: AdamParam::new(init::xavier_uniform(in_dim, half_dim, seed)),
+            w_self: AdamParam::new(init::xavier_uniform(in_dim, half_dim, seed ^ 0x5EED)),
+            activation,
+            cache: None,
+        }
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.w_neigh.value.cols() * 2
+    }
+
+    /// Forward through the block.
+    pub fn forward(&mut self, block: &SampledBlock, h_in: &DMatrix) -> DMatrix {
+        let agg = block.forward_agg(h_in);
+        let self_feats = block.forward_self(h_in);
+        let h_neigh = gemm::matmul(&agg, &self.w_neigh.value);
+        let h_self = gemm::matmul(&self_feats, &self.w_self.value);
+        let mut out = ops::concat_cols(&h_neigh, &h_self);
+        if self.activation {
+            ops::relu_inplace(&mut out);
+        }
+        self.cache = Some(BlockCache {
+            agg,
+            self_feats,
+            output: out.clone(),
+        });
+        out
+    }
+
+    /// Backward through the block; returns `dH_in` and weight gradients.
+    pub fn backward(
+        &mut self,
+        block: &SampledBlock,
+        d_out: &DMatrix,
+    ) -> (DMatrix, BlockLayerGrads) {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let mut d_pre = d_out.clone();
+        if self.activation {
+            ops::relu_backward_inplace(&mut d_pre, &cache.output);
+        }
+        let half = self.w_neigh.value.cols();
+        let (d_neigh, d_self) = ops::split_cols(&d_pre, half);
+
+        let d_w_neigh = gemm::matmul_tn(&cache.agg, &d_neigh);
+        let d_w_self = gemm::matmul_tn(&cache.self_feats, &d_self);
+
+        let d_agg = gemm::matmul_nt(&d_neigh, &self.w_neigh.value);
+        let d_selff = gemm::matmul_nt(&d_self, &self.w_self.value);
+
+        let mut d_in = block.backward_agg(&d_agg);
+        block.backward_self_into(&d_selff, &mut d_in);
+        (
+            d_in,
+            BlockLayerGrads {
+                d_w_neigh,
+                d_w_self,
+            },
+        )
+    }
+
+    /// Apply Adam updates.
+    pub fn apply_grads(&mut self, grads: &BlockLayerGrads, hyper: &AdamHyper, t: u64) {
+        self.w_neigh.step(&grads.d_w_neigh, hyper, t);
+        self.w_self.step(&grads.d_w_self, hyper, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Input layer {0,1,2}; two output nodes: out0 gathers {0,1} self 0;
+    /// out1 gathers {2,2} (duplicate) self 1.
+    fn block() -> SampledBlock {
+        SampledBlock {
+            offsets: vec![0, 2, 4],
+            targets: vec![0, 1, 2, 2],
+            self_idx: vec![0, 1],
+            n_in: 3,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_and_rejects() {
+        assert!(block().validate().is_ok());
+        let mut b = block();
+        b.targets[0] = 9;
+        assert!(b.validate().is_err());
+        let mut b = block();
+        b.offsets = vec![0, 2];
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn forward_agg_means() {
+        let b = block();
+        let h = DMatrix::from_fn(3, 2, |i, _| i as f32 * 10.0);
+        let a = b.forward_agg(&h);
+        assert_eq!(a.row(0), &[5.0, 5.0]); // mean(0, 10)
+        assert_eq!(a.row(1), &[20.0, 20.0]); // mean(20, 20)
+    }
+
+    #[test]
+    fn forward_self_gathers() {
+        let b = block();
+        let h = DMatrix::from_fn(3, 1, |i, _| i as f32);
+        let s = b.forward_self(&h);
+        assert_eq!(s.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_agg_is_adjoint() {
+        // ⟨A·h, g⟩ = ⟨h, Aᵀ·g⟩ over random-ish matrices.
+        let b = block();
+        let h = DMatrix::from_fn(3, 4, |i, j| ((i * 4 + j) % 5) as f32 - 2.0);
+        let g = DMatrix::from_fn(2, 4, |i, j| ((i + 2 * j) % 3) as f32 * 0.5);
+        let fwd = b.forward_agg(&h);
+        let bwd = b.backward_agg(&g);
+        let lhs: f32 = fwd.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = h.data().iter().zip(bwd.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-5, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backward_self_accumulates() {
+        let b = SampledBlock {
+            offsets: vec![0, 0, 0],
+            targets: vec![],
+            self_idx: vec![1, 1], // both outputs share input 1
+            n_in: 3,
+        };
+        let d_self = DMatrix::from_fn(2, 2, |_, _| 1.0);
+        let mut d_in = DMatrix::zeros(3, 2);
+        b.backward_self_into(&d_self, &mut d_in);
+        assert_eq!(d_in.row(1), &[2.0, 2.0]);
+        assert_eq!(d_in.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_gather_list_is_zero() {
+        let b = SampledBlock {
+            offsets: vec![0, 0],
+            targets: vec![],
+            self_idx: vec![0],
+            n_in: 1,
+        };
+        let h = DMatrix::filled(1, 3, 7.0);
+        let a = b.forward_agg(&h);
+        assert_eq!(a.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn layer_gradient_check() {
+        let b = block();
+        let mut layer = BlockLayer::new(3, 2, true, 9);
+        let h = DMatrix::from_fn(3, 3, |i, j| ((i * 3 + j) % 7) as f32 * 0.2 - 0.5);
+
+        let loss_of = |layer: &mut BlockLayer, h: &DMatrix| -> f32 {
+            let o = layer.forward(&b, h);
+            0.5 * o.data().iter().map(|x| x * x).sum::<f32>()
+        };
+        let out = layer.forward(&b, &h);
+        let (dh, grads) = layer.backward(&b, &out);
+
+        let eps = 1e-2f32;
+        for (r, c) in [(0usize, 0usize), (1, 1), (2, 1)] {
+            let orig = layer.w_neigh.value.get(r, c);
+            layer.w_neigh.value.set(r, c, orig + eps);
+            let lp = loss_of(&mut layer, &h);
+            layer.w_neigh.value.set(r, c, orig - eps);
+            let lm = loss_of(&mut layer, &h);
+            layer.w_neigh.value.set(r, c, orig);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads.d_w_neigh.get(r, c);
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "dWn[{r},{c}]: {num} vs {ana}"
+            );
+        }
+        // Input gradient.
+        for (r, c) in [(0usize, 0usize), (2, 2)] {
+            let orig = h.get(r, c);
+            let mut hp = h.clone();
+            hp.set(r, c, orig + eps);
+            let mut layer2 = layer.clone();
+            let lp = loss_of(&mut layer2, &hp);
+            let mut hm = h.clone();
+            hm.set(r, c, orig - eps);
+            let lm = loss_of(&mut layer2, &hm);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = dh.get(r, c);
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "dH[{r},{c}]: {num} vs {ana}"
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Full-batch GCN trainer (baseline ref.\[1\], "Batched GCN").
+//!
+//! One gradient step per epoch over the entire training graph — the
+//! Sec. III-B "Case 2 [Large batch size]" regime: work-efficient per
+//! epoch (`O(L·|V|·f·(f + d))`) but converging slowly because each epoch
+//! is a single large-batch update (ref.\[4\]).
+
+use gsgcn_data::dataset::{Dataset, TaskKind, TrainView};
+use gsgcn_metrics::f1;
+use gsgcn_nn::adam::AdamHyper;
+use gsgcn_nn::model::{GcnConfig, GcnModel, LossKind};
+use std::time::Instant;
+
+/// Full-batch trainer configuration.
+#[derive(Clone, Debug)]
+pub struct FullBatchConfig {
+    /// Hidden layer widths.
+    pub hidden_dims: Vec<usize>,
+    /// Adam hyperparameters.
+    pub adam: AdamHyper,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FullBatchConfig {
+    fn default() -> Self {
+        FullBatchConfig {
+            hidden_dims: vec![128, 128],
+            adam: AdamHyper {
+                lr: 1e-2,
+                ..AdamHyper::default()
+            },
+            seed: 1,
+        }
+    }
+}
+
+/// Full-batch GCN trainer.
+pub struct FullBatchTrainer<'a> {
+    dataset: &'a Dataset,
+    train_view: TrainView,
+    model: GcnModel,
+    train_secs: f64,
+}
+
+impl<'a> FullBatchTrainer<'a> {
+    /// Build a trainer.
+    pub fn new(dataset: &'a Dataset, cfg: FullBatchConfig) -> Result<Self, String> {
+        dataset.validate()?;
+        let train_view = dataset.train_view();
+        let loss = match dataset.task {
+            TaskKind::MultiLabel => LossKind::SigmoidBce,
+            TaskKind::SingleLabel => LossKind::SoftmaxCe,
+        };
+        let model_cfg = GcnConfig {
+            in_dim: dataset.feature_dim(),
+            hidden_dims: cfg.hidden_dims.clone(),
+            num_classes: dataset.num_classes(),
+            loss,
+            adam: cfg.adam,
+            dropout: 0.0,
+        };
+        model_cfg.validate()?;
+        Ok(FullBatchTrainer {
+            dataset,
+            train_view,
+            model: GcnModel::new(model_cfg, cfg.seed),
+            train_secs: 0.0,
+        })
+    }
+
+    /// Cumulative training seconds.
+    pub fn train_secs(&self) -> f64 {
+        self.train_secs
+    }
+
+    /// The underlying model (read access for tests).
+    pub fn model(&self) -> &GcnModel {
+        &self.model
+    }
+
+    /// One epoch = one full-graph gradient step. Returns the loss.
+    pub fn train_epoch(&mut self) -> f32 {
+        let start = Instant::now();
+        let step = self.model.train_step(
+            &self.train_view.graph,
+            &self.train_view.features,
+            &self.train_view.labels,
+        );
+        self.train_secs += start.elapsed().as_secs_f64();
+        step.loss
+    }
+
+    /// F1-micro on the validation split (full-graph inference).
+    pub fn evaluate_val(&self) -> f64 {
+        let probs = self
+            .model
+            .infer_probs(&self.dataset.graph, &self.dataset.features);
+        let idx = &self.dataset.split.val;
+        let single = self.dataset.task == TaskKind::SingleLabel;
+        f1::f1_micro_from_probs(
+            &probs.gather_rows(idx),
+            &self.dataset.labels.gather_rows(idx),
+            single,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsgcn_data::presets;
+
+    fn quick_dataset() -> Dataset {
+        presets::scale_spec(&presets::ppi_spec(), 400).generate(17)
+    }
+
+    fn quick_cfg() -> FullBatchConfig {
+        FullBatchConfig {
+            hidden_dims: vec![32, 32],
+            adam: AdamHyper {
+                lr: 2e-2,
+                ..AdamHyper::default()
+            },
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn builds_and_trains() {
+        let d = quick_dataset();
+        let mut t = FullBatchTrainer::new(&d, quick_cfg()).unwrap();
+        let first = t.train_epoch();
+        let mut last = first;
+        for _ in 0..60 {
+            last = t.train_epoch();
+        }
+        assert!(last < first, "loss {first} → {last}");
+        assert!(t.train_secs() > 0.0);
+    }
+
+    #[test]
+    fn learns_above_chance() {
+        let d = quick_dataset();
+        let mut t = FullBatchTrainer::new(&d, quick_cfg()).unwrap();
+        for _ in 0..80 {
+            t.train_epoch();
+        }
+        assert!(t.evaluate_val() > 0.2, "val F1 {}", t.evaluate_val());
+    }
+
+    #[test]
+    fn one_step_per_epoch() {
+        let d = quick_dataset();
+        let mut t = FullBatchTrainer::new(&d, quick_cfg()).unwrap();
+        t.train_epoch();
+        t.train_epoch();
+        assert_eq!(t.model().steps(), 2);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let d = quick_dataset();
+        let mut cfg = quick_cfg();
+        cfg.hidden_dims = vec![0];
+        assert!(FullBatchTrainer::new(&d, cfg).is_err());
+    }
+}

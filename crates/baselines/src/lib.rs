@@ -1,0 +1,26 @@
+//! Baseline GCN trainers — the systems the paper compares against
+//! (Sec. II, Fig. 2, Table II), implemented on the same substrate so the
+//! comparison isolates *algorithmic* differences:
+//!
+//! * [`sage`] — GraphSAGE-style **edge/layer sampling** (ref.\[2\]): each
+//!   minibatch node samples `d_LS` neighbors per layer, so the sampled
+//!   node set grows by a factor `d_LS` per layer ("neighbor explosion") —
+//!   the inefficiency the graph-sampling design removes.
+//! * [`fullbatch`] — batched GCN (ref.\[1\]): full-graph gradient steps; work-
+//!   efficient per epoch but converges slowly at large batch sizes
+//!   (Sec. III-B, Case 2).
+//! * [`fastgcn`] — FastGCN-style **node/layer sampling** (ref.\[3\]): per-layer
+//!   independent degree-proportional node samples with reconstructed
+//!   inter-layer edges; mitigates explosion at the cost of sparse
+//!   connections (accuracy loss) and preprocessing.
+//! * [`blocks`] — the shared sampled-bipartite-layer machinery
+//!   (gather/scatter aggregation with exact backward) used by both layer
+//!   samplers.
+//!
+//! All trainers share the tensor/NN kernels with `gsgcn-core`, train with
+//! Adam on the same losses, and evaluate by full-neighborhood inference.
+
+pub mod blocks;
+pub mod fastgcn;
+pub mod fullbatch;
+pub mod sage;

@@ -1,0 +1,44 @@
+//! Criterion microbenchmarks of the feature-propagation kernels (Sec. V):
+//! naive row-parallel vs feature-partitioned (Alg. 6) vs 2-D partitioned.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gsgcn_data::generators::{community_powerlaw, CommunityGraphSpec};
+use gsgcn_graph::partition::range_partition;
+use gsgcn_prop::kernels;
+use gsgcn_tensor::DMatrix;
+use std::hint::black_box;
+
+fn bench_propagation(c: &mut Criterion) {
+    let n = 4000;
+    let cg = community_powerlaw(
+        &CommunityGraphSpec {
+            vertices: n,
+            edges: n * 8,
+            communities: 16,
+            ..CommunityGraphSpec::default()
+        },
+        11,
+    );
+    let g = &cg.graph;
+
+    let mut group = c.benchmark_group("feature_propagation");
+    group.sample_size(20);
+    for &f in &[128usize, 512] {
+        let h = DMatrix::from_fn(n, f, |i, j| ((i + j) % 13) as f32 * 0.1);
+        group.throughput(Throughput::Elements((g.num_edges() * f) as u64));
+        group.bench_with_input(BenchmarkId::new("naive", f), &f, |b, _| {
+            b.iter(|| black_box(kernels::aggregate_naive(g, &h)));
+        });
+        group.bench_with_input(BenchmarkId::new("feature_partitioned", f), &f, |b, _| {
+            b.iter(|| black_box(kernels::aggregate_feature_partitioned(g, &h, 256 * 1024)));
+        });
+        let part = range_partition(n, 4);
+        group.bench_with_input(BenchmarkId::new("two_d_p4", f), &f, |b, _| {
+            b.iter(|| black_box(kernels::aggregate_2d(g, &h, &part, 4)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion microbenchmarks of the dense GEMM kernels (the MKL
+//! replacement used for weight application, Sec. V-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gsgcn_tensor::{gemm, DMatrix};
+use std::hint::black_box;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    for &(m, k, n) in &[(1000usize, 512usize, 256usize), (2000, 512, 512)] {
+        let a = DMatrix::from_fn(m, k, |i, j| ((i + j) % 7) as f32 * 0.1);
+        let b = DMatrix::from_fn(k, n, |i, j| ((i * 3 + j) % 5) as f32 * 0.2);
+        group.throughput(Throughput::Elements((2 * m * k * n) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("nn", format!("{m}x{k}x{n}")),
+            &m,
+            |bch, _| {
+                bch.iter(|| black_box(gemm::matmul(&a, &b)));
+            },
+        );
+        let bt = DMatrix::from_fn(n, k, |i, j| ((i * 3 + j) % 5) as f32 * 0.2);
+        group.bench_with_input(
+            BenchmarkId::new("nt", format!("{m}x{k}x{n}")),
+            &m,
+            |bch, _| {
+                bch.iter(|| black_box(gemm::matmul_nt(&a, &bt)));
+            },
+        );
+        let at = DMatrix::from_fn(k, m, |i, j| ((i + j) % 7) as f32 * 0.1);
+        group.bench_with_input(
+            BenchmarkId::new("tn", format!("{m}x{k}x{n}")),
+            &m,
+            |bch, _| {
+                bch.iter(|| black_box(gemm::matmul_tn(&at, &b)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks of the frontier samplers (Sec. IV):
+//! Dashboard (scalar and lane-batched probing) vs the naive O(m)-per-pop
+//! implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsgcn_data::generators::{community_powerlaw, CommunityGraphSpec};
+use gsgcn_sampler::dashboard::{DashboardSampler, FrontierConfig, ProbeMode};
+use gsgcn_sampler::naive::NaiveFrontierSampler;
+use gsgcn_sampler::GraphSampler;
+use std::hint::black_box;
+
+fn bench_samplers(c: &mut Criterion) {
+    let cg = community_powerlaw(
+        &CommunityGraphSpec {
+            vertices: 4000,
+            edges: 30_000,
+            communities: 16,
+            ..CommunityGraphSpec::default()
+        },
+        7,
+    );
+    let g = &cg.graph;
+
+    let mut group = c.benchmark_group("frontier_sampling");
+    group.sample_size(20);
+    for &m in &[100usize, 500] {
+        let budget = (m * 4).min(g.num_vertices());
+        group.bench_with_input(BenchmarkId::new("naive", m), &m, |b, _| {
+            let s = NaiveFrontierSampler::new(m, budget);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(s.sample_vertices(g, seed))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dashboard_scalar", m), &m, |b, _| {
+            let s = DashboardSampler::new(FrontierConfig {
+                frontier_size: m,
+                budget,
+                probe_mode: ProbeMode::Scalar,
+                ..FrontierConfig::default()
+            });
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(s.sample_vertices(g, seed))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dashboard_lanes", m), &m, |b, _| {
+            let s = DashboardSampler::new(FrontierConfig {
+                frontier_size: m,
+                budget,
+                probe_mode: ProbeMode::Lanes,
+                ..FrontierConfig::default()
+            });
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(s.sample_vertices(g, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

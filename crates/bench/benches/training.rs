@@ -1,0 +1,55 @@
+//! Criterion end-to-end benchmark of one training iteration (sample →
+//! gather → forward → backward → Adam) — the unit whose scaling Fig. 3
+//! reports — plus the subgraph-extraction step alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsgcn_data::presets;
+use gsgcn_nn::model::{GcnConfig, GcnModel, LossKind};
+use gsgcn_sampler::dashboard::{DashboardSampler, FrontierConfig};
+use gsgcn_sampler::GraphSampler;
+use std::hint::black_box;
+
+fn bench_training_iteration(c: &mut Criterion) {
+    let d = presets::ppi_scaled(3);
+    let tv = d.train_view();
+    let sampler = DashboardSampler::new(FrontierConfig {
+        frontier_size: 100,
+        budget: 800,
+        ..FrontierConfig::default()
+    });
+
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+
+    group.bench_function("sample_subgraph", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(sampler.sample_subgraph(&tv.graph, seed))
+        });
+    });
+
+    group.bench_function("train_iteration_2layer_h128", |b| {
+        let cfg = GcnConfig {
+            in_dim: d.feature_dim(),
+            hidden_dims: vec![128, 128],
+            num_classes: d.num_classes(),
+            loss: LossKind::SigmoidBce,
+            ..GcnConfig::default()
+        };
+        let mut model = GcnModel::new(cfg, 5);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let sub = sampler.sample_subgraph(&tv.graph, seed);
+            let x = tv.features.gather_rows(&sub.origin);
+            let y = tv.labels.gather_rows(&sub.origin);
+            black_box(model.train_step(&sub.graph, &x, &y))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_iteration);
+criterion_main!(benches);

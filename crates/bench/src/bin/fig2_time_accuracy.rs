@@ -1,0 +1,173 @@
+//! Figure 2 — accuracy (F1-micro) vs sequential training time, and the
+//! Sec. VI-B serial-speedup-at-threshold numbers.
+//!
+//! All three systems run single-threaded (the paper "eliminates the
+//! impact of different parallelization strategies") on the four scaled
+//! datasets with 2-layer models. Output: one CSV block per curve plus the
+//! threshold-speedup summary (paper reference: 1.9× PPI, 7.8× Reddit,
+//! 4.7× Yelp, 2.1× Amazon over the best baseline).
+
+use gsgcn_baselines::fullbatch::{FullBatchConfig, FullBatchTrainer};
+use gsgcn_baselines::sage::{SageConfig, SageTrainer};
+use gsgcn_bench::{full_mode, header, seed, with_threads};
+use gsgcn_core::{GsGcnTrainer, TrainerConfig};
+use gsgcn_data::Dataset;
+use gsgcn_metrics::convergence::{threshold_speedup, Curve};
+use gsgcn_nn::adam::AdamHyper;
+
+struct RunSpec {
+    epochs_proposed: usize,
+    epochs_sage: usize,
+    epochs_fullbatch: usize,
+    hidden: usize,
+}
+
+fn run_dataset(d: &Dataset, spec: &RunSpec) -> (Curve, Curve, Curve) {
+    // --- Proposed: graph-sampling GCN, serial ---
+    let mut cfg = TrainerConfig {
+        hidden_dims: vec![spec.hidden, spec.hidden],
+        adam: AdamHyper {
+            lr: 2e-2,
+            ..AdamHyper::default()
+        },
+        epochs: spec.epochs_proposed,
+        eval_every: 1,
+        ..TrainerConfig::quick_test()
+    }
+    .serial();
+    cfg.sampler.frontier_size = 100;
+    cfg.sampler.budget = 1000;
+    cfg.seed = seed();
+    let mut proposed_curve = Curve::new("proposed");
+    with_threads(1, || {
+        let mut t = GsGcnTrainer::new(d, cfg).expect("trainer");
+        for e in 0..spec.epochs_proposed {
+            t.train_epoch();
+            // Evaluate every other epoch (evaluation is full-graph
+            // inference and would otherwise dominate the serial run).
+            if e % 2 == 1 || e == spec.epochs_proposed - 1 {
+                proposed_curve
+                    .push(t.train_secs(), t.evaluate(gsgcn_core::trainer::EvalSplit::Val));
+            }
+        }
+    });
+
+    // --- GraphSAGE-style baseline, serial ---
+    let sage_cfg = SageConfig {
+        fanout: 10,
+        batch_size: 512,
+        hidden_dims: vec![spec.hidden, spec.hidden],
+        adam: AdamHyper {
+            lr: 2e-2,
+            ..AdamHyper::default()
+        },
+        seed: seed(),
+    };
+    let mut sage_curve = Curve::new("graphsage");
+    with_threads(1, || {
+        let mut t = SageTrainer::new(d, sage_cfg).expect("sage trainer");
+        for _ in 0..spec.epochs_sage {
+            t.train_epoch();
+            sage_curve.push(t.train_secs(), t.evaluate_val());
+        }
+    });
+
+    // --- Full-batch GCN baseline, serial ---
+    let fb_cfg = FullBatchConfig {
+        hidden_dims: vec![spec.hidden, spec.hidden],
+        adam: AdamHyper {
+            lr: 2e-2,
+            ..AdamHyper::default()
+        },
+        seed: seed(),
+    };
+    let mut fb_curve = Curve::new("batched-gcn");
+    with_threads(1, || {
+        let mut t = FullBatchTrainer::new(d, fb_cfg).expect("fullbatch trainer");
+        for e in 0..spec.epochs_fullbatch {
+            t.train_epoch();
+            // Evaluation is expensive relative to one full-batch step;
+            // sample the curve sparsely.
+            if e % 5 == 4 || e == spec.epochs_fullbatch - 1 {
+                fb_curve.push(t.train_secs(), t.evaluate_val());
+            }
+        }
+    });
+
+    (proposed_curve, sage_curve, fb_curve)
+}
+
+fn main() {
+    let spec = if full_mode() {
+        RunSpec {
+            epochs_proposed: 100,
+            epochs_sage: 60,
+            epochs_fullbatch: 300,
+            hidden: 256,
+        }
+    } else {
+        RunSpec {
+            epochs_proposed: 60,
+            epochs_sage: 25,
+            epochs_fullbatch: 100,
+            hidden: 128,
+        }
+    };
+
+    header("Fig. 2: accuracy vs sequential training time (2-layer GCN, 1 thread)");
+    println!("paper reference speedups at threshold: PPI 1.9x, Reddit 7.8x, Yelp 4.7x, Amazon 2.1x\n");
+
+    let datasets = gsgcn_data::presets::all_scaled(seed());
+    let mut summary: Vec<(String, Option<f64>, Option<f64>, f64, f64, f64)> = Vec::new();
+
+    for d in &datasets {
+        println!("--- dataset {} ---", d.name);
+        let (p, s, f) = run_dataset(d, &spec);
+        println!("method,time_secs,val_f1");
+        print!("{}", p.to_csv());
+        print!("{}", s.to_csv());
+        print!("{}", f.to_csv());
+        let strict = threshold_speedup(&p, &[&s, &f]);
+        // Relaxed variant (97% of baseline best): informative when the
+        // strict paper rule is unreachable at scaled sizes.
+        let a0 = s.best_metric().max(f.best_metric());
+        let relaxed_threshold = a0 * 0.97;
+        let relaxed = p.time_to_reach(relaxed_threshold).and_then(|ours| {
+            let theirs = [&s, &f]
+                .iter()
+                .filter_map(|c| c.time_to_reach(relaxed_threshold))
+                .fold(f64::INFINITY, f64::min);
+            if theirs.is_finite() {
+                Some(theirs / ours)
+            } else {
+                None
+            }
+        });
+        summary.push((
+            d.name.clone(),
+            strict,
+            relaxed,
+            p.best_metric(),
+            s.best_metric(),
+            f.best_metric(),
+        ));
+    }
+
+    header("Sec. VI-B summary: serial speedup to baseline-best threshold");
+    println!(
+        "{:<10} {:>12} {:>14} {:>12} {:>12} {:>12}",
+        "Dataset", "Strict(a0)", "Relaxed(97%)", "F1 proposed", "F1 sage", "F1 batched"
+    );
+    for (name, strict, relaxed, fp, fs, fb) in &summary {
+        let fmt = |o: &Option<f64>| o.map(|s| format!("{s:.2}x")).unwrap_or_else(|| "n/a".into());
+        println!(
+            "{name:<10} {:>12} {:>14} {fp:>12.4} {fs:>12.4} {fb:>12.4}",
+            fmt(strict),
+            fmt(relaxed)
+        );
+    }
+    println!("\nPaper reference: 1.9x (PPI), 7.8x (Reddit), 4.7x (Yelp), 2.1x (Amazon).");
+    println!("Expected shape: proposed reaches the baselines' accuracy band faster (relaxed");
+    println!("speedup > 1); at a few thousand vertices the subgraph/full-graph gap");
+    println!("compresses the strict-threshold comparison (see EXPERIMENTS.md).");
+}

@@ -1,0 +1,187 @@
+//! Figure 4 — parallel frontier sampling.
+//!
+//! Part A: sampling speedup vs inter-subgraph parallelism `p_inter`
+//! (lane-batched probing on, the paper's `p_intra = 8`).
+//! Part B: the gain of lane-batched ("AVX") probing over scalar probing,
+//! measured on the vertex-sampling phase alone (probing / invalidate /
+//! append — the operations Alg. 4 vectorises; induced-subgraph
+//! extraction is identical in both modes and excluded).
+//!
+//! Methodology: each point samples a fixed batch of subgraphs with
+//! `p_inter` worker threads; reported time is the minimum of 3 repetitions
+//! after a full warm-up pass; speedup is relative to `p_inter = 1`.
+
+use gsgcn_bench::{core_sweep, full_mode, header, seed, time, with_threads};
+use gsgcn_data::Dataset;
+use gsgcn_sampler::cost_model::SamplerCostModel;
+use gsgcn_sampler::dashboard::{DashboardSampler, FrontierConfig, ProbeMode};
+use gsgcn_sampler::pool::{instance_seed, sample_many};
+use gsgcn_sampler::GraphSampler;
+use rayon::prelude::*;
+
+fn sampler(d: &Dataset, mode: ProbeMode) -> DashboardSampler {
+    let budget = (d.split.train.len() / 2).clamp(200, 8000);
+    DashboardSampler::new(FrontierConfig {
+        frontier_size: (budget / 8).max(16),
+        budget,
+        eta: 2.0,
+        degree_cap: Some(30),
+        probe_mode: mode,
+    })
+}
+
+/// Min-of-`reps` seconds to sample `batch` full subgraphs with `p` threads.
+fn batch_subgraph_secs(
+    g: &gsgcn_graph::CsrGraph,
+    s: &DashboardSampler,
+    p: usize,
+    batch: usize,
+    reps: usize,
+) -> f64 {
+    with_threads(p, || {
+        let mut best = f64::INFINITY;
+        for r in 0..reps {
+            let (_, secs) = time(|| {
+                let subs = sample_many(s, g, batch, seed() + r as u64, 0);
+                assert_eq!(subs.len(), batch);
+            });
+            best = best.min(secs);
+        }
+        best
+    })
+}
+
+/// Min-of-`reps` seconds for the vertex-sampling phase only (no induced
+/// subgraph extraction).
+fn batch_vertex_secs(
+    g: &gsgcn_graph::CsrGraph,
+    s: &DashboardSampler,
+    p: usize,
+    batch: usize,
+    reps: usize,
+) -> f64 {
+    with_threads(p, || {
+        let mut best = f64::INFINITY;
+        for r in 0..reps {
+            let (_, secs) = time(|| {
+                let total: usize = (0..batch)
+                    .into_par_iter()
+                    .map(|i| {
+                        s.sample_vertices(g, instance_seed(seed() + r as u64, 0, i as u64))
+                            .len()
+                    })
+                    .sum();
+                assert!(total > 0);
+            });
+            best = best.min(secs);
+        }
+        best
+    })
+}
+
+fn main() {
+    let datasets: Vec<Dataset> = if full_mode() {
+        gsgcn_data::presets::all_scaled(seed())
+    } else {
+        vec![
+            gsgcn_data::presets::ppi_scaled(seed()),
+            gsgcn_data::presets::amazon_scaled(seed() + 3),
+        ]
+    };
+    let cores = core_sweep();
+    let batch = cores.last().unwrap() * 8;
+    let reps = 3;
+
+    header("Fig. 4A: sampling speedup vs p_inter (lane-batched probing)");
+    println!(
+        "{:<10} {}",
+        "dataset",
+        cores.iter().map(|c| format!("{c:>8}")).collect::<String>()
+    );
+    for d in &datasets {
+        let tv = d.train_view();
+        let s = sampler(d, ProbeMode::Lanes);
+        // Full warm-up pass (graph + feature caches, rayon pools).
+        let _ = batch_subgraph_secs(&tv.graph, &s, 1, batch, 1);
+        let base = batch_subgraph_secs(&tv.graph, &s, 1, batch, reps);
+        let mut row = format!("{:<10}", d.name);
+        for &c in &cores {
+            let secs = batch_subgraph_secs(&tv.graph, &s, c, batch, reps);
+            row.push_str(&format!("{:>7.2}x", base / secs));
+        }
+        println!("{row}");
+    }
+    println!("(paper: near-linear to 20 cores, NUMA knee beyond; {batch} subgraphs per point, min of {reps})");
+
+    header("Fig. 4B: lane-batched (AVX analogue) gain over scalar probing (vertex phase)");
+    let pinters: Vec<usize> = cores.iter().copied().filter(|&c| c > 1).collect();
+    let pinters = if pinters.is_empty() { vec![1] } else { pinters };
+    println!(
+        "{:<10} {:>8} {}",
+        "dataset",
+        "serial",
+        pinters.iter().map(|c| format!("{c:>8}")).collect::<String>()
+    );
+    for d in &datasets {
+        let tv = d.train_view();
+        let scalar_s = sampler(d, ProbeMode::Scalar);
+        let lanes_s = sampler(d, ProbeMode::Lanes);
+        let _ = batch_vertex_secs(&tv.graph, &lanes_s, 1, batch, 1); // warm-up
+        let serial_gain = batch_vertex_secs(&tv.graph, &scalar_s, 1, batch, reps)
+            / batch_vertex_secs(&tv.graph, &lanes_s, 1, batch, reps);
+        let mut row = format!("{:<10} {:>7.2}x", d.name, serial_gain);
+        for &c in &pinters {
+            let scalar = batch_vertex_secs(&tv.graph, &scalar_s, c, batch, reps);
+            let lanes = batch_vertex_secs(&tv.graph, &lanes_s, c, batch, reps);
+            row.push_str(&format!("{:>7.2}x", scalar / lanes));
+        }
+        println!("{row}");
+    }
+    println!("(paper reports ~4x from AVX2 intrinsics; our scalar baseline is already");
+    println!(" auto-vectorised by LLVM, so the residual probing gain is smaller — see EXPERIMENTS.md)");
+
+    header("Fig. 4B microbench: lane-batched RNG throughput (the vectorisable component)");
+    {
+        use gsgcn_sampler::rng::{LaneRng, Xorshift128Plus, LANES};
+        let n = 4_000_000usize;
+        let mut srng = Xorshift128Plus::new(seed());
+        let (_, scalar_secs) = time(|| {
+            let mut acc = 0u64;
+            for _ in 0..n {
+                acc = acc.wrapping_add(srng.next_u64());
+            }
+            std::hint::black_box(acc)
+        });
+        let mut lrng = LaneRng::new(seed());
+        let (_, lane_secs) = time(|| {
+            let mut acc = 0u64;
+            for _ in 0..n / LANES {
+                for v in lrng.next_batch() {
+                    acc = acc.wrapping_add(v);
+                }
+            }
+            std::hint::black_box(acc)
+        });
+        println!(
+            "scalar: {:.0} Mu64/s | lane-batched: {:.0} Mu64/s | gain {:.2}x",
+            n as f64 / scalar_secs / 1e6,
+            n as f64 / lane_secs / 1e6,
+            scalar_secs / lane_secs
+        );
+    }
+
+    header("Theorem 1 cost model (analytic, for the measured graphs)");
+    for d in &datasets {
+        let tv = d.train_view();
+        let m = SamplerCostModel::unit(2.0, tv.graph.avg_degree().min(30.0));
+        let pmax = m.theorem1_max_p(0.5);
+        println!(
+            "{:<10} d̄(capped)={:>6.1}  theorem-1 bound p ≤ {:>6.1}  modeled speedup at p=8: {:.2}x (guarantee {:.2}x)",
+            d.name,
+            tv.graph.avg_degree().min(30.0),
+            pmax,
+            m.speedup(8000, 1000, 8),
+            m.theorem1_guarantee(8, 0.5),
+        );
+    }
+}

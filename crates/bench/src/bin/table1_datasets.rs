@@ -1,0 +1,76 @@
+//! Table I — dataset statistics.
+//!
+//! Prints the paper's target statistics (the generator specs) and the
+//! realised statistics of the scaled synthetic datasets the experiments
+//! run on. `GSGCN_FULL=1` also generates and verifies the full-scale PPI
+//! dataset (the other full-scale sets take minutes/GBs; their specs are
+//! printed either way).
+
+use gsgcn_bench::{full_mode, header, seed};
+use gsgcn_data::presets;
+use gsgcn_graph::stats;
+
+fn main() {
+    header("Table I: dataset statistics (paper targets)");
+    println!(
+        "{:<10} {:>10} {:>12} {:>8} {:>6} {}",
+        "Dataset", "#Vertices", "#Edges", "Attr", "Cls", "Task"
+    );
+    for spec in [
+        presets::ppi_spec(),
+        presets::reddit_spec(),
+        presets::yelp_spec(),
+        presets::amazon_spec(),
+    ] {
+        println!(
+            "{:<10} {:>10} {:>12} {:>8} {:>6} {}",
+            spec.name,
+            spec.vertices,
+            spec.edges,
+            spec.feature_dim,
+            spec.classes,
+            spec.task.mark()
+        );
+    }
+
+    header("Realised scaled datasets (experiment defaults)");
+    println!(
+        "{:<10} {:>10} {:>12} {:>8} {:>6} {:>6} {:>8} {:>8} {:>8}",
+        "Dataset", "#Vertices", "#Edges(und)", "Attr", "Cls", "Task", "AvgDeg", "MaxDeg", "LCC%"
+    );
+    for d in presets::all_scaled(seed()) {
+        d.validate().expect("generated dataset must validate");
+        let ds = stats::degree_stats(&d.graph);
+        let lcc = stats::largest_component_size(&d.graph) as f64
+            / d.graph.num_vertices() as f64
+            * 100.0;
+        println!(
+            "{:<10} {:>10} {:>12} {:>8} {:>6} {:>6} {:>8.1} {:>8} {:>7.1}%",
+            d.name,
+            d.graph.num_vertices(),
+            d.num_undirected_edges(),
+            d.feature_dim(),
+            d.num_classes(),
+            d.task.mark(),
+            ds.mean,
+            ds.max,
+            lcc
+        );
+    }
+
+    if full_mode() {
+        header("Full-scale PPI (GSGCN_FULL=1)");
+        let d = presets::ppi_full(seed());
+        d.validate().expect("full PPI must validate");
+        println!("{}", d.table1_row());
+        let ds = stats::degree_stats(&d.graph);
+        println!(
+            "avg degree {:.1} (paper: {:.1}), max degree {}",
+            ds.mean,
+            2.0 * 225_270.0 / 14_755.0,
+            ds.max
+        );
+    } else {
+        println!("\n(run with GSGCN_FULL=1 to also generate + verify full-scale PPI)");
+    }
+}

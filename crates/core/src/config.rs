@@ -1,0 +1,182 @@
+//! Trainer configuration.
+
+use gsgcn_nn::adam::AdamHyper;
+use gsgcn_prop::propagator::PropMode;
+use gsgcn_sampler::dashboard::FrontierConfig;
+
+/// Full configuration of a graph-sampling GCN training run.
+///
+/// Model dimensions that depend on the dataset (`in_dim`, `num_classes`,
+/// loss kind) are filled in by the trainer from the dataset itself; this
+/// struct holds everything the *user* chooses.
+#[derive(Clone, Debug)]
+pub struct TrainerConfig {
+    /// Frontier-sampler parameters (`m`, `n`, `η`, degree cap, probe mode).
+    pub sampler: FrontierConfig,
+    /// Hidden layer widths (`L` = length; each must be even).
+    pub hidden_dims: Vec<usize>,
+    /// Adam hyperparameters.
+    pub adam: AdamHyper,
+    /// Dropout on layer inputs.
+    pub dropout: f32,
+    /// Training epochs (one epoch ≈ `|V_train| / budget` iterations —
+    /// "one full traversal of all training vertices", Sec. III-B).
+    pub epochs: usize,
+    /// Sampler instances launched per pool refill (`p_inter`, Alg. 5).
+    pub p_inter: usize,
+    /// Worker threads for ALL parallel stages (sampling, propagation,
+    /// GEMM). `0` = rayon default.
+    pub threads: usize,
+    /// Evaluate validation F1 every this many epochs (0 = only at end).
+    pub eval_every: usize,
+    /// Propagation kernel (Alg. 6 by default).
+    pub prop_mode: PropMode,
+    /// Early stopping: end training when validation F1 has not improved
+    /// for this many consecutive evaluations (`None` disables; requires
+    /// `eval_every > 0`).
+    pub patience: Option<usize>,
+    /// Master seed for weights, sampling and splits-independent RNG.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            sampler: FrontierConfig {
+                frontier_size: 1000,
+                budget: 8000,
+                ..FrontierConfig::default()
+            },
+            hidden_dims: vec![512, 512],
+            adam: AdamHyper {
+                lr: 1e-2,
+                ..AdamHyper::default()
+            },
+            dropout: 0.0,
+            epochs: 20,
+            p_inter: num_cpus_estimate(),
+            threads: 0,
+            eval_every: 1,
+            prop_mode: PropMode::default(),
+            patience: None,
+            seed: 1,
+        }
+    }
+}
+
+impl TrainerConfig {
+    /// Small/fast settings for unit tests and doc examples: tiny frontier,
+    /// small hidden layers, few epochs, deterministic single pool refill.
+    pub fn quick_test() -> Self {
+        TrainerConfig {
+            sampler: FrontierConfig {
+                frontier_size: 40,
+                budget: 300,
+                ..FrontierConfig::default()
+            },
+            hidden_dims: vec![64, 64],
+            adam: AdamHyper {
+                lr: 2e-2,
+                ..AdamHyper::default()
+            },
+            dropout: 0.0,
+            epochs: 15,
+            p_inter: 4,
+            threads: 0,
+            eval_every: 5,
+            prop_mode: PropMode::default(),
+            patience: None,
+            seed: 42,
+        }
+    }
+
+    /// Single-threaded variant (serial baseline of Figs. 2–3).
+    pub fn serial(mut self) -> Self {
+        self.threads = 1;
+        self.p_inter = 1;
+        self
+    }
+
+    /// Set the thread count for every parallel stage.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Validate user-chosen parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        self.sampler.validate()?;
+        if self.hidden_dims.is_empty() {
+            return Err("hidden_dims must be non-empty".into());
+        }
+        if let Some(d) = self.hidden_dims.iter().find(|&&d| d == 0 || d % 2 != 0) {
+            return Err(format!("hidden dims must be positive and even; got {d}"));
+        }
+        if self.epochs == 0 {
+            return Err("epochs must be ≥ 1".into());
+        }
+        if self.p_inter == 0 {
+            return Err("p_inter must be ≥ 1".into());
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err(format!("dropout must be in [0,1); got {}", self.dropout));
+        }
+        if self.patience.is_some() && self.eval_every == 0 {
+            return Err("patience requires eval_every > 0".into());
+        }
+        if self.patience == Some(0) {
+            return Err("patience must be ≥ 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Conservative CPU estimate without extra dependencies.
+fn num_cpus_estimate() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(TrainerConfig::default().validate().is_ok());
+        assert!(TrainerConfig::quick_test().validate().is_ok());
+    }
+
+    #[test]
+    fn serial_sets_both_knobs() {
+        let c = TrainerConfig::default().serial();
+        assert_eq!(c.threads, 1);
+        assert_eq!(c.p_inter, 1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = TrainerConfig::quick_test();
+        c.hidden_dims = vec![63];
+        assert!(c.validate().is_err());
+        let mut c = TrainerConfig::quick_test();
+        c.epochs = 0;
+        assert!(c.validate().is_err());
+        let mut c = TrainerConfig::quick_test();
+        c.p_inter = 0;
+        assert!(c.validate().is_err());
+        let mut c = TrainerConfig::quick_test();
+        c.sampler.budget = 0;
+        assert!(c.validate().is_err());
+        let mut c = TrainerConfig::quick_test();
+        c.dropout = -0.1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_threads_builder() {
+        let c = TrainerConfig::quick_test().with_threads(3);
+        assert_eq!(c.threads, 3);
+    }
+}

@@ -1,0 +1,161 @@
+//! Walker's alias method: O(n) construction, O(1) sampling from a fixed
+//! discrete distribution.
+//!
+//! Sec. IV-A of the paper contrasts the Dashboard against exactly this
+//! structure: "existing well-known methods for fast sampling such as
+//! aliasing … cannot be modified easily for this problem [dynamic
+//! distributions]". The generators here sample *static* distributions
+//! (degree sequences), which is the alias method's home turf.
+
+use rand::Rng;
+
+/// Precomputed alias table over `weights.len()` outcomes.
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (not all zero).
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "empty weight vector");
+        assert!(weights.iter().all(|&w| w >= 0.0), "negative weight");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "all weights zero");
+
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: everything remaining gets probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True if the table has no outcomes (never — construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0; 8]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_respected() {
+        let t = AliasTable::new(&[1.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ones = 0usize;
+        let trials = 100_000;
+        for _ in 0..trials {
+            if t.sample(&mut rng) == 1 {
+                ones += 1;
+            }
+        }
+        let rate = ones as f64 / trials as f64;
+        assert!((rate - 0.75).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 2.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 3);
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[5.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(t.sample(&mut rng), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "all weights zero")]
+    fn all_zero_rejected() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    fn power_law_distribution_preserved() {
+        // Weights w_i = 1/(i+1): heavy head. Verify first outcome's
+        // empirical frequency.
+        let weights: Vec<f64> = (0..100).map(|i| 1.0 / (i + 1) as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let t = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut zero = 0usize;
+        let trials = 200_000;
+        for _ in 0..trials {
+            if t.sample(&mut rng) == 0 {
+                zero += 1;
+            }
+        }
+        let expect = 1.0 / total;
+        let rate = zero as f64 / trials as f64;
+        assert!((rate - expect).abs() < 0.01, "{rate} vs {expect}");
+    }
+}

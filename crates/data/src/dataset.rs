@@ -1,0 +1,245 @@
+//! The assembled dataset: graph + features + labels + split + task kind.
+
+use gsgcn_graph::{induced_subgraph, CsrGraph};
+use gsgcn_tensor::DMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Classification task kind (Table I's (M)/(S) marks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Multi-label (sigmoid/BCE): PPI, Yelp, Amazon.
+    MultiLabel,
+    /// Single-label (softmax/CE): Reddit.
+    SingleLabel,
+}
+
+impl TaskKind {
+    /// Table I's mark for the task.
+    pub fn mark(&self) -> &'static str {
+        match self {
+            TaskKind::MultiLabel => "(M)",
+            TaskKind::SingleLabel => "(S)",
+        }
+    }
+}
+
+/// Train/validation/test vertex split.
+#[derive(Clone, Debug)]
+pub struct Split {
+    pub train: Vec<u32>,
+    pub val: Vec<u32>,
+    pub test: Vec<u32>,
+}
+
+impl Split {
+    /// Random split with the given fractions (test takes the remainder).
+    pub fn random(n: usize, train_frac: f64, val_frac: f64, seed: u64) -> Self {
+        assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0);
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        ids.shuffle(&mut StdRng::seed_from_u64(seed));
+        let n_train = ((n as f64) * train_frac).round() as usize;
+        let n_val = ((n as f64) * val_frac).round() as usize;
+        let mut train = ids[..n_train].to_vec();
+        let mut val = ids[n_train..n_train + n_val].to_vec();
+        let mut test = ids[n_train + n_val..].to_vec();
+        train.sort_unstable();
+        val.sort_unstable();
+        test.sort_unstable();
+        Split { train, val, test }
+    }
+}
+
+/// A complete supervised graph-learning dataset.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Dataset name (for reports).
+    pub name: String,
+    /// The full graph.
+    pub graph: CsrGraph,
+    /// Vertex attributes, `|V| × f`.
+    pub features: DMatrix,
+    /// Multi-hot / one-hot targets, `|V| × classes`.
+    pub labels: DMatrix,
+    /// Task kind.
+    pub task: TaskKind,
+    /// Vertex split.
+    pub split: Split,
+}
+
+/// The training-graph view: the paper samples subgraphs from the graph
+/// *induced on the training vertices* ("one full traversal of all
+/// training vertices", Sec. III-B), never touching val/test topology
+/// during training.
+#[derive(Clone, Debug)]
+pub struct TrainView {
+    /// Graph induced on the training vertices (local ids `0..t`).
+    pub graph: CsrGraph,
+    /// Features of the training vertices (rows aligned with `graph`).
+    pub features: DMatrix,
+    /// Labels of the training vertices.
+    pub labels: DMatrix,
+    /// Local id → original vertex id.
+    pub origin: Vec<u32>,
+}
+
+impl Dataset {
+    /// Feature width `f^{(0)}`.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of target classes.
+    pub fn num_classes(&self) -> usize {
+        self.labels.cols()
+    }
+
+    /// Undirected edge count (stored edges are symmetric-directed).
+    pub fn num_undirected_edges(&self) -> usize {
+        self.graph.num_edges() / 2
+    }
+
+    /// Consistency checks; returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.graph.num_vertices();
+        if self.features.rows() != n {
+            return Err(format!("features rows {} ≠ |V| {n}", self.features.rows()));
+        }
+        if self.labels.rows() != n {
+            return Err(format!("labels rows {} ≠ |V| {n}", self.labels.rows()));
+        }
+        let total = self.split.train.len() + self.split.val.len() + self.split.test.len();
+        if total != n {
+            return Err(format!("split covers {total} of {n} vertices"));
+        }
+        if !self.features.all_finite() {
+            return Err("non-finite feature values".into());
+        }
+        if !self.labels.all_finite() {
+            return Err("non-finite label values".into());
+        }
+        if self.task == TaskKind::SingleLabel {
+            for v in 0..n {
+                let s: f32 = self.labels.row(v).iter().sum();
+                if (s - 1.0).abs() > 1e-6 {
+                    return Err(format!("vertex {v} not one-hot in single-label task"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the training view (induced training graph + gathered rows).
+    pub fn train_view(&self) -> TrainView {
+        let sub = induced_subgraph(&self.graph, &self.split.train);
+        let features = self.features.gather_rows(&sub.origin);
+        let labels = self.labels.gather_rows(&sub.origin);
+        TrainView {
+            graph: sub.graph,
+            features,
+            labels,
+            origin: sub.origin,
+        }
+    }
+
+    /// One Table I row: `name, |V|, |E|, attribute size, classes+mark`.
+    pub fn table1_row(&self) -> String {
+        format!(
+            "{:<10} {:>10} {:>12} {:>8} {:>6} {}",
+            self.name,
+            self.graph.num_vertices(),
+            self.num_undirected_edges(),
+            self.feature_dim(),
+            self.num_classes(),
+            self.task.mark()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsgcn_graph::GraphBuilder;
+
+    fn tiny() -> Dataset {
+        let g = GraphBuilder::new(6)
+            .add_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+            .build();
+        Dataset {
+            name: "tiny".into(),
+            features: DMatrix::from_fn(6, 3, |i, j| (i + j) as f32),
+            labels: DMatrix::from_fn(6, 2, |i, j| if j == i % 2 { 1.0 } else { 0.0 }),
+            task: TaskKind::SingleLabel,
+            split: Split::random(6, 0.5, 0.17, 1),
+            graph: g,
+        }
+    }
+
+    #[test]
+    fn split_fractions_and_coverage() {
+        let s = Split::random(100, 0.66, 0.17, 2);
+        assert_eq!(s.train.len(), 66);
+        assert_eq!(s.val.len(), 17);
+        assert_eq!(s.test.len(), 17);
+        let mut all: Vec<u32> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn split_deterministic() {
+        let a = Split::random(50, 0.6, 0.2, 7);
+        let b = Split::random(50, 0.6, 0.2, 7);
+        assert_eq!(a.train, b.train);
+        let c = Split::random(50, 0.6, 0.2, 8);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn dataset_validates() {
+        assert!(tiny().validate().is_ok());
+        let mut d = tiny();
+        d.features = DMatrix::zeros(5, 3);
+        assert!(d.validate().is_err());
+        let mut d = tiny();
+        d.labels.set(0, 0, f32::NAN);
+        // NaN labels are allowed only in features check; single-label check
+        // will fail on the row sum.
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn train_view_gathers_consistently() {
+        let d = tiny();
+        let tv = d.train_view();
+        assert_eq!(tv.graph.num_vertices(), d.split.train.len());
+        assert_eq!(tv.features.rows(), tv.graph.num_vertices());
+        assert_eq!(tv.labels.rows(), tv.graph.num_vertices());
+        // Row i of the view equals the original row of origin[i].
+        for (i, &orig) in tv.origin.iter().enumerate() {
+            assert_eq!(tv.features.row(i), d.features.row(orig as usize));
+            assert_eq!(tv.labels.row(i), d.labels.row(orig as usize));
+        }
+    }
+
+    #[test]
+    fn table1_row_contains_fields() {
+        let row = tiny().table1_row();
+        assert!(row.contains("tiny"));
+        assert!(row.contains("(S)"));
+        assert!(row.contains('6'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_split_fractions_panic() {
+        Split::random(10, 0.9, 0.2, 1);
+    }
+}

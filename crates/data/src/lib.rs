@@ -1,0 +1,30 @@
+//! Dataset substrate: synthetic graphs + features + labels that stand in
+//! for the paper's four evaluation datasets (Table I).
+//!
+//! The real datasets (SNAP PPI/Reddit dumps, the Yelp challenge dump, an
+//! Amazon co-purchase crawl) are not redistributable here, so this crate
+//! generates structurally matched substitutes (the substitution rule is
+//! documented in DESIGN.md §3):
+//!
+//! * [`alias`] — O(1) weighted sampling (alias method), the workhorse of
+//!   the generators.
+//! * [`generators`] — degree-corrected community graphs with power-law
+//!   degrees (matching each dataset's |V|, |E| and skew), plus classic
+//!   Erdős–Rényi / ring graphs for tests.
+//! * [`features`] — class-correlated Gaussian features with optional
+//!   neighbor smoothing, so graph convolutions genuinely help — the same
+//!   reason Word2Vec/SVD features work on the real datasets.
+//! * [`labels`] — community-derived multi-label and single-label targets.
+//! * [`dataset`] — the assembled [`dataset::Dataset`]: graph, features,
+//!   labels, train/val/test split and task kind.
+//! * [`presets`] — `ppi`, `reddit`, `yelp`, `amazon` at paper scale and
+//!   `*_scaled` versions for time-bounded experiments.
+
+pub mod alias;
+pub mod dataset;
+pub mod features;
+pub mod generators;
+pub mod labels;
+pub mod presets;
+
+pub use dataset::{Dataset, Split, TaskKind};

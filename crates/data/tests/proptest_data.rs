@@ -1,0 +1,99 @@
+//! Property-based tests of the dataset substrate.
+
+use gsgcn_data::alias::AliasTable;
+use gsgcn_data::dataset::Split;
+use gsgcn_data::generators::{community_powerlaw, CommunityGraphSpec};
+use gsgcn_data::labels::{multi_label, single_label};
+use gsgcn_graph::stats;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The community generator always yields a valid graph: symmetric,
+    /// no self loops, no isolated vertices, every community non-empty.
+    #[test]
+    fn generator_invariants(
+        n in 20usize..400,
+        avg_deg in 2usize..12,
+        k in 1usize..8,
+        p_in in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let k = k.min(n / 4).max(1);
+        let spec = CommunityGraphSpec {
+            vertices: n,
+            edges: n * avg_deg / 2,
+            communities: k,
+            p_in,
+            ..CommunityGraphSpec::default()
+        };
+        let cg = community_powerlaw(&spec, seed);
+        prop_assert_eq!(cg.graph.num_vertices(), n);
+        prop_assert!(cg.graph.is_symmetric());
+        prop_assert!(!cg.graph.has_self_loops());
+        prop_assert_eq!(stats::degree_stats(&cg.graph).isolated_fraction, 0.0);
+        prop_assert!(cg.community.iter().all(|&c| (c as usize) < k));
+        for c in 0..k as u32 {
+            prop_assert!(cg.community.iter().any(|&x| x == c), "community {c} empty");
+        }
+    }
+
+    /// Splits cover every vertex exactly once for arbitrary fractions.
+    #[test]
+    fn split_partitions(n in 3usize..500, train in 0.1f64..0.7, val in 0.05f64..0.25, seed in any::<u64>()) {
+        prop_assume!(train + val < 0.95);
+        let s = Split::random(n, train, val, seed);
+        let mut all: Vec<u32> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n as u32).collect::<Vec<_>>());
+        prop_assert!(!s.train.is_empty());
+    }
+
+    /// Multi-label targets: every vertex gets ≥1 label; values binary.
+    #[test]
+    fn multi_label_contract(
+        n in 5usize..200,
+        k in 1usize..6,
+        classes in 4usize..30,
+        p_present in 0.1f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let comm: Vec<u32> = (0..n).map(|v| ((v * k) / n) as u32).collect();
+        let per = (classes / k).clamp(1, classes);
+        let y = multi_label(&comm, classes, per, p_present, 0.01, seed);
+        prop_assert_eq!(y.shape(), (n, classes));
+        for v in 0..n {
+            let s: f32 = y.row(v).iter().sum();
+            prop_assert!(s >= 1.0, "vertex {v} unlabeled");
+            prop_assert!(y.row(v).iter().all(|&x| x == 0.0 || x == 1.0));
+        }
+    }
+
+    /// Single-label targets are exactly one-hot.
+    #[test]
+    fn single_label_contract(n in 5usize..200, k in 1usize..8, flip in 0.0f64..0.5, seed in any::<u64>()) {
+        let comm: Vec<u32> = (0..n).map(|v| ((v * k) / n) as u32).collect();
+        let classes = k + 2;
+        let y = single_label(&comm, classes, flip, seed);
+        for v in 0..n {
+            let s: f32 = y.row(v).iter().sum();
+            prop_assert_eq!(s, 1.0);
+        }
+    }
+
+    /// Alias tables: samples land only on positive-weight outcomes and
+    /// match expected frequencies within tolerance.
+    #[test]
+    fn alias_table_respects_support(weights in proptest::collection::vec(0.0f64..10.0, 1..30), seed in any::<u64>()) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let t = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let s = t.sample(&mut rng);
+            prop_assert!(weights[s] > 0.0, "sampled zero-weight outcome {s}");
+        }
+    }
+}

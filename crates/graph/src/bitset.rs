@@ -1,0 +1,131 @@
+//! A compact fixed-size bitset for vertex-membership tests.
+//!
+//! Induced-subgraph extraction (Alg. 2 line 8) needs an O(1) "is this vertex
+//! in `V_sub`?" test that is cheap to build and cache-friendly; a `u64`-word
+//! bitset over `|V|` bits beats hashing for the graph sizes in play.
+
+/// Fixed-capacity bitset over `0..len` indices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// A bitset with capacity for `len` bits, all clear.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Build from an iterator of set indices.
+    pub fn from_indices<I: IntoIterator<Item = u32>>(len: usize, it: I) -> Self {
+        let mut bs = Self::new(len);
+        for i in it {
+            bs.insert(i as usize);
+        }
+        bs
+    }
+
+    /// Capacity in bits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Set bit `i`. Returns whether the bit was previously clear.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, i % 64);
+        let was = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        was
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Clear all bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterate over set indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut bs = BitSet::new(130);
+        assert!(bs.insert(0));
+        assert!(bs.insert(64));
+        assert!(bs.insert(129));
+        assert!(!bs.insert(64)); // already set
+        assert!(bs.contains(0) && bs.contains(64) && bs.contains(129));
+        assert!(!bs.contains(1));
+        bs.remove(64);
+        assert!(!bs.contains(64));
+        assert_eq!(bs.count(), 2);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let bs = BitSet::from_indices(200, [5u32, 199, 63, 64, 65]);
+        let got: Vec<usize> = bs.iter().collect();
+        assert_eq!(got, vec![5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut bs = BitSet::from_indices(10, [1u32, 2, 3]);
+        bs.clear();
+        assert_eq!(bs.count(), 0);
+        assert!(!bs.contains(1));
+    }
+
+    #[test]
+    fn empty_and_boundary() {
+        let bs = BitSet::new(0);
+        assert_eq!(bs.count(), 0);
+        let mut bs = BitSet::new(64);
+        bs.insert(63);
+        assert!(bs.contains(63));
+        assert_eq!(bs.iter().collect::<Vec<_>>(), vec![63]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Graph (de)serialisation: whitespace edge-list text and a compact binary
+//! format.
+//!
+//! The text format is the lowest common denominator for importing real
+//! datasets (one `u v` pair per line, `#` comments); the binary format is a
+//! fixed little-endian layout (`magic, n, m, offsets, adj`) for fast
+//! round-tripping of generated benchmark graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+const MAGIC: u32 = 0x47_53_47_31; // "GSG1"
+
+/// Parse a whitespace edge list (`u v` per line, `#`-prefixed comments).
+///
+/// `n` is the vertex count; edges are symmetrised.
+pub fn read_edge_list<R: Read>(reader: R, n: usize) -> io::Result<CsrGraph> {
+    let mut b = GraphBuilder::new(n);
+    for line in BufReader::new(reader).lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (u, v) = match (it.next(), it.next()) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed edge line: {t:?}"),
+                ))
+            }
+        };
+        let parse = |s: &str| {
+            s.parse::<u32>().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad vertex id {s:?}: {e}"))
+            })
+        };
+        let (u, v) = (parse(u)?, parse(v)?);
+        if (u as usize) >= n || (v as usize) >= n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("edge ({u},{v}) out of range for n={n}"),
+            ));
+        }
+        b = b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Write a graph as a text edge list (each undirected edge once, `u < v`;
+/// directed/asymmetric edges are emitted as stored).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut w: W) -> io::Result<()> {
+    writeln!(w, "# gsgcn edge list |V|={} |E|={}", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        if u <= v || !g.has_edge(v, u) {
+            writeln!(w, "{u} {v}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Serialise to the compact binary format.
+pub fn to_bytes(g: &CsrGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + g.num_vertices() * 8 + g.num_edges() * 4);
+    buf.put_u32_le(MAGIC);
+    buf.put_u64_le(g.num_vertices() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    for &o in g.offsets() {
+        buf.put_u64_le(o as u64);
+    }
+    for &t in g.adjacency() {
+        buf.put_u32_le(t);
+    }
+    buf.freeze()
+}
+
+/// Deserialise from the compact binary format.
+pub fn from_bytes(mut data: Bytes) -> io::Result<CsrGraph> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    if data.remaining() < 20 {
+        return Err(bad("truncated header"));
+    }
+    if data.get_u32_le() != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let n = data.get_u64_le() as usize;
+    let m = data.get_u64_le() as usize;
+    if data.remaining() < (n + 1) * 8 + m * 4 {
+        return Err(bad("truncated body"));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(data.get_u64_le() as usize);
+    }
+    let mut adj = Vec::with_capacity(m);
+    for _ in 0..m {
+        adj.push(data.get_u32_le());
+    }
+    Ok(CsrGraph::from_raw(offsets, adj))
+}
+
+/// Save a graph to a binary file.
+pub fn save_binary<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
+    std::fs::write(path, to_bytes(g))
+}
+
+/// Load a graph from a binary file.
+pub fn load_binary<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
+    from_bytes(Bytes::from(std::fs::read(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    fn g() -> CsrGraph {
+        from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)])
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = g();
+        let bytes = to_bytes(&g);
+        let back = from_bytes(bytes).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = g();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..], 5).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn text_parses_comments_and_blanks() {
+        let text = "# header\n\n0 1\n  1 2 \n";
+        let g = read_edge_list(text.as_bytes(), 3).unwrap();
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(read_edge_list("0\n".as_bytes(), 3).is_err());
+        assert!(read_edge_list("a b\n".as_bytes(), 3).is_err());
+        assert!(read_edge_list("0 99\n".as_bytes(), 3).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = g();
+        let bytes = to_bytes(&g);
+        assert!(from_bytes(bytes.slice(0..10)).is_err());
+        let mut wrong = BytesMut::from(&bytes[..]);
+        wrong[0] = 0;
+        assert!(from_bytes(wrong.freeze()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = g();
+        let dir = std::env::temp_dir().join("gsgcn_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        save_binary(&g, &path).unwrap();
+        let back = load_binary(&path).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,46 @@
+//! Graph substrate for the graph-sampling-based GCN (IPDPS 2019 reproduction).
+//!
+//! This crate provides the fundamental graph machinery every other crate in
+//! the workspace builds on:
+//!
+//! * [`CsrGraph`] — a compact, immutable compressed-sparse-row graph with
+//!   `u32` vertex ids, optimised for the streaming access pattern of the
+//!   feature-propagation kernel (Sec. V of the paper).
+//! * [`GraphBuilder`] — edge-list ingestion with deduplication, optional
+//!   symmetrisation (undirected closure) and self-loop removal.
+//! * [`subgraph`] — parallel extraction of the *induced* subgraph on a
+//!   vertex set, the output side of the frontier sampler (Alg. 2, line 8).
+//! * [`stats`] — degree/connectivity statistics used to verify that sampled
+//!   subgraphs preserve the connectivity characteristics of the training
+//!   graph (Sec. III-C requirement 1).
+//! * [`partition`] — vertex partitioners used by the 2-D partitioned
+//!   propagation ablation (Theorem 2 compares against graph partitioning).
+//! * [`io`] — text edge-list and compact binary (de)serialisation.
+//!
+//! # Example
+//!
+//! ```
+//! use gsgcn_graph::GraphBuilder;
+//!
+//! let g = GraphBuilder::new(4)
+//!     .add_edge(0, 1)
+//!     .add_edge(1, 2)
+//!     .add_edge(2, 3)
+//!     .symmetric(true)
+//!     .build();
+//! assert_eq!(g.num_vertices(), 4);
+//! assert_eq!(g.degree(1), 2);
+//! ```
+
+pub mod bitset;
+pub mod builder;
+pub mod csr;
+pub mod io;
+pub mod partition;
+pub mod stats;
+pub mod subgraph;
+
+pub use bitset::BitSet;
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use subgraph::{induced_subgraph, InducedSubgraph};

@@ -1,0 +1,210 @@
+//! Vertex partitioners.
+//!
+//! Theorem 2 of the paper argues that *feature-only* partitioning (P = 1)
+//! is a 2-approximation of the communication-minimal 2-D scheme, so the
+//! production propagation kernel never partitions the graph. These
+//! partitioners exist to *implement the alternative* — the `P > 1` schemes
+//! the theorem compares against — for the partitioning ablation bench, and
+//! to measure the replication factor `γ_P = |V_src^{(i)}| / |V|`.
+
+use crate::csr::CsrGraph;
+
+/// A disjoint vertex partitioning into `P` parts.
+#[derive(Clone, Debug)]
+pub struct VertexPartition {
+    /// `part[v]` = partition id of vertex `v`.
+    pub part: Vec<u32>,
+    /// Number of partitions.
+    pub num_parts: usize,
+}
+
+impl VertexPartition {
+    /// The vertices of partition `i`, in ascending order.
+    pub fn members(&self, i: u32) -> Vec<u32> {
+        self.part
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p == i)
+            .map(|(v, _)| v as u32)
+            .collect()
+    }
+
+    /// Sizes of all partitions.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.num_parts];
+        for &p in &self.part {
+            s[p as usize] += 1;
+        }
+        s
+    }
+}
+
+/// Contiguous range partitioning: vertex `v` goes to part `v·P / n`.
+/// Zero preprocessing cost; the scheme the paper's cost model assumes when
+/// it bounds `1/P ≤ γ_P ≤ 1`.
+pub fn range_partition(n: usize, p: usize) -> VertexPartition {
+    assert!(p >= 1);
+    let part = (0..n).map(|v| ((v * p) / n.max(1)) as u32).collect();
+    VertexPartition { part, num_parts: p }
+}
+
+/// BFS-grown partitioning: grow each part from an unvisited seed until it
+/// reaches `⌈n/P⌉` vertices. Produces locality-aware parts with lower edge
+/// cut than range partitioning on community-structured graphs, at the cost
+/// of a sequential preprocessing pass — exactly the preprocessing overhead
+/// Sec. V-B says feature-only partitioning avoids.
+pub fn bfs_partition(g: &CsrGraph, p: usize) -> VertexPartition {
+    assert!(p >= 1);
+    let n = g.num_vertices();
+    let target = n.div_ceil(p);
+    let mut part = vec![u32::MAX; n];
+    let mut current = 0u32;
+    let mut filled = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for seed in 0..n {
+        if part[seed] != u32::MAX {
+            continue;
+        }
+        queue.push_back(seed as u32);
+        part[seed] = current;
+        filled += 1;
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if part[u as usize] == u32::MAX {
+                    if filled == target && (current as usize) < p - 1 {
+                        current += 1;
+                        filled = 0;
+                    }
+                    part[u as usize] = current;
+                    filled += 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    VertexPartition {
+        part,
+        num_parts: p,
+    }
+}
+
+/// Replication factor `γ_P`: the average over partitions of
+/// `|V_src^{(i)}|/|V|`, where `V_src^{(i)}` is the set of vertices sending
+/// features into partition `i` (including the partition's own vertices via
+/// self-connections, Sec. V-B).
+pub fn replication_factor(g: &CsrGraph, partition: &VertexPartition) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let p = partition.num_parts;
+    let mut total_src = 0usize;
+    let mut seen = vec![u32::MAX; n]; // last partition that counted v
+    for i in 0..p as u32 {
+        let mut count = 0usize;
+        for v in 0..n as u32 {
+            if partition.part[v as usize] != i {
+                continue;
+            }
+            // v itself is a source (self-connection).
+            if seen[v as usize] != i {
+                seen[v as usize] = i;
+                count += 1;
+            }
+            for &u in g.neighbors(v) {
+                if seen[u as usize] != i {
+                    seen[u as usize] = i;
+                    count += 1;
+                }
+            }
+        }
+        total_src += count;
+    }
+    total_src as f64 / (n as f64 * p as f64)
+}
+
+/// Number of cut edges (endpoints in different parts), counted per
+/// directed edge.
+pub fn edge_cut(g: &CsrGraph, partition: &VertexPartition) -> usize {
+    g.edges()
+        .filter(|&(u, v)| partition.part[u as usize] != partition.part[v as usize])
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    fn ring(n: usize) -> CsrGraph {
+        let edges: Vec<_> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        from_edges(n, &edges)
+    }
+
+    #[test]
+    fn range_partition_balanced() {
+        let p = range_partition(10, 3);
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| (3..=4).contains(&s)));
+    }
+
+    #[test]
+    fn range_partition_single_part() {
+        let p = range_partition(5, 1);
+        assert!(p.part.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn members_ascending() {
+        let p = range_partition(6, 2);
+        assert_eq!(p.members(0), vec![0, 1, 2]);
+        assert_eq!(p.members(1), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn bfs_partition_covers_all() {
+        let g = ring(12);
+        let p = bfs_partition(&g, 3);
+        assert!(p.part.iter().all(|&x| (x as usize) < 3));
+        assert_eq!(p.sizes().iter().sum::<usize>(), 12);
+    }
+
+    #[test]
+    fn bfs_partition_locality_on_ring() {
+        // BFS grows each part as at most two arcs of the ring (the frontier
+        // expands in both directions), so each part contributes at most 4
+        // boundaries → ≤ 2·4·P directed cut edges; random assignment would
+        // expect (1 − 1/P)·2n = 36.
+        let g = ring(24);
+        let p = bfs_partition(&g, 4);
+        assert!(edge_cut(&g, &p) <= 32);
+    }
+
+    #[test]
+    fn replication_factor_bounds() {
+        let g = ring(16);
+        for parts in [1, 2, 4] {
+            let p = range_partition(16, parts);
+            let gamma = replication_factor(&g, &p);
+            assert!(
+                gamma >= 1.0 / parts as f64 - 1e-9 && gamma <= 1.0 + 1e-9,
+                "gamma {gamma} out of bounds for P={parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn replication_factor_single_part_is_one() {
+        let g = ring(8);
+        let p = range_partition(8, 1);
+        assert!((replication_factor(&g, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_cut_zero_for_single_part() {
+        let g = ring(8);
+        let p = range_partition(8, 1);
+        assert_eq!(edge_cut(&g, &p), 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! F1 scores — the paper's accuracy measure ("Accuracy (F1 Mic)", Fig. 2).
+
+use gsgcn_tensor::DMatrix;
+
+/// Binary confusion counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    pub tp: usize,
+    pub fp: usize,
+    pub fn_: usize,
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Precision `tp / (tp + fp)` (0 when undefined).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)` (0 when undefined).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 = harmonic mean of precision and recall (0 when undefined).
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Threshold probabilities into binary predictions (multi-label).
+pub fn binarize(probs: &DMatrix, threshold: f32) -> DMatrix {
+    let mut out = probs.clone();
+    out.data_mut()
+        .iter_mut()
+        .for_each(|x| *x = if *x >= threshold { 1.0 } else { 0.0 });
+    out
+}
+
+/// One-hot argmax predictions (single-label).
+pub fn argmax_onehot(probs: &DMatrix) -> DMatrix {
+    let mut out = DMatrix::zeros(probs.rows(), probs.cols());
+    for i in 0..probs.rows() {
+        let row = probs.row(i);
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        out.set(i, best, 1.0);
+    }
+    out
+}
+
+/// Per-class confusion counts from binary predictions/targets.
+pub fn per_class_confusion(pred: &DMatrix, target: &DMatrix) -> Vec<Confusion> {
+    assert_eq!(pred.shape(), target.shape(), "pred/target shape mismatch");
+    let mut per = vec![Confusion::default(); pred.cols()];
+    for i in 0..pred.rows() {
+        let (pr, tr) = (pred.row(i), target.row(i));
+        for (c, conf) in per.iter_mut().enumerate() {
+            match (pr[c] > 0.5, tr[c] > 0.5) {
+                (true, true) => conf.tp += 1,
+                (true, false) => conf.fp += 1,
+                (false, true) => conf.fn_ += 1,
+                (false, false) => conf.tn += 1,
+            }
+        }
+    }
+    per
+}
+
+/// Micro-averaged F1: pool all classes' counts, then compute F1.
+pub fn f1_micro(pred: &DMatrix, target: &DMatrix) -> f64 {
+    let per = per_class_confusion(pred, target);
+    let pooled = per.iter().fold(Confusion::default(), |acc, c| Confusion {
+        tp: acc.tp + c.tp,
+        fp: acc.fp + c.fp,
+        fn_: acc.fn_ + c.fn_,
+        tn: acc.tn + c.tn,
+    });
+    pooled.f1()
+}
+
+/// Macro-averaged F1: mean of per-class F1 scores.
+pub fn f1_macro(pred: &DMatrix, target: &DMatrix) -> f64 {
+    let per = per_class_confusion(pred, target);
+    if per.is_empty() {
+        return 0.0;
+    }
+    per.iter().map(|c| c.f1()).sum::<f64>() / per.len() as f64
+}
+
+/// Row-level accuracy: fraction of rows whose predictions match exactly
+/// (for single-label this is ordinary classification accuracy).
+pub fn accuracy(pred: &DMatrix, target: &DMatrix) -> f64 {
+    assert_eq!(pred.shape(), target.shape());
+    if pred.rows() == 0 {
+        return 0.0;
+    }
+    let mut hit = 0usize;
+    for i in 0..pred.rows() {
+        let ok = pred
+            .row(i)
+            .iter()
+            .zip(target.row(i))
+            .all(|(&p, &t)| (p > 0.5) == (t > 0.5));
+        if ok {
+            hit += 1;
+        }
+    }
+    hit as f64 / pred.rows() as f64
+}
+
+/// Convenience: F1-micro of probability outputs against targets, with the
+/// task-appropriate decision rule.
+pub fn f1_micro_from_probs(probs: &DMatrix, target: &DMatrix, single_label: bool) -> f64 {
+    let pred = if single_label {
+        argmax_onehot(probs)
+    } else {
+        binarize(probs, 0.5)
+    };
+    f1_micro(&pred, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_perfect_prediction() {
+        let y = DMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(f1_micro(&y, &y), 1.0);
+        assert_eq!(f1_macro(&y, &y), 1.0);
+        assert_eq!(accuracy(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn confusion_all_wrong() {
+        let p = DMatrix::from_vec(2, 2, vec![1.0, 0.0, 1.0, 0.0]);
+        let t = DMatrix::from_vec(2, 2, vec![0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(f1_micro(&p, &t), 0.0);
+        assert_eq!(accuracy(&p, &t), 0.0);
+    }
+
+    #[test]
+    fn micro_f1_hand_computed() {
+        // 3 rows, 2 classes.
+        // Class 0: pred [1,1,0], true [1,0,0] → tp=1, fp=1, fn=0.
+        // Class 1: pred [0,1,1], true [1,1,1] → tp=2, fp=0, fn=1.
+        // Pooled: tp=3, fp=1, fn=1 → P=3/4, R=3/4, F1=3/4.
+        let p = DMatrix::from_vec(3, 2, vec![1.0, 0.0, 1.0, 1.0, 0.0, 1.0]);
+        let t = DMatrix::from_vec(3, 2, vec![1.0, 1.0, 0.0, 1.0, 0.0, 1.0]);
+        assert!((f1_micro(&p, &t) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_hand_computed() {
+        // Same data: class0 F1 = 2·(1/2·1)/(1/2+1) = 2/3;
+        // class1: P=1, R=2/3 → F1 = 4/5. Macro = (2/3 + 4/5)/2 = 11/15.
+        let p = DMatrix::from_vec(3, 2, vec![1.0, 0.0, 1.0, 1.0, 0.0, 1.0]);
+        let t = DMatrix::from_vec(3, 2, vec![1.0, 1.0, 0.0, 1.0, 0.0, 1.0]);
+        assert!((f1_macro(&p, &t) - 11.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binarize_threshold() {
+        let p = DMatrix::from_vec(1, 3, vec![0.2, 0.5, 0.9]);
+        let b = binarize(&p, 0.5);
+        assert_eq!(b.data(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        let p = DMatrix::from_vec(2, 3, vec![0.1, 0.7, 0.2, 0.5, 0.2, 0.3]);
+        let a = argmax_onehot(&p);
+        assert_eq!(a.row(0), &[0.0, 1.0, 0.0]);
+        assert_eq!(a.row(1), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_predictions_degenerate() {
+        let e = DMatrix::zeros(0, 3);
+        assert_eq!(accuracy(&e, &e), 0.0);
+        assert_eq!(f1_micro(&e, &e), 0.0);
+    }
+
+    #[test]
+    fn f1_from_probs_single_vs_multi() {
+        let probs = DMatrix::from_vec(2, 2, vec![0.6, 0.55, 0.3, 0.4]);
+        let t = DMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        // Single-label: argmax rows → [1,0] and [0,1]: perfect.
+        assert_eq!(f1_micro_from_probs(&probs, &t, true), 1.0);
+        // Multi-label at 0.5: row0 predicts both classes (fp), row1 none (fn).
+        let m = f1_micro_from_probs(&probs, &t, false);
+        assert!(m < 1.0 && m > 0.0);
+    }
+
+    #[test]
+    fn undefined_f1_is_zero_not_nan() {
+        let p = DMatrix::zeros(2, 2);
+        let t = DMatrix::zeros(2, 2);
+        let f = f1_micro(&p, &t);
+        assert_eq!(f, 0.0);
+        assert!(!f.is_nan());
+    }
+}

@@ -1,0 +1,14 @@
+//! Evaluation metrics and timing instrumentation.
+//!
+//! * [`f1`] — F1-micro / F1-macro (the paper's accuracy metric, Fig. 2)
+//!   for multi-label (0.5-thresholded sigmoid) and single-label (argmax)
+//!   predictions, plus plain accuracy.
+//! * [`timing`] — the per-phase execution-time breakdown of Fig. 3
+//!   (sampling / feature propagation / weight application) and speedup
+//!   helpers.
+//! * [`convergence`] — time-vs-accuracy curves and the threshold-crossing
+//!   speedup measurement of Sec. VI-B (`a₀ − 0.0025` rule).
+
+pub mod convergence;
+pub mod f1;
+pub mod timing;

@@ -1,0 +1,232 @@
+//! Per-phase timing: the execution-time breakdown of Fig. 3 and the
+//! speedup arithmetic of Figs. 3–4 / Table II.
+
+use std::time::Instant;
+
+/// The three phases the paper breaks training time into (Fig. 3, rightmost
+/// panels), plus a bucket for everything else (loss, optimiser, glue).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Graph sampling (Alg. 5 lines 3–5).
+    Sampling,
+    /// Sparse feature propagation (forward + backward).
+    FeatureProp,
+    /// Dense weight application (all GEMMs).
+    WeightApp,
+    /// Loss, optimiser state updates, bookkeeping.
+    Other,
+}
+
+impl Phase {
+    /// All phases in display order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Sampling,
+        Phase::FeatureProp,
+        Phase::WeightApp,
+        Phase::Other,
+    ];
+
+    /// Display name matching the paper's legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Phase::Sampling => "Sampling",
+            Phase::FeatureProp => "Feat Propagation",
+            Phase::WeightApp => "Weight Application",
+            Phase::Other => "Other",
+        }
+    }
+}
+
+/// Accumulated seconds per phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Breakdown {
+    pub sampling_secs: f64,
+    pub feature_prop_secs: f64,
+    pub weight_app_secs: f64,
+    pub other_secs: f64,
+}
+
+impl Breakdown {
+    /// Add seconds to one phase.
+    pub fn add(&mut self, phase: Phase, secs: f64) {
+        match phase {
+            Phase::Sampling => self.sampling_secs += secs,
+            Phase::FeatureProp => self.feature_prop_secs += secs,
+            Phase::WeightApp => self.weight_app_secs += secs,
+            Phase::Other => self.other_secs += secs,
+        }
+    }
+
+    /// Seconds of one phase.
+    pub fn get(&self, phase: Phase) -> f64 {
+        match phase {
+            Phase::Sampling => self.sampling_secs,
+            Phase::FeatureProp => self.feature_prop_secs,
+            Phase::WeightApp => self.weight_app_secs,
+            Phase::Other => self.other_secs,
+        }
+    }
+
+    /// Total seconds across phases.
+    pub fn total(&self) -> f64 {
+        self.sampling_secs + self.feature_prop_secs + self.weight_app_secs + self.other_secs
+    }
+
+    /// Fraction of total per phase (0 when total is 0).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.get(phase) / t
+        }
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, other: &Breakdown) {
+        self.sampling_secs += other.sampling_secs;
+        self.feature_prop_secs += other.feature_prop_secs;
+        self.weight_app_secs += other.weight_app_secs;
+        self.other_secs += other.other_secs;
+    }
+
+    /// One-line report: `Sampling 12.3% | Feat 45.6% | Weight 40.0% | ...`.
+    pub fn report(&self) -> String {
+        Phase::ALL
+            .iter()
+            .map(|p| format!("{} {:.1}%", p.name(), 100.0 * self.fraction(*p)))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+/// Stopwatch that adds its elapsed time to a [`Breakdown`] phase.
+pub struct PhaseTimer<'a> {
+    breakdown: &'a mut Breakdown,
+    phase: Phase,
+    start: Instant,
+}
+
+impl<'a> PhaseTimer<'a> {
+    /// Start timing `phase`.
+    pub fn start(breakdown: &'a mut Breakdown, phase: Phase) -> Self {
+        PhaseTimer {
+            breakdown,
+            phase,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for PhaseTimer<'_> {
+    fn drop(&mut self) {
+        self.breakdown
+            .add(self.phase, self.start.elapsed().as_secs_f64());
+    }
+}
+
+/// Speedup of `baseline` over `measured` (`baseline/measured`; 0 guard).
+pub fn speedup(baseline_secs: f64, measured_secs: f64) -> f64 {
+    if measured_secs <= 0.0 {
+        0.0
+    } else {
+        baseline_secs / measured_secs
+    }
+}
+
+/// Format a speedup table: one row per labelled series, one column per
+/// x-axis point (e.g. core counts) — the layout of Table II.
+pub fn format_speedup_table(
+    col_header: &str,
+    cols: &[usize],
+    rows: &[(String, Vec<f64>)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{col_header:<12}"));
+    for c in cols {
+        out.push_str(&format!("{c:>12}"));
+    }
+    out.push('\n');
+    for (label, vals) in rows {
+        out.push_str(&format!("{label:<12}"));
+        for v in vals {
+            out.push_str(&format!("{:>11.2}x", v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates() {
+        let mut b = Breakdown::default();
+        b.add(Phase::Sampling, 1.0);
+        b.add(Phase::Sampling, 0.5);
+        b.add(Phase::WeightApp, 2.5);
+        assert_eq!(b.sampling_secs, 1.5);
+        assert_eq!(b.total(), 4.0);
+        assert!((b.fraction(Phase::WeightApp) - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timer_records_elapsed() {
+        let mut b = Breakdown::default();
+        {
+            let _t = PhaseTimer::start(&mut b, Phase::FeatureProp);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(b.feature_prop_secs >= 0.004, "{}", b.feature_prop_secs);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Breakdown::default();
+        a.add(Phase::Sampling, 1.0);
+        let mut b = Breakdown::default();
+        b.add(Phase::Sampling, 2.0);
+        b.add(Phase::Other, 1.0);
+        a.merge(&b);
+        assert_eq!(a.sampling_secs, 3.0);
+        assert_eq!(a.other_secs, 1.0);
+    }
+
+    #[test]
+    fn fraction_of_empty_is_zero() {
+        let b = Breakdown::default();
+        assert_eq!(b.fraction(Phase::Sampling), 0.0);
+        assert!(!b.fraction(Phase::Sampling).is_nan());
+    }
+
+    #[test]
+    fn report_contains_phases() {
+        let mut b = Breakdown::default();
+        b.add(Phase::WeightApp, 1.0);
+        let r = b.report();
+        assert!(r.contains("Weight Application 100.0%"), "{r}");
+        assert!(r.contains("Sampling 0.0%"));
+    }
+
+    #[test]
+    fn speedup_math() {
+        assert_eq!(speedup(10.0, 2.0), 5.0);
+        assert_eq!(speedup(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn table_layout() {
+        let t = format_speedup_table(
+            "layers",
+            &[1, 5],
+            &[("1-layer".to_string(), vec![2.0, 4.8])],
+        );
+        assert!(t.contains("1-layer"));
+        assert!(t.contains("2.00x"));
+        assert!(t.contains("4.80x"));
+        let header = t.lines().next().unwrap();
+        assert!(header.contains('1') && header.contains('5'));
+    }
+}

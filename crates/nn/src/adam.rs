@@ -1,0 +1,142 @@
+//! Adam optimiser (Kingma & Ba), the weight-update rule of Alg. 1 line 13.
+
+use gsgcn_tensor::DMatrix;
+
+/// Adam hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AdamHyper {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    /// L2 weight decay added to the gradient (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamHyper {
+    fn default() -> Self {
+        AdamHyper {
+            lr: 1e-2,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// One parameter tensor plus its Adam moment estimates.
+#[derive(Clone, Debug)]
+pub struct AdamParam {
+    /// Current parameter value.
+    pub value: DMatrix,
+    m: DMatrix,
+    v: DMatrix,
+}
+
+impl AdamParam {
+    /// Wrap an initial parameter value.
+    pub fn new(value: DMatrix) -> Self {
+        let (r, c) = value.shape();
+        AdamParam {
+            value,
+            m: DMatrix::zeros(r, c),
+            v: DMatrix::zeros(r, c),
+        }
+    }
+
+    /// Apply one Adam update with bias correction at step `t` (1-based).
+    pub fn step(&mut self, grad: &DMatrix, hyper: &AdamHyper, t: u64) {
+        assert_eq!(self.value.shape(), grad.shape(), "gradient shape mismatch");
+        assert!(t >= 1, "Adam step count is 1-based");
+        let bc1 = 1.0 - hyper.beta1.powi(t as i32);
+        let bc2 = 1.0 - hyper.beta2.powi(t as i32);
+        let (b1, b2) = (hyper.beta1, hyper.beta2);
+        let wd = hyper.weight_decay;
+        for ((w, g), (m, v)) in self
+            .value
+            .data_mut()
+            .iter_mut()
+            .zip(grad.data())
+            .zip(self.m.data_mut().iter_mut().zip(self.v.data_mut().iter_mut()))
+        {
+            let g = g + wd * *w;
+            *m = b1 * *m + (1.0 - b1) * g;
+            *v = b2 * *v + (1.0 - b2) * g * g;
+            let m_hat = *m / bc1;
+            let v_hat = *v / bc2;
+            *w -= hyper.lr * m_hat / (v_hat.sqrt() + hyper.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_matches_reference_formula() {
+        // With zero moments, step 1 gives: m̂ = g, v̂ = g², so
+        // Δw = −lr·g/(|g| + eps) ≈ −lr·sign(g).
+        let hyper = AdamHyper {
+            lr: 0.1,
+            ..AdamHyper::default()
+        };
+        let mut p = AdamParam::new(DMatrix::from_vec(1, 2, vec![1.0, -2.0]));
+        let g = DMatrix::from_vec(1, 2, vec![0.5, -0.25]);
+        p.step(&g, &hyper, 1);
+        assert!((p.value.get(0, 0) - (1.0 - 0.1)).abs() < 1e-4);
+        assert!((p.value.get(0, 1) - (-2.0 + 0.1)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimise f(w) = ½‖w − target‖²; grad = w − target.
+        let hyper = AdamHyper {
+            lr: 0.05,
+            ..AdamHyper::default()
+        };
+        let target = DMatrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        let mut p = AdamParam::new(DMatrix::zeros(1, 3));
+        for t in 1..=2000 {
+            let grad = DMatrix::from_fn(1, 3, |_, j| p.value.get(0, j) - target.get(0, j));
+            p.step(&grad, &hyper, t);
+        }
+        assert!(p.value.max_abs_diff(&target) < 1e-2, "{:?}", p.value);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let hyper = AdamHyper {
+            lr: 0.01,
+            weight_decay: 1.0,
+            ..AdamHyper::default()
+        };
+        let mut p = AdamParam::new(DMatrix::filled(1, 1, 5.0));
+        let zero_grad = DMatrix::zeros(1, 1);
+        for t in 1..=100 {
+            p.step(&zero_grad, &hyper, t);
+        }
+        assert!(p.value.get(0, 0) < 5.0, "decay must shrink the weight");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let mut p = AdamParam::new(DMatrix::zeros(2, 2));
+        p.step(&DMatrix::zeros(1, 2), &AdamHyper::default(), 1);
+    }
+
+    #[test]
+    fn deterministic_updates() {
+        let hyper = AdamHyper::default();
+        let g = DMatrix::from_vec(1, 2, vec![0.3, -0.7]);
+        let mut a = AdamParam::new(DMatrix::filled(1, 2, 1.0));
+        let mut b = AdamParam::new(DMatrix::filled(1, 2, 1.0));
+        for t in 1..=10 {
+            a.step(&g, &hyper, t);
+            b.step(&g, &hyper, t);
+        }
+        assert_eq!(a.value, b.value);
+    }
+}

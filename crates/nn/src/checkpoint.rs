@@ -1,0 +1,267 @@
+//! Model checkpointing: export/import of trained GCN weights in a compact
+//! little-endian binary format.
+//!
+//! Training large graphs takes hours; a downstream user needs to persist
+//! the learned `{W_self, W_neigh}` set (Alg. 1's output) and reload it for
+//! inference. The format is self-describing (`magic, version, L, dims,
+//! data`), so loading validates shape compatibility before touching the
+//! model.
+
+use crate::model::GcnModel;
+use gsgcn_tensor::DMatrix;
+use std::io;
+use std::path::Path;
+
+const MAGIC: u32 = 0x47_43_4E_31; // "GCN1"
+const VERSION: u32 = 1;
+
+/// A serialisable snapshot of all trainable parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelWeights {
+    /// Per GCN layer: `(W_neigh, W_self)`.
+    pub layers: Vec<(DMatrix, DMatrix)>,
+    /// Classifier head weight.
+    pub head_w: DMatrix,
+    /// Classifier head bias (1 × classes).
+    pub head_b: DMatrix,
+}
+
+impl ModelWeights {
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|(a, b)| a.data().len() + b.data().len())
+            .sum::<usize>()
+            + self.head_w.data().len()
+            + self.head_b.data().len()
+    }
+
+    /// Serialise to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let put_u32 = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
+        let put_matrix = |out: &mut Vec<u8>, m: &DMatrix| {
+            put_u32(out, m.rows() as u32);
+            put_u32(out, m.cols() as u32);
+            for &x in m.data() {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        };
+        put_u32(&mut out, MAGIC);
+        put_u32(&mut out, VERSION);
+        put_u32(&mut out, self.layers.len() as u32);
+        for (wn, ws) in &self.layers {
+            put_matrix(&mut out, wn);
+            put_matrix(&mut out, ws);
+        }
+        put_matrix(&mut out, &self.head_w);
+        put_matrix(&mut out, &self.head_b);
+        out
+    }
+
+    /// Deserialise from bytes.
+    pub fn from_bytes(data: &[u8]) -> io::Result<Self> {
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        let mut pos = 0usize;
+        let get_u32 = |data: &[u8], pos: &mut usize| -> io::Result<u32> {
+            if *pos + 4 > data.len() {
+                return Err(bad("truncated"));
+            }
+            let v = u32::from_le_bytes(data[*pos..*pos + 4].try_into().unwrap());
+            *pos += 4;
+            Ok(v)
+        };
+        if get_u32(data, &mut pos)? != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        if get_u32(data, &mut pos)? != VERSION {
+            return Err(bad("unsupported version"));
+        }
+        let get_matrix = |data: &[u8], pos: &mut usize| -> io::Result<DMatrix> {
+            let rows = u32::from_le_bytes(
+                data.get(*pos..*pos + 4)
+                    .ok_or_else(|| bad("truncated"))?
+                    .try_into()
+                    .unwrap(),
+            ) as usize;
+            let cols = u32::from_le_bytes(
+                data.get(*pos + 4..*pos + 8)
+                    .ok_or_else(|| bad("truncated"))?
+                    .try_into()
+                    .unwrap(),
+            ) as usize;
+            *pos += 8;
+            let bytes = rows * cols * 4;
+            let slice = data
+                .get(*pos..*pos + bytes)
+                .ok_or_else(|| bad("truncated matrix data"))?;
+            *pos += bytes;
+            let vals = slice
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            Ok(DMatrix::from_vec(rows, cols, vals))
+        };
+        let l = get_u32(data, &mut pos)? as usize;
+        if l > 1024 {
+            return Err(bad("implausible layer count"));
+        }
+        let mut layers = Vec::with_capacity(l);
+        for _ in 0..l {
+            let wn = get_matrix(data, &mut pos)?;
+            let ws = get_matrix(data, &mut pos)?;
+            if wn.shape() != ws.shape() {
+                return Err(bad("layer weight shape mismatch"));
+            }
+            layers.push((wn, ws));
+        }
+        let head_w = get_matrix(data, &mut pos)?;
+        let head_b = get_matrix(data, &mut pos)?;
+        if head_b.rows() != 1 || head_b.cols() != head_w.cols() {
+            return Err(bad("head bias shape mismatch"));
+        }
+        Ok(ModelWeights {
+            layers,
+            head_w,
+            head_b,
+        })
+    }
+
+    /// Save to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Load from a file.
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+impl GcnModel {
+    /// Snapshot the current parameters.
+    pub fn export_weights(&self) -> ModelWeights {
+        ModelWeights {
+            layers: self
+                .layers_ref()
+                .iter()
+                .map(|l| (l.w_neigh.value.clone(), l.w_self.value.clone()))
+                .collect(),
+            head_w: self.head_ref().w.value.clone(),
+            head_b: self.head_ref().b.value.clone(),
+        }
+    }
+
+    /// Restore parameters from a snapshot. Optimiser moments reset.
+    ///
+    /// # Errors
+    /// Returns a message if any shape differs from the model architecture.
+    pub fn import_weights(&mut self, w: &ModelWeights) -> Result<(), String> {
+        if w.layers.len() != self.num_layers() {
+            return Err(format!(
+                "layer count mismatch: checkpoint {} vs model {}",
+                w.layers.len(),
+                self.num_layers()
+            ));
+        }
+        for (i, ((wn, ws), layer)) in w.layers.iter().zip(self.layers_ref()).enumerate() {
+            if wn.shape() != layer.w_neigh.value.shape() || ws.shape() != layer.w_self.value.shape() {
+                return Err(format!("layer {i} weight shape mismatch"));
+            }
+        }
+        if w.head_w.shape() != self.head_ref().w.value.shape() {
+            return Err("head weight shape mismatch".into());
+        }
+        for ((wn, ws), layer) in w.layers.iter().zip(self.layers_mut()) {
+            layer.w_neigh = crate::adam::AdamParam::new(wn.clone());
+            layer.w_self = crate::adam::AdamParam::new(ws.clone());
+        }
+        self.head_mut().w = crate::adam::AdamParam::new(w.head_w.clone());
+        self.head_mut().b = crate::adam::AdamParam::new(w.head_b.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GcnConfig, LossKind};
+    use gsgcn_graph::GraphBuilder;
+
+    fn model() -> GcnModel {
+        GcnModel::new(
+            GcnConfig {
+                in_dim: 4,
+                hidden_dims: vec![8, 6],
+                num_classes: 3,
+                loss: LossKind::SigmoidBce,
+                ..GcnConfig::default()
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let w = model().export_weights();
+        let back = ModelWeights::from_bytes(&w.to_bytes()).unwrap();
+        assert_eq!(w, back);
+        assert_eq!(w.num_params(), model().num_params());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("gsgcn_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.gcn");
+        let w = model().export_weights();
+        w.save(&path).unwrap();
+        assert_eq!(ModelWeights::load(&path).unwrap(), w);
+    }
+
+    #[test]
+    fn import_restores_inference() {
+        let g = GraphBuilder::new(5)
+            .add_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+            .build();
+        let x = DMatrix::from_fn(5, 4, |i, j| (i + j) as f32 * 0.1);
+        let y = DMatrix::from_fn(5, 3, |i, j| ((i + j) % 2) as f32);
+        let mut m1 = model();
+        for _ in 0..5 {
+            m1.train_step(&g, &x, &y);
+        }
+        let snapshot = m1.export_weights();
+        let probs1 = m1.infer_probs(&g, &x);
+        let mut m2 = model();
+        let probs_before = m2.infer_probs(&g, &x);
+        assert!(probs1.max_abs_diff(&probs_before) > 1e-6, "models should differ pre-import");
+        m2.import_weights(&snapshot).unwrap();
+        let probs2 = m2.infer_probs(&g, &x);
+        assert!(probs1.max_abs_diff(&probs2) < 1e-7, "import must restore inference exactly");
+    }
+
+    #[test]
+    fn import_rejects_wrong_architecture() {
+        let w = model().export_weights();
+        let mut other = GcnModel::new(
+            GcnConfig {
+                in_dim: 4,
+                hidden_dims: vec![8],
+                num_classes: 3,
+                loss: LossKind::SigmoidBce,
+                ..GcnConfig::default()
+            },
+            1,
+        );
+        assert!(other.import_weights(&w).is_err());
+    }
+
+    #[test]
+    fn corrupt_bytes_rejected() {
+        let mut bytes = model().export_weights().to_bytes();
+        assert!(ModelWeights::from_bytes(&bytes[..10]).is_err());
+        bytes[0] ^= 0xFF;
+        assert!(ModelWeights::from_bytes(&bytes).is_err());
+    }
+}

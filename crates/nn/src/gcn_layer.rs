@@ -1,0 +1,343 @@
+//! One GCN layer (Sec. II-A / Alg. 1 lines 7–9).
+//!
+//! Forward, for input features `H ∈ R^{n×f_in}` on graph `G`:
+//!
+//! ```text
+//! H_neigh = (Â·H) · W_neigh          (feature aggregation, then weights)
+//! H_self  =  H    · W_self
+//! H_out   = σ( H_neigh ‖ H_self )    (concat + ReLU)
+//! ```
+//!
+//! where `Â = D⁻¹A` is the mean-aggregation operator supplied by
+//! `gsgcn-prop`. Output width is `2·half_dim` (the concatenation).
+//!
+//! Backward (hand-derived, cached activations):
+//!
+//! ```text
+//! dPre       = dOut ⊙ 1[H_out > 0]          (ReLU)
+//! dH_neigh, dH_self = split(dPre)
+//! dW_neigh   = (Â·H)ᵀ · dH_neigh
+//! dW_self    = Hᵀ · dH_self
+//! dH         = Âᵀ·(dH_neigh · W_neighᵀ) + dH_self · W_selfᵀ
+//! ```
+//!
+//! The layer reports the wall-clock split between sparse feature
+//! propagation and dense weight application, feeding the Fig. 3
+//! execution-time breakdown.
+
+use crate::adam::{AdamHyper, AdamParam};
+use gsgcn_graph::CsrGraph;
+use gsgcn_prop::propagator::FeaturePropagator;
+use gsgcn_tensor::{gemm, init, ops, DMatrix};
+use std::time::Instant;
+
+/// Wall-clock seconds spent in the two kernel classes of one pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct KernelTimings {
+    /// Sparse feature propagation (`Â·H`, `Âᵀ·dY`).
+    pub feature_prop_secs: f64,
+    /// Dense weight application (all GEMMs).
+    pub weight_app_secs: f64,
+}
+
+impl KernelTimings {
+    /// Accumulate another measurement.
+    pub fn add(&mut self, other: KernelTimings) {
+        self.feature_prop_secs += other.feature_prop_secs;
+        self.weight_app_secs += other.weight_app_secs;
+    }
+}
+
+/// Cached forward state needed by the backward pass.
+#[derive(Clone, Debug)]
+struct ForwardCache {
+    /// Layer input `H`.
+    input: DMatrix,
+    /// Aggregated input `Â·H`.
+    aggregated: DMatrix,
+    /// Post-activation output (ReLU mask source).
+    output: DMatrix,
+}
+
+/// One graph-convolution layer with `W_self` and `W_neigh`.
+#[derive(Clone, Debug)]
+pub struct GcnLayer {
+    pub w_neigh: AdamParam,
+    pub w_self: AdamParam,
+    /// Apply ReLU after concat (disabled on the last embedding layer if
+    /// raw embeddings are wanted).
+    pub activation: bool,
+    cache: Option<ForwardCache>,
+}
+
+/// Gradients of one GCN layer.
+#[derive(Clone, Debug)]
+pub struct GcnLayerGrads {
+    pub d_w_neigh: DMatrix,
+    pub d_w_self: DMatrix,
+}
+
+impl GcnLayer {
+    /// A layer mapping `in_dim → 2·half_dim` (concat of the two halves).
+    pub fn new(in_dim: usize, half_dim: usize, activation: bool, seed: u64) -> Self {
+        GcnLayer {
+            w_neigh: AdamParam::new(init::xavier_uniform(in_dim, half_dim, seed)),
+            w_self: AdamParam::new(init::xavier_uniform(in_dim, half_dim, seed ^ 0x5EED)),
+            activation,
+            cache: None,
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.w_neigh.value.rows()
+    }
+
+    /// Output width (`2·half_dim`).
+    pub fn out_dim(&self) -> usize {
+        self.w_neigh.value.cols() * 2
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        2 * self.w_neigh.value.rows() * self.w_neigh.value.cols()
+    }
+
+    /// Forward pass with caching for backward. Returns the activations
+    /// and the kernel timing split.
+    pub fn forward(
+        &mut self,
+        g: &CsrGraph,
+        h: &DMatrix,
+        prop: &FeaturePropagator,
+    ) -> (DMatrix, KernelTimings) {
+        let mut t = KernelTimings::default();
+
+        let t0 = Instant::now();
+        let aggregated = prop.forward(g, h); // Â·H
+        t.feature_prop_secs += t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let h_neigh = gemm::matmul(&aggregated, &self.w_neigh.value);
+        let h_self = gemm::matmul(h, &self.w_self.value);
+        t.weight_app_secs += t0.elapsed().as_secs_f64();
+
+        let mut out = ops::concat_cols(&h_neigh, &h_self);
+        if self.activation {
+            ops::relu_inplace(&mut out);
+        }
+        self.cache = Some(ForwardCache {
+            input: h.clone(),
+            aggregated,
+            output: out.clone(),
+        });
+        (out, t)
+    }
+
+    /// Inference-only forward (`&self`, no caching).
+    pub fn infer(&self, g: &CsrGraph, h: &DMatrix, prop: &FeaturePropagator) -> DMatrix {
+        let aggregated = prop.forward(g, h);
+        let h_neigh = gemm::matmul(&aggregated, &self.w_neigh.value);
+        let h_self = gemm::matmul(h, &self.w_self.value);
+        let mut out = ops::concat_cols(&h_neigh, &h_self);
+        if self.activation {
+            ops::relu_inplace(&mut out);
+        }
+        out
+    }
+
+    /// Backward pass. Consumes `dOut` (gradient w.r.t. this layer's
+    /// output), returns `dH` (gradient w.r.t. the input), the weight
+    /// gradients and kernel timings.
+    pub fn backward(
+        &mut self,
+        g: &CsrGraph,
+        d_out: &DMatrix,
+        prop: &FeaturePropagator,
+    ) -> (DMatrix, GcnLayerGrads, KernelTimings) {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("backward called before forward");
+        let mut t = KernelTimings::default();
+
+        let mut d_pre = d_out.clone();
+        if self.activation {
+            ops::relu_backward_inplace(&mut d_pre, &cache.output);
+        }
+        let half = self.w_neigh.value.cols();
+        let (d_neigh, d_self) = ops::split_cols(&d_pre, half);
+
+        let t0 = Instant::now();
+        let d_w_neigh = gemm::matmul_tn(&cache.aggregated, &d_neigh);
+        let d_w_self = gemm::matmul_tn(&cache.input, &d_self);
+        // dH via the two weight paths.
+        let d_agg = gemm::matmul_nt(&d_neigh, &self.w_neigh.value);
+        let mut d_h = gemm::matmul_nt(&d_self, &self.w_self.value);
+        t.weight_app_secs += t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let d_h_from_agg = prop.backward(g, &d_agg); // Âᵀ·dAgg
+        t.feature_prop_secs += t0.elapsed().as_secs_f64();
+
+        ops::add_assign(&mut d_h, &d_h_from_agg);
+        (
+            d_h,
+            GcnLayerGrads {
+                d_w_neigh,
+                d_w_self,
+            },
+            t,
+        )
+    }
+
+    /// Apply Adam updates.
+    pub fn apply_grads(&mut self, grads: &GcnLayerGrads, hyper: &AdamHyper, t: u64) {
+        self.w_neigh.step(&grads.d_w_neigh, hyper, t);
+        self.w_self.step(&grads.d_w_self, hyper, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsgcn_graph::GraphBuilder;
+    use gsgcn_prop::propagator::{FeaturePropagator, PropMode};
+
+    fn square() -> CsrGraph {
+        GraphBuilder::new(4)
+            .add_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build()
+    }
+
+    fn prop() -> FeaturePropagator {
+        FeaturePropagator::new(PropMode::Naive)
+    }
+
+    #[test]
+    fn forward_shape_and_concat_structure() {
+        let g = square();
+        let mut layer = GcnLayer::new(3, 5, false, 1);
+        let h = DMatrix::from_fn(4, 3, |i, j| (i + j) as f32 * 0.1);
+        let (out, timings) = layer.forward(&g, &h, &prop());
+        assert_eq!(out.shape(), (4, 10));
+        assert!(timings.feature_prop_secs >= 0.0 && timings.weight_app_secs >= 0.0);
+    }
+
+    #[test]
+    fn relu_clamps_when_enabled() {
+        let g = square();
+        let mut layer = GcnLayer::new(2, 4, true, 2);
+        let h = DMatrix::from_fn(4, 2, |i, _| i as f32 - 1.5);
+        let (out, _) = layer.forward(&g, &h, &prop());
+        assert!(out.data().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let g = square();
+        let mut layer = GcnLayer::new(3, 4, true, 3);
+        let h = DMatrix::from_fn(4, 3, |i, j| ((i * 3 + j) % 5) as f32 * 0.2 - 0.4);
+        let (a, _) = layer.forward(&g, &h, &prop());
+        let b = layer.infer(&g, &h, &prop());
+        assert!(a.max_abs_diff(&b) < 1e-7);
+    }
+
+    /// Full finite-difference gradient check through aggregation, weights,
+    /// concat and ReLU — the critical correctness test for the layer.
+    #[test]
+    fn gradient_check_weights_and_input() {
+        let g = square();
+        let mut layer = GcnLayer::new(3, 2, true, 4);
+        let h = DMatrix::from_fn(4, 3, |i, j| ((i * 7 + j * 3) % 11) as f32 * 0.15 - 0.6);
+        let p = prop();
+
+        // Scalar loss: ½‖out‖².
+        let loss_of = |layer: &GcnLayer, h: &DMatrix| -> f32 {
+            let o = layer.infer(&g, h, &p);
+            0.5 * o.data().iter().map(|x| x * x).sum::<f32>()
+        };
+
+        let (out, _) = layer.forward(&g, &h, &p);
+        let (dh, grads, _) = layer.backward(&g, &out, &p);
+
+        let eps = 1e-2f32;
+        // Check a spread of W_neigh entries.
+        for (r, c) in [(0usize, 0usize), (1, 1), (2, 0)] {
+            let orig = layer.w_neigh.value.get(r, c);
+            layer.w_neigh.value.set(r, c, orig + eps);
+            let lp = loss_of(&layer, &h);
+            layer.w_neigh.value.set(r, c, orig - eps);
+            let lm = loss_of(&layer, &h);
+            layer.w_neigh.value.set(r, c, orig);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads.d_w_neigh.get(r, c);
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "dW_neigh[{r},{c}]: {num} vs {ana}"
+            );
+        }
+        // W_self entries.
+        for (r, c) in [(0usize, 1usize), (2, 1)] {
+            let orig = layer.w_self.value.get(r, c);
+            layer.w_self.value.set(r, c, orig + eps);
+            let lp = loss_of(&layer, &h);
+            layer.w_self.value.set(r, c, orig - eps);
+            let lm = loss_of(&layer, &h);
+            layer.w_self.value.set(r, c, orig);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads.d_w_self.get(r, c);
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "dW_self[{r},{c}]: {num} vs {ana}"
+            );
+        }
+        // Input entries (tests the Âᵀ backward path).
+        for (r, c) in [(0usize, 0usize), (3, 2)] {
+            let orig = h.get(r, c);
+            let mut hp = h.clone();
+            hp.set(r, c, orig + eps);
+            let lp = loss_of(&layer, &hp);
+            let mut hm = h.clone();
+            hm.set(r, c, orig - eps);
+            let lm = loss_of(&layer, &hm);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = dh.get(r, c);
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "dH[{r},{c}]: {num} vs {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_layer_loss() {
+        let g = square();
+        let mut layer = GcnLayer::new(2, 3, true, 5);
+        let h = DMatrix::from_fn(4, 2, |i, j| (i as f32 + j as f32) * 0.3);
+        let p = prop();
+        let hyper = AdamHyper {
+            lr: 0.02,
+            ..AdamHyper::default()
+        };
+        let loss_of = |layer: &mut GcnLayer| -> f32 {
+            let (o, _) = layer.forward(&g, &h, &p);
+            0.5 * o.data().iter().map(|x| x * x).sum::<f32>()
+        };
+        let before = loss_of(&mut layer);
+        for t in 1..=50 {
+            let (o, _) = layer.forward(&g, &h, &p);
+            let (_, grads, _) = layer.backward(&g, &o, &p);
+            layer.apply_grads(&grads, &hyper, t);
+        }
+        let after = loss_of(&mut layer);
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward")]
+    fn backward_without_forward_panics() {
+        let g = square();
+        let mut layer = GcnLayer::new(2, 2, true, 6);
+        layer.backward(&g, &DMatrix::zeros(4, 4), &prop());
+    }
+}

@@ -1,0 +1,160 @@
+//! Loss functions (Alg. 1 line 12) with analytic gradients.
+//!
+//! Both losses consume raw logits and return `(loss, dLogits)` — fusing
+//! the activation into the loss keeps the gradient numerically exact
+//! (`σ(x) − y` / `softmax(x) − y`) instead of chaining two lossy steps.
+//!
+//! Reduction: mean over rows (vertices), sum over classes within a row —
+//! the convention of the GraphSAGE reference implementation, so learning
+//! rates transfer.
+
+use gsgcn_tensor::{ops, DMatrix};
+
+/// Multi-label sigmoid binary cross-entropy.
+///
+/// `loss = (1/n) Σ_v Σ_c [ −y·log σ(x) − (1−y)·log(1−σ(x)) ]`
+pub fn sigmoid_bce(logits: &DMatrix, targets: &DMatrix) -> (f32, DMatrix) {
+    assert_eq!(logits.shape(), targets.shape(), "logits/targets shape mismatch");
+    let n = logits.rows().max(1) as f32;
+    let mut loss = 0.0f64;
+    let mut grad = DMatrix::zeros(logits.rows(), logits.cols());
+    for i in 0..logits.rows() {
+        let (xr, yr) = (logits.row(i), targets.row(i));
+        let gr = grad.row_mut(i);
+        for ((&x, &y), g) in xr.iter().zip(yr).zip(gr.iter_mut()) {
+            // Numerically stable: log(1+e^{-|x|}) + max(x,0) − x·y.
+            let max_part = x.max(0.0);
+            loss += (max_part - x * y + (1.0 + (-x.abs()).exp()).ln()) as f64;
+            let sig = 1.0 / (1.0 + (-x).exp());
+            *g = (sig - y) / n;
+        }
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Single-label softmax cross-entropy with one-hot (or distribution)
+/// targets.
+///
+/// `loss = −(1/n) Σ_v Σ_c y·log softmax(x)`
+pub fn softmax_ce(logits: &DMatrix, targets: &DMatrix) -> (f32, DMatrix) {
+    assert_eq!(logits.shape(), targets.shape(), "logits/targets shape mismatch");
+    let n = logits.rows().max(1) as f32;
+    let mut probs = logits.clone();
+    ops::softmax_rows_inplace(&mut probs);
+    let mut loss = 0.0f64;
+    let mut grad = DMatrix::zeros(logits.rows(), logits.cols());
+    for i in 0..logits.rows() {
+        let (pr, yr) = (probs.row(i), targets.row(i));
+        let gr = grad.row_mut(i);
+        for ((&p, &y), g) in pr.iter().zip(yr).zip(gr.iter_mut()) {
+            if y > 0.0 {
+                loss -= (y * p.max(1e-12).ln()) as f64;
+            }
+            *g = (p - y) / n;
+        }
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference check of an analytic gradient.
+    fn check_grad<F: Fn(&DMatrix) -> (f32, DMatrix)>(f: F, x0: &DMatrix, tol: f32) {
+        let (_, grad) = f(x0);
+        let eps = 1e-3f32;
+        for i in 0..x0.rows() {
+            for j in 0..x0.cols() {
+                let mut xp = x0.clone();
+                xp.set(i, j, x0.get(i, j) + eps);
+                let mut xm = x0.clone();
+                xm.set(i, j, x0.get(i, j) - eps);
+                let num = (f(&xp).0 - f(&xm).0) / (2.0 * eps);
+                let ana = grad.get(i, j);
+                assert!(
+                    (num - ana).abs() < tol,
+                    "grad[{i},{j}]: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bce_zero_loss_on_perfect_confidence() {
+        let logits = DMatrix::from_vec(1, 2, vec![30.0, -30.0]);
+        let y = DMatrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let (loss, grad) = sigmoid_bce(&logits, &y);
+        assert!(loss < 1e-6);
+        assert!(grad.frobenius_norm() < 1e-6);
+    }
+
+    #[test]
+    fn bce_known_value_at_zero_logits() {
+        // σ(0) = 0.5 → per-element loss = ln 2 regardless of target.
+        let logits = DMatrix::zeros(2, 3);
+        let y = DMatrix::from_fn(2, 3, |i, j| ((i + j) % 2) as f32);
+        let (loss, _) = sigmoid_bce(&logits, &y);
+        // Sum over 3 classes, mean over 2 rows: 3·ln2.
+        assert!((loss - 3.0 * std::f32::consts::LN_2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let x = DMatrix::from_fn(3, 4, |i, j| (i as f32 - 1.0) * 0.7 + j as f32 * 0.3 - 0.5);
+        let y = DMatrix::from_fn(3, 4, |i, j| ((i * 2 + j) % 2) as f32);
+        check_grad(|x| sigmoid_bce(x, &y), &x, 1e-3);
+    }
+
+    #[test]
+    fn bce_stable_for_extreme_logits() {
+        let x = DMatrix::from_vec(1, 2, vec![1e4, -1e4]);
+        let y = DMatrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let (loss, grad) = sigmoid_bce(&x, &y);
+        assert!(loss.is_finite());
+        assert!(grad.all_finite());
+        // Completely wrong confident predictions: loss ≈ 2·1e4 / 1 row.
+        assert!(loss > 1e4);
+    }
+
+    #[test]
+    fn ce_zero_loss_on_perfect_prediction() {
+        let logits = DMatrix::from_vec(1, 3, vec![30.0, 0.0, 0.0]);
+        let y = DMatrix::from_vec(1, 3, vec![1.0, 0.0, 0.0]);
+        let (loss, _) = softmax_ce(&logits, &y);
+        assert!(loss < 1e-5);
+    }
+
+    #[test]
+    fn ce_uniform_logits_give_log_k() {
+        let logits = DMatrix::zeros(4, 5);
+        let y = DMatrix::from_fn(4, 5, |i, j| if j == i % 5 { 1.0 } else { 0.0 });
+        let (loss, _) = softmax_ce(&logits, &y);
+        assert!((loss - (5.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ce_gradient_matches_finite_difference() {
+        let x = DMatrix::from_fn(3, 4, |i, j| (i as f32 * 0.5 - j as f32 * 0.4) * 0.8);
+        let y = DMatrix::from_fn(3, 4, |i, j| if j == (i + 1) % 4 { 1.0 } else { 0.0 });
+        check_grad(|x| softmax_ce(x, &y), &x, 1e-3);
+    }
+
+    #[test]
+    fn ce_gradient_rows_sum_to_zero() {
+        // softmax − onehot sums to zero per row.
+        let x = DMatrix::from_fn(2, 3, |i, j| (i + j) as f32);
+        let y = DMatrix::from_fn(2, 3, |_, j| if j == 0 { 1.0 } else { 0.0 });
+        let (_, g) = softmax_ce(&x, &y);
+        for i in 0..2 {
+            let s: f32 = g.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        sigmoid_bce(&DMatrix::zeros(2, 2), &DMatrix::zeros(2, 3));
+    }
+}

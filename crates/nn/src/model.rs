@@ -1,0 +1,425 @@
+//! The end-to-end L-layer GCN model (Algorithm 1, lines 5–13).
+//!
+//! A [`GcnModel`] owns the GCN layers, the dense classifier head and the
+//! Adam state, and runs one complete training step on *any* graph it is
+//! handed — a sampled subgraph during training (the paper's design) or the
+//! full graph for inference. Keeping the model graph-agnostic is exactly
+//! what makes graph-sampling GCN work: "we first sample a small induced
+//! subgraph and then construct a complete GCN on it" (Sec. III-A).
+
+use crate::adam::AdamHyper;
+use crate::dense::DenseLayer;
+use crate::gcn_layer::{GcnLayer, KernelTimings};
+use crate::loss;
+use gsgcn_graph::CsrGraph;
+use gsgcn_prop::propagator::FeaturePropagator;
+use gsgcn_tensor::{ops, DMatrix};
+
+/// Which loss (and implied output activation) the task uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LossKind {
+    /// Multi-label: sigmoid + binary cross-entropy (PPI, Yelp, Amazon).
+    SigmoidBce,
+    /// Single-label: softmax + cross-entropy (Reddit).
+    SoftmaxCe,
+}
+
+/// Model architecture + optimisation configuration.
+#[derive(Clone, Debug)]
+pub struct GcnConfig {
+    /// Input feature width `f^{(0)}` (the dataset's attribute size).
+    pub in_dim: usize,
+    /// Output width of each hidden GCN layer (must be even — it is the
+    /// concat of the neighbor and self halves). Length = `L`.
+    pub hidden_dims: Vec<usize>,
+    /// Number of target classes.
+    pub num_classes: usize,
+    /// Loss/activation pairing.
+    pub loss: LossKind,
+    /// Adam hyperparameters.
+    pub adam: AdamHyper,
+    /// Dropout probability on layer inputs (0 disables).
+    pub dropout: f32,
+}
+
+impl Default for GcnConfig {
+    fn default() -> Self {
+        GcnConfig {
+            in_dim: 0,
+            hidden_dims: vec![256, 256],
+            num_classes: 2,
+            loss: LossKind::SigmoidBce,
+            adam: AdamHyper::default(),
+            dropout: 0.0,
+        }
+    }
+}
+
+impl GcnConfig {
+    /// Validate dimensions; returns a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.in_dim == 0 {
+            return Err("in_dim must be > 0".into());
+        }
+        if self.hidden_dims.is_empty() {
+            return Err("at least one GCN layer is required".into());
+        }
+        if let Some(d) = self.hidden_dims.iter().find(|&&d| d == 0 || d % 2 != 0) {
+            return Err(format!(
+                "hidden dims must be positive and even (concat halves); got {d}"
+            ));
+        }
+        if self.num_classes == 0 {
+            return Err("num_classes must be > 0".into());
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err(format!("dropout must be in [0,1); got {}", self.dropout));
+        }
+        Ok(())
+    }
+}
+
+/// Result of one training step.
+#[derive(Clone, Copy, Debug)]
+pub struct StepResult {
+    /// Mini-batch loss value.
+    pub loss: f32,
+    /// Kernel timing split of this step (forward + backward).
+    pub timings: KernelTimings,
+}
+
+/// The L-layer GCN plus classifier head.
+pub struct GcnModel {
+    layers: Vec<GcnLayer>,
+    head: DenseLayer,
+    cfg: GcnConfig,
+    prop: FeaturePropagator,
+    /// Adam step counter (shared by all parameters).
+    t: u64,
+    /// RNG stream counter for dropout masks.
+    dropout_stream: u64,
+}
+
+impl GcnModel {
+    /// Build a model from `cfg` with Xavier-initialised weights.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (see [`GcnConfig::validate`]).
+    pub fn new(cfg: GcnConfig, seed: u64) -> Self {
+        Self::with_propagator(cfg, seed, FeaturePropagator::default())
+    }
+
+    /// Build with an explicit propagation kernel (used by benches to
+    /// compare `PropMode`s inside full training).
+    pub fn with_propagator(cfg: GcnConfig, seed: u64, prop: FeaturePropagator) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid GcnConfig: {e}");
+        }
+        let mut layers = Vec::with_capacity(cfg.hidden_dims.len());
+        let mut in_dim = cfg.in_dim;
+        for (i, &h) in cfg.hidden_dims.iter().enumerate() {
+            layers.push(GcnLayer::new(in_dim, h / 2, true, seed ^ ((i as u64 + 1) * 0x9E37)));
+            in_dim = h;
+        }
+        let head = DenseLayer::new(in_dim, cfg.num_classes, seed ^ 0xD_EAD_4EAD);
+        GcnModel {
+            layers,
+            head,
+            cfg,
+            prop,
+            t: 0,
+            dropout_stream: seed,
+        }
+    }
+
+    /// Number of GCN layers `L`.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum::<usize>() + self.head.num_params()
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &GcnConfig {
+        &self.cfg
+    }
+
+    /// Adam steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Read access to the GCN layers (checkpointing).
+    pub(crate) fn layers_ref(&self) -> &[GcnLayer] {
+        &self.layers
+    }
+
+    /// Mutable access to the GCN layers (checkpointing).
+    pub(crate) fn layers_mut(&mut self) -> &mut [GcnLayer] {
+        &mut self.layers
+    }
+
+    /// Read access to the classifier head (checkpointing).
+    pub(crate) fn head_ref(&self) -> &DenseLayer {
+        &self.head
+    }
+
+    /// Mutable access to the classifier head (checkpointing).
+    pub(crate) fn head_mut(&mut self) -> &mut DenseLayer {
+        &mut self.head
+    }
+
+    /// One full training step on graph `g` with features `x` and targets
+    /// `y` (rows = vertices of `g`): forward, loss, backward, Adam update.
+    pub fn train_step(&mut self, g: &CsrGraph, x: &DMatrix, y: &DMatrix) -> StepResult {
+        assert_eq!(x.rows(), g.num_vertices(), "feature/vertex mismatch");
+        assert_eq!(y.rows(), g.num_vertices(), "label/vertex mismatch");
+        let mut timings = KernelTimings::default();
+
+        // ---- Forward (Alg. 1 lines 6–9) ----
+        let mut h = x.clone();
+        let mut dropout_masks: Vec<Option<Vec<bool>>> = Vec::with_capacity(self.layers.len());
+        for layer in self.layers.iter_mut() {
+            if self.cfg.dropout > 0.0 {
+                self.dropout_stream = self.dropout_stream.wrapping_add(0x9E3779B97F4A7C15);
+                let mask = ops::dropout_inplace(&mut h, self.cfg.dropout, self.dropout_stream);
+                dropout_masks.push(Some(mask));
+            } else {
+                dropout_masks.push(None);
+            }
+            let (next, t) = layer.forward(g, &h, &self.prop);
+            timings.add(t);
+            h = next;
+        }
+        let logits = self.head.forward(&h);
+
+        // ---- Loss (Alg. 1 lines 11–12) ----
+        let (loss_val, d_logits) = match self.cfg.loss {
+            LossKind::SigmoidBce => loss::sigmoid_bce(&logits, y),
+            LossKind::SoftmaxCe => loss::softmax_ce(&logits, y),
+        };
+
+        // ---- Backward + Adam (Alg. 1 line 13) ----
+        self.t += 1;
+        let (mut d_h, head_grads) = self.head.backward(&d_logits);
+        self.head.apply_grads(&head_grads, &self.cfg.adam.clone(), self.t);
+        for (layer, mask) in self
+            .layers
+            .iter_mut()
+            .zip(dropout_masks.iter())
+            .rev()
+        {
+            let (d_prev, grads, t) = layer.backward(g, &d_h, &self.prop);
+            timings.add(t);
+            layer.apply_grads(&grads, &self.cfg.adam.clone(), self.t);
+            d_h = d_prev;
+            if let Some(m) = mask {
+                ops::dropout_backward_inplace(&mut d_h, m, self.cfg.dropout);
+            }
+        }
+
+        StepResult {
+            loss: loss_val,
+            timings,
+        }
+    }
+
+    /// Inference: logits for every vertex of `g` (no dropout, no caching).
+    pub fn infer_logits(&self, g: &CsrGraph, x: &DMatrix) -> DMatrix {
+        assert_eq!(x.rows(), g.num_vertices(), "feature/vertex mismatch");
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.infer(g, &h, &self.prop);
+        }
+        self.head.infer(&h)
+    }
+
+    /// Inference with the task's output activation applied (sigmoid
+    /// probabilities or softmax distribution).
+    pub fn infer_probs(&self, g: &CsrGraph, x: &DMatrix) -> DMatrix {
+        let mut logits = self.infer_logits(g, x);
+        match self.cfg.loss {
+            LossKind::SigmoidBce => ops::sigmoid_inplace(&mut logits),
+            LossKind::SoftmaxCe => ops::softmax_rows_inplace(&mut logits),
+        }
+        logits
+    }
+
+    /// Evaluate the loss on `(g, x, y)` without updating weights.
+    pub fn eval_loss(&self, g: &CsrGraph, x: &DMatrix, y: &DMatrix) -> f32 {
+        let logits = self.infer_logits(g, x);
+        match self.cfg.loss {
+            LossKind::SigmoidBce => loss::sigmoid_bce(&logits, y).0,
+            LossKind::SoftmaxCe => loss::softmax_ce(&logits, y).0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsgcn_graph::GraphBuilder;
+
+    fn two_cluster_graph() -> (CsrGraph, DMatrix, DMatrix) {
+        // Two 4-cliques joined by one edge; features correlate with the
+        // cluster, labels = cluster id (2 classes, one-hot).
+        let mut edges = Vec::new();
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((0, 4));
+        let g = GraphBuilder::new(8).add_edges(edges).build();
+        let x = DMatrix::from_fn(8, 4, |i, j| {
+            let cluster = (i / 4) as f32;
+            (cluster * 2.0 - 1.0) * 0.5 + ((i * 4 + j) % 3) as f32 * 0.05
+        });
+        let y = DMatrix::from_fn(8, 2, |i, j| if j == i / 4 { 1.0 } else { 0.0 });
+        (g, x, y)
+    }
+
+    fn small_cfg(loss: LossKind) -> GcnConfig {
+        GcnConfig {
+            in_dim: 4,
+            hidden_dims: vec![8, 8],
+            num_classes: 2,
+            loss,
+            adam: AdamHyper {
+                lr: 0.02,
+                ..AdamHyper::default()
+            },
+            dropout: 0.0,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(small_cfg(LossKind::SigmoidBce).validate().is_ok());
+        let mut c = small_cfg(LossKind::SigmoidBce);
+        c.hidden_dims = vec![7]; // odd
+        assert!(c.validate().is_err());
+        let mut c = small_cfg(LossKind::SigmoidBce);
+        c.in_dim = 0;
+        assert!(c.validate().is_err());
+        let mut c = small_cfg(LossKind::SigmoidBce);
+        c.hidden_dims.clear();
+        assert!(c.validate().is_err());
+        let mut c = small_cfg(LossKind::SigmoidBce);
+        c.dropout = 1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let m = GcnModel::new(small_cfg(LossKind::SigmoidBce), 1);
+        assert_eq!(m.num_layers(), 2);
+        // Layer 1: 2 × (4×4); layer 2: 2 × (8×4); head: 8×2 + 2.
+        assert_eq!(m.num_params(), 32 + 64 + 18);
+    }
+
+    #[test]
+    fn training_fits_two_clusters_bce() {
+        let (g, x, y) = two_cluster_graph();
+        let mut m = GcnModel::new(small_cfg(LossKind::SigmoidBce), 7);
+        let before = m.eval_loss(&g, &x, &y);
+        for _ in 0..150 {
+            m.train_step(&g, &x, &y);
+        }
+        let after = m.eval_loss(&g, &x, &y);
+        assert!(after < before * 0.5, "loss {before} → {after}");
+        // Predictions should match cluster labels.
+        let probs = m.infer_probs(&g, &x);
+        for v in 0..8 {
+            let want = v / 4;
+            assert!(
+                probs.get(v, want) > probs.get(v, 1 - want),
+                "vertex {v}: probs {:?}",
+                probs.row(v)
+            );
+        }
+    }
+
+    #[test]
+    fn training_fits_two_clusters_softmax() {
+        let (g, x, y) = two_cluster_graph();
+        let mut m = GcnModel::new(small_cfg(LossKind::SoftmaxCe), 8);
+        for _ in 0..150 {
+            m.train_step(&g, &x, &y);
+        }
+        let probs = m.infer_probs(&g, &x);
+        for v in 0..8 {
+            let want = v / 4;
+            assert!(probs.get(v, want) > 0.5, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn dropout_training_still_learns() {
+        let (g, x, y) = two_cluster_graph();
+        let mut cfg = small_cfg(LossKind::SigmoidBce);
+        cfg.dropout = 0.2;
+        let mut m = GcnModel::new(cfg, 9);
+        let before = m.eval_loss(&g, &x, &y);
+        for _ in 0..200 {
+            m.train_step(&g, &x, &y);
+        }
+        let after = m.eval_loss(&g, &x, &y);
+        assert!(after < before, "dropout run: {before} → {after}");
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let (g, x, y) = two_cluster_graph();
+        let mut m = GcnModel::new(small_cfg(LossKind::SigmoidBce), 10);
+        let r = m.train_step(&g, &x, &y);
+        assert!(r.timings.feature_prop_secs > 0.0);
+        assert!(r.timings.weight_app_secs > 0.0);
+        assert!(r.loss.is_finite());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g, x, y) = two_cluster_graph();
+        let run = |seed: u64| {
+            let mut m = GcnModel::new(small_cfg(LossKind::SigmoidBce), seed);
+            let mut losses = Vec::new();
+            for _ in 0..5 {
+                losses.push(m.train_step(&g, &x, &y).loss);
+            }
+            losses
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn model_transfers_across_graphs() {
+        // Train on one graph, infer on a different-sized graph — the
+        // property the graph-sampling design relies on.
+        let (g, x, y) = two_cluster_graph();
+        let mut m = GcnModel::new(small_cfg(LossKind::SigmoidBce), 11);
+        for _ in 0..20 {
+            m.train_step(&g, &x, &y);
+        }
+        let g2 = GraphBuilder::new(3).add_edges([(0, 1), (1, 2)]).build();
+        let x2 = DMatrix::from_fn(3, 4, |i, j| (i + j) as f32 * 0.1);
+        let probs = m.infer_probs(&g2, &x2);
+        assert_eq!(probs.shape(), (3, 2));
+        assert!(probs.all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature/vertex mismatch")]
+    fn wrong_feature_rows_panics() {
+        let (g, _, y) = two_cluster_graph();
+        let mut m = GcnModel::new(small_cfg(LossKind::SigmoidBce), 12);
+        let bad_x = DMatrix::zeros(3, 4);
+        m.train_step(&g, &bad_x, &y);
+    }
+}

@@ -1,0 +1,328 @@
+//! Aggregation kernels: `Y[v] = Σ_{u ∈ N(v)} H[u]`.
+//!
+//! All three kernels compute the identical unnormalised neighbor sum; they
+//! differ only in how work is partitioned across cores and what the cache
+//! working set looks like. Mean normalisation (the `D⁻¹` of `Â = D⁻¹A`) is
+//! applied by the caller ([`crate::propagator`]) so the kernels stay
+//! byte-for-byte comparable in benches.
+
+use gsgcn_graph::CsrGraph;
+use gsgcn_graph::partition::VertexPartition;
+use gsgcn_tensor::DMatrix;
+use rayon::prelude::*;
+
+/// Row-parallel aggregation over the full feature width.
+///
+/// Each task owns a block of destination rows and gathers from arbitrary
+/// source rows — a working set of the whole `n×f` matrix, which spills
+/// cache once `bytes·n·f > S_cache` (the regime Alg. 6 fixes).
+pub fn aggregate_naive(g: &CsrGraph, h: &DMatrix) -> DMatrix {
+    let n = g.num_vertices();
+    assert_eq!(h.rows(), n, "feature rows must match vertex count");
+    let f = h.cols();
+    let mut y = DMatrix::zeros(n, f);
+    if f == 0 || n == 0 {
+        return y;
+    }
+    // Batch rows per rayon task so per-task work is ≳ tens of µs;
+    // one row costs ~d̄·f flops.
+    let avg_deg = (g.num_edges() / n).max(1);
+    let rows_per_task = (50_000 / (avg_deg * f).max(1)).clamp(1, n);
+    y.data_mut()
+        .par_chunks_mut(f * rows_per_task)
+        .enumerate()
+        .for_each(|(chunk_idx, out_chunk)| {
+            let v0 = chunk_idx * rows_per_task;
+            for (local, out) in out_chunk.chunks_exact_mut(f).enumerate() {
+                for &u in g.neighbors((v0 + local) as u32) {
+                    let src = h.row(u as usize);
+                    for (o, &s) in out.iter_mut().zip(src) {
+                        *o += s;
+                    }
+                }
+            }
+        });
+    y
+}
+
+/// Algorithm 6: feature-dimension-partitioned aggregation.
+///
+/// The feature dimension is split into `Q = max{C, bytes·n·f / S_cache}`
+/// column blocks (`C` = current rayon parallelism). Each task propagates
+/// one block over *all* vertices: the source block (`n × f/Q` values)
+/// fits in cache while the CSR arrays stream. `P = 1` — no graph
+/// partitioning — which also gives perfect load balance and zero
+/// preprocessing (Sec. V-B's four claimed properties).
+pub fn aggregate_feature_partitioned(g: &CsrGraph, h: &DMatrix, cache_bytes: usize) -> DMatrix {
+    let n = g.num_vertices();
+    assert_eq!(h.rows(), n, "feature rows must match vertex count");
+    let f = h.cols();
+    let mut y = DMatrix::zeros(n, f);
+    if f == 0 || n == 0 {
+        return y;
+    }
+    let q = num_feature_partitions(n, f, cache_bytes, rayon::current_num_threads());
+    // Block boundaries are aligned to whole cache lines (16 f32 = 64 B):
+    // two tasks writing the two halves of one line would otherwise
+    // false-share every row of Y and serialise on coherence traffic.
+    let block = align_block_width(f, q);
+    let q = f.div_ceil(block);
+
+    // Column-block tasks: each writes a disjoint column range of every
+    // row. Rust can't slice columns of a row-major matrix disjointly, so
+    // the write target is passed as a raw pointer; safety: tasks write
+    // only to columns [c0, c1) of each row, and blocks never overlap.
+    struct SendPtr(*mut f32);
+    unsafe impl Send for SendPtr {}
+    unsafe impl Sync for SendPtr {}
+    let y_ptr = SendPtr(y.data_mut().as_mut_ptr());
+
+    (0..q).into_par_iter().for_each(|qi| {
+        let c0 = qi * block;
+        let c1 = ((qi + 1) * block).min(f);
+        if c0 >= c1 {
+            return;
+        }
+        let w = c1 - c0;
+        // Pack the column block H[:, c0..c1] into a contiguous scratch
+        // buffer — this is the "H^(i,j) fits into the fast memory" step
+        // of the paper's model. The pack is one strided streaming read of
+        // H; all the random gather traffic below then hits the dense
+        // `n × w` buffer instead of scattered 64-byte slices of H.
+        let mut packed = vec![0.0f32; n * w];
+        for v in 0..n {
+            packed[v * w..(v + 1) * w].copy_from_slice(&h.row(v)[c0..c1]);
+        }
+        let y_base = &y_ptr;
+        for v in 0..n {
+            // SAFETY: rows are `f` long; [c0, c1) is in-bounds and owned
+            // exclusively by this task (disjoint column blocks).
+            let out: &mut [f32] = unsafe {
+                std::slice::from_raw_parts_mut(y_base.0.add(v * f + c0), w)
+            };
+            for &u in g.neighbors(v as u32) {
+                let src = &packed[u as usize * w..(u as usize + 1) * w];
+                for (o, &s) in out.iter_mut().zip(src) {
+                    *o += s;
+                }
+            }
+        }
+    });
+    y
+}
+
+/// `Q` from Alg. 6 line 2: `max{C, bytes·n·f / S_cache}`, clamped to
+/// `[1, f]` so blocks are at least one column wide.
+pub fn num_feature_partitions(n: usize, f: usize, cache_bytes: usize, c: usize) -> usize {
+    let bytes = std::mem::size_of::<f32>();
+    let by_cache = (bytes * n * f).div_ceil(cache_bytes.max(1));
+    by_cache.max(c).clamp(1, f.max(1))
+}
+
+/// Cache line in f32 elements (64 B / 4 B).
+const LINE_F32: usize = 16;
+
+/// Column-block width for `q` requested partitions of `f` columns,
+/// rounded up to a whole cache line unless `f` itself is sub-line.
+fn align_block_width(f: usize, q: usize) -> usize {
+    let raw = f.div_ceil(q.max(1)).max(1);
+    if f <= LINE_F32 {
+        raw
+    } else {
+        raw.div_ceil(LINE_F32) * LINE_F32
+    }
+}
+
+/// 2-D partitioned aggregation: `P` graph partitions × `Q` feature
+/// partitions (the scheme Theorem 2 compares against).
+///
+/// Each of the `P·Q` tasks owns the (rows of partition `i`) × (columns of
+/// block `j`) output cells — disjoint, so parallel writes are safe.
+pub fn aggregate_2d(
+    g: &CsrGraph,
+    h: &DMatrix,
+    partition: &VertexPartition,
+    q: usize,
+) -> DMatrix {
+    let n = g.num_vertices();
+    assert_eq!(h.rows(), n, "feature rows must match vertex count");
+    assert_eq!(partition.part.len(), n, "partition size mismatch");
+    assert!(q >= 1);
+    let f = h.cols();
+    let mut y = DMatrix::zeros(n, f);
+    if f == 0 || n == 0 {
+        return y;
+    }
+    let p = partition.num_parts;
+    // Same cache-line alignment as the feature-only kernel; row
+    // partitions write disjoint rows so only the column split matters.
+    let block = align_block_width(f, q);
+    let q = f.div_ceil(block);
+
+    // Pre-resolve partition membership lists once (the preprocessing cost
+    // feature-only partitioning avoids).
+    let members: Vec<Vec<u32>> = (0..p as u32).map(|i| partition.members(i)).collect();
+
+    struct SendPtr(*mut f32);
+    unsafe impl Send for SendPtr {}
+    unsafe impl Sync for SendPtr {}
+    let y_ptr = SendPtr(y.data_mut().as_mut_ptr());
+
+    (0..p * q).into_par_iter().for_each(|task| {
+        let (pi, qi) = (task / q, task % q);
+        let c0 = qi * block;
+        let c1 = ((qi + 1) * block).min(f);
+        if c0 >= c1 {
+            return;
+        }
+        let y_base = &y_ptr;
+        for &v in &members[pi] {
+            // SAFETY: task (pi, qi) exclusively owns rows of partition pi
+            // × columns [c0, c1); partitions are disjoint.
+            let out: &mut [f32] = unsafe {
+                std::slice::from_raw_parts_mut(y_base.0.add(v as usize * f + c0), c1 - c0)
+            };
+            for &u in g.neighbors(v) {
+                let src = &h.row(u as usize)[c0..c1];
+                for (o, &s) in out.iter_mut().zip(src) {
+                    *o += s;
+                }
+            }
+        }
+    });
+    y
+}
+
+/// Serial reference implementation (ground truth for tests).
+pub fn aggregate_reference(g: &CsrGraph, h: &DMatrix) -> DMatrix {
+    let n = g.num_vertices();
+    assert_eq!(h.rows(), n);
+    let f = h.cols();
+    let mut y = DMatrix::zeros(n, f);
+    for v in 0..n {
+        for &u in g.neighbors(v as u32) {
+            for c in 0..f {
+                let cur = y.get(v, c);
+                y.set(v, c, cur + h.get(u as usize, c));
+            }
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsgcn_graph::partition::range_partition;
+    use gsgcn_graph::GraphBuilder;
+
+    fn rand_graph(n: usize, extra: usize, seed: u64) -> CsrGraph {
+        // Ring + pseudo-random chords: connected, deterministic.
+        let mut edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let mut s = seed;
+        for _ in 0..extra {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = ((s >> 33) as usize) % n;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = ((s >> 33) as usize) % n;
+            if a != b {
+                edges.push((a as u32, b as u32));
+            }
+        }
+        GraphBuilder::new(n).add_edges(edges).build()
+    }
+
+    fn features(n: usize, f: usize) -> DMatrix {
+        DMatrix::from_fn(n, f, |i, j| ((i * 31 + j * 7) % 13) as f32 * 0.25 - 1.0)
+    }
+
+    #[test]
+    fn naive_matches_reference() {
+        let g = rand_graph(40, 60, 1);
+        let h = features(40, 9);
+        let y = aggregate_naive(&g, &h);
+        let r = aggregate_reference(&g, &h);
+        assert!(y.max_abs_diff(&r) < 1e-5);
+    }
+
+    #[test]
+    fn feature_partitioned_matches_reference() {
+        let g = rand_graph(50, 80, 2);
+        let h = features(50, 17);
+        // Tiny cache forces many partitions; huge cache forces Q = C.
+        for cache in [64, 1024, 1 << 20] {
+            let y = aggregate_feature_partitioned(&g, &h, cache);
+            let r = aggregate_reference(&g, &h);
+            assert!(y.max_abs_diff(&r) < 1e-5, "cache={cache}");
+        }
+    }
+
+    #[test]
+    fn two_d_matches_reference() {
+        let g = rand_graph(30, 40, 3);
+        let h = features(30, 8);
+        for p in [1, 2, 3] {
+            for q in [1, 2, 8] {
+                let part = range_partition(30, p);
+                let y = aggregate_2d(&g, &h, &part, q);
+                let r = aggregate_reference(&g, &h);
+                assert!(y.max_abs_diff(&r) < 1e-5, "p={p} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn q_formula() {
+        // Q = max(C, bytes·n·f/S) clamped to [1, f].
+        assert_eq!(num_feature_partitions(1000, 512, 256 * 1024, 4), 8); // 4·1000·512/256K = 7.8 → 8
+        assert_eq!(num_feature_partitions(10, 512, 1 << 30, 4), 4); // cache huge → Q = C
+        assert_eq!(num_feature_partitions(10, 2, 1, 4), 2); // clamped to f
+        assert_eq!(num_feature_partitions(0, 0, 1024, 4), 1); // degenerate
+    }
+
+    #[test]
+    fn empty_feature_width() {
+        let g = rand_graph(10, 0, 4);
+        let h = DMatrix::zeros(10, 0);
+        assert_eq!(aggregate_naive(&g, &h).shape(), (10, 0));
+        assert_eq!(aggregate_feature_partitioned(&g, &h, 1024).shape(), (10, 0));
+    }
+
+    #[test]
+    fn isolated_vertices_aggregate_to_zero() {
+        let g = GraphBuilder::new(3).add_edge(0, 1).build();
+        let h = DMatrix::filled(3, 2, 5.0);
+        let y = aggregate_naive(&g, &h);
+        assert_eq!(y.row(2), &[0.0, 0.0]); // vertex 2 isolated
+        assert_eq!(y.row(0), &[5.0, 5.0]); // one neighbor
+    }
+
+    #[test]
+    fn block_boundary_alignment() {
+        // f not divisible by Q: last block is ragged; all kernels must
+        // still cover every column exactly once.
+        let g = rand_graph(20, 10, 5);
+        for f in [1, 3, 7, 13] {
+            let h = features(20, f);
+            let y = aggregate_feature_partitioned(&g, &h, 32);
+            let r = aggregate_reference(&g, &h);
+            assert!(y.max_abs_diff(&r) < 1e-5, "f={f}");
+        }
+    }
+
+    #[test]
+    fn thread_count_invariance() {
+        let g = rand_graph(60, 100, 6);
+        let h = features(60, 24);
+        let run = |threads| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| aggregate_feature_partitioned(&g, &h, 4096))
+        };
+        let a = run(1);
+        let b = run(8);
+        assert!(a.max_abs_diff(&b) < 1e-6, "results must not depend on thread count");
+    }
+}

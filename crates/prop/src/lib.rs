@@ -1,0 +1,40 @@
+//! Sparse feature propagation within the sampled subgraph (Sec. V).
+//!
+//! The hot kernel of GCN training is `(A_GS^{(ℓ)})ᵀ · H` — every vertex
+//! pulls and averages its neighbors' feature vectors. This crate provides:
+//!
+//! * [`kernels`] — three interchangeable implementations:
+//!   - `aggregate_naive`: row-parallel over the full feature width (the
+//!     conventional scheme; working set `≈ bytes·n·f` can exceed cache);
+//!   - `aggregate_feature_partitioned`: **Algorithm 6** — partition the
+//!     feature dimension into `Q = max{C, bytes·n·f / S_cache}` column
+//!     blocks so the active block of `H` stays cache-resident while the
+//!     CSR structure streams; no graph partitioning (`P = 1`);
+//!   - `aggregate_2d`: `P × Q` graph-and-feature partitioning, the
+//!     alternative Theorem 2 proves is at best 2× better — kept for the
+//!     partitioning ablation.
+//! * [`propagator`] — the mean-aggregation forward/backward operator used
+//!   by the GCN layers (normalisation folded around the raw aggregate).
+//! * [`cost_model`] — the communication model `g_comm(P, Q)` of Eq. (3)/(4)
+//!   and a brute-force verifier for Theorem 2's 2-approximation claim.
+//!
+//! # Example
+//!
+//! ```
+//! use gsgcn_graph::GraphBuilder;
+//! use gsgcn_tensor::DMatrix;
+//! use gsgcn_prop::propagator::{FeaturePropagator, PropMode};
+//!
+//! let g = GraphBuilder::new(3).add_edge(0, 1).add_edge(1, 2).build();
+//! let h = DMatrix::from_fn(3, 4, |i, _| i as f32);
+//! let prop = FeaturePropagator::new(PropMode::FeaturePartitioned {
+//!     cache_bytes: 256 * 1024,
+//! });
+//! let y = prop.forward(&g, &h);
+//! // Vertex 1 averages vertices 0 and 2 → 1.0.
+//! assert!((y.get(1, 0) - 1.0).abs() < 1e-6);
+//! ```
+
+pub mod cost_model;
+pub mod kernels;
+pub mod propagator;

@@ -1,0 +1,119 @@
+//! Property-based tests of the propagation kernels and cost model.
+
+use gsgcn_graph::builder::from_edges;
+use gsgcn_graph::partition::range_partition;
+use gsgcn_prop::cost_model::PropCostModel;
+use gsgcn_prop::kernels;
+use gsgcn_prop::propagator::{FeaturePropagator, PropMode};
+use gsgcn_tensor::DMatrix;
+use proptest::prelude::*;
+
+fn graph_and_features() -> impl Strategy<Value = (gsgcn_graph::CsrGraph, DMatrix)> {
+    (3usize..40, 1usize..24).prop_flat_map(|(n, f)| {
+        let edges = proptest::collection::vec((0u32..40, 0u32..40), 0..120);
+        let feats = proptest::collection::vec(-2.0f32..2.0, n * f);
+        (Just(n), Just(f), edges, feats).prop_map(|(n, f, extra, data)| {
+            let mut edges: Vec<(u32, u32)> =
+                (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+            edges.extend(
+                extra
+                    .into_iter()
+                    .filter(|&(a, b)| (a as usize) < n && (b as usize) < n && a != b),
+            );
+            (from_edges(n, &edges), DMatrix::from_vec(n, f, data))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All kernels agree with the serial reference for arbitrary graphs,
+    /// feature widths and cache sizes.
+    #[test]
+    fn kernels_agree((g, h) in graph_and_features(), cache in 16usize..100_000, p in 1usize..5, q in 1usize..9) {
+        let reference = kernels::aggregate_reference(&g, &h);
+        let naive = kernels::aggregate_naive(&g, &h);
+        prop_assert!(naive.max_abs_diff(&reference) < 1e-4);
+        let part = kernels::aggregate_feature_partitioned(&g, &h, cache);
+        prop_assert!(part.max_abs_diff(&reference) < 1e-4);
+        let vp = range_partition(g.num_vertices(), p);
+        let twod = kernels::aggregate_2d(&g, &h, &vp, q);
+        prop_assert!(twod.max_abs_diff(&reference) < 1e-4);
+    }
+
+    /// Forward is a row-stochastic operation: constant vectors are fixed
+    /// points (for non-isolated vertices).
+    #[test]
+    fn mean_aggregation_preserves_constants((g, _h) in graph_and_features(), c in -3.0f32..3.0) {
+        let n = g.num_vertices();
+        let constant = DMatrix::filled(n, 3, c);
+        let prop_op = FeaturePropagator::new(PropMode::Naive);
+        let y = prop_op.forward(&g, &constant);
+        for v in 0..n {
+            if g.degree(v as u32) > 0 {
+                for &x in y.row(v) {
+                    prop_assert!((x - c).abs() < 1e-4, "vertex {v}: {x} vs {c}");
+                }
+            }
+        }
+    }
+
+    /// Backward is the exact adjoint of forward: ⟨Âh, g⟩ = ⟨h, Âᵀg⟩.
+    #[test]
+    fn backward_is_adjoint((g, h) in graph_and_features()) {
+        let prop_op = FeaturePropagator::default();
+        let n = g.num_vertices();
+        let f = h.cols();
+        let gmat = DMatrix::from_fn(n, f, |i, j| ((i * 5 + j * 3) % 7) as f32 * 0.3 - 1.0);
+        let fwd = prop_op.forward(&g, &h);
+        let bwd = prop_op.backward(&g, &gmat);
+        let lhs: f64 = fwd.data().iter().zip(gmat.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = h.data().iter().zip(bwd.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    /// Linearity: prop(αh) = α·prop(h).
+    #[test]
+    fn forward_linear((g, h) in graph_and_features(), alpha in -2.0f32..2.0) {
+        let prop_op = FeaturePropagator::new(PropMode::Naive);
+        let mut scaled = h.clone();
+        gsgcn_tensor::ops::scale(&mut scaled, alpha);
+        let a = prop_op.forward(&g, &scaled);
+        let mut b = prop_op.forward(&g, &h);
+        gsgcn_tensor::ops::scale(&mut b, alpha);
+        prop_assert!(a.max_abs_diff(&b) < 1e-3);
+    }
+
+    /// Cost model: feature-only partitioning is feasible and within 2× of
+    /// the brute-force optimum whenever Theorem 2's preconditions hold.
+    #[test]
+    fn theorem2_random_params(
+        n in 100usize..10_000,
+        d in 2.0f64..40.0,
+        f in 64usize..2048,
+        c in 1usize..64,
+    ) {
+        let m = PropCostModel::paper(n, d, f, c, 256 * 1024);
+        prop_assume!(m.theorem2_applicable());
+        let q = m.feature_only_q();
+        prop_assert!(m.feasible(1, q, 1.0));
+        let ratio = m.approximation_ratio(32, 4096);
+        prop_assert!(ratio <= 2.0 + 1e-9, "ratio {ratio}");
+        prop_assert!(ratio >= 1.0 - 1e-9);
+    }
+
+    /// g_comm lower bound: never below bytes_val·n·f.
+    #[test]
+    fn comm_lower_bound(
+        n in 100usize..5000,
+        d in 1.0f64..50.0,
+        f in 16usize..1024,
+        p in 1usize..16,
+        q in 1usize..64,
+    ) {
+        let m = PropCostModel::paper(n, d, f, 4, 256 * 1024);
+        let gamma = 1.0 / p as f64; // best possible replication
+        prop_assert!(m.comm(p, q, gamma) >= m.bytes_val * n as f64 * f as f64 - 1e-6);
+    }
+}

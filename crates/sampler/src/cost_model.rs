@@ -1,0 +1,149 @@
+//! Analytic cost model of the Dashboard sampler — Eq. (2) and Theorem 1.
+//!
+//! The paper models the cost to sample one subgraph with `p` processors as
+//!
+//! ```text
+//! ( COST_rand / (1 − (1 − 1/η)^p)  +  (4 + 3/(η−1)) · d̄ · COST_mem / p ) · (n − m)
+//! ```
+//!
+//! and proves (Theorem 1) that the speedup over `p = 1` is at least
+//! `p / (1 + ε)` for every `p ≤ ε·d̄·(4 + 3/(η−1)) − η`.
+//!
+//! This module evaluates both so tests can verify the bound symbolically
+//! and the Fig. 4 bench can print model-vs-measured scaling.
+
+/// Parameters of the sampling cost model.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplerCostModel {
+    /// Enlargement factor `η > 1`.
+    pub eta: f64,
+    /// Average degree `d̄` of the training graph.
+    pub avg_degree: f64,
+    /// Cost of generating one random number.
+    pub cost_rand: f64,
+    /// Cost of one memory access.
+    pub cost_mem: f64,
+}
+
+impl SamplerCostModel {
+    /// Model with the paper's simplification `COST_mem = COST_rand = 1`.
+    pub fn unit(eta: f64, avg_degree: f64) -> Self {
+        SamplerCostModel {
+            eta,
+            avg_degree,
+            cost_rand: 1.0,
+            cost_mem: 1.0,
+        }
+    }
+
+    /// Expected probe rounds per pop with `p` parallel probes:
+    /// `1 / (1 − (1 − 1/η)^p)`.
+    pub fn probe_rounds_per_pop(&self, p: usize) -> f64 {
+        assert!(p >= 1);
+        1.0 / (1.0 - (1.0 - 1.0 / self.eta).powi(p as i32))
+    }
+
+    /// Memory-operation multiplier `4 + 3/(η−1)`:
+    /// block invalidation (d̄) + append (3·d̄) + amortised cleanup
+    /// (3·d̄/(η−1)).
+    pub fn mem_ops_factor(&self) -> f64 {
+        4.0 + 3.0 / (self.eta - 1.0)
+    }
+
+    /// Eq. (2): total cost to sample one subgraph of budget `n` with
+    /// frontier `m` on `p` processors.
+    pub fn cost(&self, n: usize, m: usize, p: usize) -> f64 {
+        assert!(n >= m);
+        let per_pop = self.probe_rounds_per_pop(p) * self.cost_rand
+            + self.mem_ops_factor() * self.avg_degree * self.cost_mem / p as f64;
+        per_pop * (n - m) as f64
+    }
+
+    /// Modelled speedup of `p` processors over serial.
+    pub fn speedup(&self, n: usize, m: usize, p: usize) -> f64 {
+        self.cost(n, m, 1) / self.cost(n, m, p)
+    }
+
+    /// Theorem 1's processor bound: `p ≤ ε·d̄·(4 + 3/(η−1)) − η`.
+    pub fn theorem1_max_p(&self, epsilon: f64) -> f64 {
+        epsilon * self.avg_degree * self.mem_ops_factor() - self.eta
+    }
+
+    /// Theorem 1's guaranteed speedup `p / (1 + ε)` at `p` processors.
+    pub fn theorem1_guarantee(&self, p: usize, epsilon: f64) -> f64 {
+        p as f64 / (1.0 + epsilon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_rounds_monotone_decreasing_in_p() {
+        let m = SamplerCostModel::unit(2.0, 30.0);
+        let mut prev = f64::INFINITY;
+        for p in 1..=64 {
+            let r = m.probe_rounds_per_pop(p);
+            assert!(r >= 1.0, "at least one round");
+            assert!(r <= prev, "rounds must not increase with p");
+            prev = r;
+        }
+        // p = 1, η = 2: expect exactly 1/(1−1/2) = 2 rounds.
+        assert!((m.probe_rounds_per_pop(1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mem_factor_paper_values() {
+        // η = 2 → 4 + 3 = 7; η = 3 → 4 + 1.5 = 5.5. With ε = 0.5, η = 3
+        // the bound is 0.5·5.5·d − 3 = 2.75·d − 3 processors. (The paper's
+        // prose quotes "2.25·d − 3", which is inconsistent with its own
+        // formula ε·d·(4 + 3/(η−1)) − η; we follow the formula.)
+        assert!((SamplerCostModel::unit(2.0, 1.0).mem_ops_factor() - 7.0).abs() < 1e-12);
+        assert!((SamplerCostModel::unit(3.0, 1.0).mem_ops_factor() - 5.5).abs() < 1e-12);
+        let m = SamplerCostModel::unit(3.0, 30.0);
+        let bound = m.theorem1_max_p(0.5);
+        assert!((bound - (2.75 * 30.0 - 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_scales_with_budget() {
+        let m = SamplerCostModel::unit(2.0, 20.0);
+        let c1 = m.cost(2000, 1000, 4);
+        let c2 = m.cost(3000, 1000, 4);
+        assert!((c2 / c1 - 2.0).abs() < 1e-9, "cost linear in n − m");
+    }
+
+    #[test]
+    fn theorem1_bound_holds_across_parameter_grid() {
+        // For every (η, d̄, ε) and every valid p, speedup ≥ p/(1+ε).
+        for &eta in &[1.5, 2.0, 3.0, 4.0] {
+            for &d in &[10.0, 30.0, 100.0] {
+                for &eps in &[0.25, 0.5, 1.0] {
+                    let m = SamplerCostModel::unit(eta, d);
+                    let pmax = m.theorem1_max_p(eps);
+                    let mut p = 1usize;
+                    while (p as f64) <= pmax && p <= 4096 {
+                        let s = m.speedup(10_000, 1_000, p);
+                        let g = m.theorem1_guarantee(p, eps);
+                        assert!(
+                            s >= g - 1e-9,
+                            "violated: η={eta} d={d} ε={eps} p={p}: speedup {s:.3} < {g:.3}"
+                        );
+                        p += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_saturates_beyond_bound() {
+        // Far beyond the bound the probing term dominates and speedup
+        // stalls below ideal — the "difficult to scale on sparse graphs"
+        // observation of Sec. IV-C.
+        let m = SamplerCostModel::unit(2.0, 5.0); // sparse: d̄ = 5
+        let s64 = m.speedup(10_000, 1_000, 64);
+        assert!(s64 < 64.0 * 0.75, "sparse graph should not scale ideally: {s64}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Inter-subgraph parallelism (Alg. 5, lines 3–5).
+//!
+//! Sampling instances are mutually independent because the training-graph
+//! topology is fixed across iterations, so the scheduler launches
+//! `p_inter` samplers in parallel and fills a pool of subgraphs that the
+//! training loop later pops one per iteration.
+//!
+//! Determinism: instance `i` of batch `b` uses seed
+//! `base_seed ⊕ hash(b, i)`, so the pool's *contents* depend only on the
+//! configuration — never on thread interleaving.
+
+use crate::rng::splitmix64;
+use crate::GraphSampler;
+use gsgcn_graph::{CsrGraph, InducedSubgraph};
+use rayon::prelude::*;
+use std::collections::VecDeque;
+
+/// Derive the seed for sampler instance `instance` of refill batch `batch`.
+pub fn instance_seed(base_seed: u64, batch: u64, instance: u64) -> u64 {
+    let mut s = base_seed ^ batch.wrapping_mul(0x9E3779B97F4A7C15) ^ instance.rotate_left(17);
+    splitmix64(&mut s)
+}
+
+/// Sample `count` subgraphs in parallel on the current rayon pool.
+pub fn sample_many<S: GraphSampler + ?Sized>(
+    sampler: &S,
+    g: &CsrGraph,
+    count: usize,
+    base_seed: u64,
+    batch: u64,
+) -> Vec<InducedSubgraph> {
+    (0..count)
+        .into_par_iter()
+        .map(|i| sampler.sample_subgraph(g, instance_seed(base_seed, batch, i as u64)))
+        .collect()
+}
+
+/// A pool of pre-sampled subgraphs (`{G_i}` in Alg. 5).
+///
+/// `pop` takes the next subgraph; when the pool is empty the caller
+/// invokes [`SubgraphPool::refill`], which launches `p_inter` parallel
+/// sampler instances.
+pub struct SubgraphPool {
+    queue: VecDeque<InducedSubgraph>,
+    base_seed: u64,
+    batch: u64,
+    /// Number of sampler instances launched per refill (`p_inter`).
+    pub p_inter: usize,
+}
+
+impl SubgraphPool {
+    /// Create an empty pool refilled `p_inter` subgraphs at a time.
+    pub fn new(p_inter: usize, base_seed: u64) -> Self {
+        assert!(p_inter >= 1);
+        SubgraphPool {
+            queue: VecDeque::new(),
+            base_seed,
+            batch: 0,
+            p_inter,
+        }
+    }
+
+    /// Subgraphs currently available.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Refill batches consumed so far.
+    pub fn batches(&self) -> u64 {
+        self.batch
+    }
+
+    /// Launch `p_inter` parallel sampler instances and enqueue their
+    /// subgraphs (Alg. 5 lines 3–5).
+    pub fn refill<S: GraphSampler + ?Sized>(&mut self, sampler: &S, g: &CsrGraph) {
+        let subs = sample_many(sampler, g, self.p_inter, self.base_seed, self.batch);
+        self.batch += 1;
+        self.queue.extend(subs);
+    }
+
+    /// Pop the next subgraph, refilling first if the pool is empty
+    /// (Alg. 5 lines 3–6).
+    pub fn pop_or_refill<S: GraphSampler + ?Sized>(
+        &mut self,
+        sampler: &S,
+        g: &CsrGraph,
+    ) -> InducedSubgraph {
+        if self.queue.is_empty() {
+            self.refill(sampler, g);
+        }
+        self.queue
+            .pop_front()
+            .expect("refill produced no subgraphs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dashboard::{DashboardSampler, FrontierConfig};
+    use gsgcn_graph::GraphBuilder;
+
+    fn ring(n: usize) -> CsrGraph {
+        GraphBuilder::new(n)
+            .add_edges((0..n as u32).map(|i| (i, (i + 1) % n as u32)))
+            .build()
+    }
+
+    fn sampler() -> DashboardSampler {
+        DashboardSampler::new(FrontierConfig {
+            frontier_size: 5,
+            budget: 25,
+            ..FrontierConfig::default()
+        })
+    }
+
+    #[test]
+    fn refill_fills_p_inter_subgraphs() {
+        let g = ring(200);
+        let mut pool = SubgraphPool::new(4, 99);
+        pool.refill(&sampler(), &g);
+        assert_eq!(pool.len(), 4);
+        assert_eq!(pool.batches(), 1);
+    }
+
+    #[test]
+    fn pop_or_refill_auto_refills() {
+        let g = ring(200);
+        let mut pool = SubgraphPool::new(3, 1);
+        let s = sampler();
+        for i in 0..7 {
+            let sub = pool.pop_or_refill(&s, &g);
+            assert!(sub.num_vertices() > 0, "iteration {i}");
+        }
+        assert_eq!(pool.batches(), 3); // refills at iterations 0, 3, 6
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn pool_contents_deterministic_across_thread_counts() {
+        let g = ring(300);
+        let s = sampler();
+        let run = |threads: usize| -> Vec<Vec<u32>> {
+            let tp = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            tp.install(|| {
+                let mut pool = SubgraphPool::new(6, 42);
+                pool.refill(&s, &g);
+                (0..6)
+                    .map(|_| {
+                        let sub = pool.pop_or_refill(&s, &g);
+                        sub.origin
+                    })
+                    .collect()
+            })
+        };
+        assert_eq!(run(1), run(4), "pool contents must not depend on thread count");
+    }
+
+    #[test]
+    fn instance_seeds_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..8u64 {
+            for i in 0..8u64 {
+                assert!(seen.insert(instance_seed(7, b, i)), "collision at ({b},{i})");
+            }
+        }
+    }
+
+    #[test]
+    fn different_instances_sample_different_subgraphs() {
+        let g = ring(500);
+        let subs = sample_many(&sampler(), &g, 4, 5, 0);
+        // With 500 vertices and 25-vertex samples, identical outputs would
+        // indicate seed reuse.
+        assert!(
+            subs.windows(2).any(|w| w[0].origin != w[1].origin),
+            "all parallel instances produced identical subgraphs"
+        );
+    }
+}

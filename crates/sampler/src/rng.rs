@@ -1,0 +1,252 @@
+//! Deterministic random-number generation for the samplers.
+//!
+//! Two generators:
+//!
+//! * [`Xorshift128Plus`] — a fast scalar PRNG, seeded via SplitMix64.
+//! * [`LaneRng`] — `LANES` independent xorshift128+ streams advanced in
+//!   lockstep. The state lives in plain fixed-size arrays and the update
+//!   is branch-free, so LLVM compiles [`LaneRng::next_batch`] to SIMD —
+//!   this is the reproduction of the paper's AVX probe vectorisation
+//!   (Sec. IV-C: "use AVX instructions to parallelize within a single
+//!   sampler").
+//!
+//! Range reduction uses the multiply-shift trick (`(x·n) >> 64`), which is
+//! branch-free and avoids the modulo's division. The induced bias is
+//! ≤ n·2⁻⁶⁴ — immaterial for sampling use.
+
+/// SplitMix64 step — used to expand one `u64` seed into stream states.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Scalar xorshift128+ generator.
+#[derive(Clone, Debug)]
+pub struct Xorshift128Plus {
+    s0: u64,
+    s1: u64,
+}
+
+impl Xorshift128Plus {
+    /// Seed from a single `u64` (expanded via SplitMix64; never all-zero).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s0 = splitmix64(&mut sm);
+        let s1 = splitmix64(&mut sm);
+        Xorshift128Plus {
+            s0: s0 | 1, // avoid the all-zero state
+            s1,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.s0;
+        let y = self.s1;
+        self.s0 = y;
+        x ^= x << 23;
+        self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        self.s1.wrapping_add(y)
+    }
+
+    /// Uniform integer in `[0, n)` via multiply-shift. `n` must be > 0.
+    #[inline]
+    pub fn next_range(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fisher–Yates sample of `k` distinct values from `0..n`
+    /// (hash-based partial shuffle: O(k) memory).
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<u32> {
+        assert!(k <= n, "cannot sample {k} distinct from {n}");
+        let mut swapped: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(k);
+        for i in 0..k {
+            let j = i + self.next_range(n - i);
+            let vi = *swapped.get(&i).unwrap_or(&i);
+            let vj = *swapped.get(&j).unwrap_or(&j);
+            out.push(vj as u32);
+            swapped.insert(j, vi);
+        }
+        out
+    }
+}
+
+/// Number of SIMD lanes the batched generator advances together. Matches
+/// the paper's `p_intra = 8` (AVX2: eight 32-bit operations per
+/// instruction).
+pub const LANES: usize = 8;
+
+/// `LANES` xorshift128+ streams in structure-of-arrays form.
+#[derive(Clone, Debug)]
+pub struct LaneRng {
+    s0: [u64; LANES],
+    s1: [u64; LANES],
+}
+
+impl LaneRng {
+    /// Seed all lanes from one `u64` (each lane gets an independent
+    /// SplitMix64-derived state).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s0 = [0u64; LANES];
+        let mut s1 = [0u64; LANES];
+        for l in 0..LANES {
+            s0[l] = splitmix64(&mut sm) | 1;
+            s1[l] = splitmix64(&mut sm);
+        }
+        LaneRng { s0, s1 }
+    }
+
+    /// Advance every lane once; returns the batch of raw values.
+    /// Branch-free fixed-width loop — auto-vectorises.
+    #[inline]
+    pub fn next_batch(&mut self) -> [u64; LANES] {
+        let mut out = [0u64; LANES];
+        for l in 0..LANES {
+            let mut x = self.s0[l];
+            let y = self.s1[l];
+            self.s0[l] = y;
+            x ^= x << 23;
+            self.s1[l] = x ^ y ^ (x >> 17) ^ (y >> 26);
+            out[l] = self.s1[l].wrapping_add(y);
+        }
+        out
+    }
+
+    /// Batch of uniform indices in `[0, n)`.
+    #[inline]
+    pub fn next_batch_range(&mut self, n: usize) -> [usize; LANES] {
+        let raw = self.next_batch();
+        let mut out = [0usize; LANES];
+        for l in 0..LANES {
+            out[l] = ((raw[l] as u128 * n as u128) >> 64) as usize;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_deterministic() {
+        let mut a = Xorshift128Plus::new(1);
+        let mut b = Xorshift128Plus::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xorshift128Plus::new(2);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_bounds_and_coverage() {
+        let mut rng = Xorshift128Plus::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = rng.next_range(10);
+            assert!(x < 10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of [0,10) should appear");
+    }
+
+    #[test]
+    fn range_uniformity_rough() {
+        let mut rng = Xorshift128Plus::new(4);
+        let n = 16;
+        let trials = 160_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..trials {
+            counts[rng.next_range(n)] += 1;
+        }
+        let expect = trials / n;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect as f64).abs() < expect as f64 * 0.1,
+                "bucket {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Xorshift128Plus::new(5);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_no_duplicates() {
+        let mut rng = Xorshift128Plus::new(6);
+        for k in [0, 1, 5, 50, 100] {
+            let s = rng.sample_distinct(100, k);
+            assert_eq!(s.len(), k);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicates in sample of {k}");
+            assert!(s.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_population() {
+        let mut rng = Xorshift128Plus::new(7);
+        let mut s = rng.sample_distinct(10, 10);
+        s.sort_unstable();
+        assert_eq!(s, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn lanes_independent_and_deterministic() {
+        let mut a = LaneRng::new(9);
+        let mut b = LaneRng::new(9);
+        let (ba, bb) = (a.next_batch(), b.next_batch());
+        assert_eq!(ba, bb);
+        // Lanes differ from each other.
+        assert!(ba.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn lane_range_bounds() {
+        let mut rng = LaneRng::new(11);
+        for _ in 0..100 {
+            for idx in rng.next_batch_range(37) {
+                assert!(idx < 37);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_uniformity_rough() {
+        let mut rng = LaneRng::new(13);
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        for _ in 0..20_000 {
+            for idx in rng.next_batch_range(n) {
+                counts[idx] += 1;
+            }
+        }
+        let expect = 20_000 * LANES / n;
+        for &c in &counts {
+            assert!((c as f64 - expect as f64).abs() < expect as f64 * 0.1);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Generalised weighted frontier sampling — the paper's future-work item
+//! ("extend the parallel sampler implementation to support a wider class
+//! of sampling algorithms").
+//!
+//! The Dashboard reduces *any* integer-weighted frontier distribution to
+//! uniform slot probing: a vertex holding `w(v)` slots is popped with
+//! probability `w(v)/Σw`. The classic frontier sampler uses
+//! `w(v) = deg(v)`; this module generalises to `w(v) = clamp(round(
+//! deg(v)^α), 1, cap)`:
+//!
+//! * `α = 1`  — the paper's degree-proportional sampler;
+//! * `α = 0`  — uniform frontier popping (maximum hub suppression);
+//! * `α ∈ (0,1)` — sub-linear degree bias, a smooth version of the
+//!   paper's hard degree cap for skewed graphs;
+//! * `α > 1` — super-linear bias (hub-seeking; useful for core-periphery
+//!   exploration studies).
+
+use crate::dashboard::{Dashboard, ProbeMode, SamplerStats};
+use crate::rng::{LaneRng, Xorshift128Plus};
+use crate::GraphSampler;
+use gsgcn_graph::{BitSet, CsrGraph};
+
+/// Frontier sampler with `deg^α` pop weights on the Dashboard.
+#[derive(Clone, Debug)]
+pub struct WeightedFrontierSampler {
+    /// Frontier size `m`.
+    pub frontier_size: usize,
+    /// Vertex budget `n`.
+    pub budget: usize,
+    /// Degree exponent `α ≥ 0`.
+    pub alpha: f64,
+    /// Enlargement factor `η > 1`.
+    pub eta: f64,
+    /// Slot cap per vertex.
+    pub weight_cap: u32,
+    /// Probe vectorisation.
+    pub probe_mode: ProbeMode,
+}
+
+impl Default for WeightedFrontierSampler {
+    fn default() -> Self {
+        WeightedFrontierSampler {
+            frontier_size: 1000,
+            budget: 8000,
+            alpha: 1.0,
+            eta: 2.0,
+            weight_cap: 10_000,
+            probe_mode: ProbeMode::Lanes,
+        }
+    }
+}
+
+impl WeightedFrontierSampler {
+    /// Pop weight of a vertex with degree `deg`.
+    #[inline]
+    pub fn weight(&self, deg: usize) -> u32 {
+        if deg == 0 {
+            return 0;
+        }
+        let w = (deg as f64).powf(self.alpha).round();
+        (w as u32).clamp(1, self.weight_cap)
+    }
+
+    /// Run the sampler, returning the vertex set and stats.
+    pub fn sample_with_stats(&self, g: &CsrGraph, seed: u64) -> (Vec<u32>, SamplerStats) {
+        assert!(self.frontier_size >= 1, "frontier_size must be ≥ 1");
+        assert!(self.alpha >= 0.0, "alpha must be non-negative");
+        assert!(self.eta > 1.0, "eta must exceed 1");
+        let n_total = g.num_vertices();
+        assert!(n_total > 0, "cannot sample an empty graph");
+        let m = self.frontier_size.min(n_total);
+        let budget = self.budget.min(n_total).max(m);
+
+        let w_eff = {
+            let total: f64 = (0..n_total as u32)
+                .map(|v| self.weight(g.degree(v)).max(1) as f64)
+                .sum();
+            total / n_total as f64
+        };
+
+        let mut scalar_rng = Xorshift128Plus::new(seed);
+        let mut lane_rng = LaneRng::new(seed ^ 0x57ED_57ED);
+        let mut db = Dashboard::new(m, w_eff, self.eta, self.weight_cap);
+
+        let frontier0 = scalar_rng.sample_distinct(n_total, m);
+        let mut in_vsub = BitSet::new(n_total);
+        let mut vsub = Vec::with_capacity(budget);
+        for &v in &frontier0 {
+            if in_vsub.insert(v as usize) {
+                vsub.push(v);
+            }
+            if g.degree(v) > 0 {
+                db.add_to_frontier(v, self.weight(g.degree(v)) as usize);
+            }
+        }
+
+        let mut pops_left = budget.saturating_sub(m);
+        while pops_left > 0 && vsub.len() < budget {
+            if db.live_slots() == 0 {
+                let fresh = scalar_rng.sample_distinct(n_total, m.min(n_total));
+                let mut any = false;
+                for &v in &fresh {
+                    if g.degree(v) > 0 {
+                        db.add_to_frontier(v, self.weight(g.degree(v)) as usize);
+                        any = true;
+                    }
+                }
+                if !any {
+                    break;
+                }
+            }
+            let vpop = db.pop_frontier(&mut scalar_rng, &mut lane_rng, self.probe_mode);
+            let deg = g.degree(vpop);
+            debug_assert!(deg > 0);
+            let mut vnew = g.neighbor(vpop, scalar_rng.next_range(deg));
+            if g.degree(vnew) == 0 {
+                // Isolated replacement: redraw uniformly (same policy as
+                // the degree-proportional sampler).
+                for _ in 0..64 {
+                    vnew = scalar_rng.next_range(n_total) as u32;
+                    if g.degree(vnew) > 0 {
+                        break;
+                    }
+                }
+            }
+            db.add_to_frontier(vnew, self.weight(g.degree(vnew)) as usize);
+            if in_vsub.insert(vpop as usize) {
+                vsub.push(vpop);
+            }
+            pops_left -= 1;
+        }
+        (vsub, db.stats.clone())
+    }
+}
+
+impl GraphSampler for WeightedFrontierSampler {
+    fn sample_vertices(&self, g: &CsrGraph, seed: u64) -> Vec<u32> {
+        self.sample_with_stats(g, seed).0
+    }
+
+    fn name(&self) -> &'static str {
+        "frontier-weighted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsgcn_graph::GraphBuilder;
+
+    fn hub_graph() -> CsrGraph {
+        // Hub 0 connected to 1..=20; ring over 1..=20.
+        let mut edges: Vec<(u32, u32)> = (1..=20u32).map(|i| (0, i)).collect();
+        edges.extend((1..=20u32).map(|i| (i, if i == 20 { 1 } else { i + 1 })));
+        GraphBuilder::new(21).add_edges(edges).build()
+    }
+
+    fn sampler(alpha: f64) -> WeightedFrontierSampler {
+        WeightedFrontierSampler {
+            frontier_size: 5,
+            budget: 12,
+            alpha,
+            ..WeightedFrontierSampler::default()
+        }
+    }
+
+    #[test]
+    fn weight_function_shapes() {
+        let s = sampler(1.0);
+        assert_eq!(s.weight(0), 0);
+        assert_eq!(s.weight(7), 7);
+        let s = sampler(0.0);
+        assert_eq!(s.weight(100), 1);
+        let s = sampler(0.5);
+        assert_eq!(s.weight(16), 4);
+        let mut s = sampler(1.0);
+        s.weight_cap = 5;
+        assert_eq!(s.weight(100), 5);
+    }
+
+    #[test]
+    fn alpha_one_matches_degree_proportional_contract() {
+        let g = hub_graph();
+        let s = sampler(1.0);
+        let (vs, stats) = s.sample_with_stats(&g, 3);
+        assert!(vs.len() <= 12 && vs.len() >= 5);
+        assert!(stats.pops > 0);
+        let mut sorted = vs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), vs.len());
+    }
+
+    #[test]
+    fn alpha_zero_suppresses_hub_pops() {
+        // With α = 0 every frontier vertex has one slot, so the hub is
+        // popped no more often than anyone else. Compare hub pop
+        // frequency across α over many seeds.
+        let g = hub_graph();
+        let hub_rate = |alpha: f64| -> f64 {
+            let s = WeightedFrontierSampler {
+                frontier_size: 21,
+                budget: 22, // exactly one pop after the full-graph frontier
+                alpha,
+                ..WeightedFrontierSampler::default()
+            };
+            let mut hits = 0;
+            let trials = 800;
+            for seed in 0..trials {
+                let (_, _) = s.sample_with_stats(&g, seed);
+                // Re-run pop decision deterministically: the 22nd vertex
+                // added to vsub is the popped one... instead, measure via
+                // direct pops below.
+                let mut db = Dashboard::new(21, 1.0, 2.0, s.weight_cap);
+                for v in 0..21u32 {
+                    db.add_to_frontier(v, s.weight(g.degree(v)) as usize);
+                }
+                let mut srng = Xorshift128Plus::new(seed);
+                let mut lrng = LaneRng::new(seed + 1);
+                if db.pop_frontier(&mut srng, &mut lrng, ProbeMode::Lanes) == 0 {
+                    hits += 1;
+                }
+            }
+            hits as f64 / trials as f64
+        };
+        let biased = hub_rate(1.0); // hub deg 20 vs others 3 → ≈ 20/80
+        let flat = hub_rate(0.0); // ≈ 1/21
+        assert!(
+            biased > flat * 2.0,
+            "α=1 hub rate {biased:.3} should far exceed α=0 rate {flat:.3}"
+        );
+        assert!((flat - 1.0 / 21.0).abs() < 0.05, "α=0 rate {flat:.3}");
+    }
+
+    #[test]
+    fn deterministic_and_respects_budget() {
+        let g = hub_graph();
+        for alpha in [0.0, 0.5, 1.0, 2.0] {
+            let s = sampler(alpha);
+            let a = s.sample_vertices(&g, 9);
+            let b = s.sample_vertices(&g, 9);
+            assert_eq!(a, b, "α={alpha} not deterministic");
+            assert!(a.len() <= 12);
+            assert!(a.iter().all(|&v| v < 21));
+        }
+    }
+
+    #[test]
+    fn sublinear_alpha_flattens_hub_inclusion() {
+        // On a skewed graph, subgraph overlap between draws should drop
+        // as α decreases (fewer repeated hub visits).
+        let g = hub_graph();
+        let overlap = |alpha: f64| -> f64 {
+            let s = sampler(alpha);
+            let a: std::collections::HashSet<u32> =
+                s.sample_vertices(&g, 1).into_iter().collect();
+            let b: std::collections::HashSet<u32> =
+                s.sample_vertices(&g, 2).into_iter().collect();
+            a.intersection(&b).count() as f64 / a.len().max(1) as f64
+        };
+        // Not a strict inequality at this tiny size — just require both
+        // configurations to run and produce sane overlap values.
+        for alpha in [0.0, 0.5, 1.0] {
+            let o = overlap(alpha);
+            assert!((0.0..=1.0).contains(&o), "α={alpha}: overlap {o}");
+        }
+    }
+}

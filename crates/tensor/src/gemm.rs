@@ -1,0 +1,313 @@
+//! Parallel cache-blocked GEMM — the workspace's `cblas_dgemm` replacement.
+//!
+//! Three layout-specialised kernels cover every multiply in GCN training:
+//!
+//! * [`matmul`] (`C = A·B`) — forward weight application `H·W`;
+//! * [`matmul_tn`] (`C = Aᵀ·B`) — weight gradients `Hᵀ·dY`;
+//! * [`matmul_nt`] (`C = A·Bᵀ`) — input gradients `dY·Wᵀ`.
+//!
+//! Each kernel parallelises over row blocks of `C` with rayon (so the
+//! caller's thread-pool `install` controls the core count) and blocks the
+//! reduction dimension to keep the active panel of `B` in cache. The inner
+//! loops are written so LLVM auto-vectorises them (contiguous `mul_add`
+//! over rows).
+
+use crate::matrix::DMatrix;
+use rayon::prelude::*;
+
+/// Reduction-dimension block size (panel of B kept hot in L1/L2).
+const KC: usize = 256;
+/// Minimum per-thread work (in f32 mul-adds) before splitting rows.
+const PAR_GRAIN: usize = 1 << 14;
+
+/// `C = A·B`.
+///
+/// # Panics
+/// Panics if `A.cols() != B.rows()`.
+pub fn matmul(a: &DMatrix, b: &DMatrix) -> DMatrix {
+    let mut c = DMatrix::zeros(a.rows(), b.cols());
+    gemm_nn(1.0, a, b, 0.0, &mut c);
+    c
+}
+
+/// `C = Aᵀ·B` (A is `k × m`, B is `k × n`, C is `m × n`).
+pub fn matmul_tn(a: &DMatrix, b: &DMatrix) -> DMatrix {
+    let mut c = DMatrix::zeros(a.cols(), b.cols());
+    gemm_tn(1.0, a, b, 0.0, &mut c);
+    c
+}
+
+/// `C = A·Bᵀ` (A is `m × k`, B is `n × k`, C is `m × n`).
+pub fn matmul_nt(a: &DMatrix, b: &DMatrix) -> DMatrix {
+    let mut c = DMatrix::zeros(a.rows(), b.rows());
+    gemm_nt(1.0, a, b, 0.0, &mut c);
+    c
+}
+
+/// `C = α·A·B + β·C`.
+pub fn gemm_nn(alpha: f32, a: &DMatrix, b: &DMatrix, beta: f32, c: &mut DMatrix) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "inner dimensions must match: A is {m}x{k}, B is {kb}x{n}");
+    assert_eq!(c.shape(), (m, n), "C shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    scale_inplace(c, beta);
+    if k == 0 {
+        return;
+    }
+
+    let a_data = a.data();
+    let b_data = b.data();
+    let rows_per_task = rows_per_task(m, n, k);
+    c.data_mut()
+        .par_chunks_mut(rows_per_task * n)
+        .enumerate()
+        .for_each(|(t, c_block)| {
+            let i0 = t * rows_per_task;
+            let rows_here = c_block.len() / n;
+            // k-blocked "ikj": for each k-panel, rank-1 style updates with a
+            // contiguous inner loop over the C row and B row.
+            let mut k0 = 0;
+            while k0 < k {
+                let k1 = (k0 + KC).min(k);
+                for li in 0..rows_here {
+                    let a_row = &a_data[(i0 + li) * k..(i0 + li + 1) * k];
+                    let c_row = &mut c_block[li * n..(li + 1) * n];
+                    for kk in k0..k1 {
+                        let aik = alpha * a_row[kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b_data[kk * n..(kk + 1) * n];
+                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                            *cv = bv.mul_add(aik, *cv);
+                        }
+                    }
+                }
+                k0 = k1;
+            }
+        });
+}
+
+/// `C = α·Aᵀ·B + β·C` where A is `k × m` (so `Aᵀ` is `m × k`), B is `k × n`.
+pub fn gemm_tn(alpha: f32, a: &DMatrix, b: &DMatrix, beta: f32, c: &mut DMatrix) {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "inner dimensions must match: Aᵀ is {m}x{k}, B is {kb}x{n}");
+    assert_eq!(c.shape(), (m, n), "C shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    scale_inplace(c, beta);
+    if k == 0 {
+        return;
+    }
+
+    let a_data = a.data();
+    let b_data = b.data();
+    let rows_per_task = rows_per_task(m, n, k);
+    c.data_mut()
+        .par_chunks_mut(rows_per_task * n)
+        .enumerate()
+        .for_each(|(t, c_block)| {
+            let i0 = t * rows_per_task;
+            let rows_here = c_block.len() / n;
+            let mut k0 = 0;
+            while k0 < k {
+                let k1 = (k0 + KC).min(k);
+                for li in 0..rows_here {
+                    let i = i0 + li; // column index into A
+                    let c_row = &mut c_block[li * n..(li + 1) * n];
+                    for kk in k0..k1 {
+                        let aik = alpha * a_data[kk * m + i];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b_data[kk * n..(kk + 1) * n];
+                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                            *cv = bv.mul_add(aik, *cv);
+                        }
+                    }
+                }
+                k0 = k1;
+            }
+        });
+}
+
+/// `C = α·A·Bᵀ + β·C` where A is `m × k`, B is `n × k`.
+pub fn gemm_nt(alpha: f32, a: &DMatrix, b: &DMatrix, beta: f32, c: &mut DMatrix) {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(k, kb, "inner dimensions must match: A is {m}x{k}, Bᵀ is {kb}x{n}");
+    assert_eq!(c.shape(), (m, n), "C shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    scale_inplace(c, beta);
+    if k == 0 {
+        return;
+    }
+
+    let a_data = a.data();
+    let b_data = b.data();
+    let rows_per_task = rows_per_task(m, n, k);
+    c.data_mut()
+        .par_chunks_mut(rows_per_task * n)
+        .enumerate()
+        .for_each(|(t, c_block)| {
+            let i0 = t * rows_per_task;
+            let rows_here = c_block.len() / n;
+            for li in 0..rows_here {
+                let a_row = &a_data[(i0 + li) * k..(i0 + li + 1) * k];
+                let c_row = &mut c_block[li * n..(li + 1) * n];
+                for (j, cv) in c_row.iter_mut().enumerate() {
+                    // Dot product of two contiguous rows — vectorises.
+                    let b_row = &b_data[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in a_row.iter().zip(b_row) {
+                        acc = av.mul_add(bv, acc);
+                    }
+                    *cv += alpha * acc;
+                }
+            }
+        });
+}
+
+/// Naive triple-loop reference, used by tests and benches as ground truth.
+pub fn matmul_reference(a: &DMatrix, b: &DMatrix) -> DMatrix {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb);
+    let mut c = DMatrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64; // f64 accumulation for a tighter reference
+            for l in 0..k {
+                acc += a.get(i, l) as f64 * b.get(l, j) as f64;
+            }
+            c.set(i, j, acc as f32);
+        }
+    }
+    c
+}
+
+fn scale_inplace(c: &mut DMatrix, beta: f32) {
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        c.data_mut().iter_mut().for_each(|x| *x *= beta);
+    }
+}
+
+/// Rows of C per rayon task, sized so each task has at least `PAR_GRAIN`
+/// mul-adds (avoids oversplitting tiny matrices).
+fn rows_per_task(m: usize, n: usize, k: usize) -> usize {
+    let work_per_row = n * k;
+    (PAR_GRAIN / work_per_row.max(1)).clamp(1, m.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(rows: usize, cols: usize, scale: f32) -> DMatrix {
+        // Bounded values keep f32 accumulation error well below tolerances.
+        DMatrix::from_fn(rows, cols, |i, j| {
+            (((i * cols + j) % 17) as f32 * 0.05 - 0.4) * scale
+        })
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 9, 33), (64, 128, 32)] {
+            let a = seq(m, k, 1.0);
+            let b = seq(k, n, 2.0);
+            let c = matmul(&a, &b);
+            let r = matmul_reference(&a, &b);
+            assert!(c.max_abs_diff(&r) < 1e-3, "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn tn_matches_transpose_then_multiply() {
+        let a = seq(7, 5, 1.0); // k=7, m=5
+        let b = seq(7, 6, 1.5);
+        let c = matmul_tn(&a, &b);
+        let r = matmul_reference(&a.transpose(), &b);
+        assert!(c.max_abs_diff(&r) < 1e-4);
+    }
+
+    #[test]
+    fn nt_matches_transpose_then_multiply() {
+        let a = seq(5, 7, 1.0);
+        let b = seq(6, 7, 1.5); // Bᵀ is 7x6
+        let c = matmul_nt(&a, &b);
+        let r = matmul_reference(&a, &b.transpose());
+        assert!(c.max_abs_diff(&r) < 1e-4);
+    }
+
+    #[test]
+    fn alpha_beta_accumulation() {
+        let a = seq(3, 3, 1.0);
+        let b = DMatrix::eye(3);
+        let mut c = DMatrix::filled(3, 3, 1.0);
+        gemm_nn(2.0, &a, &b, 0.5, &mut c);
+        // c = 2a + 0.5
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((c.get(i, j) - (2.0 * a.get(i, j) + 0.5)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        // beta = 0 must overwrite even NaN garbage in C (BLAS semantics).
+        let a = DMatrix::eye(2);
+        let b = DMatrix::eye(2);
+        let mut c = DMatrix::filled(2, 2, f32::NAN);
+        gemm_nn(1.0, &a, &b, 0.0, &mut c);
+        assert!(c.all_finite());
+        assert_eq!(c, DMatrix::eye(2));
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = seq(4, 4, 3.0);
+        let c = matmul(&a, &DMatrix::eye(4));
+        assert!(c.max_abs_diff(&a) < 1e-6);
+        let c = matmul(&DMatrix::eye(4), &a);
+        assert!(c.max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn empty_dimensions() {
+        let a = DMatrix::zeros(0, 3);
+        let b = DMatrix::zeros(3, 2);
+        assert_eq!(matmul(&a, &b).shape(), (0, 2));
+        let a = DMatrix::zeros(2, 0);
+        let b = DMatrix::zeros(0, 2);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c, DMatrix::zeros(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dim_mismatch_panics() {
+        matmul(&DMatrix::zeros(2, 3), &DMatrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn large_parallel_consistency() {
+        // A k-blocked parallel result must match the reference on a size
+        // that spans multiple k-panels and rayon tasks.
+        let a = seq(100, 300, 0.7);
+        let b = seq(300, 50, 1.3);
+        let c = matmul(&a, &b);
+        let r = matmul_reference(&a, &b);
+        assert!(c.max_abs_diff(&r) < 5e-3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Weight initialisation.
+//!
+//! GCN weight matrices use Glorot/Xavier uniform initialisation (the
+//! default in the paper's Tensorflow reference implementations); all
+//! initialisers take an explicit seed so training runs are reproducible.
+
+use crate::matrix::DMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Xavier/Glorot uniform: `U(-√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> DMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let limit = (6.0 / (rows + cols) as f32).sqrt();
+    DMatrix::from_fn(rows, cols, |_, _| rng.random_range(-limit..limit))
+}
+
+/// Uniform in `[lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, seed: u64) -> DMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DMatrix::from_fn(rows, cols, |_, _| rng.random_range(lo..hi))
+}
+
+/// Standard Gaussian scaled by `std`.
+pub fn gaussian(rows: usize, cols: usize, std: f32, seed: u64) -> DMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DMatrix::from_fn(rows, cols, |_, _| {
+        // Box–Muller from two uniforms; avoids a rand_distr dependency.
+        let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.random_range(0.0..1.0);
+        std * (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_limit_and_seeded() {
+        let a = xavier_uniform(20, 30, 42);
+        let b = xavier_uniform(20, 30, 42);
+        let c = xavier_uniform(20, 30, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let limit = (6.0f32 / 50.0).sqrt();
+        assert!(a.data().iter().all(|&x| x.abs() <= limit));
+        // Not degenerate.
+        assert!(a.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn uniform_range() {
+        let m = uniform(10, 10, -2.0, 3.0, 1);
+        assert!(m.data().iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let m = gaussian(100, 100, 2.0, 7);
+        let mean = m.data().iter().sum::<f32>() / 10_000.0;
+        let var = m.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.4, "var {var}");
+        assert!(m.all_finite());
+    }
+}

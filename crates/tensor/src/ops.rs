@@ -1,0 +1,292 @@
+//! Elementwise and structural kernels used by GCN training.
+//!
+//! All in-place kernels parallelise over rows on the current rayon pool;
+//! callers that need single-threaded execution install a 1-thread pool.
+
+use crate::matrix::DMatrix;
+use rayon::prelude::*;
+
+/// In-place ReLU: `x = max(x, 0)`.
+pub fn relu_inplace(m: &mut DMatrix) {
+    m.data_mut().par_iter_mut().for_each(|x| {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    });
+}
+
+/// ReLU backward: zero `grad` wherever the forward *output* was zero.
+/// (`act` is the post-ReLU activation, so `act > 0 ⇔ input > 0`.)
+pub fn relu_backward_inplace(grad: &mut DMatrix, act: &DMatrix) {
+    assert_eq!(grad.shape(), act.shape());
+    grad.data_mut()
+        .par_iter_mut()
+        .zip(act.data().par_iter())
+        .for_each(|(g, &a)| {
+            if a <= 0.0 {
+                *g = 0.0;
+            }
+        });
+}
+
+/// In-place logistic sigmoid.
+pub fn sigmoid_inplace(m: &mut DMatrix) {
+    m.data_mut().par_iter_mut().for_each(|x| {
+        *x = 1.0 / (1.0 + (-*x).exp());
+    });
+}
+
+/// Row-wise softmax (numerically stabilised by the row max).
+pub fn softmax_rows_inplace(m: &mut DMatrix) {
+    m.par_rows_mut().for_each(|row| {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        let inv = 1.0 / sum;
+        for x in row.iter_mut() {
+            *x *= inv;
+        }
+    });
+}
+
+/// `a += b` elementwise.
+pub fn add_assign(a: &mut DMatrix, b: &DMatrix) {
+    assert_eq!(a.shape(), b.shape());
+    a.data_mut()
+        .par_iter_mut()
+        .zip(b.data().par_iter())
+        .for_each(|(x, &y)| *x += y);
+}
+
+/// `a += alpha * b` (axpy).
+pub fn axpy(a: &mut DMatrix, alpha: f32, b: &DMatrix) {
+    assert_eq!(a.shape(), b.shape());
+    a.data_mut()
+        .par_iter_mut()
+        .zip(b.data().par_iter())
+        .for_each(|(x, &y)| *x = y.mul_add(alpha, *x));
+}
+
+/// `a *= alpha`.
+pub fn scale(a: &mut DMatrix, alpha: f32) {
+    a.data_mut().par_iter_mut().for_each(|x| *x *= alpha);
+}
+
+/// Column-wise concatenation `[left | right]` — the neighbor‖self concat
+/// of Alg. 1 line 9.
+pub fn concat_cols(left: &DMatrix, right: &DMatrix) -> DMatrix {
+    assert_eq!(left.rows(), right.rows(), "row counts must match");
+    let (n, fl, fr) = (left.rows(), left.cols(), right.cols());
+    let mut out = DMatrix::zeros(n, fl + fr);
+    out.par_rows_mut().enumerate().for_each(|(i, row)| {
+        row[..fl].copy_from_slice(left.row(i));
+        row[fl..].copy_from_slice(right.row(i));
+    });
+    out
+}
+
+/// Split a concatenated matrix back into `(left, right)` with `fl` /
+/// remaining columns — the backward of [`concat_cols`].
+pub fn split_cols(m: &DMatrix, fl: usize) -> (DMatrix, DMatrix) {
+    assert!(fl <= m.cols());
+    let (n, fr) = (m.rows(), m.cols() - fl);
+    let mut left = DMatrix::zeros(n, fl);
+    let mut right = DMatrix::zeros(n, fr);
+    if fl == 0 || fr == 0 {
+        // One side is zero-width: the other is a plain copy.
+        if fl > 0 {
+            left.data_mut().copy_from_slice(m.data());
+        }
+        if fr > 0 {
+            right.data_mut().copy_from_slice(m.data());
+        }
+        return (left, right);
+    }
+    left.data_mut()
+        .par_chunks_exact_mut(fl)
+        .zip(right.data_mut().par_chunks_exact_mut(fr))
+        .enumerate()
+        .for_each(|(i, (l, r))| {
+            let row = m.row(i);
+            l.copy_from_slice(&row[..fl]);
+            r.copy_from_slice(&row[fl..]);
+        });
+    (left, right)
+}
+
+/// Inverted-dropout forward: zero each element with probability `p` and
+/// scale survivors by `1/(1-p)`. The mask is returned for the backward
+/// pass. `rng_stream` seeds a counter-based generator so the mask is
+/// deterministic per call site.
+pub fn dropout_inplace(m: &mut DMatrix, p: f32, rng_stream: u64) -> Vec<bool> {
+    assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+    if p == 0.0 {
+        return vec![true; m.data().len()];
+    }
+    let scale = 1.0 / (1.0 - p);
+    let threshold = (p as f64 * (u32::MAX as f64 + 1.0)) as u64;
+    let mut mask = vec![false; m.data().len()];
+    m.data_mut()
+        .par_iter_mut()
+        .zip(mask.par_iter_mut())
+        .enumerate()
+        .for_each(|(i, (x, keep))| {
+            // SplitMix64 on (stream, index): deterministic, parallel-safe.
+            let mut z = rng_stream
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            if (z & 0xFFFF_FFFF) < threshold {
+                *x = 0.0;
+            } else {
+                *x *= scale;
+                *keep = true;
+            }
+        });
+    mask
+}
+
+/// Dropout backward: apply the saved mask and survivor scaling to `grad`.
+pub fn dropout_backward_inplace(grad: &mut DMatrix, mask: &[bool], p: f32) {
+    assert_eq!(grad.data().len(), mask.len());
+    let scale = 1.0 / (1.0 - p);
+    grad.data_mut()
+        .par_iter_mut()
+        .zip(mask.par_iter())
+        .for_each(|(g, &keep)| {
+            if keep {
+                *g *= scale;
+            } else {
+                *g = 0.0;
+            }
+        });
+}
+
+/// Mean of every element (used in loss reductions).
+pub fn mean(m: &DMatrix) -> f32 {
+    if m.data().is_empty() {
+        return 0.0;
+    }
+    m.data().iter().map(|&x| x as f64).sum::<f64>() as f32 / m.data().len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_and_backward() {
+        let mut m = DMatrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        relu_inplace(&mut m);
+        assert_eq!(m.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let mut g = DMatrix::filled(1, 4, 1.0);
+        relu_backward_inplace(&mut g, &m);
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_values() {
+        let mut m = DMatrix::from_vec(1, 3, vec![0.0, 100.0, -100.0]);
+        sigmoid_inplace(&mut m);
+        assert!((m.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((m.get(0, 1) - 1.0).abs() < 1e-6);
+        assert!(m.get(0, 2) < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = DMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0]);
+        softmax_rows_inplace(&mut m);
+        for i in 0..2 {
+            let s: f32 = m.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {i} sums to {s}");
+        }
+        // Large inputs must not overflow (stabilised by max subtraction).
+        assert!(m.all_finite());
+        assert!((m.get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn add_axpy_scale() {
+        let mut a = DMatrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = DMatrix::from_vec(1, 2, vec![10.0, 20.0]);
+        add_assign(&mut a, &b);
+        assert_eq!(a.data(), &[11.0, 22.0]);
+        axpy(&mut a, 0.5, &b);
+        assert_eq!(a.data(), &[16.0, 32.0]);
+        scale(&mut a, 2.0);
+        assert_eq!(a.data(), &[32.0, 64.0]);
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        let l = DMatrix::from_fn(3, 2, |i, j| (i * 2 + j) as f32);
+        let r = DMatrix::from_fn(3, 4, |i, j| 100.0 + (i * 4 + j) as f32);
+        let cat = concat_cols(&l, &r);
+        assert_eq!(cat.shape(), (3, 6));
+        assert_eq!(cat.get(1, 1), 3.0);
+        assert_eq!(cat.get(1, 2), 104.0);
+        let (l2, r2) = split_cols(&cat, 2);
+        assert_eq!(l2, l);
+        assert_eq!(r2, r);
+    }
+
+    #[test]
+    fn split_degenerate_widths() {
+        let m = DMatrix::from_fn(2, 3, |i, j| (i + j) as f32);
+        let (l, r) = split_cols(&m, 0);
+        assert_eq!(l.shape(), (2, 0));
+        assert_eq!(r, m);
+        let (l, r) = split_cols(&m, 3);
+        assert_eq!(l, m);
+        assert_eq!(r.shape(), (2, 0));
+    }
+
+    #[test]
+    fn dropout_deterministic_and_scaled() {
+        let mut a = DMatrix::filled(10, 10, 1.0);
+        let mut b = DMatrix::filled(10, 10, 1.0);
+        let ma = dropout_inplace(&mut a, 0.5, 7);
+        let mb = dropout_inplace(&mut b, 0.5, 7);
+        assert_eq!(ma, mb);
+        assert_eq!(a, b);
+        // Survivors scaled by 2.0.
+        for (&x, &keep) in a.data().iter().zip(&ma) {
+            assert_eq!(x, if keep { 2.0 } else { 0.0 });
+        }
+        // Roughly half survive.
+        let kept = ma.iter().filter(|&&k| k).count();
+        assert!((30..=70).contains(&kept), "kept {kept}/100");
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        let mut a = DMatrix::filled(2, 2, 3.0);
+        let mask = dropout_inplace(&mut a, 0.0, 1);
+        assert!(mask.iter().all(|&k| k));
+        assert_eq!(a, DMatrix::filled(2, 2, 3.0));
+    }
+
+    #[test]
+    fn dropout_backward_applies_mask() {
+        let mut fwd = DMatrix::filled(1, 4, 1.0);
+        let mask = dropout_inplace(&mut fwd, 0.25, 3);
+        let mut g = DMatrix::filled(1, 4, 1.0);
+        dropout_backward_inplace(&mut g, &mask, 0.25);
+        for (gv, &keep) in g.data().iter().zip(&mask) {
+            assert_eq!(*gv, if keep { 1.0 / 0.75 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn mean_value() {
+        let m = DMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((mean(&m) - 2.5).abs() < 1e-6);
+        assert_eq!(mean(&DMatrix::zeros(0, 0)), 0.0);
+    }
+}

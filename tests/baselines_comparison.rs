@@ -1,0 +1,149 @@
+//! Cross-crate comparison tests: the proposed trainer against the three
+//! baselines on identical data — the qualitative claims of Fig. 2 and
+//! Table II, asserted at small scale.
+
+use gsgcn::baselines::fastgcn::{FastGcnConfig, FastGcnTrainer};
+use gsgcn::baselines::fullbatch::{FullBatchConfig, FullBatchTrainer};
+use gsgcn::baselines::sage::{SageConfig, SageTrainer};
+use gsgcn::core::{GsGcnTrainer, TrainerConfig};
+use gsgcn::data::presets;
+use gsgcn::nn::adam::AdamHyper;
+
+fn dataset() -> gsgcn::data::Dataset {
+    presets::scale_spec(&presets::ppi_spec(), 700).generate(21)
+}
+
+#[test]
+fn all_four_systems_learn_the_same_task() {
+    let d = dataset();
+    let adam = AdamHyper {
+        lr: 2e-2,
+        ..AdamHyper::default()
+    };
+
+    let mut cfg = TrainerConfig::quick_test();
+    cfg.epochs = 40;
+    cfg.sampler.budget = 150;
+    cfg.sampler.frontier_size = 30;
+    cfg.adam = adam;
+    let mut ours = GsGcnTrainer::new(&d, cfg).unwrap();
+    let ours_f1 = ours.train().unwrap().final_val_f1;
+
+    let mut sage = SageTrainer::new(
+        &d,
+        SageConfig {
+            fanout: 5,
+            batch_size: 64,
+            hidden_dims: vec![64, 64],
+            adam,
+            seed: 1,
+        },
+    )
+    .unwrap();
+    for _ in 0..25 {
+        sage.train_epoch();
+    }
+    let sage_f1 = sage.evaluate_val();
+
+    let mut fb = FullBatchTrainer::new(
+        &d,
+        FullBatchConfig {
+            hidden_dims: vec![64, 64],
+            adam,
+            seed: 1,
+        },
+    )
+    .unwrap();
+    for _ in 0..120 {
+        fb.train_epoch();
+    }
+    let fb_f1 = fb.evaluate_val();
+
+    let mut fast = FastGcnTrainer::new(
+        &d,
+        FastGcnConfig {
+            layer_size: 200,
+            batch_size: 64,
+            hidden_dims: vec![64, 64],
+            adam,
+            seed: 1,
+        },
+    )
+    .unwrap();
+    for _ in 0..25 {
+        fast.train_epoch();
+    }
+    let fast_f1 = fast.evaluate_val();
+
+    // Every system must clear a learning floor...
+    for (name, f1) in [
+        ("proposed", ours_f1),
+        ("graphsage", sage_f1),
+        ("fullbatch", fb_f1),
+        ("fastgcn", fast_f1),
+    ] {
+        assert!(f1 > 0.2, "{name} failed to learn: F1 {f1:.4}");
+    }
+    // ...and the proposed model must be competitive with the best
+    // baseline (the Fig. 2 accuracy claim, with generous slack for the
+    // tiny test scale).
+    let best_baseline = sage_f1.max(fb_f1).max(fast_f1);
+    assert!(
+        ours_f1 > best_baseline - 0.12,
+        "proposed F1 {ours_f1:.4} far below best baseline {best_baseline:.4}"
+    );
+}
+
+#[test]
+fn neighbor_explosion_work_ratio() {
+    // The Sec. III-B complexity argument, measured: for equal batches the
+    // layer sampler touches ×d_LS more nodes per added layer.
+    let d = dataset();
+    let mut sizes_by_depth = Vec::new();
+    for layers in 1..=3 {
+        let mut sage = SageTrainer::new(
+            &d,
+            SageConfig {
+                fanout: 8,
+                batch_size: 64,
+                hidden_dims: vec![32; layers],
+                adam: AdamHyper::default(),
+                seed: 2,
+            },
+        )
+        .unwrap();
+        sage.train_batch(&(0..64u32).collect::<Vec<_>>());
+        sizes_by_depth.push(sage.last_layer_sizes()[0]);
+    }
+    assert!(
+        sizes_by_depth[1] as f64 > sizes_by_depth[0] as f64 * 1.5,
+        "2-layer input {} should far exceed 1-layer {}",
+        sizes_by_depth[1],
+        sizes_by_depth[0]
+    );
+    assert!(
+        sizes_by_depth[2] > sizes_by_depth[1],
+        "3-layer input should exceed 2-layer"
+    );
+}
+
+#[test]
+fn proposed_epoch_work_is_depth_linear() {
+    // Per-epoch iteration count is depth-independent, and each iteration
+    // touches exactly the subgraph — no explosion in the node counts.
+    let d = dataset();
+    for layers in 1..=3 {
+        let mut cfg = TrainerConfig::quick_test();
+        cfg.hidden_dims = vec![32; layers];
+        cfg.epochs = 1;
+        cfg.sampler.budget = 200;
+        cfg.sampler.frontier_size = 40;
+        let mut t = GsGcnTrainer::new(&d, cfg).unwrap();
+        let stats = t.train_epoch();
+        assert!(
+            stats.mean_subgraph_vertices <= 200.0,
+            "layer {layers}: subgraph grew beyond budget: {}",
+            stats.mean_subgraph_vertices
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Integration tests of the Sec. III-C sampler-quality requirements:
+//! sampled subgraphs must preserve connectivity characteristics, and
+//! every training vertex must have non-negligible inclusion probability.
+
+use gsgcn::data::presets;
+use gsgcn::graph::stats;
+use gsgcn::sampler::alt::UniformNodeSampler;
+use gsgcn::sampler::dashboard::{DashboardSampler, FrontierConfig};
+use gsgcn::sampler::GraphSampler;
+
+#[test]
+fn frontier_preserves_connectivity_better_than_uniform() {
+    let d = presets::ppi_scaled(31);
+    let tv = d.train_view();
+    let budget = 400;
+
+    let frontier = DashboardSampler::new(FrontierConfig {
+        frontier_size: 50,
+        budget,
+        ..FrontierConfig::default()
+    });
+    let uniform = UniformNodeSampler { budget };
+
+    // Frontier pops can repeat vertices, so |V_sub| differs between the
+    // samplers — compare internal connectivity per vertex (mean subgraph
+    // degree), the quantity Sec. III-C's requirement 1 is about.
+    let (mut frontier_deg, mut uniform_deg) = (0.0f64, 0.0f64);
+    for seed in 0..5 {
+        let fs = frontier.sample_subgraph(&tv.graph, seed);
+        frontier_deg += fs.graph.num_edges() as f64 / fs.num_vertices().max(1) as f64;
+        let us = uniform.sample_subgraph(&tv.graph, seed);
+        uniform_deg += us.graph.num_edges() as f64 / us.num_vertices().max(1) as f64;
+    }
+    assert!(
+        frontier_deg > uniform_deg,
+        "frontier subgraphs should be internally denser: {frontier_deg:.1} vs {uniform_deg:.1}"
+    );
+}
+
+#[test]
+fn frontier_degree_shape_no_worse_than_uniform() {
+    // Induced subgraphs always shift raw degrees down; the preservation
+    // claim is *relative*: the frontier sampler's degree shape should be
+    // at least as close to the original as a topology-blind sample's.
+    let d = presets::reddit_scaled(32);
+    let tv = d.train_view();
+    let frontier = DashboardSampler::new(FrontierConfig {
+        frontier_size: 100,
+        budget: 800,
+        ..FrontierConfig::default()
+    });
+    let uniform = UniformNodeSampler { budget: 800 };
+    let (mut f_dist, mut u_dist) = (0.0f64, 0.0f64);
+    for seed in 0..5 {
+        f_dist += stats::degree_distribution_distance(
+            &tv.graph,
+            &frontier.sample_subgraph(&tv.graph, seed).graph,
+        );
+        u_dist += stats::degree_distribution_distance(
+            &tv.graph,
+            &uniform.sample_subgraph(&tv.graph, seed).graph,
+        );
+    }
+    assert!(
+        f_dist <= u_dist + 0.25,
+        "frontier TV distance {f_dist:.3} should not be far above uniform's {u_dist:.3}"
+    );
+}
+
+#[test]
+fn every_vertex_eventually_sampled() {
+    // Requirement 2 of Sec. III-C: over enough sampling iterations, the
+    // initial uniform frontier covers all training vertices.
+    let d = presets::scale_spec(&presets::ppi_spec(), 400).generate(33);
+    let tv = d.train_view();
+    let n = tv.graph.num_vertices();
+    let sampler = DashboardSampler::new(FrontierConfig {
+        frontier_size: 40,
+        budget: 120,
+        ..FrontierConfig::default()
+    });
+    let mut seen = vec![false; n];
+    for seed in 0..200 {
+        for v in sampler.sample_vertices(&tv.graph, seed) {
+            seen[v as usize] = true;
+        }
+        if seen.iter().all(|&s| s) {
+            break;
+        }
+    }
+    let covered = seen.iter().filter(|&&s| s).count();
+    assert!(
+        covered as f64 >= n as f64 * 0.99,
+        "only {covered}/{n} vertices ever sampled"
+    );
+}
+
+#[test]
+fn degree_cap_reduces_hub_domination() {
+    // Sec. VI-C2: on skewed graphs the cap prevents all subgraphs from
+    // containing mostly the same (hub) vertices.
+    let d = presets::amazon_scaled(34);
+    let tv = d.train_view();
+    let capped = DashboardSampler::new(FrontierConfig {
+        frontier_size: 50,
+        budget: 300,
+        degree_cap: Some(30),
+        ..FrontierConfig::default()
+    });
+    let uncapped = DashboardSampler::new(FrontierConfig {
+        frontier_size: 50,
+        budget: 300,
+        degree_cap: None,
+        ..FrontierConfig::default()
+    });
+    // Jaccard overlap between two subsequent subgraphs' vertex sets.
+    let overlap = |s: &DashboardSampler| -> f64 {
+        let a = s.sample_vertices(&tv.graph, 1);
+        let b = s.sample_vertices(&tv.graph, 2);
+        let sa: std::collections::HashSet<u32> = a.into_iter().collect();
+        let sb: std::collections::HashSet<u32> = b.into_iter().collect();
+        let inter = sa.intersection(&sb).count() as f64;
+        inter / (sa.len() + sb.len()) as f64
+    };
+    let (o_cap, o_uncap) = (overlap(&capped), overlap(&uncapped));
+    assert!(
+        o_cap <= o_uncap + 0.05,
+        "cap should not increase subgraph overlap: capped {o_cap:.3} vs uncapped {o_uncap:.3}"
+    );
+}
+
+#[test]
+fn pool_refill_samples_are_distinct() {
+    use gsgcn::sampler::pool::SubgraphPool;
+    let d = presets::ppi_scaled(35);
+    let tv = d.train_view();
+    let sampler = DashboardSampler::new(FrontierConfig {
+        frontier_size: 30,
+        budget: 150,
+        ..FrontierConfig::default()
+    });
+    let mut pool = SubgraphPool::new(6, 99);
+    pool.refill(&sampler, &tv.graph);
+    let mut sets = Vec::new();
+    while !pool.is_empty() {
+        sets.push(pool.pop_or_refill(&sampler, &tv.graph).origin);
+    }
+    for i in 0..sets.len() {
+        for j in (i + 1)..sets.len() {
+            assert_ne!(sets[i], sets[j], "pool entries {i} and {j} identical");
+        }
+    }
+}
