@@ -195,7 +195,11 @@ impl<'a> FastGcnTrainer<'a> {
             out_nodes = in_nodes;
         }
         blocks.reverse();
-        let empty_frac = if total == 0 { 0.0 } else { empty as f64 / total as f64 };
+        let empty_frac = if total == 0 {
+            0.0
+        } else {
+            empty as f64 / total as f64
+        };
         (out_nodes, blocks, empty_frac)
     }
 
@@ -309,10 +313,7 @@ mod tests {
         let d = quick_dataset();
         let t = FastGcnTrainer::new(&d, quick_cfg()).unwrap();
         // Cumulative weights strictly increasing.
-        assert!(t
-            .cumulative_deg
-            .windows(2)
-            .all(|w| w[1] > w[0]));
+        assert!(t.cumulative_deg.windows(2).all(|w| w[1] > w[0]));
     }
 
     #[test]

@@ -125,11 +125,7 @@ impl<'a> SageTrainer<'a> {
 
     /// Sample the layer blocks for a batch of target vertices (top-down
     /// recursive neighbor sampling, returned bottom-up for the forward).
-    fn sample_blocks(
-        &self,
-        targets: &[u32],
-        seed: u64,
-    ) -> (Vec<u32>, Vec<SampledBlock>) {
+    fn sample_blocks(&self, targets: &[u32], seed: u64) -> (Vec<u32>, Vec<SampledBlock>) {
         let g = &self.train_view.graph;
         let l = self.layers.len();
         let mut rng = Xorshift128Plus::new(seed);

@@ -1,5 +1,15 @@
 //! Criterion microbenchmarks of the dense GEMM kernels (the MKL
 //! replacement used for weight application, Sec. V-A).
+//!
+//! Two shape families:
+//!
+//! * square-ish (`1000×512×256`, `2000×512×512`) — generic kernel health;
+//! * GCN-shaped tall-skinny (`n×f · f×h` with `n` = sampled-subgraph
+//!   vertices, `f` = feature width, `h` = hidden width; e.g. `8192×602 ·
+//!   602×256` is a PPI-scale forward weight application) — the shapes the
+//!   training loop actually issues, benchmarked for the packed kernel
+//!   against the seed's unpacked k-blocked kernel
+//!   (`gemm::matmul_unpacked`) so the packing win stays measured.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gsgcn_tensor::{gemm, DMatrix};
@@ -39,5 +49,58 @@ fn bench_gemm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm);
+/// GCN training shapes: packed kernel vs the seed's unpacked kernel.
+fn bench_gemm_gcn_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_gcn");
+    group.sample_size(20);
+    // (n, f, h): subgraph vertices × input width × hidden width.
+    // 8192×602·602×256 ≈ a PPI-scale forward weight application;
+    // 8192×256·256×128 ≈ a deeper layer; 2048×602·602×256 ≈ a smaller
+    // sampling budget.
+    for &(n, f, h) in &[
+        (8192usize, 602usize, 256usize),
+        (8192, 256, 128),
+        (2048, 602, 256),
+    ] {
+        let act = DMatrix::from_fn(n, f, |i, j| ((i * 5 + j) % 11) as f32 * 0.1 - 0.5);
+        let w = DMatrix::from_fn(f, h, |i, j| ((i * 3 + j) % 7) as f32 * 0.15 - 0.4);
+        group.throughput(Throughput::Elements((2 * n * f * h) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("packed", format!("{n}x{f}x{h}")),
+            &n,
+            |bch, _| {
+                bch.iter(|| black_box(gemm::matmul(&act, &w)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("seed_unpacked", format!("{n}x{f}x{h}")),
+            &n,
+            |bch, _| {
+                bch.iter(|| black_box(gemm::matmul_unpacked(&act, &w)));
+            },
+        );
+        // The backward shapes: weight gradient (tn) and input gradient
+        // (nt) at the same scale — the layouts the seed kernel handled
+        // worst (nt ran a horizontal-reduction dot-product loop).
+        let dy = DMatrix::from_fn(n, h, |i, j| ((i + 2 * j) % 9) as f32 * 0.1 - 0.4);
+        group.bench_with_input(
+            BenchmarkId::new("packed_tn", format!("{n}x{f}x{h}")),
+            &n,
+            |bch, _| {
+                bch.iter(|| black_box(gemm::matmul_tn(&act, &dy)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("packed_nt", format!("{n}x{f}x{h}")),
+            &n,
+            |bch, _| {
+                // dH = dY·Wᵀ: W is already stored n×k (= f×h) for nt.
+                bch.iter(|| black_box(gemm::matmul_nt(&dy, &w)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_gemm_gcn_shapes);
 criterion_main!(benches);

@@ -41,7 +41,11 @@ fn make_graph(n: usize, d: usize) -> CsrGraph {
 }
 
 fn main() {
-    let (n, f) = if full_mode() { (8000, 512) } else { (4000, 256) };
+    let (n, f) = if full_mode() {
+        (8000, 512)
+    } else {
+        (4000, 256)
+    };
     let reps = if full_mode() { 10 } else { 5 };
     let g = make_graph(n, 15);
     let h = DMatrix::from_fn(n, f, |i, j| ((i * 31 + j * 7) % 23) as f32 * 0.1 - 1.0);
@@ -82,7 +86,10 @@ fn main() {
         });
         println!("{c:>6} {naive:>12.6} {part:>14.6} {twod_bfs:>12.6} {twod_rng:>12.6}");
     }
-    println!("At this scale the source matrix ({} MB) is LLC-resident → naive wins;", n * f * 4 / (1 << 20));
+    println!(
+        "At this scale the source matrix ({} MB) is LLC-resident → naive wins;",
+        n * f * 4 / (1 << 20)
+    );
     println!("PropMode::Auto picks it automatically.");
 
     header("A2 part 2: crossover search (long feature vectors, matrix ≫ LLC)");
@@ -94,8 +101,9 @@ fn main() {
         let n_big = 8000;
         let f_big = if full_mode() { 8192 } else { 4096 };
         let g_big = make_graph(n_big, 15);
-        let h_big =
-            DMatrix::from_fn(n_big, f_big, |i, j| ((i * 13 + j * 5) % 17) as f32 * 0.1 - 0.8);
+        let h_big = DMatrix::from_fn(n_big, f_big, |i, j| {
+            ((i * 13 + j * 5) % 17) as f32 * 0.1 - 0.8
+        });
         let c = *cores.last().unwrap();
         let reps_big = 3;
         let naive = with_threads(c, || {

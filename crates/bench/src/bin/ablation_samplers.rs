@@ -8,14 +8,16 @@
 //! sampler's subgraph connectivity statistics.
 
 use gsgcn_bench::{full_mode, header, seed};
+use gsgcn_data::dataset::TaskKind;
 use gsgcn_data::Dataset;
 use gsgcn_graph::stats;
 use gsgcn_metrics::f1;
 use gsgcn_nn::model::{GcnConfig, GcnModel, LossKind};
-use gsgcn_sampler::alt::{ForestFireSampler, RandomWalkSampler, UniformEdgeSampler, UniformNodeSampler};
+use gsgcn_sampler::alt::{
+    ForestFireSampler, RandomWalkSampler, UniformEdgeSampler, UniformNodeSampler,
+};
 use gsgcn_sampler::dashboard::{DashboardSampler, FrontierConfig};
 use gsgcn_sampler::GraphSampler;
-use gsgcn_data::dataset::TaskKind;
 
 /// Train the GCN with an arbitrary sampler (generic mini-batch loop
 /// mirroring the core trainer, without the Dashboard-specific pool).
@@ -134,7 +136,9 @@ fn main() {
         );
     }
 
-    header(&format!("A3: final validation F1 after {epochs} epochs per sampler"));
+    header(&format!(
+        "A3: final validation F1 after {epochs} epochs per sampler"
+    ));
     let mut results = Vec::new();
     for (name, s) in &samplers {
         let f1 = train_with_sampler(&d, s.as_ref(), epochs, hidden);

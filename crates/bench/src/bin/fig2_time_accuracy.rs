@@ -46,8 +46,10 @@ fn run_dataset(d: &Dataset, spec: &RunSpec) -> (Curve, Curve, Curve) {
             // Evaluate every other epoch (evaluation is full-graph
             // inference and would otherwise dominate the serial run).
             if e % 2 == 1 || e == spec.epochs_proposed - 1 {
-                proposed_curve
-                    .push(t.train_secs(), t.evaluate(gsgcn_core::trainer::EvalSplit::Val));
+                proposed_curve.push(
+                    t.train_secs(),
+                    t.evaluate(gsgcn_core::trainer::EvalSplit::Val),
+                );
             }
         }
     });
@@ -97,6 +99,9 @@ fn run_dataset(d: &Dataset, spec: &RunSpec) -> (Curve, Curve, Curve) {
     (proposed_curve, sage_curve, fb_curve)
 }
 
+/// (dataset, gsgcn time-to-threshold, sage time-to-threshold, gsgcn F1, sage F1, fullbatch F1).
+type SummaryRow = (String, Option<f64>, Option<f64>, f64, f64, f64);
+
 fn main() {
     let spec = if full_mode() {
         RunSpec {
@@ -115,10 +120,12 @@ fn main() {
     };
 
     header("Fig. 2: accuracy vs sequential training time (2-layer GCN, 1 thread)");
-    println!("paper reference speedups at threshold: PPI 1.9x, Reddit 7.8x, Yelp 4.7x, Amazon 2.1x\n");
+    println!(
+        "paper reference speedups at threshold: PPI 1.9x, Reddit 7.8x, Yelp 4.7x, Amazon 2.1x\n"
+    );
 
     let datasets = gsgcn_data::presets::all_scaled(seed());
-    let mut summary: Vec<(String, Option<f64>, Option<f64>, f64, f64, f64)> = Vec::new();
+    let mut summary: Vec<SummaryRow> = Vec::new();
 
     for d in &datasets {
         println!("--- dataset {} ---", d.name);
@@ -159,7 +166,10 @@ fn main() {
         "Dataset", "Strict(a0)", "Relaxed(97%)", "F1 proposed", "F1 sage", "F1 batched"
     );
     for (name, strict, relaxed, fp, fs, fb) in &summary {
-        let fmt = |o: &Option<f64>| o.map(|s| format!("{s:.2}x")).unwrap_or_else(|| "n/a".into());
+        let fmt = |o: &Option<f64>| {
+            o.map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "n/a".into())
+        };
         println!(
             "{name:<10} {:>12} {:>14} {fp:>12.4} {fs:>12.4} {fb:>12.4}",
             fmt(strict),

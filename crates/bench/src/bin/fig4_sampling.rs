@@ -120,7 +120,10 @@ fn main() {
         "{:<10} {:>8} {}",
         "dataset",
         "serial",
-        pinters.iter().map(|c| format!("{c:>8}")).collect::<String>()
+        pinters
+            .iter()
+            .map(|c| format!("{c:>8}"))
+            .collect::<String>()
     );
     for d in &datasets {
         let tv = d.train_view();
@@ -138,7 +141,9 @@ fn main() {
         println!("{row}");
     }
     println!("(paper reports ~4x from AVX2 intrinsics; our scalar baseline is already");
-    println!(" auto-vectorised by LLVM, so the residual probing gain is smaller — see EXPERIMENTS.md)");
+    println!(
+        " auto-vectorised by LLVM, so the residual probing gain is smaller — see EXPERIMENTS.md)"
+    );
 
     header("Fig. 4B microbench: lane-batched RNG throughput (the vectorisable component)");
     {

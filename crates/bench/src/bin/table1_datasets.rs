@@ -13,8 +13,8 @@ use gsgcn_graph::stats;
 fn main() {
     header("Table I: dataset statistics (paper targets)");
     println!(
-        "{:<10} {:>10} {:>12} {:>8} {:>6} {}",
-        "Dataset", "#Vertices", "#Edges", "Attr", "Cls", "Task"
+        "{:<10} {:>10} {:>12} {:>8} {:>6} Task",
+        "Dataset", "#Vertices", "#Edges", "Attr", "Cls"
     );
     for spec in [
         presets::ppi_spec(),
@@ -41,9 +41,8 @@ fn main() {
     for d in presets::all_scaled(seed()) {
         d.validate().expect("generated dataset must validate");
         let ds = stats::degree_stats(&d.graph);
-        let lcc = stats::largest_component_size(&d.graph) as f64
-            / d.graph.num_vertices() as f64
-            * 100.0;
+        let lcc =
+            stats::largest_component_size(&d.graph) as f64 / d.graph.num_vertices() as f64 * 100.0;
         println!(
             "{:<10} {:>10} {:>12} {:>8} {:>6} {:>6} {:>8.1} {:>8} {:>7.1}%",
             d.name,

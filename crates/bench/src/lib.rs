@@ -22,7 +22,9 @@ use std::time::Instant;
 
 /// Whether heavy "full" mode was requested.
 pub fn full_mode() -> bool {
-    std::env::var("GSGCN_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("GSGCN_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Master seed.

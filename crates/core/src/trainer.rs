@@ -32,6 +32,12 @@ pub struct GsGcnTrainer<'a> {
     breakdown: Breakdown,
     train_secs: f64,
     epochs_run: usize,
+    /// Persistent per-iteration gather buffers (subgraph features/labels).
+    /// Subgraph sizes are bounded by the sampling budget, so these reach a
+    /// steady capacity after the first few iterations and the inner loop
+    /// stops allocating.
+    x_buf: gsgcn_tensor::DMatrix,
+    y_buf: gsgcn_tensor::DMatrix,
 }
 
 impl<'a> GsGcnTrainer<'a> {
@@ -95,6 +101,8 @@ impl<'a> GsGcnTrainer<'a> {
             breakdown: Breakdown::default(),
             train_secs: 0.0,
             epochs_run: 0,
+            x_buf: gsgcn_tensor::DMatrix::zeros(0, 0),
+            y_buf: gsgcn_tensor::DMatrix::zeros(0, 0),
         })
     }
 
@@ -154,6 +162,8 @@ impl<'a> GsGcnTrainer<'a> {
         let pool = &mut self.pool;
         let model = &mut self.model;
         let breakdown = &mut self.breakdown;
+        let x_buf = &mut self.x_buf;
+        let y_buf = &mut self.y_buf;
 
         self.thread_pool.install(|| {
             for _ in 0..iters {
@@ -162,15 +172,16 @@ impl<'a> GsGcnTrainer<'a> {
                 let sub = pool.pop_or_refill(sampler, train_graph);
                 breakdown.add(Phase::Sampling, t0.elapsed().as_secs_f64());
 
-                // --- Gather subgraph rows (Alg. 1 line 5) ---
+                // --- Gather subgraph rows (Alg. 1 line 5) into reused
+                // buffers — no per-iteration matrix allocation.
                 let t0 = Instant::now();
-                let x = train_features.gather_rows(&sub.origin);
-                let y = train_labels.gather_rows(&sub.origin);
+                train_features.gather_rows_into(&sub.origin, x_buf);
+                train_labels.gather_rows_into(&sub.origin, y_buf);
                 let gather_secs = t0.elapsed().as_secs_f64();
 
                 // --- Forward/backward/update (Alg. 1 lines 6–13) ---
                 let t0 = Instant::now();
-                let step = model.train_step(&sub.graph, &x, &y);
+                let step = model.train_step(&sub.graph, x_buf, y_buf);
                 let step_secs = t0.elapsed().as_secs_f64();
 
                 breakdown.add(Phase::FeatureProp, step.timings.feature_prop_secs);

@@ -216,9 +216,15 @@ mod tests {
         let a = community_powerlaw(&spec, 7);
         let b = community_powerlaw(&spec, 7);
         assert_eq!(a.graph, b.graph);
-        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool1 = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         let c = pool1.install(|| community_powerlaw(&spec, 7));
-        assert_eq!(a.graph, c.graph, "generation must not depend on thread count");
+        assert_eq!(
+            a.graph, c.graph,
+            "generation must not depend on thread count"
+        );
         let d = community_powerlaw(&spec, 8);
         assert_ne!(a.graph, d.graph);
     }
@@ -267,10 +273,13 @@ mod tests {
 
     #[test]
     fn max_degree_factor_caps_hubs() {
+        // α = 1.5 keeps the uncapped tail far above the cap for any RNG
+        // stream (at α = 1.8 the expected uncapped max ≈ the cap, making
+        // the comparison a coin flip on the stream).
         let base = CommunityGraphSpec {
             vertices: 2000,
             edges: 20_000,
-            power_law_alpha: 1.8,
+            power_law_alpha: 1.5,
             ..CommunityGraphSpec::default()
         };
         let wild = community_powerlaw(

@@ -38,8 +38,8 @@ pub fn multi_label(
         .collect();
 
     let mut y = DMatrix::zeros(n, classes);
-    for v in 0..n {
-        let c = community[v] as usize;
+    for (v, &comm) in community.iter().enumerate().take(n) {
+        let c = comm as usize;
         let mut any = false;
         for &cls in &charset[c] {
             if rng.random::<f64>() < p_present {
@@ -70,8 +70,8 @@ pub fn single_label(community: &[u32], classes: usize, flip_prob: f64, seed: u64
     assert!(classes >= k, "need at least as many classes as communities");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut y = DMatrix::zeros(n, classes);
-    for v in 0..n {
-        let mut cls = community[v] as usize;
+    for (v, &comm) in community.iter().enumerate().take(n) {
+        let mut cls = comm as usize;
         if rng.random::<f64>() < flip_prob {
             cls = rng.random_range(0..classes);
         }
@@ -169,7 +169,10 @@ mod tests {
         let comm = communities(100, 2);
         let y = single_label(&comm, 4, 0.0, 5);
         let f = class_frequencies(&y);
-        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9, "one-hot rows sum to 1");
+        assert!(
+            (f.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+            "one-hot rows sum to 1"
+        );
     }
 
     #[test]

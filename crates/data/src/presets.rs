@@ -53,7 +53,14 @@ impl DatasetSpec {
         let labels = match self.task {
             TaskKind::MultiLabel => {
                 let per_comm = (self.classes / self.communities).clamp(2, 6);
-                multi_label(&cg.community, self.classes, per_comm, 0.85, 0.02, seed ^ 0x1AB)
+                multi_label(
+                    &cg.community,
+                    self.classes,
+                    per_comm,
+                    0.85,
+                    0.02,
+                    seed ^ 0x1AB,
+                )
             }
             TaskKind::SingleLabel => single_label(&cg.community, self.classes, 0.05, seed ^ 0x1AB),
         };

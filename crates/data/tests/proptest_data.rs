@@ -37,7 +37,7 @@ proptest! {
         prop_assert_eq!(stats::degree_stats(&cg.graph).isolated_fraction, 0.0);
         prop_assert!(cg.community.iter().all(|&c| (c as usize) < k));
         for c in 0..k as u32 {
-            prop_assert!(cg.community.iter().any(|&x| x == c), "community {c} empty");
+            prop_assert!(cg.community.contains(&c), "community {c} empty");
         }
     }
 

@@ -116,7 +116,9 @@ impl GraphBuilder {
 
 /// Convenience: build an undirected graph straight from an edge slice.
 pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
-    GraphBuilder::new(n).add_edges(edges.iter().copied()).build()
+    GraphBuilder::new(n)
+        .add_edges(edges.iter().copied())
+        .build()
 }
 
 #[cfg(test)]

@@ -6,14 +6,16 @@
 //! format, the neighbor lists of vertices can be streamed into the
 //! processor, without the need to stay in cache".
 
-use serde::{Deserialize, Serialize};
-
 /// An immutable graph in compressed-sparse-row form.
 ///
 /// Vertex ids are `u32` (graphs up to ~4.2 B vertices); edge endpoints are
 /// stored once per direction, so an undirected graph built through
 /// [`crate::GraphBuilder::symmetric`] has `2·|E|` stored (directed) edges.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialisation goes through the explicit binary/text formats in
+/// [`crate::io`] (the build environment has no serde; the derives the seed
+/// carried were unused).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CsrGraph {
     /// `offsets[v]..offsets[v+1]` delimits the adjacency list of `v`.
     offsets: Vec<usize>,

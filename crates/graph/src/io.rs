@@ -37,7 +37,10 @@ pub fn read_edge_list<R: Read>(reader: R, n: usize) -> io::Result<CsrGraph> {
         };
         let parse = |s: &str| {
             s.parse::<u32>().map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("bad vertex id {s:?}: {e}"))
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad vertex id {s:?}: {e}"),
+                )
             })
         };
         let (u, v) = (parse(u)?, parse(v)?);
@@ -55,7 +58,12 @@ pub fn read_edge_list<R: Read>(reader: R, n: usize) -> io::Result<CsrGraph> {
 /// Write a graph as a text edge list (each undirected edge once, `u < v`;
 /// directed/asymmetric edges are emitted as stored).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, mut w: W) -> io::Result<()> {
-    writeln!(w, "# gsgcn edge list |V|={} |E|={}", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# gsgcn edge list |V|={} |E|={}",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         if u <= v || !g.has_edge(v, u) {
             writeln!(w, "{u} {v}")?;

@@ -82,10 +82,7 @@ pub fn bfs_partition(g: &CsrGraph, p: usize) -> VertexPartition {
             }
         }
     }
-    VertexPartition {
-        part,
-        num_parts: p,
-    }
+    VertexPartition { part, num_parts: p }
 }
 
 /// Replication factor `γ_P`: the average over partitions of

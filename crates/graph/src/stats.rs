@@ -61,7 +61,11 @@ pub fn degree_histogram_log2(g: &CsrGraph) -> Vec<usize> {
     let mut hist = vec![0usize; 33];
     for v in 0..g.num_vertices() as u32 {
         let d = g.degree(v);
-        let b = if d <= 1 { 0 } else { (usize::BITS - d.leading_zeros()) as usize - 1 };
+        let b = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize - 1
+        };
         hist[b] += 1;
     }
     while hist.len() > 1 && *hist.last().unwrap() == 0 {
@@ -75,7 +79,10 @@ pub fn degree_histogram_log2(g: &CsrGraph) -> Vec<usize> {
 /// the subgraph preserves the degree shape of the original graph.
 pub fn degree_distribution_distance(a: &CsrGraph, b: &CsrGraph) -> f64 {
     let (ha, hb) = (degree_histogram_log2(a), degree_histogram_log2(b));
-    let (na, nb) = (a.num_vertices().max(1) as f64, b.num_vertices().max(1) as f64);
+    let (na, nb) = (
+        a.num_vertices().max(1) as f64,
+        b.num_vertices().max(1) as f64,
+    );
     let len = ha.len().max(hb.len());
     let mut tv = 0.0;
     for i in 0..len {

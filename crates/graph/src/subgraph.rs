@@ -80,8 +80,8 @@ pub fn induced_subgraph(g: &CsrGraph, vertices: &[u32]) -> InducedSubgraph {
         // Split the output buffer into per-vertex slices.
         let mut slices: Vec<&mut [u32]> = Vec::with_capacity(origin.len());
         let mut rest: &mut [u32] = &mut adj;
-        for i in 0..origin.len() {
-            let (head, tail) = rest.split_at_mut(counts[i]);
+        for &count in counts.iter().take(origin.len()) {
+            let (head, tail) = rest.split_at_mut(count);
             slices.push(head);
             rest = tail;
         }

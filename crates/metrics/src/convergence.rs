@@ -63,7 +63,10 @@ impl Curve {
     pub fn to_csv(&self) -> String {
         let mut s = String::new();
         for p in &self.points {
-            s.push_str(&format!("{},{:.4},{:.6}\n", self.label, p.time_secs, p.metric));
+            s.push_str(&format!(
+                "{},{:.4},{:.6}\n",
+                self.label, p.time_secs, p.metric
+            ));
         }
         s
     }

@@ -6,7 +6,10 @@ use gsgcn_metrics::timing::{speedup, Breakdown, Phase};
 use gsgcn_tensor::DMatrix;
 use proptest::prelude::*;
 
-fn binary_matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = DMatrix> {
+fn binary_matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = DMatrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
         proptest::collection::vec(prop::bool::ANY, r * c).prop_map(move |bits| {
             DMatrix::from_vec(r, c, bits.into_iter().map(|b| b as u8 as f32).collect())
@@ -24,7 +27,7 @@ fn binary_matrix_pair(
             DMatrix::from_vec(r, c, bits.into_iter().map(|b| b as u8 as f32).collect())
         };
         (
-            proptest::collection::vec(prop::bool::ANY, r * c).prop_map(m.clone()),
+            proptest::collection::vec(prop::bool::ANY, r * c).prop_map(m),
             proptest::collection::vec(prop::bool::ANY, r * c).prop_map(m),
         )
     })

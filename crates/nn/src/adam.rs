@@ -53,13 +53,12 @@ impl AdamParam {
         let bc2 = 1.0 - hyper.beta2.powi(t as i32);
         let (b1, b2) = (hyper.beta1, hyper.beta2);
         let wd = hyper.weight_decay;
-        for ((w, g), (m, v)) in self
-            .value
-            .data_mut()
-            .iter_mut()
-            .zip(grad.data())
-            .zip(self.m.data_mut().iter_mut().zip(self.v.data_mut().iter_mut()))
-        {
+        for ((w, g), (m, v)) in self.value.data_mut().iter_mut().zip(grad.data()).zip(
+            self.m
+                .data_mut()
+                .iter_mut()
+                .zip(self.v.data_mut().iter_mut()),
+        ) {
             let g = g + wd * *w;
             *m = b1 * *m + (1.0 - b1) * g;
             *v = b2 * *v + (1.0 - b2) * g * g;

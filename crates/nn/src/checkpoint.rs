@@ -166,7 +166,8 @@ impl GcnModel {
             ));
         }
         for (i, ((wn, ws), layer)) in w.layers.iter().zip(self.layers_ref()).enumerate() {
-            if wn.shape() != layer.w_neigh.value.shape() || ws.shape() != layer.w_self.value.shape() {
+            if wn.shape() != layer.w_neigh.value.shape() || ws.shape() != layer.w_self.value.shape()
+            {
                 return Err(format!("layer {i} weight shape mismatch"));
             }
         }
@@ -235,10 +236,16 @@ mod tests {
         let probs1 = m1.infer_probs(&g, &x);
         let mut m2 = model();
         let probs_before = m2.infer_probs(&g, &x);
-        assert!(probs1.max_abs_diff(&probs_before) > 1e-6, "models should differ pre-import");
+        assert!(
+            probs1.max_abs_diff(&probs_before) > 1e-6,
+            "models should differ pre-import"
+        );
         m2.import_weights(&snapshot).unwrap();
         let probs2 = m2.infer_probs(&g, &x);
-        assert!(probs1.max_abs_diff(&probs2) < 1e-7, "import must restore inference exactly");
+        assert!(
+            probs1.max_abs_diff(&probs2) < 1e-7,
+            "import must restore inference exactly"
+        );
     }
 
     #[test]

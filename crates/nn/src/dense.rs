@@ -4,12 +4,17 @@ use crate::adam::{AdamHyper, AdamParam};
 use gsgcn_tensor::{gemm, init, DMatrix};
 
 /// `X = H·W + b` with learned `W` and bias `b`.
+///
+/// Owns persistent gradient buffers so the in-place `forward_into` /
+/// `backward_into` pair allocates nothing once warm.
 #[derive(Clone, Debug)]
 pub struct DenseLayer {
     pub w: AdamParam,
     pub b: AdamParam,
-    /// Cached input of the last forward (needed for dW).
+    /// Cached input of the last standalone `forward` (needed for dW).
     input: Option<DMatrix>,
+    /// Persistent parameter-gradient buffers.
+    grads: DenseGrads,
 }
 
 impl DenseLayer {
@@ -19,6 +24,10 @@ impl DenseLayer {
             w: AdamParam::new(init::xavier_uniform(in_dim, out_dim, seed)),
             b: AdamParam::new(DMatrix::zeros(1, out_dim)),
             input: None,
+            grads: DenseGrads {
+                dw: DMatrix::zeros(0, 0),
+                db: DMatrix::zeros(0, 0),
+            },
         }
     }
 
@@ -30,48 +39,73 @@ impl DenseLayer {
         self.w.value.cols()
     }
 
-    /// Forward pass; caches the input for the backward pass.
-    pub fn forward(&mut self, h: &DMatrix) -> DMatrix {
-        let mut out = gemm::matmul(h, &self.w.value);
+    /// In-place forward: `out = H·W + b`, reusing `out`'s buffer.
+    pub fn forward_into(&self, h: &DMatrix, out: &mut DMatrix) {
+        out.ensure_shape(h.rows(), self.w.value.cols());
+        gemm::gemm_nn_v(1.0, h.view(), self.w.value.view(), 0.0, out.view_mut());
         let b = self.b.value.row(0);
         for i in 0..out.rows() {
             for (o, &bv) in out.row_mut(i).iter_mut().zip(b) {
                 *o += bv;
             }
         }
+    }
+
+    /// Forward pass; caches the input for the standalone backward pass.
+    pub fn forward(&mut self, h: &DMatrix) -> DMatrix {
+        let mut out = DMatrix::zeros(0, 0);
+        self.forward_into(h, &mut out);
         self.input = Some(h.clone());
         out
     }
 
     /// Inference-only forward (no caching, `&self`).
     pub fn infer(&self, h: &DMatrix) -> DMatrix {
-        let mut out = gemm::matmul(h, &self.w.value);
-        let b = self.b.value.row(0);
-        for i in 0..out.rows() {
-            for (o, &bv) in out.row_mut(i).iter_mut().zip(b) {
-                *o += bv;
-            }
-        }
+        let mut out = DMatrix::zeros(0, 0);
+        self.forward_into(h, &mut out);
         out
     }
 
-    /// Backward pass: consumes `dOut`, returns `dH` and stores parameter
-    /// gradients for [`DenseLayer::apply_grads`].
-    pub fn backward(&mut self, d_out: &DMatrix) -> (DMatrix, DenseGrads) {
-        let input = self
-            .input
-            .as_ref()
-            .expect("backward called before forward");
-        let dw = gemm::matmul_tn(input, d_out);
+    /// In-place backward with an explicit input: writes `dH` into `d_h`
+    /// (buffer reused) and the parameter gradients into the layer's
+    /// persistent buffers (apply with [`DenseLayer::apply_own_grads`]).
+    pub fn backward_into(&mut self, input: &DMatrix, d_out: &DMatrix, d_h: &mut DMatrix) {
+        self.grads
+            .dw
+            .ensure_shape(self.w.value.rows(), self.w.value.cols());
+        gemm::gemm_tn_v(
+            1.0,
+            input.view(),
+            d_out.view(),
+            0.0,
+            self.grads.dw.view_mut(),
+        );
         // db = column sums of dOut.
-        let mut db = DMatrix::zeros(1, d_out.cols());
+        self.grads.db.ensure_shape(1, d_out.cols());
+        self.grads.db.fill(0.0);
         for i in 0..d_out.rows() {
-            for (g, &d) in db.row_mut(0).iter_mut().zip(d_out.row(i)) {
+            for (g, &d) in self.grads.db.row_mut(0).iter_mut().zip(d_out.row(i)) {
                 *g += d;
             }
         }
-        let dh = gemm::matmul_nt(d_out, &self.w.value);
-        (dh, DenseGrads { dw, db })
+        d_h.ensure_shape(d_out.rows(), self.w.value.rows());
+        gemm::gemm_nt_v(1.0, d_out.view(), self.w.value.view(), 0.0, d_h.view_mut());
+    }
+
+    /// Backward pass (standalone API): consumes `dOut`, returns `dH` and
+    /// the parameter gradients for [`DenseLayer::apply_grads`].
+    pub fn backward(&mut self, d_out: &DMatrix) -> (DMatrix, DenseGrads) {
+        let input = self.input.take().expect("backward called before forward");
+        let mut dh = DMatrix::zeros(0, 0);
+        self.backward_into(&input, d_out, &mut dh);
+        self.input = Some(input);
+        (dh, self.grads.clone())
+    }
+
+    /// Apply Adam updates from the layer's own gradient buffers.
+    pub fn apply_own_grads(&mut self, hyper: &AdamHyper, t: u64) {
+        self.w.step(&self.grads.dw, hyper, t);
+        self.b.step(&self.grads.db, hyper, t);
     }
 
     /// Apply Adam updates with the given step counter.
@@ -180,11 +214,7 @@ mod tests {
         for t in 1..=800 {
             let out = l.forward(&h);
             let mut d = out.clone();
-            for (dv, (&ov, &yv)) in d
-                .data_mut()
-                .iter_mut()
-                .zip(out.data().iter().zip(y.data()))
-            {
+            for (dv, (&ov, &yv)) in d.data_mut().iter_mut().zip(out.data().iter().zip(y.data())) {
                 *dv = (ov - yv) / 16.0;
                 let _ = ov;
             }

@@ -48,18 +48,21 @@ impl KernelTimings {
     }
 }
 
-/// Cached forward state needed by the backward pass.
+/// Cached forward state needed by the standalone [`GcnLayer::backward`]
+/// API (the model's in-place path passes activations explicitly instead).
 #[derive(Clone, Debug)]
 struct ForwardCache {
     /// Layer input `H`.
     input: DMatrix,
-    /// Aggregated input `Â·H`.
-    aggregated: DMatrix,
     /// Post-activation output (ReLU mask source).
     output: DMatrix,
 }
 
 /// One graph-convolution layer with `W_self` and `W_neigh`.
+///
+/// The layer owns persistent work buffers (`aggregated`, `d_agg`, weight
+/// gradients): the in-place `forward_into` / `backward_into` pair reuses
+/// them across iterations, so a warm training loop allocates nothing here.
 #[derive(Clone, Debug)]
 pub struct GcnLayer {
     pub w_neigh: AdamParam,
@@ -67,6 +70,16 @@ pub struct GcnLayer {
     /// Apply ReLU after concat (disabled on the last embedding layer if
     /// raw embeddings are wanted).
     pub activation: bool,
+    /// `Â·H` of the last forward (consumed by backward for `dW_neigh`).
+    aggregated: DMatrix,
+    /// True between a `forward_into` and the `backward_into` that
+    /// consumes its cached `aggregated` — guards against mis-paired
+    /// calls (the in-place API's analogue of the old `Option` cache).
+    fwd_pending: bool,
+    /// Scratch for `dH_neigh·W_neighᵀ` in backward.
+    d_agg: DMatrix,
+    /// Persistent weight-gradient buffers (see [`GcnLayer::own_grads`]).
+    grads: GcnLayerGrads,
     cache: Option<ForwardCache>,
 }
 
@@ -84,6 +97,13 @@ impl GcnLayer {
             w_neigh: AdamParam::new(init::xavier_uniform(in_dim, half_dim, seed)),
             w_self: AdamParam::new(init::xavier_uniform(in_dim, half_dim, seed ^ 0x5EED)),
             activation,
+            aggregated: DMatrix::zeros(0, 0),
+            fwd_pending: false,
+            d_agg: DMatrix::zeros(0, 0),
+            grads: GcnLayerGrads {
+                d_w_neigh: DMatrix::zeros(0, 0),
+                d_w_self: DMatrix::zeros(0, 0),
+            },
             cache: None,
         }
     }
@@ -102,32 +122,72 @@ impl GcnLayer {
         2 * self.w_neigh.value.rows() * self.w_neigh.value.cols()
     }
 
-    /// Forward pass with caching for backward. Returns the activations
-    /// and the kernel timing split.
+    /// Weight application shared by training forward and inference:
+    /// `out = σ?( [Â·H · W_neigh ‖ H · W_self] )`, writing each GEMM
+    /// straight into its column half of `out` through strided views — the
+    /// concat never exists as a copy. `out` must be pre-shaped
+    /// `h.rows() × 2·half`.
+    fn apply_weights(&self, aggregated: &DMatrix, h: &DMatrix, out: &mut DMatrix) {
+        let half = self.w_neigh.value.cols();
+        debug_assert_eq!(out.shape(), (h.rows(), 2 * half));
+        gemm::gemm_nn_v(
+            1.0,
+            aggregated.view(),
+            self.w_neigh.value.view(),
+            0.0,
+            out.view_cols_mut(0, half),
+        );
+        gemm::gemm_nn_v(
+            1.0,
+            h.view(),
+            self.w_self.value.view(),
+            0.0,
+            out.view_cols_mut(half, 2 * half),
+        );
+        if self.activation {
+            ops::relu_inplace(out);
+        }
+    }
+
+    /// In-place forward: write the activations into `out` (buffer reused,
+    /// reshaped as needed). The aggregated input `Â·H` is cached in a
+    /// persistent layer buffer for the backward pass.
+    pub fn forward_into(
+        &mut self,
+        g: &CsrGraph,
+        h: &DMatrix,
+        out: &mut DMatrix,
+        prop: &FeaturePropagator,
+    ) -> KernelTimings {
+        let mut t = KernelTimings::default();
+        let half = self.w_neigh.value.cols();
+        out.ensure_shape(h.rows(), 2 * half);
+
+        let t0 = Instant::now();
+        prop.forward_into(g, h, &mut self.aggregated); // Â·H
+        t.feature_prop_secs += t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        self.apply_weights(&self.aggregated, h, out);
+        self.fwd_pending = true;
+        t.weight_app_secs += t0.elapsed().as_secs_f64();
+        t
+    }
+
+    /// Forward pass with caching for backward (standalone API; the model
+    /// uses [`GcnLayer::forward_into`] + [`GcnLayer::backward_into`] with
+    /// explicit activations instead). Returns the activations and the
+    /// kernel timing split.
     pub fn forward(
         &mut self,
         g: &CsrGraph,
         h: &DMatrix,
         prop: &FeaturePropagator,
     ) -> (DMatrix, KernelTimings) {
-        let mut t = KernelTimings::default();
-
-        let t0 = Instant::now();
-        let aggregated = prop.forward(g, h); // Â·H
-        t.feature_prop_secs += t0.elapsed().as_secs_f64();
-
-        let t0 = Instant::now();
-        let h_neigh = gemm::matmul(&aggregated, &self.w_neigh.value);
-        let h_self = gemm::matmul(h, &self.w_self.value);
-        t.weight_app_secs += t0.elapsed().as_secs_f64();
-
-        let mut out = ops::concat_cols(&h_neigh, &h_self);
-        if self.activation {
-            ops::relu_inplace(&mut out);
-        }
+        let mut out = DMatrix::zeros(0, 0);
+        let t = self.forward_into(g, h, &mut out, prop);
         self.cache = Some(ForwardCache {
             input: h.clone(),
-            aggregated,
             output: out.clone(),
         });
         (out, t)
@@ -136,58 +196,117 @@ impl GcnLayer {
     /// Inference-only forward (`&self`, no caching).
     pub fn infer(&self, g: &CsrGraph, h: &DMatrix, prop: &FeaturePropagator) -> DMatrix {
         let aggregated = prop.forward(g, h);
-        let h_neigh = gemm::matmul(&aggregated, &self.w_neigh.value);
-        let h_self = gemm::matmul(h, &self.w_self.value);
-        let mut out = ops::concat_cols(&h_neigh, &h_self);
-        if self.activation {
-            ops::relu_inplace(&mut out);
-        }
+        let mut out = DMatrix::zeros(h.rows(), 2 * self.w_neigh.value.cols());
+        self.apply_weights(&aggregated, h, &mut out);
         out
     }
 
-    /// Backward pass. Consumes `dOut` (gradient w.r.t. this layer's
-    /// output), returns `dH` (gradient w.r.t. the input), the weight
-    /// gradients and kernel timings.
+    /// In-place backward. `input`/`output` are this layer's forward
+    /// activations (owned by the caller), `d_out` is the gradient w.r.t.
+    /// `output` and is consumed in place (the ReLU mask is applied to it),
+    /// and `d_in` receives the gradient w.r.t. `input` (buffer reused).
+    /// Weight gradients land in the layer's persistent buffers — apply
+    /// them with [`GcnLayer::apply_own_grads`] or read them via
+    /// [`GcnLayer::own_grads`].
+    ///
+    /// Everything runs on reused buffers and strided views: the column
+    /// split of `d_out` and the transposed operands are views the packed
+    /// GEMM absorbs, so a warm iteration performs zero allocations.
+    pub fn backward_into(
+        &mut self,
+        g: &CsrGraph,
+        input: &DMatrix,
+        output: &DMatrix,
+        d_out: &mut DMatrix,
+        d_in: &mut DMatrix,
+        prop: &FeaturePropagator,
+    ) -> KernelTimings {
+        assert!(
+            self.fwd_pending,
+            "backward_into called before forward_into (or called twice)"
+        );
+        assert_eq!(
+            self.aggregated.shape(),
+            (input.rows(), self.w_neigh.value.rows()),
+            "activations do not match the cached forward state"
+        );
+        self.fwd_pending = false;
+        let mut t = KernelTimings::default();
+        if self.activation {
+            ops::relu_backward_inplace(d_out, output);
+        }
+        let half = self.w_neigh.value.cols();
+        let in_dim = self.w_neigh.value.rows();
+        let d_neigh = d_out.view_cols(0, half);
+        let d_self = d_out.view_cols(half, 2 * half);
+
+        let t0 = Instant::now();
+        self.grads.d_w_neigh.ensure_shape(in_dim, half);
+        gemm::gemm_tn_v(
+            1.0,
+            self.aggregated.view(),
+            d_neigh,
+            0.0,
+            self.grads.d_w_neigh.view_mut(),
+        );
+        self.grads.d_w_self.ensure_shape(in_dim, half);
+        gemm::gemm_tn_v(
+            1.0,
+            input.view(),
+            d_self,
+            0.0,
+            self.grads.d_w_self.view_mut(),
+        );
+        // dH via the two weight paths: d_in = dH_self·W_selfᵀ, then the
+        // propagation backward accumulates Âᵀ·(dH_neigh·W_neighᵀ) on top.
+        self.d_agg.ensure_shape(input.rows(), in_dim);
+        gemm::gemm_nt_v(
+            1.0,
+            d_neigh,
+            self.w_neigh.value.view(),
+            0.0,
+            self.d_agg.view_mut(),
+        );
+        d_in.ensure_shape(input.rows(), in_dim);
+        gemm::gemm_nt_v(1.0, d_self, self.w_self.value.view(), 0.0, d_in.view_mut());
+        t.weight_app_secs += t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        prop.backward_acc_into(g, &self.d_agg, d_in); // d_in += Âᵀ·dAgg
+        t.feature_prop_secs += t0.elapsed().as_secs_f64();
+        t
+    }
+
+    /// Backward pass (standalone API). Consumes `dOut` (gradient w.r.t.
+    /// this layer's output), returns `dH` (gradient w.r.t. the input),
+    /// the weight gradients and kernel timings.
     pub fn backward(
         &mut self,
         g: &CsrGraph,
         d_out: &DMatrix,
         prop: &FeaturePropagator,
     ) -> (DMatrix, GcnLayerGrads, KernelTimings) {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("backward called before forward");
-        let mut t = KernelTimings::default();
-
+        let cache = self.cache.take().expect("backward called before forward");
+        // The persistent cache keeps the paired activations, so repeated
+        // backward calls on one forward stay legal here (seed semantics).
+        self.fwd_pending = true;
         let mut d_pre = d_out.clone();
-        if self.activation {
-            ops::relu_backward_inplace(&mut d_pre, &cache.output);
-        }
-        let half = self.w_neigh.value.cols();
-        let (d_neigh, d_self) = ops::split_cols(&d_pre, half);
+        let mut d_in = DMatrix::zeros(0, 0);
+        let t = self.backward_into(g, &cache.input, &cache.output, &mut d_pre, &mut d_in, prop);
+        self.cache = Some(cache);
+        (d_in, self.grads.clone(), t)
+    }
 
-        let t0 = Instant::now();
-        let d_w_neigh = gemm::matmul_tn(&cache.aggregated, &d_neigh);
-        let d_w_self = gemm::matmul_tn(&cache.input, &d_self);
-        // dH via the two weight paths.
-        let d_agg = gemm::matmul_nt(&d_neigh, &self.w_neigh.value);
-        let mut d_h = gemm::matmul_nt(&d_self, &self.w_self.value);
-        t.weight_app_secs += t0.elapsed().as_secs_f64();
+    /// The weight gradients of the last backward pass.
+    pub fn own_grads(&self) -> &GcnLayerGrads {
+        &self.grads
+    }
 
-        let t0 = Instant::now();
-        let d_h_from_agg = prop.backward(g, &d_agg); // Âᵀ·dAgg
-        t.feature_prop_secs += t0.elapsed().as_secs_f64();
-
-        ops::add_assign(&mut d_h, &d_h_from_agg);
-        (
-            d_h,
-            GcnLayerGrads {
-                d_w_neigh,
-                d_w_self,
-            },
-            t,
-        )
+    /// Apply Adam updates from the layer's own gradient buffers (the
+    /// allocation-free counterpart of [`GcnLayer::apply_grads`]).
+    pub fn apply_own_grads(&mut self, hyper: &AdamHyper, t: u64) {
+        self.w_neigh.step(&self.grads.d_w_neigh, hyper, t);
+        self.w_self.step(&self.grads.d_w_self, hyper, t);
     }
 
     /// Apply Adam updates.

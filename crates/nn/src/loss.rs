@@ -14,10 +14,22 @@ use gsgcn_tensor::{ops, DMatrix};
 ///
 /// `loss = (1/n) Σ_v Σ_c [ −y·log σ(x) − (1−y)·log(1−σ(x)) ]`
 pub fn sigmoid_bce(logits: &DMatrix, targets: &DMatrix) -> (f32, DMatrix) {
-    assert_eq!(logits.shape(), targets.shape(), "logits/targets shape mismatch");
+    let mut grad = DMatrix::zeros(0, 0);
+    let loss = sigmoid_bce_into(logits, targets, &mut grad);
+    (loss, grad)
+}
+
+/// In-place variant of [`sigmoid_bce`]: writes `dLogits` into `grad`
+/// (buffer reused) and returns the loss.
+pub fn sigmoid_bce_into(logits: &DMatrix, targets: &DMatrix, grad: &mut DMatrix) -> f32 {
+    assert_eq!(
+        logits.shape(),
+        targets.shape(),
+        "logits/targets shape mismatch"
+    );
     let n = logits.rows().max(1) as f32;
     let mut loss = 0.0f64;
-    let mut grad = DMatrix::zeros(logits.rows(), logits.cols());
+    grad.ensure_shape(logits.rows(), logits.cols());
     for i in 0..logits.rows() {
         let (xr, yr) = (logits.row(i), targets.row(i));
         let gr = grad.row_mut(i);
@@ -29,7 +41,7 @@ pub fn sigmoid_bce(logits: &DMatrix, targets: &DMatrix) -> (f32, DMatrix) {
             *g = (sig - y) / n;
         }
     }
-    ((loss / n as f64) as f32, grad)
+    (loss / n as f64) as f32
 }
 
 /// Single-label softmax cross-entropy with one-hot (or distribution)
@@ -37,23 +49,35 @@ pub fn sigmoid_bce(logits: &DMatrix, targets: &DMatrix) -> (f32, DMatrix) {
 ///
 /// `loss = −(1/n) Σ_v Σ_c y·log softmax(x)`
 pub fn softmax_ce(logits: &DMatrix, targets: &DMatrix) -> (f32, DMatrix) {
-    assert_eq!(logits.shape(), targets.shape(), "logits/targets shape mismatch");
+    let mut grad = DMatrix::zeros(0, 0);
+    let loss = softmax_ce_into(logits, targets, &mut grad);
+    (loss, grad)
+}
+
+/// In-place variant of [`softmax_ce`]: `grad` doubles as the softmax
+/// workspace, so no temporary is allocated.
+pub fn softmax_ce_into(logits: &DMatrix, targets: &DMatrix, grad: &mut DMatrix) -> f32 {
+    assert_eq!(
+        logits.shape(),
+        targets.shape(),
+        "logits/targets shape mismatch"
+    );
     let n = logits.rows().max(1) as f32;
-    let mut probs = logits.clone();
-    ops::softmax_rows_inplace(&mut probs);
+    grad.copy_from(logits);
+    ops::softmax_rows_inplace(grad);
     let mut loss = 0.0f64;
-    let mut grad = DMatrix::zeros(logits.rows(), logits.cols());
     for i in 0..logits.rows() {
-        let (pr, yr) = (probs.row(i), targets.row(i));
+        let yr = targets.row(i);
         let gr = grad.row_mut(i);
-        for ((&p, &y), g) in pr.iter().zip(yr).zip(gr.iter_mut()) {
+        for (&y, g) in yr.iter().zip(gr.iter_mut()) {
+            let p = *g;
             if y > 0.0 {
                 loss -= (y * p.max(1e-12).ln()) as f64;
             }
             *g = (p - y) / n;
         }
     }
-    ((loss / n as f64) as f32, grad)
+    (loss / n as f64) as f32
 }
 
 #[cfg(test)]

@@ -89,6 +89,13 @@ pub struct StepResult {
 }
 
 /// The L-layer GCN plus classifier head.
+///
+/// The model owns the training workspace: per-layer activation buffers,
+/// the gradient ping-pong pair, the logits/`dLogits` buffers and the
+/// dropout masks all persist across [`GcnModel::train_step`] calls.
+/// Sampled-subgraph shapes are bounded by the pool's largest subgraph, so
+/// after warm-up every step runs with **zero matrix allocations** (pinned
+/// by the allocation-regression test in `tests/alloc_regression.rs`).
 pub struct GcnModel {
     layers: Vec<GcnLayer>,
     head: DenseLayer,
@@ -98,6 +105,16 @@ pub struct GcnModel {
     t: u64,
     /// RNG stream counter for dropout masks.
     dropout_stream: u64,
+    /// `acts[0]` = (dropout-masked) input copy; `acts[i+1]` = layer `i`
+    /// output. Length `L + 1`.
+    acts: Vec<DMatrix>,
+    /// Classifier logits.
+    logits: DMatrix,
+    /// Gradient ping-pong buffers for the backward sweep.
+    d_cur: DMatrix,
+    d_next: DMatrix,
+    /// Per-layer dropout masks (empty when dropout is disabled).
+    masks: Vec<Vec<bool>>,
 }
 
 impl GcnModel {
@@ -118,10 +135,16 @@ impl GcnModel {
         let mut layers = Vec::with_capacity(cfg.hidden_dims.len());
         let mut in_dim = cfg.in_dim;
         for (i, &h) in cfg.hidden_dims.iter().enumerate() {
-            layers.push(GcnLayer::new(in_dim, h / 2, true, seed ^ ((i as u64 + 1) * 0x9E37)));
+            layers.push(GcnLayer::new(
+                in_dim,
+                h / 2,
+                true,
+                seed ^ ((i as u64 + 1) * 0x9E37),
+            ));
             in_dim = h;
         }
-        let head = DenseLayer::new(in_dim, cfg.num_classes, seed ^ 0xD_EAD_4EAD);
+        let head = DenseLayer::new(in_dim, cfg.num_classes, seed ^ 0xDEAD_4EAD);
+        let num_layers = layers.len();
         GcnModel {
             layers,
             head,
@@ -129,6 +152,11 @@ impl GcnModel {
             prop,
             t: 0,
             dropout_stream: seed,
+            acts: (0..=num_layers).map(|_| DMatrix::zeros(0, 0)).collect(),
+            logits: DMatrix::zeros(0, 0),
+            d_cur: DMatrix::zeros(0, 0),
+            d_next: DMatrix::zeros(0, 0),
+            masks: vec![Vec::new(); num_layers],
         }
     }
 
@@ -174,50 +202,63 @@ impl GcnModel {
 
     /// One full training step on graph `g` with features `x` and targets
     /// `y` (rows = vertices of `g`): forward, loss, backward, Adam update.
+    ///
+    /// Runs entirely on the model's persistent buffers — see the struct
+    /// docs; no matrix is allocated once the workspace is warm.
     pub fn train_step(&mut self, g: &CsrGraph, x: &DMatrix, y: &DMatrix) -> StepResult {
         assert_eq!(x.rows(), g.num_vertices(), "feature/vertex mismatch");
         assert_eq!(y.rows(), g.num_vertices(), "label/vertex mismatch");
         let mut timings = KernelTimings::default();
+        let num_layers = self.layers.len();
+        let hyper = self.cfg.adam;
 
         // ---- Forward (Alg. 1 lines 6–9) ----
-        let mut h = x.clone();
-        let mut dropout_masks: Vec<Option<Vec<bool>>> = Vec::with_capacity(self.layers.len());
-        for layer in self.layers.iter_mut() {
+        self.acts[0].copy_from(x);
+        for i in 0..num_layers {
             if self.cfg.dropout > 0.0 {
                 self.dropout_stream = self.dropout_stream.wrapping_add(0x9E3779B97F4A7C15);
-                let mask = ops::dropout_inplace(&mut h, self.cfg.dropout, self.dropout_stream);
-                dropout_masks.push(Some(mask));
-            } else {
-                dropout_masks.push(None);
+                ops::dropout_inplace_with(
+                    &mut self.acts[i],
+                    self.cfg.dropout,
+                    self.dropout_stream,
+                    &mut self.masks[i],
+                );
             }
-            let (next, t) = layer.forward(g, &h, &self.prop);
+            // Split-borrow: `acts[i]` is the input, `acts[i+1]` the output.
+            let (lo, hi) = self.acts.split_at_mut(i + 1);
+            let t = self.layers[i].forward_into(g, &lo[i], &mut hi[0], &self.prop);
             timings.add(t);
-            h = next;
         }
-        let logits = self.head.forward(&h);
+        self.head
+            .forward_into(&self.acts[num_layers], &mut self.logits);
 
-        // ---- Loss (Alg. 1 lines 11–12) ----
-        let (loss_val, d_logits) = match self.cfg.loss {
-            LossKind::SigmoidBce => loss::sigmoid_bce(&logits, y),
-            LossKind::SoftmaxCe => loss::softmax_ce(&logits, y),
+        // ---- Loss (Alg. 1 lines 11–12); d_cur receives dLogits ----
+        let loss_val = match self.cfg.loss {
+            LossKind::SigmoidBce => loss::sigmoid_bce_into(&self.logits, y, &mut self.d_cur),
+            LossKind::SoftmaxCe => loss::softmax_ce_into(&self.logits, y, &mut self.d_cur),
         };
 
         // ---- Backward + Adam (Alg. 1 line 13) ----
         self.t += 1;
-        let (mut d_h, head_grads) = self.head.backward(&d_logits);
-        self.head.apply_grads(&head_grads, &self.cfg.adam.clone(), self.t);
-        for (layer, mask) in self
-            .layers
-            .iter_mut()
-            .zip(dropout_masks.iter())
-            .rev()
-        {
-            let (d_prev, grads, t) = layer.backward(g, &d_h, &self.prop);
+        self.head
+            .backward_into(&self.acts[num_layers], &self.d_cur, &mut self.d_next);
+        self.head.apply_own_grads(&hyper, self.t);
+        std::mem::swap(&mut self.d_cur, &mut self.d_next);
+        for i in (0..num_layers).rev() {
+            // d_cur = dOut for layer i (consumed in place); d_next = dIn.
+            let t = self.layers[i].backward_into(
+                g,
+                &self.acts[i],
+                &self.acts[i + 1],
+                &mut self.d_cur,
+                &mut self.d_next,
+                &self.prop,
+            );
             timings.add(t);
-            layer.apply_grads(&grads, &self.cfg.adam.clone(), self.t);
-            d_h = d_prev;
-            if let Some(m) = mask {
-                ops::dropout_backward_inplace(&mut d_h, m, self.cfg.dropout);
+            self.layers[i].apply_own_grads(&hyper, self.t);
+            std::mem::swap(&mut self.d_cur, &mut self.d_next);
+            if self.cfg.dropout > 0.0 {
+                ops::dropout_backward_inplace(&mut self.d_cur, &self.masks[i], self.cfg.dropout);
             }
         }
 

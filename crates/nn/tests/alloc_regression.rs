@@ -1,0 +1,135 @@
+//! Allocation-regression tests for the training hot path.
+//!
+//! `GcnModel::train_step` must perform **zero matrix allocations** once its
+//! persistent workspace is warm — the property the packed-GEMM /
+//! buffer-reuse refactor exists to guarantee. These tests pin it with the
+//! thread-local allocation counter in `gsgcn_tensor::alloc`, running the
+//! measured region inside a 1-thread rayon pool so every allocation is
+//! attributed to the measuring thread.
+
+use gsgcn_graph::{CsrGraph, GraphBuilder};
+use gsgcn_nn::adam::AdamHyper;
+use gsgcn_nn::model::{GcnConfig, GcnModel, LossKind};
+use gsgcn_tensor::{alloc, DMatrix};
+
+fn ring_graph(n: usize) -> CsrGraph {
+    let edges: Vec<(u32, u32)> = (0..n as u32)
+        .map(|i| (i, (i + 1) % n as u32))
+        .chain((0..n as u32 / 2).map(|i| (i, i + n as u32 / 2)))
+        .collect();
+    GraphBuilder::new(n).add_edges(edges).build()
+}
+
+fn cfg(in_dim: usize, dropout: f32) -> GcnConfig {
+    GcnConfig {
+        in_dim,
+        hidden_dims: vec![16, 16],
+        num_classes: 4,
+        loss: LossKind::SigmoidBce,
+        adam: AdamHyper::default(),
+        dropout,
+    }
+}
+
+/// Run `steps` training steps and return the allocation-counter delta.
+fn allocs_during(
+    model: &mut GcnModel,
+    g: &CsrGraph,
+    x: &DMatrix,
+    y: &DMatrix,
+    steps: usize,
+) -> u64 {
+    let before = alloc::matrix_allocations();
+    for _ in 0..steps {
+        model.train_step(g, x, y);
+    }
+    alloc::matrix_allocations() - before
+}
+
+#[test]
+fn train_step_is_allocation_free_after_first_iteration() {
+    let n = 64;
+    let g = ring_graph(n);
+    let x = DMatrix::from_fn(n, 8, |i, j| ((i * 7 + j) % 13) as f32 * 0.1 - 0.6);
+    let y = DMatrix::from_fn(n, 4, |i, j| ((i + j) % 2) as f32);
+    let mut model = GcnModel::new(cfg(8, 0.0), 42);
+
+    // All parallel work inline on this thread so the thread-local counter
+    // sees every allocation.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        // Warm-up: first iteration builds the persistent workspace.
+        let warmup = allocs_during(&mut model, &g, &x, &y, 1);
+        assert!(warmup > 0, "warm-up should build the workspace");
+        // Steady state: strictly zero matrix allocations.
+        let steady = allocs_during(&mut model, &g, &x, &y, 10);
+        assert_eq!(
+            steady, 0,
+            "train_step allocated {steady} matrices after warm-up"
+        );
+    });
+}
+
+#[test]
+fn train_step_with_dropout_is_allocation_free_after_first_iteration() {
+    let n = 48;
+    let g = ring_graph(n);
+    let x = DMatrix::from_fn(n, 6, |i, j| ((i * 3 + j) % 11) as f32 * 0.1 - 0.5);
+    let y = DMatrix::from_fn(n, 4, |i, j| ((i * 2 + j) % 2) as f32);
+    let mut model = GcnModel::new(cfg(6, 0.3), 7);
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        allocs_during(&mut model, &g, &x, &y, 2);
+        let steady = allocs_during(&mut model, &g, &x, &y, 10);
+        assert_eq!(
+            steady, 0,
+            "dropout path allocated {steady} matrices after warm-up"
+        );
+    });
+}
+
+#[test]
+fn train_step_reuses_buffers_across_bounded_subgraph_sizes() {
+    // Shapes vary (as sampled subgraphs do) but stay within a bound:
+    // after one pass over the size range, further passes must be free.
+    let sizes = [40usize, 64, 52, 48];
+    let graphs: Vec<CsrGraph> = sizes.iter().map(|&n| ring_graph(n)).collect();
+    let xs: Vec<DMatrix> = sizes
+        .iter()
+        .map(|&n| DMatrix::from_fn(n, 8, |i, j| ((i + j) % 5) as f32 * 0.2 - 0.4))
+        .collect();
+    let ys: Vec<DMatrix> = sizes
+        .iter()
+        .map(|&n| DMatrix::from_fn(n, 4, |i, j| ((i * j) % 2) as f32))
+        .collect();
+    let mut model = GcnModel::new(cfg(8, 0.0), 3);
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        // Warm-up pass over every size (the largest fixes the capacity).
+        for i in 0..sizes.len() {
+            model.train_step(&graphs[i], &xs[i], &ys[i]);
+        }
+        let before = alloc::matrix_allocations();
+        for _ in 0..3 {
+            for i in 0..sizes.len() {
+                model.train_step(&graphs[i], &xs[i], &ys[i]);
+            }
+        }
+        let steady = alloc::matrix_allocations() - before;
+        assert_eq!(
+            steady, 0,
+            "bounded-shape training allocated {steady} matrices after warm-up"
+        );
+    });
+}

@@ -9,10 +9,12 @@ use gsgcn_prop::propagator::{FeaturePropagator, PropMode};
 use gsgcn_tensor::DMatrix;
 use proptest::prelude::*;
 
-fn small_matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = DMatrix> {
+fn small_matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = DMatrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-1.5f32..1.5, r * c)
-            .prop_map(move |d| DMatrix::from_vec(r, c, d))
+        proptest::collection::vec(-1.5f32..1.5, r * c).prop_map(move |d| DMatrix::from_vec(r, c, d))
     })
 }
 

@@ -174,7 +174,10 @@ mod tests {
     fn feature_only_feasible() {
         let m = typical();
         let q = m.feature_only_q();
-        assert!(m.feasible(1, q, 1.0), "paper's configuration must be feasible");
+        assert!(
+            m.feasible(1, q, 1.0),
+            "paper's configuration must be feasible"
+        );
     }
 
     #[test]

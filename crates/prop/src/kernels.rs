@@ -6,9 +6,9 @@
 //! applied by the caller ([`crate::propagator`]) so the kernels stay
 //! byte-for-byte comparable in benches.
 
-use gsgcn_graph::CsrGraph;
 use gsgcn_graph::partition::VertexPartition;
-use gsgcn_tensor::DMatrix;
+use gsgcn_graph::CsrGraph;
+use gsgcn_tensor::{scratch, DMatrix};
 use rayon::prelude::*;
 
 /// Row-parallel aggregation over the full feature width.
@@ -17,12 +17,20 @@ use rayon::prelude::*;
 /// source rows — a working set of the whole `n×f` matrix, which spills
 /// cache once `bytes·n·f > S_cache` (the regime Alg. 6 fixes).
 pub fn aggregate_naive(g: &CsrGraph, h: &DMatrix) -> DMatrix {
+    let mut y = DMatrix::zeros(g.num_vertices(), h.cols());
+    aggregate_naive_into(g, h, &mut y);
+    y
+}
+
+/// Accumulating in-place variant of [`aggregate_naive`]:
+/// `y[v] += Σ_{u∈N(v)} h[u]` into the caller's buffer (no allocation).
+pub fn aggregate_naive_into(g: &CsrGraph, h: &DMatrix, y: &mut DMatrix) {
     let n = g.num_vertices();
     assert_eq!(h.rows(), n, "feature rows must match vertex count");
     let f = h.cols();
-    let mut y = DMatrix::zeros(n, f);
+    assert_eq!(y.shape(), (n, f), "output shape mismatch");
     if f == 0 || n == 0 {
-        return y;
+        return;
     }
     // Batch rows per rayon task so per-task work is ≳ tens of µs;
     // one row costs ~d̄·f flops.
@@ -42,7 +50,6 @@ pub fn aggregate_naive(g: &CsrGraph, h: &DMatrix) -> DMatrix {
                 }
             }
         });
-    y
 }
 
 /// Algorithm 6: feature-dimension-partitioned aggregation.
@@ -54,12 +61,26 @@ pub fn aggregate_naive(g: &CsrGraph, h: &DMatrix) -> DMatrix {
 /// partitioning — which also gives perfect load balance and zero
 /// preprocessing (Sec. V-B's four claimed properties).
 pub fn aggregate_feature_partitioned(g: &CsrGraph, h: &DMatrix, cache_bytes: usize) -> DMatrix {
+    let mut y = DMatrix::zeros(g.num_vertices(), h.cols());
+    aggregate_feature_partitioned_into(g, h, cache_bytes, &mut y);
+    y
+}
+
+/// Accumulating in-place variant of [`aggregate_feature_partitioned`].
+/// The per-task packed column block comes from the thread-local scratch
+/// arena, so a warm training loop performs no allocation here.
+pub fn aggregate_feature_partitioned_into(
+    g: &CsrGraph,
+    h: &DMatrix,
+    cache_bytes: usize,
+    y: &mut DMatrix,
+) {
     let n = g.num_vertices();
     assert_eq!(h.rows(), n, "feature rows must match vertex count");
     let f = h.cols();
-    let mut y = DMatrix::zeros(n, f);
+    assert_eq!(y.shape(), (n, f), "output shape mismatch");
     if f == 0 || n == 0 {
-        return y;
+        return;
     }
     let q = num_feature_partitions(n, f, cache_bytes, rayon::current_num_threads());
     // Block boundaries are aligned to whole cache lines (16 f32 = 64 B):
@@ -88,27 +109,28 @@ pub fn aggregate_feature_partitioned(g: &CsrGraph, h: &DMatrix, cache_bytes: usi
         // buffer — this is the "H^(i,j) fits into the fast memory" step
         // of the paper's model. The pack is one strided streaming read of
         // H; all the random gather traffic below then hits the dense
-        // `n × w` buffer instead of scattered 64-byte slices of H.
-        let mut packed = vec![0.0f32; n * w];
-        for v in 0..n {
-            packed[v * w..(v + 1) * w].copy_from_slice(&h.row(v)[c0..c1]);
-        }
-        let y_base = &y_ptr;
-        for v in 0..n {
-            // SAFETY: rows are `f` long; [c0, c1) is in-bounds and owned
-            // exclusively by this task (disjoint column blocks).
-            let out: &mut [f32] = unsafe {
-                std::slice::from_raw_parts_mut(y_base.0.add(v * f + c0), w)
-            };
-            for &u in g.neighbors(v as u32) {
-                let src = &packed[u as usize * w..(u as usize + 1) * w];
-                for (o, &s) in out.iter_mut().zip(src) {
-                    *o += s;
+        // `n × w` buffer instead of scattered 64-byte slices of H. The
+        // buffer comes from the thread-local arena and every slot is
+        // overwritten by the pack.
+        scratch::with_buf(n * w, |packed| {
+            for v in 0..n {
+                packed[v * w..(v + 1) * w].copy_from_slice(&h.row(v)[c0..c1]);
+            }
+            let y_base = &y_ptr;
+            for v in 0..n {
+                // SAFETY: rows are `f` long; [c0, c1) is in-bounds and owned
+                // exclusively by this task (disjoint column blocks).
+                let out: &mut [f32] =
+                    unsafe { std::slice::from_raw_parts_mut(y_base.0.add(v * f + c0), w) };
+                for &u in g.neighbors(v as u32) {
+                    let src = &packed[u as usize * w..(u as usize + 1) * w];
+                    for (o, &s) in out.iter_mut().zip(src) {
+                        *o += s;
+                    }
                 }
             }
-        }
+        });
     });
-    y
 }
 
 /// `Q` from Alg. 6 line 2: `max{C, bytes·n·f / S_cache}`, clamped to
@@ -138,20 +160,28 @@ fn align_block_width(f: usize, q: usize) -> usize {
 ///
 /// Each of the `P·Q` tasks owns the (rows of partition `i`) × (columns of
 /// block `j`) output cells — disjoint, so parallel writes are safe.
-pub fn aggregate_2d(
+pub fn aggregate_2d(g: &CsrGraph, h: &DMatrix, partition: &VertexPartition, q: usize) -> DMatrix {
+    let mut y = DMatrix::zeros(g.num_vertices(), h.cols());
+    aggregate_2d_into(g, h, partition, q, &mut y);
+    y
+}
+
+/// Accumulating in-place variant of [`aggregate_2d`].
+pub fn aggregate_2d_into(
     g: &CsrGraph,
     h: &DMatrix,
     partition: &VertexPartition,
     q: usize,
-) -> DMatrix {
+    y: &mut DMatrix,
+) {
     let n = g.num_vertices();
     assert_eq!(h.rows(), n, "feature rows must match vertex count");
     assert_eq!(partition.part.len(), n, "partition size mismatch");
     assert!(q >= 1);
     let f = h.cols();
-    let mut y = DMatrix::zeros(n, f);
+    assert_eq!(y.shape(), (n, f), "output shape mismatch");
     if f == 0 || n == 0 {
-        return y;
+        return;
     }
     let p = partition.num_parts;
     // Same cache-line alignment as the feature-only kernel; row
@@ -190,7 +220,6 @@ pub fn aggregate_2d(
             }
         }
     });
-    y
 }
 
 /// Serial reference implementation (ground truth for tests).
@@ -221,9 +250,13 @@ mod tests {
         let mut edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         let mut s = seed;
         for _ in 0..extra {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = ((s >> 33) as usize) % n;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = ((s >> 33) as usize) % n;
             if a != b {
                 edges.push((a as u32, b as u32));
@@ -323,6 +356,9 @@ mod tests {
         };
         let a = run(1);
         let b = run(8);
-        assert!(a.max_abs_diff(&b) < 1e-6, "results must not depend on thread count");
+        assert!(
+            a.max_abs_diff(&b) < 1e-6,
+            "results must not depend on thread count"
+        );
     }
 }

@@ -11,7 +11,7 @@
 use crate::kernels;
 use gsgcn_graph::partition::{range_partition, VertexPartition};
 use gsgcn_graph::CsrGraph;
-use gsgcn_tensor::DMatrix;
+use gsgcn_tensor::{scratch, DMatrix};
 use rayon::prelude::*;
 
 /// Kernel selection for the propagation step.
@@ -72,11 +72,18 @@ impl FeaturePropagator {
         &self.mode
     }
 
-    fn aggregate(&self, g: &CsrGraph, h: &DMatrix, partition: Option<&VertexPartition>) -> DMatrix {
+    /// Accumulate the unnormalised neighbor sum into `y` (`y += A·h`).
+    fn aggregate_acc(
+        &self,
+        g: &CsrGraph,
+        h: &DMatrix,
+        partition: Option<&VertexPartition>,
+        y: &mut DMatrix,
+    ) {
         match &self.mode {
-            PropMode::Naive => kernels::aggregate_naive(g, h),
+            PropMode::Naive => kernels::aggregate_naive_into(g, h, y),
             PropMode::FeaturePartitioned { cache_bytes } => {
-                kernels::aggregate_feature_partitioned(g, h, *cache_bytes)
+                kernels::aggregate_feature_partitioned_into(g, h, *cache_bytes, y)
             }
             PropMode::Auto {
                 llc_bytes,
@@ -84,9 +91,9 @@ impl FeaturePropagator {
             } => {
                 let working_set = std::mem::size_of::<f32>() * h.rows() * h.cols();
                 if working_set <= *llc_bytes {
-                    kernels::aggregate_naive(g, h)
+                    kernels::aggregate_naive_into(g, h, y)
                 } else {
-                    kernels::aggregate_feature_partitioned(g, h, *cache_bytes)
+                    kernels::aggregate_feature_partitioned_into(g, h, *cache_bytes, y)
                 }
             }
             PropMode::TwoD { p, q } => {
@@ -98,24 +105,50 @@ impl FeaturePropagator {
                         &owned
                     }
                 };
-                kernels::aggregate_2d(g, h, part, *q)
+                kernels::aggregate_2d_into(g, h, part, *q, y)
             }
         }
     }
 
     /// Forward mean aggregation: `Y = D⁻¹·A·H`.
     pub fn forward(&self, g: &CsrGraph, h: &DMatrix) -> DMatrix {
-        let mut y = self.aggregate(g, h, None);
-        scale_rows_by_inv_degree(g, &mut y);
+        let mut y = DMatrix::zeros(g.num_vertices(), h.cols());
+        self.forward_into(g, h, &mut y);
         y
+    }
+
+    /// In-place forward: overwrite `out` with `D⁻¹·A·H`, reusing its
+    /// buffer (reshaped as needed; no allocation once warm).
+    pub fn forward_into(&self, g: &CsrGraph, h: &DMatrix, out: &mut DMatrix) {
+        out.ensure_shape(g.num_vertices(), h.cols());
+        out.fill(0.0);
+        self.aggregate_acc(g, h, None, out);
+        scale_rows_by_inv_degree(g, out);
     }
 
     /// Backward pass: given `dY`, return `dH = Âᵀ·dY = A·D⁻¹·dY`.
     pub fn backward(&self, g: &CsrGraph, dy: &DMatrix) -> DMatrix {
+        let mut out = DMatrix::zeros(g.num_vertices(), dy.cols());
+        self.backward_acc_into(g, dy, &mut out);
+        out
+    }
+
+    /// Accumulating in-place backward: `out += Âᵀ·dY`. The pre-scaled
+    /// copy of `dY` lives in thread-local scratch, so a warm training
+    /// loop performs no allocation. Accumulation (rather than overwrite)
+    /// lets the GCN layer fold the `+ dH_self` term in for free.
+    pub fn backward_acc_into(&self, g: &CsrGraph, dy: &DMatrix, out: &mut DMatrix) {
+        assert_eq!(
+            out.shape(),
+            (g.num_vertices(), dy.cols()),
+            "output shape mismatch"
+        );
         // Pre-scale rows of dY by 1/deg, then unnormalised aggregate.
-        let mut scaled = dy.clone();
-        scale_rows_by_inv_degree(g, &mut scaled);
-        self.aggregate(g, &scaled, None)
+        scratch::with_matrix(dy.rows(), dy.cols(), |scaled| {
+            scaled.copy_from(dy);
+            scale_rows_by_inv_degree(g, scaled);
+            self.aggregate_acc(g, scaled, None, out);
+        });
     }
 }
 

@@ -144,6 +144,9 @@ mod tests {
         // observation of Sec. IV-C.
         let m = SamplerCostModel::unit(2.0, 5.0); // sparse: d̄ = 5
         let s64 = m.speedup(10_000, 1_000, 64);
-        assert!(s64 < 64.0 * 0.75, "sparse graph should not scale ideally: {s64}");
+        assert!(
+            s64 < 64.0 * 0.75,
+            "sparse graph should not scale ideally: {s64}"
+        );
     }
 }

@@ -228,7 +228,12 @@ impl Dashboard {
     ///
     /// # Panics
     /// Panics if the frontier is empty (no live slots).
-    pub fn pop_frontier(&mut self, scalar_rng: &mut Xorshift128Plus, lane_rng: &mut LaneRng, mode: ProbeMode) -> u32 {
+    pub fn pop_frontier(
+        &mut self,
+        scalar_rng: &mut Xorshift128Plus,
+        lane_rng: &mut LaneRng,
+        mode: ProbeMode,
+    ) -> u32 {
         assert!(self.live_slots > 0, "pop from empty frontier");
         let idx = match mode {
             ProbeMode::Scalar => loop {
@@ -253,7 +258,10 @@ impl Dashboard {
             },
         };
         let ia_idx = self.owner[idx] as usize;
-        debug_assert_eq!(self.ia_start[ia_idx] as usize + self.offset[idx] as usize, idx);
+        debug_assert_eq!(
+            self.ia_start[ia_idx] as usize + self.offset[idx] as usize,
+            idx
+        );
         let v = self.vertex[idx];
         let start = self.ia_start[ia_idx] as usize;
         let len = self.ia_len[ia_idx] as usize;
@@ -336,7 +344,10 @@ impl Dashboard {
             }
         }
         assert_eq!(live, self.live_slots, "live slot accounting");
-        let valid = self.vertex[..self.used].iter().filter(|&&v| v != INV).count();
+        let valid = self.vertex[..self.used]
+            .iter()
+            .filter(|&&v| v != INV)
+            .count();
         assert_eq!(valid, self.live_slots, "valid slots must equal live slots");
     }
 }
@@ -615,7 +626,11 @@ mod tests {
             // Alg. 2 performs exactly n − m pops; popped vertices can
             // re-enter the frontier and be popped again, so |V_sub| lands
             // anywhere in [m, n].
-            assert!(vs.len() >= 5 && vs.len() <= 30, "{mode:?}: got {}", vs.len());
+            assert!(
+                vs.len() >= 5 && vs.len() <= 30,
+                "{mode:?}: got {}",
+                vs.len()
+            );
             assert!(stats.probes >= stats.probe_rounds);
         }
     }
@@ -628,7 +643,10 @@ mod tests {
         c.eta = 1.25;
         let s = DashboardSampler::new(c);
         let (_, stats) = s.sample_with_stats(&g, 3);
-        assert!(stats.cleanups > 0, "expected cleanups with small eta: {stats:?}");
+        assert!(
+            stats.cleanups > 0,
+            "expected cleanups with small eta: {stats:?}"
+        );
     }
 
     #[test]
@@ -680,7 +698,10 @@ mod tests {
         let g = ring(1000);
         let s = DashboardSampler::new(cfg(5, 100));
         let sub = s.sample_subgraph(&g, 9);
-        assert!(sub.graph.num_edges() > 0, "frontier walk should keep some adjacency");
+        assert!(
+            sub.graph.num_edges() > 0,
+            "frontier walk should keep some adjacency"
+        );
     }
 
     #[test]
@@ -695,6 +716,10 @@ mod tests {
         c.probe_mode = ProbeMode::Lanes;
         let s = DashboardSampler::new(c);
         let (_, st) = s.sample_with_stats(&g, 2);
-        assert_eq!(st.probes, st.probe_rounds * LANES, "lane mode: LANES probes per round");
+        assert_eq!(
+            st.probes,
+            st.probe_rounds * LANES,
+            "lane mode: LANES probes per round"
+        );
     }
 }

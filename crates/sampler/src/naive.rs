@@ -148,7 +148,7 @@ mod tests {
             // With m = n = budget, no pops happen; use budget m+1 style:
             let s = NaiveFrontierSampler { budget: 9, ..s };
             let _ = s; // silence
-            // Drive the internals directly: a single exact pop.
+                       // Drive the internals directly: a single exact pop.
             let mut rng = Xorshift128Plus::new(seed);
             let frontier: Vec<u32> = (0..9).collect();
             let total: f64 = frontier.iter().map(|&v| g.degree(v) as f64).sum();

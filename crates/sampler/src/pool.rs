@@ -161,7 +161,11 @@ mod tests {
                     .collect()
             })
         };
-        assert_eq!(run(1), run(4), "pool contents must not depend on thread count");
+        assert_eq!(
+            run(1),
+            run(4),
+            "pool contents must not depend on thread count"
+        );
     }
 
     #[test]
@@ -169,7 +173,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for b in 0..8u64 {
             for i in 0..8u64 {
-                assert!(seen.insert(instance_seed(7, b, i)), "collision at ({b},{i})");
+                assert!(
+                    seen.insert(instance_seed(7, b, i)),
+                    "collision at ({b},{i})"
+                );
             }
         }
     }

@@ -115,13 +115,13 @@ impl LaneRng {
     #[inline]
     pub fn next_batch(&mut self) -> [u64; LANES] {
         let mut out = [0u64; LANES];
-        for l in 0..LANES {
+        for (l, slot) in out.iter_mut().enumerate() {
             let mut x = self.s0[l];
             let y = self.s1[l];
             self.s0[l] = y;
             x ^= x << 23;
             self.s1[l] = x ^ y ^ (x >> 17) ^ (y >> 26);
-            out[l] = self.s1[l].wrapping_add(y);
+            *slot = self.s1[l].wrapping_add(y);
         }
         out
     }
@@ -162,7 +162,10 @@ mod tests {
             assert!(x < 10);
             seen[x] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all values of [0,10) should appear");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values of [0,10) should appear"
+        );
     }
 
     #[test]

@@ -252,10 +252,8 @@ mod tests {
         let g = hub_graph();
         let overlap = |alpha: f64| -> f64 {
             let s = sampler(alpha);
-            let a: std::collections::HashSet<u32> =
-                s.sample_vertices(&g, 1).into_iter().collect();
-            let b: std::collections::HashSet<u32> =
-                s.sample_vertices(&g, 2).into_iter().collect();
+            let a: std::collections::HashSet<u32> = s.sample_vertices(&g, 1).into_iter().collect();
+            let b: std::collections::HashSet<u32> = s.sample_vertices(&g, 2).into_iter().collect();
             a.intersection(&b).count() as f64 / a.len().max(1) as f64
         };
         // Not a strict inequality at this tiny size — just require both

@@ -1,7 +1,9 @@
 //! Property-based tests of the Dashboard state machine and samplers.
 
 use gsgcn_graph::builder::from_edges;
-use gsgcn_sampler::alt::{ForestFireSampler, RandomWalkSampler, UniformEdgeSampler, UniformNodeSampler};
+use gsgcn_sampler::alt::{
+    ForestFireSampler, RandomWalkSampler, UniformEdgeSampler, UniformNodeSampler,
+};
 use gsgcn_sampler::cost_model::SamplerCostModel;
 use gsgcn_sampler::dashboard::{Dashboard, DashboardSampler, FrontierConfig, ProbeMode};
 use gsgcn_sampler::naive::NaiveFrontierSampler;
@@ -11,16 +13,20 @@ use proptest::prelude::*;
 
 /// Strategy: a connected-ish random graph (ring + chords).
 fn graph_strategy() -> impl Strategy<Value = gsgcn_graph::CsrGraph> {
-    (5usize..80, proptest::collection::vec((0u32..80, 0u32..80), 0..160)).prop_map(|(n, extra)| {
-        let mut edges: Vec<(u32, u32)> =
-            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
-        edges.extend(
-            extra
-                .into_iter()
-                .filter(|&(a, b)| (a as usize) < n && (b as usize) < n && a != b),
-        );
-        from_edges(n, &edges)
-    })
+    (
+        5usize..80,
+        proptest::collection::vec((0u32..80, 0u32..80), 0..160),
+    )
+        .prop_map(|(n, extra)| {
+            let mut edges: Vec<(u32, u32)> =
+                (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+            edges.extend(
+                extra
+                    .into_iter()
+                    .filter(|&(a, b)| (a as usize) < n && (b as usize) < n && a != b),
+            );
+            from_edges(n, &edges)
+        })
 }
 
 proptest! {

@@ -1,0 +1,182 @@
+//! Minimal in-tree replacement for the `bytes` crate.
+//!
+//! The build environment has no network access to crates.io; this shim
+//! provides the little-endian cursor/builder subset the graph I/O layer
+//! uses: `Bytes` (an owning read cursor), `BytesMut` (an append buffer),
+//! and the `Buf` / `BufMut` traits.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read-side cursor trait (`bytes::Buf` subset).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Advance the cursor.
+    fn advance(&mut self, cnt: usize);
+    /// Peek at the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+}
+
+/// Write-side builder trait (`bytes::BufMut` subset).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// An owned, cheaply sliceable byte buffer with a read cursor.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// A view of the given subrange of the *unread* bytes.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.chunk()[range].to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance past end of buffer");
+        self.pos += cnt;
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+/// A growable byte buffer (`bytes::BytesMut` subset).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut { data: src.to_vec() }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut b = BytesMut::with_capacity(12);
+        b.put_u32_le(0xDEADBEEF);
+        b.put_u64_le(42);
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.remaining(), 12);
+        assert_eq!(bytes.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(bytes.get_u64_le(), 42);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_and_index() {
+        let bytes = Bytes::from(vec![1u8, 2, 3, 4]);
+        assert_eq!(&bytes[..], &[1, 2, 3, 4]);
+        let s = bytes.slice(1..3);
+        assert_eq!(&s[..], &[2, 3]);
+        let mut m = BytesMut::from(&bytes[..]);
+        m[0] = 9;
+        assert_eq!(&m.freeze()[..], &[9, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Minimal in-tree replacement for the `rand` crate (0.9-style API).
+//!
+//! The build environment has no network access to crates.io, so this shim
+//! provides the subset the workspace uses: `rngs::StdRng`, `SeedableRng::
+//! seed_from_u64`, `Rng::{random, random_range}`, and `seq::SliceRandom::
+//! shuffle`.
+//!
+//! `StdRng` is xoshiro256++ seeded through SplitMix64 — not ChaCha as in
+//! the real crate, so *streams differ from upstream rand*, but they are
+//! deterministic, high-quality, and identical across platforms, which is
+//! all the workspace's seeded experiments require.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable construction (`rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Values samplable uniformly over their full domain via `Rng::random`.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 random bits.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 random bits.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased-enough integer draw in `[0, span)` via 128-bit multiply.
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! int_range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64 + 1;
+                if span == 0 {
+                    // Full u64 domain.
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impl!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+macro_rules! float_range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as Standard>::sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_impl!(f32, f64);
+
+/// High-level sampling interface (`rand::Rng`).
+pub trait Rng: RngCore {
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling (`rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        /// Fisher–Yates.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f32 = rng.random_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&x));
+            let y = rng.random_range(3usize..10);
+            assert!((3..10).contains(&y));
+            let z = rng.random_range(0..=4u32);
+            assert!(z <= 4);
+        }
+    }
+
+    #[test]
+    fn uniformity_rough() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(3));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

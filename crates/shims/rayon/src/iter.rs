@@ -1,0 +1,554 @@
+//! Parallel iterator traits and adaptors.
+//!
+//! Every iterator here is *indexed*: it knows its length and can split at
+//! an item boundary. The driver ([`ParallelIterator::pieces`]) cuts the
+//! iterator into a piece structure derived **only from its length** (never
+//! the pool size), executes pieces via [`crate::pool::run_scoped`], and
+//! combines results in index order — making every consumer deterministic
+//! across thread counts, including floating-point reductions.
+
+use crate::pool::run_scoped;
+use std::sync::Mutex;
+
+/// Upper bound on pieces per parallel call. Chosen to keep scheduling
+/// overhead negligible while still load-balancing uneven work.
+const MAX_PIECES: usize = 64;
+
+/// An indexed, splittable parallel iterator.
+pub trait ParallelIterator: Sized + Send {
+    /// Item produced for consumers.
+    type Item: Send;
+    /// Sequential iterator a piece decays into.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Exact number of items.
+    fn len(&self) -> usize;
+    /// True when there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Split into `[0, mid)` and `[mid, len)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    /// Decay into a sequential iterator over all remaining items.
+    fn into_seq(self) -> Self::Seq;
+
+    // ---- adaptors ----
+
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync + Send>(self, f: F) -> Map<Self, F> {
+        Map {
+            inner: self,
+            f: std::sync::Arc::new(f),
+        }
+    }
+
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            inner: self,
+            offset: 0,
+        }
+    }
+
+    fn flat_map_iter<II, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        II: IntoIterator,
+        II::Item: Send,
+        F: Fn(Self::Item) -> II + Sync + Send,
+    {
+        FlatMapIter {
+            inner: self,
+            f: std::sync::Arc::new(f),
+        }
+    }
+
+    // ---- consumers ----
+
+    /// Cut into the deterministic piece structure.
+    fn pieces(self) -> Vec<Self> {
+        let n = self.len();
+        let count = n.min(MAX_PIECES);
+        if count <= 1 {
+            return vec![self];
+        }
+        let mut pieces = Vec::with_capacity(count);
+        let mut rest = self;
+        let mut remaining = n;
+        for i in 0..count - 1 {
+            // Evenly sized pieces: ceil-divide what's left.
+            let take = remaining.div_ceil(count - i);
+            let (head, tail) = rest.split_at(take);
+            pieces.push(head);
+            rest = tail;
+            remaining -= take;
+        }
+        pieces.push(rest);
+        pieces
+    }
+
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        let pieces = self.pieces();
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = pieces
+            .into_iter()
+            .map(|p| {
+                Box::new(move || {
+                    for item in p.into_seq() {
+                        f(item);
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_scoped(tasks);
+    }
+
+    /// Collect into a container (only `Vec<T>` is supported, matching the
+    /// workspace's usage). Item order is preserved.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Fold every item with `op`, seeding each piece with `identity()` and
+    /// combining partial results in piece order (deterministic).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        let partials = run_ordered(self, |seq| {
+            let mut acc = identity();
+            for item in seq {
+                acc = op(acc, item);
+            }
+            acc
+        });
+        let mut acc = identity();
+        for p in partials {
+            acc = op(acc, p);
+        }
+        acc
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        run_ordered(self, |seq| seq.sum::<S>()).into_iter().sum()
+    }
+
+    fn count(self) -> usize {
+        run_ordered(self, |seq| seq.count()).into_iter().sum()
+    }
+}
+
+/// Run one closure per piece, returning per-piece results in piece order.
+fn run_ordered<I: ParallelIterator, R: Send>(
+    iter: I,
+    per_piece: impl Fn(I::Seq) -> R + Sync,
+) -> Vec<R> {
+    let pieces = iter.pieces();
+    let slots: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(pieces.len()));
+    {
+        let per_piece = &per_piece;
+        let slots = &slots;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = pieces
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Box::new(move || {
+                    let r = per_piece(p.into_seq());
+                    slots.lock().unwrap().push((i, r));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_scoped(tasks);
+    }
+    let mut out = slots.into_inner().unwrap();
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Conversion trait mirroring `rayon::iter::FromParallelIterator`.
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let chunks = run_ordered(iter, |seq| seq.collect::<Vec<T>>());
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for c in chunks {
+            out.extend(c);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------------
+
+pub struct Map<I, F: ?Sized> {
+    inner: I,
+    f: std::sync::Arc<F>,
+}
+
+pub struct MapSeq<S, F: ?Sized> {
+    inner: S,
+    f: std::sync::Arc<F>,
+}
+
+impl<S: Iterator, R, F: Fn(S::Item) -> R + ?Sized> Iterator for MapSeq<S, F> {
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        self.inner.next().map(|x| (self.f)(x))
+    }
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+    type Seq = MapSeq<I::Seq, F>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(mid);
+        (
+            Map {
+                inner: l,
+                f: std::sync::Arc::clone(&self.f),
+            },
+            Map {
+                inner: r,
+                f: self.f,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        MapSeq {
+            inner: self.inner.into_seq(),
+            f: self.f,
+        }
+    }
+}
+
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(mid);
+        let (bl, br) = self.b.split_at(mid);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+pub struct Enumerate<I> {
+    inner: I,
+    offset: usize,
+}
+
+pub struct EnumerateSeq<S> {
+    inner: S,
+    next: usize,
+}
+
+impl<S: Iterator> Iterator for EnumerateSeq<S> {
+    type Item = (usize, S::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, item))
+    }
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    type Seq = EnumerateSeq<I::Seq>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(mid);
+        (
+            Enumerate {
+                inner: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                inner: r,
+                offset: self.offset + mid,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        EnumerateSeq {
+            inner: self.inner.into_seq(),
+            next: self.offset,
+        }
+    }
+}
+
+pub struct FlatMapIter<I, F: ?Sized> {
+    inner: I,
+    f: std::sync::Arc<F>,
+}
+
+pub struct FlatMapSeq<S, II: IntoIterator, F: ?Sized> {
+    inner: S,
+    cur: Option<II::IntoIter>,
+    f: std::sync::Arc<F>,
+}
+
+impl<S, II, F> Iterator for FlatMapSeq<S, II, F>
+where
+    S: Iterator,
+    II: IntoIterator,
+    F: Fn(S::Item) -> II + ?Sized,
+{
+    type Item = II::Item;
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(cur) = &mut self.cur {
+                if let Some(item) = cur.next() {
+                    return Some(item);
+                }
+            }
+            self.cur = Some((self.f)(self.inner.next()?).into_iter());
+        }
+    }
+}
+
+impl<I, II, F> ParallelIterator for FlatMapIter<I, F>
+where
+    I: ParallelIterator,
+    II: IntoIterator,
+    II::Item: Send,
+    II::IntoIter: Send,
+    F: Fn(I::Item) -> II + Sync + Send,
+{
+    type Item = II::Item;
+    type Seq = FlatMapSeq<I::Seq, II, F>;
+
+    // `len` counts *outer* items; pieces therefore split on outer
+    // boundaries, which is exactly rayon's `flat_map_iter` behaviour.
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.inner.split_at(mid);
+        (
+            FlatMapIter {
+                inner: l,
+                f: std::sync::Arc::clone(&self.f),
+            },
+            FlatMapIter {
+                inner: r,
+                f: self.f,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        FlatMapSeq {
+            inner: self.inner.into_seq(),
+            cur: None,
+            f: self.f,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Base producers
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! range_impl {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+            type Seq = std::ops::Range<$t>;
+
+            fn len(&self) -> usize {
+                (self.end.saturating_sub(self.start)) as usize
+            }
+            fn split_at(self, mid: usize) -> (Self, Self) {
+                let m = self.start + mid as $t;
+                (
+                    RangeIter { start: self.start, end: m },
+                    RangeIter { start: m, end: self.end },
+                )
+            }
+            fn into_seq(self) -> Self::Seq {
+                self.start..self.end
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> Self::Iter {
+                RangeIter { start: self.start, end: self.end.max(self.start) }
+            }
+        }
+    )*};
+}
+
+range_impl!(u32, u64, usize);
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync + 'a> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(mid);
+        (SliceIter { slice: l }, SliceIter { slice: r })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send + 'a> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(mid);
+        (SliceIterMut { slice: l }, SliceIterMut { slice: r })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+/// `IntoParallelIterator` mirror (ranges and explicit conversions).
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'data;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+    fn par_iter(&'data self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+/// `.par_iter_mut()` on slices and `Vec`s.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'data;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = SliceIterMut<'data, T>;
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = SliceIterMut<'data, T>;
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        SliceIterMut { slice: self }
+    }
+}
+
+/// Parallel mutable-slice operations (`rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> crate::slice::ChunksMut<'_, T> {
+        assert!(chunk_size != 0, "chunk size must be non-zero");
+        crate::slice::ChunksMut {
+            slice: self.as_parallel_slice_mut(),
+            size: chunk_size,
+        }
+    }
+
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> crate::slice::ChunksExactMut<'_, T> {
+        assert!(chunk_size != 0, "chunk size must be non-zero");
+        let s = self.as_parallel_slice_mut();
+        let full = s.len() / chunk_size * chunk_size;
+        crate::slice::ChunksExactMut {
+            slice: &mut s[..full],
+            size: chunk_size,
+        }
+    }
+
+    /// Sequential sort (adequate for this workspace's builder-time sorts).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.as_parallel_slice_mut().sort_unstable();
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}

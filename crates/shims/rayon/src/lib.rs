@@ -1,0 +1,44 @@
+//! Minimal in-tree replacement for the `rayon` crate.
+//!
+//! The build environment has no network access to crates.io, so this shim
+//! provides the exact subset of rayon's API the workspace uses: slice/range
+//! parallel iterators (`par_iter`, `par_iter_mut`, `par_chunks_mut`,
+//! `par_chunks_exact_mut`, `into_par_iter`), the `map` / `zip` / `enumerate`
+//! / `flat_map_iter` adaptors, the `for_each` / `collect` / `reduce`
+//! consumers, plus `ThreadPool` / `ThreadPoolBuilder` / `install` /
+//! `current_num_threads`.
+//!
+//! Semantics the workspace relies on and this shim guarantees:
+//!
+//! * **Thread-count invariance.** Work is split into a piece structure that
+//!   depends only on the input length — never on the pool size — and pieces
+//!   are combined in index order, so floating-point results are bit-equal
+//!   across pool sizes.
+//! * **Panic propagation.** A panic inside a parallel closure is caught on
+//!   the worker, carried back, and re-thrown on the calling thread.
+//! * **No deadlocks under nesting.** Parallel calls issued from inside a
+//!   worker task run inline (sequentially) instead of re-entering the pool.
+//!
+//! Scheduling is deliberately simple (a mutex-protected FIFO instead of
+//! work stealing): every parallel region in this workspace enqueues a small
+//! number of coarse pieces, for which a lock-based queue is not a
+//! bottleneck.
+
+mod iter;
+mod pool;
+
+pub mod slice;
+
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSliceMut,
+    };
+}
+
+pub use iter::{
+    IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    ParallelSliceMut,
+};

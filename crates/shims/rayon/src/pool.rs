@@ -1,0 +1,255 @@
+//! The execution engine: a fixed-size FIFO thread pool plus a scoped
+//! dispatch primitive ([`run_scoped`]) that parallel iterators drive.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    size: usize,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn push(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+/// A pool of worker threads; `install` scopes parallel calls to it.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (never produced in
+/// practice by this shim; it exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(String);
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Worker count; `0` means the number of available cores.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let size = if self.num_threads == 0 {
+            default_parallelism()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool::with_size(size))
+    }
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+impl ThreadPool {
+    fn with_size(size: usize) -> ThreadPool {
+        let shared = Arc::new(Shared {
+            size,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        // `size - 1` workers: the installing/calling thread acts as the
+        // remaining participant (it helps drain the queue while waiting).
+        let workers = (1..size)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Current pool size (worker threads + the installing thread).
+    pub fn current_num_threads(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Run `f` with this pool as the target of all parallel calls.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        CURRENT.with(|cur| {
+            let prev = cur.replace(Some(Arc::clone(&self.shared)));
+            let out = f();
+            cur.replace(prev);
+            out
+        })
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    IN_WORKER.with(|w| w.set(true));
+    CURRENT.with(|cur| cur.replace(Some(Arc::clone(&shared))));
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared.available.wait(q).unwrap();
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Arc<Shared>>> =
+        const { std::cell::RefCell::new(None) };
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn global() -> &'static Arc<Shared> {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    &GLOBAL
+        .get_or_init(|| ThreadPool::with_size(default_parallelism()))
+        .shared
+}
+
+fn current_shared() -> Arc<Shared> {
+    CURRENT.with(|cur| match &*cur.borrow() {
+        Some(s) => Arc::clone(s),
+        None => Arc::clone(global()),
+    })
+}
+
+/// Number of threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    CURRENT.with(|cur| match &*cur.borrow() {
+        Some(s) => s.size,
+        None => global().size,
+    })
+}
+
+/// Completion latch shared between the dispatching thread and workers.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Latch {
+    fn record(&self, result: std::thread::Result<()>) {
+        if let Err(payload) = result {
+            self.panic.lock().unwrap().get_or_insert(payload);
+        }
+        let mut rem = self.remaining.lock().unwrap();
+        *rem -= 1;
+        if *rem == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut rem = self.remaining.lock().unwrap();
+        while *rem > 0 {
+            rem = self.done.wait(rem).unwrap();
+        }
+    }
+}
+
+/// Run a batch of independent tasks, in parallel when a pool with spare
+/// workers is current, inline otherwise. Returns after every task has
+/// finished; re-throws the first panic observed.
+///
+/// The *values* computed by the tasks never depend on which path executes
+/// them — callers encode any order-sensitivity in the task list itself.
+pub(crate) fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    let inline = IN_WORKER.with(|w| w.get());
+    let shared = current_shared();
+    if inline || shared.size <= 1 || tasks.len() <= 1 {
+        for t in tasks {
+            t();
+        }
+        return;
+    }
+
+    let latch = Arc::new(Latch {
+        remaining: Mutex::new(tasks.len()),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+
+    for task in tasks {
+        let latch = Arc::clone(&latch);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+            latch.record(result);
+        });
+        // SAFETY: `run_scoped` does not return until the latch counts every
+        // task as finished, so the borrowed environment outlives all jobs.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        shared.push(job);
+    }
+
+    // Help drain the queue while waiting so a caller outside the pool's
+    // worker set still contributes a core and small pools make progress.
+    IN_WORKER.with(|w| {
+        let prev = w.replace(true);
+        while let Some(job) = shared.try_pop() {
+            job();
+        }
+        w.set(prev);
+    });
+    latch.wait();
+
+    let payload = latch.panic.lock().unwrap().take();
+    if let Some(p) = payload {
+        std::panic::resume_unwind(p);
+    }
+}

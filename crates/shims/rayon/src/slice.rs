@@ -1,0 +1,68 @@
+//! Named parallel slice iterators (`rayon::slice::*`).
+
+use crate::iter::ParallelIterator;
+
+/// Parallel version of `slice::chunks_mut` (ragged final chunk allowed).
+pub struct ChunksMut<'a, T> {
+    pub(crate) slice: &'a mut [T],
+    pub(crate) size: usize,
+}
+
+impl<'a, T: Send + 'a> ParallelIterator for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            ChunksMut {
+                slice: l,
+                size: self.size,
+            },
+            ChunksMut {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Parallel version of `slice::chunks_exact_mut` (trailing remainder is
+/// dropped, matching the std semantics).
+pub struct ChunksExactMut<'a, T> {
+    pub(crate) slice: &'a mut [T],
+    pub(crate) size: usize,
+}
+
+impl<'a, T: Send + 'a> ParallelIterator for ChunksExactMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksExactMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len() / self.size
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            ChunksExactMut {
+                slice: l,
+                size: self.size,
+            },
+            ChunksExactMut {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_exact_mut(self.size)
+    }
+}

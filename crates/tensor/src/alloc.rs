@@ -1,0 +1,57 @@
+//! Allocation accounting for the training hot path.
+//!
+//! Every fresh matrix buffer ([`crate::DMatrix`] constructors, capacity
+//! growth in [`crate::DMatrix::ensure_shape`]) and every scratch-arena miss
+//! ([`crate::scratch`]) is recorded against a **thread-local** counter.
+//! Regression tests snapshot the counter around a warm training step to
+//! assert the hot path is allocation-free; production code pays one
+//! relaxed thread-local increment per matrix construction, which is noise
+//! next to the buffer zeroing it accompanies.
+//!
+//! The counter is thread-local on purpose: it makes tests immune to
+//! allocations from concurrently running tests, at the price of not seeing
+//! worker-thread allocations — which is exactly the right trade for
+//! "assert zero" tests that run the measured region on a pinned
+//! single-thread pool.
+
+use std::cell::Cell;
+
+thread_local! {
+    static MATRIX_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Total matrix-buffer allocations recorded on this thread.
+pub fn matrix_allocations() -> u64 {
+    MATRIX_ALLOCS.with(|c| c.get())
+}
+
+/// Record one buffer allocation (crate-internal).
+#[inline]
+pub(crate) fn record_alloc() {
+    MATRIX_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DMatrix;
+
+    #[test]
+    fn constructors_are_counted() {
+        let before = matrix_allocations();
+        let _a = DMatrix::zeros(4, 4);
+        let _b = DMatrix::from_fn(2, 2, |_, _| 1.0);
+        assert!(matrix_allocations() >= before + 2);
+    }
+
+    #[test]
+    fn ensure_shape_counts_only_growth() {
+        let mut m = DMatrix::zeros(8, 8);
+        let before = matrix_allocations();
+        m.ensure_shape(4, 4); // shrink: reuses capacity
+        m.ensure_shape(8, 8); // regrow within capacity
+        assert_eq!(matrix_allocations(), before);
+        m.ensure_shape(16, 16); // genuine growth
+        assert_eq!(matrix_allocations(), before + 1);
+    }
+}

@@ -1,24 +1,74 @@
-//! Parallel cache-blocked GEMM — the workspace's `cblas_dgemm` replacement.
+//! Packed, register-blocked parallel GEMM — the workspace's `cblas_sgemm`
+//! replacement and the single hottest kernel in GCN training.
 //!
-//! Three layout-specialised kernels cover every multiply in GCN training:
+//! Three layout-specialised entry points cover every multiply in training:
 //!
-//! * [`matmul`] (`C = A·B`) — forward weight application `H·W`;
-//! * [`matmul_tn`] (`C = Aᵀ·B`) — weight gradients `Hᵀ·dY`;
-//! * [`matmul_nt`] (`C = A·Bᵀ`) — input gradients `dY·Wᵀ`.
+//! * [`matmul`] / [`gemm_nn`] (`C = A·B`) — forward weight application `H·W`;
+//! * [`matmul_tn`] / [`gemm_tn`] (`C = Aᵀ·B`) — weight gradients `Hᵀ·dY`;
+//! * [`matmul_nt`] / [`gemm_nt`] (`C = A·Bᵀ`) — input gradients `dY·Wᵀ`.
 //!
-//! Each kernel parallelises over row blocks of `C` with rayon (so the
-//! caller's thread-pool `install` controls the core count) and blocks the
-//! reduction dimension to keep the active panel of `B` in cache. The inner
-//! loops are written so LLVM auto-vectorises them (contiguous `mul_add`
-//! over rows).
+//! The `*_v` variants take strided [`MatRef`]/[`MatMut`] views, so callers
+//! can multiply into (or from) column sub-ranges of larger matrices — the
+//! neighbor‖self halves of a concatenated GCN activation — without copies.
+//!
+//! # Kernel design
+//!
+//! This is a BLIS-style packed kernel:
+//!
+//! ```text
+//! for jc in 0..n step NC:                    (column strip of C)
+//!   for pc in 0..k step KC:                  (reduction panel)
+//!     pack B[pc.., jc..]  →  b_pack          (NR-wide column panels)
+//!     par for ic in 0..m step MC:            (row block — rayon task)
+//!       pack α·A[ic.., pc..]  →  a_pack      (MR-tall row panels)
+//!       for jr, ir tiles:  microkernel MR×NR over KC
+//! ```
+//!
+//! * **Packing** copies each operand panel once into contiguous,
+//!   panel-interleaved scratch (from [`crate::scratch`], reused across
+//!   calls), so the microkernel's loads are unit-stride regardless of the
+//!   operand layout — this is what makes the `tn`/`nt` transpose variants
+//!   and strided views run at `nn` speed, and it bounds cache/TLB traffic
+//!   to one streaming pass per panel. `α` is folded into the A-pack.
+//! * **The microkernel** keeps an `MR×NR` accumulator tile (`8×32` f32 =
+//!   16 AVX-512 registers, chosen so the tile plus one B vector and one A
+//!   broadcast fit the 32-register file) and issues only `mul_add`s over
+//!   the packed panels; LLVM turns the fixed-trip inner loops into FMA
+//!   vector code. There is **no** zero-skip branch: the seed kernel's
+//!   `if aik == 0.0 { continue; }` stalled the pipeline on every dense
+//!   activation element to optimise a case (exact zeros) that occurs only
+//!   for ReLU-sparse inputs, and even then saves nothing once the loop is
+//!   memory-bound.
+//! * **Parallelism** is over `MC`-row blocks of `C` on the current rayon
+//!   pool. Tasks own disjoint C rows and the block structure is a function
+//!   of the shape alone, so results are bit-identical for any thread
+//!   count.
+//! * Accumulation order per C element is fixed (pc-major, then kk), so the
+//!   kernel is deterministic; tests pin it against [`matmul_reference`].
+//!
+//! Edge tiles run the same microkernel against zero-padded panels and clip
+//! on the C store, so odd shapes take the fast path too.
 
 use crate::matrix::DMatrix;
+use crate::scratch;
+use crate::view::{MatMut, MatRef};
 use rayon::prelude::*;
 
-/// Reduction-dimension block size (panel of B kept hot in L1/L2).
+/// Microkernel tile height (rows of C per register tile).
+const MR: usize = 8;
+/// Microkernel tile width (columns of C per register tile).
+const NR: usize = 32;
+/// Reduction-dimension block: one packed A panel column-block (`MC×KC`)
+/// plus the B panel rows stay L2-resident.
 const KC: usize = 256;
-/// Minimum per-thread work (in f32 mul-adds) before splitting rows.
-const PAR_GRAIN: usize = 1 << 14;
+/// Rows of C per parallel task / packed A block.
+const MC: usize = 64;
+/// Columns of C per outer strip; `KC×NC` f32 of packed B ≈ 1 MiB (L2/LLC).
+const NC: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Allocating convenience wrappers
+// ---------------------------------------------------------------------------
 
 /// `C = A·B`.
 ///
@@ -48,132 +98,388 @@ pub fn matmul_nt(a: &DMatrix, b: &DMatrix) -> DMatrix {
 pub fn gemm_nn(alpha: f32, a: &DMatrix, b: &DMatrix, beta: f32, c: &mut DMatrix) {
     let (m, k) = a.shape();
     let (kb, n) = b.shape();
-    assert_eq!(k, kb, "inner dimensions must match: A is {m}x{k}, B is {kb}x{n}");
+    assert_eq!(
+        k, kb,
+        "inner dimensions must match: A is {m}x{k}, B is {kb}x{n}"
+    );
     assert_eq!(c.shape(), (m, n), "C shape mismatch");
-    if m == 0 || n == 0 {
-        return;
-    }
-    scale_inplace(c, beta);
-    if k == 0 {
-        return;
-    }
-
-    let a_data = a.data();
-    let b_data = b.data();
-    let rows_per_task = rows_per_task(m, n, k);
-    c.data_mut()
-        .par_chunks_mut(rows_per_task * n)
-        .enumerate()
-        .for_each(|(t, c_block)| {
-            let i0 = t * rows_per_task;
-            let rows_here = c_block.len() / n;
-            // k-blocked "ikj": for each k-panel, rank-1 style updates with a
-            // contiguous inner loop over the C row and B row.
-            let mut k0 = 0;
-            while k0 < k {
-                let k1 = (k0 + KC).min(k);
-                for li in 0..rows_here {
-                    let a_row = &a_data[(i0 + li) * k..(i0 + li + 1) * k];
-                    let c_row = &mut c_block[li * n..(li + 1) * n];
-                    for kk in k0..k1 {
-                        let aik = alpha * a_row[kk];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b_data[kk * n..(kk + 1) * n];
-                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                            *cv = bv.mul_add(aik, *cv);
-                        }
-                    }
-                }
-                k0 = k1;
-            }
-        });
+    gemm_nn_v(alpha, a.view(), b.view(), beta, c.view_mut());
 }
 
 /// `C = α·Aᵀ·B + β·C` where A is `k × m` (so `Aᵀ` is `m × k`), B is `k × n`.
 pub fn gemm_tn(alpha: f32, a: &DMatrix, b: &DMatrix, beta: f32, c: &mut DMatrix) {
     let (k, m) = a.shape();
     let (kb, n) = b.shape();
-    assert_eq!(k, kb, "inner dimensions must match: Aᵀ is {m}x{k}, B is {kb}x{n}");
+    assert_eq!(
+        k, kb,
+        "inner dimensions must match: Aᵀ is {m}x{k}, B is {kb}x{n}"
+    );
     assert_eq!(c.shape(), (m, n), "C shape mismatch");
-    if m == 0 || n == 0 {
-        return;
-    }
-    scale_inplace(c, beta);
-    if k == 0 {
-        return;
-    }
-
-    let a_data = a.data();
-    let b_data = b.data();
-    let rows_per_task = rows_per_task(m, n, k);
-    c.data_mut()
-        .par_chunks_mut(rows_per_task * n)
-        .enumerate()
-        .for_each(|(t, c_block)| {
-            let i0 = t * rows_per_task;
-            let rows_here = c_block.len() / n;
-            let mut k0 = 0;
-            while k0 < k {
-                let k1 = (k0 + KC).min(k);
-                for li in 0..rows_here {
-                    let i = i0 + li; // column index into A
-                    let c_row = &mut c_block[li * n..(li + 1) * n];
-                    for kk in k0..k1 {
-                        let aik = alpha * a_data[kk * m + i];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let b_row = &b_data[kk * n..(kk + 1) * n];
-                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                            *cv = bv.mul_add(aik, *cv);
-                        }
-                    }
-                }
-                k0 = k1;
-            }
-        });
+    gemm_tn_v(alpha, a.view(), b.view(), beta, c.view_mut());
 }
 
 /// `C = α·A·Bᵀ + β·C` where A is `m × k`, B is `n × k`.
 pub fn gemm_nt(alpha: f32, a: &DMatrix, b: &DMatrix, beta: f32, c: &mut DMatrix) {
     let (m, k) = a.shape();
     let (n, kb) = b.shape();
-    assert_eq!(k, kb, "inner dimensions must match: A is {m}x{k}, Bᵀ is {kb}x{n}");
+    assert_eq!(
+        k, kb,
+        "inner dimensions must match: A is {m}x{k}, Bᵀ is {kb}x{n}"
+    );
     assert_eq!(c.shape(), (m, n), "C shape mismatch");
+    gemm_nt_v(alpha, a.view(), b.view(), beta, c.view_mut());
+}
+
+// ---------------------------------------------------------------------------
+// View-based entry points
+// ---------------------------------------------------------------------------
+
+/// `C = α·A·B + β·C` over strided views.
+pub fn gemm_nn_v(alpha: f32, a: MatRef<'_>, b: MatRef<'_>, beta: f32, c: MatMut<'_>) {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(
+        k, kb,
+        "inner dimensions must match: A is {m}x{k}, B is {kb}x{n}"
+    );
+    assert_eq!(c.shape(), (m, n), "C shape mismatch");
+    driver(alpha, a, false, b, false, beta, c);
+}
+
+/// `C = α·Aᵀ·B + β·C` over strided views (A stored `k × m`).
+pub fn gemm_tn_v(alpha: f32, a: MatRef<'_>, b: MatRef<'_>, beta: f32, c: MatMut<'_>) {
+    let (k, m) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(
+        k, kb,
+        "inner dimensions must match: Aᵀ is {m}x{k}, B is {kb}x{n}"
+    );
+    assert_eq!(c.shape(), (m, n), "C shape mismatch");
+    driver(alpha, a, true, b, false, beta, c);
+}
+
+/// `C = α·A·Bᵀ + β·C` over strided views (B stored `n × k`).
+pub fn gemm_nt_v(alpha: f32, a: MatRef<'_>, b: MatRef<'_>, beta: f32, c: MatMut<'_>) {
+    let (m, k) = a.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(
+        k, kb,
+        "inner dimensions must match: A is {m}x{k}, Bᵀ is {kb}x{n}"
+    );
+    assert_eq!(c.shape(), (m, n), "C shape mismatch");
+    driver(alpha, a, false, b, true, beta, c);
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Pointer wrapper for handing disjoint C row blocks to parallel tasks.
+#[derive(Clone, Copy)]
+struct CPtr {
+    ptr: *mut f32,
+    row_stride: usize,
+}
+
+// SAFETY: tasks write disjoint row ranges of C (each `ic` block is owned
+// by exactly one task) and never read rows they do not own.
+unsafe impl Send for CPtr {}
+unsafe impl Sync for CPtr {}
+
+fn driver(
+    alpha: f32,
+    a: MatRef<'_>,
+    a_trans: bool,
+    b: MatRef<'_>,
+    b_trans: bool,
+    beta: f32,
+    mut c: MatMut<'_>,
+) {
+    // Logical dimensions: C is m×n, reduction length k.
+    let (m, n) = c.shape();
+    let k = if a_trans { a.rows() } else { a.cols() };
+
     if m == 0 || n == 0 {
         return;
     }
-    scale_inplace(c, beta);
-    if k == 0 {
+    scale_c(&mut c, beta);
+    if k == 0 || alpha == 0.0 {
         return;
     }
 
-    let a_data = a.data();
-    let b_data = b.data();
-    let rows_per_task = rows_per_task(m, n, k);
-    c.data_mut()
-        .par_chunks_mut(rows_per_task * n)
-        .enumerate()
-        .for_each(|(t, c_block)| {
-            let i0 = t * rows_per_task;
-            let rows_here = c_block.len() / n;
-            for li in 0..rows_here {
-                let a_row = &a_data[(i0 + li) * k..(i0 + li + 1) * k];
-                let c_row = &mut c_block[li * n..(li + 1) * n];
-                for (j, cv) in c_row.iter_mut().enumerate() {
-                    // Dot product of two contiguous rows — vectorises.
-                    let b_row = &b_data[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&av, &bv) in a_row.iter().zip(b_row) {
-                        acc = av.mul_add(bv, acc);
-                    }
-                    *cv += alpha * acc;
+    let c_base = CPtr {
+        ptr: c.as_mut_ptr(),
+        row_stride: c.row_stride(),
+    };
+
+    let ic_blocks = m.div_ceil(MC);
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        let b_panels = nc.div_ceil(NR);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            scratch::with_buf(b_panels * kc * NR, |b_pack| {
+                pack_b(b, b_trans, pc, kc, jc, nc, b_pack);
+                let b_pack = &*b_pack;
+                (0..ic_blocks).into_par_iter().for_each(|blk| {
+                    let ic = blk * MC;
+                    let mc = MC.min(m - ic);
+                    let a_panels = mc.div_ceil(MR);
+                    scratch::with_buf(a_panels * kc * MR, |a_pack| {
+                        pack_a(a, a_trans, alpha, ic, mc, pc, kc, a_pack);
+                        multiply_block(a_pack, b_pack, c_base, ic, mc, jc, nc, kc);
+                    });
+                });
+            });
+        }
+    }
+}
+
+/// `C[ic..ic+mc, jc..jc+nc] += packed_A · packed_B` for one row block.
+#[allow(clippy::too_many_arguments)]
+fn multiply_block(
+    a_pack: &[f32],
+    b_pack: &[f32],
+    c_base: CPtr,
+    ic: usize,
+    mc: usize,
+    jc: usize,
+    nc: usize,
+    kc: usize,
+) {
+    // Tile buffer the microkernel overwrites per call.
+    let mut acc = [[0.0f32; NR]; MR];
+    for (jp, b_panel) in b_pack.chunks_exact(kc * NR).enumerate() {
+        let jr = jp * NR;
+        let tile_cols = NR.min(nc - jr);
+        for (ip, a_panel) in a_pack.chunks_exact(kc * MR).enumerate() {
+            let ir = ip * MR;
+            let tile_rows = MR.min(mc - ir);
+            microkernel(kc, a_panel, b_panel, &mut acc);
+            // (acc now holds the full tile product for this pc panel.)
+            // Store: C[ic+ir .., jc+jr ..] += acc (clipped to the edge).
+            for (r, acc_row) in acc.iter().enumerate().take(tile_rows) {
+                // SAFETY: this task owns rows [ic, ic+mc) of C, and
+                // jc+jr+tile_cols ≤ n by construction.
+                let c_row: &mut [f32] = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        c_base.ptr.add((ic + ir + r) * c_base.row_stride + jc + jr),
+                        tile_cols,
+                    )
+                };
+                for (cv, av) in c_row.iter_mut().zip(acc_row.iter()) {
+                    *cv += *av;
                 }
             }
-        });
+        }
+    }
 }
+
+/// f32 lanes per virtual vector (one AVX2 `ymm`; AVX-512 targets fuse
+/// pairs). The microkernel is written against fixed-width lane arrays so
+/// the vectorizer's only option is the contiguous lane dimension.
+const LANES: usize = 8;
+/// Virtual vectors per tile row.
+const NV: usize = NR / LANES;
+
+/// A virtual SIMD vector: every operation on it is a fixed-trip lane loop
+/// that LLVM collapses to one packed instruction.
+#[derive(Clone, Copy)]
+struct V([f32; LANES]);
+
+/// `acc += a · b` per lane (one packed FMA).
+#[inline(always)]
+fn vfma(acc: &mut V, a: f32, b: V) {
+    for l in 0..LANES {
+        acc.0[l] = b.0[l].mul_add(a, acc.0[l]);
+    }
+}
+
+/// Statically unroll a block over `R = 0..8`. The microkernel's row loop
+/// must not exist as a loop: LLVM's vectorizer otherwise picks the row
+/// dimension (stride `NR`) and emits gather/scatter code an order of
+/// magnitude slower than the contiguous-lane form.
+// `unroll_mr!` emits exactly 8 row bodies; growing MR without extending
+// the macro would silently zero the extra tile rows (shrinking it fails
+// to compile on its own).
+const _: () = assert!(MR == 8, "unroll_mr! must list exactly MR rows");
+
+macro_rules! unroll_mr {
+    ($r:ident, $body:block) => {{
+        const $r: usize = 0;
+        $body
+    }
+    {
+        const $r: usize = 1;
+        $body
+    }
+    {
+        const $r: usize = 2;
+        $body
+    }
+    {
+        const $r: usize = 3;
+        $body
+    }
+    {
+        const $r: usize = 4;
+        $body
+    }
+    {
+        const $r: usize = 5;
+        $body
+    }
+    {
+        const $r: usize = 6;
+        $body
+    }
+    {
+        const $r: usize = 7;
+        $body
+    }};
+}
+
+/// The MR×NR register tile update: `acc += A_panel · B_panel` over `kc`.
+///
+/// Panels are packed (A: `kc×MR` column-interleaved, B: `kc×NR`
+/// row-interleaved), so every load is unit-stride; the body compiles to
+/// `MR·NV` packed FMAs plus `NV` loads and `MR` broadcasts per `kk`.
+///
+/// `inline(never)` keeps the loop nest in its own function, where the
+/// clean vector codegen is stable; call overhead is amortised over the
+/// whole `kc` reduction.
+#[inline(never)]
+fn microkernel(kc: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    debug_assert_eq!(a_panel.len(), kc * MR);
+    debug_assert_eq!(b_panel.len(), kc * NR);
+    let mut tile = [[V([0.0; LANES]); NV]; MR];
+    for kk in 0..kc {
+        let a_k: &[f32; MR] = a_panel[kk * MR..kk * MR + MR].try_into().unwrap();
+        let b_k = &b_panel[kk * NR..kk * NR + NR];
+        let mut bv = [V([0.0; LANES]); NV];
+        for (v, bvv) in bv.iter_mut().enumerate() {
+            bvv.0.copy_from_slice(&b_k[v * LANES..(v + 1) * LANES]);
+        }
+        unroll_mr!(R, {
+            let ar = a_k[R];
+            for v in 0..NV {
+                vfma(&mut tile[R][v], ar, bv[v]);
+            }
+        });
+    }
+    for (r, acc_row) in acc.iter_mut().enumerate() {
+        for v in 0..NV {
+            acc_row[v * LANES..(v + 1) * LANES].copy_from_slice(&tile[r][v].0);
+        }
+    }
+}
+
+/// Pack `α·A[ic..ic+mc, pc..pc+kc]` (logical orientation) into MR-tall row
+/// panels: `out[p*kc*MR + kk*MR + r] = α·A[ic+p·MR+r, pc+kk]`, zero-padding
+/// rows past `mc`.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    a: MatRef<'_>,
+    a_trans: bool,
+    alpha: f32,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    out: &mut [f32],
+) {
+    let panels = mc.div_ceil(MR);
+    debug_assert_eq!(out.len(), panels * kc * MR);
+    for (p, panel) in out.chunks_exact_mut(kc * MR).enumerate() {
+        let r0 = p * MR;
+        let rows_here = MR.min(mc - r0);
+        if a_trans {
+            // A stored k×m: for fixed kk the MR logical rows are contiguous.
+            for (kk, dst) in panel.chunks_exact_mut(MR).enumerate() {
+                let src = &a.row(pc + kk)[ic + r0..ic + r0 + rows_here];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = alpha * s;
+                }
+                dst[rows_here..].fill(0.0);
+            }
+        } else {
+            // A stored m×k: walk each logical row once (contiguous in kk).
+            for r in 0..rows_here {
+                let src = &a.row(ic + r0 + r)[pc..pc + kc];
+                for (kk, &s) in src.iter().enumerate() {
+                    panel[kk * MR + r] = alpha * s;
+                }
+            }
+            if rows_here < MR {
+                for kk in 0..kc {
+                    panel[kk * MR + rows_here..(kk + 1) * MR].fill(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Pack `B[pc..pc+kc, jc..jc+nc]` (logical orientation) into NR-wide
+/// column panels: `out[p*kc*NR + kk*NR + j] = B[pc+kk, jc+p·NR+j]`,
+/// zero-padding columns past `nc`.
+fn pack_b(
+    b: MatRef<'_>,
+    b_trans: bool,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    out: &mut [f32],
+) {
+    let panels = nc.div_ceil(NR);
+    debug_assert_eq!(out.len(), panels * kc * NR);
+    for (p, panel) in out.chunks_exact_mut(kc * NR).enumerate() {
+        let c0 = p * NR;
+        let cols_here = NR.min(nc - c0);
+        if b_trans {
+            // B stored n×k: each logical column is a contiguous stored row.
+            for j in 0..cols_here {
+                let src = &b.row(jc + c0 + j)[pc..pc + kc];
+                for (kk, &s) in src.iter().enumerate() {
+                    panel[kk * NR + j] = s;
+                }
+            }
+            if cols_here < NR {
+                for kk in 0..kc {
+                    panel[kk * NR + cols_here..(kk + 1) * NR].fill(0.0);
+                }
+            }
+        } else {
+            // B stored k×n: one contiguous copy per kk.
+            for (kk, dst) in panel.chunks_exact_mut(NR).enumerate() {
+                let src = &b.row(pc + kk)[jc + c0..jc + c0 + cols_here];
+                dst[..cols_here].copy_from_slice(src);
+                dst[cols_here..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// `C = β·C`, with BLAS semantics: `β = 0` overwrites even NaN garbage.
+fn scale_c(c: &mut MatMut<'_>, beta: f32) {
+    if beta == 1.0 {
+        return;
+    }
+    for i in 0..c.rows() {
+        let row = c.row_mut(i);
+        if beta == 0.0 {
+            row.fill(0.0);
+        } else {
+            for x in row {
+                *x *= beta;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference and baseline kernels
+// ---------------------------------------------------------------------------
 
 /// Naive triple-loop reference, used by tests and benches as ground truth.
 pub fn matmul_reference(a: &DMatrix, b: &DMatrix) -> DMatrix {
@@ -193,19 +499,48 @@ pub fn matmul_reference(a: &DMatrix, b: &DMatrix) -> DMatrix {
     c
 }
 
-fn scale_inplace(c: &mut DMatrix, beta: f32) {
-    if beta == 0.0 {
-        c.fill(0.0);
-    } else if beta != 1.0 {
-        c.data_mut().iter_mut().for_each(|x| *x *= beta);
+/// The seed's unpacked k-blocked kernel (including its inner-loop
+/// `aik == 0.0` skip), retained verbatim as the benchmark baseline the
+/// packed kernel is measured against. Not used by training.
+pub fn matmul_unpacked(a: &DMatrix, b: &DMatrix) -> DMatrix {
+    let (m, k) = a.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(k, kb, "inner dimensions must match");
+    let mut c = DMatrix::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return c;
     }
-}
-
-/// Rows of C per rayon task, sized so each task has at least `PAR_GRAIN`
-/// mul-adds (avoids oversplitting tiny matrices).
-fn rows_per_task(m: usize, n: usize, k: usize) -> usize {
-    let work_per_row = n * k;
-    (PAR_GRAIN / work_per_row.max(1)).clamp(1, m.max(1))
+    let a_data = a.data();
+    let b_data = b.data();
+    // Minimum per-task work matching the seed's PAR_GRAIN.
+    let rows_per_task = ((1usize << 14) / (n * k).max(1)).clamp(1, m);
+    c.data_mut()
+        .par_chunks_mut(rows_per_task * n)
+        .enumerate()
+        .for_each(|(t, c_block)| {
+            let i0 = t * rows_per_task;
+            let rows_here = c_block.len() / n;
+            let mut k0 = 0;
+            while k0 < k {
+                let k1 = (k0 + KC).min(k);
+                for li in 0..rows_here {
+                    let a_row = &a_data[(i0 + li) * k..(i0 + li + 1) * k];
+                    let c_row = &mut c_block[li * n..(li + 1) * n];
+                    for kk in k0..k1 {
+                        let aik = a_row[kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &b_data[kk * n..(kk + 1) * n];
+                        for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                            *cv = bv.mul_add(aik, *cv);
+                        }
+                    }
+                }
+                k0 = k1;
+            }
+        });
+    c
 }
 
 #[cfg(test)]
@@ -227,6 +562,23 @@ mod tests {
             let c = matmul(&a, &b);
             let r = matmul_reference(&a, &b);
             assert!(c.max_abs_diff(&r) < 1e-3, "m={m} k={k} n={n}");
+        }
+    }
+
+    /// Shapes straddling every blocking boundary (MR, NR, KC, MC, NC).
+    #[test]
+    fn matmul_matches_reference_at_block_edges() {
+        let dims = [1, MR - 1, MR, MR + 1, NR - 1, NR, NR + 1, MC - 1, MC + 1];
+        for &m in &dims {
+            for &n in &dims {
+                for &k in &[1usize, 7, KC - 1, KC + 1] {
+                    let a = seq(m, k, 0.7);
+                    let b = seq(k, n, 1.1);
+                    let c = matmul(&a, &b);
+                    let r = matmul_reference(&a, &b);
+                    assert!(c.max_abs_diff(&r) < 5e-3, "m={m} k={k} n={n}");
+                }
+            }
         }
     }
 
@@ -302,12 +654,71 @@ mod tests {
 
     #[test]
     fn large_parallel_consistency() {
-        // A k-blocked parallel result must match the reference on a size
-        // that spans multiple k-panels and rayon tasks.
+        // A result spanning multiple KC panels, MC blocks and rayon tasks
+        // must match the reference.
         let a = seq(100, 300, 0.7);
         let b = seq(300, 50, 1.3);
         let c = matmul(&a, &b);
         let r = matmul_reference(&a, &b);
         assert!(c.max_abs_diff(&r) < 5e-3);
+    }
+
+    #[test]
+    fn packed_matches_unpacked_seed_kernel() {
+        let a = seq(65, 70, 0.9);
+        let b = seq(70, 40, 1.2);
+        let packed = matmul(&a, &b);
+        let unpacked = matmul_unpacked(&a, &b);
+        assert!(packed.max_abs_diff(&unpacked) < 1e-4);
+    }
+
+    #[test]
+    fn strided_views_multiply_into_column_halves() {
+        // C's two column halves written by two separate gemms must equal
+        // the concatenation of the dense products.
+        let h = seq(10, 6, 1.0);
+        let w1 = seq(6, 4, 0.8);
+        let w2 = seq(6, 4, 1.3);
+        let mut c = DMatrix::filled(10, 8, f32::NAN);
+        gemm_nn_v(1.0, h.view(), w1.view(), 0.0, c.view_cols_mut(0, 4));
+        gemm_nn_v(1.0, h.view(), w2.view(), 0.0, c.view_cols_mut(4, 8));
+        let left = matmul(&h, &w1);
+        let right = matmul(&h, &w2);
+        for i in 0..10 {
+            for j in 0..4 {
+                assert!((c.get(i, j) - left.get(i, j)).abs() < 1e-5);
+                assert!((c.get(i, j + 4) - right.get(i, j)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn strided_view_operands_read_column_ranges() {
+        // Multiply from a column slice of a wider matrix without copying.
+        let wide = seq(9, 10, 1.0);
+        let b = seq(4, 5, 1.1);
+        let mut c = DMatrix::zeros(9, 5);
+        gemm_nn_v(1.0, wide.view_cols(3, 7), b.view(), 0.0, c.view_mut());
+        // Reference: materialise the slice.
+        let sliced = DMatrix::from_fn(9, 4, |i, j| wide.get(i, j + 3));
+        let r = matmul_reference(&sliced, &b);
+        assert!(c.max_abs_diff(&r) < 1e-4);
+    }
+
+    #[test]
+    fn strided_tn_nt_match_dense() {
+        let a = seq(12, 9, 1.0);
+        let d = seq(12, 7, 0.9);
+        // dW = Aᵀ·D via views == dense matmul_tn.
+        let mut c = DMatrix::zeros(9, 7);
+        gemm_tn_v(1.0, a.view(), d.view(), 0.0, c.view_mut());
+        assert!(c.max_abs_diff(&matmul_tn(&a, &d)) < 1e-4);
+        // dH = D·Wᵀ with W (stored n×k) read from a column range.
+        let w_wide = seq(9, 12, 1.0); // take cols 2..7 as a 9×5 "W"
+        let w = DMatrix::from_fn(9, 5, |i, j| w_wide.get(i, j + 2));
+        let dd = seq(12, 5, 1.0);
+        let mut c2 = DMatrix::zeros(12, 9);
+        gemm_nt_v(1.0, dd.view(), w_wide.view_cols(2, 7), 0.0, c2.view_mut());
+        assert!(c2.max_abs_diff(&matmul_nt(&dd, &w)) < 1e-4);
     }
 }

@@ -59,7 +59,12 @@ mod tests {
     fn gaussian_moments() {
         let m = gaussian(100, 100, 2.0, 7);
         let mean = m.data().iter().sum::<f32>() / 10_000.0;
-        let var = m.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        let var = m
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 10_000.0;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.4, "var {var}");
         assert!(m.all_finite());

@@ -22,9 +22,13 @@
 //! assert_eq!(c.get(1, 0), 3.0);
 //! ```
 
+pub mod alloc;
 pub mod gemm;
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod scratch;
+pub mod view;
 
 pub use matrix::DMatrix;
+pub use view::{MatMut, MatRef};

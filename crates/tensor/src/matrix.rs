@@ -18,6 +18,7 @@ pub struct DMatrix {
 impl DMatrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        crate::alloc::record_alloc();
         DMatrix {
             rows,
             cols,
@@ -27,6 +28,7 @@ impl DMatrix {
 
     /// Matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        crate::alloc::record_alloc();
         DMatrix {
             rows,
             cols,
@@ -42,6 +44,7 @@ impl DMatrix {
 
     /// Build elementwise from a function of `(row, col)`.
     pub fn from_fn<F: FnMut(usize, usize) -> f32>(rows: usize, cols: usize, mut f: F) -> Self {
+        crate::alloc::record_alloc();
         let mut data = Vec::with_capacity(rows * cols);
         for i in 0..rows {
             for j in 0..cols {
@@ -49,6 +52,40 @@ impl DMatrix {
             }
         }
         DMatrix { rows, cols, data }
+    }
+
+    /// Reshape to `rows × cols`, reusing the existing buffer whenever its
+    /// capacity suffices. **Contents are unspecified afterwards** — this
+    /// is the buffer-reuse primitive of the allocation-free training path,
+    /// where every caller immediately overwrites the matrix (GEMM with
+    /// `β = 0`, `copy_from`, a pack/fill pass, …).
+    pub fn ensure_shape(&mut self, rows: usize, cols: usize) {
+        let len = rows * cols;
+        if self.data.capacity() < len {
+            crate::alloc::record_alloc();
+        }
+        self.data.resize(len, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Become a copy of `src`, reusing this matrix's buffer if possible.
+    pub fn copy_from(&mut self, src: &DMatrix) {
+        self.ensure_shape(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Gather rows by index into `out` (`out[k] = self[idx[k]]`), reusing
+    /// `out`'s buffer. In-place variant of [`DMatrix::gather_rows`].
+    pub fn gather_rows_into(&self, idx: &[u32], out: &mut DMatrix) {
+        out.ensure_shape(idx.len(), self.cols);
+        let cols = self.cols.max(1);
+        out.data
+            .par_chunks_exact_mut(cols)
+            .zip(idx.par_iter())
+            .for_each(|(dst, &i)| {
+                dst.copy_from_slice(self.row(i as usize));
+            });
     }
 
     /// Identity-like matrix (1.0 on the main diagonal).

@@ -122,13 +122,25 @@ pub fn split_cols(m: &DMatrix, fl: usize) -> (DMatrix, DMatrix) {
 /// pass. `rng_stream` seeds a counter-based generator so the mask is
 /// deterministic per call site.
 pub fn dropout_inplace(m: &mut DMatrix, p: f32, rng_stream: u64) -> Vec<bool> {
+    let mut mask = Vec::new();
+    dropout_inplace_with(m, p, rng_stream, &mut mask);
+    mask
+}
+
+/// Buffer-reusing variant of [`dropout_inplace`]: the mask is written into
+/// `mask` (resized as needed), so a warm training loop reuses one mask
+/// buffer per layer instead of allocating each step.
+pub fn dropout_inplace_with(m: &mut DMatrix, p: f32, rng_stream: u64, mask: &mut Vec<bool>) {
     assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
     if p == 0.0 {
-        return vec![true; m.data().len()];
+        mask.clear();
+        mask.resize(m.data().len(), true);
+        return;
     }
     let scale = 1.0 / (1.0 - p);
     let threshold = (p as f64 * (u32::MAX as f64 + 1.0)) as u64;
-    let mut mask = vec![false; m.data().len()];
+    mask.clear();
+    mask.resize(m.data().len(), false);
     m.data_mut()
         .par_iter_mut()
         .zip(mask.par_iter_mut())
@@ -148,7 +160,6 @@ pub fn dropout_inplace(m: &mut DMatrix, p: f32, rng_stream: u64) -> Vec<bool> {
                 *keep = true;
             }
         });
-    mask
 }
 
 /// Dropout backward: apply the saved mask and survivor scaling to `grad`.

@@ -1,0 +1,126 @@
+//! Thread-local scratch arena for kernel workspaces.
+//!
+//! The packed GEMM and the propagation kernels need short-lived f32
+//! buffers (packed operand panels, pre-scaled gradient copies) on every
+//! call. Allocating them each time puts a `malloc`/`free` pair and a page
+//! fault storm on the hottest path in training, so [`with_buf`] hands out
+//! buffers from a per-thread LIFO pool instead: after warm-up, a steady
+//! training loop performs **zero** scratch allocations.
+//!
+//! Buffers are handed out as `&mut [f32]` whose contents are
+//! **unspecified** — callers must fully overwrite the region they read
+//! back (the packing routines do, by construction, including their zero
+//! padding).
+//!
+//! The pool is thread-local, so parallel GEMM tasks each reuse their own
+//! arena without synchronisation; nesting is supported (a kernel may take
+//! a buffer while its caller holds one).
+
+use std::cell::RefCell;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Maximum number of idle buffers kept per thread.
+const MAX_POOLED: usize = 16;
+
+/// Run `f` with a scratch buffer of exactly `len` elements (unspecified
+/// contents). The buffer returns to this thread's pool afterwards.
+pub fn with_buf<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    if buf.capacity() < len {
+        crate::alloc::record_alloc();
+    }
+    // Keep len == max seen so far: growth zero-fills once, later calls
+    // just slice. Contents are unspecified per the contract above.
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    let out = f(&mut buf[..len]);
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    });
+    out
+}
+
+thread_local! {
+    static MATRIX_POOL: RefCell<Vec<crate::DMatrix>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a pooled scratch matrix shaped `rows × cols` (unspecified
+/// contents — same contract as [`with_buf`]). Used for whole-matrix
+/// temporaries like the pre-scaled gradient copy in the propagation
+/// backward pass.
+pub fn with_matrix<R>(rows: usize, cols: usize, f: impl FnOnce(&mut crate::DMatrix) -> R) -> R {
+    let mut m = MATRIX_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_else(|| crate::DMatrix::zeros(0, 0));
+    m.ensure_shape(rows, cols);
+    let out = f(&mut m);
+    MATRIX_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(m);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::matrix_allocations;
+
+    #[test]
+    fn matrix_scratch_reuses() {
+        with_matrix(10, 10, |m| m.fill(1.0));
+        let before = matrix_allocations();
+        for _ in 0..50 {
+            with_matrix(10, 10, |m| {
+                m.set(0, 0, 2.0);
+                assert_eq!(m.shape(), (10, 10));
+            });
+            with_matrix(3, 5, |m| assert_eq!(m.shape(), (3, 5)));
+        }
+        assert_eq!(matrix_allocations(), before);
+    }
+
+    #[test]
+    fn reuses_buffers_after_warmup() {
+        with_buf(1024, |b| b.fill(1.0));
+        let before = matrix_allocations();
+        for _ in 0..100 {
+            with_buf(1024, |b| {
+                b[0] = 2.0;
+            });
+            with_buf(512, |b| {
+                b[10] = 3.0;
+            });
+        }
+        assert_eq!(
+            matrix_allocations(),
+            before,
+            "steady state must not allocate"
+        );
+    }
+
+    #[test]
+    fn nested_buffers_are_distinct() {
+        with_buf(16, |outer| {
+            outer.fill(1.0);
+            with_buf(16, |inner| {
+                inner.fill(2.0);
+            });
+            assert!(outer.iter().all(|&x| x == 1.0));
+        });
+    }
+
+    #[test]
+    fn zero_len_works() {
+        with_buf(0, |b| assert!(b.is_empty()));
+    }
+}

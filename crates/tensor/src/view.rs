@@ -1,0 +1,258 @@
+//! Borrowed, strided matrix views.
+//!
+//! A [`MatRef`]/[`MatMut`] is a `rows × cols` window whose consecutive rows
+//! are `row_stride` elements apart in the backing slice. Views let the GEMM
+//! kernels read operands and write results directly inside a larger matrix
+//! — e.g. the neighbor/self column halves of a concatenated GCN activation
+//! — without materialising sub-matrix copies. The packing step of the GEMM
+//! absorbs the stride, so strided operands run at the same speed as dense
+//! ones.
+
+use crate::matrix::DMatrix;
+
+/// Immutable strided view.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a> {
+    data: &'a [f32],
+    rows: usize,
+    cols: usize,
+    row_stride: usize,
+}
+
+impl<'a> MatRef<'a> {
+    /// View over `data`, whose row `i` occupies
+    /// `data[i*row_stride .. i*row_stride + cols]`.
+    ///
+    /// # Panics
+    /// Panics if the window exceeds `data`.
+    pub fn new(data: &'a [f32], rows: usize, cols: usize, row_stride: usize) -> Self {
+        assert!(cols <= row_stride || rows <= 1, "rows overlap");
+        if rows > 0 {
+            let need = (rows - 1) * row_stride + cols;
+            assert!(need <= data.len(), "view out of bounds");
+        }
+        MatRef {
+            data,
+            rows,
+            cols,
+            row_stride,
+        }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [f32] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.row_stride..i * self.row_stride + self.cols]
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.row_stride + j]
+    }
+
+    /// Restrict to a column range.
+    pub fn col_range(&self, lo: usize, hi: usize) -> MatRef<'a> {
+        assert!(lo <= hi && hi <= self.cols);
+        MatRef {
+            data: &self.data[lo..],
+            rows: self.rows,
+            cols: hi - lo,
+            row_stride: self.row_stride,
+        }
+    }
+}
+
+/// Mutable strided view.
+pub struct MatMut<'a> {
+    data: &'a mut [f32],
+    rows: usize,
+    cols: usize,
+    row_stride: usize,
+}
+
+impl<'a> MatMut<'a> {
+    /// Mutable view with the same layout rules as [`MatRef::new`].
+    pub fn new(data: &'a mut [f32], rows: usize, cols: usize, row_stride: usize) -> Self {
+        assert!(cols <= row_stride || rows <= 1, "rows overlap");
+        if rows > 0 {
+            let need = (rows - 1) * row_stride + cols;
+            assert!(need <= data.len(), "view out of bounds");
+        }
+        MatMut {
+            data,
+            rows,
+            cols,
+            row_stride,
+        }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    #[inline]
+    pub fn row_stride(&self) -> usize {
+        self.row_stride
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.row_stride..i * self.row_stride + self.cols]
+    }
+
+    /// Reborrow immutably.
+    pub fn as_ref(&self) -> MatRef<'_> {
+        MatRef {
+            data: self.data,
+            rows: self.rows,
+            cols: self.cols,
+            row_stride: self.row_stride,
+        }
+    }
+
+    /// Base pointer (row `i`, column `j` lives at `i*row_stride + j`).
+    /// Used by the GEMM driver to hand disjoint row blocks to parallel
+    /// tasks.
+    pub(crate) fn as_mut_ptr(&mut self) -> *mut f32 {
+        self.data.as_mut_ptr()
+    }
+
+    /// Restrict to a column range.
+    pub fn col_range_mut(&mut self, lo: usize, hi: usize) -> MatMut<'_> {
+        assert!(lo <= hi && hi <= self.cols);
+        MatMut {
+            data: &mut self.data[lo..],
+            rows: self.rows,
+            cols: hi - lo,
+            row_stride: self.row_stride,
+        }
+    }
+}
+
+impl DMatrix {
+    /// Whole-matrix immutable view.
+    pub fn view(&self) -> MatRef<'_> {
+        MatRef {
+            data: self.data(),
+            rows: self.rows(),
+            cols: self.cols(),
+            row_stride: self.cols(),
+        }
+    }
+
+    /// Immutable view of columns `lo..hi`.
+    pub fn view_cols(&self, lo: usize, hi: usize) -> MatRef<'_> {
+        self.view().col_range(lo, hi)
+    }
+
+    /// Whole-matrix mutable view.
+    pub fn view_mut(&mut self) -> MatMut<'_> {
+        let (rows, cols) = self.shape();
+        MatMut {
+            data: self.data_mut(),
+            rows,
+            cols,
+            row_stride: cols,
+        }
+    }
+
+    /// Mutable view of columns `lo..hi`.
+    pub fn view_cols_mut(&mut self, lo: usize, hi: usize) -> MatMut<'_> {
+        assert!(lo <= hi && hi <= self.cols());
+        let (rows, cols) = self.shape();
+        if rows == 0 || lo == hi {
+            return MatMut {
+                data: &mut [],
+                rows,
+                cols: hi - lo,
+                row_stride: cols.max(1),
+            };
+        }
+        MatMut {
+            data: &mut self.data_mut()[lo..],
+            rows,
+            cols: hi - lo,
+            row_stride: cols,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_index_correctly() {
+        let m = DMatrix::from_fn(3, 4, |i, j| (i * 10 + j) as f32);
+        let v = m.view();
+        assert_eq!(v.shape(), (3, 4));
+        assert_eq!(v.get(2, 3), 23.0);
+        assert_eq!(v.row(1), &[10.0, 11.0, 12.0, 13.0]);
+        let c = m.view_cols(1, 3);
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(c.get(2, 0), 21.0);
+        assert_eq!(c.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mutable_column_views_write_disjointly() {
+        let mut m = DMatrix::zeros(2, 5);
+        {
+            let mut left = m.view_cols_mut(0, 2);
+            left.row_mut(0).fill(1.0);
+            left.row_mut(1).fill(2.0);
+        }
+        {
+            let mut right = m.view_cols_mut(2, 5);
+            right.row_mut(1)[2] = 9.0;
+        }
+        assert_eq!(m.row(0), &[1.0, 1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(m.row(1), &[2.0, 2.0, 0.0, 0.0, 9.0]);
+    }
+
+    #[test]
+    fn zero_sized_views() {
+        let mut m = DMatrix::zeros(0, 4);
+        assert_eq!(m.view().rows(), 0);
+        assert_eq!(m.view_cols_mut(1, 3).rows(), 0);
+        let mut m = DMatrix::zeros(3, 4);
+        assert_eq!(m.view_cols_mut(2, 2).cols(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oversized_view_panics() {
+        let data = vec![0.0f32; 10];
+        MatRef::new(&data, 3, 4, 4);
+    }
+}

@@ -4,7 +4,10 @@ use gsgcn_tensor::{gemm, ops, DMatrix};
 use proptest::prelude::*;
 
 /// Strategy: a matrix with bounded entries.
-fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = DMatrix> {
+fn matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = DMatrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
         proptest::collection::vec(-2.0f32..2.0, r * c)
             .prop_map(move |data| DMatrix::from_vec(r, c, data))

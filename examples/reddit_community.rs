@@ -34,7 +34,9 @@ fn run(threads: usize, epochs: usize) -> (f64, f64, gsgcn::metrics::timing::Brea
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let epochs = 6;
     println!("Reddit-shaped community classification; {epochs} epochs, 2-layer GCN, hidden 256");
 

@@ -82,8 +82,8 @@ fn main() {
             dm += ds.mean;
             cc += stats::clustering_coefficient(&sub.graph);
             tv_dist += stats::degree_distribution_distance(g, &sub.graph);
-            lcc += stats::largest_component_size(&sub.graph) as f64
-                / sub.num_vertices().max(1) as f64;
+            lcc +=
+                stats::largest_component_size(&sub.graph) as f64 / sub.num_vertices().max(1) as f64;
         }
         let k = draws as f64;
         println!(

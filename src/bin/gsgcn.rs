@@ -48,7 +48,11 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(flags)
 }
 
-fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Result<T, String> {
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
         Some(v) => v
@@ -93,8 +97,10 @@ fn parse_hidden(flags: &HashMap<String, String>) -> Result<Vec<usize>, String> {
 }
 
 fn build_config(flags: &HashMap<String, String>) -> Result<TrainerConfig, String> {
-    let mut cfg = TrainerConfig::default();
-    cfg.hidden_dims = parse_hidden(flags)?;
+    let mut cfg = TrainerConfig {
+        hidden_dims: parse_hidden(flags)?,
+        ..TrainerConfig::default()
+    };
     cfg.epochs = get(flags, "epochs", 30usize)?;
     cfg.sampler.budget = get(flags, "budget", 1000usize)?;
     cfg.sampler.frontier_size = get(flags, "frontier", cfg.sampler.budget / 10)?;
@@ -105,7 +111,9 @@ fn build_config(flags: &HashMap<String, String>) -> Result<TrainerConfig, String
     let patience: usize = get(flags, "patience", 0usize)?;
     cfg.patience = if patience > 0 { Some(patience) } else { None };
     cfg.p_inter = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     } else {
         cfg.threads
     };
@@ -113,7 +121,10 @@ fn build_config(flags: &HashMap<String, String>) -> Result<TrainerConfig, String
 }
 
 fn cmd_datasets() -> Result<(), String> {
-    println!("{:<10} {:>10} {:>12} {:>6} {:>6} task", "name", "#vertices", "#edges", "attr", "cls");
+    println!(
+        "{:<10} {:>10} {:>12} {:>6} {:>6} task",
+        "name", "#vertices", "#edges", "attr", "cls"
+    );
     for spec in [
         presets::ppi_spec(),
         presets::reddit_spec(),
@@ -154,10 +165,7 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         weights
             .save(path)
             .map_err(|e| format!("saving {path:?}: {e}"))?;
-        println!(
-            "saved {} parameters to {path}",
-            weights.num_params()
-        );
+        println!("saved {} parameters to {path}", weights.num_params());
     }
     Ok(())
 }
@@ -170,10 +178,7 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     cfg.epochs = 1;
     let mut trainer = GsGcnTrainer::new(&dataset, cfg)?;
     trainer.import_weights(&weights)?;
-    println!(
-        "loaded {} parameters from {path}",
-        weights.num_params()
-    );
+    println!("loaded {} parameters from {path}", weights.num_params());
     for (name, split) in [
         ("train", EvalSplit::Train),
         ("val", EvalSplit::Val),

@@ -91,6 +91,9 @@ fn skewed_amazon_shape_with_degree_cap() {
     assert!(report.epochs.iter().all(|e| e.mean_loss.is_finite()));
     let first = report.epochs.first().unwrap().mean_loss;
     let last = report.epochs.last().unwrap().mean_loss;
-    assert!(last < first, "loss should decrease under degree cap: {first} → {last}");
+    assert!(
+        last < first,
+        "loss should decrease under degree cap: {first} → {last}"
+    );
     assert!((0.0..=1.0).contains(&report.final_val_f1));
 }
