@@ -59,6 +59,7 @@ impl<'a> FullBatchTrainer<'a> {
             loss,
             adam: cfg.adam,
             dropout: 0.0,
+            fused: true,
         };
         model_cfg.validate()?;
         Ok(FullBatchTrainer {

@@ -1,0 +1,87 @@
+//! Fused aggregate→GEMM vs the unfused `aggregate → matmul` sequence on
+//! the GCN layer shapes (the tentpole comparison of the SpMM-fusion work;
+//! acceptance target: fused ≥ 1.3× on the 8192×602·602×256 shape).
+//!
+//! Both sides compute the full layer neighbor-half product
+//! `C = (Â·H)·W` into a preallocated output:
+//!
+//! * `unfused` — `aggregate_feature_partitioned_into` (Alg. 6, 256 KiB
+//!   fast memory) materialises `Â·H`, then the packed GEMM reads it back;
+//! * `fused`   — the aggregation runs as the GEMM's A-panel producer and
+//!   the aggregated matrix never leaves L2.
+//!
+//! Run with `GSGCN_BENCH_JSON=BENCH_fused_layer.json` to archive the
+//! numbers (CI does).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gsgcn_data::generators::{community_powerlaw, CommunityGraphSpec};
+use gsgcn_prop::fused::AggregatedRows;
+use gsgcn_prop::kernels;
+use gsgcn_prop::propagator::scale_rows_by_inv_degree;
+use gsgcn_tensor::{gemm, DMatrix};
+use std::hint::black_box;
+
+/// Per-core fast-memory size handed to Alg. 6 (the paper's 256 KiB L2).
+const CACHE_BYTES: usize = 256 * 1024;
+
+fn bench_aggregate_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate_gemm");
+    group.sample_size(15);
+    // (n, f, h): subgraph vertices × input width × neighbor-half width.
+    // 8192×602·602×256 is the acceptance shape (PPI-scale forward).
+    for &(n, f, h) in &[(8192usize, 602usize, 256usize), (2048, 602, 256)] {
+        let cg = community_powerlaw(
+            &CommunityGraphSpec {
+                vertices: n,
+                edges: n * 8,
+                communities: 16,
+                ..CommunityGraphSpec::default()
+            },
+            11,
+        );
+        let g = &cg.graph;
+        let hm = DMatrix::from_fn(n, f, |i, j| ((i * 5 + j) % 11) as f32 * 0.1 - 0.5);
+        let w = DMatrix::from_fn(f, h, |i, j| ((i * 3 + j) % 7) as f32 * 0.15 - 0.4);
+        // Count the edge gathers plus the dense GEMM work.
+        group.throughput(Throughput::Elements(
+            (g.num_edges() * f + 2 * n * f * h) as u64,
+        ));
+
+        let mut c_out = DMatrix::zeros(n, h);
+        group.bench_with_input(
+            BenchmarkId::new("fused", format!("{n}x{f}x{h}")),
+            &n,
+            |bch, _| {
+                bch.iter(|| {
+                    gemm::gemm_source_nn_v(
+                        1.0,
+                        &AggregatedRows::mean(g, hm.view()),
+                        w.view(),
+                        0.0,
+                        c_out.view_mut(),
+                    );
+                    black_box(c_out.get(0, 0))
+                });
+            },
+        );
+
+        let mut agg = DMatrix::zeros(n, f);
+        group.bench_with_input(
+            BenchmarkId::new("unfused", format!("{n}x{f}x{h}")),
+            &n,
+            |bch, _| {
+                bch.iter(|| {
+                    agg.fill(0.0);
+                    kernels::aggregate_feature_partitioned_into(g, &hm, CACHE_BYTES, &mut agg);
+                    scale_rows_by_inv_degree(g, &mut agg);
+                    gemm::gemm_nn_v(1.0, agg.view(), w.view(), 0.0, c_out.view_mut());
+                    black_box(c_out.get(0, 0))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregate_gemm);
+criterion_main!(benches);

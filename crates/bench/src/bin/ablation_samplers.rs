@@ -42,6 +42,7 @@ fn train_with_sampler(
             ..Default::default()
         },
         dropout: 0.0,
+        fused: true,
     };
     let mut model = GcnModel::new(cfg, seed());
     let budget = 500.min(tv.graph.num_vertices());

@@ -32,6 +32,11 @@ fn measure(d: &Dataset, hidden: usize, cores: usize, epochs: usize) -> Meas {
         eval_every: 0,
         threads: cores,
         p_inter: cores,
+        // Unfused: Fig. 3 splits time into feature propagation vs weight
+        // application, and only the unfused path books the neighbor-half
+        // GEMM under weight application (see `KernelTimings` — fused mode
+        // folds it into the propagation bucket, skewing this breakdown).
+        fused: false,
         ..TrainerConfig::default()
     };
     cfg.sampler.frontier_size = 200;

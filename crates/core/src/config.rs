@@ -29,8 +29,16 @@ pub struct TrainerConfig {
     pub threads: usize,
     /// Evaluate validation F1 every this many epochs (0 = only at end).
     pub eval_every: usize,
-    /// Propagation kernel (Alg. 6 by default).
+    /// Propagation kernel for the *unfused* path (Alg. 6 by default).
+    /// Only consulted when `fused` is off — the fused pipeline has its
+    /// own fixed blocking and ignores this for both training and
+    /// inference, so kernel ablations over `prop_mode` must also set
+    /// `fused: false`.
     pub prop_mode: PropMode,
+    /// Run GCN layers on the fused aggregate→GEMM pipeline (default).
+    /// `false` falls back to the unfused aggregate-then-GEMM reference
+    /// path (ablations, equivalence tests).
+    pub fused: bool,
     /// Early stopping: end training when validation F1 has not improved
     /// for this many consecutive evaluations (`None` disables; requires
     /// `eval_every > 0`).
@@ -58,6 +66,7 @@ impl Default for TrainerConfig {
             threads: 0,
             eval_every: 1,
             prop_mode: PropMode::default(),
+            fused: true,
             patience: None,
             seed: 1,
         }
@@ -85,6 +94,7 @@ impl TrainerConfig {
             threads: 0,
             eval_every: 5,
             prop_mode: PropMode::default(),
+            fused: true,
             patience: None,
             seed: 42,
         }

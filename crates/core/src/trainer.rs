@@ -74,6 +74,7 @@ impl<'a> GsGcnTrainer<'a> {
             loss,
             adam: cfg.adam,
             dropout: cfg.dropout,
+            fused: cfg.fused,
         };
         model_cfg.validate()?;
         let model = GcnModel::with_propagator(

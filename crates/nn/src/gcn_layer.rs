@@ -21,6 +21,14 @@
 //! dH         = Âᵀ·(dH_neigh · W_neighᵀ) + dH_self · W_selfᵀ
 //! ```
 //!
+//! In the default **fused** mode both passes avoid materialising any
+//! aggregated matrix: forward fuses `Â·H` into the `·W_neigh` GEMM, and
+//! backward reassociates `dW_neigh = Hᵀ·(Âᵀ·dH_neigh)` and
+//! `Âᵀ·(dH_neigh·W_neighᵀ) = (Âᵀ·dH_neigh)·W_neighᵀ` around the narrow
+//! intermediate `Z = Âᵀ·dH_neigh` (valid because `Â` acts on a symmetric
+//! adjacency), which the fused `Z·W_neighᵀ` GEMM spills as a side effect
+//! of panel packing. See the struct docs.
+//!
 //! The layer reports the wall-clock split between sparse feature
 //! propagation and dense weight application, feeding the Fig. 3
 //! execution-time breakdown.
@@ -32,11 +40,22 @@ use gsgcn_tensor::{gemm, init, ops, DMatrix};
 use std::time::Instant;
 
 /// Wall-clock seconds spent in the two kernel classes of one pass.
+///
+/// **Fused-mode caveat:** in the fused pipeline the sparse aggregation
+/// runs *inside* the neighbor-half GEMM's pack step and the two cannot be
+/// timed separately, so the whole fused call — pack (aggregation) *and*
+/// multiply — is booked under `feature_prop_secs`, while only the
+/// self-half and weight-gradient GEMMs count as `weight_app_secs`. The
+/// unfused path books the dense neighbor-half multiply under
+/// `weight_app_secs` instead, so breakdowns are **not comparable across
+/// the fused toggle**; compare totals, or use the unfused mode for the
+/// Fig. 3-style split.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct KernelTimings {
-    /// Sparse feature propagation (`Â·H`, `Âᵀ·dY`).
+    /// Sparse feature propagation (`Â·H`, `Âᵀ·dY`), including the fused
+    /// GEMMs it is inseparable from (see the struct docs).
     pub feature_prop_secs: f64,
-    /// Dense weight application (all GEMMs).
+    /// Dense weight application (all GEMMs outside the fused calls).
     pub weight_app_secs: f64,
 }
 
@@ -60,9 +79,23 @@ struct ForwardCache {
 
 /// One graph-convolution layer with `W_self` and `W_neigh`.
 ///
-/// The layer owns persistent work buffers (`aggregated`, `d_agg`, weight
-/// gradients): the in-place `forward_into` / `backward_into` pair reuses
-/// them across iterations, so a warm training loop allocates nothing here.
+/// The layer owns persistent work buffers (`aggregated`/`z_neigh`,
+/// `d_agg`, weight gradients): the in-place `forward_into` /
+/// `backward_into` pair reuses them across iterations, so a warm training
+/// loop allocates nothing here.
+///
+/// # Fused vs unfused hot path
+///
+/// By default (`fused = true`) the layer runs the fused
+/// aggregate→GEMM pipeline (`gsgcn_prop::fused`): forward computes
+/// `(Â·H)·W_neigh` in one cache pass without materialising `Â·H`, and
+/// backward reassociates `dW_neigh = (Â·H)ᵀ·dY = Hᵀ·(Âᵀ·dY)` so only the
+/// *narrow* `Z = Âᵀ·dY_neigh` (`n × half`) is ever stored — the wide
+/// `n × f_in` aggregate cache of the unfused path disappears, and `Z`
+/// itself is spilled as a side effect of the fused `Z·W_neighᵀ` GEMM.
+/// The unfused path ([`GcnLayer::with_fused`]`(false)`) keeps the
+/// original aggregate-then-GEMM composition as the reference
+/// implementation for equivalence proptests and benches.
 #[derive(Clone, Debug)]
 pub struct GcnLayer {
     pub w_neigh: AdamParam,
@@ -70,13 +103,19 @@ pub struct GcnLayer {
     /// Apply ReLU after concat (disabled on the last embedding layer if
     /// raw embeddings are wanted).
     pub activation: bool,
-    /// `Â·H` of the last forward (consumed by backward for `dW_neigh`).
+    /// Use the fused aggregate→GEMM pipeline (default).
+    fused: bool,
+    /// Unfused path only: `Â·H` of the last forward (consumed by backward
+    /// for `dW_neigh`).
     aggregated: DMatrix,
+    /// Fused path only: `Z = Âᵀ·dH_neigh` of the current backward,
+    /// spilled by the fused input-gradient GEMM and consumed by the
+    /// weight-gradient GEMM.
+    z_neigh: DMatrix,
     /// True between a `forward_into` and the `backward_into` that
-    /// consumes its cached `aggregated` — guards against mis-paired
-    /// calls (the in-place API's analogue of the old `Option` cache).
+    /// consumes its forward state — guards against mis-paired calls.
     fwd_pending: bool,
-    /// Scratch for `dH_neigh·W_neighᵀ` in backward.
+    /// Scratch for `dH_neigh·W_neighᵀ` in the unfused backward.
     d_agg: DMatrix,
     /// Persistent weight-gradient buffers (see [`GcnLayer::own_grads`]).
     grads: GcnLayerGrads,
@@ -97,7 +136,9 @@ impl GcnLayer {
             w_neigh: AdamParam::new(init::xavier_uniform(in_dim, half_dim, seed)),
             w_self: AdamParam::new(init::xavier_uniform(in_dim, half_dim, seed ^ 0x5EED)),
             activation,
+            fused: true,
             aggregated: DMatrix::zeros(0, 0),
+            z_neigh: DMatrix::zeros(0, 0),
             fwd_pending: false,
             d_agg: DMatrix::zeros(0, 0),
             grads: GcnLayerGrads {
@@ -106,6 +147,17 @@ impl GcnLayer {
             },
             cache: None,
         }
+    }
+
+    /// Select the fused (default) or unfused reference hot path.
+    pub fn with_fused(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
+
+    /// Whether this layer runs the fused aggregate→GEMM pipeline.
+    pub fn fused(&self) -> bool {
+        self.fused
     }
 
     pub fn in_dim(&self) -> usize {
@@ -149,9 +201,52 @@ impl GcnLayer {
         }
     }
 
+    /// The fused forward computation shared by training
+    /// ([`GcnLayer::forward_into`]) and inference ([`GcnLayer::infer`]):
+    /// `out = σ?( [(Â·H)·W_neigh ‖ H·W_self] )` with the neighbor half
+    /// fused (aggregation inside the GEMM pack). Returns the timing
+    /// split; see [`KernelTimings`] for what each bucket means in fused
+    /// mode. `out` must be pre-shaped `h.rows() × 2·half`.
+    fn apply_fused(
+        &self,
+        g: &CsrGraph,
+        h: &DMatrix,
+        out: &mut DMatrix,
+        prop: &FeaturePropagator,
+    ) -> KernelTimings {
+        let mut t = KernelTimings::default();
+        let half = self.w_neigh.value.cols();
+        debug_assert_eq!(out.shape(), (h.rows(), 2 * half));
+
+        let t0 = Instant::now();
+        prop.forward_gemm_into(
+            g,
+            h,
+            self.w_neigh.value.view(),
+            0.0,
+            out.view_cols_mut(0, half),
+        );
+        t.feature_prop_secs += t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        gemm::gemm_nn_v(
+            1.0,
+            h.view(),
+            self.w_self.value.view(),
+            0.0,
+            out.view_cols_mut(half, 2 * half),
+        );
+        if self.activation {
+            ops::relu_inplace(out);
+        }
+        t.weight_app_secs += t0.elapsed().as_secs_f64();
+        t
+    }
+
     /// In-place forward: write the activations into `out` (buffer reused,
-    /// reshaped as needed). The aggregated input `Â·H` is cached in a
-    /// persistent layer buffer for the backward pass.
+    /// reshaped as needed). Fused mode computes the neighbor half
+    /// `(Â·H)·W_neigh` in one pass; unfused mode caches the aggregated
+    /// input `Â·H` in a persistent layer buffer for the backward pass.
     pub fn forward_into(
         &mut self,
         g: &CsrGraph,
@@ -162,6 +257,13 @@ impl GcnLayer {
         let mut t = KernelTimings::default();
         let half = self.w_neigh.value.cols();
         out.ensure_shape(h.rows(), 2 * half);
+
+        if self.fused {
+            let t2 = self.apply_fused(g, h, out, prop);
+            self.fwd_pending = true;
+            t.add(t2);
+            return t;
+        }
 
         let t0 = Instant::now();
         prop.forward_into(g, h, &mut self.aggregated); // Â·H
@@ -195,9 +297,13 @@ impl GcnLayer {
 
     /// Inference-only forward (`&self`, no caching).
     pub fn infer(&self, g: &CsrGraph, h: &DMatrix, prop: &FeaturePropagator) -> DMatrix {
-        let aggregated = prop.forward(g, h);
         let mut out = DMatrix::zeros(h.rows(), 2 * self.w_neigh.value.cols());
-        self.apply_weights(&aggregated, h, &mut out);
+        if self.fused {
+            self.apply_fused(g, h, &mut out, prop);
+        } else {
+            let aggregated = prop.forward(g, h);
+            self.apply_weights(&aggregated, h, &mut out);
+        }
         out
     }
 
@@ -225,11 +331,13 @@ impl GcnLayer {
             self.fwd_pending,
             "backward_into called before forward_into (or called twice)"
         );
-        assert_eq!(
-            self.aggregated.shape(),
-            (input.rows(), self.w_neigh.value.rows()),
-            "activations do not match the cached forward state"
-        );
+        if !self.fused {
+            assert_eq!(
+                self.aggregated.shape(),
+                (input.rows(), self.w_neigh.value.rows()),
+                "activations do not match the cached forward state"
+            );
+        }
         self.fwd_pending = false;
         let mut t = KernelTimings::default();
         if self.activation {
@@ -239,6 +347,49 @@ impl GcnLayer {
         let in_dim = self.w_neigh.value.rows();
         let d_neigh = d_out.view_cols(0, half);
         let d_self = d_out.view_cols(half, 2 * half);
+
+        if self.fused {
+            // Reassociated backward: with Z = Âᵀ·dH_neigh,
+            //   d_in     = dH_self·W_selfᵀ + Z·W_neighᵀ
+            //   dW_neigh = (Â·H)ᵀ·dH_neigh = Hᵀ·Z
+            // so no forward-side aggregate cache is needed, and the only
+            // sparse pass runs at width `half` instead of `in_dim`.
+            let t0 = Instant::now();
+            d_in.ensure_shape(input.rows(), in_dim);
+            gemm::gemm_nt_v(1.0, d_self, self.w_self.value.view(), 0.0, d_in.view_mut());
+            t.weight_app_secs += t0.elapsed().as_secs_f64();
+
+            // Fused: d_in += Z·W_neighᵀ with Z spilled on the way through.
+            let t0 = Instant::now();
+            prop.backward_gemm_into(
+                g,
+                d_neigh,
+                self.w_neigh.value.view(),
+                &mut self.z_neigh,
+                d_in.view_mut(),
+            );
+            t.feature_prop_secs += t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            self.grads.d_w_neigh.ensure_shape(in_dim, half);
+            gemm::gemm_tn_v(
+                1.0,
+                input.view(),
+                self.z_neigh.view(),
+                0.0,
+                self.grads.d_w_neigh.view_mut(),
+            );
+            self.grads.d_w_self.ensure_shape(in_dim, half);
+            gemm::gemm_tn_v(
+                1.0,
+                input.view(),
+                d_self,
+                0.0,
+                self.grads.d_w_self.view_mut(),
+            );
+            t.weight_app_secs += t0.elapsed().as_secs_f64();
+            return t;
+        }
 
         let t0 = Instant::now();
         self.grads.d_w_neigh.ensure_shape(in_dim, half);
@@ -411,6 +562,93 @@ mod tests {
             );
         }
         // Input entries (tests the Âᵀ backward path).
+        for (r, c) in [(0usize, 0usize), (3, 2)] {
+            let orig = h.get(r, c);
+            let mut hp = h.clone();
+            hp.set(r, c, orig + eps);
+            let lp = loss_of(&layer, &hp);
+            let mut hm = h.clone();
+            hm.set(r, c, orig - eps);
+            let lm = loss_of(&layer, &hm);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = dh.get(r, c);
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "dH[{r},{c}]: {num} vs {ana}"
+            );
+        }
+    }
+
+    /// The fused hot path must match the unfused reference composition —
+    /// same weights, same inputs, forward activations, input gradients
+    /// and weight gradients all within fp tolerance.
+    #[test]
+    fn fused_matches_unfused_reference() {
+        let g = square();
+        let h = DMatrix::from_fn(4, 5, |i, j| ((i * 5 + j) % 9) as f32 * 0.2 - 0.7);
+        let p = prop();
+        let mut fused = GcnLayer::new(5, 3, true, 9).with_fused(true);
+        let mut unfused = fused.clone().with_fused(false);
+
+        let (of, _) = fused.forward(&g, &h, &p);
+        let (ou, _) = unfused.forward(&g, &h, &p);
+        assert!(of.max_abs_diff(&ou) < 1e-5, "forward mismatch");
+
+        let d_out = DMatrix::from_fn(4, 6, |i, j| ((i + 2 * j) % 5) as f32 * 0.3 - 0.6);
+        let (df, gf, _) = fused.backward(&g, &d_out, &p);
+        let (du, gu, _) = unfused.backward(&g, &d_out, &p);
+        assert!(df.max_abs_diff(&du) < 1e-5, "d_in mismatch");
+        assert!(gf.d_w_neigh.max_abs_diff(&gu.d_w_neigh) < 1e-5);
+        assert!(gf.d_w_self.max_abs_diff(&gu.d_w_self) < 1e-5);
+    }
+
+    #[test]
+    fn unfused_gradient_check_weights_and_input() {
+        // The reference path keeps its own finite-difference check.
+        let g = square();
+        let mut layer = GcnLayer::new(3, 2, true, 4).with_fused(false);
+        let h = DMatrix::from_fn(4, 3, |i, j| ((i * 7 + j * 3) % 11) as f32 * 0.15 - 0.6);
+        let p = prop();
+        let loss_of = |layer: &GcnLayer, h: &DMatrix| -> f32 {
+            let o = layer.infer(&g, h, &p);
+            0.5 * o.data().iter().map(|x| x * x).sum::<f32>()
+        };
+        let (out, _) = layer.forward(&g, &h, &p);
+        let (dh, grads, _) = layer.backward(&g, &out, &p);
+        let eps = 1e-2f32;
+        // W_neigh entries.
+        for (r, c) in [(0usize, 0usize), (1, 1), (2, 0)] {
+            let orig = layer.w_neigh.value.get(r, c);
+            layer.w_neigh.value.set(r, c, orig + eps);
+            let lp = loss_of(&layer, &h);
+            layer.w_neigh.value.set(r, c, orig - eps);
+            let lm = loss_of(&layer, &h);
+            layer.w_neigh.value.set(r, c, orig);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads.d_w_neigh.get(r, c);
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "dW_neigh[{r},{c}]: {num} vs {ana}"
+            );
+        }
+        // W_self entries.
+        for (r, c) in [(0usize, 1usize), (2, 1)] {
+            let orig = layer.w_self.value.get(r, c);
+            layer.w_self.value.set(r, c, orig + eps);
+            let lp = loss_of(&layer, &h);
+            layer.w_self.value.set(r, c, orig - eps);
+            let lm = loss_of(&layer, &h);
+            layer.w_self.value.set(r, c, orig);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = grads.d_w_self.get(r, c);
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "dW_self[{r},{c}]: {num} vs {ana}"
+            );
+        }
+        // Input entries (ground truth for the Âᵀ backward path shared by
+        // both modes — the fused/unfused equivalence test cannot see a
+        // bug they have in common).
         for (r, c) in [(0usize, 0usize), (3, 2)] {
             let orig = h.get(r, c);
             let mut hp = h.clone();

@@ -40,6 +40,10 @@ pub struct GcnConfig {
     pub adam: AdamHyper,
     /// Dropout probability on layer inputs (0 disables).
     pub dropout: f32,
+    /// Run GCN layers on the fused aggregate→GEMM pipeline (default).
+    /// `false` selects the unfused aggregate-then-GEMM reference path,
+    /// kept for equivalence tests and benches.
+    pub fused: bool,
 }
 
 impl Default for GcnConfig {
@@ -51,6 +55,7 @@ impl Default for GcnConfig {
             loss: LossKind::SigmoidBce,
             adam: AdamHyper::default(),
             dropout: 0.0,
+            fused: true,
         }
     }
 }
@@ -135,12 +140,10 @@ impl GcnModel {
         let mut layers = Vec::with_capacity(cfg.hidden_dims.len());
         let mut in_dim = cfg.in_dim;
         for (i, &h) in cfg.hidden_dims.iter().enumerate() {
-            layers.push(GcnLayer::new(
-                in_dim,
-                h / 2,
-                true,
-                seed ^ ((i as u64 + 1) * 0x9E37),
-            ));
+            layers.push(
+                GcnLayer::new(in_dim, h / 2, true, seed ^ ((i as u64 + 1) * 0x9E37))
+                    .with_fused(cfg.fused),
+            );
             in_dim = h;
         }
         let head = DenseLayer::new(in_dim, cfg.num_classes, seed ^ 0xDEAD_4EAD);
@@ -336,6 +339,7 @@ mod tests {
                 ..AdamHyper::default()
             },
             dropout: 0.0,
+            fused: true,
         }
     }
 

@@ -28,6 +28,7 @@ fn cfg(in_dim: usize, dropout: f32) -> GcnConfig {
         loss: LossKind::SigmoidBce,
         adam: AdamHyper::default(),
         dropout,
+        fused: true,
     }
 }
 
@@ -46,6 +47,10 @@ fn allocs_during(
     alloc::matrix_allocations() - before
 }
 
+/// The fused (default) train_step must perform zero matrix allocations
+/// after warm-up: fused GEMM packs, the aggregation producer's
+/// accumulator and the spilled `Z` buffer all come from persistent or
+/// pooled storage.
 #[test]
 fn train_step_is_allocation_free_after_first_iteration() {
     let n = 64;
@@ -53,6 +58,7 @@ fn train_step_is_allocation_free_after_first_iteration() {
     let x = DMatrix::from_fn(n, 8, |i, j| ((i * 7 + j) % 13) as f32 * 0.1 - 0.6);
     let y = DMatrix::from_fn(n, 4, |i, j| ((i + j) % 2) as f32);
     let mut model = GcnModel::new(cfg(8, 0.0), 42);
+    assert!(model.config().fused, "default model must be fused");
 
     // All parallel work inline on this thread so the thread-local counter
     // sees every allocation.
@@ -68,7 +74,32 @@ fn train_step_is_allocation_free_after_first_iteration() {
         let steady = allocs_during(&mut model, &g, &x, &y, 10);
         assert_eq!(
             steady, 0,
-            "train_step allocated {steady} matrices after warm-up"
+            "fused train_step allocated {steady} matrices after warm-up"
+        );
+    });
+}
+
+/// The unfused reference path keeps the same guarantee.
+#[test]
+fn unfused_train_step_is_allocation_free_after_first_iteration() {
+    let n = 64;
+    let g = ring_graph(n);
+    let x = DMatrix::from_fn(n, 8, |i, j| ((i * 5 + j) % 11) as f32 * 0.1 - 0.5);
+    let y = DMatrix::from_fn(n, 4, |i, j| ((i + j) % 2) as f32);
+    let mut c = cfg(8, 0.0);
+    c.fused = false;
+    let mut model = GcnModel::new(c, 42);
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        allocs_during(&mut model, &g, &x, &y, 1);
+        let steady = allocs_during(&mut model, &g, &x, &y, 10);
+        assert_eq!(
+            steady, 0,
+            "unfused train_step allocated {steady} matrices after warm-up"
         );
     });
 }

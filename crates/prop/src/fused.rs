@@ -1,0 +1,278 @@
+//! Fused aggregation→GEMM: the sparse neighbor sum as a GEMM pack source.
+//!
+//! [`AggregatedRows`] implements [`gemm::PackSource`]: when the packed
+//! GEMM driver asks for an `MC×KC` A-panel, the producer *computes* the
+//! aggregated rows `Σ_{u∈N(v)} H[u]` (optionally mean-normalised) for
+//! that block of vertices and column range, directly into the
+//! thread-local pack scratch. The aggregated matrix `Â·H` therefore never
+//! exists in DRAM — it lives only as an L2-resident panel between its
+//! production and its consumption by the microkernel. See the crate docs
+//! for the traffic model.
+//!
+//! An optional *spill* target captures the aggregated rows as a side
+//! effect of packing: the GCN backward pass needs `Z = Âᵀ·dY` twice
+//! (input gradient `Z·Wᵀ` and weight gradient `Hᵀ·Z`), so the fused
+//! `Z·Wᵀ` GEMM writes `Z` once on the way through instead of running a
+//! second aggregation pass.
+
+use gsgcn_graph::CsrGraph;
+use gsgcn_tensor::gemm::{PackSource, MR};
+use gsgcn_tensor::{scratch, DMatrix, MatRef};
+
+/// Raw spill target; tasks write disjoint row ranges (see SAFETY notes).
+struct Spill {
+    ptr: *mut f32,
+    cols: usize,
+}
+
+// SAFETY: the GEMM driver hands disjoint `[ic, ic+mc)` row blocks to its
+// parallel tasks within one column strip, and strips run sequentially, so
+// no two concurrent `pack_a` calls touch overlapping spill rows. Repeat
+// packs of the same block (one per strip) rewrite identical values.
+unsafe impl Send for Spill {}
+unsafe impl Sync for Spill {}
+
+/// A [`PackSource`] whose logical A operand is the aggregated feature
+/// matrix: row `v` is `dst_scale(v) · Σ_{u∈N(v)} src_scale(u) · H[u]`.
+/// `H` is a (possibly strided) view, so e.g. the neighbor half of a
+/// concatenated gradient feeds the producer without a copy.
+pub struct AggregatedRows<'a> {
+    g: &'a CsrGraph,
+    h: MatRef<'a>,
+    /// Mean-normalise each *output* row by `1/deg(v)` (the `D⁻¹` of
+    /// `Â = D⁻¹A` acting on the destination).
+    mean: bool,
+    /// Scale each *gathered* row by `1/deg(u)` — `A·D⁻¹·H`, which is
+    /// `Âᵀ·H` on the symmetric graphs this workspace builds.
+    src_inv_deg: bool,
+    spill: Option<Spill>,
+}
+
+impl<'a> AggregatedRows<'a> {
+    /// Mean-aggregated rows: `A = Â·H` with `Â = D⁻¹A` (forward pass).
+    pub fn mean(g: &'a CsrGraph, h: MatRef<'a>) -> Self {
+        assert_eq!(
+            h.rows(),
+            g.num_vertices(),
+            "feature rows must match vertex count"
+        );
+        AggregatedRows {
+            g,
+            h,
+            mean: true,
+            src_inv_deg: false,
+            spill: None,
+        }
+    }
+
+    /// Unnormalised neighbor sums: `A = A_adj·H`.
+    pub fn sum(g: &'a CsrGraph, h: MatRef<'a>) -> Self {
+        assert_eq!(
+            h.rows(),
+            g.num_vertices(),
+            "feature rows must match vertex count"
+        );
+        AggregatedRows {
+            g,
+            h,
+            mean: false,
+            src_inv_deg: false,
+            spill: None,
+        }
+    }
+
+    /// The propagation adjoint: `A = Âᵀ·H = A_adj·D⁻¹·H` (backward pass).
+    /// The `1/deg(u)` scaling is folded into the gather itself — each
+    /// term is `fl(H[u][c] · 1/deg(u))` exactly as the unfused path's
+    /// pre-scaled copy produces, so results match it bit-for-bit while
+    /// the scaled matrix never materialises.
+    pub fn adjoint_mean(g: &'a CsrGraph, h: MatRef<'a>) -> Self {
+        assert_eq!(
+            h.rows(),
+            g.num_vertices(),
+            "feature rows must match vertex count"
+        );
+        AggregatedRows {
+            g,
+            h,
+            mean: false,
+            src_inv_deg: true,
+            spill: None,
+        }
+    }
+
+    /// Also write every aggregated row into `out` (shaped `n × h.cols()`)
+    /// as panels are packed. `out` is borrowed for the producer's lifetime,
+    /// so it becomes readable once the producer is dropped — after the
+    /// GEMM call, every row has been written at least once.
+    pub fn with_spill(mut self, out: &'a mut DMatrix) -> Self {
+        out.ensure_shape(self.g.num_vertices(), self.h.cols());
+        self.spill = Some(Spill {
+            ptr: out.data_mut().as_mut_ptr(),
+            cols: out.cols(),
+        });
+        self
+    }
+}
+
+impl PackSource for AggregatedRows<'_> {
+    fn shape(&self) -> (usize, usize) {
+        (self.g.num_vertices(), self.h.cols())
+    }
+
+    fn pack_a(&self, alpha: f32, ic: usize, mc: usize, pc: usize, kc: usize, out: &mut [f32]) {
+        let panels = mc.div_ceil(MR);
+        debug_assert_eq!(out.len(), panels * kc * MR);
+        // One contiguous accumulator row, scattered into the interleaved
+        // panel once per row: the per-neighbor inner loop is then a
+        // unit-stride add over `kc` floats the vectoriser handles.
+        scratch::with_buf(kc, |acc| {
+            for (p, panel) in out.chunks_exact_mut(kc * MR).enumerate() {
+                let r0 = p * MR;
+                let rows_here = MR.min(mc - r0);
+                for r in 0..rows_here {
+                    let v = ic + r0 + r;
+                    acc.fill(0.0);
+                    if self.src_inv_deg {
+                        for &u in self.g.neighbors(v as u32) {
+                            // `u` has `v` as a neighbor, so deg(u) ≥ 1.
+                            let su = 1.0 / self.g.degree(u) as f32;
+                            let src = &self.h.row(u as usize)[pc..pc + kc];
+                            for (a, &s) in acc.iter_mut().zip(src) {
+                                *a += s * su;
+                            }
+                        }
+                    } else {
+                        for &u in self.g.neighbors(v as u32) {
+                            let src = &self.h.row(u as usize)[pc..pc + kc];
+                            for (a, &s) in acc.iter_mut().zip(src) {
+                                *a += s;
+                            }
+                        }
+                    }
+                    // Same operation order as the unfused path (sum, then
+                    // one multiply by 1/deg, then the pack's α fold), so
+                    // fused results match the materialised composition
+                    // bit-for-bit at α = 1.
+                    let deg = self.g.degree(v as u32);
+                    let inv = if self.mean && deg > 0 {
+                        1.0 / deg as f32
+                    } else {
+                        1.0
+                    };
+                    if let Some(spill) = &self.spill {
+                        // SAFETY: row `v` is exclusively owned by this
+                        // task's block within the current strip (see the
+                        // `Spill` safety note); `pc + kc ≤ cols` by the
+                        // pack contract.
+                        let dst: &mut [f32] = unsafe {
+                            std::slice::from_raw_parts_mut(spill.ptr.add(v * spill.cols + pc), kc)
+                        };
+                        for (d, &a) in dst.iter_mut().zip(acc.iter()) {
+                            *d = a * inv;
+                        }
+                    }
+                    let scale = alpha * inv;
+                    for (kk, &a) in acc.iter().enumerate() {
+                        panel[kk * MR + r] = a * scale;
+                    }
+                }
+                if rows_here < MR {
+                    for kk in 0..kc {
+                        panel[kk * MR + rows_here..(kk + 1) * MR].fill(0.0);
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+    use crate::propagator::scale_rows_by_inv_degree;
+    use gsgcn_graph::GraphBuilder;
+    use gsgcn_tensor::gemm;
+
+    fn rand_graph(n: usize, extra: usize, seed: u64) -> CsrGraph {
+        let mut edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let mut s = seed;
+        for _ in 0..extra {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = ((s >> 33) as usize) % n;
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = ((s >> 33) as usize) % n;
+            if a != b {
+                edges.push((a as u32, b as u32));
+            }
+        }
+        GraphBuilder::new(n).add_edges(edges).build()
+    }
+
+    fn features(n: usize, f: usize) -> DMatrix {
+        DMatrix::from_fn(n, f, |i, j| ((i * 31 + j * 7) % 13) as f32 * 0.25 - 1.0)
+    }
+
+    #[test]
+    fn fused_nn_matches_aggregate_then_matmul() {
+        // Shapes straddling MR/MC/KC boundaries.
+        for &(n, f, h) in &[(5usize, 3usize, 2usize), (33, 9, 7), (70, 40, 17)] {
+            let g = rand_graph(n, 2 * n, n as u64);
+            let hm = features(n, f);
+            let w = features(f, h);
+            let mut c = DMatrix::filled(n, h, f32::NAN);
+            gemm::gemm_source_nn_v(
+                1.0,
+                &AggregatedRows::mean(&g, hm.view()),
+                w.view(),
+                0.0,
+                c.view_mut(),
+            );
+            let mut agg = kernels::aggregate_reference(&g, &hm);
+            scale_rows_by_inv_degree(&g, &mut agg);
+            let r = gemm::matmul(&agg, &w);
+            assert!(c.max_abs_diff(&r) < 1e-4, "n={n} f={f} h={h}");
+        }
+    }
+
+    #[test]
+    fn fused_nt_spills_aggregated_rows() {
+        let (n, f, h) = (40usize, 12usize, 6usize);
+        let g = rand_graph(n, 60, 3);
+        let dy = features(n, h);
+        let w = features(f, h); // stored f×h, consumed as Wᵀ
+        let mut z = DMatrix::zeros(0, 0);
+        let mut c = DMatrix::filled(n, f, 0.25);
+        {
+            let src = AggregatedRows::sum(&g, dy.view()).with_spill(&mut z);
+            gemm::gemm_source_nt_v(1.0, &src, w.view(), 1.0, c.view_mut());
+        }
+        let agg = kernels::aggregate_reference(&g, &dy);
+        assert!(z.max_abs_diff(&agg) < 1e-5, "spill must equal aggregate");
+        let mut r = DMatrix::filled(n, f, 0.25);
+        gemm::gemm_nt(1.0, &agg, &w, 1.0, &mut r);
+        assert!(c.max_abs_diff(&r) < 1e-4);
+    }
+
+    #[test]
+    fn isolated_vertices_produce_zero_rows() {
+        let g = GraphBuilder::new(3).add_edge(0, 1).build();
+        let hm = DMatrix::filled(3, 4, 5.0);
+        let w = DMatrix::eye(4);
+        let mut c = DMatrix::filled(3, 4, f32::NAN);
+        gemm::gemm_source_nn_v(
+            1.0,
+            &AggregatedRows::mean(&g, hm.view()),
+            w.view(),
+            0.0,
+            c.view_mut(),
+        );
+        assert_eq!(c.row(2), &[0.0; 4]);
+        assert_eq!(c.row(0), &[5.0; 4]);
+    }
+}

@@ -66,9 +66,27 @@ pub fn aggregate_feature_partitioned(g: &CsrGraph, h: &DMatrix, cache_bytes: usi
     y
 }
 
+/// Blocks per pack piece (see [`aggregate_feature_partitioned_into`]):
+/// one piece packs up to this many consecutive column blocks in a single
+/// traversal of H, bounding the pack-write working set to
+/// `PIECE_BLOCKS × cache_bytes`.
+const PIECE_BLOCKS: usize = 4;
+
 /// Accumulating in-place variant of [`aggregate_feature_partitioned`].
-/// The per-task packed column block comes from the thread-local scratch
-/// arena, so a warm training loop performs no allocation here.
+/// The packed column range comes from the thread-local scratch arena, so
+/// a warm training loop performs no allocation here.
+///
+/// Consecutive column blocks are grouped into *pieces* of up to
+/// [`PIECE_BLOCKS`] blocks. When `Q > C` lands several blocks on one
+/// thread, a piece packs its blocks in **one** traversal of H — each row
+/// segment is read once (contiguous) and fanned out to the per-block
+/// regions of a block-major piece buffer — instead of one narrow
+/// strided re-walk of H per block. Each block's gather then runs on its
+/// own dense `n × w` region, exactly the cache-resident working set
+/// Alg. 6 sizes for; the piece bound keeps the pack's write working set
+/// small. Piece count still ≥ `Q / PIECE_BLOCKS ≥ C` in the cache-bound
+/// regime, so parallelism is preserved, and atomic chunk claiming in the
+/// pool balances uneven pieces.
 pub fn aggregate_feature_partitioned_into(
     g: &CsrGraph,
     h: &DMatrix,
@@ -82,50 +100,74 @@ pub fn aggregate_feature_partitioned_into(
     if f == 0 || n == 0 {
         return;
     }
-    let q = num_feature_partitions(n, f, cache_bytes, rayon::current_num_threads());
+    let threads = rayon::current_num_threads().max(1);
+    let q = num_feature_partitions(n, f, cache_bytes, threads);
     // Block boundaries are aligned to whole cache lines (16 f32 = 64 B):
     // two tasks writing the two halves of one line would otherwise
     // false-share every row of Y and serialise on coherence traffic.
     let block = align_block_width(f, q);
     let q = f.div_ceil(block);
 
-    // Column-block tasks: each writes a disjoint column range of every
-    // row. Rust can't slice columns of a row-major matrix disjointly, so
-    // the write target is passed as a raw pointer; safety: tasks write
-    // only to columns [c0, c1) of each row, and blocks never overlap.
+    // Group blocks into pieces, keeping at least one piece per thread
+    // (flooring `q / threads` so grouping never drops pieces below the
+    // thread count when `threads < q < 2·threads`).
+    let blocks_per_piece = PIECE_BLOCKS.min(q / threads).max(1);
+    let pieces = q.div_ceil(blocks_per_piece);
+
+    // Each piece writes a disjoint column range of every row of Y. Rust
+    // can't slice columns of a row-major matrix disjointly, so the write
+    // target is passed as a raw pointer; safety: a piece writes only to
+    // columns of its own blocks, and piece ranges never overlap.
     struct SendPtr(*mut f32);
     unsafe impl Send for SendPtr {}
     unsafe impl Sync for SendPtr {}
     let y_ptr = SendPtr(y.data_mut().as_mut_ptr());
 
-    (0..q).into_par_iter().for_each(|qi| {
-        let c0 = qi * block;
-        let c1 = ((qi + 1) * block).min(f);
-        if c0 >= c1 {
+    (0..pieces).into_par_iter().for_each(|pi| {
+        let b0 = pi * blocks_per_piece;
+        let b1 = ((pi + 1) * blocks_per_piece).min(q);
+        if b0 >= b1 {
             return;
         }
-        let w = c1 - c0;
-        // Pack the column block H[:, c0..c1] into a contiguous scratch
-        // buffer — this is the "H^(i,j) fits into the fast memory" step
-        // of the paper's model. The pack is one strided streaming read of
-        // H; all the random gather traffic below then hits the dense
-        // `n × w` buffer instead of scattered 64-byte slices of H. The
-        // buffer comes from the thread-local arena and every slot is
-        // overwritten by the pack.
-        scratch::with_buf(n * w, |packed| {
+        let c_lo = b0 * block;
+        let c_hi = (b1 * block).min(f);
+        let w_all = c_hi - c_lo;
+        // Pack H[:, c_lo..c_hi] — the union of this piece's blocks — in
+        // one traversal of H, block-major: block `b`'s dense `n × w_b`
+        // region starts at `n·(c0_b − c_lo)` (regions are consecutive, so
+        // the offset is the column prefix). This is the "H^(i,j) fits
+        // into the fast memory" step of the paper's model, hoisted out of
+        // the per-block loop: all the random gather traffic below hits a
+        // dense cache-sized block region instead of scattered 64-byte
+        // slices of H. The buffer comes from the thread-local arena and
+        // every slot is overwritten by the pack.
+        scratch::with_buf(n * w_all, |packed| {
             for v in 0..n {
-                packed[v * w..(v + 1) * w].copy_from_slice(&h.row(v)[c0..c1]);
+                let row = &h.row(v)[c_lo..c_hi];
+                for b in b0..b1 {
+                    let c0 = b * block;
+                    let c1 = ((b + 1) * block).min(f);
+                    let (off, w) = (c0 - c_lo, c1 - c0);
+                    packed[n * off + v * w..n * off + (v + 1) * w]
+                        .copy_from_slice(&row[off..off + w]);
+                }
             }
             let y_base = &y_ptr;
-            for v in 0..n {
-                // SAFETY: rows are `f` long; [c0, c1) is in-bounds and owned
-                // exclusively by this task (disjoint column blocks).
-                let out: &mut [f32] =
-                    unsafe { std::slice::from_raw_parts_mut(y_base.0.add(v * f + c0), w) };
-                for &u in g.neighbors(v as u32) {
-                    let src = &packed[u as usize * w..(u as usize + 1) * w];
-                    for (o, &s) in out.iter_mut().zip(src) {
-                        *o += s;
+            for b in b0..b1 {
+                let c0 = b * block;
+                let c1 = ((b + 1) * block).min(f);
+                let (off, w) = (c0 - c_lo, c1 - c0);
+                let region = &packed[n * off..n * off + n * w];
+                for v in 0..n {
+                    // SAFETY: rows are `f` long; [c0, c1) is in-bounds and
+                    // owned exclusively by this piece (disjoint ranges).
+                    let out: &mut [f32] =
+                        unsafe { std::slice::from_raw_parts_mut(y_base.0.add(v * f + c0), w) };
+                    for &u in g.neighbors(v as u32) {
+                        let src = &region[u as usize * w..(u as usize + 1) * w];
+                        for (o, &s) in out.iter_mut().zip(src) {
+                            *o += s;
+                        }
                     }
                 }
             }

@@ -15,8 +15,38 @@
 //!     partitioning ablation.
 //! * [`propagator`] — the mean-aggregation forward/backward operator used
 //!   by the GCN layers (normalisation folded around the raw aggregate).
+//! * [`fused`] — the aggregation as a GEMM *pack source*, fusing `Â·H`
+//!   with the weight GEMM (see below).
 //! * [`cost_model`] — the communication model `g_comm(P, Q)` of Eq. (3)/(4)
 //!   and a brute-force verifier for Theorem 2's 2-approximation claim.
+//!
+//! # Fused aggregate→GEMM dataflow
+//!
+//! A GCN layer computes `(Â·H)·W`. Run unfused, the aggregated matrix
+//! `Â·H` (`n×f` f32) is written to DRAM by the aggregation kernel and
+//! immediately re-read as the GEMM's A operand — on bandwidth-bound
+//! shapes that write+read round trip is the single largest term in the
+//! layer's memory traffic:
+//!
+//! ```text
+//! unfused:  read H (gather, E·f) + write Â·H (n·f) + read Â·H (n·f) + write C
+//! fused:    read H (gather, E·f)                                    + write C
+//! ```
+//!
+//! The fused path ([`fused::AggregatedRows`] + `gemm::gemm_source_nn_v`)
+//! deletes the middle terms: the packed-GEMM driver asks the *producer*
+//! for each `MC×KC` A-panel, and the producer computes the aggregated
+//! rows `Σ_{u∈N(v)} H[u][pc..pc+KC]` for that vertex block straight into
+//! the thread-local pack scratch. The aggregated values live only as a
+//! ~64 KiB panel in L2 between production and consumption by the
+//! microkernel; each element is produced exactly once per `NC`-column
+//! strip of the output (one strip for GCN widths ≤ 1024). The backward
+//! pass reuses the same producer for `(Âᵀ·dY)·Wᵀ`, *spilling* the narrow
+//! `Z = Âᵀ·dY` (`n×half`) as a pack side effect so the weight-gradient
+//! GEMM `Hᵀ·Z` can consume it without a second aggregation pass — the
+//! wide `n×f_in` aggregate cache of the unfused layer disappears
+//! entirely. [`propagator::FeaturePropagator::forward_gemm_into`] /
+//! [`propagator::FeaturePropagator::backward_gemm_into`] wrap both.
 //!
 //! # Example
 //!
@@ -36,5 +66,6 @@
 //! ```
 
 pub mod cost_model;
+pub mod fused;
 pub mod kernels;
 pub mod propagator;

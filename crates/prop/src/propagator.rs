@@ -8,10 +8,12 @@
 //! is implemented by pre-scaling `dY` rows by `1/deg` and running the same
 //! aggregation kernel — one kernel, both directions.
 
+use crate::fused::AggregatedRows;
 use crate::kernels;
 use gsgcn_graph::partition::{range_partition, VertexPartition};
 use gsgcn_graph::CsrGraph;
-use gsgcn_tensor::{scratch, DMatrix};
+use gsgcn_tensor::view::{MatMut, MatRef};
+use gsgcn_tensor::{gemm, scratch, DMatrix};
 use rayon::prelude::*;
 
 /// Kernel selection for the propagation step.
@@ -150,6 +152,47 @@ impl FeaturePropagator {
             self.aggregate_acc(g, scaled, None, out);
         });
     }
+
+    /// Fused forward: `C = β·C + (Â·H)·W` in one cache pass — the
+    /// aggregated matrix is produced panel-by-panel inside the packed
+    /// GEMM ([`crate::fused`]) and never written to memory. The fused
+    /// path has its own blocking (`MC×KC` vertex×feature tiles), so the
+    /// configured [`PropMode`] does not apply to it.
+    pub fn forward_gemm_into(
+        &self,
+        g: &CsrGraph,
+        h: &DMatrix,
+        w: MatRef<'_>,
+        beta: f32,
+        c: MatMut<'_>,
+    ) {
+        gemm::gemm_source_nn_v(1.0, &AggregatedRows::mean(g, h.view()), w, beta, c);
+    }
+
+    /// Fused backward: `d_in += (Âᵀ·dY)·Wᵀ`, with the intermediate
+    /// `Z = Âᵀ·dY` spilled into `z` (reshaped to `n × dY.cols()`) as a
+    /// side effect of panel packing — the caller's weight-gradient GEMM
+    /// (`Hᵀ·Z`) reads it without a second aggregation pass. `dy` may be a
+    /// column view (the neighbor half of a concatenated gradient).
+    pub fn backward_gemm_into(
+        &self,
+        g: &CsrGraph,
+        dy: MatRef<'_>,
+        w: MatRef<'_>,
+        z: &mut DMatrix,
+        d_in: MatMut<'_>,
+    ) {
+        assert_eq!(
+            dy.rows(),
+            g.num_vertices(),
+            "gradient rows must match vertex count"
+        );
+        // Âᵀ = A·D⁻¹ on symmetric graphs: the producer folds the 1/deg
+        // source scaling into its gather, so no pre-scaled copy of dY is
+        // ever materialised (the terms are bit-identical to one).
+        let src = AggregatedRows::adjoint_mean(g, dy).with_spill(z);
+        gemm::gemm_source_nt_v(1.0, &src, w, 1.0, d_in);
+    }
 }
 
 /// `Y[v] *= 1/deg(v)` (rows of isolated vertices are left untouched —
@@ -242,6 +285,35 @@ mod tests {
         let prop = FeaturePropagator::default();
         let y = prop.forward(&g, &h);
         assert_eq!(y.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn fused_forward_gemm_matches_composition() {
+        let g = triangle_plus_leaf();
+        let h = DMatrix::from_fn(4, 6, |i, j| (i * 6 + j) as f32 * 0.1 - 1.0);
+        let w = DMatrix::from_fn(6, 3, |i, j| ((i + 2 * j) % 5) as f32 * 0.2 - 0.3);
+        let prop = FeaturePropagator::default();
+        let mut c = DMatrix::filled(4, 3, f32::NAN);
+        prop.forward_gemm_into(&g, &h, w.view(), 0.0, c.view_mut());
+        let r = gemm::matmul(&prop.forward(&g, &h), &w);
+        assert!(c.max_abs_diff(&r) < 1e-5);
+    }
+
+    #[test]
+    fn fused_backward_gemm_matches_composition() {
+        let g = triangle_plus_leaf();
+        let dy = DMatrix::from_fn(4, 3, |i, j| ((i * 3 + j) % 7) as f32 * 0.3 - 0.8);
+        let w = DMatrix::from_fn(5, 3, |i, j| ((i + j) % 4) as f32 * 0.25 - 0.4);
+        let prop = FeaturePropagator::default();
+        let mut z = DMatrix::zeros(0, 0);
+        let mut d_in = DMatrix::filled(4, 5, 0.125);
+        prop.backward_gemm_into(&g, dy.view(), w.view(), &mut z, d_in.view_mut());
+        // Reference: Z = Âᵀ·dY materialised, then d_in += Z·Wᵀ.
+        let zr = prop.backward(&g, &dy);
+        assert!(z.max_abs_diff(&zr) < 1e-5, "spilled Z mismatch");
+        let mut r = DMatrix::filled(4, 5, 0.125);
+        gemm::gemm_nt(1.0, &zr, &w, 1.0, &mut r);
+        assert!(d_in.max_abs_diff(&r) < 1e-5);
     }
 
     #[test]

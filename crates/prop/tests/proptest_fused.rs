@@ -1,0 +1,145 @@
+//! Property tests pinning the fused aggregate→GEMM pipeline to the
+//! unfused `aggregate → matmul` composition, across all three GEMM
+//! layouts it feeds (nn forward, nt input-gradient, tn weight-gradient
+//! via the spilled `Z`), shapes straddling the packing-blocking
+//! boundaries (MR = 8, NR = 32, MC = 64, KC = 256), and 1/2/4-thread
+//! pools (fused results must be bit-identical across thread counts).
+
+use gsgcn_graph::{CsrGraph, GraphBuilder};
+use gsgcn_prop::fused::AggregatedRows;
+use gsgcn_prop::kernels;
+use gsgcn_prop::propagator::scale_rows_by_inv_degree;
+use gsgcn_tensor::{gemm, DMatrix};
+use proptest::prelude::*;
+
+/// Vertex counts straddling MR/NR/MC block edges.
+const N_DIMS: [usize; 8] = [1, 2, 7, 9, 33, 63, 65, 80];
+/// Reduction widths straddling NR and KC (257 crosses the KC panel edge).
+const F_DIMS: [usize; 5] = [1, 3, 8, 33, 257];
+/// Output widths straddling NR.
+const H_DIMS: [usize; 4] = [1, 8, 31, 33];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn rand_graph(n: usize, extra: usize, seed: u64) -> CsrGraph {
+    let mut edges: Vec<(u32, u32)> = if n > 1 {
+        (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect()
+    } else {
+        Vec::new()
+    };
+    let mut s = seed | 1;
+    for _ in 0..extra {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let a = ((s >> 33) as usize) % n;
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let b = ((s >> 33) as usize) % n;
+        if a != b {
+            edges.push((a as u32, b as u32));
+        }
+    }
+    GraphBuilder::new(n).add_edges(edges).build()
+}
+
+fn mat(rows: usize, cols: usize, seed: u64) -> DMatrix {
+    DMatrix::from_fn(rows, cols, |i, j| {
+        let x = (seed as usize)
+            .wrapping_mul(31)
+            .wrapping_add(i * 131 + j * 17)
+            % 23;
+        x as f32 * 0.1 - 1.1
+    })
+}
+
+fn in_pool<R: Send>(threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Forward fusion (nn layout): `(Â·H)·W` fused ≡ aggregate, scale,
+    /// then matmul — within 1e-4 at every blocking boundary and thread
+    /// count, and bit-identical across thread counts.
+    #[test]
+    fn fused_nn_matches_composition(
+        ni in 0..N_DIMS.len(), fi in 0..F_DIMS.len(), hi in 0..H_DIMS.len(),
+        ti in 0..THREADS.len(), seed in any::<u64>(),
+    ) {
+        let (n, f, h) = (N_DIMS[ni], F_DIMS[fi], H_DIMS[hi]);
+        let g = rand_graph(n, 2 * n, seed);
+        let hm = mat(n, f, seed ^ 1);
+        let w = mat(f, h, seed ^ 2);
+
+        // Unfused reference composition (thread-count invariant itself).
+        let mut agg = DMatrix::zeros(n, f);
+        kernels::aggregate_feature_partitioned_into(&g, &hm, 4096, &mut agg);
+        scale_rows_by_inv_degree(&g, &mut agg);
+        let reference = gemm::matmul(&agg, &w);
+
+        let run = |threads: usize| {
+            in_pool(threads, || {
+                let mut c = DMatrix::filled(n, h, f32::NAN);
+                gemm::gemm_source_nn_v(
+                    1.0, &AggregatedRows::mean(&g, hm.view()), w.view(), 0.0, c.view_mut(),
+                );
+                c
+            })
+        };
+        let fused = run(THREADS[ti]);
+        prop_assert!(
+            fused.max_abs_diff(&reference) < 1e-4,
+            "n={n} f={f} h={h} threads={}", THREADS[ti]
+        );
+        let fused_1t = run(1);
+        prop_assert!(
+            fused.max_abs_diff(&fused_1t) == 0.0,
+            "fused result must be bit-identical across thread counts"
+        );
+    }
+
+    /// Backward fusion (nt layout + spilled Z + tn consumer):
+    /// `d_in += (Âᵀ·dY)·Wᵀ` fused ≡ aggregate then gemm_nt, the spilled
+    /// `Z` ≡ the materialised aggregate, and the tn weight-gradient GEMM
+    /// reading the spill ≡ the one reading the materialised matrix.
+    #[test]
+    fn fused_nt_spill_matches_composition(
+        ni in 0..N_DIMS.len(), fi in 0..F_DIMS.len(), hi in 0..H_DIMS.len(),
+        ti in 0..THREADS.len(), seed in any::<u64>(),
+    ) {
+        let (n, f, h) = (N_DIMS[ni], F_DIMS[fi], H_DIMS[hi]);
+        let g = rand_graph(n, 2 * n, seed);
+        // dY is n×h; W stored f×h; d_in is n×f; Z is n×h.
+        let dy = mat(n, h, seed ^ 3);
+        let w = mat(f, h, seed ^ 4);
+        let input = mat(n, f, seed ^ 5);
+
+        // Reference: Z materialised via the unfused kernel.
+        let mut z_ref = DMatrix::zeros(n, h);
+        kernels::aggregate_feature_partitioned_into(&g, &dy, 4096, &mut z_ref);
+        let mut d_in_ref = mat(n, f, seed ^ 6);
+        gemm::gemm_nt(1.0, &z_ref, &w, 1.0, &mut d_in_ref);
+        let dw_ref = gemm::matmul_tn(&input, &z_ref);
+
+        let (d_in, z) = in_pool(THREADS[ti], || {
+            let mut d_in = mat(n, f, seed ^ 6);
+            let mut z = DMatrix::zeros(0, 0);
+            {
+                let src = AggregatedRows::sum(&g, dy.view()).with_spill(&mut z);
+                gemm::gemm_source_nt_v(1.0, &src, w.view(), 1.0, d_in.view_mut());
+            }
+            (d_in, z)
+        });
+        prop_assert!(z.max_abs_diff(&z_ref) < 1e-4, "spilled Z mismatch");
+        prop_assert!(d_in.max_abs_diff(&d_in_ref) < 1e-4, "fused nt mismatch");
+        // tn layout consuming the spill.
+        let dw = gemm::matmul_tn(&input, &z);
+        prop_assert!(dw.max_abs_diff(&dw_ref) < 1e-4, "tn-over-spill mismatch");
+    }
+}

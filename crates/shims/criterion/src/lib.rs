@@ -12,7 +12,15 @@
 //! ```text
 //! gemm/nn/1000x512x256  median 12.345 ms  mean 12.401 ms  min 12.100 ms  (2.12 Gelem/s)
 //! ```
+//!
+//! When the `GSGCN_BENCH_JSON` environment variable names a file, every
+//! result of the run is additionally written there as a JSON array (one
+//! object per benchmark with `name`, `median_secs`, `mean_secs`,
+//! `min_secs` and optional `throughput_per_sec`), so CI can archive
+//! machine-readable numbers — e.g. `BENCH_fused_layer.json` for the
+//! fused-vs-unfused layer comparison.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 const TARGET_SAMPLE_SECS: f64 = 0.025;
@@ -160,6 +168,84 @@ impl IntoBenchmarkName for BenchmarkId {
     }
 }
 
+/// One finished benchmark, kept for the optional JSON dump.
+struct BenchRecord {
+    name: String,
+    median_secs: f64,
+    mean_secs: f64,
+    min_secs: f64,
+    throughput_per_sec: Option<f64>,
+}
+
+/// Results of the whole bench run (filled by [`report`], drained by
+/// [`write_json_if_requested`] at the end of `criterion_main!`).
+fn records() -> &'static Mutex<Vec<BenchRecord>> {
+    static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+    &RECORDS
+}
+
+/// If `GSGCN_BENCH_JSON` names a file, write all recorded results there
+/// as a JSON array. An existing array at that path is **extended**, not
+/// clobbered — `cargo bench` runs each bench target as a separate binary,
+/// so a multi-target run accumulates every target's records (delete the
+/// file first for a fresh capture; CI starts from a clean checkout).
+/// Called by the `criterion_main!` expansion; a write failure is
+/// reported but does not fail the bench run.
+pub fn write_json_if_requested() {
+    let Ok(path) = std::env::var("GSGCN_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let recs = records().lock().unwrap();
+    if recs.is_empty() {
+        return;
+    }
+    // Re-open an existing array (an earlier bench target's output):
+    // strip the closing bracket and continue the element list.
+    let mut out = match std::fs::read_to_string(&path) {
+        Ok(prev) => {
+            let trimmed = prev.trim_end();
+            match trimmed.strip_suffix(']') {
+                Some(head) if trimmed.starts_with('[') => {
+                    let head = head.trim_end().to_string();
+                    if head.ends_with('}') {
+                        head + ",\n"
+                    } else {
+                        head + "\n"
+                    }
+                }
+                _ => String::from("[\n"),
+            }
+        }
+        Err(_) => String::from("[\n"),
+    };
+    let lines: Vec<String> = recs
+        .iter()
+        .map(|r| {
+            let thr = match r.throughput_per_sec {
+                Some(t) => format!(", \"throughput_per_sec\": {t:.3}"),
+                None => String::new(),
+            };
+            format!(
+                "  {{\"name\": \"{}\", \"median_secs\": {:.9}, \"mean_secs\": {:.9}, \"min_secs\": {:.9}{}}}",
+                r.name.replace('"', "\\\""),
+                r.median_secs,
+                r.mean_secs,
+                r.min_secs,
+                thr,
+            )
+        })
+        .collect();
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n]\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("bench results written to {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
 fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
     if bencher.samples.is_empty() {
         println!("{name}  (no samples)");
@@ -175,6 +261,10 @@ fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
     let min = per_iter[0];
     let median = per_iter[per_iter.len() / 2];
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let per_sec = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => Some(n as f64 / median),
+        None => None,
+    };
     let thr = match throughput {
         Some(Throughput::Elements(n)) => format!("  ({} elem/s)", si(n as f64 / median)),
         Some(Throughput::Bytes(n)) => format!("  ({}B/s)", si(n as f64 / median)),
@@ -186,6 +276,13 @@ fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
         fmt_secs(mean),
         fmt_secs(min)
     );
+    records().lock().unwrap().push(BenchRecord {
+        name: name.to_string(),
+        median_secs: median,
+        mean_secs: mean,
+        min_secs: min,
+        throughput_per_sec: per_sec,
+    });
 }
 
 fn fmt_secs(s: f64) -> String {
@@ -263,6 +360,7 @@ macro_rules! criterion_main {
         fn main() {
             let mut c = $crate::Criterion::default();
             $($group(&mut c);)+
+            $crate::write_json_if_requested();
         }
     };
 }

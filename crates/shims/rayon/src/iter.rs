@@ -3,12 +3,14 @@
 //! Every iterator here is *indexed*: it knows its length and can split at
 //! an item boundary. The driver ([`ParallelIterator::pieces`]) cuts the
 //! iterator into a piece structure derived **only from its length** (never
-//! the pool size), executes pieces via [`crate::pool::run_scoped`], and
-//! combines results in index order — making every consumer deterministic
-//! across thread counts, including floating-point reductions.
+//! the pool size), executes pieces via [`crate::pool::run_indexed`] —
+//! workers claim piece indices from an atomic counter, so skewed pieces
+//! load-balance without queue-lock convoys — and combines results in
+//! index order, making every consumer deterministic across thread counts,
+//! including floating-point reductions.
 
-use crate::pool::run_scoped;
-use std::sync::Mutex;
+use crate::pool::run_indexed;
+use std::cell::UnsafeCell;
 
 /// Upper bound on pieces per parallel call. Chosen to keep scheduling
 /// overhead negligible while still load-balancing uneven work.
@@ -89,19 +91,14 @@ pub trait ParallelIterator: Sized + Send {
     }
 
     fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
-        let pieces = self.pieces();
-        let f = &f;
-        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = pieces
-            .into_iter()
-            .map(|p| {
-                Box::new(move || {
-                    for item in p.into_seq() {
-                        f(item);
-                    }
-                }) as Box<dyn FnOnce() + Send + '_>
-            })
-            .collect();
-        run_scoped(tasks);
+        let pieces: Vec<ClaimCell<Self>> = self.pieces().into_iter().map(ClaimCell::new).collect();
+        run_indexed(pieces.len(), |i| {
+            // SAFETY: `run_indexed` hands out each index exactly once.
+            let p = unsafe { pieces[i].take() };
+            for item in p.into_seq() {
+                f(item);
+            }
+        });
     }
 
     /// Collect into a container (only `Vec<T>` is supported, matching the
@@ -143,31 +140,60 @@ pub trait ParallelIterator: Sized + Send {
     }
 }
 
+/// A one-shot slot claimed by exactly one `run_indexed` index: the unique
+/// claim (a `fetch_add` result) is what makes the unsynchronised interior
+/// access sound, and the `run_indexed` completion latch publishes all
+/// writes back to the dispatching thread.
+struct ClaimCell<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: at most one thread touches a given cell (unique index claim),
+// and the latch orders those accesses before the dispatcher reads.
+unsafe impl<T: Send> Sync for ClaimCell<T> {}
+
+impl<T> ClaimCell<T> {
+    fn new(v: T) -> Self {
+        ClaimCell(UnsafeCell::new(Some(v)))
+    }
+
+    fn empty() -> Self {
+        ClaimCell(UnsafeCell::new(None))
+    }
+
+    /// # Safety
+    /// Must be called at most once per cell, from the unique claimant.
+    unsafe fn take(&self) -> T {
+        (*self.0.get()).take().expect("claim cell taken twice")
+    }
+
+    /// # Safety
+    /// Must be called at most once per cell, from the unique claimant.
+    unsafe fn put(&self, v: T) {
+        *self.0.get() = Some(v);
+    }
+
+    fn into_inner(self) -> Option<T> {
+        self.0.into_inner()
+    }
+}
+
 /// Run one closure per piece, returning per-piece results in piece order.
 fn run_ordered<I: ParallelIterator, R: Send>(
     iter: I,
     per_piece: impl Fn(I::Seq) -> R + Sync,
 ) -> Vec<R> {
-    let pieces = iter.pieces();
-    let slots: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(pieces.len()));
-    {
-        let per_piece = &per_piece;
-        let slots = &slots;
-        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = pieces
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| {
-                Box::new(move || {
-                    let r = per_piece(p.into_seq());
-                    slots.lock().unwrap().push((i, r));
-                }) as Box<dyn FnOnce() + Send + '_>
-            })
-            .collect();
-        run_scoped(tasks);
-    }
-    let mut out = slots.into_inner().unwrap();
-    out.sort_by_key(|(i, _)| *i);
-    out.into_iter().map(|(_, r)| r).collect()
+    let pieces: Vec<ClaimCell<I>> = iter.pieces().into_iter().map(ClaimCell::new).collect();
+    let slots: Vec<ClaimCell<R>> = (0..pieces.len()).map(|_| ClaimCell::empty()).collect();
+    run_indexed(pieces.len(), |i| {
+        // SAFETY: `run_indexed` hands out each index exactly once, so
+        // piece i is taken once and slot i written once.
+        let p = unsafe { pieces[i].take() };
+        let r = per_piece(p.into_seq());
+        unsafe { slots[i].put(r) };
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("piece result missing"))
+        .collect()
 }
 
 /// Conversion trait mirroring `rayon::iter::FromParallelIterator`.

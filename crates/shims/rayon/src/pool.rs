@@ -1,10 +1,19 @@
-//! The execution engine: a fixed-size FIFO thread pool plus a scoped
-//! dispatch primitive ([`run_scoped`]) that parallel iterators drive.
+//! The execution engine: a fixed-size thread pool plus the scoped
+//! dispatch primitive ([`run_indexed`]) that parallel iterators drive.
+//!
+//! Dispatch uses **atomic chunk claiming**, not a per-task queue: a
+//! parallel call publishes one *runner* job per worker, and every runner
+//! claims piece indices from a shared atomic counter until they run out.
+//! The mutex-protected FIFO is touched once per runner (≈ once per
+//! worker) instead of once per piece, so many small or skewed pieces —
+//! e.g. fused aggregation tasks whose cost follows the per-row degree —
+//! never convoy on the queue lock; the only shared write on the claim
+//! path is one `fetch_add`.
 
 use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -203,52 +212,103 @@ impl Latch {
     }
 }
 
-/// Run a batch of independent tasks, in parallel when a pool with spare
-/// workers is current, inline otherwise. Returns after every task has
-/// finished; re-throws the first panic observed.
+/// Shared state of one indexed parallel call: the claim counter, the
+/// poison flag that stops claiming after a panic, and the payload slot.
+struct ClaimState {
+    next: AtomicUsize,
+    n: usize,
+    poisoned: AtomicBool,
+    latch: Latch,
+}
+
+impl ClaimState {
+    /// Claim-and-run loop executed by every runner (workers and the
+    /// dispatching thread alike): one `fetch_add` per piece, no lock.
+    fn run_claims(&self, task: &(dyn Fn(usize) + Sync)) {
+        loop {
+            if self.poisoned.load(Ordering::Relaxed) {
+                return;
+            }
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i)));
+            if let Err(payload) = result {
+                self.poisoned.store(true, Ordering::Relaxed);
+                self.latch.panic.lock().unwrap().get_or_insert(payload);
+            }
+        }
+    }
+}
+
+/// Run `task(0..n)` across the current pool by atomic chunk claiming, in
+/// parallel when a pool with spare workers is current, inline otherwise.
+/// Returns after every claimed index has finished; re-throws the first
+/// panic observed. After a panic the batch is poisoned: indices not yet
+/// claimed are skipped (in-flight ones still complete), so side effects
+/// of a panicked batch may be partial — callers must not rely on the
+/// remaining pieces having run, and none of this workspace's consumers
+/// observe results of a panicked parallel call.
 ///
-/// The *values* computed by the tasks never depend on which path executes
-/// them — callers encode any order-sensitivity in the task list itself.
-pub(crate) fn run_scoped<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+/// The *values* computed per index never depend on which thread runs it —
+/// callers encode any order-sensitivity in the index space itself.
+pub(crate) fn run_indexed<'scope, F>(n: usize, task: F)
+where
+    F: Fn(usize) + Sync + 'scope,
+{
     let inline = IN_WORKER.with(|w| w.get());
     let shared = current_shared();
-    if inline || shared.size <= 1 || tasks.len() <= 1 {
-        for t in tasks {
-            t();
+    if inline || shared.size <= 1 || n <= 1 {
+        for i in 0..n {
+            task(i);
         }
         return;
     }
 
-    let latch = Arc::new(Latch {
-        remaining: Mutex::new(tasks.len()),
-        done: Condvar::new(),
-        panic: Mutex::new(None),
+    let runners = (shared.size - 1).min(n);
+    let state = Arc::new(ClaimState {
+        next: AtomicUsize::new(0),
+        n,
+        poisoned: AtomicBool::new(false),
+        latch: Latch {
+            remaining: Mutex::new(runners),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        },
     });
 
-    for task in tasks {
-        let latch = Arc::clone(&latch);
-        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
-            latch.record(result);
-        });
-        // SAFETY: `run_scoped` does not return until the latch counts every
-        // task as finished, so the borrowed environment outlives all jobs.
-        let job: Job = unsafe { std::mem::transmute(job) };
-        shared.push(job);
+    {
+        // One runner job per worker; each drains the claim counter.
+        let task_ref: &(dyn Fn(usize) + Sync) = &task;
+        for _ in 0..runners {
+            let state = Arc::clone(&state);
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                state.run_claims(task_ref);
+                state.latch.record(Ok(()));
+            });
+            // SAFETY: `run_indexed` does not return until the latch counts
+            // every runner as finished, so the borrowed environment
+            // outlives all jobs.
+            let job: Job = unsafe { std::mem::transmute(job) };
+            shared.push(job);
+        }
     }
 
-    // Help drain the queue while waiting so a caller outside the pool's
-    // worker set still contributes a core and small pools make progress.
+    // The dispatching thread claims pieces too, then helps drain the
+    // queue (its runner jobs, or unrelated work) while waiting so small
+    // pools still make progress.
     IN_WORKER.with(|w| {
         let prev = w.replace(true);
+        state.run_claims(&task);
         while let Some(job) = shared.try_pop() {
             job();
         }
         w.set(prev);
     });
-    latch.wait();
+    state.latch.wait();
 
-    let payload = latch.panic.lock().unwrap().take();
+    let payload = state.latch.panic.lock().unwrap().take();
     if let Some(p) = payload {
         std::panic::resume_unwind(p);
     }
