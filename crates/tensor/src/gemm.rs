@@ -48,14 +48,27 @@
 //!
 //! Edge tiles run the same microkernel against zero-padded panels and clip
 //! on the C store, so odd shapes take the fast path too.
+//!
+//! # Fusion: producer-packed A panels
+//!
+//! A-panel packing is driven by the [`PackSource`] trait rather than a
+//! matrix view: the driver asks the source for each `MC×KC` panel, and the
+//! dense entry points above are just the [`DensePack`] implementation. A
+//! producer implementation can instead *compute* its rows directly into
+//! the thread-local pack scratch — `gsgcn-prop` uses this to fuse the
+//! sparse aggregation `Â·H` of a GCN layer with the weight GEMM
+//! ([`gemm_source_nn_v`] / [`gemm_source_nt_v`]), so the aggregated matrix
+//! never materialises in DRAM.
 
 use crate::matrix::DMatrix;
 use crate::scratch;
 use crate::view::{MatMut, MatRef};
 use rayon::prelude::*;
 
-/// Microkernel tile height (rows of C per register tile).
-const MR: usize = 8;
+/// Microkernel tile height (rows of C per register tile). Public because
+/// [`PackSource`] implementors must produce panels in the MR-interleaved
+/// pack layout (see [`PackSource::pack_a`]).
+pub const MR: usize = 8;
 /// Microkernel tile width (columns of C per register tile).
 const NR: usize = 32;
 /// Reduction-dimension block: one packed A panel column-block (`MC×KC`)
@@ -143,7 +156,7 @@ pub fn gemm_nn_v(alpha: f32, a: MatRef<'_>, b: MatRef<'_>, beta: f32, c: MatMut<
         "inner dimensions must match: A is {m}x{k}, B is {kb}x{n}"
     );
     assert_eq!(c.shape(), (m, n), "C shape mismatch");
-    driver(alpha, a, false, b, false, beta, c);
+    driver(alpha, &DensePack::new(a), b, false, beta, c);
 }
 
 /// `C = α·Aᵀ·B + β·C` over strided views (A stored `k × m`).
@@ -155,7 +168,7 @@ pub fn gemm_tn_v(alpha: f32, a: MatRef<'_>, b: MatRef<'_>, beta: f32, c: MatMut<
         "inner dimensions must match: Aᵀ is {m}x{k}, B is {kb}x{n}"
     );
     assert_eq!(c.shape(), (m, n), "C shape mismatch");
-    driver(alpha, a, true, b, false, beta, c);
+    driver(alpha, &DensePack::transposed(a), b, false, beta, c);
 }
 
 /// `C = α·A·Bᵀ + β·C` over strided views (B stored `n × k`).
@@ -167,7 +180,110 @@ pub fn gemm_nt_v(alpha: f32, a: MatRef<'_>, b: MatRef<'_>, beta: f32, c: MatMut<
         "inner dimensions must match: A is {m}x{k}, Bᵀ is {kb}x{n}"
     );
     assert_eq!(c.shape(), (m, n), "C shape mismatch");
-    driver(alpha, a, false, b, true, beta, c);
+    driver(alpha, &DensePack::new(a), b, true, beta, c);
+}
+
+// ---------------------------------------------------------------------------
+// A-panel sources
+// ---------------------------------------------------------------------------
+
+/// A source of packed A panels for the GEMM driver.
+///
+/// The driver never reads the A operand directly — it asks the source to
+/// pack `α·A[ic..ic+mc, pc..pc+kc]` into the microkernel's panel layout,
+/// one `MC×KC` block at a time, inside each parallel row-block task. This
+/// is the hook that makes **operator fusion** possible: a producer can
+/// *compute* its rows (e.g. the sparse aggregation `Σ_{u∈N(v)} H[u]` of a
+/// GCN layer, see `gsgcn-prop`) straight into the thread-local pack
+/// scratch, so the logical A matrix only ever exists as an L2-resident
+/// panel and never round-trips through DRAM. The dense paths ([`matmul`]
+/// and friends) go through the same trait via [`DensePack`].
+///
+/// `pack_a` may be called for the same `(ic, pc)` block more than once
+/// (once per `NC`-column strip of C), from different threads across calls
+/// but never concurrently for overlapping row ranges within one strip.
+pub trait PackSource: Sync {
+    /// Logical shape `(m, k)` of the A operand.
+    fn shape(&self) -> (usize, usize);
+
+    /// Pack `α·A[ic..ic+mc, pc..pc+kc]` into MR-tall row panels:
+    /// `out[p·kc·MR + kk·MR + r] = α·A[ic + p·MR + r, pc + kk]`,
+    /// zero-padding rows past `mc`. `out.len()` is
+    /// `mc.div_ceil(MR) · kc · MR`.
+    fn pack_a(&self, alpha: f32, ic: usize, mc: usize, pc: usize, kc: usize, out: &mut [f32]);
+}
+
+/// The dense [`PackSource`]: an A operand stored as a (possibly strided,
+/// possibly transposed) matrix view.
+pub struct DensePack<'a> {
+    a: MatRef<'a>,
+    trans: bool,
+}
+
+impl<'a> DensePack<'a> {
+    /// Source reading `A` in its logical orientation.
+    pub fn new(a: MatRef<'a>) -> Self {
+        DensePack { a, trans: false }
+    }
+
+    /// Source reading `Aᵀ` (the view stores `k × m`).
+    pub fn transposed(a: MatRef<'a>) -> Self {
+        DensePack { a, trans: true }
+    }
+}
+
+impl PackSource for DensePack<'_> {
+    fn shape(&self) -> (usize, usize) {
+        if self.trans {
+            (self.a.cols(), self.a.rows())
+        } else {
+            self.a.shape()
+        }
+    }
+
+    fn pack_a(&self, alpha: f32, ic: usize, mc: usize, pc: usize, kc: usize, out: &mut [f32]) {
+        pack_a_dense(self.a, self.trans, alpha, ic, mc, pc, kc, out);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused entry points
+// ---------------------------------------------------------------------------
+
+/// `C = α·S·B + β·C`, with the A operand produced by a [`PackSource`].
+pub fn gemm_source_nn_v<S: PackSource + ?Sized>(
+    alpha: f32,
+    src: &S,
+    b: MatRef<'_>,
+    beta: f32,
+    c: MatMut<'_>,
+) {
+    let (m, k) = src.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(
+        k, kb,
+        "inner dimensions must match: source is {m}x{k}, B is {kb}x{n}"
+    );
+    assert_eq!(c.shape(), (m, n), "C shape mismatch");
+    driver(alpha, src, b, false, beta, c);
+}
+
+/// `C = α·S·Bᵀ + β·C` (B stored `n × k`), A produced by a [`PackSource`].
+pub fn gemm_source_nt_v<S: PackSource + ?Sized>(
+    alpha: f32,
+    src: &S,
+    b: MatRef<'_>,
+    beta: f32,
+    c: MatMut<'_>,
+) {
+    let (m, k) = src.shape();
+    let (n, kb) = b.shape();
+    assert_eq!(
+        k, kb,
+        "inner dimensions must match: source is {m}x{k}, Bᵀ is {kb}x{n}"
+    );
+    assert_eq!(c.shape(), (m, n), "C shape mismatch");
+    driver(alpha, src, b, true, beta, c);
 }
 
 // ---------------------------------------------------------------------------
@@ -186,10 +302,9 @@ struct CPtr {
 unsafe impl Send for CPtr {}
 unsafe impl Sync for CPtr {}
 
-fn driver(
+fn driver<S: PackSource + ?Sized>(
     alpha: f32,
-    a: MatRef<'_>,
-    a_trans: bool,
+    a: &S,
     b: MatRef<'_>,
     b_trans: bool,
     beta: f32,
@@ -197,7 +312,7 @@ fn driver(
 ) {
     // Logical dimensions: C is m×n, reduction length k.
     let (m, n) = c.shape();
-    let k = if a_trans { a.rows() } else { a.cols() };
+    let k = a.shape().1;
 
     if m == 0 || n == 0 {
         return;
@@ -226,7 +341,7 @@ fn driver(
                     let mc = MC.min(m - ic);
                     let a_panels = mc.div_ceil(MR);
                     scratch::with_buf(a_panels * kc * MR, |a_pack| {
-                        pack_a(a, a_trans, alpha, ic, mc, pc, kc, a_pack);
+                        a.pack_a(alpha, ic, mc, pc, kc, a_pack);
                         multiply_block(a_pack, b_pack, c_base, ic, mc, jc, nc, kc);
                     });
                 });
@@ -378,7 +493,7 @@ fn microkernel(kc: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]
 /// panels: `out[p*kc*MR + kk*MR + r] = α·A[ic+p·MR+r, pc+kk]`, zero-padding
 /// rows past `mc`.
 #[allow(clippy::too_many_arguments)]
-fn pack_a(
+fn pack_a_dense(
     a: MatRef<'_>,
     a_trans: bool,
     alpha: f32,
@@ -702,6 +817,71 @@ mod tests {
         // Reference: materialise the slice.
         let sliced = DMatrix::from_fn(9, 4, |i, j| wide.get(i, j + 3));
         let r = matmul_reference(&sliced, &b);
+        assert!(c.max_abs_diff(&r) < 1e-4);
+    }
+
+    /// A [`PackSource`] that computes `A[i,j] = f(i, j)` on the fly —
+    /// exercises the producer-packed path against materialised GEMM.
+    struct FnSource {
+        m: usize,
+        k: usize,
+    }
+
+    impl FnSource {
+        fn at(&self, i: usize, j: usize) -> f32 {
+            ((i * 13 + j * 5) % 23) as f32 * 0.1 - 1.0
+        }
+
+        fn materialise(&self) -> DMatrix {
+            DMatrix::from_fn(self.m, self.k, |i, j| self.at(i, j))
+        }
+    }
+
+    impl PackSource for FnSource {
+        fn shape(&self) -> (usize, usize) {
+            (self.m, self.k)
+        }
+
+        fn pack_a(&self, alpha: f32, ic: usize, mc: usize, pc: usize, kc: usize, out: &mut [f32]) {
+            for (p, panel) in out.chunks_exact_mut(kc * MR).enumerate() {
+                let r0 = p * MR;
+                let rows_here = MR.min(mc - r0);
+                for kk in 0..kc {
+                    for r in 0..MR {
+                        panel[kk * MR + r] = if r < rows_here {
+                            alpha * self.at(ic + r0 + r, pc + kk)
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn source_nn_matches_materialised() {
+        // Shapes straddling MR/MC/KC boundaries so producer packs hit
+        // edge panels too.
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (9, 7, 33), (65, 257, 40)] {
+            let src = FnSource { m, k };
+            let b = seq(k, n, 1.1);
+            let mut c = DMatrix::filled(m, n, f32::NAN);
+            gemm_source_nn_v(1.0, &src, b.view(), 0.0, c.view_mut());
+            let r = matmul(&src.materialise(), &b);
+            assert!(c.max_abs_diff(&r) < 1e-4, "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn source_nt_matches_materialised_and_accumulates() {
+        let (m, k, n) = (20usize, 9usize, 12usize);
+        let src = FnSource { m, k };
+        let b = seq(n, k, 0.9); // stored n×k for nt
+        let mut c = DMatrix::filled(m, n, 0.5);
+        gemm_source_nt_v(2.0, &src, b.view(), 1.0, c.view_mut());
+        let mut r = DMatrix::filled(m, n, 0.5);
+        gemm_nt(2.0, &src.materialise(), &b, 1.0, &mut r);
         assert!(c.max_abs_diff(&r) < 1e-4);
     }
 
