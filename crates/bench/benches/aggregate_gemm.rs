@@ -11,7 +11,9 @@
 //!   the aggregated matrix never leaves L2.
 //!
 //! Run with `GSGCN_BENCH_JSON=BENCH_fused_layer.json` to archive the
-//! numbers (CI does).
+//! numbers (CI does); records are tagged with the dispatched GEMM
+//! microkernel tier — the fused pipeline rides the same kernel dispatch
+//! as the dense GEMMs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gsgcn_data::generators::{community_powerlaw, CommunityGraphSpec};
@@ -25,6 +27,7 @@ use std::hint::black_box;
 const CACHE_BYTES: usize = 256 * 1024;
 
 fn bench_aggregate_gemm(c: &mut Criterion) {
+    gsgcn_bench::announce_kernel_tier();
     let mut group = c.benchmark_group("aggregate_gemm");
     group.sample_size(15);
     // (n, f, h): subgraph vertices × input width × neighbor-half width.

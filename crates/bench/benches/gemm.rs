@@ -9,13 +9,21 @@
 //!   602×256` is a PPI-scale forward weight application) — the shapes the
 //!   training loop actually issues, benchmarked for the packed kernel
 //!   against the seed's unpacked k-blocked kernel
-//!   (`gemm::matmul_unpacked`) so the packing win stays measured.
+//!   (`gemm::matmul_unpacked`) so the packing win stays measured, and
+//!   **per microkernel tier** (`packed_scalar` / `packed_avx2` /
+//!   `packed_avx512`, whichever the CPU supports) so the explicit-SIMD
+//!   gain over the autovectorised fallback stays measured too (acceptance
+//!   target: avx512 ≥ 1.5× scalar on `8192×602·602×256`).
+//!
+//! Run with `GSGCN_BENCH_JSON=BENCH_gemm.json` to archive the numbers;
+//! each record is tagged with the kernel tier that produced it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gsgcn_tensor::{gemm, DMatrix};
 use std::hint::black_box;
 
 fn bench_gemm(c: &mut Criterion) {
+    gsgcn_bench::announce_kernel_tier();
     let mut group = c.benchmark_group("gemm");
     group.sample_size(20);
     for &(m, k, n) in &[(1000usize, 512usize, 256usize), (2000, 512, 512)] {
@@ -51,6 +59,7 @@ fn bench_gemm(c: &mut Criterion) {
 
 /// GCN training shapes: packed kernel vs the seed's unpacked kernel.
 fn bench_gemm_gcn_shapes(c: &mut Criterion) {
+    gsgcn_bench::announce_kernel_tier();
     let mut group = c.benchmark_group("gemm_gcn");
     group.sample_size(20);
     // (n, f, h): subgraph vertices × input width × hidden width.
@@ -72,6 +81,21 @@ fn bench_gemm_gcn_shapes(c: &mut Criterion) {
                 bch.iter(|| black_box(gemm::matmul(&act, &w)));
             },
         );
+        // Every available microkernel tier on the forward shape: the
+        // explicit-SIMD vs autovec-fallback comparison CI archives.
+        for tier in gemm::available_tiers() {
+            criterion::set_json_tags([("kernel", tier.name())]);
+            group.bench_with_input(
+                BenchmarkId::new(format!("packed_{}", tier.name()), format!("{n}x{f}x{h}")),
+                &n,
+                |bch, _| {
+                    gemm::with_tier(tier, || {
+                        bch.iter(|| black_box(gemm::matmul(&act, &w)));
+                    });
+                },
+            );
+        }
+        criterion::set_json_tags([("kernel", gemm::selected_tier().name())]);
         group.bench_with_input(
             BenchmarkId::new("seed_unpacked", format!("{n}x{f}x{h}")),
             &n,

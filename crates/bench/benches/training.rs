@@ -10,6 +10,7 @@ use gsgcn_sampler::GraphSampler;
 use std::hint::black_box;
 
 fn bench_training_iteration(c: &mut Criterion) {
+    gsgcn_bench::announce_kernel_tier();
     let d = presets::ppi_scaled(3);
     let tv = d.train_view();
     let sampler = DashboardSampler::new(FrontierConfig {

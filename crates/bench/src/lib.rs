@@ -20,6 +20,27 @@
 
 use std::time::Instant;
 
+/// Print the dispatched GEMM microkernel tier (once per process) and tag
+/// all subsequent criterion JSON records with it, so every bench artifact
+/// is attributable to an ISA. Call at the top of each criterion bench
+/// group; CI greps the line to attribute archived numbers.
+pub fn announce_kernel_tier() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let selected = gsgcn_tensor::gemm::selected_tier();
+        let available: Vec<&str> = gsgcn_tensor::gemm::available_tiers()
+            .iter()
+            .map(|t| t.name())
+            .collect();
+        println!(
+            "GEMM kernel tier: {} (available: {})",
+            selected.name(),
+            available.join(", ")
+        );
+        criterion::set_json_tags([("kernel", selected.name())]);
+    });
+}
+
 /// Whether heavy "full" mode was requested.
 pub fn full_mode() -> bool {
     std::env::var("GSGCN_FULL")

@@ -1,0 +1,97 @@
+//! Regression tests for the `eval --load` F1-mismatch footgun (present
+//! since the PR-1 seed): the workspace's datasets are synthetic, so a
+//! checkpoint is only meaningful against the dataset *regenerated from the
+//! same `(preset, seed)`*. These tests pin both halves of the fix:
+//!
+//! 1. a checkpoint round-tripped through bytes and imported into a fresh
+//!    trainer on a same-seed regenerated dataset reproduces the training
+//!    run's F1 exactly;
+//! 2. the v2 provenance block survives the round trip, which is what lets
+//!    the CLI default `eval` to the training-time dataset instead of
+//!    silently regenerating a different one.
+
+use gsgcn_core::trainer::EvalSplit;
+use gsgcn_core::{GsGcnTrainer, TrainerConfig};
+use gsgcn_data::presets;
+use gsgcn_nn::checkpoint::{CheckpointMeta, ModelWeights};
+
+#[test]
+fn reloaded_checkpoint_reproduces_f1_on_regenerated_dataset() {
+    let seed = 7u64;
+    let spec = presets::ppi_spec();
+
+    // Train on a dataset generated from (spec, seed). Long enough to be
+    // clearly above chance (mirrors `training_learns_ppi_shaped_data`).
+    let dataset = presets::scale_spec(&spec, 600).generate(seed);
+    let mut cfg = TrainerConfig::quick_test();
+    cfg.epochs = 40;
+    cfg.sampler.budget = 150;
+    cfg.sampler.frontier_size = 30;
+    let mut trainer = GsGcnTrainer::new(&dataset, cfg.clone()).unwrap();
+    trainer.train().unwrap();
+    let trained_val = trainer.evaluate(EvalSplit::Val);
+    let trained_test = trainer.evaluate(EvalSplit::Test);
+
+    // Round-trip the weights through the serialised format.
+    let bytes = trainer
+        .model()
+        .export_weights()
+        .with_meta(CheckpointMeta {
+            dataset: "ppi".into(),
+            seed,
+            full: false,
+            hidden_dims: cfg.hidden_dims.clone(),
+        })
+        .to_bytes();
+    let weights = ModelWeights::from_bytes(&bytes).unwrap();
+
+    // A fresh process would regenerate the dataset from the checkpoint's
+    // provenance; model the same thing in-process with a second
+    // generation from the identical (spec, seed).
+    let regenerated = presets::scale_spec(&spec, 600).generate(weights.meta.as_ref().unwrap().seed);
+    let mut fresh = GsGcnTrainer::new(&regenerated, cfg).unwrap();
+    fresh.import_weights(&weights).unwrap();
+
+    let reloaded_val = fresh.evaluate(EvalSplit::Val);
+    let reloaded_test = fresh.evaluate(EvalSplit::Test);
+    assert_eq!(
+        trained_val, reloaded_val,
+        "val F1 after reload must match the training run exactly"
+    );
+    assert_eq!(trained_test, reloaded_test, "test F1 after reload");
+    assert!(
+        reloaded_val > 0.1,
+        "reloaded model should be far above chance (got {reloaded_val}); \
+         an F1 near zero means the dataset regeneration diverged"
+    );
+}
+
+#[test]
+fn different_seed_regeneration_scores_near_chance() {
+    // The inverse property — what the old `eval --load` did by accident:
+    // scoring against a differently-seeded regeneration collapses F1. If
+    // this ever stops holding, the generators stopped depending on the
+    // seed and the provenance fix is moot.
+    let spec = presets::ppi_spec();
+    let dataset = presets::scale_spec(&spec, 600).generate(7);
+    let mut cfg = TrainerConfig::quick_test();
+    cfg.epochs = 40;
+    cfg.sampler.budget = 150;
+    cfg.sampler.frontier_size = 30;
+    let mut trainer = GsGcnTrainer::new(&dataset, cfg.clone()).unwrap();
+    trainer.train().unwrap();
+    let trained_val = trainer.evaluate(EvalSplit::Val);
+
+    let other = presets::scale_spec(&spec, 600).generate(42);
+    let weights_bytes = trainer.model().export_weights().to_bytes();
+    let weights = ModelWeights::from_bytes(&weights_bytes).unwrap();
+    let mut fresh = GsGcnTrainer::new(&other, cfg).unwrap();
+    fresh.import_weights(&weights).unwrap();
+    let mismatched_val = fresh.evaluate(EvalSplit::Val);
+
+    assert!(
+        mismatched_val < trained_val * 0.5,
+        "scoring on a different random dataset should collapse F1: \
+         trained {trained_val} vs mismatched {mismatched_val}"
+    );
+}

@@ -3,9 +3,20 @@
 //!
 //! Training large graphs takes hours; a downstream user needs to persist
 //! the learned `{W_self, W_neigh}` set (Alg. 1's output) and reload it for
-//! inference. The format is self-describing (`magic, version, L, dims,
-//! data`), so loading validates shape compatibility before touching the
-//! model.
+//! inference. The format is self-describing (`magic, version, [meta], L,
+//! dims, data`), so loading validates shape compatibility before touching
+//! the model.
+//!
+//! Version 2 adds an optional **provenance block** ([`CheckpointMeta`]):
+//! the dataset name, generation seed, scale and architecture the weights
+//! were trained with. The workspace's datasets are *synthetic* — they are
+//! regenerated from `(name, seed, full)` on every run — so evaluating a
+//! checkpoint against a differently-seeded regeneration silently scores
+//! the model on a different random graph (F1 collapses to ≈ chance, the
+//! long-standing `gsgcn eval --load` footgun). With the provenance stored,
+//! `eval` can default to the training-time dataset and warn when an
+//! explicit flag contradicts it. Version-1 checkpoints still load (no
+//! meta).
 
 use crate::model::GcnModel;
 use gsgcn_tensor::DMatrix;
@@ -13,7 +24,26 @@ use std::io;
 use std::path::Path;
 
 const MAGIC: u32 = 0x47_43_4E_31; // "GCN1"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Newest format readers below can parse; v1 = weights only.
+const MIN_VERSION: u32 = 1;
+/// Shared writer/reader bounds on the meta block, so [`ModelWeights::to_bytes`]
+/// can never emit a checkpoint its own [`ModelWeights::from_bytes`] rejects.
+const MAX_DATASET_NAME_BYTES: usize = 256;
+const MAX_HIDDEN_LAYERS: usize = 1024;
+
+/// Training-time provenance stored alongside the weights (v2+).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CheckpointMeta {
+    /// Dataset preset name (lowercase, e.g. `ppi`).
+    pub dataset: String,
+    /// Generation seed the synthetic dataset was built from.
+    pub seed: u64,
+    /// Whether the Table-I full-scale variant was used.
+    pub full: bool,
+    /// Hidden layer widths the model was built with.
+    pub hidden_dims: Vec<usize>,
+}
 
 /// A serialisable snapshot of all trainable parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -24,6 +54,9 @@ pub struct ModelWeights {
     pub head_w: DMatrix,
     /// Classifier head bias (1 × classes).
     pub head_b: DMatrix,
+    /// Training-time provenance; `None` for v1 checkpoints or snapshots
+    /// taken outside the CLI.
+    pub meta: Option<CheckpointMeta>,
 }
 
 impl ModelWeights {
@@ -37,7 +70,31 @@ impl ModelWeights {
             + self.head_b.data().len()
     }
 
-    /// Serialise to bytes.
+    /// Attach training-time provenance (builder style).
+    ///
+    /// # Panics
+    /// Panics if the meta violates the format's (deliberately generous)
+    /// bounds — dataset name over 256 bytes, more than 1024 hidden layers,
+    /// or a hidden dim exceeding `u32::MAX` — which the reader would
+    /// reject; validating at attach time keeps write and read symmetric.
+    pub fn with_meta(mut self, meta: CheckpointMeta) -> Self {
+        assert!(
+            meta.dataset.len() <= MAX_DATASET_NAME_BYTES,
+            "checkpoint dataset name exceeds {MAX_DATASET_NAME_BYTES} bytes"
+        );
+        assert!(
+            meta.hidden_dims.len() <= MAX_HIDDEN_LAYERS,
+            "checkpoint hidden-layer count exceeds {MAX_HIDDEN_LAYERS}"
+        );
+        assert!(
+            meta.hidden_dims.iter().all(|&h| h <= u32::MAX as usize),
+            "checkpoint hidden dim exceeds u32::MAX"
+        );
+        self.meta = Some(meta);
+        self
+    }
+
+    /// Serialise to bytes (always the current version).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         let put_u32 = |out: &mut Vec<u8>, v: u32| out.extend_from_slice(&v.to_le_bytes());
@@ -50,6 +107,21 @@ impl ModelWeights {
         };
         put_u32(&mut out, MAGIC);
         put_u32(&mut out, VERSION);
+        // v2 meta block: presence flag, then the provenance fields.
+        match &self.meta {
+            None => put_u32(&mut out, 0),
+            Some(meta) => {
+                put_u32(&mut out, 1);
+                put_u32(&mut out, meta.dataset.len() as u32);
+                out.extend_from_slice(meta.dataset.as_bytes());
+                out.extend_from_slice(&meta.seed.to_le_bytes());
+                put_u32(&mut out, meta.full as u32);
+                put_u32(&mut out, meta.hidden_dims.len() as u32);
+                for &h in &meta.hidden_dims {
+                    put_u32(&mut out, h as u32);
+                }
+            }
+        }
         put_u32(&mut out, self.layers.len() as u32);
         for (wn, ws) in &self.layers {
             put_matrix(&mut out, wn);
@@ -75,9 +147,45 @@ impl ModelWeights {
         if get_u32(data, &mut pos)? != MAGIC {
             return Err(bad("bad magic"));
         }
-        if get_u32(data, &mut pos)? != VERSION {
+        let version = get_u32(data, &mut pos)?;
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(bad("unsupported version"));
         }
+        let meta = if version >= 2 && get_u32(data, &mut pos)? != 0 {
+            let name_len = get_u32(data, &mut pos)? as usize;
+            if name_len > MAX_DATASET_NAME_BYTES {
+                return Err(bad("implausible dataset name length"));
+            }
+            let name_bytes = data
+                .get(pos..pos + name_len)
+                .ok_or_else(|| bad("truncated meta"))?;
+            pos += name_len;
+            let dataset = std::str::from_utf8(name_bytes)
+                .map_err(|_| bad("meta dataset name is not UTF-8"))?
+                .to_string();
+            let seed_bytes = data
+                .get(pos..pos + 8)
+                .ok_or_else(|| bad("truncated meta"))?;
+            pos += 8;
+            let seed = u64::from_le_bytes(seed_bytes.try_into().unwrap());
+            let full = get_u32(data, &mut pos)? != 0;
+            let dims = get_u32(data, &mut pos)? as usize;
+            if dims > MAX_HIDDEN_LAYERS {
+                return Err(bad("implausible hidden-layer count"));
+            }
+            let mut hidden_dims = Vec::with_capacity(dims);
+            for _ in 0..dims {
+                hidden_dims.push(get_u32(data, &mut pos)? as usize);
+            }
+            Some(CheckpointMeta {
+                dataset,
+                seed,
+                full,
+                hidden_dims,
+            })
+        } else {
+            None
+        };
         let get_matrix = |data: &[u8], pos: &mut usize| -> io::Result<DMatrix> {
             let rows = u32::from_le_bytes(
                 data.get(*pos..*pos + 4)
@@ -125,6 +233,7 @@ impl ModelWeights {
             layers,
             head_w,
             head_b,
+            meta,
         })
     }
 
@@ -150,6 +259,7 @@ impl GcnModel {
                 .collect(),
             head_w: self.head_ref().w.value.clone(),
             head_b: self.head_ref().b.value.clone(),
+            meta: None,
         }
     }
 
@@ -270,5 +380,52 @@ mod tests {
         assert!(ModelWeights::from_bytes(&bytes[..10]).is_err());
         bytes[0] ^= 0xFF;
         assert!(ModelWeights::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn meta_roundtrips() {
+        let meta = CheckpointMeta {
+            dataset: "ppi".into(),
+            seed: 0xDEAD_BEEF_0042,
+            full: true,
+            hidden_dims: vec![128, 128],
+        };
+        let w = model().export_weights().with_meta(meta.clone());
+        let back = ModelWeights::from_bytes(&w.to_bytes()).unwrap();
+        assert_eq!(back.meta.as_ref(), Some(&meta));
+        assert_eq!(back, w);
+        // Meta-less snapshots stay meta-less through the round trip.
+        let bare = model().export_weights();
+        let back = ModelWeights::from_bytes(&bare.to_bytes()).unwrap();
+        assert_eq!(back.meta, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset name exceeds")]
+    fn with_meta_rejects_unloadable_meta() {
+        // The write side must refuse anything the read side would reject.
+        let meta = CheckpointMeta {
+            dataset: "x".repeat(300),
+            ..CheckpointMeta::default()
+        };
+        let _ = model().export_weights().with_meta(meta);
+    }
+
+    /// Version-1 checkpoints (pre-provenance) must still load. v1 is the
+    /// v2 layout with no meta block, so synthesise one by stripping the
+    /// meta flag and patching the version field.
+    #[test]
+    fn v1_checkpoints_still_load() {
+        let w = model().export_weights();
+        let v2 = w.to_bytes();
+        let mut v1 = Vec::with_capacity(v2.len() - 4);
+        v1.extend_from_slice(&v2[..4]); // magic
+        v1.extend_from_slice(&1u32.to_le_bytes()); // version 1
+        v1.extend_from_slice(&v2[12..]); // skip version + absent-meta flag
+        let back = ModelWeights::from_bytes(&v1).unwrap();
+        assert_eq!(back.meta, None);
+        assert_eq!(back.layers, w.layers);
+        assert_eq!(back.head_w, w.head_w);
+        assert_eq!(back.head_b, w.head_b);
     }
 }

@@ -119,4 +119,49 @@ proptest! {
             prop_assert!((a - b).abs() < 1e-4, "loss trajectory diverged: {lf:?} vs {lu:?}");
         }
     }
+
+    /// Whole-model tier equivalence: the training loss trajectory (fused
+    /// path, the default) is within 1e-4 of the scalar tier's for every
+    /// microkernel tier this CPU can run — the end-to-end guarantee that
+    /// kernel dispatch never changes what the model learns.
+    #[test]
+    fn model_trajectory_tier_equivalence(
+        ni in 0..N_DIMS.len(), ti in 0..THREADS.len(), seed in any::<u64>(),
+    ) {
+        use gsgcn_tensor::gemm;
+        let n = N_DIMS[ni].max(4);
+        let g = rand_graph(n, 3 * n, seed);
+        let x = mat(n, 6, seed ^ 0xD);
+        let y = DMatrix::from_fn(n, 3, |i, j| ((i + j + seed as usize) % 2) as f32);
+        let run = |tier: gemm::Tier| {
+            let cfg = GcnConfig {
+                in_dim: 6,
+                hidden_dims: vec![8, 8],
+                num_classes: 3,
+                loss: LossKind::SigmoidBce,
+                ..GcnConfig::default()
+            };
+            let mut m = GcnModel::new(cfg, seed ^ 0xF);
+            in_pool(THREADS[ti], || {
+                gemm::with_tier(tier, || {
+                    (0..4).map(|_| m.train_step(&g, &x, &y).loss).collect::<Vec<f32>>()
+                })
+            })
+        };
+        let reference = run(gemm::Tier::Scalar);
+        // Scalar produced the reference trajectory; check the SIMD tiers.
+        for tier in gemm::available_tiers()
+            .into_iter()
+            .filter(|&t| t != gemm::Tier::Scalar)
+        {
+            let losses = run(tier);
+            for (a, b) in losses.iter().zip(&reference) {
+                prop_assert!(
+                    (a - b).abs() < 1e-4,
+                    "tier {} trajectory diverged: {losses:?} vs scalar {reference:?}",
+                    tier.name()
+                );
+            }
+        }
+    }
 }

@@ -2,8 +2,10 @@
 //! unfused `aggregate → matmul` composition, across all three GEMM
 //! layouts it feeds (nn forward, nt input-gradient, tn weight-gradient
 //! via the spilled `Z`), shapes straddling the packing-blocking
-//! boundaries (MR = 8, NR = 32, MC = 64, KC = 256), and 1/2/4-thread
-//! pools (fused results must be bit-identical across thread counts).
+//! boundaries (MR = 8, per-tier NR ∈ {16, 32, 48}, MC = 64, KC = 256),
+//! 1/2/4-thread pools (fused results must be bit-identical across thread
+//! counts), and every microkernel tier the CPU can run (the fused entry
+//! points route through the same runtime dispatch as the dense ones).
 
 use gsgcn_graph::{CsrGraph, GraphBuilder};
 use gsgcn_prop::fused::AggregatedRows;
@@ -141,5 +143,70 @@ proptest! {
         // tn layout consuming the spill.
         let dw = gemm::matmul_tn(&input, &z);
         prop_assert!(dw.max_abs_diff(&dw_ref) < 1e-4, "tn-over-spill mismatch");
+    }
+
+    /// Microkernel-tier equivalence through the fused pipeline: for every
+    /// tier this CPU can run, the producer-packed forward (nn) and
+    /// backward (nt + spill) match the scalar-tier unfused composition
+    /// within 1e-4, under 1/2/4-thread pools. This is what guarantees the
+    /// PR 2 fusion gets each new explicit kernel "for free".
+    #[test]
+    fn fused_tier_equivalence(
+        ni in 0..N_DIMS.len(), fi in 0..F_DIMS.len(), hi in 0..H_DIMS.len(),
+        ti in 0..THREADS.len(), seed in any::<u64>(),
+    ) {
+        let (n, f, h) = (N_DIMS[ni], F_DIMS[fi], H_DIMS[hi]);
+        let g = rand_graph(n, 2 * n, seed);
+        let hm = mat(n, f, seed ^ 1);
+        let w = mat(f, h, seed ^ 2);
+        let wt = mat(h, f, seed ^ 7); // stored h×f, consumed as Wᵀ for nt
+
+        // Scalar-tier unfused references: the unscaled aggregate doubles
+        // as the backward path's Z.
+        let (fwd_ref, z_ref, bwd_ref) = gemm::with_tier(gemm::Tier::Scalar, || {
+            let mut agg = DMatrix::zeros(n, f);
+            kernels::aggregate_feature_partitioned_into(&g, &hm, 4096, &mut agg);
+            let z_ref = agg.clone();
+            scale_rows_by_inv_degree(&g, &mut agg);
+            let fwd = gemm::matmul(&agg, &w);
+            let bwd = gemm::matmul_nt(&z_ref, &wt);
+            (fwd, z_ref, bwd)
+        });
+
+        // The scalar tier is the reference composition's own kernel; only
+        // the SIMD tiers need the equivalence check.
+        for tier in gemm::available_tiers()
+            .into_iter()
+            .filter(|&t| t != gemm::Tier::Scalar)
+        {
+            let (fwd, z, bwd) = in_pool(THREADS[ti], || {
+                gemm::with_tier(tier, || {
+                    let mut fwd = DMatrix::filled(n, h, f32::NAN);
+                    gemm::gemm_source_nn_v(
+                        1.0, &AggregatedRows::mean(&g, hm.view()), w.view(), 0.0, fwd.view_mut(),
+                    );
+                    let mut z = DMatrix::zeros(0, 0);
+                    let mut bwd = DMatrix::zeros(n, h);
+                    {
+                        let src = AggregatedRows::sum(&g, hm.view()).with_spill(&mut z);
+                        gemm::gemm_source_nt_v(1.0, &src, wt.view(), 0.0, bwd.view_mut());
+                    }
+                    (fwd, z, bwd)
+                })
+            });
+            prop_assert!(
+                fwd.max_abs_diff(&fwd_ref) < 1e-4,
+                "fused nn: tier {} vs scalar unfused, n={n} f={f} h={h} threads={}",
+                tier.name(), THREADS[ti]
+            );
+            prop_assert!(
+                z.max_abs_diff(&z_ref) < 1e-4,
+                "spill: tier {} vs scalar unfused", tier.name()
+            );
+            prop_assert!(
+                bwd.max_abs_diff(&bwd_ref) < 1e-4,
+                "fused nt: tier {} vs scalar unfused", tier.name()
+            );
+        }
     }
 }

@@ -175,6 +175,7 @@ struct BenchRecord {
     mean_secs: f64,
     min_secs: f64,
     throughput_per_sec: Option<f64>,
+    tags: Vec<(String, String)>,
 }
 
 /// Results of the whole bench run (filled by [`report`], drained by
@@ -182,6 +183,29 @@ struct BenchRecord {
 fn records() -> &'static Mutex<Vec<BenchRecord>> {
     static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
     &RECORDS
+}
+
+/// Context tags stamped onto every subsequently-reported record's JSON
+/// object (e.g. `("kernel", "avx512")` so bench artifacts are attributable
+/// to the dispatched GEMM tier). Replaced wholesale by [`set_json_tags`].
+fn json_tags() -> &'static Mutex<Vec<(String, String)>> {
+    static TAGS: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+    &TAGS
+}
+
+/// Replace the set of context tags attached to every benchmark recorded
+/// from now on (see [`json_tags`]). Keys become extra JSON fields, so use
+/// identifier-like keys that cannot collide with the standard ones
+/// (`name`, `median_secs`, `mean_secs`, `min_secs`, `throughput_per_sec`).
+pub fn set_json_tags<K, V>(tags: impl IntoIterator<Item = (K, V)>)
+where
+    K: Into<String>,
+    V: Into<String>,
+{
+    *json_tags().lock().unwrap() = tags
+        .into_iter()
+        .map(|(k, v)| (k.into(), v.into()))
+        .collect();
 }
 
 /// If `GSGCN_BENCH_JSON` names a file, write all recorded results there
@@ -228,13 +252,25 @@ pub fn write_json_if_requested() {
                 Some(t) => format!(", \"throughput_per_sec\": {t:.3}"),
                 None => String::new(),
             };
+            let tags: String = r
+                .tags
+                .iter()
+                .map(|(k, v)| {
+                    format!(
+                        ", \"{}\": \"{}\"",
+                        k.replace('"', "\\\""),
+                        v.replace('"', "\\\"")
+                    )
+                })
+                .collect();
             format!(
-                "  {{\"name\": \"{}\", \"median_secs\": {:.9}, \"mean_secs\": {:.9}, \"min_secs\": {:.9}{}}}",
+                "  {{\"name\": \"{}\", \"median_secs\": {:.9}, \"mean_secs\": {:.9}, \"min_secs\": {:.9}{}{}}}",
                 r.name.replace('"', "\\\""),
                 r.median_secs,
                 r.mean_secs,
                 r.min_secs,
                 thr,
+                tags,
             )
         })
         .collect();
@@ -282,6 +318,7 @@ fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
         mean_secs: mean,
         min_secs: min,
         throughput_per_sec: per_sec,
+        tags: json_tags().lock().unwrap().clone(),
     });
 }
 

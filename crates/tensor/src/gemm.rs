@@ -25,24 +25,34 @@
 //! ```
 //!
 //! * **Packing** copies each operand panel once into contiguous,
-//!   panel-interleaved scratch (from [`crate::scratch`], reused across
-//!   calls), so the microkernel's loads are unit-stride regardless of the
-//!   operand layout — this is what makes the `tn`/`nt` transpose variants
-//!   and strided views run at `nn` speed, and it bounds cache/TLB traffic
-//!   to one streaming pass per panel. `α` is folded into the A-pack.
-//! * **The microkernel** keeps an `MR×NR` accumulator tile (`8×32` f32 =
-//!   16 AVX-512 registers, chosen so the tile plus one B vector and one A
-//!   broadcast fit the 32-register file) and issues only `mul_add`s over
-//!   the packed panels; LLVM turns the fixed-trip inner loops into FMA
-//!   vector code. There is **no** zero-skip branch: the seed kernel's
-//!   `if aik == 0.0 { continue; }` stalled the pipeline on every dense
-//!   activation element to optimise a case (exact zeros) that occurs only
-//!   for ReLU-sparse inputs, and even then saves nothing once the loop is
-//!   memory-bound.
+//!   panel-interleaved, 64-byte-aligned scratch (from [`crate::scratch`],
+//!   reused across calls), so the microkernel's loads are unit-stride
+//!   vector loads regardless of the operand layout — this is what makes
+//!   the `tn`/`nt` transpose variants and strided views run at `nn` speed,
+//!   and it bounds cache/TLB traffic to one streaming pass per panel. `α`
+//!   is folded into the A-pack. The A-panel interleave ([`MR`] = 8 rows)
+//!   is **tier-invariant**; the B-panel width `NR` belongs to the selected
+//!   microkernel.
+//! * **The microkernel** is an explicit SIMD register-tile kernel selected
+//!   at runtime from the tiers in [`crate::ukernel`]: hand-written
+//!   AVX-512F (`8×48`, `_mm512_fmadd_ps`) and AVX2+FMA (`8×16`,
+//!   `_mm256_fmadd_ps`) kernels, with the portable autovectorised
+//!   virtual-vector kernel (`8×32`) as the fallback. Dispatch is resolved
+//!   once per process (`is_x86_feature_detected!`, overridable with the
+//!   `GSGCN_KERNEL` env var — `scalar`/`avx2`/`avx512`/`auto`) into a
+//!   cached kernel table; [`with_tier`] forces a tier per thread for
+//!   tests/benches. All tiers compute each C element as the same FMA
+//!   chain, so tier choice never changes results. There is **no**
+//!   zero-skip branch: the seed kernel's `if aik == 0.0 { continue; }`
+//!   stalled the pipeline on every dense activation element to optimise a
+//!   case (exact zeros) that occurs only for ReLU-sparse inputs, and even
+//!   then saves nothing once the loop is memory-bound.
 //! * **Parallelism** is over `MC`-row blocks of `C` on the current rayon
 //!   pool. Tasks own disjoint C rows and the block structure is a function
 //!   of the shape alone, so results are bit-identical for any thread
-//!   count.
+//!   count. The dispatched kernel is resolved on the calling thread and
+//!   carried into the tasks, so a per-thread tier override composes with
+//!   thread pools.
 //! * Accumulation order per C element is fixed (pc-major, then kk), so the
 //!   kernel is deterministic; tests pin it against [`matmul_reference`].
 //!
@@ -62,22 +72,27 @@
 
 use crate::matrix::DMatrix;
 use crate::scratch;
+use crate::ukernel::{self, Kernel, NR_MAX};
 use crate::view::{MatMut, MatRef};
 use rayon::prelude::*;
 
-/// Microkernel tile height (rows of C per register tile). Public because
-/// [`PackSource`] implementors must produce panels in the MR-interleaved
-/// pack layout (see [`PackSource::pack_a`]).
-pub const MR: usize = 8;
-/// Microkernel tile width (columns of C per register tile).
-const NR: usize = 32;
+// Microkernel tiers and their dispatch live in `crate::ukernel`; the tier
+// inspection/override API is re-exported here because this is the module
+// callers already import for everything GEMM.
+pub use crate::ukernel::{
+    available_tiers, best_available_tier, selected_tier, with_tier, Tier, ALL_TIERS,
+};
+
+/// Microkernel tile height (rows of C per register tile), identical for
+/// every tier. Public because [`PackSource`] implementors must produce
+/// panels in the MR-interleaved pack layout (see [`PackSource::pack_a`]).
+pub use crate::ukernel::MR;
+
 /// Reduction-dimension block: one packed A panel column-block (`MC×KC`)
 /// plus the B panel rows stay L2-resident.
 const KC: usize = 256;
 /// Rows of C per parallel task / packed A block.
 const MC: usize = 64;
-/// Columns of C per outer strip; `KC×NC` f32 of packed B ≈ 1 MiB (L2/LLC).
-const NC: usize = 1024;
 
 // ---------------------------------------------------------------------------
 // Allocating convenience wrappers
@@ -327,14 +342,19 @@ fn driver<S: PackSource + ?Sized>(
         row_stride: c.row_stride(),
     };
 
+    // Resolve the microkernel once, on the calling thread (honouring any
+    // `with_tier` override there), and carry it into the parallel tasks.
+    let kern = ukernel::current_kernel();
+    let nr = kern.nr;
+
     let ic_blocks = m.div_ceil(MC);
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
-        let b_panels = nc.div_ceil(NR);
+    for jc in (0..n).step_by(kern.nc) {
+        let nc = kern.nc.min(n - jc);
+        let b_panels = nc.div_ceil(nr);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
-            scratch::with_buf(b_panels * kc * NR, |b_pack| {
-                pack_b(b, b_trans, pc, kc, jc, nc, b_pack);
+            scratch::with_buf(b_panels * kc * nr, |b_pack| {
+                pack_b(b, b_trans, pc, kc, jc, nc, nr, b_pack);
                 let b_pack = &*b_pack;
                 (0..ic_blocks).into_par_iter().for_each(|blk| {
                     let ic = blk * MC;
@@ -342,7 +362,7 @@ fn driver<S: PackSource + ?Sized>(
                     let a_panels = mc.div_ceil(MR);
                     scratch::with_buf(a_panels * kc * MR, |a_pack| {
                         a.pack_a(alpha, ic, mc, pc, kc, a_pack);
-                        multiply_block(a_pack, b_pack, c_base, ic, mc, jc, nc, kc);
+                        multiply_block(kern, a_pack, b_pack, c_base, ic, mc, jc, nc, kc);
                     });
                 });
             });
@@ -350,9 +370,15 @@ fn driver<S: PackSource + ?Sized>(
     }
 }
 
+/// Stack tile buffer for the microkernel output, 64-byte aligned so the
+/// widest tier's stores stay within cache lines.
+#[repr(align(64))]
+struct AccTile([f32; MR * NR_MAX]);
+
 /// `C[ic..ic+mc, jc..jc+nc] += packed_A · packed_B` for one row block.
 #[allow(clippy::too_many_arguments)]
 fn multiply_block(
+    kern: &Kernel,
     a_pack: &[f32],
     b_pack: &[f32],
     c_base: CPtr,
@@ -362,18 +388,20 @@ fn multiply_block(
     nc: usize,
     kc: usize,
 ) {
-    // Tile buffer the microkernel overwrites per call.
-    let mut acc = [[0.0f32; NR]; MR];
-    for (jp, b_panel) in b_pack.chunks_exact(kc * NR).enumerate() {
-        let jr = jp * NR;
-        let tile_cols = NR.min(nc - jr);
+    let nr = kern.nr;
+    // Tile buffer the microkernel overwrites per call (row-major MR×nr).
+    let mut acc = AccTile([0.0f32; MR * NR_MAX]);
+    let acc = &mut acc.0[..MR * nr];
+    for (jp, b_panel) in b_pack.chunks_exact(kc * nr).enumerate() {
+        let jr = jp * nr;
+        let tile_cols = nr.min(nc - jr);
         for (ip, a_panel) in a_pack.chunks_exact(kc * MR).enumerate() {
             let ir = ip * MR;
             let tile_rows = MR.min(mc - ir);
-            microkernel(kc, a_panel, b_panel, &mut acc);
+            kern.run(kc, a_panel, b_panel, acc);
             // (acc now holds the full tile product for this pc panel.)
             // Store: C[ic+ir .., jc+jr ..] += acc (clipped to the edge).
-            for (r, acc_row) in acc.iter().enumerate().take(tile_rows) {
+            for (r, acc_row) in acc.chunks_exact(nr).enumerate().take(tile_rows) {
                 // SAFETY: this task owns rows [ic, ic+mc) of C, and
                 // jc+jr+tile_cols ≤ n by construction.
                 let c_row: &mut [f32] = unsafe {
@@ -386,105 +414,6 @@ fn multiply_block(
                     *cv += *av;
                 }
             }
-        }
-    }
-}
-
-/// f32 lanes per virtual vector (one AVX2 `ymm`; AVX-512 targets fuse
-/// pairs). The microkernel is written against fixed-width lane arrays so
-/// the vectorizer's only option is the contiguous lane dimension.
-const LANES: usize = 8;
-/// Virtual vectors per tile row.
-const NV: usize = NR / LANES;
-
-/// A virtual SIMD vector: every operation on it is a fixed-trip lane loop
-/// that LLVM collapses to one packed instruction.
-#[derive(Clone, Copy)]
-struct V([f32; LANES]);
-
-/// `acc += a · b` per lane (one packed FMA).
-#[inline(always)]
-fn vfma(acc: &mut V, a: f32, b: V) {
-    for l in 0..LANES {
-        acc.0[l] = b.0[l].mul_add(a, acc.0[l]);
-    }
-}
-
-/// Statically unroll a block over `R = 0..8`. The microkernel's row loop
-/// must not exist as a loop: LLVM's vectorizer otherwise picks the row
-/// dimension (stride `NR`) and emits gather/scatter code an order of
-/// magnitude slower than the contiguous-lane form.
-// `unroll_mr!` emits exactly 8 row bodies; growing MR without extending
-// the macro would silently zero the extra tile rows (shrinking it fails
-// to compile on its own).
-const _: () = assert!(MR == 8, "unroll_mr! must list exactly MR rows");
-
-macro_rules! unroll_mr {
-    ($r:ident, $body:block) => {{
-        const $r: usize = 0;
-        $body
-    }
-    {
-        const $r: usize = 1;
-        $body
-    }
-    {
-        const $r: usize = 2;
-        $body
-    }
-    {
-        const $r: usize = 3;
-        $body
-    }
-    {
-        const $r: usize = 4;
-        $body
-    }
-    {
-        const $r: usize = 5;
-        $body
-    }
-    {
-        const $r: usize = 6;
-        $body
-    }
-    {
-        const $r: usize = 7;
-        $body
-    }};
-}
-
-/// The MR×NR register tile update: `acc += A_panel · B_panel` over `kc`.
-///
-/// Panels are packed (A: `kc×MR` column-interleaved, B: `kc×NR`
-/// row-interleaved), so every load is unit-stride; the body compiles to
-/// `MR·NV` packed FMAs plus `NV` loads and `MR` broadcasts per `kk`.
-///
-/// `inline(never)` keeps the loop nest in its own function, where the
-/// clean vector codegen is stable; call overhead is amortised over the
-/// whole `kc` reduction.
-#[inline(never)]
-fn microkernel(kc: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [[f32; NR]; MR]) {
-    debug_assert_eq!(a_panel.len(), kc * MR);
-    debug_assert_eq!(b_panel.len(), kc * NR);
-    let mut tile = [[V([0.0; LANES]); NV]; MR];
-    for kk in 0..kc {
-        let a_k: &[f32; MR] = a_panel[kk * MR..kk * MR + MR].try_into().unwrap();
-        let b_k = &b_panel[kk * NR..kk * NR + NR];
-        let mut bv = [V([0.0; LANES]); NV];
-        for (v, bvv) in bv.iter_mut().enumerate() {
-            bvv.0.copy_from_slice(&b_k[v * LANES..(v + 1) * LANES]);
-        }
-        unroll_mr!(R, {
-            let ar = a_k[R];
-            for v in 0..NV {
-                vfma(&mut tile[R][v], ar, bv[v]);
-            }
-        });
-    }
-    for (r, acc_row) in acc.iter_mut().enumerate() {
-        for v in 0..NV {
-            acc_row[v * LANES..(v + 1) * LANES].copy_from_slice(&tile[r][v].0);
         }
     }
 }
@@ -534,9 +463,11 @@ fn pack_a_dense(
     }
 }
 
-/// Pack `B[pc..pc+kc, jc..jc+nc]` (logical orientation) into NR-wide
-/// column panels: `out[p*kc*NR + kk*NR + j] = B[pc+kk, jc+p·NR+j]`,
-/// zero-padding columns past `nc`.
+/// Pack `B[pc..pc+kc, jc..jc+nc]` (logical orientation) into `nr`-wide
+/// column panels: `out[p*kc*nr + kk*nr + j] = B[pc+kk, jc+p·nr+j]`,
+/// zero-padding columns past `nc`. `nr` is the selected microkernel's
+/// tile width — the one pack-layout parameter that varies per tier.
+#[allow(clippy::too_many_arguments)]
 fn pack_b(
     b: MatRef<'_>,
     b_trans: bool,
@@ -544,29 +475,30 @@ fn pack_b(
     kc: usize,
     jc: usize,
     nc: usize,
+    nr: usize,
     out: &mut [f32],
 ) {
-    let panels = nc.div_ceil(NR);
-    debug_assert_eq!(out.len(), panels * kc * NR);
-    for (p, panel) in out.chunks_exact_mut(kc * NR).enumerate() {
-        let c0 = p * NR;
-        let cols_here = NR.min(nc - c0);
+    let panels = nc.div_ceil(nr);
+    debug_assert_eq!(out.len(), panels * kc * nr);
+    for (p, panel) in out.chunks_exact_mut(kc * nr).enumerate() {
+        let c0 = p * nr;
+        let cols_here = nr.min(nc - c0);
         if b_trans {
             // B stored n×k: each logical column is a contiguous stored row.
             for j in 0..cols_here {
                 let src = &b.row(jc + c0 + j)[pc..pc + kc];
                 for (kk, &s) in src.iter().enumerate() {
-                    panel[kk * NR + j] = s;
+                    panel[kk * nr + j] = s;
                 }
             }
-            if cols_here < NR {
+            if cols_here < nr {
                 for kk in 0..kc {
-                    panel[kk * NR + cols_here..(kk + 1) * NR].fill(0.0);
+                    panel[kk * nr + cols_here..(kk + 1) * nr].fill(0.0);
                 }
             }
         } else {
             // B stored k×n: one contiguous copy per kk.
-            for (kk, dst) in panel.chunks_exact_mut(NR).enumerate() {
+            for (kk, dst) in panel.chunks_exact_mut(nr).enumerate() {
                 let src = &b.row(pc + kk)[jc + c0..jc + c0 + cols_here];
                 dst[..cols_here].copy_from_slice(src);
                 dst[cols_here..].fill(0.0);
@@ -680,10 +612,24 @@ mod tests {
         }
     }
 
-    /// Shapes straddling every blocking boundary (MR, NR, KC, MC, NC).
+    /// Shapes straddling every blocking boundary: MR, every tier's NR
+    /// (16 / 32 / 48), KC and MC.
     #[test]
     fn matmul_matches_reference_at_block_edges() {
-        let dims = [1, MR - 1, MR, MR + 1, NR - 1, NR, NR + 1, MC - 1, MC + 1];
+        let dims = [
+            1,
+            MR - 1,
+            MR,
+            MR + 1,
+            15,
+            17,
+            31,
+            33,
+            47,
+            49,
+            MC - 1,
+            MC + 1,
+        ];
         for &m in &dims {
             for &n in &dims {
                 for &k in &[1usize, 7, KC - 1, KC + 1] {
@@ -785,6 +731,33 @@ mod tests {
         let packed = matmul(&a, &b);
         let unpacked = matmul_unpacked(&a, &b);
         assert!(packed.max_abs_diff(&unpacked) < 1e-4);
+    }
+
+    #[test]
+    fn every_tier_matches_reference_end_to_end() {
+        // Spans several KC panels and MC blocks so each tier's full
+        // driver path (packing, strips, edge tiles) is exercised.
+        let a = seq(65, 300, 0.8);
+        let b = seq(300, 70, 1.2);
+        let r = matmul_reference(&a, &b);
+        for tier in available_tiers() {
+            let c = with_tier(tier, || matmul(&a, &b));
+            assert!(c.max_abs_diff(&r) < 5e-3, "tier {}", tier.name());
+        }
+    }
+
+    #[test]
+    fn tiers_are_bit_identical() {
+        // Every tier runs the same FMA chain per C element (see the
+        // ukernel module docs), so tier choice must not change results
+        // at all — not merely within tolerance.
+        let a = seq(70, 260, 0.9);
+        let b = seq(260, 50, 1.1);
+        let reference = with_tier(Tier::Scalar, || matmul(&a, &b));
+        for tier in available_tiers() {
+            let c = with_tier(tier, || matmul(&a, &b));
+            assert_eq!(c, reference, "tier {}", tier.name());
+        }
     }
 
     #[test]

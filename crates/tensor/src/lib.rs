@@ -28,6 +28,7 @@ pub mod init;
 pub mod matrix;
 pub mod ops;
 pub mod scratch;
+pub mod ukernel;
 pub mod view;
 
 pub use matrix::DMatrix;

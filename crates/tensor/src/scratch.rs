@@ -25,19 +25,34 @@ thread_local! {
 /// Maximum number of idle buffers kept per thread.
 const MAX_POOLED: usize = 16;
 
+/// Scratch alignment in bytes: one cache line, which is also the widest
+/// SIMD vector (`zmm`). Packed GEMM panels handed out from here start on
+/// this boundary, so the explicit microkernels' vector loads never split
+/// a cache line (panel rows are themselves multiples of 64 bytes for the
+/// SIMD tiers).
+const ALIGN_BYTES: usize = 64;
+/// Worst-case f32 elements skipped to reach the alignment boundary.
+const ALIGN_SLACK: usize = ALIGN_BYTES / std::mem::size_of::<f32>() - 1;
+
 /// Run `f` with a scratch buffer of exactly `len` elements (unspecified
-/// contents). The buffer returns to this thread's pool afterwards.
+/// contents), starting on a 64-byte boundary. The buffer returns to this
+/// thread's pool afterwards.
 pub fn with_buf<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
     let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
-    if buf.capacity() < len {
+    let need = len + ALIGN_SLACK;
+    if buf.capacity() < need {
         crate::alloc::record_alloc();
     }
     // Keep len == max seen so far: growth zero-fills once, later calls
     // just slice. Contents are unspecified per the contract above.
-    if buf.len() < len {
-        buf.resize(len, 0.0);
+    if buf.len() < need {
+        buf.resize(need, 0.0);
     }
-    let out = f(&mut buf[..len]);
+    // Alignment offset is computed per call (the pool may hand back a
+    // different allocation), but is stable for a given Vec.
+    let off = buf.as_ptr().align_offset(ALIGN_BYTES);
+    debug_assert!(off <= ALIGN_SLACK);
+    let out = f(&mut buf[off..off + len]);
     POOL.with(|p| {
         let mut pool = p.borrow_mut();
         if pool.len() < MAX_POOLED {
@@ -122,5 +137,22 @@ mod tests {
     #[test]
     fn zero_len_works() {
         with_buf(0, |b| assert!(b.is_empty()));
+    }
+
+    #[test]
+    fn buffers_are_cache_line_aligned() {
+        for len in [1usize, 16, 100, 4096] {
+            with_buf(len, |b| {
+                assert_eq!(b.as_ptr() as usize % ALIGN_BYTES, 0, "len {len}");
+                assert_eq!(b.len(), len);
+            });
+        }
+        // Nested buffers are aligned too.
+        with_buf(64, |outer| {
+            with_buf(32, |inner| {
+                assert_eq!(inner.as_ptr() as usize % ALIGN_BYTES, 0);
+            });
+            assert_eq!(outer.as_ptr() as usize % ALIGN_BYTES, 0);
+        });
     }
 }

@@ -1,0 +1,538 @@
+//! SIMD microkernel tiers and their runtime dispatch.
+//!
+//! The packed GEMM in [`crate::gemm`] does all of its arithmetic inside an
+//! `MR×NR` register-tile microkernel. This module provides that microkernel
+//! at three explicitness tiers and picks one **at runtime**:
+//!
+//! | tier     | NR | ISA            | implementation                         |
+//! |----------|----|----------------|----------------------------------------|
+//! | `avx512` | 48 | AVX-512F       | `_mm512_fmadd_ps`, 8×3 zmm accumulators |
+//! | `avx2`   | 16 | AVX2 + FMA     | `_mm256_fmadd_ps`, two 4×2 ymm half-tiles |
+//! | `scalar` | 32 | any            | virtual-vector form, LLVM autovectorised |
+//!
+//! All tiers share the A-panel layout (`MR`-interleaved, [`MR`] is fixed at
+//! 8 so [`crate::gemm::PackSource`] producers are tier-agnostic), but each
+//! sizes its own B-panel width `NR` to its register file: wide enough that
+//! the FMA ports, not the load ports, are the bottleneck, while the
+//! accumulator tile plus the B vectors still fit the architectural
+//! registers without spills.
+//!
+//! # Dispatch
+//!
+//! The process-wide default tier is resolved **once** (first GEMM call)
+//! from the `GSGCN_KERNEL` environment variable:
+//!
+//! * `auto` (or unset) — best tier the CPU supports, probed with
+//!   `is_x86_feature_detected!`;
+//! * `scalar` / `avx2` / `avx512` — force that tier (panics with a clear
+//!   message if the CPU lacks the ISA — CI uses this to exercise fallback
+//!   kernels on capable runners);
+//! * anything else — panic (misconfiguration should be loud).
+//!
+//! [`with_tier`] overrides the tier for the current thread for the duration
+//! of a closure; the GEMM driver reads the selection on the *calling*
+//! thread and carries the resolved [`Kernel`] into its parallel tasks, so
+//! the override composes with thread pools as long as it wraps the GEMM
+//! call itself. Tests use this to run every available tier in one process.
+//!
+//! # Numerical equivalence
+//!
+//! Every tier computes each C element as the same sequence of fused
+//! multiply-adds over `kc` (one chain per element, `pc`-major), so tiers
+//! agree to the last bit on the same input — pinned (to 1e-4, defensively)
+//! by the tier-equivalence proptests in `tests/proptest_packed_gemm.rs`.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Microkernel tile height (rows of C per register tile). Fixed across
+/// tiers: the packed A-panel layout (and therefore every
+/// [`crate::gemm::PackSource`] implementation) interleaves rows in groups
+/// of `MR`.
+pub const MR: usize = 8;
+
+/// Upper bound on any tier's `NR` — sizes the driver's stack accumulator.
+pub const NR_MAX: usize = 64;
+
+const NR_SCALAR: usize = 32;
+#[cfg(target_arch = "x86_64")]
+const NR_AVX2: usize = 16;
+#[cfg(target_arch = "x86_64")]
+const NR_AVX512: usize = 48;
+
+/// A microkernel tier. Order is ascending preference for auto-selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Portable fallback: fixed-lane virtual vectors that LLVM collapses
+    /// to whatever SIMD the target has. Correct everywhere; fast only when
+    /// the autovectoriser cooperates.
+    Scalar,
+    /// Explicit AVX2+FMA kernel (`ymm`, 8 f32 lanes).
+    Avx2,
+    /// Explicit AVX-512F kernel (`zmm`, 16 f32 lanes).
+    Avx512,
+}
+
+/// All tiers, in ascending preference order.
+pub const ALL_TIERS: [Tier; 3] = [Tier::Scalar, Tier::Avx2, Tier::Avx512];
+
+impl Tier {
+    /// The tier's `GSGCN_KERNEL` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Scalar => "scalar",
+            Tier::Avx2 => "avx2",
+            Tier::Avx512 => "avx512",
+        }
+    }
+
+    /// Parse a `GSGCN_KERNEL` value (case-insensitive). `auto` is handled
+    /// by the caller; this returns `None` for it and any unknown value.
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(Tier::Scalar),
+            "avx2" => Some(Tier::Avx2),
+            "avx512" => Some(Tier::Avx512),
+            _ => None,
+        }
+    }
+
+    /// Whether this CPU can run the tier.
+    pub fn is_available(self) -> bool {
+        match self {
+            Tier::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Tier::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            Tier::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+}
+
+/// `acc[r·nr + j] = Σ_kk a[kk·MR + r] · b[kk·nr + j]` (acc overwritten).
+type MicroKernelFn = unsafe fn(kc: usize, a: *const f32, b: *const f32, acc: *mut f32);
+
+/// A resolved microkernel: the tier's tile geometry plus its entry point.
+/// Obtained from the dispatch table ([`current_kernel`]); never constructed
+/// for a tier the CPU cannot run.
+pub struct Kernel {
+    /// Which tier this is.
+    pub tier: Tier,
+    /// Microkernel tile width (columns of C per register tile) — the
+    /// B-panel interleave width.
+    pub nr: usize,
+    /// Columns of C per outer GEMM strip: a multiple of `nr` keeping
+    /// `KC×nc` packed B around 1 MiB (L2-resident).
+    pub nc: usize,
+    ukr: MicroKernelFn,
+}
+
+impl Kernel {
+    /// Run the microkernel over packed panels: `acc[r·nr+j] += Σ_kk …` is
+    /// **overwritten** (not accumulated) with the `MR×nr` tile product.
+    #[inline]
+    pub(crate) fn run(&self, kc: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [f32]) {
+        assert_eq!(a_panel.len(), kc * MR);
+        assert_eq!(b_panel.len(), kc * self.nr);
+        assert!(acc.len() >= MR * self.nr);
+        // SAFETY: panel/acc bounds checked above; the function pointer is
+        // only ever one whose ISA was verified available (`kernel_for`
+        // guards the table, `with_tier`/env parsing assert availability).
+        unsafe { (self.ukr)(kc, a_panel.as_ptr(), b_panel.as_ptr(), acc.as_mut_ptr()) }
+    }
+}
+
+static SCALAR_KERNEL: Kernel = Kernel {
+    tier: Tier::Scalar,
+    nr: NR_SCALAR,
+    nc: 1024,
+    ukr: ukr_scalar,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2_KERNEL: Kernel = Kernel {
+    tier: Tier::Avx2,
+    nr: NR_AVX2,
+    nc: 1024,
+    ukr: ukr_avx2,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX512_KERNEL: Kernel = Kernel {
+    tier: Tier::Avx512,
+    nr: NR_AVX512,
+    nc: 1008, // 21 × NR — keeps strips NR-aligned, ≈1 MiB packed B
+    ukr: ukr_avx512,
+};
+
+/// The dispatch table row for `tier`.
+///
+/// # Panics
+/// Panics if the CPU cannot run `tier` (callers gate on
+/// [`Tier::is_available`]; the env/`with_tier` paths check before ever
+/// naming a tier).
+pub(crate) fn kernel_for(tier: Tier) -> &'static Kernel {
+    assert!(
+        tier.is_available(),
+        "kernel tier `{}` is not available on this CPU",
+        tier.name()
+    );
+    match tier {
+        Tier::Scalar => &SCALAR_KERNEL,
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx2 => &AVX2_KERNEL,
+        #[cfg(target_arch = "x86_64")]
+        Tier::Avx512 => &AVX512_KERNEL,
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("non-scalar tier on non-x86_64"),
+    }
+}
+
+/// Best tier this CPU supports.
+pub fn best_available_tier() -> Tier {
+    ALL_TIERS
+        .into_iter()
+        .rev()
+        .find(|t| t.is_available())
+        .unwrap_or(Tier::Scalar)
+}
+
+/// Tiers this CPU supports, ascending.
+pub fn available_tiers() -> Vec<Tier> {
+    ALL_TIERS.into_iter().filter(|t| t.is_available()).collect()
+}
+
+/// The process-wide default tier: `GSGCN_KERNEL` if set, else the best
+/// available. Resolved once and cached.
+///
+/// # Panics
+/// First call panics on an unknown `GSGCN_KERNEL` value or a forced tier
+/// the CPU lacks — a forced-tier CI run must never silently fall back.
+pub fn default_tier() -> Tier {
+    static DEFAULT: OnceLock<Tier> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("GSGCN_KERNEL") {
+        Ok(v) if !v.is_empty() && !v.eq_ignore_ascii_case("auto") => {
+            let tier = Tier::parse(&v).unwrap_or_else(|| {
+                panic!("GSGCN_KERNEL={v:?} — expected scalar, avx2, avx512 or auto")
+            });
+            assert!(
+                tier.is_available(),
+                "GSGCN_KERNEL={v:?} but this CPU does not support the `{}` tier",
+                tier.name()
+            );
+            tier
+        }
+        _ => best_available_tier(),
+    })
+}
+
+thread_local! {
+    /// Per-thread tier override (see [`with_tier`]).
+    static FORCED: Cell<Option<Tier>> = const { Cell::new(None) };
+}
+
+/// The tier the next GEMM issued from this thread will dispatch to.
+pub fn selected_tier() -> Tier {
+    FORCED.get().unwrap_or_else(default_tier)
+}
+
+/// Run `f` with GEMMs issued **from this thread** dispatching to `tier`.
+///
+/// The override is thread-local and restored on exit (including unwind).
+/// It must wrap the GEMM *call*: the driver resolves the kernel on its
+/// calling thread and hands it to its parallel tasks, so worker threads
+/// inherit the choice, but a `pool.install` boundary outside `with_tier`
+/// would not.
+///
+/// # Panics
+/// Panics if the CPU cannot run `tier`.
+pub fn with_tier<R>(tier: Tier, f: impl FnOnce() -> R) -> R {
+    assert!(
+        tier.is_available(),
+        "kernel tier `{}` is not available on this CPU",
+        tier.name()
+    );
+    struct Restore(Option<Tier>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCED.set(self.0);
+        }
+    }
+    let _restore = Restore(FORCED.replace(Some(tier)));
+    f()
+}
+
+/// The kernel the current thread's selection resolves to.
+pub(crate) fn current_kernel() -> &'static Kernel {
+    kernel_for(selected_tier())
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tier — virtual-vector form, autovectorised
+// ---------------------------------------------------------------------------
+
+/// f32 lanes per virtual vector (one AVX2 `ymm`; wider targets fuse
+/// pairs). The kernel is written against fixed-width lane arrays so the
+/// vectorizer's only option is the contiguous lane dimension.
+const LANES: usize = 8;
+/// Virtual vectors per scalar-tier tile row.
+const NV: usize = NR_SCALAR / LANES;
+
+/// A virtual SIMD vector: every operation on it is a fixed-trip lane loop
+/// that LLVM collapses to one packed instruction.
+#[derive(Clone, Copy)]
+struct V([f32; LANES]);
+
+/// `acc += a · b` per lane (one packed FMA).
+#[inline(always)]
+fn vfma(acc: &mut V, a: f32, b: V) {
+    for l in 0..LANES {
+        acc.0[l] = b.0[l].mul_add(a, acc.0[l]);
+    }
+}
+
+/// Statically unroll a block over `R = 0..8`. The microkernel's row loop
+/// must not exist as a loop: LLVM's vectorizer otherwise picks the row
+/// dimension (stride `NR`) and emits gather/scatter code an order of
+/// magnitude slower than the contiguous-lane form.
+// `unroll_mr!` emits exactly 8 row bodies; growing MR without extending
+// the macro would silently zero the extra tile rows (shrinking it fails
+// to compile on its own).
+const _: () = assert!(MR == 8, "unroll_mr! must list exactly MR rows");
+
+macro_rules! unroll_mr {
+    ($r:ident, $body:block) => {{
+        const $r: usize = 0;
+        $body
+    }
+    {
+        const $r: usize = 1;
+        $body
+    }
+    {
+        const $r: usize = 2;
+        $body
+    }
+    {
+        const $r: usize = 3;
+        $body
+    }
+    {
+        const $r: usize = 4;
+        $body
+    }
+    {
+        const $r: usize = 5;
+        $body
+    }
+    {
+        const $r: usize = 6;
+        $body
+    }
+    {
+        const $r: usize = 7;
+        $body
+    }};
+}
+
+/// The portable MR×32 tile kernel (see module docs for the layout).
+///
+/// # Safety
+/// `a` must be valid for `kc·MR` reads, `b` for `kc·NR_SCALAR` reads and
+/// `acc` for `MR·NR_SCALAR` writes ([`Kernel::run`] checks this).
+unsafe fn ukr_scalar(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
+    let a_panel = std::slice::from_raw_parts(a, kc * MR);
+    let b_panel = std::slice::from_raw_parts(b, kc * NR_SCALAR);
+    let acc = std::slice::from_raw_parts_mut(acc, MR * NR_SCALAR);
+    let mut tile = [[V([0.0; LANES]); NV]; MR];
+    for kk in 0..kc {
+        let a_k: &[f32; MR] = a_panel[kk * MR..kk * MR + MR].try_into().unwrap();
+        let b_k = &b_panel[kk * NR_SCALAR..kk * NR_SCALAR + NR_SCALAR];
+        let mut bv = [V([0.0; LANES]); NV];
+        for (v, bvv) in bv.iter_mut().enumerate() {
+            bvv.0.copy_from_slice(&b_k[v * LANES..(v + 1) * LANES]);
+        }
+        unroll_mr!(R, {
+            let ar = a_k[R];
+            for v in 0..NV {
+                vfma(&mut tile[R][v], ar, bv[v]);
+            }
+        });
+    }
+    for (r, row) in tile.iter().enumerate() {
+        for (v, vec) in row.iter().enumerate() {
+            acc[r * NR_SCALAR + v * LANES..r * NR_SCALAR + (v + 1) * LANES].copy_from_slice(&vec.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA tier
+// ---------------------------------------------------------------------------
+
+/// The AVX2 MR×16 tile kernel, computed as two 4-row half-tiles.
+///
+/// A full 8×16 tile needs 16 `ymm` accumulators — the whole register file,
+/// so something spills every iteration. Splitting into 4×16 halves uses
+/// 8 accumulators + 2 B vectors + 1 broadcast = 11 of 16 registers, and
+/// per `kk` issues 8 FMAs against 2 loads + 4 broadcasts — FMA-bound. The
+/// B panel row (one cache line) is re-read from L1 by the second half.
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA are available and the panel bounds of
+/// [`Kernel::run`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn ukr_avx2(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
+    use std::arch::x86_64::*;
+    for half in 0..2 {
+        let mut c: [[__m256; 2]; 4] = [[_mm256_setzero_ps(); 2]; 4];
+        for kk in 0..kc {
+            let bp = b.add(kk * NR_AVX2);
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            let ap = a.add(kk * MR + half * 4);
+            for (r, cr) in c.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*ap.add(r));
+                cr[0] = _mm256_fmadd_ps(av, b0, cr[0]);
+                cr[1] = _mm256_fmadd_ps(av, b1, cr[1]);
+            }
+        }
+        for (r, cr) in c.iter().enumerate() {
+            let out = acc.add((half * 4 + r) * NR_AVX2);
+            _mm256_storeu_ps(out, cr[0]);
+            _mm256_storeu_ps(out.add(8), cr[1]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512F tier
+// ---------------------------------------------------------------------------
+
+/// The AVX-512 MR×48 tile kernel: 8 rows × 3 `zmm` accumulators (24 of 32
+/// registers) + 3 B vectors + 1 broadcast = 28 — no spills, and per `kk`
+/// the 24 FMAs outnumber the 3 loads + 8 broadcasts, so the two FMA ports
+/// are the bottleneck rather than the load ports.
+///
+/// # Safety
+/// Caller must ensure AVX-512F is available and the panel bounds of
+/// [`Kernel::run`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn ukr_avx512(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
+    use std::arch::x86_64::*;
+    let mut c: [[__m512; 3]; MR] = [[_mm512_setzero_ps(); 3]; MR];
+    for kk in 0..kc {
+        let bp = b.add(kk * NR_AVX512);
+        let b0 = _mm512_loadu_ps(bp);
+        let b1 = _mm512_loadu_ps(bp.add(16));
+        let b2 = _mm512_loadu_ps(bp.add(32));
+        let ap = a.add(kk * MR);
+        for (r, cr) in c.iter_mut().enumerate() {
+            let av = _mm512_set1_ps(*ap.add(r));
+            cr[0] = _mm512_fmadd_ps(av, b0, cr[0]);
+            cr[1] = _mm512_fmadd_ps(av, b1, cr[1]);
+            cr[2] = _mm512_fmadd_ps(av, b2, cr[2]);
+        }
+    }
+    for (r, cr) in c.iter().enumerate() {
+        let out = acc.add(r * NR_AVX512);
+        _mm512_storeu_ps(out, cr[0]);
+        _mm512_storeu_ps(out.add(16), cr[1]);
+        _mm512_storeu_ps(out.add(32), cr[2]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference tile product for arbitrary nr.
+    fn tile_reference(kc: usize, nr: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f64; MR * nr];
+        for kk in 0..kc {
+            for r in 0..MR {
+                for j in 0..nr {
+                    out[r * nr + j] += a[kk * MR + r] as f64 * b[kk * nr + j] as f64;
+                }
+            }
+        }
+        out.into_iter().map(|x| x as f32).collect()
+    }
+
+    #[test]
+    fn every_available_tier_tile_matches_reference() {
+        for tier in available_tiers() {
+            let kern = kernel_for(tier);
+            for kc in [1usize, 3, 17, 64] {
+                let a: Vec<f32> = (0..kc * MR)
+                    .map(|i| ((i % 23) as f32) * 0.25 - 2.0)
+                    .collect();
+                let b: Vec<f32> = (0..kc * kern.nr)
+                    .map(|i| ((i % 19) as f32) * 0.125 - 1.0)
+                    .collect();
+                let mut acc = vec![f32::NAN; MR * kern.nr];
+                kern.run(kc, &a, &b, &mut acc);
+                let r = tile_reference(kc, kern.nr, &a, &b);
+                for (i, (&got, &want)) in acc.iter().zip(&r).enumerate() {
+                    assert!(
+                        (got - want).abs() < 1e-3,
+                        "tier {} kc {kc} elem {i}: {got} vs {want}",
+                        tier.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_always_available_and_selected_tier_is_available() {
+        assert!(Tier::Scalar.is_available());
+        assert!(selected_tier().is_available());
+        assert!(available_tiers().contains(&best_available_tier()));
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for t in ALL_TIERS {
+            assert_eq!(Tier::parse(t.name()), Some(t));
+            assert_eq!(Tier::parse(&t.name().to_uppercase()), Some(t));
+        }
+        assert_eq!(Tier::parse("auto"), None);
+        assert_eq!(Tier::parse("neon"), None);
+    }
+
+    #[test]
+    fn with_tier_overrides_and_restores() {
+        let before = selected_tier();
+        with_tier(Tier::Scalar, || {
+            assert_eq!(selected_tier(), Tier::Scalar);
+        });
+        assert_eq!(selected_tier(), before);
+    }
+
+    #[test]
+    fn with_tier_restores_on_panic() {
+        let before = selected_tier();
+        let result = std::panic::catch_unwind(|| {
+            with_tier(Tier::Scalar, || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert_eq!(selected_tier(), before);
+    }
+
+    #[test]
+    fn nc_is_a_multiple_of_nr_for_every_tier() {
+        for tier in available_tiers() {
+            let k = kernel_for(tier);
+            assert_eq!(k.nc % k.nr, 0, "tier {}", tier.name());
+            assert!(k.nr <= NR_MAX);
+        }
+    }
+}

@@ -1,28 +1,35 @@
 //! Property tests pinning the packed register-blocked GEMM to the naive
 //! triple-loop reference, for all three layouts, across shapes that
-//! straddle every microkernel/blocking boundary (MR = 8, NR = 32,
-//! MC = 64, KC = 256), plus thread-count invariance (mirroring
-//! `prop/kernels.rs`'s `thread_count_invariance`).
+//! straddle every microkernel/blocking boundary (MR = 8, the per-tier
+//! NR ∈ {16, 32, 48}, MC = 64, KC = 256), plus thread-count invariance
+//! (mirroring `prop/kernels.rs`'s `thread_count_invariance`) and
+//! microkernel-tier equivalence: every tier the CPU can run must agree
+//! with the scalar reference tier on every layout, shape and pool size.
 
 use gsgcn_tensor::{gemm, DMatrix};
 use proptest::prelude::*;
 
-/// Dimension values straddling the blocking boundaries, indexed by a
-/// proptest-chosen selector so cases cover edges densely rather than
-/// uniformly.
-const EDGE_DIMS: [usize; 12] = [1, 2, 7, 8, 9, 31, 32, 33, 63, 64, 65, 80];
+/// Dimension values straddling the blocking boundaries (every tier's NR
+/// — 16, 32, 48 — plus MR and MC edges), indexed by a proptest-chosen
+/// selector so cases cover edges densely rather than uniformly.
+const EDGE_DIMS: [usize; 14] = [1, 2, 7, 8, 9, 15, 17, 31, 32, 33, 47, 49, 65, 80];
 
 /// `(A m×k, B k×n)` with every dimension drawn from the edge set.
 fn edge_pair() -> impl Strategy<Value = (DMatrix, DMatrix)> {
-    (0usize..12, 0usize..12, 0usize..12).prop_flat_map(|(mi, ki, ni)| {
-        let (m, k, n) = (EDGE_DIMS[mi], EDGE_DIMS[ki], EDGE_DIMS[ni]);
-        (
-            proptest::collection::vec(-2.0f32..2.0, m * k)
-                .prop_map(move |d| DMatrix::from_vec(m, k, d)),
-            proptest::collection::vec(-2.0f32..2.0, k * n)
-                .prop_map(move |d| DMatrix::from_vec(k, n, d)),
-        )
-    })
+    (
+        0usize..EDGE_DIMS.len(),
+        0usize..EDGE_DIMS.len(),
+        0usize..EDGE_DIMS.len(),
+    )
+        .prop_flat_map(|(mi, ki, ni)| {
+            let (m, k, n) = (EDGE_DIMS[mi], EDGE_DIMS[ki], EDGE_DIMS[ni]);
+            (
+                proptest::collection::vec(-2.0f32..2.0, m * k)
+                    .prop_map(move |d| DMatrix::from_vec(m, k, d)),
+                proptest::collection::vec(-2.0f32..2.0, k * n)
+                    .prop_map(move |d| DMatrix::from_vec(k, n, d)),
+            )
+        })
 }
 
 proptest! {
@@ -93,6 +100,56 @@ proptest! {
         let one = run(1);
         let eight = run(8);
         prop_assert_eq!(one, eight);
+    }
+
+    /// Microkernel-tier equivalence: every tier available on this CPU
+    /// produces results within 1e-4 of the scalar reference tier, for all
+    /// three layouts (nn/nt/tn), at blocking-boundary shapes, under
+    /// 1/2/4-thread pools. `GSGCN_KERNEL` CI runs force one process-wide
+    /// tier; this property forces each in turn inside one process.
+    #[test]
+    fn tier_equivalence_all_layouts((a, b) in edge_pair(), ti in 0..3usize) {
+        let threads = [1usize, 2, 4][ti];
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let at = a.transpose();
+        let bt = b.transpose();
+        // `with_tier` wraps the GEMM calls *inside* the pool so the
+        // override is visible on the thread the driver runs on.
+        let run = |tier: gemm::Tier| {
+            pool.install(|| {
+                gemm::with_tier(tier, || {
+                    (
+                        gemm::matmul(&a, &b),
+                        gemm::matmul_nt(&a, &bt),
+                        gemm::matmul_tn(&at, &b),
+                    )
+                })
+            })
+        };
+        let (r_nn, r_nt, r_tn) = run(gemm::Tier::Scalar);
+        // Scalar is the reference itself — only the SIMD tiers need checking.
+        for tier in gemm::available_tiers()
+            .into_iter()
+            .filter(|&t| t != gemm::Tier::Scalar)
+        {
+            let (c_nn, c_nt, c_tn) = run(tier);
+            prop_assert!(
+                c_nn.max_abs_diff(&r_nn) < 1e-4,
+                "nn: tier {} vs scalar, shape {:?}·{:?}, {threads} threads",
+                tier.name(), a.shape(), b.shape()
+            );
+            prop_assert!(
+                c_nt.max_abs_diff(&r_nt) < 1e-4,
+                "nt: tier {} vs scalar, {threads} threads", tier.name()
+            );
+            prop_assert!(
+                c_tn.max_abs_diff(&r_tn) < 1e-4,
+                "tn: tier {} vs scalar, {threads} threads", tier.name()
+            );
+        }
     }
 
     /// Strided column-half outputs equal the dense per-half products —

@@ -5,8 +5,15 @@
 //! gsgcn train --dataset ppi [--epochs 30] [--hidden 128,128] [--budget 1000]
 //!             [--frontier 100] [--lr 0.02] [--threads 0] [--patience N]
 //!             [--seed 42] [--save model.gcn]
-//! gsgcn eval  --dataset ppi --load model.gcn [--hidden 128,128] [--seed 42]
+//! gsgcn eval  --load model.gcn [--dataset ppi] [--hidden 128,128] [--seed 42]
+//! gsgcn kernel [--probe avx512]
 //! ```
+//!
+//! `eval` defaults the dataset, seed, scale and hidden dims to the values
+//! stored in the checkpoint (v2 provenance), so a bare `--load` always
+//! scores against the dataset the model was trained on. `kernel` reports
+//! the GEMM microkernel tier dispatch; `--probe T` exits non-zero when the
+//! CPU lacks tier `T` (used by CI to skip unsupported tiers visibly).
 //!
 //! Argument parsing is hand-rolled (the workspace has no CLI dependency);
 //! unknown flags are reported with usage help.
@@ -14,7 +21,8 @@
 use gsgcn::core::trainer::EvalSplit;
 use gsgcn::core::{GsGcnTrainer, TrainerConfig};
 use gsgcn::data::{presets, Dataset};
-use gsgcn::nn::checkpoint::ModelWeights;
+use gsgcn::nn::checkpoint::{CheckpointMeta, ModelWeights};
+use gsgcn::tensor::gemm;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -23,7 +31,11 @@ const USAGE: &str = "usage:
   gsgcn train --dataset <ppi|reddit|yelp|amazon> [--epochs N] [--hidden A,B,..]
               [--budget N] [--frontier N] [--lr F] [--threads N]
               [--patience N] [--seed N] [--full] [--save PATH]
-  gsgcn eval  --dataset <name> --load PATH [--hidden A,B,..] [--seed N] [--full]";
+  gsgcn eval  --load PATH [--dataset <name>] [--hidden A,B,..] [--seed N]
+              [--full|--scaled]
+              (dataset/seed/scale/hidden default to the checkpoint's training
+               values; an explicit flag overrides with a warning)
+  gsgcn kernel [--probe <scalar|avx2|avx512>]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -34,7 +46,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument {a:?}"));
         }
         let key = a.trim_start_matches("--").to_string();
-        if key == "full" {
+        if key == "full" || key == "scaled" {
             flags.insert(key, "1".to_string());
             i += 1;
         } else {
@@ -61,12 +73,20 @@ fn get<T: std::str::FromStr>(
     }
 }
 
+/// The dataset-generation seed. The single place its default lives: the
+/// generated dataset, the trainer seed and the checkpoint provenance must
+/// all agree or `eval --load` regenerates a different random graph than
+/// the one trained on.
+fn dataset_seed(flags: &HashMap<String, String>) -> Result<u64, String> {
+    get(flags, "seed", 42u64)
+}
+
 fn load_dataset(flags: &HashMap<String, String>) -> Result<Dataset, String> {
     let name = flags
         .get("dataset")
         .ok_or("missing --dataset")?
         .to_lowercase();
-    let seed: u64 = get(flags, "seed", 42u64)?;
+    let seed = dataset_seed(flags)?;
     let full = flags.contains_key("full");
     let d = match (name.as_str(), full) {
         ("ppi", false) => presets::ppi_scaled(seed),
@@ -106,7 +126,7 @@ fn build_config(flags: &HashMap<String, String>) -> Result<TrainerConfig, String
     cfg.sampler.frontier_size = get(flags, "frontier", cfg.sampler.budget / 10)?;
     cfg.adam.lr = get(flags, "lr", 2e-2f32)?;
     cfg.threads = get(flags, "threads", 0usize)?;
-    cfg.seed = get(flags, "seed", 42u64)?;
+    cfg.seed = dataset_seed(flags)?;
     cfg.eval_every = get(flags, "eval-every", 5usize)?;
     let patience: usize = get(flags, "patience", 0usize)?;
     cfg.patience = if patience > 0 { Some(patience) } else { None };
@@ -161,7 +181,16 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     let report = trainer.train()?;
     println!("{}", report.summary());
     if let Some(path) = flags.get("save") {
-        let weights = trainer.model().export_weights();
+        // Record the training-time dataset provenance: the datasets are
+        // synthetic (regenerated from name+seed), so a later `eval` must
+        // regenerate the *same* one or the F1 it reports is meaningless.
+        let meta = CheckpointMeta {
+            dataset: dataset.name.to_lowercase(),
+            seed: dataset_seed(flags)?,
+            full: flags.contains_key("full"),
+            hidden_dims: parse_hidden(flags)?,
+        };
+        let weights = trainer.model().export_weights().with_meta(meta);
         weights
             .save(path)
             .map_err(|e| format!("saving {path:?}: {e}"))?;
@@ -170,11 +199,90 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Fill `flags` defaults from the checkpoint's provenance and warn when an
+/// explicit flag contradicts it (the model is then scored on a different
+/// dataset than it was trained on — almost always a mistake). Mismatch is
+/// judged on the *parsed* values, so `--seed 07` or `--hidden "128, 128"`
+/// do not trigger false warnings.
+fn apply_checkpoint_meta(flags: &mut HashMap<String, String>, meta: &CheckpointMeta) {
+    let warn = |key: &str, got: &str, want: &dyn std::fmt::Display| {
+        eprintln!(
+            "warning: --{key} {got} differs from the checkpoint's \
+             training value ({want}); evaluating against --{key} {got}"
+        );
+    };
+    match flags.get("dataset") {
+        None => {
+            flags.insert("dataset".into(), meta.dataset.clone());
+        }
+        Some(got) if !got.eq_ignore_ascii_case(&meta.dataset) => {
+            warn("dataset", got, &meta.dataset);
+        }
+        _ => {}
+    }
+    match flags.get("seed") {
+        None => {
+            flags.insert("seed".into(), meta.seed.to_string());
+        }
+        // An unparseable value is left for build_config's error path.
+        Some(got) if got.parse::<u64>().is_ok_and(|s| s != meta.seed) => {
+            warn("seed", got, &meta.seed);
+        }
+        _ => {}
+    }
+    let hidden_csv = meta
+        .hidden_dims
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    match flags.get("hidden").cloned() {
+        None => {
+            flags.insert("hidden".into(), hidden_csv);
+        }
+        Some(got) => {
+            if parse_hidden(flags).is_ok_and(|dims| dims != meta.hidden_dims) {
+                warn("hidden", &got, &hidden_csv);
+            }
+        }
+    }
+    // `--full` is presence-only, so `--scaled` is the explicit opt-out
+    // needed to override a full-scale checkpoint in the other direction.
+    match (
+        meta.full,
+        flags.contains_key("full"),
+        flags.contains_key("scaled"),
+    ) {
+        (true, _, true) => eprintln!(
+            "warning: --scaled given but the checkpoint was trained on the full-scale dataset"
+        ),
+        (true, false, false) => {
+            flags.insert("full".into(), "1".into());
+        }
+        (false, true, _) => {
+            eprintln!("warning: --full given but the checkpoint was trained on the scaled dataset")
+        }
+        _ => {}
+    }
+}
+
 fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
-    let dataset = load_dataset(flags)?;
     let path = flags.get("load").ok_or("missing --load")?;
     let weights = ModelWeights::load(path).map_err(|e| format!("loading {path:?}: {e}"))?;
-    let mut cfg = build_config(flags)?;
+    let mut flags = flags.clone();
+    match &weights.meta {
+        Some(meta) => apply_checkpoint_meta(&mut flags, meta),
+        None => {
+            if !flags.contains_key("seed") {
+                eprintln!(
+                    "warning: {path} is a v1 checkpoint without dataset provenance; \
+                     regenerating with --seed 42 — pass the training --seed if it differed"
+                );
+            }
+        }
+    }
+    let dataset = load_dataset(&flags)?;
+    let mut cfg = build_config(&flags)?;
     cfg.epochs = 1;
     let mut trainer = GsGcnTrainer::new(&dataset, cfg)?;
     trainer.import_weights(&weights)?;
@@ -189,6 +297,35 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Exit code for `kernel --probe` on a valid tier the CPU cannot run.
+/// Distinct from 1 (usage/parse/runtime errors) so CI can tell "skip this
+/// tier" apart from "the probe itself is broken" (which must fail the job).
+const PROBE_UNAVAILABLE: u8 = 2;
+
+/// Report (or probe, for CI) the GEMM microkernel tier dispatch.
+fn cmd_kernel(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
+    if let Some(spec) = flags.get("probe") {
+        let tier = gemm::Tier::parse(spec)
+            .ok_or_else(|| format!("unknown kernel tier {spec:?} (scalar|avx2|avx512)"))?;
+        if tier.is_available() {
+            println!("{} available", tier.name());
+            return Ok(ExitCode::SUCCESS);
+        }
+        eprintln!("kernel tier `{}` is not available on this CPU", tier.name());
+        return Ok(ExitCode::from(PROBE_UNAVAILABLE));
+    }
+    println!("selected  {}", gemm::selected_tier().name());
+    println!(
+        "available {}",
+        gemm::available_tiers()
+            .iter()
+            .map(|t| t.name())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -197,6 +334,10 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "datasets" => cmd_datasets(),
+        "kernel" => match parse_flags(&args[1..]).and_then(|flags| cmd_kernel(&flags)) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
         "train" | "eval" => match parse_flags(&args[1..]) {
             Ok(flags) => {
                 if cmd == "train" {
