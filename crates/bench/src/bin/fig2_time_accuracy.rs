@@ -42,7 +42,7 @@ fn run_dataset(d: &Dataset, spec: &RunSpec) -> (Curve, Curve, Curve) {
     with_threads(1, || {
         let mut t = GsGcnTrainer::new(d, cfg).expect("trainer");
         for e in 0..spec.epochs_proposed {
-            t.train_epoch();
+            t.train_epoch().expect("epoch");
             // Evaluate every other epoch (evaluation is full-graph
             // inference and would otherwise dominate the serial run).
             if e % 2 == 1 || e == spec.epochs_proposed - 1 {

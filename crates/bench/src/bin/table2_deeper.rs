@@ -25,6 +25,9 @@ fn proposed_epoch_secs(d: &Dataset, layers: usize, cores: usize, epochs: usize) 
         eval_every: 0,
         threads: cores,
         p_inter: cores,
+        // Core-scaling table: keep sampling synchronous regardless of the
+        // GSGCN_SAMPLER_THREADS environment.
+        sampler_threads: 0,
         ..TrainerConfig::default()
     };
     cfg.sampler.frontier_size = 150;
@@ -32,7 +35,7 @@ fn proposed_epoch_secs(d: &Dataset, layers: usize, cores: usize, epochs: usize) 
     cfg.seed = seed();
     let mut t = GsGcnTrainer::new(d, cfg).expect("trainer");
     for _ in 0..epochs {
-        t.train_epoch();
+        t.train_epoch().expect("epoch");
     }
     t.train_secs() / epochs as f64
 }

@@ -27,6 +27,18 @@ pub struct TrainerConfig {
     /// Worker threads for ALL parallel stages (sampling, propagation,
     /// GEMM). `0` = rayon default.
     pub threads: usize,
+    /// Dedicated sampler worker threads for the pipelined trainer:
+    /// subgraph sampling runs on these threads concurrently with training
+    /// compute, hiding sampler latency behind the GEMMs. `0` disables the
+    /// pipeline and falls back to synchronous in-loop sampling (the
+    /// reference path). Both paths consume subgraphs in the same
+    /// `(batch, instance)` ticket order with the same seeds, so the loss
+    /// trajectory is bit-identical for a fixed seed either way.
+    ///
+    /// Overridable at process level via `GSGCN_SAMPLER_THREADS` (a count
+    /// or `auto`), which CI uses to exercise the pipelined path across
+    /// the whole test suite.
+    pub sampler_threads: usize,
     /// Evaluate validation F1 every this many epochs (0 = only at end).
     pub eval_every: usize,
     /// Propagation kernel for the *unfused* path (Alg. 6 by default).
@@ -64,6 +76,7 @@ impl Default for TrainerConfig {
             epochs: 20,
             p_inter: num_cpus_estimate(),
             threads: 0,
+            sampler_threads: sampler_threads_from_env().unwrap_or(0),
             eval_every: 1,
             prop_mode: PropMode::default(),
             fused: true,
@@ -92,6 +105,7 @@ impl TrainerConfig {
             epochs: 15,
             p_inter: 4,
             threads: 0,
+            sampler_threads: sampler_threads_from_env().unwrap_or(0),
             eval_every: 5,
             prop_mode: PropMode::default(),
             fused: true,
@@ -100,10 +114,13 @@ impl TrainerConfig {
         }
     }
 
-    /// Single-threaded variant (serial baseline of Figs. 2–3).
+    /// Single-threaded variant (serial baseline of Figs. 2–3). Also
+    /// forces synchronous sampling: a serial measurement must not hide
+    /// sampler time on extra threads.
     pub fn serial(mut self) -> Self {
         self.threads = 1;
         self.p_inter = 1;
+        self.sampler_threads = 0;
         self
     }
 
@@ -128,6 +145,13 @@ impl TrainerConfig {
         if self.p_inter == 0 {
             return Err("p_inter must be ≥ 1".into());
         }
+        if self.sampler_threads > MAX_SAMPLER_THREADS {
+            return Err(format!(
+                "sampler_threads {} exceeds the maximum of {MAX_SAMPLER_THREADS}; \
+                 use 0 for the synchronous in-loop sampler",
+                self.sampler_threads
+            ));
+        }
         if !(0.0..1.0).contains(&self.dropout) {
             return Err(format!("dropout must be in [0,1); got {}", self.dropout));
         }
@@ -141,11 +165,48 @@ impl TrainerConfig {
     }
 }
 
+/// Upper bound on `sampler_threads` — beyond this a config is almost
+/// certainly a typo, and each worker pins a subgraph-sized buffer slot.
+pub const MAX_SAMPLER_THREADS: usize = 256;
+
 /// Conservative CPU estimate without extra dependencies.
 fn num_cpus_estimate() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
+}
+
+/// The `auto` sampler-thread count: `min(2, cores/4)`. Sampling is far
+/// cheaper than training compute, so a couple of dedicated producers
+/// saturate the queue; on small machines (`cores < 4`) this yields `0` —
+/// the synchronous path — because there is no spare core to overlap on.
+pub fn auto_sampler_threads() -> usize {
+    (num_cpus_estimate() / 4).min(2)
+}
+
+/// Parse a sampler-thread spec: a worker count, `auto`
+/// ([`auto_sampler_threads`]), or `0` for the synchronous in-loop
+/// sampler. Shared by the CLI flag and the `GSGCN_SAMPLER_THREADS`
+/// environment override.
+pub fn parse_sampler_threads(spec: &str) -> Result<usize, String> {
+    if spec.eq_ignore_ascii_case("auto") {
+        return Ok(auto_sampler_threads());
+    }
+    spec.parse().map_err(|_| {
+        format!(
+            "invalid sampler-threads value {spec:?}: expected a worker count, \
+             `auto`, or `0` for the synchronous in-loop sampler"
+        )
+    })
+}
+
+/// Process-wide `GSGCN_SAMPLER_THREADS` override (used by CI to run the
+/// whole suite on the pipelined path). Panics loudly on an unparseable
+/// value — a silently ignored misconfiguration would quietly test the
+/// wrong path, the same policy as `GSGCN_KERNEL`.
+fn sampler_threads_from_env() -> Option<usize> {
+    let v = std::env::var("GSGCN_SAMPLER_THREADS").ok()?;
+    Some(parse_sampler_threads(&v).unwrap_or_else(|e| panic!("GSGCN_SAMPLER_THREADS: {e}")))
 }
 
 #[cfg(test)]
@@ -188,5 +249,42 @@ mod tests {
     fn with_threads_builder() {
         let c = TrainerConfig::quick_test().with_threads(3);
         assert_eq!(c.threads, 3);
+    }
+
+    #[test]
+    fn sampler_threads_validation() {
+        let mut c = TrainerConfig::quick_test();
+        c.sampler_threads = 2;
+        assert!(c.validate().is_ok());
+        c.sampler_threads = MAX_SAMPLER_THREADS + 1;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("synchronous"), "{err}");
+        assert!(err.contains('0'), "{err}");
+    }
+
+    #[test]
+    fn parse_sampler_threads_spec() {
+        assert_eq!(parse_sampler_threads("0"), Ok(0));
+        assert_eq!(parse_sampler_threads("3"), Ok(3));
+        assert_eq!(parse_sampler_threads("auto"), Ok(auto_sampler_threads()));
+        assert_eq!(parse_sampler_threads("AUTO"), Ok(auto_sampler_threads()));
+        let err = parse_sampler_threads("two").unwrap_err();
+        assert!(err.contains("synchronous"), "{err}");
+    }
+
+    #[test]
+    fn auto_sampler_threads_bounded() {
+        // min(2, cores/4): never more than 2, and 0 on small machines.
+        assert!(auto_sampler_threads() <= 2);
+    }
+
+    #[test]
+    fn serial_forces_synchronous_sampling() {
+        let c = TrainerConfig {
+            sampler_threads: 4,
+            ..TrainerConfig::default()
+        }
+        .serial();
+        assert_eq!(c.sampler_threads, 0);
     }
 }

@@ -2,9 +2,13 @@
 //! training** (Algorithms 1 and 5).
 //!
 //! Per training iteration the trainer:
-//! 1. pops a pre-sampled subgraph from the pool (refilling the pool with
-//!    `p_inter` parallel Dashboard frontier samplers when empty —
-//!    inter-subgraph parallelism, Sec. IV-C);
+//! 1. consumes the next pre-sampled subgraph in ticket order — either
+//!    popped from the synchronous pool (refilled with `p_inter` parallel
+//!    Dashboard frontier samplers when empty — inter-subgraph
+//!    parallelism, Sec. IV-C) or, with `sampler_threads > 0`, from the
+//!    pipelined sampler whose dedicated worker threads sample ahead
+//!    continuously so sampling overlaps compute (same subgraph stream,
+//!    bit-identical trajectory);
 //! 2. gathers the subgraph's feature and label rows (`H⁽⁰⁾[V_sub]`);
 //! 3. builds a *complete* GCN on the subgraph and runs forward, loss,
 //!    backward, Adam (intra-iteration parallelism: feature-partitioned

@@ -54,7 +54,15 @@ impl TrainReport {
         self.epochs.last().map(|e| e.mean_loss).unwrap_or(f32::NAN)
     }
 
-    /// One-line human summary.
+    /// Fraction of sampler wall-clock hidden behind compute (0 on the
+    /// synchronous path — there, sampling always stalls the trainer).
+    pub fn sampling_overlap_fraction(&self) -> f64 {
+        self.breakdown.sampling_overlap_fraction()
+    }
+
+    /// One-line human summary. The breakdown segment reports the
+    /// sampling-overlap percentage when the pipelined sampler hid any
+    /// sampling time behind compute.
     pub fn summary(&self) -> String {
         format!(
             "{} epochs, {:.2}s train, loss {:.4}, val F1 {:.4}, test F1 {:.4} [{}]",
@@ -71,6 +79,7 @@ impl TrainReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gsgcn_metrics::timing::Phase;
 
     fn dummy() -> TrainReport {
         TrainReport {
@@ -115,6 +124,16 @@ mod tests {
         let s = dummy().summary();
         assert!(s.contains("2 epochs"));
         assert!(s.contains("0.8000"));
+    }
+
+    #[test]
+    fn summary_reports_overlap_when_pipelined() {
+        let mut r = dummy();
+        r.breakdown.add(Phase::Sampling, 1.0);
+        r.breakdown.add_hidden_sampling(1.0);
+        assert!((r.sampling_overlap_fraction() - 0.5).abs() < 1e-12);
+        let s = r.summary();
+        assert!(s.contains("sampling overlap 50.0%"), "{s}");
     }
 
     #[test]

@@ -1,4 +1,33 @@
 //! The graph-sampling GCN trainer — Algorithm 5 end to end.
+//!
+//! # Dataflow
+//!
+//! Per iteration the trainer consumes one ticketed subgraph, gathers its
+//! feature/label rows, and runs forward/backward/Adam. Where the subgraph
+//! comes from depends on [`TrainerConfig::sampler_threads`]:
+//!
+//! ```text
+//! synchronous (sampler_threads = 0, the reference path):
+//!   ┌────────────────────── every p_inter iterations ─────────────────────┐
+//!   │ pool.refill: p_inter parallel sampler instances  (compute stalls)   │
+//!   └──────────────────────────────────────────────────────────────────────┘
+//!     pop → gather rows → train_step → pop → gather → train_step → …
+//!
+//! pipelined (sampler_threads = N ≥ 1):
+//!   sampler workers: claim ticket → sample subgraph → reorder buffer ─┐
+//!        (N dedicated OS threads, bounded queue, runs continuously)   │
+//!   consumer:  pop(next in ticket order) → gather rows → train_step ◄─┘
+//!        (stalls only when the queue has not caught up)
+//! ```
+//!
+//! Both paths draw subgraphs from the same `(batch, instance)` ticket
+//! stream with the same seeds and consume them in the same order, so the
+//! loss trajectory is bit-identical for a fixed seed — pinned by
+//! `tests/pipeline_equivalence.rs`. The per-phase [`Breakdown`] accounts
+//! the difference instead: on the pipelined path `Phase::Sampling` is
+//! only the consumer's queue stall, and sampling wall-clock that ran
+//! hidden behind compute accumulates in
+//! [`Breakdown::sampling_hidden_secs`].
 
 use crate::config::TrainerConfig;
 use crate::report::{EpochStats, TrainReport};
@@ -9,7 +38,9 @@ use gsgcn_metrics::timing::{Breakdown, Phase};
 use gsgcn_nn::model::{GcnConfig, GcnModel, LossKind};
 use gsgcn_prop::propagator::FeaturePropagator;
 use gsgcn_sampler::dashboard::DashboardSampler;
+use gsgcn_sampler::pipeline::{PipelineConfig, SamplerPipeline};
 use gsgcn_sampler::pool::SubgraphPool;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which split to evaluate.
@@ -20,13 +51,18 @@ pub enum EvalSplit {
     Test,
 }
 
-/// Trainer state: dataset view, model, sampler pool, timers.
+/// Trainer state: dataset view, model, sampler pool/pipeline, timers.
 pub struct GsGcnTrainer<'a> {
     dataset: &'a Dataset,
     train_view: TrainView,
     model: GcnModel,
-    sampler: DashboardSampler,
+    sampler: Arc<DashboardSampler>,
     pool: SubgraphPool,
+    /// Producer–consumer sampling pipeline (`None` on the synchronous
+    /// path). Declared after `train_view` but holds its own `Arc` clones
+    /// of the sampler and training graph, so drop order is irrelevant;
+    /// dropping the trainer joins the worker threads.
+    pipeline: Option<SamplerPipeline>,
     cfg: TrainerConfig,
     thread_pool: rayon::ThreadPool,
     breakdown: Breakdown,
@@ -83,8 +119,22 @@ impl<'a> GsGcnTrainer<'a> {
             FeaturePropagator::new(cfg.prop_mode.clone()),
         );
 
-        let sampler = DashboardSampler::new(cfg.sampler.clone());
+        let sampler = Arc::new(DashboardSampler::new(cfg.sampler.clone()));
         let pool = SubgraphPool::new(cfg.p_inter, cfg.seed ^ 0x5A4B);
+        let pipeline = if cfg.sampler_threads > 0 {
+            Some(SamplerPipeline::spawn(
+                Arc::clone(&sampler),
+                Arc::clone(&train_view.graph),
+                PipelineConfig {
+                    workers: cfg.sampler_threads,
+                    p_inter: cfg.p_inter,
+                    base_seed: cfg.seed ^ 0x5A4B, // same stream as the pool
+                    capacity: 0,                  // default ~2·p_inter
+                },
+            ))
+        } else {
+            None
+        };
 
         let thread_pool = rayon::ThreadPoolBuilder::new()
             .num_threads(cfg.threads) // 0 = default
@@ -97,6 +147,7 @@ impl<'a> GsGcnTrainer<'a> {
             model,
             sampler,
             pool,
+            pipeline,
             cfg,
             thread_pool,
             breakdown: Breakdown::default(),
@@ -131,6 +182,12 @@ impl<'a> GsGcnTrainer<'a> {
         &self.breakdown
     }
 
+    /// The sampling pipeline, when the pipelined path is active
+    /// (`sampler_threads > 0`). Exposes stall/overlap counters.
+    pub fn sampler_pipeline(&self) -> Option<&SamplerPipeline> {
+        self.pipeline.as_ref()
+    }
+
     /// Cumulative training seconds.
     pub fn train_secs(&self) -> f64 {
         self.train_secs
@@ -147,12 +204,26 @@ impl<'a> GsGcnTrainer<'a> {
     }
 
     /// Run one training epoch; returns its statistics.
-    pub fn train_epoch(&mut self) -> EpochStats {
+    ///
+    /// On the pipelined path the only sampling cost paid here is the
+    /// queue stall (`Phase::Sampling`); the sampler wall-clock that
+    /// overlapped compute is added to the breakdown's hidden-sampling
+    /// account afterwards. Fails if a sampler worker panicked.
+    pub fn train_epoch(&mut self) -> Result<EpochStats, String> {
         let iters = self.iterations_per_epoch();
         let mut loss_sum = 0.0f64;
         let mut vert_sum = 0usize;
         let mut edge_sum = 0usize;
         let epoch_start = Instant::now();
+
+        // Snapshot overlap accounting: deltas over this epoch turn into
+        // hidden-sampling seconds below.
+        let stall_before = self.breakdown.sampling_secs;
+        let producer_before = self
+            .pipeline
+            .as_ref()
+            .map(|p| p.producer_sampling_secs())
+            .unwrap_or(0.0);
 
         // Borrow-splitting: move fields we need inside the closure out of
         // `self` references explicitly.
@@ -161,16 +232,23 @@ impl<'a> GsGcnTrainer<'a> {
         let train_features = &self.train_view.features;
         let train_labels = &self.train_view.labels;
         let pool = &mut self.pool;
+        let pipeline = &mut self.pipeline;
         let model = &mut self.model;
         let breakdown = &mut self.breakdown;
         let x_buf = &mut self.x_buf;
         let y_buf = &mut self.y_buf;
 
-        self.thread_pool.install(|| {
+        let run: Result<(), String> = self.thread_pool.install(|| {
             for _ in 0..iters {
-                // --- Sampling phase (pool refill, Alg. 5 lines 3–5) ---
+                // --- Sampling phase: next subgraph in ticket order.
+                // Synchronous: refill every p_inter iterations (Alg. 5
+                // lines 3–5, full stall). Pipelined: pop from the worker
+                // queue — elapsed time is pure consumer stall.
                 let t0 = Instant::now();
-                let sub = pool.pop_or_refill(sampler, train_graph);
+                let sub = match pipeline.as_mut() {
+                    Some(pipe) => pipe.pop().map_err(|e| e.to_string())?,
+                    None => pool.pop_or_refill(&**sampler, train_graph),
+                };
                 breakdown.add(Phase::Sampling, t0.elapsed().as_secs_f64());
 
                 // --- Gather subgraph rows (Alg. 1 line 5) into reused
@@ -200,7 +278,19 @@ impl<'a> GsGcnTrainer<'a> {
                 vert_sum += sub.graph.num_vertices();
                 edge_sum += sub.graph.num_edges();
             }
+            Ok(())
         });
+        run?;
+
+        // Sampler wall-clock this epoch minus what the consumer actually
+        // waited is the time the pipeline hid behind compute. (Clamped:
+        // producers may still be mid-sample at the epoch boundary.)
+        if let Some(pipe) = &self.pipeline {
+            let produced = pipe.producer_sampling_secs() - producer_before;
+            let stalled = self.breakdown.sampling_secs - stall_before;
+            self.breakdown
+                .add_hidden_sampling((produced - stalled).max(0.0));
+        }
 
         let secs = epoch_start.elapsed().as_secs_f64();
         self.train_secs += secs;
@@ -213,7 +303,7 @@ impl<'a> GsGcnTrainer<'a> {
             secs,
         };
         self.epochs_run += 1;
-        stats
+        Ok(stats)
     }
 
     /// Full-graph inference + F1-micro on the chosen split.
@@ -246,7 +336,7 @@ impl<'a> GsGcnTrainer<'a> {
         let mut best_f1 = f64::NEG_INFINITY;
         let mut evals_since_best = 0usize;
         for e in 0..self.cfg.epochs {
-            let stats = self.train_epoch();
+            let stats = self.train_epoch()?;
             epochs.push(stats);
             let do_eval = self.cfg.eval_every > 0 && (e + 1) % self.cfg.eval_every == 0;
             if do_eval {
@@ -313,7 +403,7 @@ mod tests {
     fn single_epoch_updates_model_and_timers() {
         let d = quick_dataset();
         let mut t = GsGcnTrainer::new(&d, TrainerConfig::quick_test()).unwrap();
-        let stats = t.train_epoch();
+        let stats = t.train_epoch().unwrap();
         assert!(stats.batches >= 1);
         assert!(stats.mean_loss.is_finite());
         assert!(stats.mean_subgraph_vertices > 0.0);
@@ -401,7 +491,7 @@ mod tests {
     fn evaluate_all_splits() {
         let d = quick_dataset();
         let mut t = GsGcnTrainer::new(&d, TrainerConfig::quick_test()).unwrap();
-        t.train_epoch();
+        t.train_epoch().unwrap();
         for s in [EvalSplit::Train, EvalSplit::Val, EvalSplit::Test] {
             let f = t.evaluate(s);
             assert!((0.0..=1.0).contains(&f), "{s:?}: {f}");

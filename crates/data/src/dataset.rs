@@ -75,7 +75,12 @@ pub struct Dataset {
 #[derive(Clone, Debug)]
 pub struct TrainView {
     /// Graph induced on the training vertices (local ids `0..t`).
-    pub graph: CsrGraph,
+    ///
+    /// Shared via `Arc` so long-lived sampler worker threads (the
+    /// pipelined trainer's producers) can hold the training topology
+    /// without copying it; everything else reads through the `Deref`
+    /// coercion to `&CsrGraph`.
+    pub graph: std::sync::Arc<CsrGraph>,
     /// Features of the training vertices (rows aligned with `graph`).
     pub features: DMatrix,
     /// Labels of the training vertices.
@@ -136,7 +141,7 @@ impl Dataset {
         let features = self.features.gather_rows(&sub.origin);
         let labels = self.labels.gather_rows(&sub.origin);
         TrainView {
-            graph: sub.graph,
+            graph: std::sync::Arc::new(sub.graph),
             features,
             labels,
             origin: sub.origin,

@@ -7,7 +7,12 @@ use std::time::Instant;
 /// panels), plus a bucket for everything else (loss, optimiser, glue).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Phase {
-    /// Graph sampling (Alg. 5 lines 3–5).
+    /// Graph sampling as the *consumer* sees it (Alg. 5 lines 3–5): on
+    /// the synchronous path this is the full sampling wall-clock; on the
+    /// pipelined path it is only the time the training loop actually
+    /// stalled waiting on the sampler queue — sampling that ran hidden
+    /// behind compute is accounted separately
+    /// ([`Breakdown::sampling_hidden_secs`]).
     Sampling,
     /// Sparse feature propagation (forward + backward).
     FeatureProp,
@@ -38,12 +43,23 @@ impl Phase {
 }
 
 /// Accumulated seconds per phase.
+///
+/// All four phase fields are *consumer wall-clock* — they sum
+/// ([`Breakdown::total`]) to the time the training loop itself spent.
+/// `sampling_hidden_secs` is the exception: sampler wall-clock that ran
+/// concurrently with compute on the pipelined path. It overlaps the other
+/// phases rather than adding to them, so it is excluded from `total()`
+/// and reported as an overlap percentage instead.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Breakdown {
     pub sampling_secs: f64,
     pub feature_prop_secs: f64,
     pub weight_app_secs: f64,
     pub other_secs: f64,
+    /// Sampler wall-clock hidden behind compute (pipelined path only;
+    /// `0` on the synchronous path, where every sampling second stalls
+    /// the consumer).
+    pub sampling_hidden_secs: f64,
 }
 
 impl Breakdown {
@@ -67,7 +83,29 @@ impl Breakdown {
         }
     }
 
-    /// Total seconds across phases.
+    /// Record sampler wall-clock that overlapped compute (pipelined path).
+    pub fn add_hidden_sampling(&mut self, secs: f64) {
+        self.sampling_hidden_secs += secs;
+    }
+
+    /// Total sampler wall-clock: consumer stall + compute-hidden time.
+    pub fn sampling_wall_secs(&self) -> f64 {
+        self.sampling_secs + self.sampling_hidden_secs
+    }
+
+    /// Fraction of sampler wall-clock hidden behind compute
+    /// (`0` when no sampling was recorded or nothing overlapped).
+    pub fn sampling_overlap_fraction(&self) -> f64 {
+        let wall = self.sampling_wall_secs();
+        if wall == 0.0 {
+            0.0
+        } else {
+            self.sampling_hidden_secs / wall
+        }
+    }
+
+    /// Total consumer seconds across phases (hidden sampling overlaps
+    /// these and is deliberately not included).
     pub fn total(&self) -> f64 {
         self.sampling_secs + self.feature_prop_secs + self.weight_app_secs + self.other_secs
     }
@@ -88,15 +126,25 @@ impl Breakdown {
         self.feature_prop_secs += other.feature_prop_secs;
         self.weight_app_secs += other.weight_app_secs;
         self.other_secs += other.other_secs;
+        self.sampling_hidden_secs += other.sampling_hidden_secs;
     }
 
-    /// One-line report: `Sampling 12.3% | Feat 45.6% | Weight 40.0% | ...`.
+    /// One-line report: `Sampling 12.3% | Feat 45.6% | Weight 40.0% | ...`,
+    /// with the sampling-overlap percentage appended when any sampling ran
+    /// hidden behind compute.
     pub fn report(&self) -> String {
-        Phase::ALL
+        let mut out = Phase::ALL
             .iter()
             .map(|p| format!("{} {:.1}%", p.name(), 100.0 * self.fraction(*p)))
             .collect::<Vec<_>>()
-            .join(" | ")
+            .join(" | ");
+        if self.sampling_hidden_secs > 0.0 {
+            out.push_str(&format!(
+                " | sampling overlap {:.1}%",
+                100.0 * self.sampling_overlap_fraction()
+            ));
+        }
+        out
     }
 }
 
@@ -186,12 +234,42 @@ mod tests {
     fn merge_combines() {
         let mut a = Breakdown::default();
         a.add(Phase::Sampling, 1.0);
+        a.add_hidden_sampling(0.5);
         let mut b = Breakdown::default();
         b.add(Phase::Sampling, 2.0);
         b.add(Phase::Other, 1.0);
+        b.add_hidden_sampling(1.5);
         a.merge(&b);
         assert_eq!(a.sampling_secs, 3.0);
         assert_eq!(a.other_secs, 1.0);
+        assert_eq!(a.sampling_hidden_secs, 2.0);
+    }
+
+    #[test]
+    fn hidden_sampling_overlap_accounting() {
+        let mut b = Breakdown::default();
+        // 1 s stalled, 3 s hidden behind compute.
+        b.add(Phase::Sampling, 1.0);
+        b.add_hidden_sampling(3.0);
+        b.add(Phase::WeightApp, 9.0);
+        assert_eq!(b.sampling_wall_secs(), 4.0);
+        assert!((b.sampling_overlap_fraction() - 0.75).abs() < 1e-12);
+        // Hidden time overlaps compute: not part of the consumer total.
+        assert_eq!(b.total(), 10.0);
+        let r = b.report();
+        assert!(r.contains("sampling overlap 75.0%"), "{r}");
+    }
+
+    #[test]
+    fn overlap_zero_cases() {
+        let b = Breakdown::default();
+        assert_eq!(b.sampling_overlap_fraction(), 0.0);
+        assert!(!b.sampling_overlap_fraction().is_nan());
+        // Synchronous path: stall only, no overlap segment in the report.
+        let mut b = Breakdown::default();
+        b.add(Phase::Sampling, 2.0);
+        assert_eq!(b.sampling_overlap_fraction(), 0.0);
+        assert!(!b.report().contains("overlap"), "{}", b.report());
     }
 
     #[test]

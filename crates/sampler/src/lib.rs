@@ -16,9 +16,13 @@
 //! * [`alt`] — alternative samplers (uniform node / edge, random walk,
 //!   forest fire) for the "wider class of sampling algorithms" the paper
 //!   lists as future work.
-//! * [`pool`] — inter-subgraph parallelism: fill a pool of independently
-//!   sampled subgraphs with `p_inter` concurrent sampler instances
-//!   (Alg. 5, lines 3–5).
+//! * [`pool`] — inter-subgraph parallelism: the shared `(batch, instance)`
+//!   ticketing/seeding core plus the synchronous pool that fills
+//!   `p_inter` independently sampled subgraphs at a time (Alg. 5,
+//!   lines 3–5).
+//! * [`pipeline`] — the pipelined producer–consumer path: dedicated
+//!   sampler worker threads continuously sample ticketed subgraphs into a
+//!   bounded, order-restoring queue so sampling overlaps training compute.
 //! * [`cost_model`] — the analytic cost of Eq. (2) and the Theorem 1
 //!   scalability bound.
 //!
@@ -45,6 +49,7 @@ pub mod alt;
 pub mod cost_model;
 pub mod dashboard;
 pub mod naive;
+pub mod pipeline;
 pub mod pool;
 pub mod rng;
 pub mod weighted;

@@ -1,4 +1,5 @@
-//! Inter-subgraph parallelism (Alg. 5, lines 3–5).
+//! Inter-subgraph parallelism (Alg. 5, lines 3–5): the shared
+//! ticketing/seeding core plus the synchronous subgraph pool.
 //!
 //! Sampling instances are mutually independent because the training-graph
 //! topology is fixed across iterations, so the scheduler launches
@@ -7,7 +8,11 @@
 //!
 //! Determinism: instance `i` of batch `b` uses seed
 //! `base_seed ⊕ hash(b, i)`, so the pool's *contents* depend only on the
-//! configuration — never on thread interleaving.
+//! configuration — never on thread interleaving. The [`Ticket`] type is
+//! the single source of that `(batch, instance) ↔ seed` mapping; both this
+//! synchronous pool and the pipelined producer–consumer path
+//! ([`crate::pipeline`]) derive their seeds from it, which is what makes
+//! the two paths bit-identical for a fixed base seed.
 
 use crate::rng::splitmix64;
 use crate::GraphSampler;
@@ -21,6 +26,43 @@ pub fn instance_seed(base_seed: u64, batch: u64, instance: u64) -> u64 {
     splitmix64(&mut s)
 }
 
+/// A unit of sampling work: instance `instance` of refill batch `batch`.
+///
+/// Tickets order the training stream: subgraphs are consumed in ascending
+/// [`Ticket::sequence`] order — batch-major, instance-minor — no matter
+/// which path (synchronous pool or pipelined workers) produced them, and
+/// [`Ticket::seed`] is the one place the per-instance RNG seed is derived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Ticket {
+    /// Refill batch (`b` in the seed scheme).
+    pub batch: u64,
+    /// Instance within the batch (`i < p_inter`).
+    pub instance: u64,
+}
+
+impl Ticket {
+    /// The `seq`-th ticket of the stream with `p_inter` instances per batch.
+    pub fn from_sequence(seq: u64, p_inter: usize) -> Self {
+        let p = p_inter as u64;
+        Ticket {
+            batch: seq / p,
+            instance: seq % p,
+        }
+    }
+
+    /// Position of this ticket in the consumption order (inverse of
+    /// [`Ticket::from_sequence`]).
+    pub fn sequence(self, p_inter: usize) -> u64 {
+        self.batch * p_inter as u64 + self.instance
+    }
+
+    /// The sampler seed for this ticket (the `base_seed ⊕ hash(b, i)`
+    /// scheme shared by both sampling paths).
+    pub fn seed(self, base_seed: u64) -> u64 {
+        instance_seed(base_seed, self.batch, self.instance)
+    }
+}
+
 /// Sample `count` subgraphs in parallel on the current rayon pool.
 pub fn sample_many<S: GraphSampler + ?Sized>(
     sampler: &S,
@@ -31,7 +73,13 @@ pub fn sample_many<S: GraphSampler + ?Sized>(
 ) -> Vec<InducedSubgraph> {
     (0..count)
         .into_par_iter()
-        .map(|i| sampler.sample_subgraph(g, instance_seed(base_seed, batch, i as u64)))
+        .map(|i| {
+            let ticket = Ticket {
+                batch,
+                instance: i as u64,
+            };
+            sampler.sample_subgraph(g, ticket.seed(base_seed))
+        })
         .collect()
 }
 
@@ -166,6 +214,26 @@ mod tests {
             run(4),
             "pool contents must not depend on thread count"
         );
+    }
+
+    #[test]
+    fn ticket_sequence_roundtrip() {
+        for p_inter in [1usize, 3, 4, 7] {
+            for seq in 0..40u64 {
+                let t = Ticket::from_sequence(seq, p_inter);
+                assert!(t.instance < p_inter as u64);
+                assert_eq!(t.sequence(p_inter), seq, "p_inter {p_inter} seq {seq}");
+            }
+        }
+    }
+
+    #[test]
+    fn ticket_seed_matches_instance_seed() {
+        let t = Ticket {
+            batch: 5,
+            instance: 2,
+        };
+        assert_eq!(t.seed(99), instance_seed(99, 5, 2));
     }
 
     #[test]

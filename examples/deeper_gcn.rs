@@ -36,9 +36,9 @@ fn main() {
         cfg.eval_every = 0;
         cfg.seed = 11;
         let mut ours = GsGcnTrainer::new(&dataset, cfg).expect("config");
-        ours.train_epoch();
+        ours.train_epoch().expect("epoch");
         let start = Instant::now();
-        ours.train_epoch();
+        ours.train_epoch().expect("epoch");
         let ours_secs = start.elapsed().as_secs_f64();
 
         // Layer-sampling baseline.

@@ -23,11 +23,14 @@ fn run(threads: usize, epochs: usize) -> (f64, f64, gsgcn::metrics::timing::Brea
     cfg.epochs = epochs;
     cfg.eval_every = 0;
     cfg.threads = threads;
+    // The serial-vs-parallel comparison must not hide sampling on extra
+    // threads (see TrainerConfig::serial), env override included.
+    cfg.sampler_threads = 0;
     cfg.p_inter = threads.max(1);
     cfg.seed = 43;
     let mut t = GsGcnTrainer::new(&dataset, cfg).expect("config");
     for _ in 0..epochs {
-        t.train_epoch();
+        t.train_epoch().expect("epoch");
     }
     let f1 = t.evaluate(EvalSplit::Val);
     (t.train_secs(), f1, *t.breakdown())

@@ -3,8 +3,9 @@
 //! ```text
 //! gsgcn datasets
 //! gsgcn train --dataset ppi [--epochs 30] [--hidden 128,128] [--budget 1000]
-//!             [--frontier 100] [--lr 0.02] [--threads 0] [--patience N]
-//!             [--seed 42] [--save model.gcn]
+//!             [--frontier 100] [--lr 0.02] [--threads 0]
+//!             [--sampler-threads auto] [--patience N] [--seed 42]
+//!             [--save model.gcn]
 //! gsgcn eval  --load model.gcn [--dataset ppi] [--hidden 128,128] [--seed 42]
 //! gsgcn kernel [--probe avx512]
 //! ```
@@ -30,7 +31,11 @@ const USAGE: &str = "usage:
   gsgcn datasets
   gsgcn train --dataset <ppi|reddit|yelp|amazon> [--epochs N] [--hidden A,B,..]
               [--budget N] [--frontier N] [--lr F] [--threads N]
-              [--patience N] [--seed N] [--full] [--save PATH]
+              [--sampler-threads N|auto] [--patience N] [--seed N] [--full]
+              [--save PATH]
+              (--sampler-threads: dedicated sampler workers overlapping
+               sampling with compute; default auto = min(2, cores/4),
+               0 = synchronous in-loop sampling)
   gsgcn eval  --load PATH [--dataset <name>] [--hidden A,B,..] [--seed N]
               [--full|--scaled]
               (dataset/seed/scale/hidden default to the checkpoint's training
@@ -137,6 +142,13 @@ fn build_config(flags: &HashMap<String, String>) -> Result<TrainerConfig, String
     } else {
         cfg.threads
     };
+    // Pipelined sampling: flag > env (via TrainerConfig::default) > auto.
+    cfg.sampler_threads = match flags.get("sampler-threads") {
+        Some(spec) => gsgcn::core::config::parse_sampler_threads(spec)
+            .map_err(|e| format!("--sampler-threads: {e}"))?,
+        None if std::env::var_os("GSGCN_SAMPLER_THREADS").is_some() => cfg.sampler_threads,
+        None => gsgcn::core::config::auto_sampler_threads(),
+    };
     Ok(cfg)
 }
 
@@ -165,6 +177,14 @@ fn cmd_datasets() -> Result<(), String> {
     Ok(())
 }
 
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
 fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
     let dataset = load_dataset(flags)?;
     let cfg = build_config(flags)?;
@@ -177,6 +197,10 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
         cfg.epochs,
         cfg.hidden_dims
     );
+    match cfg.sampler_threads {
+        0 => println!("sampler: synchronous (in-loop refills)"),
+        n => println!("sampler: pipelined, {n} worker thread{}", plural(n)),
+    }
     let mut trainer = GsGcnTrainer::new(&dataset, cfg)?;
     let report = trainer.train()?;
     println!("{}", report.summary());
@@ -284,6 +308,9 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let dataset = load_dataset(&flags)?;
     let mut cfg = build_config(&flags)?;
     cfg.epochs = 1;
+    // Evaluation never consumes training subgraphs: don't spin up sampler
+    // workers that would immediately fill their queue for nothing.
+    cfg.sampler_threads = 0;
     let mut trainer = GsGcnTrainer::new(&dataset, cfg)?;
     trainer.import_weights(&weights)?;
     println!("loaded {} parameters from {path}", weights.num_params());

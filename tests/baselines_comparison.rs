@@ -139,7 +139,7 @@ fn proposed_epoch_work_is_depth_linear() {
         cfg.sampler.budget = 200;
         cfg.sampler.frontier_size = 40;
         let mut t = GsGcnTrainer::new(&d, cfg).unwrap();
-        let stats = t.train_epoch();
+        let stats = t.train_epoch().unwrap();
         assert!(
             stats.mean_subgraph_vertices <= 200.0,
             "layer {layers}: subgraph grew beyond budget: {}",

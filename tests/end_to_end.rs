@@ -69,7 +69,7 @@ fn evaluation_splits_are_disjoint_in_reporting() {
     let mut cfg = TrainerConfig::quick_test();
     cfg.epochs = 2;
     let mut trainer = GsGcnTrainer::new(&dataset, cfg).unwrap();
-    trainer.train_epoch();
+    trainer.train_epoch().unwrap();
     // All three splits evaluable without panic, values in [0, 1].
     for split in [EvalSplit::Train, EvalSplit::Val, EvalSplit::Test] {
         let f = trainer.evaluate(split);
