@@ -36,6 +36,7 @@ use gsgcn_metrics::convergence::Curve;
 use gsgcn_metrics::f1;
 use gsgcn_metrics::timing::{Breakdown, Phase};
 use gsgcn_nn::model::{GcnConfig, GcnModel, LossKind};
+use gsgcn_nn::InferenceWorkspace;
 use gsgcn_prop::propagator::FeaturePropagator;
 use gsgcn_sampler::dashboard::DashboardSampler;
 use gsgcn_sampler::pipeline::{PipelineConfig, SamplerPipeline};
@@ -74,6 +75,16 @@ pub struct GsGcnTrainer<'a> {
     /// stops allocating.
     x_buf: gsgcn_tensor::DMatrix,
     y_buf: gsgcn_tensor::DMatrix,
+    /// Persistent evaluation state: the inference workspace (activation
+    /// ping-pong buffers) plus full-graph probability and per-split
+    /// gather buffers. Validation runs every `eval_every` epochs over the
+    /// whole graph, so without reuse it dominated the allocation churn of
+    /// a training run; with it, [`GsGcnTrainer::evaluate`] performs zero
+    /// matrix allocations once warm (pinned by `tests/eval_alloc.rs`).
+    eval_ws: InferenceWorkspace,
+    eval_probs: gsgcn_tensor::DMatrix,
+    eval_probs_split: gsgcn_tensor::DMatrix,
+    eval_labels_split: gsgcn_tensor::DMatrix,
 }
 
 impl<'a> GsGcnTrainer<'a> {
@@ -155,6 +166,10 @@ impl<'a> GsGcnTrainer<'a> {
             epochs_run: 0,
             x_buf: gsgcn_tensor::DMatrix::zeros(0, 0),
             y_buf: gsgcn_tensor::DMatrix::zeros(0, 0),
+            eval_ws: InferenceWorkspace::new(),
+            eval_probs: gsgcn_tensor::DMatrix::zeros(0, 0),
+            eval_probs_split: gsgcn_tensor::DMatrix::zeros(0, 0),
+            eval_labels_split: gsgcn_tensor::DMatrix::zeros(0, 0),
         })
     }
 
@@ -307,7 +322,12 @@ impl<'a> GsGcnTrainer<'a> {
     }
 
     /// Full-graph inference + F1-micro on the chosen split.
-    pub fn evaluate(&self, split: EvalSplit) -> f64 {
+    ///
+    /// Runs on the trainer's persistent [`InferenceWorkspace`] and
+    /// gather buffers: after the first call everything — forward,
+    /// row gathers, the streaming F1 — is allocation-free, so per-epoch
+    /// validation no longer rebuilds full logits/probs matrices.
+    pub fn evaluate(&mut self, split: EvalSplit) -> f64 {
         let idx: &[u32] = match split {
             EvalSplit::Train => &self.dataset.split.train,
             EvalSplit::Val => &self.dataset.split.val,
@@ -317,13 +337,17 @@ impl<'a> GsGcnTrainer<'a> {
             return 0.0;
         }
         let single = self.dataset.task == TaskKind::SingleLabel;
+        let model = &self.model;
+        let eval_ws = &mut self.eval_ws;
+        let eval_probs = &mut self.eval_probs;
+        let eval_probs_split = &mut self.eval_probs_split;
+        let eval_labels_split = &mut self.eval_labels_split;
+        let dataset = self.dataset;
         self.thread_pool.install(|| {
-            let probs = self
-                .model
-                .infer_probs(&self.dataset.graph, &self.dataset.features);
-            let probs_split = probs.gather_rows(idx);
-            let labels_split = self.dataset.labels.gather_rows(idx);
-            f1::f1_micro_from_probs(&probs_split, &labels_split, single)
+            model.infer_probs_into(&dataset.graph, &dataset.features, eval_ws, eval_probs);
+            eval_probs.gather_rows_into(idx, eval_probs_split);
+            dataset.labels.gather_rows_into(idx, eval_labels_split);
+            f1::f1_micro_from_probs(eval_probs_split, eval_labels_split, single)
         })
     }
 

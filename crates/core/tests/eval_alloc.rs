@@ -1,0 +1,62 @@
+//! Allocation regression for the trainer's evaluation path.
+//!
+//! `GsGcnTrainer::evaluate` used to rebuild full-graph logits/probs
+//! matrices (plus per-split gathers) on every validation epoch. It now
+//! runs on the trainer's persistent `InferenceWorkspace` and gather
+//! buffers with a streaming F1, so once warm it must perform **zero**
+//! matrix allocations — measured with the thread-local counter in
+//! `gsgcn_tensor::alloc`, on a 1-thread trainer so every allocation is
+//! attributed to the measuring thread.
+
+use gsgcn_core::trainer::EvalSplit;
+use gsgcn_core::{GsGcnTrainer, TrainerConfig};
+use gsgcn_data::presets;
+use gsgcn_tensor::alloc;
+
+#[test]
+fn evaluate_is_allocation_free_after_warmup() {
+    let d = presets::scale_spec(&presets::ppi_spec(), 600).generate(11);
+    let mut cfg = TrainerConfig::quick_test().serial();
+    cfg.epochs = 1;
+    let mut t = GsGcnTrainer::new(&d, cfg).unwrap();
+    t.train_epoch().unwrap();
+
+    // Warm-up: size the workspace and the per-split gather buffers (the
+    // largest split fixes each buffer's steady capacity).
+    for split in [EvalSplit::Train, EvalSplit::Val, EvalSplit::Test] {
+        t.evaluate(split);
+    }
+
+    let before = alloc::matrix_allocations();
+    for _ in 0..3 {
+        for split in [EvalSplit::Train, EvalSplit::Val, EvalSplit::Test] {
+            let f1 = t.evaluate(split);
+            assert!((0.0..=1.0).contains(&f1));
+        }
+    }
+    let steady = alloc::matrix_allocations() - before;
+    assert_eq!(
+        steady, 0,
+        "evaluate allocated {steady} matrices after warm-up"
+    );
+}
+
+/// Routing evaluate through the workspace must not change its result:
+/// pin against the allocating model path.
+#[test]
+fn evaluate_matches_allocating_inference() {
+    let d = presets::scale_spec(&presets::ppi_spec(), 600).generate(7);
+    let mut cfg = TrainerConfig::quick_test();
+    cfg.epochs = 2;
+    let mut t = GsGcnTrainer::new(&d, cfg).unwrap();
+    t.train().unwrap();
+
+    let probs = t.model().infer_probs(&d.graph, &d.features);
+    let idx = &d.split.val;
+    let reference = gsgcn_metrics::f1::f1_micro(
+        &gsgcn_metrics::f1::binarize(&probs.gather_rows(idx), 0.5),
+        &d.labels.gather_rows(idx),
+    );
+    let got = t.evaluate(EvalSplit::Val);
+    assert_eq!(got, reference);
+}

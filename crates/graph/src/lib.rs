@@ -10,6 +10,10 @@
 //!   symmetrisation (undirected closure) and self-loop removal.
 //! * [`subgraph`] — parallel extraction of the *induced* subgraph on a
 //!   vertex set, the output side of the frontier sampler (Alg. 2, line 8).
+//! * [`neighborhood`] — L-hop ball extraction around a query node set,
+//!   the inference-side counterpart of subgraph sampling: a K-node batch
+//!   runs forward on its K-rooted L-hop induced subgraph instead of the
+//!   full graph (exact at the roots — see the module docs).
 //! * [`stats`] — degree/connectivity statistics used to verify that sampled
 //!   subgraphs preserve the connectivity characteristics of the training
 //!   graph (Sec. III-C requirement 1).
@@ -36,6 +40,7 @@ pub mod bitset;
 pub mod builder;
 pub mod csr;
 pub mod io;
+pub mod neighborhood;
 pub mod partition;
 pub mod stats;
 pub mod subgraph;
@@ -43,4 +48,5 @@ pub mod subgraph;
 pub use bitset::BitSet;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use neighborhood::{l_hop_ball, l_hop_subgraph, NeighborhoodBatch};
 pub use subgraph::{induced_subgraph, InducedSubgraph};

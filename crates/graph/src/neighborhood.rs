@@ -1,0 +1,320 @@
+//! L-hop neighborhood extraction for batched inference.
+//!
+//! An L-layer GCN's output at a vertex depends on the input features of
+//! exactly the vertices within L hops: layer `k` activations of a vertex
+//! at distance `d` from the query set are correct on the induced
+//! subgraph of the L-hop ball whenever `d + k ≤ L` (induction on `k` —
+//! every neighbor of such a vertex lies within distance `d + 1 ≤
+//! L - (k-1)`, and its full neighbor list is inside the ball, so both the
+//! aggregate and the `D⁻¹` normalisation match the full graph). Hence a
+//! batch of K query nodes can run forward on its K-rooted L-hop induced
+//! subgraph instead of the full graph and read off *exactly* the
+//! full-graph outputs at the roots — the serving-side counterpart of the
+//! paper's subgraph-minibatch training, and the core of the
+//! `gsgcn-serve` batch engine.
+//!
+//! Extraction is a plain breadth-first expansion over the CSR adjacency
+//! followed by the same parallel induction used every training iteration
+//! ([`crate::subgraph::induced_subgraph`]).
+
+use crate::bitset::BitSet;
+use crate::csr::CsrGraph;
+use crate::subgraph::{induced_subgraph, InducedSubgraph};
+
+/// The induced subgraph of an L-hop ball plus the query-root positions
+/// and per-vertex root distances.
+#[derive(Clone, Debug)]
+pub struct NeighborhoodBatch {
+    /// Induced subgraph of every vertex within `hops` of the roots
+    /// (relabelled ids + mapping back to original ids).
+    pub sub: InducedSubgraph,
+    /// Subgraph-local id of each requested root, aligned with the order
+    /// of the `roots` argument (duplicates map to the same local id).
+    pub root_locals: Vec<u32>,
+    /// Hops from the nearest root, indexed by subgraph-local id (roots
+    /// are 0). Shortest paths from a root stay inside the ball, so this
+    /// equals the full-graph distance.
+    pub dist: Vec<u32>,
+}
+
+impl NeighborhoodBatch {
+    /// Number of vertices in the extracted subgraph.
+    pub fn num_vertices(&self) -> usize {
+        self.sub.num_vertices()
+    }
+
+    /// Per-layer **cone-pruned** graphs for an exact L-layer GCN forward
+    /// over this batch.
+    ///
+    /// Layer `k` (0-based) of an L-layer forward is only *consumed* at
+    /// vertices within `L-k-1` hops of the roots: layer L-1 feeds the
+    /// roots alone, layer L-2 the roots' 1-hop ball, and so on. The
+    /// returned graphs share the ball's vertex set (so activation row
+    /// indexing — and the fused `PackSource` pipeline — is untouched)
+    /// but graph `k` keeps adjacency only for rows with
+    /// `dist ≤ L-k-1`; every other row is isolated, making its (never
+    /// consumed) aggregate free. Root-ward rows keep their full
+    /// neighbor lists and degrees, so consumed values are **exactly**
+    /// the full-graph forward's — the shrinking-frontier counterpart of
+    /// the module-level induction argument, pinned by the
+    /// batched-vs-full proptests in `gsgcn-serve`.
+    ///
+    /// The ball must have been extracted with `hops ≥ layers`.
+    pub fn layer_graphs(&self, layers: usize) -> Vec<CsrGraph> {
+        let n = self.num_vertices();
+        let offsets = self.sub.graph.offsets();
+        let adj = self.sub.graph.adjacency();
+        (0..layers)
+            .map(|k| {
+                let keep_below = (layers - k - 1) as u32;
+                let mut new_offsets = Vec::with_capacity(n + 1);
+                new_offsets.push(0usize);
+                let mut new_adj =
+                    Vec::with_capacity(if k == 0 { adj.len() } else { adj.len() / 2 });
+                for v in 0..n {
+                    if self.dist[v] <= keep_below {
+                        new_adj.extend_from_slice(&adj[offsets[v]..offsets[v + 1]]);
+                    }
+                    new_offsets.push(new_adj.len());
+                }
+                CsrGraph::from_raw(new_offsets, new_adj)
+            })
+            .collect()
+    }
+}
+
+/// Multi-source BFS distances from `roots` over `g` (`u32::MAX` is
+/// unreachable — cannot occur for ball-extracted subgraphs).
+fn bfs_distances(g: &CsrGraph, roots: &[u32]) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let mut frontier: Vec<u32> = Vec::with_capacity(roots.len());
+    for &r in roots {
+        if dist[r as usize] != 0 {
+            dist[r as usize] = 0;
+            frontier.push(r);
+        }
+    }
+    let mut next = Vec::new();
+    let mut d = 0u32;
+    while !frontier.is_empty() {
+        d += 1;
+        for &v in &frontier {
+            for &u in g.neighbors(v) {
+                if dist[u as usize] == u32::MAX {
+                    dist[u as usize] = d;
+                    next.push(u);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    dist
+}
+
+/// All vertices within `hops` of `roots` (the closed L-hop ball), as a
+/// sorted, deduplicated original-id list.
+///
+/// # Panics
+/// Panics if any root id is out of range for `g`.
+pub fn l_hop_ball(g: &CsrGraph, roots: &[u32], hops: usize) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut visited = BitSet::new(n);
+    let mut frontier: Vec<u32> = Vec::with_capacity(roots.len());
+    for &r in roots {
+        assert!(
+            (r as usize) < n,
+            "root vertex {r} out of range for a {n}-vertex graph"
+        );
+        if visited.insert(r as usize) {
+            frontier.push(r);
+        }
+    }
+    let mut next = Vec::new();
+    for _ in 0..hops {
+        for &v in &frontier {
+            for &u in g.neighbors(v) {
+                if visited.insert(u as usize) {
+                    next.push(u);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    let mut ball: Vec<u32> = visited.iter().map(|i| i as u32).collect();
+    ball.sort_unstable();
+    ball
+}
+
+/// Extract the induced subgraph of the L-hop ball around `roots` and
+/// locate each root inside it.
+///
+/// Running an L-layer GCN forward on `sub.graph` (features gathered by
+/// `sub.origin`) yields, at rows `root_locals`, exactly the values the
+/// same forward would produce on the full graph — see the module docs.
+///
+/// # Panics
+/// Panics if any root id is out of range for `g`.
+pub fn l_hop_subgraph(g: &CsrGraph, roots: &[u32], hops: usize) -> NeighborhoodBatch {
+    let ball = l_hop_ball(g, roots, hops);
+    let sub = induced_subgraph(g, &ball);
+    // `origin` is sorted ascending, so each root resolves by binary search.
+    let root_locals: Vec<u32> = roots
+        .iter()
+        .map(|r| {
+            sub.origin
+                .binary_search(r)
+                .expect("root must be in its own ball") as u32
+        })
+        .collect();
+    // Root distances via BFS *inside* the ball: a shortest root path
+    // only visits closer-to-root vertices, all of which are in the
+    // ball, so these equal the full-graph distances.
+    let dist = bfs_distances(&sub.graph, &root_locals);
+    NeighborhoodBatch {
+        sub,
+        root_locals,
+        dist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    /// Path 0-1-2-3-4 plus an isolated pair 5-6.
+    fn path_graph() -> CsrGraph {
+        from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (5, 6)])
+    }
+
+    #[test]
+    fn zero_hops_is_the_root_set() {
+        let g = path_graph();
+        let ball = l_hop_ball(&g, &[2, 4], 0);
+        assert_eq!(ball, vec![2, 4]);
+    }
+
+    #[test]
+    fn one_hop_adds_direct_neighbors() {
+        let g = path_graph();
+        assert_eq!(l_hop_ball(&g, &[2], 1), vec![1, 2, 3]);
+        assert_eq!(l_hop_ball(&g, &[0], 1), vec![0, 1]);
+    }
+
+    #[test]
+    fn two_hops_expand_transitively() {
+        let g = path_graph();
+        assert_eq!(l_hop_ball(&g, &[2], 2), vec![0, 1, 2, 3, 4]);
+        assert_eq!(l_hop_ball(&g, &[5], 2), vec![5, 6]);
+    }
+
+    #[test]
+    fn ball_saturates_on_connected_component() {
+        let g = path_graph();
+        // Hops beyond the component diameter change nothing.
+        assert_eq!(l_hop_ball(&g, &[0], 10), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn duplicate_and_unsorted_roots() {
+        let g = path_graph();
+        let ball = l_hop_ball(&g, &[3, 1, 3], 1);
+        assert_eq!(ball, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn subgraph_locates_roots_in_request_order() {
+        let g = path_graph();
+        let batch = l_hop_subgraph(&g, &[3, 1, 3], 1);
+        assert_eq!(batch.sub.origin, vec![0, 1, 2, 3, 4]);
+        assert_eq!(batch.root_locals, vec![3, 1, 3]);
+        for (&local, &orig) in batch.root_locals.iter().zip(&[3u32, 1, 3]) {
+            assert_eq!(batch.sub.to_original(local), orig);
+        }
+    }
+
+    #[test]
+    fn interior_vertices_keep_full_degree() {
+        // Vertices whose whole neighborhood is inside the ball must keep
+        // their full-graph degree (the D⁻¹ normalisation the exactness
+        // argument rests on).
+        let g = path_graph();
+        let batch = l_hop_subgraph(&g, &[2], 2);
+        // Local id of original 2.
+        let local = batch.root_locals[0];
+        assert_eq!(batch.sub.graph.degree(local), g.degree(2));
+        // 1 and 3 are at distance 1 ≤ L-1: full degree too.
+        for orig in [1u32, 3] {
+            let l = batch.sub.origin.binary_search(&orig).unwrap() as u32;
+            assert_eq!(batch.sub.graph.degree(l), g.degree(orig));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_root_panics() {
+        let g = path_graph();
+        l_hop_ball(&g, &[99], 1);
+    }
+
+    #[test]
+    fn distances_match_hops_from_nearest_root() {
+        let g = path_graph();
+        let batch = l_hop_subgraph(&g, &[2], 2);
+        // origin = [0,1,2,3,4]; distances from 2 along the path.
+        assert_eq!(batch.dist, vec![2, 1, 0, 1, 2]);
+        // Multi-root: nearest root wins.
+        let batch = l_hop_subgraph(&g, &[0, 4], 2);
+        assert_eq!(batch.sub.origin, vec![0, 1, 2, 3, 4]);
+        assert_eq!(batch.dist, vec![0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn layer_graphs_prune_outward_rows_only() {
+        let g = path_graph();
+        let batch = l_hop_subgraph(&g, &[2], 2);
+        let layers = batch.layer_graphs(2);
+        assert_eq!(layers.len(), 2);
+        // Layer 0 keeps adjacency for dist ≤ 1 (locals of 1, 2, 3);
+        // boundary rows (0, 4) are isolated.
+        let l0 = &layers[0];
+        assert_eq!(l0.num_vertices(), 5);
+        for v in 0..5u32 {
+            let expect = if batch.dist[v as usize] <= 1 {
+                batch.sub.graph.neighbors(v)
+            } else {
+                &[][..]
+            };
+            assert_eq!(l0.neighbors(v), expect, "layer 0 row {v}");
+        }
+        // Layer 1 (the last) keeps only the root row.
+        let l1 = &layers[1];
+        for v in 0..5u32 {
+            let expect = if batch.dist[v as usize] == 0 {
+                batch.sub.graph.neighbors(v)
+            } else {
+                &[][..]
+            };
+            assert_eq!(l1.neighbors(v), expect, "layer 1 row {v}");
+        }
+        // Kept rows retain their full degrees (the D⁻¹ exactness
+        // condition).
+        let root_local = batch.root_locals[0];
+        assert_eq!(l1.degree(root_local), g.degree(2));
+    }
+
+    #[test]
+    fn layer_graphs_for_whole_set_batch_are_unpruned() {
+        let g = path_graph();
+        let batch = l_hop_subgraph(&g, &[0, 1, 2, 3, 4, 5, 6], 2);
+        for lg in batch.layer_graphs(2) {
+            assert_eq!(lg, batch.sub.graph);
+        }
+    }
+}

@@ -41,6 +41,38 @@ impl Confusion {
     }
 }
 
+/// The multi-label decision threshold used across evaluation and
+/// serving: a class is predicted when its probability reaches this.
+pub const MULTI_LABEL_THRESHOLD: f32 = 0.5;
+
+/// First-maximum argmax of one probability row — the single tie rule
+/// shared by [`argmax_onehot`], the streaming [`f1_micro_from_probs`]
+/// and the serving-side label decision (`gsgcn-serve`).
+pub fn argmax_row(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (j, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = j;
+        }
+    }
+    best
+}
+
+/// Task-appropriate decision rule for one probability row: the argmax
+/// class for single-label models, every class reaching
+/// [`MULTI_LABEL_THRESHOLD`] (possibly none) for multi-label.
+pub fn decide_labels(row: &[f32], single_label: bool) -> Vec<u32> {
+    if single_label {
+        vec![argmax_row(row) as u32]
+    } else {
+        row.iter()
+            .enumerate()
+            .filter(|(_, &p)| p >= MULTI_LABEL_THRESHOLD)
+            .map(|(j, _)| j as u32)
+            .collect()
+    }
+}
+
 /// Threshold probabilities into binary predictions (multi-label).
 pub fn binarize(probs: &DMatrix, threshold: f32) -> DMatrix {
     let mut out = probs.clone();
@@ -54,14 +86,7 @@ pub fn binarize(probs: &DMatrix, threshold: f32) -> DMatrix {
 pub fn argmax_onehot(probs: &DMatrix) -> DMatrix {
     let mut out = DMatrix::zeros(probs.rows(), probs.cols());
     for i in 0..probs.rows() {
-        let row = probs.row(i);
-        let mut best = 0usize;
-        for (j, &v) in row.iter().enumerate() {
-            if v > row[best] {
-                best = j;
-            }
-        }
-        out.set(i, best, 1.0);
+        out.set(i, argmax_row(probs.row(i)), 1.0);
     }
     out
 }
@@ -127,14 +152,35 @@ pub fn accuracy(pred: &DMatrix, target: &DMatrix) -> f64 {
 }
 
 /// Convenience: F1-micro of probability outputs against targets, with the
-/// task-appropriate decision rule.
+/// task-appropriate decision rule (argmax for single-label, a 0.5
+/// threshold for multi-label).
+///
+/// Streams the confusion counts row by row instead of materialising a
+/// prediction matrix, so the per-epoch `evaluate` hot path performs zero
+/// matrix allocations (equivalent to
+/// `f1_micro(&argmax_onehot(probs) | &binarize(probs, 0.5), target)`,
+/// pinned by a test below).
 pub fn f1_micro_from_probs(probs: &DMatrix, target: &DMatrix, single_label: bool) -> f64 {
-    let pred = if single_label {
-        argmax_onehot(probs)
-    } else {
-        binarize(probs, 0.5)
-    };
-    f1_micro(&pred, target)
+    assert_eq!(probs.shape(), target.shape(), "probs/target shape mismatch");
+    let mut pooled = Confusion::default();
+    for i in 0..probs.rows() {
+        let (pr, tr) = (probs.row(i), target.row(i));
+        let best = if single_label { argmax_row(pr) } else { 0 };
+        for (c, (&p, &t)) in pr.iter().zip(tr).enumerate() {
+            let predicted = if single_label {
+                c == best
+            } else {
+                p >= MULTI_LABEL_THRESHOLD
+            };
+            match (predicted, t > 0.5) {
+                (true, true) => pooled.tp += 1,
+                (true, false) => pooled.fp += 1,
+                (false, true) => pooled.fn_ += 1,
+                (false, false) => pooled.tn += 1,
+            }
+        }
+    }
+    pooled.f1()
 }
 
 #[cfg(test)]
@@ -208,6 +254,18 @@ mod tests {
         // Multi-label at 0.5: row0 predicts both classes (fp), row1 none (fn).
         let m = f1_micro_from_probs(&probs, &t, false);
         assert!(m < 1.0 && m > 0.0);
+    }
+
+    /// The streaming `f1_micro_from_probs` must agree exactly with the
+    /// matrix-materialising composition it replaced.
+    #[test]
+    fn f1_from_probs_matches_materialised_composition() {
+        let probs = DMatrix::from_fn(17, 5, |i, j| (((i * 31 + j * 17) % 23) as f32) / 22.0);
+        let target = DMatrix::from_fn(17, 5, |i, j| (((i * 7 + j * 3) % 3) == 0) as u8 as f32);
+        let single = f1_micro(&argmax_onehot(&probs), &target);
+        assert_eq!(f1_micro_from_probs(&probs, &target, true), single);
+        let multi = f1_micro(&binarize(&probs, 0.5), &target);
+        assert_eq!(f1_micro_from_probs(&probs, &target, false), multi);
     }
 
     #[test]

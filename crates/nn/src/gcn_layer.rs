@@ -295,15 +295,37 @@ impl GcnLayer {
         (out, t)
     }
 
-    /// Inference-only forward (`&self`, no caching).
-    pub fn infer(&self, g: &CsrGraph, h: &DMatrix, prop: &FeaturePropagator) -> DMatrix {
-        let mut out = DMatrix::zeros(h.rows(), 2 * self.w_neigh.value.cols());
+    /// Inference-only in-place forward (`&self`, no caching, no forward
+    /// state): writes the activations into `out` (buffer reused, reshaped
+    /// as needed). The unfused path materialises `Â·H` into the
+    /// caller-owned `agg` scratch; the fused path streams the aggregate
+    /// through the GEMM pack scratch and leaves `agg` untouched. This is
+    /// the per-layer step of the model's workspace-driven inference
+    /// ([`crate::workspace::InferenceWorkspace`]) — warm calls allocate
+    /// nothing.
+    pub fn infer_into(
+        &self,
+        g: &CsrGraph,
+        h: &DMatrix,
+        out: &mut DMatrix,
+        agg: &mut DMatrix,
+        prop: &FeaturePropagator,
+    ) {
+        out.ensure_shape(h.rows(), 2 * self.w_neigh.value.cols());
         if self.fused {
-            self.apply_fused(g, h, &mut out, prop);
+            self.apply_fused(g, h, out, prop);
         } else {
-            let aggregated = prop.forward(g, h);
-            self.apply_weights(&aggregated, h, &mut out);
+            prop.forward_into(g, h, agg);
+            self.apply_weights(agg, h, out);
         }
+    }
+
+    /// Inference-only forward (`&self`, no caching). Allocating wrapper
+    /// around [`GcnLayer::infer_into`].
+    pub fn infer(&self, g: &CsrGraph, h: &DMatrix, prop: &FeaturePropagator) -> DMatrix {
+        let mut out = DMatrix::zeros(0, 0);
+        let mut agg = DMatrix::zeros(0, 0);
+        self.infer_into(g, h, &mut out, &mut agg, prop);
         out
     }
 

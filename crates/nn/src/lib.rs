@@ -11,6 +11,10 @@
 //! * [`model`] — the L-layer GCN assembled end to end: forward, loss,
 //!   backward, update; reports per-phase timings (feature propagation vs
 //!   weight application) for the Fig. 3 breakdown.
+//! * [`workspace`] — the caller-owned [`workspace::InferenceWorkspace`]:
+//!   activation ping-pong buffers for the `&self` inference path, so one
+//!   immutable model serves many threads allocation-free
+//!   (`GcnModel::{infer_logits_into, infer_probs_into}`).
 //!
 //! Everything is deterministic given the seeds in [`model::GcnConfig`].
 //!
@@ -48,3 +52,6 @@ pub mod dense;
 pub mod gcn_layer;
 pub mod loss;
 pub mod model;
+pub mod workspace;
+
+pub use workspace::InferenceWorkspace;

@@ -11,6 +11,7 @@ use crate::adam::AdamHyper;
 use crate::dense::DenseLayer;
 use crate::gcn_layer::{GcnLayer, KernelTimings};
 use crate::loss;
+use crate::workspace::InferenceWorkspace;
 use gsgcn_graph::CsrGraph;
 use gsgcn_prop::propagator::FeaturePropagator;
 use gsgcn_tensor::{ops, DMatrix};
@@ -271,25 +272,134 @@ impl GcnModel {
         }
     }
 
-    /// Inference: logits for every vertex of `g` (no dropout, no caching).
-    pub fn infer_logits(&self, g: &CsrGraph, x: &DMatrix) -> DMatrix {
-        assert_eq!(x.rows(), g.num_vertices(), "feature/vertex mismatch");
-        let mut h = x.clone();
-        for layer in &self.layers {
-            h = layer.infer(g, &h, &self.prop);
+    /// In-place inference on caller-owned scratch: logits for every
+    /// vertex of `g` land in `out` (buffer reused, reshaped as needed).
+    ///
+    /// The forward pass is `&self` — the model is immutable, so one
+    /// `Arc<GcnModel>` can serve many threads, each bringing its own
+    /// [`InferenceWorkspace`] (activation ping-pong buffers, lazily
+    /// sized). With bounded input shapes a warm call performs **zero
+    /// matrix allocations** (pinned by `tests/alloc_regression.rs`).
+    /// No dropout is applied (inference semantics).
+    pub fn infer_logits_into(
+        &self,
+        g: &CsrGraph,
+        x: &DMatrix,
+        ws: &mut InferenceWorkspace,
+        out: &mut DMatrix,
+    ) {
+        self.forward_layers_into(&mut |_| g, x, ws, out);
+    }
+
+    /// Inference with a *different graph per layer* over one shared
+    /// vertex set — the cone-pruned batched-serving path
+    /// (`gsgcn_graph::neighborhood::NeighborhoodBatch::layer_graphs`):
+    /// layer `i` aggregates over `layer_graphs[i]`, whose outward rows
+    /// are isolated so their never-consumed aggregates cost nothing.
+    /// All graphs must share `x`'s row count; panics on a layer-count
+    /// mismatch.
+    pub fn infer_logits_pruned_into(
+        &self,
+        layer_graphs: &[CsrGraph],
+        x: &DMatrix,
+        ws: &mut InferenceWorkspace,
+        out: &mut DMatrix,
+    ) {
+        assert_eq!(
+            layer_graphs.len(),
+            self.layers.len(),
+            "need one pruned graph per GCN layer"
+        );
+        self.forward_layers_into(&mut |i| &layer_graphs[i], x, ws, out);
+    }
+
+    /// Shared `&self` forward: layer `i` runs on `graph_for(i)`.
+    fn forward_layers_into<'g>(
+        &self,
+        graph_for: &mut dyn FnMut(usize) -> &'g CsrGraph,
+        x: &DMatrix,
+        ws: &mut InferenceWorkspace,
+        out: &mut DMatrix,
+    ) {
+        assert_eq!(
+            x.rows(),
+            graph_for(0).num_vertices(),
+            "feature/vertex mismatch"
+        );
+        let InferenceWorkspace { ping, pong, agg } = ws;
+        // Layer 0 reads `x` directly; afterwards activations ping-pong
+        // between the two workspace buffers (layer i reads one, writes
+        // the other), so depth costs no extra buffers.
+        let mut src_is_ping = false;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (src, dst): (&DMatrix, &mut DMatrix) = if i == 0 {
+                (x, &mut *ping)
+            } else if src_is_ping {
+                (&*ping, &mut *pong)
+            } else {
+                (&*pong, &mut *ping)
+            };
+            let g = graph_for(i);
+            assert_eq!(g.num_vertices(), x.rows(), "layer graph vertex mismatch");
+            layer.infer_into(g, src, dst, agg, &self.prop);
+            src_is_ping = i % 2 == 0;
         }
-        self.head.infer(&h)
+        let last: &DMatrix = if src_is_ping { ping } else { pong };
+        self.head.forward_into(last, out);
+    }
+
+    /// In-place inference with the task's output activation applied
+    /// (sigmoid probabilities or softmax distribution); see
+    /// [`GcnModel::infer_logits_into`].
+    pub fn infer_probs_into(
+        &self,
+        g: &CsrGraph,
+        x: &DMatrix,
+        ws: &mut InferenceWorkspace,
+        out: &mut DMatrix,
+    ) {
+        self.infer_logits_into(g, x, ws, out);
+        self.apply_output_activation(out);
+    }
+
+    /// Cone-pruned inference with the task's output activation applied;
+    /// see [`GcnModel::infer_logits_pruned_into`]. Only rows within
+    /// `L-1-i` hops of the batch roots carry full-graph-exact values
+    /// after layer `i`; read the root rows.
+    pub fn infer_probs_pruned_into(
+        &self,
+        layer_graphs: &[CsrGraph],
+        x: &DMatrix,
+        ws: &mut InferenceWorkspace,
+        out: &mut DMatrix,
+    ) {
+        self.infer_logits_pruned_into(layer_graphs, x, ws, out);
+        self.apply_output_activation(out);
+    }
+
+    fn apply_output_activation(&self, out: &mut DMatrix) {
+        match self.cfg.loss {
+            LossKind::SigmoidBce => ops::sigmoid_inplace(out),
+            LossKind::SoftmaxCe => ops::softmax_rows_inplace(out),
+        }
+    }
+
+    /// Inference: logits for every vertex of `g` (no dropout, no
+    /// caching). Allocating wrapper around
+    /// [`GcnModel::infer_logits_into`].
+    pub fn infer_logits(&self, g: &CsrGraph, x: &DMatrix) -> DMatrix {
+        let mut out = DMatrix::zeros(0, 0);
+        self.infer_logits_into(g, x, &mut InferenceWorkspace::new(), &mut out);
+        out
     }
 
     /// Inference with the task's output activation applied (sigmoid
-    /// probabilities or softmax distribution).
+    /// probabilities or softmax distribution). Allocating wrapper around
+    /// [`GcnModel::infer_probs_into`].
     pub fn infer_probs(&self, g: &CsrGraph, x: &DMatrix) -> DMatrix {
-        let mut logits = self.infer_logits(g, x);
-        match self.cfg.loss {
-            LossKind::SigmoidBce => ops::sigmoid_inplace(&mut logits),
-            LossKind::SoftmaxCe => ops::softmax_rows_inplace(&mut logits),
-        }
-        logits
+        let mut out = DMatrix::zeros(0, 0);
+        self.infer_probs_into(g, x, &mut InferenceWorkspace::new(), &mut out);
+        out
     }
 
     /// Evaluate the loss on `(g, x, y)` without updating weights.
@@ -457,6 +567,68 @@ mod tests {
         let probs = m.infer_probs(&g2, &x2);
         assert_eq!(probs.shape(), (3, 2));
         assert!(probs.all_finite());
+    }
+
+    /// The workspace ping-pong forward must agree exactly with the
+    /// layer-by-layer allocating path at every depth (odd depths end on
+    /// the other buffer of the pair), and a reused workspace must not
+    /// leak state between calls on different graphs.
+    #[test]
+    fn workspace_inference_matches_allocating_path() {
+        let (g, x, _) = two_cluster_graph();
+        for depth in 1..=3 {
+            let mut cfg = small_cfg(LossKind::SigmoidBce);
+            cfg.hidden_dims = vec![8; depth];
+            let m = GcnModel::new(cfg, 21 + depth as u64);
+            let reference = m.infer_probs(&g, &x);
+            let mut ws = crate::workspace::InferenceWorkspace::new();
+            let mut probs = DMatrix::zeros(0, 0);
+            m.infer_probs_into(&g, &x, &mut ws, &mut probs);
+            assert_eq!(
+                probs.data(),
+                reference.data(),
+                "depth {depth}: workspace forward diverged"
+            );
+            // Second call through the warm workspace: bit-identical.
+            let mut probs2 = DMatrix::zeros(0, 0);
+            m.infer_probs_into(&g, &x, &mut ws, &mut probs2);
+            assert_eq!(
+                probs.data(),
+                probs2.data(),
+                "depth {depth}: warm call diverged"
+            );
+        }
+    }
+
+    /// One immutable model shared across threads, each with its own
+    /// workspace — the serving access pattern `infer_logits_into`'s
+    /// `&self` signature exists for.
+    #[test]
+    fn shared_model_serves_concurrent_workspaces() {
+        let (g, x, y) = two_cluster_graph();
+        let mut m = GcnModel::new(small_cfg(LossKind::SoftmaxCe), 13);
+        for _ in 0..10 {
+            m.train_step(&g, &x, &y);
+        }
+        let reference = m.infer_probs(&g, &x);
+        let model = std::sync::Arc::new(m);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let model = std::sync::Arc::clone(&model);
+                let g = g.clone();
+                let x = x.clone();
+                std::thread::spawn(move || {
+                    let mut ws = crate::workspace::InferenceWorkspace::new();
+                    let mut out = DMatrix::zeros(0, 0);
+                    model.infer_probs_into(&g, &x, &mut ws, &mut out);
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            let out = h.join().unwrap();
+            assert_eq!(out.data(), reference.data());
+        }
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Caller-owned inference workspace — the inference twin of the model's
+//! training workspace.
+//!
+//! [`crate::model::GcnModel::train_step`] owns its activation buffers
+//! because training mutates the model anyway. Inference must not: one
+//! immutable model behind an `Arc` serves many threads (the
+//! `gsgcn-serve` batch engine gives each worker thread its own
+//! workspace), so the forward pass takes the model by `&self` and the
+//! scratch state lives *here*, owned by the caller.
+//!
+//! The workspace holds the activation **ping-pong pair** — layer `i`
+//! reads one buffer and writes the other, so an L-layer forward needs
+//! two buffers regardless of depth — plus the unfused path's aggregate
+//! scratch. Buffers are sized lazily by the first forward and reused
+//! afterwards; as long as input shapes stay bounded (batched inference
+//! caps the subgraph size by construction), every warm call performs
+//! **zero matrix allocations** (pinned by `tests/alloc_regression.rs`).
+
+use gsgcn_tensor::DMatrix;
+
+/// Reusable scratch for [`crate::model::GcnModel::infer_logits_into`] /
+/// [`crate::model::GcnModel::infer_probs_into`].
+///
+/// Cheap to construct (empty buffers); safe to reuse across models and
+/// graphs — every forward reshapes as needed. Not shareable between
+/// concurrent forwards: give each thread its own.
+#[derive(Clone, Debug)]
+pub struct InferenceWorkspace {
+    /// Activation ping-pong pair (layer outputs alternate between them).
+    pub(crate) ping: DMatrix,
+    pub(crate) pong: DMatrix,
+    /// Unfused path only: the materialised aggregate `Â·H` of the
+    /// current layer (the fused path streams it through pack scratch).
+    pub(crate) agg: DMatrix,
+}
+
+impl Default for InferenceWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InferenceWorkspace {
+    /// A fresh (empty) workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        InferenceWorkspace {
+            ping: DMatrix::zeros(0, 0),
+            pong: DMatrix::zeros(0, 0),
+            agg: DMatrix::zeros(0, 0),
+        }
+    }
+
+    /// Bytes currently held across the scratch buffers (capacity probe
+    /// for dashboards/tests).
+    pub fn scratch_bytes(&self) -> usize {
+        (self.ping.data().len() + self.pong.data().len() + self.agg.data().len())
+            * std::mem::size_of::<f32>()
+    }
+}

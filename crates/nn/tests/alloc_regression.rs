@@ -1,15 +1,21 @@
-//! Allocation-regression tests for the training hot path.
+//! Allocation-regression tests for the training *and inference* hot
+//! paths.
 //!
-//! `GcnModel::train_step` must perform **zero matrix allocations** once its
-//! persistent workspace is warm — the property the packed-GEMM /
-//! buffer-reuse refactor exists to guarantee. These tests pin it with the
-//! thread-local allocation counter in `gsgcn_tensor::alloc`, running the
-//! measured region inside a 1-thread rayon pool so every allocation is
-//! attributed to the measuring thread.
+//! `GcnModel::train_step` must perform **zero matrix allocations** once
+//! its persistent workspace is warm — the property the packed-GEMM /
+//! buffer-reuse refactor exists to guarantee — and the workspace-driven
+//! inference pair `infer_logits_into`/`infer_probs_into` must match it
+//! once the caller-owned [`InferenceWorkspace`] is warm (this is what
+//! makes the serving hot path and the trainer's per-epoch `evaluate`
+//! allocation-free). These tests pin both with the thread-local
+//! allocation counter in `gsgcn_tensor::alloc`, running the measured
+//! region inside a 1-thread rayon pool so every allocation is attributed
+//! to the measuring thread.
 
 use gsgcn_graph::{CsrGraph, GraphBuilder};
 use gsgcn_nn::adam::AdamHyper;
 use gsgcn_nn::model::{GcnConfig, GcnModel, LossKind};
+use gsgcn_nn::InferenceWorkspace;
 use gsgcn_tensor::{alloc, DMatrix};
 
 fn ring_graph(n: usize) -> CsrGraph {
@@ -122,6 +128,82 @@ fn train_step_with_dropout_is_allocation_free_after_first_iteration() {
         assert_eq!(
             steady, 0,
             "dropout path allocated {steady} matrices after warm-up"
+        );
+    });
+}
+
+/// Workspace-driven inference must be allocation-free once the
+/// ping-pong buffers are warm — for the fused default and the unfused
+/// reference, and for both output activations.
+#[test]
+fn infer_into_is_allocation_free_after_warmup() {
+    let n = 64;
+    let g = ring_graph(n);
+    let x = DMatrix::from_fn(n, 8, |i, j| ((i * 7 + j) % 13) as f32 * 0.1 - 0.6);
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        for fused in [true, false] {
+            for loss in [LossKind::SigmoidBce, LossKind::SoftmaxCe] {
+                let mut c = cfg(8, 0.0);
+                c.fused = fused;
+                c.loss = loss;
+                let model = GcnModel::new(c, 42);
+                let mut ws = InferenceWorkspace::new();
+                let mut probs = DMatrix::zeros(0, 0);
+                // Warm-up sizes the workspace and output buffer.
+                model.infer_probs_into(&g, &x, &mut ws, &mut probs);
+                let before = alloc::matrix_allocations();
+                for _ in 0..10 {
+                    model.infer_probs_into(&g, &x, &mut ws, &mut probs);
+                }
+                let steady = alloc::matrix_allocations() - before;
+                assert_eq!(
+                    steady, 0,
+                    "infer_probs_into (fused={fused}, {loss:?}) allocated \
+                     {steady} matrices after warm-up"
+                );
+            }
+        }
+    });
+}
+
+/// A warm workspace absorbs *bounded* shape variation — the batched
+/// serving case, where L-hop subgraph sizes vary per request but stay
+/// under a cap.
+#[test]
+fn infer_into_reuses_buffers_across_bounded_graph_sizes() {
+    let sizes = [40usize, 64, 52, 48];
+    let graphs: Vec<CsrGraph> = sizes.iter().map(|&n| ring_graph(n)).collect();
+    let xs: Vec<DMatrix> = sizes
+        .iter()
+        .map(|&n| DMatrix::from_fn(n, 8, |i, j| ((i + j) % 5) as f32 * 0.2 - 0.4))
+        .collect();
+    let model = GcnModel::new(cfg(8, 0.0), 3);
+    let mut ws = InferenceWorkspace::new();
+    let mut out = DMatrix::zeros(0, 0);
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        for i in 0..sizes.len() {
+            model.infer_probs_into(&graphs[i], &xs[i], &mut ws, &mut out);
+        }
+        let before = alloc::matrix_allocations();
+        for _ in 0..3 {
+            for i in 0..sizes.len() {
+                model.infer_probs_into(&graphs[i], &xs[i], &mut ws, &mut out);
+            }
+        }
+        let steady = alloc::matrix_allocations() - before;
+        assert_eq!(
+            steady, 0,
+            "bounded-shape inference allocated {steady} matrices after warm-up"
         );
     });
 }

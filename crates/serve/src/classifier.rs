@@ -1,0 +1,343 @@
+//! The immutable serving artifact: one trained model + one graph +
+//! features, shared by every worker thread, queried over node batches.
+//!
+//! A query for K nodes does **not** run the full-graph forward: it
+//! extracts the K-rooted L-hop induced subgraph (L = the model's layer
+//! count) via [`gsgcn_graph::neighborhood`], gathers that subgraph's
+//! feature rows, and runs the workspace-driven forward on it — the
+//! inference-side counterpart of the paper's subgraph-minibatch
+//! training. The values read off at the root rows are exactly the
+//! full-graph outputs (see the neighborhood module docs for the
+//! induction argument), and the forward rides the same fused
+//! `PackSource` aggregation pipeline as training.
+
+use gsgcn_graph::{l_hop_subgraph, CsrGraph};
+use gsgcn_nn::model::{GcnModel, LossKind};
+use gsgcn_nn::InferenceWorkspace;
+use gsgcn_tensor::DMatrix;
+use std::sync::Arc;
+
+/// Per-node classification result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Prediction {
+    /// The queried node (original graph id).
+    pub node: u32,
+    /// Decided labels: the argmax class for single-label (softmax)
+    /// models, every class with probability ≥ 0.5 for multi-label
+    /// (sigmoid) models — possibly empty then.
+    pub labels: Vec<u32>,
+    /// Full class-probability row for the node.
+    pub probs: Vec<f32>,
+}
+
+impl Prediction {
+    /// Decided labels joined with commas, `-` when empty — the single
+    /// presentation shared by the TCP protocol and the `predict` CLI.
+    pub fn labels_display(&self) -> String {
+        if self.labels.is_empty() {
+            "-".to_string()
+        } else {
+            self.labels
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+    }
+
+    /// The highest class probability of the row.
+    pub fn max_prob(&self) -> f32 {
+        self.probs.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+    }
+}
+
+/// Reusable per-thread scratch for [`NodeClassifier::classify_into`]:
+/// the inference workspace plus the subgraph feature/probability
+/// buffers. Warm calls with bounded batch sizes allocate no matrices.
+#[derive(Debug)]
+pub struct ClassifyWorkspace {
+    infer: InferenceWorkspace,
+    x: DMatrix,
+    probs: DMatrix,
+}
+
+impl Default for ClassifyWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClassifyWorkspace {
+    /// Fresh (empty) scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        ClassifyWorkspace {
+            infer: InferenceWorkspace::new(),
+            x: DMatrix::zeros(0, 0),
+            probs: DMatrix::zeros(0, 0),
+        }
+    }
+}
+
+/// The engine-facing batch-classification interface.
+///
+/// [`NodeClassifier`] is the production implementation; the engine is
+/// generic over this trait (the PR-4 `GraphSampler` idiom) so tests can
+/// substitute failure-injecting stubs.
+pub trait BatchClassify: Send + Sync + 'static {
+    /// Classify `nodes`, appending one [`Prediction`] per requested node
+    /// in request order to `out`.
+    fn classify_into(
+        &self,
+        nodes: &[u32],
+        ws: &mut ClassifyWorkspace,
+        out: &mut Vec<Prediction>,
+    ) -> Result<(), String>;
+
+    /// Number of servable vertices (valid ids are `0..num_nodes`).
+    fn num_nodes(&self) -> usize;
+}
+
+/// One trained model plus the graph it serves, immutable and `Sync`:
+/// clone the `Arc`s in, share the classifier across worker threads.
+pub struct NodeClassifier {
+    model: Arc<GcnModel>,
+    graph: Arc<CsrGraph>,
+    features: Arc<DMatrix>,
+}
+
+impl NodeClassifier {
+    /// Assemble a classifier. Fails if the feature matrix does not match
+    /// the graph or the model's input width.
+    pub fn new(
+        model: Arc<GcnModel>,
+        graph: Arc<CsrGraph>,
+        features: Arc<DMatrix>,
+    ) -> Result<Self, String> {
+        if features.rows() != graph.num_vertices() {
+            return Err(format!(
+                "features have {} rows but the graph has {} vertices",
+                features.rows(),
+                graph.num_vertices()
+            ));
+        }
+        if features.cols() != model.config().in_dim {
+            return Err(format!(
+                "features are {}-dimensional but the model expects {}",
+                features.cols(),
+                model.config().in_dim
+            ));
+        }
+        Ok(NodeClassifier {
+            model,
+            graph,
+            features,
+        })
+    }
+
+    /// Number of vertices servable (valid node ids are `0..num_nodes`).
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.model.config().num_classes
+    }
+
+    /// The neighborhood depth a query extracts (= model layer count).
+    pub fn hops(&self) -> usize {
+        self.model.num_layers()
+    }
+
+    /// Classify a batch of nodes on its L-hop induced subgraph, appending
+    /// one [`Prediction`] per requested node (request order, duplicates
+    /// included) to `out`. Fails — rather than panics — on out-of-range
+    /// ids, so network-facing callers can reject bad requests cheaply.
+    pub fn classify_into(
+        &self,
+        nodes: &[u32],
+        ws: &mut ClassifyWorkspace,
+        out: &mut Vec<Prediction>,
+    ) -> Result<(), String> {
+        if nodes.is_empty() {
+            return Ok(());
+        }
+        let n = self.graph.num_vertices() as u32;
+        if let Some(&bad) = nodes.iter().find(|&&v| v >= n) {
+            return Err(format!("node {bad} out of range (graph has {n} vertices)"));
+        }
+        let hops = self.model.num_layers();
+        let batch = l_hop_subgraph(&self.graph, nodes, hops);
+        // Cone pruning: layer i only aggregates rows still feeding the
+        // roots (dist ≤ L-1-i); outward rows are isolated, so at reddit
+        // densities — where the raw ball saturates the graph — the
+        // sparse work per query stays proportional to the *inner* cone,
+        // not the full ball. Values at the root rows are exact.
+        let layer_graphs = batch.layer_graphs(hops);
+        self.features.gather_rows_into(&batch.sub.origin, &mut ws.x);
+        self.model
+            .infer_probs_pruned_into(&layer_graphs, &ws.x, &mut ws.infer, &mut ws.probs);
+
+        let single = self.model.config().loss == LossKind::SoftmaxCe;
+        out.reserve(nodes.len());
+        for (&node, &local) in nodes.iter().zip(&batch.root_locals) {
+            let row = ws.probs.row(local as usize);
+            out.push(Prediction {
+                node,
+                // The exact decision rule the trainer's F1 evaluation
+                // uses — serving must never diverge from it.
+                labels: gsgcn_metrics::f1::decide_labels(row, single),
+                probs: row.to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`NodeClassifier::classify_into`].
+    pub fn classify(&self, nodes: &[u32]) -> Result<Vec<Prediction>, String> {
+        let mut out = Vec::new();
+        self.classify_into(nodes, &mut ClassifyWorkspace::new(), &mut out)?;
+        Ok(out)
+    }
+
+    /// Probabilities from a full-graph forward (every vertex) — the
+    /// reference the batched path is tested and benchmarked against.
+    pub fn full_graph_probs(&self) -> DMatrix {
+        self.model.infer_probs(&self.graph, &self.features)
+    }
+
+    /// In-place variant of [`NodeClassifier::full_graph_probs`] for
+    /// benchmark loops.
+    pub fn full_graph_probs_into(&self, ws: &mut ClassifyWorkspace) {
+        self.model
+            .infer_probs_into(&self.graph, &self.features, &mut ws.infer, &mut ws.probs);
+    }
+}
+
+impl BatchClassify for NodeClassifier {
+    fn classify_into(
+        &self,
+        nodes: &[u32],
+        ws: &mut ClassifyWorkspace,
+        out: &mut Vec<Prediction>,
+    ) -> Result<(), String> {
+        NodeClassifier::classify_into(self, nodes, ws, out)
+    }
+
+    fn num_nodes(&self) -> usize {
+        NodeClassifier::num_nodes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsgcn_graph::GraphBuilder;
+    use gsgcn_nn::model::GcnConfig;
+
+    fn fixture(loss: LossKind) -> NodeClassifier {
+        // Ring of 12 with chords, 2-layer model.
+        let n = 12;
+        let edges: Vec<(u32, u32)> = (0..n as u32)
+            .map(|i| (i, (i + 1) % n as u32))
+            .chain((0..n as u32 / 2).map(|i| (i, i + n as u32 / 2)))
+            .collect();
+        let g = GraphBuilder::new(n).add_edges(edges).build();
+        let x = DMatrix::from_fn(n, 5, |i, j| ((i * 3 + j) % 7) as f32 * 0.2 - 0.5);
+        let cfg = GcnConfig {
+            in_dim: 5,
+            hidden_dims: vec![8, 8],
+            num_classes: 3,
+            loss,
+            ..GcnConfig::default()
+        };
+        let model = GcnModel::new(cfg, 17);
+        NodeClassifier::new(Arc::new(model), Arc::new(g), Arc::new(x)).unwrap()
+    }
+
+    #[test]
+    fn batched_matches_full_graph_forward() {
+        for loss in [LossKind::SoftmaxCe, LossKind::SigmoidBce] {
+            let c = fixture(loss);
+            let full = c.model.infer_probs(&c.graph, &c.features);
+            let preds = c.classify(&[3, 7, 7, 0]).unwrap();
+            assert_eq!(preds.len(), 4);
+            for p in &preds {
+                let want = full.row(p.node as usize);
+                for (a, b) in p.probs.iter().zip(want) {
+                    assert!(
+                        (a - b).abs() < 1e-4,
+                        "node {}: batched {a} vs full {b}",
+                        p.node
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whole_node_set_is_bit_identical() {
+        let c = fixture(LossKind::SoftmaxCe);
+        let full = c.model.infer_probs(&c.graph, &c.features);
+        let all: Vec<u32> = (0..c.num_nodes() as u32).collect();
+        let preds = c.classify(&all).unwrap();
+        for p in &preds {
+            assert_eq!(
+                p.probs.as_slice(),
+                full.row(p.node as usize),
+                "node {} diverged on the identity batch",
+                p.node
+            );
+        }
+    }
+
+    #[test]
+    fn single_label_decision_is_argmax() {
+        let c = fixture(LossKind::SoftmaxCe);
+        let preds = c.classify(&[2]).unwrap();
+        let p = &preds[0];
+        assert_eq!(p.labels.len(), 1);
+        let best = p
+            .probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0 as u32;
+        assert_eq!(p.labels[0], best);
+    }
+
+    #[test]
+    fn out_of_range_node_is_an_error() {
+        let c = fixture(LossKind::SoftmaxCe);
+        let err = c.classify(&[0, 99]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_features_rejected() {
+        let c = fixture(LossKind::SoftmaxCe);
+        let bad = DMatrix::zeros(5, 5);
+        assert!(
+            NodeClassifier::new(Arc::clone(&c.model), Arc::clone(&c.graph), Arc::new(bad)).is_err()
+        );
+    }
+
+    #[test]
+    fn warm_classify_is_allocation_free() {
+        let c = fixture(LossKind::SoftmaxCe);
+        let mut ws = ClassifyWorkspace::new();
+        let mut out = Vec::new();
+        c.classify_into(&[1, 5, 9], &mut ws, &mut out).unwrap();
+        // The matrix side must be quiet once warm (Vec growth in the
+        // response payload is expected and cheap).
+        let before = gsgcn_tensor::alloc::matrix_allocations();
+        for _ in 0..5 {
+            out.clear();
+            c.classify_into(&[1, 5, 9], &mut ws, &mut out).unwrap();
+        }
+        let steady = gsgcn_tensor::alloc::matrix_allocations() - before;
+        assert_eq!(steady, 0, "classify allocated {steady} matrices when warm");
+    }
+}

@@ -1,0 +1,493 @@
+//! The batched inference engine: a bounded request queue, a coalescing
+//! batcher and N worker threads sharing one immutable model.
+//!
+//! See the crate docs for the dataflow picture. Design points:
+//!
+//! * **Bounded queue** — [`BatchEngine::submit`] parks the caller when
+//!   `queue_capacity` requests are already waiting (backpressure, the
+//!   PR-4 pipeline bound applied to the serving side). Submission to a
+//!   stopped or poisoned engine fails immediately.
+//! * **Coalescing batcher** — a free worker claims the queue head, then
+//!   keeps absorbing whole requests until the batch reaches
+//!   `max_batch` query nodes or `max_wait` has elapsed since it started
+//!   assembling, whichever is first. Small concurrent requests therefore
+//!   share one L-hop extraction + forward; a lone request never waits
+//!   longer than `max_wait`. A single request larger than `max_batch` is
+//!   served alone (requests are never split).
+//! * **Workers** — dedicated OS threads (not rayon tasks — same
+//!   reasoning as the sampler pipeline: long-lived loops must not sit in
+//!   the compute pool the GEMMs need). Each owns a
+//!   [`ClassifyWorkspace`], so a warm worker classifies without matrix
+//!   allocations; the model/graph/features are shared immutably through
+//!   the [`NodeClassifier`].
+//! * **Shutdown** — dropping the engine raises the stop flag, wakes
+//!   every parked thread and joins the workers (the PR-4
+//!   stop-flag+join protocol). Requests still queued at shutdown fail
+//!   with [`ServeError::ShuttingDown`]; a batch already claimed by a
+//!   worker is finished first (bounded work).
+//! * **Panic containment** — a worker panic is caught, the payload is
+//!   parked in the shared state, and the engine is *poisoned*: the
+//!   failing batch's requests, everything still queued and every future
+//!   submit or wait fail with [`ServeError::WorkerPanicked`] instead of
+//!   hanging a client forever.
+
+use crate::classifier::{BatchClassify, ClassifyWorkspace, NodeClassifier, Prediction};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`BatchEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads running forwards (≥ 1).
+    pub workers: usize,
+    /// Coalescing bound: maximum query nodes per forward batch.
+    pub max_batch: usize,
+    /// Coalescing window: a batch is flushed at the latest this long
+    /// after its first request was claimed.
+    pub max_wait: Duration,
+    /// Bound on queued (not yet claimed) requests; `submit` blocks when
+    /// full.
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 1,
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("engine needs at least one worker".into());
+        }
+        if self.max_batch == 0 {
+            return Err("max_batch must be ≥ 1".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be ≥ 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Why a request failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request itself was invalid (e.g. node id out of range).
+    BadRequest(String),
+    /// The engine is shutting down; the request was not served.
+    ShuttingDown,
+    /// A worker thread panicked; the engine is poisoned.
+    WorkerPanicked(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::WorkerPanicked(m) => write!(f, "serve worker panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One-shot response slot shared between the submitting client and the
+/// worker that serves the request.
+struct ResponseSlot {
+    result: Mutex<Option<Result<Vec<Prediction>, ServeError>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn fulfill(&self, r: Result<Vec<Prediction>, ServeError>) {
+        let mut slot = self.result.lock().unwrap_or_else(|p| p.into_inner());
+        // First writer wins (a poisoning sweep may race the worker that
+        // already owns the batch).
+        if slot.is_none() {
+            *slot = Some(r);
+        }
+        drop(slot);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle returned by [`BatchEngine::submit`]; redeem with
+/// [`ResponseHandle::wait`].
+pub struct ResponseHandle {
+    slot: Arc<ResponseSlot>,
+}
+
+impl ResponseHandle {
+    /// Block until the engine answers (or fails) this request.
+    pub fn wait(self) -> Result<Vec<Prediction>, ServeError> {
+        let mut guard = self.slot.result.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(r) = guard.take() {
+                return r;
+            }
+            guard = self
+                .slot
+                .ready
+                .wait(guard)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// A queued request: the node batch plus its response slot.
+struct QueuedRequest {
+    nodes: Vec<u32>,
+    slot: Arc<ResponseSlot>,
+}
+
+/// Mutex-guarded engine state.
+struct State {
+    queue: VecDeque<QueuedRequest>,
+    stop: bool,
+    poisoned: Option<String>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a request lands in the queue or on shutdown.
+    can_work: Condvar,
+    /// Signalled when queue space frees up or on shutdown.
+    can_submit: Condvar,
+    /// Counters (relaxed; for tests, benches and dashboards).
+    requests: AtomicU64,
+    batches: AtomicU64,
+    nodes: AtomicU64,
+    cfg: EngineConfig,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn fail_error(&self, st: &State) -> ServeError {
+        match &st.poisoned {
+            Some(m) => ServeError::WorkerPanicked(m.clone()),
+            None => ServeError::ShuttingDown,
+        }
+    }
+}
+
+/// The running engine: worker threads + the shared queue. See the module
+/// docs for the protocol. Generic over the classify implementation
+/// ([`NodeClassifier`] in production) so tests can inject failures.
+pub struct BatchEngine<C: BatchClassify = NodeClassifier> {
+    shared: Arc<Shared>,
+    classifier: Arc<C>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<C: BatchClassify> BatchEngine<C> {
+    /// Spawn `cfg.workers` worker threads over the shared classifier.
+    pub fn spawn(classifier: Arc<C>, cfg: EngineConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                stop: false,
+                poisoned: None,
+            }),
+            can_work: Condvar::new(),
+            can_submit: Condvar::new(),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            nodes: AtomicU64::new(0),
+            cfg,
+        });
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
+            let spawn = {
+                let shared = Arc::clone(&shared);
+                let classifier = Arc::clone(&classifier);
+                std::thread::Builder::new()
+                    .name(format!("gsgcn-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, &*classifier))
+            };
+            match spawn {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Don't leak the workers already parked on the
+                    // condvar: stop and join them before reporting.
+                    {
+                        let mut st = shared.lock();
+                        st.stop = true;
+                    }
+                    shared.can_work.notify_all();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(format!("failed to spawn serve worker: {e}"));
+                }
+            }
+        }
+        Ok(BatchEngine {
+            shared,
+            classifier,
+            workers,
+        })
+    }
+
+    /// The classifier this engine serves.
+    pub fn classifier(&self) -> &C {
+        &self.classifier
+    }
+
+    /// Enqueue a node batch; blocks while the queue is full
+    /// (backpressure). The returned handle's [`ResponseHandle::wait`]
+    /// yields one [`Prediction`] per requested node in request order.
+    ///
+    /// Node ids are validated here, before queueing, so one bad request
+    /// can never fail the unrelated requests it would have been
+    /// coalesced with.
+    pub fn submit(&self, nodes: Vec<u32>) -> Result<ResponseHandle, ServeError> {
+        if nodes.is_empty() {
+            return Err(ServeError::BadRequest("empty node batch".into()));
+        }
+        let n = self.classifier.num_nodes() as u32;
+        if let Some(&bad) = nodes.iter().find(|&&v| v >= n) {
+            return Err(ServeError::BadRequest(format!(
+                "node {bad} out of range (graph has {n} vertices)"
+            )));
+        }
+        let slot = Arc::new(ResponseSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let handle = ResponseHandle {
+            slot: Arc::clone(&slot),
+        };
+        let mut st = self.shared.lock();
+        loop {
+            if st.stop || st.poisoned.is_some() {
+                return Err(self.shared.fail_error(&st));
+            }
+            if st.queue.len() < self.shared.cfg.queue_capacity {
+                break;
+            }
+            st = self
+                .shared
+                .can_submit
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+        st.queue.push_back(QueuedRequest { nodes, slot });
+        drop(st);
+        self.shared.can_work.notify_one();
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+        Ok(handle)
+    }
+
+    /// Convenience: submit + wait.
+    pub fn classify(&self, nodes: Vec<u32>) -> Result<Vec<Prediction>, ServeError> {
+        self.submit(nodes)?.wait()
+    }
+
+    /// Requests accepted so far.
+    pub fn requests(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// Forward batches executed so far (≤ requests when coalescing
+    /// merges concurrent requests).
+    pub fn batches(&self) -> u64 {
+        self.shared.batches.load(Ordering::Relaxed)
+    }
+
+    /// Query nodes classified so far.
+    pub fn nodes_classified(&self) -> u64 {
+        self.shared.nodes.load(Ordering::Relaxed)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl<C: BatchClassify> Drop for BatchEngine<C> {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.stop = true;
+        }
+        self.shared.can_work.notify_all();
+        self.shared.can_submit.notify_all();
+        for handle in self.workers.drain(..) {
+            // Worker panics were caught and parked in `poisoned`; an
+            // escaped one has nothing better to do on drop.
+            let _ = handle.join();
+        }
+        // Workers are gone: whatever is still queued can never be
+        // served. Fail it visibly rather than leaving waiters hanging.
+        let mut st = self.shared.lock();
+        let err = self.shared.fail_error(&st);
+        while let Some(req) = st.queue.pop_front() {
+            req.slot.fulfill(Err(err.clone()));
+        }
+    }
+}
+
+/// Worker loop: claim the queue head, coalesce up to the batch/wait
+/// bounds, classify outside the lock, fulfill each request.
+fn worker_loop<C: BatchClassify>(shared: &Shared, classifier: &C) {
+    let mut ws = ClassifyWorkspace::new();
+    let mut batch: Vec<QueuedRequest> = Vec::new();
+    loop {
+        // --- Claim + coalesce phase (under lock) ---
+        {
+            let mut st = shared.lock();
+            // Wait for the first request (or shutdown).
+            loop {
+                if st.stop || st.poisoned.is_some() {
+                    let err = shared.fail_error(&st);
+                    while let Some(req) = st.queue.pop_front() {
+                        req.slot.fulfill(Err(err.clone()));
+                    }
+                    return;
+                }
+                if !st.queue.is_empty() {
+                    break;
+                }
+                st = shared.can_work.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+            // Coalesce: absorb whole requests until the node budget or
+            // the wait window runs out. The head request is always
+            // taken, so an oversized request is served alone.
+            let started = Instant::now();
+            let mut nodes_taken = 0usize;
+            loop {
+                let mut head_blocked = false;
+                while let Some(head) = st.queue.front() {
+                    let would = nodes_taken + head.nodes.len();
+                    if nodes_taken > 0 && would > shared.cfg.max_batch {
+                        head_blocked = true;
+                        break;
+                    }
+                    nodes_taken = would;
+                    batch.push(st.queue.pop_front().expect("front checked"));
+                    if nodes_taken >= shared.cfg.max_batch {
+                        break;
+                    }
+                }
+                // Flush when the budget is reached — and also when the
+                // FIFO head no longer fits it: the batch can never grow
+                // past a blocked head, so waiting out the window would
+                // only delay both the batch and the head request.
+                if nodes_taken >= shared.cfg.max_batch
+                    || head_blocked
+                    || st.stop
+                    || st.poisoned.is_some()
+                {
+                    break;
+                }
+                let elapsed = started.elapsed();
+                if elapsed >= shared.cfg.max_wait {
+                    break;
+                }
+                // Park for the window's remainder; more requests may
+                // arrive and join this batch.
+                let (guard, timeout) = shared
+                    .can_work
+                    .wait_timeout(st, shared.cfg.max_wait - elapsed)
+                    .unwrap_or_else(|p| p.into_inner());
+                st = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            drop(st);
+            // Queue space freed: wake parked submitters (and possibly
+            // other workers if requests remain).
+            shared.can_submit.notify_all();
+            if !batch.is_empty() {
+                shared.can_work.notify_one();
+            }
+        }
+
+        // --- Classify phase (no lock held) ---
+        let flat: Vec<u32> = batch.iter().flat_map(|r| r.nodes.iter().copied()).collect();
+        let run = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<Prediction>, String> {
+            let mut preds = Vec::new();
+            classifier.classify_into(&flat, &mut ws, &mut preds)?;
+            // Enforce the BatchClassify contract *inside* the panic/
+            // error containment: a short list would otherwise panic in
+            // the split below, killing the worker without poisoning.
+            if preds.len() != flat.len() {
+                return Err(format!(
+                    "classifier returned {} predictions for {} nodes",
+                    preds.len(),
+                    flat.len()
+                ));
+            }
+            Ok(preds)
+        }));
+        match run {
+            Ok(Ok(mut preds)) => {
+                shared.batches.fetch_add(1, Ordering::Relaxed);
+                shared.nodes.fetch_add(flat.len() as u64, Ordering::Relaxed);
+                // Split the flat prediction list back per request
+                // (front to back, preserving request order).
+                for req in batch.drain(..) {
+                    let rest = preds.split_off(req.nodes.len());
+                    req.slot.fulfill(Ok(preds));
+                    preds = rest;
+                }
+            }
+            Ok(Err(msg)) => {
+                // Classifier-reported failure (ids are validated at
+                // submit, so this is a backstop for contract
+                // violations, not a neighbor-tenant hazard).
+                let err = ServeError::BadRequest(msg);
+                for req in batch.drain(..) {
+                    req.slot.fulfill(Err(err.clone()));
+                }
+            }
+            Err(payload) => {
+                let msg = panic_message(payload);
+                let err = ServeError::WorkerPanicked(msg.clone());
+                for req in batch.drain(..) {
+                    req.slot.fulfill(Err(err.clone()));
+                }
+                let mut st = shared.lock();
+                st.poisoned.get_or_insert(msg);
+                st.stop = true;
+                let sweep = shared.fail_error(&st);
+                while let Some(req) = st.queue.pop_front() {
+                    req.slot.fulfill(Err(sweep.clone()));
+                }
+                drop(st);
+                shared.can_work.notify_all();
+                shared.can_submit.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+/// Best-effort stringification of a panic payload (PR-4 idiom).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

@@ -1,0 +1,80 @@
+//! Batched inference serving for a trained graph-sampling GCN.
+//!
+//! The paper's core claim — subgraph-minibatch execution makes GCN
+//! *training* scale — applies unchanged at inference time: a batch of K
+//! query nodes runs forward on its K-rooted L-hop induced subgraph
+//! instead of the full graph, reading off exactly the full-graph outputs
+//! at the roots ([`gsgcn_graph::neighborhood`]). This crate packages
+//! that into a serving subsystem: one immutable model artifact
+//! (`Arc<GcnModel>` + graph + features) queried by many concurrent
+//! clients over arbitrary node batches.
+//!
+//! # Dataflow
+//!
+//! ```text
+//!  clients                 BatchEngine                      shared, immutable
+//!  ───────                 ───────────                      ─────────────────
+//!  submit(nodes) ──┐
+//!  submit(nodes) ──┼─▶ bounded request queue                Arc<NodeClassifier>
+//!  submit(nodes) ──┘   (capacity Q, submit parks            │ Arc<GcnModel>
+//!        ▲             when full = backpressure)            │ Arc<CsrGraph>
+//!        │                     │                            │ Arc<DMatrix> (features)
+//!        │                     ▼                            │
+//!        │             coalescing batcher ◀─────────────────┘
+//!        │             (≤ max_batch query nodes OR
+//!        │              max_wait elapsed, whichever first;
+//!        │              requests are never split)
+//!        │                     │ one claimed batch
+//!        │                     ▼
+//!        │             worker thread 1..N  (each owns a ClassifyWorkspace)
+//!        │               1. L-hop ball of the batch roots (L = model layers)
+//!        │               2. induced subgraph + feature row gather
+//!        │               3. fused forward on the subgraph (&self model,
+//!        │                  ping-pong InferenceWorkspace, zero allocs warm)
+//!        │               4. per-node probabilities + decided labels
+//!        │                     │
+//!        └───── ResponseHandle::wait ◀─ per-request fulfillment
+//!
+//!  shutdown: drop(engine) → stop flag → wake all → join workers;
+//!            queued-but-unserved requests fail with ShuttingDown.
+//!  panics:   a worker panic poisons the engine; its batch, the queue
+//!            and all future submits fail with WorkerPanicked(msg).
+//! ```
+//!
+//! [`tcp`] exposes the engine over a newline-delimited TCP protocol
+//! (`std::net` only), and the `gsgcn predict` / `gsgcn serve` CLI
+//! commands drive it over a checkpoint (see the binary's usage).
+//!
+//! # Example
+//!
+//! ```
+//! use gsgcn_data::presets;
+//! use gsgcn_nn::model::{GcnConfig, GcnModel, LossKind};
+//! use gsgcn_serve::{BatchEngine, EngineConfig, NodeClassifier};
+//! use std::sync::Arc;
+//!
+//! let d = presets::scale_spec(&presets::ppi_spec(), 400).generate(1);
+//! let model = GcnModel::new(GcnConfig {
+//!     in_dim: d.feature_dim(),
+//!     hidden_dims: vec![16, 16],
+//!     num_classes: d.num_classes(),
+//!     loss: LossKind::SigmoidBce,
+//!     ..GcnConfig::default()
+//! }, 7);
+//! let classifier = NodeClassifier::new(
+//!     Arc::new(model),
+//!     Arc::new(d.graph.clone()),
+//!     Arc::new(d.features.clone()),
+//! ).unwrap();
+//! let engine = BatchEngine::spawn(Arc::new(classifier), EngineConfig::default()).unwrap();
+//! let preds = engine.classify(vec![0, 5, 9]).unwrap();
+//! assert_eq!(preds.len(), 3);
+//! assert_eq!(preds[1].node, 5);
+//! ```
+
+pub mod classifier;
+pub mod engine;
+pub mod tcp;
+
+pub use classifier::{ClassifyWorkspace, NodeClassifier, Prediction};
+pub use engine::{BatchEngine, EngineConfig, ResponseHandle, ServeError};

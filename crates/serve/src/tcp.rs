@@ -1,0 +1,151 @@
+//! Newline-delimited TCP front-end for the [`BatchEngine`]
+//! (`std::net` only — the workspace has no async runtime dependency).
+//!
+//! # Protocol
+//!
+//! One request per line; ids separated by spaces and/or commas:
+//!
+//! ```text
+//! → 12 55 103\n
+//! ← ok 12:7:0.9312 55:3:0.5127 103:7:0.8809\n
+//! ```
+//!
+//! Each `node:labels:prob` triple reports the queried node, its decided
+//! labels (comma-separated; argmax for single-label models, the
+//! ≥ 0.5-probability classes — possibly `-` for none — for multi-label)
+//! and the highest class probability. Failures answer
+//! `err <message>\n` and keep the connection open; an empty line or
+//! `quit` closes it. Every connection gets its own handler thread;
+//! concurrency-driven batching happens *behind* the queue, in the
+//! engine's coalescing batcher.
+
+use crate::classifier::BatchClassify;
+use crate::engine::BatchEngine;
+use crate::Prediction;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Parse a request line into node ids.
+pub fn parse_request(line: &str) -> Result<Vec<u32>, String> {
+    let ids: Result<Vec<u32>, _> = line
+        .split([' ', ',', '\t'])
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse::<u32>().map_err(|_| format!("bad node id {t:?}")))
+        .collect();
+    let ids = ids?;
+    if ids.is_empty() {
+        return Err("empty request".into());
+    }
+    Ok(ids)
+}
+
+/// Format one prediction as the wire triple `node:labels:prob`.
+fn format_prediction(p: &Prediction) -> String {
+    format!("{}:{}:{:.4}", p.node, p.labels_display(), p.max_prob())
+}
+
+/// Serve one client connection until it quits or errors out.
+fn handle_connection<C: BatchClassify>(
+    engine: &BatchEngine<C>,
+    stream: TcpStream,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line == "quit" {
+            break;
+        }
+        let reply = match parse_request(line) {
+            Err(e) => format!("err {e}"),
+            // Bad ids are rejected by `submit` before queueing, so a
+            // typo cannot fail a whole coalesced batch.
+            Ok(nodes) => match engine.classify(nodes) {
+                Ok(preds) => {
+                    let body = preds
+                        .iter()
+                        .map(format_prediction)
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    format!("ok {body}")
+                }
+                Err(e) => format!("err {e}"),
+            },
+        };
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Accept-loop: every connection gets a handler thread that submits its
+/// requests to the shared engine. Returns when the listener errors, or
+/// runs forever otherwise (the CLI's `gsgcn serve` is terminated by the
+/// operator; tests connect over an ephemeral port and drop their side).
+pub fn run<C: BatchClassify>(
+    engine: Arc<BatchEngine<C>>,
+    listener: TcpListener,
+) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let engine = Arc::clone(&engine);
+        std::thread::Builder::new()
+            .name("gsgcn-serve-conn".into())
+            .spawn(move || {
+                if let Err(e) = handle_connection(&engine, stream) {
+                    eprintln!("connection error: {e}");
+                }
+            })
+            .expect("failed to spawn connection handler");
+    }
+    Ok(())
+}
+
+/// Convenience used by tests and the CLI: bind `addr`, report the bound
+/// address (ephemeral ports!), serve on a background thread.
+pub fn spawn<C: BatchClassify>(
+    engine: Arc<BatchEngine<C>>,
+    addr: &str,
+) -> std::io::Result<std::net::SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("gsgcn-serve-accept".into())
+        .spawn(move || {
+            if let Err(e) = run(engine, listener) {
+                eprintln!("serve accept loop failed: {e}");
+            }
+        })?;
+    Ok(local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_mixed_separators() {
+        assert_eq!(parse_request("1 2,3\t4").unwrap(), vec![1, 2, 3, 4]);
+        assert!(parse_request("1 x").is_err());
+        assert!(parse_request("   ").is_err());
+    }
+
+    #[test]
+    fn prediction_wire_format() {
+        let p = Prediction {
+            node: 9,
+            labels: vec![2, 5],
+            probs: vec![0.1, 0.2, 0.7],
+        };
+        assert_eq!(format_prediction(&p), "9:2,5:0.7000");
+        let none = Prediction {
+            node: 1,
+            labels: vec![],
+            probs: vec![0.3],
+        };
+        assert_eq!(format_prediction(&none), "1:-:0.3000");
+    }
+}

@@ -174,6 +174,9 @@ struct BenchRecord {
     median_secs: f64,
     mean_secs: f64,
     min_secs: f64,
+    /// Tail latency, only for distribution records
+    /// ([`record_latency_distribution`]).
+    p99_secs: Option<f64>,
     throughput_per_sec: Option<f64>,
     tags: Vec<(String, String)>,
 }
@@ -206,6 +209,56 @@ where
         .into_iter()
         .map(|(k, v)| (k.into(), v.into()))
         .collect();
+}
+
+/// Record a pre-measured per-operation latency distribution under the
+/// standard reporting/JSON pipeline (shim extension, like
+/// [`set_json_tags`]). `Bencher::iter` amortises an inner batch per
+/// sample, which is right for micro-kernels but hides tail latency;
+/// serving benches measure every request themselves and need p50/p99 of
+/// that raw distribution. Prints one line and records `median`
+/// (= p50) / `mean` / `min` plus `p99_secs`, with an optional
+/// throughput annotation (e.g. node classifications per second).
+pub fn record_latency_distribution(
+    name: &str,
+    latencies_secs: &[f64],
+    throughput_per_sec: Option<f64>,
+) {
+    assert!(
+        !latencies_secs.is_empty(),
+        "latency distribution must not be empty"
+    );
+    let mut sorted = latencies_secs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    // Nearest-rank p99, clamped into range for short distributions.
+    let p99_idx = (sorted.len() * 99)
+        .div_ceil(100)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    let p99 = sorted[p99_idx];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let thr = match throughput_per_sec {
+        Some(t) => format!("  ({} /s)", si(t)),
+        None => String::new(),
+    };
+    println!(
+        "{name}  p50 {}  p99 {}  mean {}  min {}{thr}",
+        fmt_secs(median),
+        fmt_secs(p99),
+        fmt_secs(mean),
+        fmt_secs(min)
+    );
+    records().lock().unwrap().push(BenchRecord {
+        name: name.to_string(),
+        median_secs: median,
+        mean_secs: mean,
+        min_secs: min,
+        p99_secs: Some(p99),
+        throughput_per_sec,
+        tags: json_tags().lock().unwrap().clone(),
+    });
 }
 
 /// If `GSGCN_BENCH_JSON` names a file, write all recorded results there
@@ -248,9 +301,13 @@ pub fn write_json_if_requested() {
     let lines: Vec<String> = recs
         .iter()
         .map(|r| {
-            let thr = match r.throughput_per_sec {
-                Some(t) => format!(", \"throughput_per_sec\": {t:.3}"),
-                None => String::new(),
+            let thr = match (r.p99_secs, r.throughput_per_sec) {
+                (Some(p), Some(t)) => {
+                    format!(", \"p99_secs\": {p:.9}, \"throughput_per_sec\": {t:.3}")
+                }
+                (Some(p), None) => format!(", \"p99_secs\": {p:.9}"),
+                (None, Some(t)) => format!(", \"throughput_per_sec\": {t:.3}"),
+                (None, None) => String::new(),
             };
             let tags: String = r
                 .tags
@@ -317,6 +374,7 @@ fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
         median_secs: median,
         mean_secs: mean,
         min_secs: min,
+        p99_secs: None,
         throughput_per_sec: per_sec,
         tags: json_tags().lock().unwrap().clone(),
     });

@@ -6,15 +6,21 @@
 //!             [--frontier 100] [--lr 0.02] [--threads 0]
 //!             [--sampler-threads auto] [--patience N] [--seed 42]
 //!             [--save model.gcn]
-//! gsgcn eval  --load model.gcn [--dataset ppi] [--hidden 128,128] [--seed 42]
+//! gsgcn eval    --load model.gcn [--dataset ppi] [--hidden 128,128] [--seed 42]
+//! gsgcn predict --load model.gcn --nodes 3,17,204
+//! gsgcn serve   --load model.gcn [--addr 127.0.0.1:7878] [--workers 1]
 //! gsgcn kernel [--probe avx512]
 //! ```
 //!
-//! `eval` defaults the dataset, seed, scale and hidden dims to the values
-//! stored in the checkpoint (v2 provenance), so a bare `--load` always
-//! scores against the dataset the model was trained on. `kernel` reports
-//! the GEMM microkernel tier dispatch; `--probe T` exits non-zero when the
-//! CPU lacks tier `T` (used by CI to skip unsupported tiers visibly).
+//! `eval`, `predict` and `serve` default the dataset, seed, scale and
+//! hidden dims to the values stored in the checkpoint (v2 provenance), so
+//! a bare `--load` always runs against the dataset the model was trained
+//! on. `predict` answers a one-shot node batch through the batched
+//! inference engine (L-hop subgraph forward, not a full-graph pass);
+//! `serve` keeps the engine running behind a newline-delimited TCP
+//! protocol (see `gsgcn_serve::tcp`). `kernel` reports the GEMM
+//! microkernel tier dispatch; `--probe T` exits non-zero when the CPU
+//! lacks tier `T` (used by CI to skip unsupported tiers visibly).
 //!
 //! Argument parsing is hand-rolled (the workspace has no CLI dependency);
 //! unknown flags are reported with usage help.
@@ -40,6 +46,13 @@ const USAGE: &str = "usage:
               [--full|--scaled]
               (dataset/seed/scale/hidden default to the checkpoint's training
                values; an explicit flag overrides with a warning)
+  gsgcn predict --load PATH --nodes N,N,.. [--probs] [dataset overrides as
+              for eval] — classify a node batch on its L-hop subgraph
+              through the batch engine; --probs prints full class rows
+  gsgcn serve --load PATH [--addr HOST:PORT] [--workers N] [--max-batch N]
+              [--max-wait-us N] [--queue N] [dataset overrides as for eval]
+              — newline-delimited TCP: send `3 17 204\\n`, receive
+              `ok 3:<labels>:<p> ..\\n` per request (`quit` to close)
   gsgcn kernel [--probe <scalar|avx2|avx512>]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -51,7 +64,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument {a:?}"));
         }
         let key = a.trim_start_matches("--").to_string();
-        if key == "full" || key == "scaled" {
+        if key == "full" || key == "scaled" || key == "probs" {
             flags.insert(key, "1".to_string());
             i += 1;
         } else {
@@ -324,6 +337,115 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Shared by `predict`/`serve`: load a checkpoint, regenerate its
+/// training dataset (provenance-defaulted, as in `eval`) and assemble
+/// the serving classifier around the restored model.
+fn build_classifier(
+    flags: &HashMap<String, String>,
+) -> Result<gsgcn::serve::NodeClassifier, String> {
+    use gsgcn::nn::model::{GcnConfig, GcnModel, LossKind};
+    use std::sync::Arc;
+
+    let path = flags.get("load").ok_or("missing --load")?;
+    let weights = ModelWeights::load(path).map_err(|e| format!("loading {path:?}: {e}"))?;
+    let mut flags = flags.clone();
+    if let Some(meta) = &weights.meta {
+        apply_checkpoint_meta(&mut flags, meta);
+    }
+    let dataset = load_dataset(&flags)?;
+    let loss = match dataset.task {
+        gsgcn::data::TaskKind::MultiLabel => LossKind::SigmoidBce,
+        gsgcn::data::TaskKind::SingleLabel => LossKind::SoftmaxCe,
+    };
+    let cfg = GcnConfig {
+        in_dim: dataset.feature_dim(),
+        hidden_dims: parse_hidden(&flags)?,
+        num_classes: dataset.num_classes(),
+        loss,
+        ..GcnConfig::default()
+    };
+    cfg.validate()?;
+    let mut model = GcnModel::new(cfg, 1);
+    model.import_weights(&weights)?;
+    println!(
+        "loaded {} parameters from {path} — serving {} (|V|={}, {} classes, {}-hop queries)",
+        weights.num_params(),
+        dataset.name,
+        dataset.graph.num_vertices(),
+        dataset.num_classes(),
+        model.num_layers(),
+    );
+    gsgcn::serve::NodeClassifier::new(
+        Arc::new(model),
+        Arc::new(dataset.graph),
+        Arc::new(dataset.features),
+    )
+}
+
+fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
+    use gsgcn::serve::{BatchEngine, EngineConfig};
+    use std::sync::Arc;
+
+    // Same id syntax as one TCP request line (commas and/or spaces).
+    let nodes = gsgcn::serve::tcp::parse_request(flags.get("nodes").ok_or("missing --nodes")?)
+        .map_err(|e| format!("--nodes: {e}"))?;
+    let classifier = Arc::new(build_classifier(flags)?);
+    let want_probs = flags.contains_key("probs");
+    // One-shot batch through the engine — the same path `serve` runs.
+    let engine =
+        BatchEngine::spawn(classifier, EngineConfig::default()).map_err(|e| e.to_string())?;
+    let preds = engine.classify(nodes).map_err(|e| e.to_string())?;
+    for p in &preds {
+        print!(
+            "node {:>8}  label(s) {:<12} p_max {:.4}",
+            p.node,
+            p.labels_display(),
+            p.max_prob()
+        );
+        if want_probs {
+            let row = p
+                .probs
+                .iter()
+                .map(|x| format!("{x:.4}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            print!("  probs [{row}]");
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use gsgcn::serve::{tcp, BatchEngine, EngineConfig};
+    use std::sync::Arc;
+
+    let classifier = Arc::new(build_classifier(flags)?);
+    let cfg = EngineConfig {
+        workers: get(flags, "workers", 1usize)?,
+        max_batch: get(flags, "max-batch", 64usize)?,
+        max_wait: std::time::Duration::from_micros(get(flags, "max-wait-us", 200u64)?),
+        queue_capacity: get(flags, "queue", 1024usize)?,
+    };
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let engine = Arc::new(BatchEngine::spawn(classifier, cfg)?);
+    let listener =
+        std::net::TcpListener::bind(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "serving on {local} — {} worker{}, max batch {} nodes, max wait {}µs \
+         (newline-delimited ids; `quit` closes a connection)",
+        cfg.workers,
+        plural(cfg.workers),
+        cfg.max_batch,
+        cfg.max_wait.as_micros(),
+    );
+    tcp::run(engine, listener).map_err(|e| format!("accept loop failed: {e}"))
+}
+
 /// Exit code for `kernel --probe` on a valid tier the CPU cannot run.
 /// Distinct from 1 (usage/parse/runtime errors) so CI can tell "skip this
 /// tier" apart from "the probe itself is broken" (which must fail the job).
@@ -365,14 +487,13 @@ fn main() -> ExitCode {
             Ok(code) => return code,
             Err(e) => Err(e),
         },
-        "train" | "eval" => match parse_flags(&args[1..]) {
-            Ok(flags) => {
-                if cmd == "train" {
-                    cmd_train(&flags)
-                } else {
-                    cmd_eval(&flags)
-                }
-            }
+        "train" | "eval" | "predict" | "serve" => match parse_flags(&args[1..]) {
+            Ok(flags) => match cmd.as_str() {
+                "train" => cmd_train(&flags),
+                "eval" => cmd_eval(&flags),
+                "predict" => cmd_predict(&flags),
+                _ => cmd_serve(&flags),
+            },
             Err(e) => Err(e),
         },
         other => Err(format!("unknown command {other:?}")),

@@ -18,6 +18,7 @@
 //! | [`metrics`] | F1 metrics + phase timing |
 //! | [`core`] | the graph-sampling GCN trainer (Alg. 1 + 5) |
 //! | [`baselines`] | GraphSAGE-style, full-batch and FastGCN-style trainers |
+//! | [`serve`] | batched inference engine: L-hop query batches over a trained checkpoint |
 //!
 //! ## Quickstart
 //!
@@ -40,4 +41,5 @@ pub use gsgcn_metrics as metrics;
 pub use gsgcn_nn as nn;
 pub use gsgcn_prop as prop;
 pub use gsgcn_sampler as sampler;
+pub use gsgcn_serve as serve;
 pub use gsgcn_tensor as tensor;
