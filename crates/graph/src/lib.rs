@@ -48,5 +48,7 @@ pub mod subgraph;
 pub use bitset::BitSet;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
-pub use neighborhood::{l_hop_ball, l_hop_subgraph, NeighborhoodBatch};
+pub use neighborhood::{
+    l_hop_ball, l_hop_subgraph, one_hop_frontier, FrontierBall, NeighborhoodBatch,
+};
 pub use subgraph::{induced_subgraph, InducedSubgraph};

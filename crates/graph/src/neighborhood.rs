@@ -83,6 +83,85 @@ impl NeighborhoodBatch {
     }
 }
 
+/// The closed 1-hop ball of a root set, laid out for the serving-side
+/// **final hop**: unique roots occupy local rows `0..num_roots` (in
+/// first-appearance order), frontier-only vertices follow, and the ball
+/// graph keeps adjacency *only on the root rows* (frontier rows are
+/// isolated — their aggregates are never consumed).
+///
+/// This is the activation-cache counterpart of
+/// [`NeighborhoodBatch::layer_graphs`]: when the inputs to the last GCN
+/// layer (`acts^{L-1}`) are already known at every ball vertex — from a
+/// cache, or from a cone-pruned forward, where they are full-graph-exact
+/// at all rows within distance 1 of the roots — the last layer plus the
+/// classifier head only need this structure, not the L-hop cone. Root
+/// rows keep their full neighbor lists (and hence full degrees, the
+/// `D⁻¹` exactness condition), so the fused last layer over
+/// [`FrontierBall::graph`] is bit-identical at the root rows to the same
+/// layer run over any larger exact graph.
+#[derive(Clone, Debug)]
+pub struct FrontierBall {
+    /// Input-graph id of each local row; the first
+    /// [`FrontierBall::num_roots`] entries are the unique roots.
+    pub origin: Vec<u32>,
+    /// Ball graph over `origin.len()` vertices: full (relabelled)
+    /// neighbor lists on root rows, isolated frontier rows.
+    pub graph: CsrGraph,
+    /// Number of unique roots (= the prefix of `origin` they occupy).
+    pub num_roots: usize,
+    /// Local id of each *requested* root, aligned with the `roots`
+    /// argument (duplicates map to the same local id; all `< num_roots`).
+    pub root_locals: Vec<u32>,
+}
+
+/// Extract the [`FrontierBall`] of `roots` in `g`.
+///
+/// # Panics
+/// Panics if any root id is out of range for `g`.
+pub fn one_hop_frontier(g: &CsrGraph, roots: &[u32]) -> FrontierBall {
+    let n = g.num_vertices();
+    let mut local_of: std::collections::HashMap<u32, u32> =
+        std::collections::HashMap::with_capacity(roots.len() * 4);
+    let mut origin: Vec<u32> = Vec::with_capacity(roots.len());
+    let mut root_locals = Vec::with_capacity(roots.len());
+    for &r in roots {
+        assert!(
+            (r as usize) < n,
+            "root vertex {r} out of range for a {n}-vertex graph"
+        );
+        let next = origin.len() as u32;
+        let id = *local_of.entry(r).or_insert(next);
+        if id == next {
+            origin.push(r);
+        }
+        root_locals.push(id);
+    }
+    let num_roots = origin.len();
+    let mut offsets = Vec::with_capacity(num_roots + 1);
+    offsets.push(0usize);
+    let mut adj = Vec::new();
+    for k in 0..num_roots {
+        let orig = origin[k];
+        for &u in g.neighbors(orig) {
+            let next = origin.len() as u32;
+            let id = *local_of.entry(u).or_insert(next);
+            if id == next {
+                origin.push(u);
+            }
+            adj.push(id);
+        }
+        offsets.push(adj.len());
+    }
+    // Frontier rows are isolated: empty adjacency, same offset.
+    offsets.resize(origin.len() + 1, adj.len());
+    FrontierBall {
+        graph: CsrGraph::from_raw(offsets, adj),
+        num_roots,
+        root_locals,
+        origin,
+    }
+}
+
 /// Multi-source BFS distances from `roots` over `g` (`u32::MAX` is
 /// unreachable — cannot occur for ball-extracted subgraphs).
 fn bfs_distances(g: &CsrGraph, roots: &[u32]) -> Vec<u32> {
@@ -307,6 +386,55 @@ mod tests {
         // condition).
         let root_local = batch.root_locals[0];
         assert_eq!(l1.degree(root_local), g.degree(2));
+    }
+
+    #[test]
+    fn frontier_ball_roots_first_with_full_root_adjacency() {
+        let g = path_graph();
+        // Duplicated + unsorted roots: 3 appears twice, maps once.
+        let fb = one_hop_frontier(&g, &[3, 1, 3]);
+        assert_eq!(fb.num_roots, 2);
+        assert_eq!(&fb.origin[..2], &[3, 1]);
+        assert_eq!(fb.root_locals, vec![0, 1, 0]);
+        // Ball = {3,1} ∪ N(3) ∪ N(1) = {0,1,2,3,4}.
+        let mut all = fb.origin.clone();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        // Root rows keep full degree; frontier rows are isolated.
+        for k in 0..fb.num_roots as u32 {
+            assert_eq!(fb.graph.degree(k), g.degree(fb.origin[k as usize]));
+        }
+        for k in fb.num_roots as u32..fb.origin.len() as u32 {
+            assert_eq!(fb.graph.degree(k), 0, "frontier row {k} not isolated");
+        }
+        // Adjacency maps back to the original neighbor lists, in order.
+        for k in 0..fb.num_roots as u32 {
+            let mapped: Vec<u32> = fb
+                .graph
+                .neighbors(k)
+                .iter()
+                .map(|&l| fb.origin[l as usize])
+                .collect();
+            assert_eq!(mapped, g.neighbors(fb.origin[k as usize]));
+        }
+    }
+
+    #[test]
+    fn frontier_ball_of_whole_vertex_set_is_the_graph() {
+        let g = path_graph();
+        let all: Vec<u32> = (0..7).collect();
+        let fb = one_hop_frontier(&g, &all);
+        assert_eq!(fb.num_roots, 7);
+        assert_eq!(fb.origin, all);
+        assert_eq!(fb.root_locals, all);
+        assert_eq!(fb.graph, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn frontier_ball_rejects_out_of_range_roots() {
+        let g = path_graph();
+        one_hop_frontier(&g, &[0, 99]);
     }
 
     #[test]

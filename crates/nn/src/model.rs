@@ -321,6 +321,25 @@ impl GcnModel {
         ws: &mut InferenceWorkspace,
         out: &mut DMatrix,
     ) {
+        let last = self.run_gcn_layers(graph_for, self.layers.len(), x, ws);
+        self.head.forward_into(last, out);
+    }
+
+    /// Run the first `count` GCN layers (layer `i` on `graph_for(i)`)
+    /// and return the final activation, which lives in one of the
+    /// workspace's ping-pong buffers.
+    fn run_gcn_layers<'g, 'w>(
+        &self,
+        graph_for: &mut dyn FnMut(usize) -> &'g CsrGraph,
+        count: usize,
+        x: &DMatrix,
+        ws: &'w mut InferenceWorkspace,
+    ) -> &'w DMatrix {
+        assert!(
+            (1..=self.layers.len()).contains(&count),
+            "layer count {count} outside 1..={}",
+            self.layers.len()
+        );
         assert_eq!(
             x.rows(),
             graph_for(0).num_vertices(),
@@ -331,7 +350,7 @@ impl GcnModel {
         // between the two workspace buffers (layer i reads one, writes
         // the other), so depth costs no extra buffers.
         let mut src_is_ping = false;
-        for (i, layer) in self.layers.iter().enumerate() {
+        for (i, layer) in self.layers.iter().take(count).enumerate() {
             let (src, dst): (&DMatrix, &mut DMatrix) = if i == 0 {
                 (x, &mut *ping)
             } else if src_is_ping {
@@ -344,8 +363,69 @@ impl GcnModel {
             layer.infer_into(g, src, dst, agg, &self.prop);
             src_is_ping = i % 2 == 0;
         }
-        let last: &DMatrix = if src_is_ping { ping } else { pong };
-        self.head.forward_into(last, out);
+        if src_is_ping {
+            ping
+        } else {
+            pong
+        }
+    }
+
+    /// Run the first `layer_graphs.len()` GCN layers of a cone-pruned
+    /// forward and return the resulting activation — the serving-side
+    /// entry point that harvests `acts^{L-1}` (the last GCN layer's
+    /// *input*) for the activation cache. With the cone pruning of
+    /// [`GcnModel::infer_logits_pruned_into`], the returned rows are
+    /// full-graph-exact at every vertex within distance
+    /// `L - layer_graphs.len()` of the batch roots.
+    ///
+    /// Pass fewer graphs than layers to stop early (e.g. `L-1` graphs
+    /// for the final-hop split); panics if `layer_graphs` is empty or
+    /// longer than the layer stack.
+    pub fn infer_hidden_pruned_into<'w>(
+        &self,
+        layer_graphs: &[CsrGraph],
+        x: &DMatrix,
+        ws: &'w mut InferenceWorkspace,
+    ) -> &'w DMatrix {
+        self.run_gcn_layers(&mut |i| &layer_graphs[i], layer_graphs.len(), x, ws)
+    }
+
+    /// The serving **final hop**: one fused last-GCN-layer pass over a
+    /// frontier-ball graph plus a root-row-limited classifier head and
+    /// the output activation.
+    ///
+    /// `hidden` holds `acts^{L-1}` for every vertex of `g`
+    /// (`gsgcn_graph::neighborhood::FrontierBall` layout: the roots are
+    /// rows `0..num_roots`, frontier rows follow and are isolated in
+    /// `g`). Writes `num_roots` probability rows into `out`. Because the
+    /// fused layer and the packed GEMM accumulate each row
+    /// independently, the root rows are bit-identical to a full forward
+    /// whenever `hidden`'s rows are.
+    pub fn infer_probs_final_hop_into(
+        &self,
+        g: &CsrGraph,
+        hidden: &DMatrix,
+        num_roots: usize,
+        ws: &mut InferenceWorkspace,
+        out: &mut DMatrix,
+    ) {
+        assert_eq!(hidden.rows(), g.num_vertices(), "hidden/vertex mismatch");
+        assert!(num_roots <= hidden.rows(), "more roots than ball rows");
+        let last = self.layers.last().expect("validated: ≥ 1 layer");
+        let InferenceWorkspace { ping, pong: _, agg } = ws;
+        last.infer_into(g, hidden, ping, agg, &self.prop);
+        self.head.forward_range_into(ping, 0, num_roots, out);
+        self.apply_output_activation(out);
+    }
+
+    /// Input width of the last GCN layer (= `acts^{L-1}` row width): the
+    /// row size an activation cache stores. Equals `in_dim` for a
+    /// single-layer model.
+    pub fn hidden_width(&self) -> usize {
+        match self.layers.len() {
+            1 => self.cfg.in_dim,
+            l => self.cfg.hidden_dims[l - 2],
+        }
     }
 
     /// In-place inference with the task's output activation applied
@@ -597,6 +677,42 @@ mod tests {
                 probs2.data(),
                 "depth {depth}: warm call diverged"
             );
+        }
+    }
+
+    /// Splitting the forward as "first L-1 layers, then the final hop
+    /// over a frontier ball" must reproduce the monolithic forward
+    /// bit-for-bit at the root rows — the property the serving
+    /// activation cache rests on.
+    #[test]
+    fn final_hop_split_matches_monolithic_forward() {
+        let (g, x, _) = two_cluster_graph();
+        for depth in 2..=3 {
+            let mut cfg = small_cfg(LossKind::SoftmaxCe);
+            cfg.hidden_dims = vec![8; depth];
+            let m = GcnModel::new(cfg, 31 + depth as u64);
+            let reference = m.infer_probs(&g, &x);
+            let mut ws = InferenceWorkspace::new();
+            // Full-graph hidden state (every row exact).
+            let graphs = vec![g.clone(); depth - 1];
+            let mut hidden_all = DMatrix::zeros(0, 0);
+            hidden_all.copy_from(m.infer_hidden_pruned_into(&graphs, &x, &mut ws));
+            assert_eq!(hidden_all.cols(), m.hidden_width());
+            for roots in [vec![0u32], vec![5, 2, 5], (0..8).collect::<Vec<u32>>()] {
+                let fb = gsgcn_graph::one_hop_frontier(&g, &roots);
+                let mut hidden = DMatrix::zeros(0, 0);
+                hidden_all.gather_rows_into(&fb.origin, &mut hidden);
+                let mut probs = DMatrix::zeros(0, 0);
+                m.infer_probs_final_hop_into(&fb.graph, &hidden, fb.num_roots, &mut ws, &mut probs);
+                assert_eq!(probs.rows(), fb.num_roots);
+                for (&req, &local) in roots.iter().zip(&fb.root_locals) {
+                    assert_eq!(
+                        probs.row(local as usize),
+                        reference.row(req as usize),
+                        "depth {depth}: root {req} diverged on the final hop"
+                    );
+                }
+            }
         }
     }
 

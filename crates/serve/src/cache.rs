@@ -1,0 +1,489 @@
+//! Sharded hidden-layer activation cache — the serving-side realisation
+//! of the paper's observation that GCN inference cost is dominated by
+//! redundant neighborhood recomputation.
+//!
+//! A depth-L query's last GCN layer consumes `acts^{L-1}` only at the
+//! closed 1-hop ball of the roots, and the cone-pruned batched forward
+//! (`NeighborhoodBatch::layer_graphs`) makes exactly those rows
+//! full-graph-exact (distance ≤ 1 ⇒ exact after L-1 layers). So every
+//! cold batch computes — for free — cacheable hidden rows keyed by
+//! `(node, model_version)`, and a later query whose whole ball is
+//! resident skips the L-hop cone entirely: gather the rows, run one
+//! fused layer + the root-limited head ([`crate::classifier`]'s "final
+//! hop"). Cold or partially-cold balls fall back to the exact pruned
+//! path, so cached and uncached answers agree at the roots by
+//! construction.
+//!
+//! Design: N independently locked shards (node id → shard by
+//! multiplicative hash) each running **CLOCK** (second-chance) eviction
+//! under a per-shard byte budget. CLOCK gives LRU-like behavior with an
+//! O(1) hit path — a hit flips a `referenced` bit instead of splicing a
+//! recency list, which matters because every serving worker probes the
+//! cache concurrently. Version bumps ([`ActivationCache::bump_version`])
+//! invalidate lazily: stale entries are treated as misses and reclaimed
+//! by the eviction hand, so invalidation is O(1), not O(entries).
+//!
+//! Budget policy follows the `GSGCN_KERNEL` env-override pattern: the
+//! `GSGCN_ACTIVATION_CACHE` variable (`"64MiB"`, `"0"` to disable)
+//! supplies a default, and the `gsgcn serve --cache-bytes` flag
+//! overrides it (see the CLI).
+
+use gsgcn_tensor::DMatrix;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Per-entry bookkeeping overhead charged against the byte budget
+/// (map entry + queue slot + flags; an estimate, deliberately coarse).
+const ENTRY_OVERHEAD: usize = 48;
+
+/// Counters exported by [`ActivationCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Row probes that found a current-version entry.
+    pub hits: u64,
+    /// Row probes that missed (absent or stale version).
+    pub misses: u64,
+    /// Rows inserted (including overwrites).
+    pub insertions: u64,
+    /// Rows evicted by the CLOCK hand to make room.
+    pub evictions: u64,
+    /// Bytes currently resident (data + bookkeeping estimate).
+    pub resident_bytes: usize,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all row probes so far (0 when never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    version: u64,
+    referenced: bool,
+    data: Box<[f32]>,
+}
+
+impl Entry {
+    fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>() + ENTRY_OVERHEAD
+    }
+}
+
+/// One lock's worth of cache: a node→entry map plus the CLOCK ring.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u32, Entry>,
+    /// CLOCK ring of candidate keys, oldest at the front. May contain
+    /// keys already removed from `map` (skipped when popped); a key is
+    /// enqueued exactly once per map residency, so the ring length is
+    /// bounded by insertions-minus-evictions.
+    ring: VecDeque<u32>,
+    bytes: usize,
+}
+
+impl Shard {
+    /// Evict second-chance victims until `need` bytes fit under
+    /// `budget`. Returns the number of entries evicted.
+    fn make_room(&mut self, need: usize, budget: usize) -> u64 {
+        let mut evicted = 0;
+        while self.bytes + need > budget {
+            let Some(key) = self.ring.pop_front() else {
+                break; // nothing left to evict
+            };
+            match self.map.get_mut(&key) {
+                None => {} // removed earlier; stale ring slot
+                Some(e) if e.referenced => {
+                    e.referenced = false;
+                    self.ring.push_back(key);
+                }
+                Some(_) => {
+                    let e = self.map.remove(&key).expect("entry checked");
+                    self.bytes -= e.bytes();
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
+    }
+}
+
+/// Concurrent `(node, model_version)` → `acts^{L-1}` row cache. See the
+/// module docs for the exactness argument and the eviction policy.
+pub struct ActivationCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard slice of the global byte budget.
+    shard_budget: usize,
+    /// Current model version; entries with an older stamp are stale.
+    version: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ActivationCache {
+    /// Default shard count: enough to keep worker threads from
+    /// serialising on one lock, small enough that a tiny budget still
+    /// leaves room per shard.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// A cache bounded by `budget_bytes` across [`Self::DEFAULT_SHARDS`]
+    /// shards.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self::with_shards(budget_bytes, Self::DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (≥ 1; tests use 1 to make
+    /// eviction order deterministic).
+    pub fn with_shards(budget_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ActivationCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: budget_bytes / shards,
+            version: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Total byte budget (sum of the per-shard slices).
+    pub fn budget_bytes(&self) -> usize {
+        self.shard_budget * self.shards.len()
+    }
+
+    /// Current model version stamp.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Invalidate every resident entry in O(1): entries stamped with an
+    /// older version read as misses and are reclaimed lazily by the
+    /// eviction hand. Call after swapping model weights.
+    pub fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn shard_of(&self, node: u32) -> &Mutex<Shard> {
+        // Fibonacci hash: consecutive node ids spread across shards.
+        let h = (node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 32) as usize % self.shards.len()]
+    }
+
+    fn lock(&self, node: u32) -> std::sync::MutexGuard<'_, Shard> {
+        self.shard_of(node)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// All-or-nothing batch probe: if **every** node has a
+    /// current-version row of width `width`, copy them into `out`
+    /// (reshaped to `nodes.len() × width`, rows aligned with `nodes`)
+    /// and return `true`. On the first miss, returns `false` — `out`
+    /// may then hold partially written rows. Serving probes the whole
+    /// frontier ball: a partial hit cannot skip the cone extraction, so
+    /// there is no partial-result API to misuse.
+    pub fn try_gather(&self, nodes: &[u32], width: usize, out: &mut DMatrix) -> bool {
+        let version = self.version();
+        out.ensure_shape(nodes.len(), width);
+        for (i, &node) in nodes.iter().enumerate() {
+            let mut shard = self.lock(node);
+            match shard.map.get_mut(&node) {
+                Some(e) if e.version == version && e.data.len() == width => {
+                    e.referenced = true;
+                    out.row_mut(i).copy_from_slice(&e.data);
+                }
+                _ => {
+                    drop(shard);
+                    self.hits.fetch_add(i as u64, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+        self.hits.fetch_add(nodes.len() as u64, Ordering::Relaxed);
+        true
+    }
+
+    /// Insert (or refresh) one row per node, `rows` aligned with
+    /// `nodes`. Rows wider than a whole shard's budget are skipped
+    /// rather than evicting the entire shard for an entry that could
+    /// never have company.
+    pub fn insert_rows(&self, nodes: &[u32], rows: &DMatrix) {
+        assert_eq!(nodes.len(), rows.rows(), "node/row count mismatch");
+        let version = self.version();
+        let row_bytes = rows.cols() * std::mem::size_of::<f32>() + ENTRY_OVERHEAD;
+        if row_bytes > self.shard_budget {
+            return;
+        }
+        let mut inserted = 0u64;
+        let mut evicted = 0u64;
+        for (i, &node) in nodes.iter().enumerate() {
+            let row = rows.row(i);
+            let mut guard = self.lock(node);
+            let shard = &mut *guard;
+            if let Some(e) = shard.map.get_mut(&node) {
+                // Refresh in place (version bump or re-computation);
+                // the key keeps its ring slot.
+                if e.data.len() == row.len() {
+                    e.data.copy_from_slice(row);
+                } else {
+                    shard.bytes -= e.bytes();
+                    e.data = row.into();
+                    shard.bytes += e.bytes();
+                }
+                e.version = version;
+                e.referenced = true;
+                inserted += 1;
+                continue;
+            }
+            evicted += shard.make_room(row_bytes, self.shard_budget);
+            if shard.bytes + row_bytes > self.shard_budget {
+                continue; // budget too small even after a full sweep
+            }
+            shard.map.insert(
+                node,
+                Entry {
+                    version,
+                    // New entries start unreferenced — only a *hit*
+                    // earns the second chance, else a full hand sweep
+                    // degenerates to FIFO and evicts hot rows.
+                    referenced: false,
+                    data: row.into(),
+                },
+            );
+            shard.ring.push_back(node);
+            shard.bytes += row_bytes;
+            inserted += 1;
+        }
+        self.insertions.fetch_add(inserted, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot (relaxed; for benches, tests and dashboards).
+    pub fn stats(&self) -> CacheStats {
+        let mut resident_bytes = 0;
+        let mut entries = 0;
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            resident_bytes += shard.bytes;
+            entries += shard.map.len();
+        }
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes,
+            entries,
+        }
+    }
+}
+
+impl std::fmt::Debug for ActivationCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActivationCache")
+            .field("budget_bytes", &self.budget_bytes())
+            .field("shards", &self.shards.len())
+            .field("version", &self.version())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Parse a human byte-size string: a plain byte count (`"1048576"`) or a
+/// binary/decimal suffix (`KiB`/`MiB`/`GiB` = 2^10/20/30,
+/// `KB`/`MB`/`GB` = 10^3/6/9, bare `K`/`M`/`G` = binary), case-insensitive,
+/// optional whitespace before the suffix. `"0"` means *disabled*.
+pub fn parse_cache_budget(s: &str) -> Result<usize, String> {
+    let s = s.trim();
+    let split = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    let (num, suffix) = s.split_at(split);
+    let num: usize = num
+        .parse()
+        .map_err(|_| format!("bad cache size {s:?}: expected <number>[KiB|MiB|GiB|KB|MB|GB]"))?;
+    let mult: usize = match suffix.trim().to_ascii_lowercase().as_str() {
+        "" | "b" => 1,
+        "k" | "kib" => 1 << 10,
+        "m" | "mib" => 1 << 20,
+        "g" | "gib" => 1 << 30,
+        "kb" => 1_000,
+        "mb" => 1_000_000,
+        "gb" => 1_000_000_000,
+        other => return Err(format!("bad cache size suffix {other:?} in {s:?}")),
+    };
+    num.checked_mul(mult)
+        .ok_or_else(|| format!("cache size {s:?} overflows"))
+}
+
+/// The `GSGCN_ACTIVATION_CACHE` env default (the `GSGCN_KERNEL`
+/// pattern): unset or `"0"` → `None` (disabled); a parse failure warns
+/// loudly on stderr and disables rather than silently serving uncached.
+pub fn budget_from_env() -> Option<usize> {
+    let raw = std::env::var("GSGCN_ACTIVATION_CACHE").ok()?;
+    match parse_cache_budget(&raw) {
+        Ok(0) => None,
+        Ok(bytes) => Some(bytes),
+        Err(e) => {
+            eprintln!("warning: ignoring GSGCN_ACTIVATION_CACHE: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row_matrix(values: &[(u32, f32)], width: usize) -> (Vec<u32>, DMatrix) {
+        let nodes: Vec<u32> = values.iter().map(|&(n, _)| n).collect();
+        let m = DMatrix::from_fn(values.len(), width, |i, j| values[i].1 + j as f32);
+        (nodes, m)
+    }
+
+    #[test]
+    fn roundtrip_and_alignment() {
+        let c = ActivationCache::new(1 << 20);
+        let (nodes, rows) = row_matrix(&[(3, 0.5), (9, 1.5), (7, 2.5)], 4);
+        c.insert_rows(&nodes, &rows);
+        let mut out = DMatrix::zeros(0, 0);
+        // Probe in a different order than inserted.
+        assert!(c.try_gather(&[7, 3, 9], 4, &mut out));
+        assert_eq!(out.row(0), rows.row(2));
+        assert_eq!(out.row(1), rows.row(0));
+        assert_eq!(out.row(2), rows.row(1));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (3, 0, 3));
+    }
+
+    #[test]
+    fn partial_hit_is_a_miss() {
+        let c = ActivationCache::new(1 << 20);
+        let (nodes, rows) = row_matrix(&[(1, 0.0), (2, 1.0)], 3);
+        c.insert_rows(&nodes, &rows);
+        let mut out = DMatrix::zeros(0, 0);
+        assert!(!c.try_gather(&[1, 5, 2], 3, &mut out));
+        assert!(c.stats().misses >= 1);
+        // Width mismatch is also a miss, not corruption.
+        assert!(!c.try_gather(&[1], 2, &mut out));
+    }
+
+    #[test]
+    fn version_bump_invalidates_everything() {
+        let c = ActivationCache::new(1 << 20);
+        let (nodes, rows) = row_matrix(&[(1, 0.0), (2, 1.0)], 3);
+        c.insert_rows(&nodes, &rows);
+        let mut out = DMatrix::zeros(0, 0);
+        assert!(c.try_gather(&[1, 2], 3, &mut out));
+        c.bump_version();
+        assert!(!c.try_gather(&[1, 2], 3, &mut out));
+        // Re-inserting under the new version serves hits again.
+        c.insert_rows(&nodes, &rows);
+        assert!(c.try_gather(&[1, 2], 3, &mut out));
+    }
+
+    #[test]
+    fn tiny_budget_evicts_but_stays_bounded() {
+        // One shard so the budget arithmetic is exact; room for ~4 rows.
+        let width = 8;
+        let row_bytes = width * 4 + ENTRY_OVERHEAD;
+        let c = ActivationCache::with_shards(4 * row_bytes, 1);
+        for node in 0u32..64 {
+            let rows = DMatrix::from_fn(1, width, |_, j| node as f32 + j as f32);
+            c.insert_rows(&[node], &rows);
+        }
+        let s = c.stats();
+        assert!(s.resident_bytes <= c.budget_bytes(), "{s:?}");
+        assert!(s.entries >= 1 && s.entries <= 4, "{s:?}");
+        assert!(s.evictions >= 60, "{s:?}");
+        // Whatever survived still round-trips correctly.
+        let mut out = DMatrix::zeros(0, 0);
+        let mut live = 0;
+        for node in 0u32..64 {
+            if c.try_gather(&[node], width, &mut out) {
+                assert_eq!(out.get(0, 0), node as f32);
+                live += 1;
+            }
+        }
+        assert_eq!(live, s.entries);
+    }
+
+    #[test]
+    fn clock_gives_hit_rows_a_second_chance() {
+        let width = 8;
+        let row_bytes = width * 4 + ENTRY_OVERHEAD;
+        let c = ActivationCache::with_shards(3 * row_bytes, 1);
+        for node in 0u32..3 {
+            let rows = DMatrix::from_fn(1, width, |_, j| node as f32 + j as f32);
+            c.insert_rows(&[node], &rows);
+        }
+        // Touch node 0 so its referenced bit is set…
+        let mut out = DMatrix::zeros(0, 0);
+        assert!(c.try_gather(&[0], width, &mut out));
+        // …then force one eviction: the hand passes 0 (second chance)
+        // and evicts 1, the oldest untouched entry.
+        c.insert_rows(&[99], &DMatrix::zeros(1, width));
+        assert!(c.try_gather(&[0], width, &mut out), "hot row evicted");
+        assert!(!c.try_gather(&[1], width, &mut out), "cold row survived");
+    }
+
+    #[test]
+    fn oversized_rows_are_rejected_not_thrashed() {
+        let c = ActivationCache::with_shards(64, 1);
+        let rows = DMatrix::zeros(1, 1024);
+        c.insert_rows(&[5], &rows);
+        let s = c.stats();
+        assert_eq!((s.entries, s.insertions, s.evictions), (0, 0, 0));
+    }
+
+    #[test]
+    fn concurrent_probes_and_inserts_are_safe() {
+        let c = std::sync::Arc::new(ActivationCache::new(1 << 16));
+        let width = 16;
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let c = std::sync::Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let mut out = DMatrix::zeros(0, 0);
+                    for i in 0..500u32 {
+                        let node = (t * 131 + i) % 97;
+                        let rows = DMatrix::from_fn(1, width, |_, j| node as f32 * 2.0 + j as f32);
+                        c.insert_rows(&[node], &rows);
+                        if c.try_gather(&[node % 50], width, &mut out) {
+                            // A hit row must be internally consistent.
+                            assert_eq!(out.get(0, 1), out.get(0, 0) + 1.0);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(c.stats().resident_bytes <= c.budget_bytes() + 64);
+    }
+
+    #[test]
+    fn budget_parsing() {
+        assert_eq!(parse_cache_budget("0").unwrap(), 0);
+        assert_eq!(parse_cache_budget("1234").unwrap(), 1234);
+        assert_eq!(parse_cache_budget("64MiB").unwrap(), 64 << 20);
+        assert_eq!(parse_cache_budget("64 mib").unwrap(), 64 << 20);
+        assert_eq!(parse_cache_budget("2g").unwrap(), 2 << 30);
+        assert_eq!(parse_cache_budget("10KB").unwrap(), 10_000);
+        assert!(parse_cache_budget("").is_err());
+        assert!(parse_cache_budget("MiB").is_err());
+        assert!(parse_cache_budget("64XB").is_err());
+        assert!(parse_cache_budget("-5").is_err());
+    }
+}

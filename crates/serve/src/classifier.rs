@@ -10,8 +10,31 @@
 //! full-graph outputs (see the neighborhood module docs for the
 //! induction argument), and the forward rides the same fused
 //! `PackSource` aggregation pipeline as training.
+//!
+//! # The final hop, cold and warm
+//!
+//! Every classification ends the same way: the last GCN layer fused
+//! over the roots' closed 1-hop [`FrontierBall`] followed by a
+//! root-row-limited classifier head (frontier rows never reach the
+//! dense GEMM). What differs is where the ball's `acts^{L-1}` rows come
+//! from:
+//!
+//! * **warm** — every ball row is resident in the
+//!   [`ActivationCache`](crate::cache::ActivationCache): gather and run
+//!   the final hop; the L-hop cone is never extracted. A depth-L query
+//!   costs ~1 hop.
+//! * **cold** — run the exact cone-pruned forward for the first `L-1`
+//!   layers. Its hidden rows are full-graph-exact at every vertex
+//!   within distance 1 of the roots (`d + k ≤ L` induction) — exactly
+//!   the ball the final hop needs, and exactly what the cache stores,
+//!   so the cold path both answers the query and warms the cache.
+//!
+//! Both paths produce bit-identical root rows (the fused layer and the
+//! packed GEMM accumulate per-row), pinned by the cached-vs-uncached
+//! proptests in `tests/cache_equivalence.rs`.
 
-use gsgcn_graph::{l_hop_subgraph, CsrGraph};
+use crate::cache::ActivationCache;
+use gsgcn_graph::{l_hop_subgraph, one_hop_frontier, CsrGraph};
 use gsgcn_nn::model::{GcnModel, LossKind};
 use gsgcn_nn::InferenceWorkspace;
 use gsgcn_tensor::DMatrix;
@@ -58,6 +81,10 @@ impl Prediction {
 pub struct ClassifyWorkspace {
     infer: InferenceWorkspace,
     x: DMatrix,
+    /// `acts^{L-1}` rows of the current frontier ball (gathered from
+    /// the cache on the warm path, harvested from the cone forward on
+    /// the cold path).
+    hidden: DMatrix,
     probs: DMatrix,
 }
 
@@ -73,6 +100,7 @@ impl ClassifyWorkspace {
         ClassifyWorkspace {
             infer: InferenceWorkspace::new(),
             x: DMatrix::zeros(0, 0),
+            hidden: DMatrix::zeros(0, 0),
             probs: DMatrix::zeros(0, 0),
         }
     }
@@ -103,11 +131,22 @@ pub struct NodeClassifier {
     model: Arc<GcnModel>,
     graph: Arc<CsrGraph>,
     features: Arc<DMatrix>,
+    /// Shared `(node, version)` → `acts^{L-1}` row cache; `None` serves
+    /// every query on the exact cone-pruned path. Single-layer models
+    /// never attach one — their "hidden" state is the feature matrix,
+    /// already resident.
+    cache: Option<Arc<ActivationCache>>,
 }
 
 impl NodeClassifier {
     /// Assemble a classifier. Fails if the feature matrix does not match
     /// the graph or the model's input width.
+    ///
+    /// The activation cache defaults from the `GSGCN_ACTIVATION_CACHE`
+    /// environment variable (`"64MiB"`-style; unset or `"0"` disables)
+    /// so the whole serve stack — tests included — can be flipped
+    /// between cached and uncached without code changes; override with
+    /// [`NodeClassifier::with_cache`].
     pub fn new(
         model: Arc<GcnModel>,
         graph: Arc<CsrGraph>,
@@ -127,11 +166,35 @@ impl NodeClassifier {
                 model.config().in_dim
             ));
         }
+        let cache = if model.num_layers() >= 2 {
+            crate::cache::budget_from_env().map(|bytes| Arc::new(ActivationCache::new(bytes)))
+        } else {
+            None
+        };
         Ok(NodeClassifier {
             model,
             graph,
             features,
+            cache,
         })
+    }
+
+    /// Replace the activation cache (`None` disables caching). Ignored
+    /// with a warning for single-layer models, whose final hop already
+    /// reads the feature matrix directly.
+    pub fn with_cache(mut self, cache: Option<Arc<ActivationCache>>) -> Self {
+        if cache.is_some() && self.model.num_layers() < 2 {
+            eprintln!("warning: activation cache ignored for a 1-layer model");
+            self.cache = None;
+        } else {
+            self.cache = cache;
+        }
+        self
+    }
+
+    /// The attached activation cache, if any.
+    pub fn cache(&self) -> Option<&Arc<ActivationCache>> {
+        self.cache.as_ref()
     }
 
     /// Number of vertices servable (valid node ids are `0..num_nodes`).
@@ -149,10 +212,14 @@ impl NodeClassifier {
         self.model.num_layers()
     }
 
-    /// Classify a batch of nodes on its L-hop induced subgraph, appending
-    /// one [`Prediction`] per requested node (request order, duplicates
-    /// included) to `out`. Fails — rather than panics — on out-of-range
-    /// ids, so network-facing callers can reject bad requests cheaply.
+    /// Classify a batch of nodes, appending one [`Prediction`] per
+    /// requested node (request order, duplicates included) to `out`.
+    /// Fails — rather than panics — on out-of-range ids, so
+    /// network-facing callers can reject bad requests cheaply.
+    ///
+    /// See the module docs: a warm activation cache serves the query
+    /// from the roots' 1-hop frontier ball alone; otherwise the exact
+    /// cone-pruned L-hop path runs (and populates the cache).
     pub fn classify_into(
         &self,
         nodes: &[u32],
@@ -167,20 +234,92 @@ impl NodeClassifier {
             return Err(format!("node {bad} out of range (graph has {n} vertices)"));
         }
         let hops = self.model.num_layers();
+        if hops == 1 {
+            // Single layer: acts^{L-1} *is* the feature matrix, so the
+            // final hop over the original-graph frontier ball is the
+            // whole forward (no cache involved).
+            let fb = one_hop_frontier(&self.graph, nodes);
+            self.features.gather_rows_into(&fb.origin, &mut ws.hidden);
+            self.model.infer_probs_final_hop_into(
+                &fb.graph,
+                &ws.hidden,
+                fb.num_roots,
+                &mut ws.infer,
+                &mut ws.probs,
+            );
+            self.emit(nodes, &fb.root_locals, ws, out);
+            return Ok(());
+        }
+        if let Some(cache) = &self.cache {
+            let fb = one_hop_frontier(&self.graph, nodes);
+            if cache.try_gather(&fb.origin, self.model.hidden_width(), &mut ws.hidden) {
+                // Warm path: every ball row was resident — the L-hop
+                // cone is never touched.
+                self.model.infer_probs_final_hop_into(
+                    &fb.graph,
+                    &ws.hidden,
+                    fb.num_roots,
+                    &mut ws.infer,
+                    &mut ws.probs,
+                );
+                self.emit(nodes, &fb.root_locals, ws, out);
+                return Ok(());
+            }
+        }
+        // Cold path: exact cone-pruned forward for the first L-1
+        // layers. Cone pruning: layer i only aggregates rows still
+        // feeding the roots (dist ≤ L-1-i); outward rows are isolated,
+        // so at reddit densities — where the raw ball saturates the
+        // graph — the sparse work per query stays proportional to the
+        // *inner* cone, not the full ball. Values within dist ≤ 1 of
+        // the roots are exact after L-1 layers — the rows the final hop
+        // consumes and the cache stores.
         let batch = l_hop_subgraph(&self.graph, nodes, hops);
-        // Cone pruning: layer i only aggregates rows still feeding the
-        // roots (dist ≤ L-1-i); outward rows are isolated, so at reddit
-        // densities — where the raw ball saturates the graph — the
-        // sparse work per query stays proportional to the *inner* cone,
-        // not the full ball. Values at the root rows are exact.
         let layer_graphs = batch.layer_graphs(hops);
         self.features.gather_rows_into(&batch.sub.origin, &mut ws.x);
-        self.model
-            .infer_probs_pruned_into(&layer_graphs, &ws.x, &mut ws.infer, &mut ws.probs);
+        let fb = one_hop_frontier(&batch.sub.graph, &batch.root_locals);
+        {
+            let hidden_cone = self.model.infer_hidden_pruned_into(
+                &layer_graphs[..hops - 1],
+                &ws.x,
+                &mut ws.infer,
+            );
+            hidden_cone.gather_rows_into(&fb.origin, &mut ws.hidden);
+        }
+        self.model.infer_probs_final_hop_into(
+            &fb.graph,
+            &ws.hidden,
+            fb.num_roots,
+            &mut ws.infer,
+            &mut ws.probs,
+        );
+        if let Some(cache) = &self.cache {
+            // Harvest: map ball-local rows back to original ids. (Vec
+            // allocation, not a matrix — the warm-allocation-free
+            // contract concerns the matrix side.)
+            let orig: Vec<u32> = fb
+                .origin
+                .iter()
+                .map(|&l| batch.sub.origin[l as usize])
+                .collect();
+            cache.insert_rows(&orig, &ws.hidden);
+        }
+        self.emit(nodes, &fb.root_locals, ws, out);
+        Ok(())
+    }
 
+    /// Append one prediction per requested node, reading probability
+    /// row `root_locals[i]` for request `i`.
+    fn emit(
+        &self,
+        nodes: &[u32],
+        root_locals: &[u32],
+        ws: &ClassifyWorkspace,
+        out: &mut Vec<Prediction>,
+    ) {
         let single = self.model.config().loss == LossKind::SoftmaxCe;
         out.reserve(nodes.len());
-        for (&node, &local) in nodes.iter().zip(&batch.root_locals) {
+        for (&node, &local) in nodes.iter().zip(root_locals) {
             let row = ws.probs.row(local as usize);
             out.push(Prediction {
                 node,
@@ -190,7 +329,6 @@ impl NodeClassifier {
                 probs: row.to_vec(),
             });
         }
-        Ok(())
     }
 
     /// Allocating convenience wrapper around

@@ -3,10 +3,14 @@
 //!
 //! See the crate docs for the dataflow picture. Design points:
 //!
-//! * **Bounded queue** — [`BatchEngine::submit`] parks the caller when
-//!   `queue_capacity` requests are already waiting (backpressure, the
-//!   PR-4 pipeline bound applied to the serving side). Submission to a
-//!   stopped or poisoned engine fails immediately.
+//! * **Bounded queue + admission** — what a full queue does is
+//!   [`AdmissionControl`]'s call: `Block` parks the caller
+//!   (backpressure, the PR-4 pipeline bound applied to the serving
+//!   side), `Shed` fails the minimum-weight request with
+//!   [`ServeError::Overloaded`] and claims work by weight (see
+//!   [`crate::admission`]). Submission to a stopped or poisoned engine
+//!   fails immediately; [`BatchEngine::try_submit`] is the non-blocking
+//!   variant the event front-end uses.
 //! * **Coalescing batcher** — a free worker claims the queue head, then
 //!   keeps absorbing whole requests until the batch reaches
 //!   `max_batch` query nodes or `max_wait` has elapsed since it started
@@ -31,8 +35,8 @@
 //!   submit or wait fail with [`ServeError::WorkerPanicked`] instead of
 //!   hanging a client forever.
 
+use crate::admission::{AdmissionControl, Claim, Frontier};
 use crate::classifier::{BatchClassify, ClassifyWorkspace, NodeClassifier, Prediction};
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -49,9 +53,14 @@ pub struct EngineConfig {
     /// Coalescing window: a batch is flushed at the latest this long
     /// after its first request was claimed.
     pub max_wait: Duration,
-    /// Bound on queued (not yet claimed) requests; `submit` blocks when
-    /// full.
+    /// Bound on queued (not yet claimed) requests; what happens beyond
+    /// it is `admission`'s call.
     pub queue_capacity: usize,
+    /// Full-queue policy: [`AdmissionControl::Block`] parks submitters
+    /// (backpressure, the original engine behavior);
+    /// [`AdmissionControl::Shed`] never blocks — the minimum-weight
+    /// request fails with [`ServeError::Overloaded`] instead.
+    pub admission: AdmissionControl,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +70,7 @@ impl Default for EngineConfig {
             max_batch: 64,
             max_wait: Duration::from_micros(200),
             queue_capacity: 1024,
+            admission: AdmissionControl::Block,
         }
     }
 }
@@ -89,6 +99,10 @@ pub enum ServeError {
     ShuttingDown,
     /// A worker thread panicked; the engine is poisoned.
     WorkerPanicked(String),
+    /// Admission control shed this request under overload
+    /// ([`AdmissionControl::Shed`] with a full queue). The client may
+    /// retry with backoff.
+    Overloaded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -97,11 +111,24 @@ impl std::fmt::Display for ServeError {
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
             ServeError::WorkerPanicked(m) => write!(f, "serve worker panicked: {m}"),
+            ServeError::Overloaded => write!(f, "overloaded"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Outcome of [`BatchEngine::try_submit`] when the request was not
+/// enqueued.
+#[derive(Debug)]
+pub enum TrySubmitError {
+    /// Block-mode queue is full right now; the nodes are handed back so
+    /// the caller can retry without re-validating or re-allocating.
+    Full(Vec<u32>),
+    /// The request failed for real (bad ids, shutdown, poisoned engine,
+    /// or shed under overload).
+    Rejected(ServeError),
+}
 
 /// One-shot response slot shared between the submitting client and the
 /// worker that serves the request.
@@ -144,6 +171,17 @@ impl ResponseHandle {
                 .unwrap_or_else(|p| p.into_inner());
         }
     }
+
+    /// Non-blocking poll: `Some` exactly once, when the engine has
+    /// answered. The event-driven front-end sweeps its in-flight
+    /// requests with this instead of parking a thread per connection.
+    pub fn try_take(&self) -> Option<Result<Vec<Prediction>, ServeError>> {
+        self.slot
+            .result
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+    }
 }
 
 /// A queued request: the node batch plus its response slot.
@@ -154,7 +192,7 @@ struct QueuedRequest {
 
 /// Mutex-guarded engine state.
 struct State {
-    queue: VecDeque<QueuedRequest>,
+    queue: Frontier<QueuedRequest>,
     stop: bool,
     poisoned: Option<String>,
 }
@@ -169,6 +207,7 @@ struct Shared {
     requests: AtomicU64,
     batches: AtomicU64,
     nodes: AtomicU64,
+    shed: AtomicU64,
     cfg: EngineConfig,
 }
 
@@ -200,7 +239,7 @@ impl<C: BatchClassify> BatchEngine<C> {
         cfg.validate()?;
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
-                queue: VecDeque::new(),
+                queue: Frontier::new(cfg.max_batch),
                 stop: false,
                 poisoned: None,
             }),
@@ -209,6 +248,7 @@ impl<C: BatchClassify> BatchEngine<C> {
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             nodes: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             cfg,
         });
         let mut workers = Vec::with_capacity(cfg.workers);
@@ -249,22 +289,45 @@ impl<C: BatchClassify> BatchEngine<C> {
         &self.classifier
     }
 
-    /// Enqueue a node batch; blocks while the queue is full
-    /// (backpressure). The returned handle's [`ResponseHandle::wait`]
-    /// yields one [`Prediction`] per requested node in request order.
+    /// Enqueue a node batch. Under [`AdmissionControl::Block`] this
+    /// blocks while the queue is full (backpressure); under
+    /// [`AdmissionControl::Shed`] it never blocks — a full queue sheds
+    /// the minimum-weight request (possibly this one) with
+    /// [`ServeError::Overloaded`]. The returned handle's
+    /// [`ResponseHandle::wait`] yields one [`Prediction`] per requested
+    /// node in request order.
     ///
     /// Node ids are validated here, before queueing, so one bad request
     /// can never fail the unrelated requests it would have been
     /// coalesced with.
     pub fn submit(&self, nodes: Vec<u32>) -> Result<ResponseHandle, ServeError> {
+        self.enqueue(nodes, true).map_err(|e| match e {
+            TrySubmitError::Rejected(e) => e,
+            // Unreachable: blocking enqueue never reports Full.
+            TrySubmitError::Full(_) => ServeError::ShuttingDown,
+        })
+    }
+
+    /// Non-blocking [`BatchEngine::submit`] for event-loop callers: a
+    /// full queue in [`AdmissionControl::Block`] mode returns
+    /// [`TrySubmitError::Full`] (giving back the nodes, so the caller
+    /// can apply its own backpressure — e.g. stop reading a socket)
+    /// instead of parking the thread. Shed mode never reports `Full`.
+    pub fn try_submit(&self, nodes: Vec<u32>) -> Result<ResponseHandle, TrySubmitError> {
+        self.enqueue(nodes, false)
+    }
+
+    fn enqueue(&self, nodes: Vec<u32>, block: bool) -> Result<ResponseHandle, TrySubmitError> {
         if nodes.is_empty() {
-            return Err(ServeError::BadRequest("empty node batch".into()));
+            return Err(TrySubmitError::Rejected(ServeError::BadRequest(
+                "empty node batch".into(),
+            )));
         }
         let n = self.classifier.num_nodes() as u32;
         if let Some(&bad) = nodes.iter().find(|&&v| v >= n) {
-            return Err(ServeError::BadRequest(format!(
+            return Err(TrySubmitError::Rejected(ServeError::BadRequest(format!(
                 "node {bad} out of range (graph has {n} vertices)"
-            )));
+            ))));
         }
         let slot = Arc::new(ResponseSlot {
             result: Mutex::new(None),
@@ -276,18 +339,47 @@ impl<C: BatchClassify> BatchEngine<C> {
         let mut st = self.shared.lock();
         loop {
             if st.stop || st.poisoned.is_some() {
-                return Err(self.shared.fail_error(&st));
+                return Err(TrySubmitError::Rejected(self.shared.fail_error(&st)));
             }
             if st.queue.len() < self.shared.cfg.queue_capacity {
                 break;
             }
-            st = self
-                .shared
-                .can_submit
-                .wait(st)
-                .unwrap_or_else(|p| p.into_inner());
+            match self.shared.cfg.admission {
+                AdmissionControl::Shed => {
+                    // Full queue: the minimum-weight request loses —
+                    // either a queued one (failed via its slot) or this
+                    // one, if nothing queued weighs less than a fresh
+                    // arrival of this size.
+                    let now = Instant::now();
+                    let incoming = st.queue.weight_of(nodes.len(), Duration::ZERO);
+                    let queued_min = st.queue.min_weight(now);
+                    self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                    match queued_min {
+                        Some(w) if w < incoming => {
+                            let loser = st.queue.shed_min(now).expect("min_weight saw an entry");
+                            loser.slot.fulfill(Err(ServeError::Overloaded));
+                        }
+                        _ => {
+                            return Err(TrySubmitError::Rejected(ServeError::Overloaded));
+                        }
+                    }
+                    break;
+                }
+                AdmissionControl::Block if !block => {
+                    drop(st);
+                    return Err(TrySubmitError::Full(nodes));
+                }
+                AdmissionControl::Block => {
+                    st = self
+                        .shared
+                        .can_submit
+                        .wait(st)
+                        .unwrap_or_else(|p| p.into_inner());
+                }
+            }
         }
-        st.queue.push_back(QueuedRequest { nodes, slot });
+        let count = nodes.len();
+        st.queue.push(QueuedRequest { nodes, slot }, count);
         drop(st);
         self.shared.can_work.notify_one();
         self.shared.requests.fetch_add(1, Ordering::Relaxed);
@@ -315,6 +407,11 @@ impl<C: BatchClassify> BatchEngine<C> {
         self.shared.nodes.load(Ordering::Relaxed)
     }
 
+    /// Requests shed by admission control so far (Shed mode only).
+    pub fn shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
+    }
+
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
@@ -338,7 +435,7 @@ impl<C: BatchClassify> Drop for BatchEngine<C> {
         // served. Fail it visibly rather than leaving waiters hanging.
         let mut st = self.shared.lock();
         let err = self.shared.fail_error(&st);
-        while let Some(req) = st.queue.pop_front() {
+        for req in st.queue.drain_all() {
             req.slot.fulfill(Err(err.clone()));
         }
     }
@@ -357,7 +454,7 @@ fn worker_loop<C: BatchClassify>(shared: &Shared, classifier: &C) {
             loop {
                 if st.stop || st.poisoned.is_some() {
                     let err = shared.fail_error(&st);
-                    while let Some(req) = st.queue.pop_front() {
+                    for req in st.queue.drain_all() {
                         req.slot.fulfill(Err(err.clone()));
                     }
                     return;
@@ -368,22 +465,31 @@ fn worker_loop<C: BatchClassify>(shared: &Shared, classifier: &C) {
                 st = shared.can_work.wait(st).unwrap_or_else(|p| p.into_inner());
             }
             // Coalesce: absorb whole requests until the node budget or
-            // the wait window runs out. The head request is always
-            // taken, so an oversized request is served alone.
+            // the wait window runs out. The first claim always takes
+            // something, so an oversized request is served alone. FIFO
+            // order under Block admission; weight order (aged and
+            // batch-friendly requests first) under Shed.
+            let weighted = shared.cfg.admission == AdmissionControl::Shed;
             let started = Instant::now();
             let mut nodes_taken = 0usize;
             loop {
                 let mut head_blocked = false;
-                while let Some(head) = st.queue.front() {
-                    let would = nodes_taken + head.nodes.len();
-                    if nodes_taken > 0 && would > shared.cfg.max_batch {
-                        head_blocked = true;
-                        break;
-                    }
-                    nodes_taken = would;
-                    batch.push(st.queue.pop_front().expect("front checked"));
-                    if nodes_taken >= shared.cfg.max_batch {
-                        break;
+                loop {
+                    let budget = shared.cfg.max_batch.saturating_sub(nodes_taken);
+                    let first = nodes_taken == 0;
+                    match st.queue.claim(Instant::now(), budget, first, weighted) {
+                        Claim::Taken(req, count) => {
+                            nodes_taken += count;
+                            batch.push(req);
+                            if nodes_taken >= shared.cfg.max_batch {
+                                break;
+                            }
+                        }
+                        Claim::Blocked => {
+                            head_blocked = true;
+                            break;
+                        }
+                        Claim::Empty => break,
                     }
                 }
                 // Flush when the budget is reached — and also when the
@@ -469,7 +575,7 @@ fn worker_loop<C: BatchClassify>(shared: &Shared, classifier: &C) {
                 st.poisoned.get_or_insert(msg);
                 st.stop = true;
                 let sweep = shared.fail_error(&st);
-                while let Some(req) = st.queue.pop_front() {
+                for req in st.queue.drain_all() {
                     req.slot.fulfill(Err(sweep.clone()));
                 }
                 drop(st);

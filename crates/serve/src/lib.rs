@@ -12,28 +12,39 @@
 //! # Dataflow
 //!
 //! ```text
-//!  clients                 BatchEngine                      shared, immutable
-//!  ───────                 ───────────                      ─────────────────
-//!  submit(nodes) ──┐
-//!  submit(nodes) ──┼─▶ bounded request queue                Arc<NodeClassifier>
-//!  submit(nodes) ──┘   (capacity Q, submit parks            │ Arc<GcnModel>
-//!        ▲             when full = backpressure)            │ Arc<CsrGraph>
-//!        │                     │                            │ Arc<DMatrix> (features)
-//!        │                     ▼                            │
-//!        │             coalescing batcher ◀─────────────────┘
-//!        │             (≤ max_batch query nodes OR
-//!        │              max_wait elapsed, whichever first;
-//!        │              requests are never split)
-//!        │                     │ one claimed batch
-//!        │                     ▼
-//!        │             worker thread 1..N  (each owns a ClassifyWorkspace)
-//!        │               1. L-hop ball of the batch roots (L = model layers)
-//!        │               2. induced subgraph + feature row gather
-//!        │               3. fused forward on the subgraph (&self model,
-//!        │                  ping-pong InferenceWorkspace, zero allocs warm)
-//!        │               4. per-node probabilities + decided labels
-//!        │                     │
-//!        └───── ResponseHandle::wait ◀─ per-request fulfillment
+//!  sockets                  front-end                          BatchEngine
+//!  ───────                  ─────────                          ───────────
+//!  conn ──┐   poll::EventFrontend (one thread)
+//!  conn ──┼─▶ nonblocking accept/read/write sweep
+//!  conn ──┘   per-conn state machine, pipelined replies
+//!        ▲    line OR length-prefixed binary protocol,
+//!        │    idle eviction, max-conns bound
+//!        │         │ try_submit / try_take (never blocks)
+//!        │         ▼
+//!        │    admission ─▶ bounded queue (capacity Q)
+//!        │    Block: full queue parks submitters (backpressure)
+//!        │    Shed:  full queue sheds the min-weight request
+//!        │           (weight = batch-affinity × wait-time) with
+//!        │           an explicit `overloaded` reply
+//!        │         │
+//!        │         ▼
+//!        │    coalescing batcher (≤ max_batch nodes OR max_wait,
+//!        │    whichever first; requests never split; Shed claims
+//!        │    by weight, Block in FIFO order)
+//!        │         │ one claimed batch
+//!        │         ▼
+//!        │    worker thread 1..N (each owns a ClassifyWorkspace)
+//!        │      warm: 1-hop FrontierBall of the roots; gather
+//!        │            acts^{L-1} rows from the ActivationCache;
+//!        │            final hop = fused last layer + root-row head
+//!        │      cold: exact cone-pruned L-hop forward (first L-1
+//!        │            layers), final hop over the ball, harvest
+//!        │            the ball's hidden rows into the cache
+//!        │         │                    ▲        │
+//!        │         │              ActivationCache (sharded CLOCK,
+//!        │         │              byte budget, (node, version) keys)
+//!        │         ▼
+//!        └── ordered per-conn reply queue ◀─ per-request fulfillment
 //!
 //!  shutdown: drop(engine) → stop flag → wake all → join workers;
 //!            queued-but-unserved requests fail with ShuttingDown.
@@ -41,9 +52,33 @@
 //!            and all future submits fail with WorkerPanicked(msg).
 //! ```
 //!
-//! [`tcp`] exposes the engine over a newline-delimited TCP protocol
-//! (`std::net` only), and the `gsgcn predict` / `gsgcn serve` CLI
-//! commands drive it over a checkpoint (see the binary's usage).
+//! # Wire protocols
+//!
+//! Both front-ends ([`poll`], the event-driven default, and [`tcp`],
+//! the thread-per-connection original — both `std::net` only) speak the
+//! newline-delimited **line protocol**: `"12 55 103\n"` in,
+//! `"ok 12:7:0.9312 55:3:0.5127 103:7:0.8809\n"` out,
+//! `"err <message>\n"` on failure and `"overloaded\n"` when admission
+//! control sheds the request.
+//!
+//! [`poll`] additionally speaks a pipelined **binary protocol**
+//! (little-endian, length-prefixed; `len` counts the bytes after the
+//! length field):
+//!
+//! ```text
+//! request:  [len: u32] [req_id: u64] [n: u32] [n × node: u32]
+//! response: [len: u32] [req_id: u64] [status: u8] [payload]
+//!   status 0 = ok         payload: [n: u32] then n ×
+//!                         [node: u32] [max_prob: f32]
+//!                         [k: u32] [k × label: u32]
+//!   status 1 = error      payload: UTF-8 message
+//!   status 2 = overloaded payload: empty (admission shed; retry later)
+//! ```
+//!
+//! Clients may pipeline requests freely; responses come back in
+//! per-connection request order with matching `req_id`s. The `gsgcn
+//! predict` / `gsgcn serve` CLI commands drive all of this over a
+//! checkpoint (see the binary's usage).
 //!
 //! # Example
 //!
@@ -72,9 +107,14 @@
 //! assert_eq!(preds[1].node, 5);
 //! ```
 
+pub mod admission;
+pub mod cache;
 pub mod classifier;
 pub mod engine;
+pub mod poll;
 pub mod tcp;
 
+pub use admission::AdmissionControl;
+pub use cache::{ActivationCache, CacheStats};
 pub use classifier::{ClassifyWorkspace, NodeClassifier, Prediction};
-pub use engine::{BatchEngine, EngineConfig, ResponseHandle, ServeError};
+pub use engine::{BatchEngine, EngineConfig, ResponseHandle, ServeError, TrySubmitError};

@@ -1,0 +1,815 @@
+//! Event-driven TCP front-end: one thread sweeping N nonblocking
+//! connections, replacing the thread-per-connection model of [`crate::tcp`].
+//!
+//! The workspace is `std`-only (no epoll/kqueue binding to link), so
+//! readiness is discovered by a **sweep poller**: every connection is
+//! nonblocking, and one loop repeatedly attempts accept/read/write on
+//! all of them, parking with an adaptive backoff (50 µs doubling to
+//! 2 ms) whenever a full sweep makes no progress. Under load the loop
+//! never parks and behaves like a busy-polled reactor; idle, it costs a
+//! few wakeups per second. The sweep is a drop-in point for a real
+//! `Poller` should an OS binding ever land — connection state machines
+//! and protocol framing below are readiness-agnostic.
+//!
+//! Per connection the state machine is: read bytes → parse frames
+//! (line or binary protocol, see the crate docs) → `try_submit` to the
+//! [`BatchEngine`] (never blocking the sweep; a full Block-mode queue
+//! pauses *parsing* for that connection, which backpressures the socket
+//! instead) → poll in-flight requests with `try_take` → encode replies
+//! **in request order** → write. Clients may pipeline arbitrarily many
+//! requests up to `max_pipeline`.
+//!
+//! Connection hygiene (the PR-6 leak fix, shared with [`crate::tcp`]):
+//! connections idle longer than `idle_timeout` with nothing in flight
+//! are evicted; `max_conns` bounds acceptance (excess connections get
+//! one `overloaded` reply and close); EOF mid-line or mid-frame just
+//! drops the connection after flushing pending replies — state lives in
+//! the `Conn` struct, not in a blocked reader thread, so there is no
+//! thread to leak. Shutdown joins the single loop thread.
+
+use crate::classifier::BatchClassify;
+use crate::engine::{BatchEngine, ResponseHandle, ServeError, TrySubmitError};
+use crate::tcp::{format_prediction, parse_request};
+use crate::Prediction;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which framing a [`EventFrontend`] speaks (see the crate docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Protocol {
+    /// Newline-delimited text (interoperates with `nc`/telnet and the
+    /// original [`crate::tcp`] front-end).
+    #[default]
+    Line,
+    /// Length-prefixed binary frames with client request ids.
+    Binary,
+}
+
+impl std::str::FromStr for Protocol {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "line" => Ok(Protocol::Line),
+            "binary" => Ok(Protocol::Binary),
+            other => Err(format!("bad protocol {other:?}: expected line|binary")),
+        }
+    }
+}
+
+/// Front-end tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontendConfig {
+    pub protocol: Protocol,
+    /// Accepted-connection bound; excess connections are refused with
+    /// one `overloaded` reply.
+    pub max_conns: usize,
+    /// Connections idle this long with nothing in flight are evicted.
+    pub idle_timeout: Duration,
+    /// In-flight request bound per connection; beyond it, parsing
+    /// pauses (socket backpressure) until replies drain.
+    pub max_pipeline: usize,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            protocol: Protocol::Line,
+            max_conns: 1024,
+            idle_timeout: Duration::from_secs(60),
+            max_pipeline: 256,
+        }
+    }
+}
+
+impl FrontendConfig {
+    fn validate(&self) -> Result<(), String> {
+        if self.max_conns == 0 {
+            return Err("max_conns must be ≥ 1".into());
+        }
+        if self.max_pipeline == 0 {
+            return Err("max_pipeline must be ≥ 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Relaxed counters of one running front-end.
+#[derive(Debug, Default)]
+pub struct FrontendStats {
+    pub accepted: AtomicU64,
+    pub refused: AtomicU64,
+    pub evicted_idle: AtomicU64,
+    pub requests: AtomicU64,
+    pub replies: AtomicU64,
+    pub protocol_errors: AtomicU64,
+}
+
+/// Binary protocol framing (see the crate docs for the layout).
+/// Encoders/decoders are plain buffer transforms so tests and bench
+/// clients reuse them verbatim.
+pub mod wire {
+    use super::{Prediction, ServeError};
+
+    /// Frame payload bound (1M-node request); a longer announced frame
+    /// is a protocol error, not an allocation.
+    pub const MAX_FRAME: usize = 4 << 20;
+
+    /// One prediction as decoded by a binary-protocol client.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct WirePrediction {
+        pub node: u32,
+        pub max_prob: f32,
+        pub labels: Vec<u32>,
+    }
+
+    /// One decoded response frame.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum WireResponse {
+        Ok(Vec<WirePrediction>),
+        Err(String),
+        Overloaded,
+    }
+
+    fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn get_u32(b: &[u8]) -> u32 {
+        u32::from_le_bytes(b[..4].try_into().expect("length checked"))
+    }
+
+    /// Append one request frame.
+    pub fn encode_request(req_id: u64, nodes: &[u32], out: &mut Vec<u8>) {
+        let len = 8 + 4 + 4 * nodes.len();
+        put_u32(out, len as u32);
+        out.extend_from_slice(&req_id.to_le_bytes());
+        put_u32(out, nodes.len() as u32);
+        for &n in nodes {
+            put_u32(out, n);
+        }
+    }
+
+    /// Try to decode one request frame from the front of `buf`:
+    /// `Ok(None)` = incomplete, `Ok(Some((consumed, req_id, nodes)))`
+    /// on success, `Err` = malformed (close the connection).
+    pub fn try_decode_request(buf: &[u8]) -> Result<Option<(usize, u64, Vec<u32>)>, String> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = get_u32(buf) as usize;
+        if len > MAX_FRAME {
+            return Err(format!(
+                "frame of {len} bytes exceeds the {MAX_FRAME} limit"
+            ));
+        }
+        if len < 12 {
+            return Err(format!("request frame of {len} bytes is too short"));
+        }
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = &buf[4..4 + len];
+        let req_id = u64::from_le_bytes(body[..8].try_into().expect("length checked"));
+        let n = get_u32(&body[8..]) as usize;
+        if len != 12 + 4 * n {
+            return Err(format!(
+                "request frame length {len} disagrees with count {n}"
+            ));
+        }
+        let nodes = body[12..].chunks_exact(4).map(get_u32).collect();
+        Ok(Some((4 + len, req_id, nodes)))
+    }
+
+    /// Append one response frame for an engine result.
+    pub fn encode_response(
+        req_id: u64,
+        result: &Result<Vec<Prediction>, ServeError>,
+        out: &mut Vec<u8>,
+    ) {
+        let at = out.len();
+        put_u32(out, 0); // frame length backpatched below
+        out.extend_from_slice(&req_id.to_le_bytes());
+        match result {
+            Ok(preds) => {
+                out.push(0);
+                put_u32(out, preds.len() as u32);
+                for p in preds {
+                    put_u32(out, p.node);
+                    out.extend_from_slice(&p.max_prob().to_le_bytes());
+                    put_u32(out, p.labels.len() as u32);
+                    for &l in &p.labels {
+                        put_u32(out, l);
+                    }
+                }
+            }
+            Err(ServeError::Overloaded) => out.push(2),
+            Err(e) => {
+                out.push(1);
+                out.extend_from_slice(e.to_string().as_bytes());
+            }
+        }
+        let len = (out.len() - at - 4) as u32;
+        out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Try to decode one response frame from the front of `buf`; same
+    /// contract as [`try_decode_request`].
+    pub fn try_decode_response(buf: &[u8]) -> Result<Option<(usize, u64, WireResponse)>, String> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = get_u32(buf) as usize;
+        if len > MAX_FRAME {
+            return Err(format!(
+                "frame of {len} bytes exceeds the {MAX_FRAME} limit"
+            ));
+        }
+        if len < 9 {
+            return Err(format!("response frame of {len} bytes is too short"));
+        }
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = &buf[4..4 + len];
+        let req_id = u64::from_le_bytes(body[..8].try_into().expect("length checked"));
+        let payload = &body[9..];
+        let resp = match body[8] {
+            0 => {
+                if payload.len() < 4 {
+                    return Err("truncated ok payload".into());
+                }
+                let n = get_u32(payload) as usize;
+                let mut preds = Vec::with_capacity(n);
+                let mut at = 4;
+                for _ in 0..n {
+                    if payload.len() < at + 12 {
+                        return Err("truncated prediction".into());
+                    }
+                    let node = get_u32(&payload[at..]);
+                    let max_prob = f32::from_le_bytes(
+                        payload[at + 4..at + 8].try_into().expect("length checked"),
+                    );
+                    let k = get_u32(&payload[at + 8..]) as usize;
+                    at += 12;
+                    if payload.len() < at + 4 * k {
+                        return Err("truncated label list".into());
+                    }
+                    let labels = payload[at..at + 4 * k]
+                        .chunks_exact(4)
+                        .map(get_u32)
+                        .collect();
+                    at += 4 * k;
+                    preds.push(WirePrediction {
+                        node,
+                        max_prob,
+                        labels,
+                    });
+                }
+                WireResponse::Ok(preds)
+            }
+            1 => WireResponse::Err(String::from_utf8_lossy(payload).into_owned()),
+            2 => WireResponse::Overloaded,
+            s => return Err(format!("unknown response status {s}")),
+        };
+        Ok(Some((4 + len, req_id, resp)))
+    }
+}
+
+/// Input buffer bound: a line or partial frame beyond this is a
+/// protocol error (DoS hygiene; legitimate requests are far smaller).
+const MAX_RBUF: usize = wire::MAX_FRAME + 4;
+
+/// One in-flight or answered request, queued per connection so replies
+/// go out in request order even when the engine answers out of order.
+enum Pending {
+    Waiting {
+        id: u64,
+        handle: ResponseHandle,
+    },
+    Ready {
+        id: u64,
+        result: Result<Vec<Prediction>, ServeError>,
+    },
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    pending: VecDeque<Pending>,
+    /// A parsed request the engine had no room for (Block mode): retried
+    /// every sweep before any further parsing — per-connection ordering
+    /// is preserved and the socket backpressures.
+    deferred: Option<(u64, Vec<u32>)>,
+    last_activity: Instant,
+    /// Peer closed its read side (or asked to quit): flush, then drop.
+    closing: bool,
+    /// Unrecoverable I/O or protocol error: drop without flushing.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            pending: VecDeque::new(),
+            deferred: None,
+            last_activity: Instant::now(),
+            closing: false,
+            dead: false,
+        }
+    }
+
+    fn idle(&self) -> bool {
+        self.pending.is_empty() && self.wbuf.is_empty() && self.deferred.is_none()
+    }
+}
+
+/// Handle to a running event front-end (accept + sweep on one thread).
+/// Dropping it stops and joins the loop; [`EventFrontend::join`] blocks
+/// until the loop exits on its own (listener error) — the CLI's serve
+/// loop.
+pub struct EventFrontend {
+    local: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<FrontendStats>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl EventFrontend {
+    /// Bind `addr` and start the sweep loop over `engine`.
+    pub fn spawn<C: BatchClassify>(
+        engine: Arc<BatchEngine<C>>,
+        addr: &str,
+        cfg: FrontendConfig,
+    ) -> std::io::Result<EventFrontend> {
+        cfg.validate().map_err(std::io::Error::other)?;
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(FrontendStats::default());
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("gsgcn-serve-poll".into())
+                .spawn(move || sweep_loop(&engine, &listener, cfg, &stop, &stats))?
+        };
+        Ok(EventFrontend {
+            local,
+            stop,
+            stats,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (ephemeral ports!).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local
+    }
+
+    /// The front-end's counters.
+    pub fn stats(&self) -> &FrontendStats {
+        &self.stats
+    }
+
+    /// Stop the sweep loop and join its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Block until the loop thread exits (it only does on listener
+    /// failure or [`EventFrontend::shutdown`] from another handle).
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for EventFrontend {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Park times for a sweep that made no progress: escalate from 50 µs to
+/// 2 ms, reset on any progress. Keeps the idle loop at a handful of
+/// wakeups per millisecond-scale latency target without a kernel poller.
+const PARK_MIN: Duration = Duration::from_micros(50);
+const PARK_MAX: Duration = Duration::from_millis(2);
+
+fn sweep_loop<C: BatchClassify>(
+    engine: &BatchEngine<C>,
+    listener: &TcpListener,
+    cfg: FrontendConfig,
+    stop: &AtomicBool,
+    stats: &FrontendStats,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut park = PARK_MIN;
+    let mut read_chunk = [0u8; 4096];
+    while !stop.load(Ordering::Acquire) {
+        let mut progress = false;
+
+        // --- Accept phase (bounded per sweep for fairness) ---
+        for _ in 0..32 {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    if conns.len() >= cfg.max_conns {
+                        refuse(stream, cfg.protocol);
+                        stats.refused.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    conns.push(Conn::new(stream));
+                    stats.accepted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => return, // listener gone: shut the front-end down
+            }
+        }
+
+        // --- Per-connection phases ---
+        for conn in conns.iter_mut() {
+            progress |= step_conn(conn, engine, &cfg, stats, &mut read_chunk);
+        }
+
+        // --- Cull phase ---
+        let before = conns.len();
+        let idle_timeout = cfg.idle_timeout;
+        conns.retain(|c| {
+            if c.dead || (c.closing && c.idle()) {
+                return false;
+            }
+            if c.idle() && c.last_activity.elapsed() > idle_timeout {
+                stats.evicted_idle.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            true
+        });
+        progress |= conns.len() != before;
+
+        if progress {
+            park = PARK_MIN;
+        } else {
+            std::thread::sleep(park);
+            park = (park * 2).min(PARK_MAX);
+        }
+    }
+}
+
+/// One sweep step of one connection; returns whether anything moved.
+fn step_conn<C: BatchClassify>(
+    conn: &mut Conn,
+    engine: &BatchEngine<C>,
+    cfg: &FrontendConfig,
+    stats: &FrontendStats,
+    chunk: &mut [u8],
+) -> bool {
+    if conn.dead {
+        return false;
+    }
+    let mut progress = false;
+
+    // --- Read phase (bounded per sweep for fairness) ---
+    if !conn.closing {
+        for _ in 0..8 {
+            if conn.rbuf.len() >= MAX_RBUF {
+                protocol_error(conn, cfg.protocol, "input buffer overflow", stats);
+                break;
+            }
+            match conn.stream.read(chunk) {
+                Ok(0) => {
+                    conn.closing = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = Instant::now();
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return true;
+                }
+            }
+        }
+    }
+
+    // --- Submit phase: retry the deferred request, then parse more ---
+    if let Some((id, nodes)) = conn.deferred.take() {
+        // On false the queue is still full; submit() re-stashed the request.
+        if submit(conn, engine, id, nodes, stats) {
+            progress = true;
+        }
+    }
+    if conn.deferred.is_none() && !conn.dead {
+        progress |= parse_input(conn, engine, cfg, stats);
+    }
+
+    // --- Resolve phase: drain answered requests in order ---
+    while let Some(front) = conn.pending.front_mut() {
+        match front {
+            Pending::Ready { .. } => {}
+            Pending::Waiting { handle, .. } => match handle.try_take() {
+                Some(result) => {
+                    let id = match front {
+                        Pending::Waiting { id, .. } => *id,
+                        Pending::Ready { .. } => unreachable!(),
+                    };
+                    *front = Pending::Ready { id, result };
+                }
+                None => break,
+            },
+        }
+        let Some(Pending::Ready { id, result }) = conn.pending.pop_front() else {
+            unreachable!("front was just made Ready");
+        };
+        encode_reply(conn, cfg.protocol, id, &result);
+        stats.replies.fetch_add(1, Ordering::Relaxed);
+        progress = true;
+    }
+
+    // --- Write phase ---
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.wpos += n;
+                conn.last_activity = Instant::now();
+                progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if conn.wpos == conn.wbuf.len() && conn.wpos > 0 {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    progress
+}
+
+/// Parse as many complete requests as the pipeline bound allows.
+fn parse_input<C: BatchClassify>(
+    conn: &mut Conn,
+    engine: &BatchEngine<C>,
+    cfg: &FrontendConfig,
+    stats: &FrontendStats,
+) -> bool {
+    let mut progress = false;
+    let mut consumed = 0usize;
+    while !conn.closing && conn.deferred.is_none() && conn.pending.len() < cfg.max_pipeline {
+        match cfg.protocol {
+            Protocol::Line => {
+                let Some(nl) = conn.rbuf[consumed..].iter().position(|&b| b == b'\n') else {
+                    break;
+                };
+                let line = &conn.rbuf[consumed..consumed + nl];
+                let line = std::str::from_utf8(line).unwrap_or("\u{FFFD}").trim();
+                let request = if line.is_empty() || line == "quit" {
+                    conn.closing = true;
+                    consumed += nl + 1;
+                    break;
+                } else {
+                    parse_request(line)
+                };
+                consumed += nl + 1;
+                progress = true;
+                match request {
+                    Ok(nodes) => {
+                        stats.requests.fetch_add(1, Ordering::Relaxed);
+                        submit(conn, engine, 0, nodes, stats);
+                    }
+                    Err(e) => conn.pending.push_back(Pending::Ready {
+                        id: 0,
+                        result: Err(ServeError::BadRequest(e)),
+                    }),
+                }
+            }
+            Protocol::Binary => match wire::try_decode_request(&conn.rbuf[consumed..]) {
+                Ok(None) => break,
+                Ok(Some((used, id, nodes))) => {
+                    consumed += used;
+                    progress = true;
+                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                    submit(conn, engine, id, nodes, stats);
+                }
+                Err(e) => {
+                    protocol_error(conn, cfg.protocol, &e, stats);
+                    break;
+                }
+            },
+        }
+    }
+    if consumed > 0 {
+        conn.rbuf.drain(..consumed);
+    }
+    progress
+}
+
+/// Submit one parsed request; on a full Block-mode queue the request is
+/// parked in `conn.deferred` (and `false` returned) so the sweep
+/// retries it before parsing anything newer.
+fn submit<C: BatchClassify>(
+    conn: &mut Conn,
+    engine: &BatchEngine<C>,
+    id: u64,
+    nodes: Vec<u32>,
+    _stats: &FrontendStats,
+) -> bool {
+    match engine.try_submit(nodes) {
+        Ok(handle) => {
+            conn.pending.push_back(Pending::Waiting { id, handle });
+            true
+        }
+        Err(TrySubmitError::Full(nodes)) => {
+            conn.deferred = Some((id, nodes));
+            false
+        }
+        Err(TrySubmitError::Rejected(e)) => {
+            conn.pending
+                .push_back(Pending::Ready { id, result: Err(e) });
+            true
+        }
+    }
+}
+
+/// Append one reply in the connection's protocol framing.
+fn encode_reply(
+    conn: &mut Conn,
+    protocol: Protocol,
+    id: u64,
+    result: &Result<Vec<Prediction>, ServeError>,
+) {
+    match protocol {
+        Protocol::Line => {
+            let line = match result {
+                Ok(preds) => {
+                    let body = preds
+                        .iter()
+                        .map(format_prediction)
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    format!("ok {body}")
+                }
+                Err(ServeError::Overloaded) => "overloaded".to_string(),
+                Err(e) => format!("err {e}"),
+            };
+            conn.wbuf.extend_from_slice(line.as_bytes());
+            conn.wbuf.push(b'\n');
+        }
+        Protocol::Binary => wire::encode_response(id, result, &mut conn.wbuf),
+    }
+}
+
+/// Tear a connection down on a framing violation: one last error reply,
+/// then close (a framing error desynchronises the stream — there is no
+/// safe way to keep parsing).
+fn protocol_error(conn: &mut Conn, protocol: Protocol, msg: &str, stats: &FrontendStats) {
+    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    encode_reply(
+        conn,
+        protocol,
+        0,
+        &Err(ServeError::BadRequest(msg.to_string())),
+    );
+    conn.rbuf.clear();
+    conn.closing = true;
+}
+
+/// Best-effort `overloaded` reply to a connection refused at
+/// `max_conns` (nonblocking write; if the socket is not writable the
+/// close alone carries the message).
+fn refuse(stream: TcpStream, protocol: Protocol) {
+    let _ = stream.set_nonblocking(true);
+    let mut buf = Vec::new();
+    match protocol {
+        Protocol::Line => buf.extend_from_slice(b"overloaded\n"),
+        Protocol::Binary => wire::encode_response(0, &Err(ServeError::Overloaded), &mut buf),
+    }
+    let mut s = stream;
+    let _ = s.write(&buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_parses() {
+        assert_eq!("line".parse::<Protocol>().unwrap(), Protocol::Line);
+        assert_eq!("binary".parse::<Protocol>().unwrap(), Protocol::Binary);
+        assert!("http".parse::<Protocol>().is_err());
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        let mut buf = Vec::new();
+        wire::encode_request(42, &[7, 0, 999], &mut buf);
+        wire::encode_request(43, &[1], &mut buf);
+        let (used, id, nodes) = wire::try_decode_request(&buf).unwrap().unwrap();
+        assert_eq!((id, nodes), (42, vec![7, 0, 999]));
+        let (used2, id2, nodes2) = wire::try_decode_request(&buf[used..]).unwrap().unwrap();
+        assert_eq!((id2, nodes2), (43, vec![1]));
+        assert_eq!(used + used2, buf.len());
+        // Truncated prefix: incomplete, not an error.
+        assert!(wire::try_decode_request(&buf[..used - 1])
+            .unwrap()
+            .is_none());
+        assert!(wire::try_decode_request(&buf[..3]).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_frames_round_trip() {
+        let preds = vec![
+            Prediction {
+                node: 5,
+                labels: vec![2, 7],
+                probs: vec![0.1, 0.2, 0.7],
+            },
+            Prediction {
+                node: 9,
+                labels: vec![],
+                probs: vec![0.4],
+            },
+        ];
+        let mut buf = Vec::new();
+        wire::encode_response(11, &Ok(preds.clone()), &mut buf);
+        wire::encode_response(12, &Err(ServeError::Overloaded), &mut buf);
+        wire::encode_response(13, &Err(ServeError::BadRequest("nope".into())), &mut buf);
+        let (used, id, resp) = wire::try_decode_response(&buf).unwrap().unwrap();
+        assert_eq!(id, 11);
+        match resp {
+            wire::WireResponse::Ok(got) => {
+                assert_eq!(got.len(), 2);
+                assert_eq!(got[0].node, 5);
+                assert_eq!(got[0].labels, vec![2, 7]);
+                assert!((got[0].max_prob - 0.7).abs() < 1e-6);
+                assert_eq!(got[1].labels, Vec::<u32>::new());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let (used2, id2, resp2) = wire::try_decode_response(&buf[used..]).unwrap().unwrap();
+        assert_eq!((id2, resp2), (12, wire::WireResponse::Overloaded));
+        let (_, id3, resp3) = wire::try_decode_response(&buf[used + used2..])
+            .unwrap()
+            .unwrap();
+        assert_eq!(id3, 13);
+        assert_eq!(
+            resp3,
+            wire::WireResponse::Err("bad request: nope".to_string())
+        );
+    }
+
+    #[test]
+    fn malformed_frames_are_errors_not_panics() {
+        // Announced length beyond the cap.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&[0; 16]);
+        assert!(wire::try_decode_request(&buf).is_err());
+        // Length/count disagreement.
+        let mut buf = Vec::new();
+        wire::encode_request(1, &[1, 2, 3], &mut buf);
+        buf[4 + 8] = 99; // count field corrupted
+        assert!(wire::try_decode_request(&buf).is_err());
+        // Unknown response status.
+        let mut buf = Vec::new();
+        wire::encode_response(1, &Err(ServeError::Overloaded), &mut buf);
+        buf[12] = 77;
+        assert!(wire::try_decode_response(&buf).is_err());
+    }
+}

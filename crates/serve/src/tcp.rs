@@ -1,5 +1,8 @@
-//! Newline-delimited TCP front-end for the [`BatchEngine`]
-//! (`std::net` only — the workspace has no async runtime dependency).
+//! Newline-delimited thread-per-connection TCP front-end for the
+//! [`BatchEngine`] (`std::net` only — the workspace has no async
+//! runtime dependency). The event-driven [`crate::poll`] front-end is
+//! the serving default; this one survives as the simple/debuggable
+//! option and the bench baseline.
 //!
 //! # Protocol
 //!
@@ -14,17 +17,28 @@
 //! labels (comma-separated; argmax for single-label models, the
 //! ≥ 0.5-probability classes — possibly `-` for none — for multi-label)
 //! and the highest class probability. Failures answer
-//! `err <message>\n` and keep the connection open; an empty line or
-//! `quit` closes it. Every connection gets its own handler thread;
-//! concurrency-driven batching happens *behind* the queue, in the
-//! engine's coalescing batcher.
+//! `err <message>\n` and keep the connection open; admission shedding
+//! answers `overloaded\n`; an empty line or `quit` closes it.
+//!
+//! # Connection hygiene
+//!
+//! Handler threads used to block forever in `BufReader::lines` when a
+//! client went away mid-line without closing its socket — an unbounded
+//! silent thread leak. Handlers now read with a 100 ms timeout so they
+//! can observe the stop flag and an idle deadline: a connection with no
+//! traffic for [`TcpConfig::idle_timeout`] is evicted, live connections
+//! are bounded by [`TcpConfig::max_conns`] (excess get one
+//! `overloaded` reply), finished handler threads are reaped (joined) on
+//! every accept, and [`TcpFrontend::shutdown`] joins everything.
 
 use crate::classifier::BatchClassify;
-use crate::engine::BatchEngine;
+use crate::engine::{BatchEngine, ServeError};
 use crate::Prediction;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Parse a request line into node ids.
 pub fn parse_request(line: &str) -> Result<Vec<u32>, String> {
@@ -41,71 +55,220 @@ pub fn parse_request(line: &str) -> Result<Vec<u32>, String> {
 }
 
 /// Format one prediction as the wire triple `node:labels:prob`.
-fn format_prediction(p: &Prediction) -> String {
+pub(crate) fn format_prediction(p: &Prediction) -> String {
     format!("{}:{}:{:.4}", p.node, p.labels_display(), p.max_prob())
 }
 
-/// Serve one client connection until it quits or errors out.
+/// Front-end limits (shared semantics with
+/// [`crate::poll::FrontendConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TcpConfig {
+    /// Live-connection bound; excess connections are refused with one
+    /// `overloaded` reply.
+    pub max_conns: usize,
+    /// Connections with no traffic for this long are evicted.
+    pub idle_timeout: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            max_conns: 1024,
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// How often a blocked read wakes to check the stop flag and the idle
+/// deadline.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// State shared between the accept loop and connection handlers.
+struct Registry {
+    live: AtomicUsize,
+    refused: AtomicU64,
+    evicted_idle: AtomicU64,
+    stop: AtomicBool,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            live: AtomicUsize::new(0),
+            refused: AtomicU64::new(0),
+            evicted_idle: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Join finished handler threads; called on every accept so the
+    /// handle list stays proportional to *live* connections.
+    fn reap(&self) {
+        let mut handles = self.handles.lock().expect("registry lock");
+        let mut live = Vec::with_capacity(handles.len());
+        for h in handles.drain(..) {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                live.push(h);
+            }
+        }
+        *handles = live;
+    }
+
+    fn join_all(&self) {
+        let drained: Vec<_> = {
+            let mut handles = self.handles.lock().expect("registry lock");
+            handles.drain(..).collect()
+        };
+        for h in drained {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Decrements the live-connection gauge even if the handler panics.
+struct ConnGuard<'a>(&'a Registry);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.live.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Serve one client connection until it quits, errors out, goes idle
+/// past the deadline, or the front-end stops.
 fn handle_connection<C: BatchClassify>(
     engine: &BatchEngine<C>,
     stream: TcpStream,
+    reg: &Registry,
+    idle_timeout: Duration,
 ) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TICK))?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    let mut last_activity = Instant::now();
+    loop {
+        let had = buf.len();
+        match reader.read_line(&mut buf) {
+            Ok(0) => return Ok(()), // clean EOF
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Timeout tick: partial data stays in `buf` (read_line
+                // appends what it got before the timeout).
+                if buf.len() > had {
+                    last_activity = Instant::now();
+                }
+                if reg.stop.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                if last_activity.elapsed() > idle_timeout {
+                    reg.evicted_idle.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        last_activity = Instant::now();
+        if !buf.ends_with('\n') {
+            // EOF mid-line: serve the final partial line, then close —
+            // never park the thread waiting for a newline that will
+            // not come (the pre-fix leak).
+            let line = std::mem::take(&mut buf);
+            serve_line(engine, &mut writer, line.trim())?;
+            return Ok(());
+        }
+        let line = std::mem::take(&mut buf);
         let line = line.trim();
         if line.is_empty() || line == "quit" {
-            break;
+            return Ok(());
         }
-        let reply = match parse_request(line) {
-            Err(e) => format!("err {e}"),
-            // Bad ids are rejected by `submit` before queueing, so a
-            // typo cannot fail a whole coalesced batch.
-            Ok(nodes) => match engine.classify(nodes) {
-                Ok(preds) => {
-                    let body = preds
-                        .iter()
-                        .map(format_prediction)
-                        .collect::<Vec<_>>()
-                        .join(" ");
-                    format!("ok {body}")
-                }
-                Err(e) => format!("err {e}"),
-            },
-        };
-        writer.write_all(reply.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        serve_line(engine, &mut writer, line)?;
     }
-    Ok(())
+}
+
+fn serve_line<C: BatchClassify>(
+    engine: &BatchEngine<C>,
+    writer: &mut TcpStream,
+    line: &str,
+) -> std::io::Result<()> {
+    if line.is_empty() {
+        return Ok(());
+    }
+    let reply = match parse_request(line) {
+        Err(e) => format!("err {e}"),
+        // Bad ids are rejected by `submit` before queueing, so a
+        // typo cannot fail a whole coalesced batch.
+        Ok(nodes) => match engine.classify(nodes) {
+            Ok(preds) => {
+                let body = preds
+                    .iter()
+                    .map(format_prediction)
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                format!("ok {body}")
+            }
+            Err(ServeError::Overloaded) => "overloaded".to_string(),
+            Err(e) => format!("err {e}"),
+        },
+    };
+    writer.write_all(reply.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn accept_one<C: BatchClassify>(
+    engine: &Arc<BatchEngine<C>>,
+    reg: &Arc<Registry>,
+    cfg: &TcpConfig,
+    stream: TcpStream,
+) {
+    reg.reap();
+    if reg.live.load(Ordering::Acquire) >= cfg.max_conns {
+        reg.refused.fetch_add(1, Ordering::Relaxed);
+        let mut s = stream;
+        let _ = s.write_all(b"overloaded\n");
+        return;
+    }
+    reg.live.fetch_add(1, Ordering::Release);
+    let engine = Arc::clone(engine);
+    let reg2 = Arc::clone(reg);
+    let idle = cfg.idle_timeout;
+    let handle = std::thread::Builder::new()
+        .name("gsgcn-serve-conn".into())
+        .spawn(move || {
+            let _guard = ConnGuard(&reg2);
+            if let Err(e) = handle_connection(&engine, stream, &reg2, idle) {
+                eprintln!("connection error: {e}");
+            }
+        })
+        .expect("failed to spawn connection handler");
+    reg.handles.lock().expect("registry lock").push(handle);
 }
 
 /// Accept-loop: every connection gets a handler thread that submits its
 /// requests to the shared engine. Returns when the listener errors, or
-/// runs forever otherwise (the CLI's `gsgcn serve` is terminated by the
-/// operator; tests connect over an ephemeral port and drop their side).
+/// runs forever otherwise (kept for CLI/test compatibility; prefer
+/// [`TcpFrontend::spawn`], which adds shutdown).
 pub fn run<C: BatchClassify>(
     engine: Arc<BatchEngine<C>>,
     listener: TcpListener,
 ) -> std::io::Result<()> {
+    let reg = Arc::new(Registry::new());
+    let cfg = TcpConfig::default();
     for stream in listener.incoming() {
-        let stream = stream?;
-        let engine = Arc::clone(&engine);
-        std::thread::Builder::new()
-            .name("gsgcn-serve-conn".into())
-            .spawn(move || {
-                if let Err(e) = handle_connection(&engine, stream) {
-                    eprintln!("connection error: {e}");
-                }
-            })
-            .expect("failed to spawn connection handler");
+        accept_one(&engine, &reg, &cfg, stream?);
     }
     Ok(())
 }
 
 /// Convenience used by tests and the CLI: bind `addr`, report the bound
-/// address (ephemeral ports!), serve on a background thread.
+/// address (ephemeral ports!), serve on a detached background thread
+/// for the life of the process.
 pub fn spawn<C: BatchClassify>(
     engine: Arc<BatchEngine<C>>,
     addr: &str,
@@ -120,6 +283,90 @@ pub fn spawn<C: BatchClassify>(
             }
         })?;
     Ok(local)
+}
+
+/// Handle to a running thread-per-connection front-end with an actual
+/// off switch: [`TcpFrontend::shutdown`] stops the accept loop, wakes
+/// every handler (they poll the stop flag on their 100 ms read tick)
+/// and joins all threads. Dropping the handle *without* calling
+/// `shutdown` leaves the front-end running detached, matching [`spawn`].
+pub struct TcpFrontend {
+    local: std::net::SocketAddr,
+    reg: Arc<Registry>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpFrontend {
+    /// Bind `addr` and serve on background threads.
+    pub fn spawn<C: BatchClassify>(
+        engine: Arc<BatchEngine<C>>,
+        addr: &str,
+        cfg: TcpConfig,
+    ) -> std::io::Result<TcpFrontend> {
+        if cfg.max_conns == 0 {
+            return Err(std::io::Error::other("max_conns must be ≥ 1"));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let reg = Arc::new(Registry::new());
+        let accept = {
+            let reg = Arc::clone(&reg);
+            std::thread::Builder::new()
+                .name("gsgcn-serve-accept".into())
+                .spawn(move || {
+                    while !reg.stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                // Handlers use read timeouts; undo the
+                                // listener's inherited nonblocking mode.
+                                if stream.set_nonblocking(false).is_ok() {
+                                    accept_one(&engine, &reg, &cfg, stream);
+                                }
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(20));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })?
+        };
+        Ok(TcpFrontend {
+            local,
+            reg,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (ephemeral ports!).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local
+    }
+
+    /// Live connection count (gauge; handler threads decrement on exit).
+    pub fn live_conns(&self) -> usize {
+        self.reg.live.load(Ordering::Acquire)
+    }
+
+    /// Connections refused at the `max_conns` bound.
+    pub fn refused(&self) -> u64 {
+        self.reg.refused.load(Ordering::Relaxed)
+    }
+
+    /// Connections evicted for idling past the deadline.
+    pub fn evicted_idle(&self) -> u64 {
+        self.reg.evicted_idle.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, wake and join every handler thread.
+    pub fn shutdown(mut self) {
+        self.reg.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        self.reg.join_all();
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,8 @@ use gsgcn_graph::GraphBuilder;
 use gsgcn_nn::model::{GcnConfig, GcnModel, LossKind};
 use gsgcn_serve::classifier::BatchClassify;
 use gsgcn_serve::{
-    BatchEngine, ClassifyWorkspace, EngineConfig, NodeClassifier, Prediction, ServeError,
+    AdmissionControl, BatchEngine, ClassifyWorkspace, EngineConfig, NodeClassifier, Prediction,
+    ServeError, TrySubmitError,
 };
 use gsgcn_tensor::DMatrix;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -40,6 +41,7 @@ fn cfg() -> EngineConfig {
         max_batch: 64,
         max_wait: Duration::from_millis(20),
         queue_capacity: 64,
+        admission: AdmissionControl::Block,
     }
 }
 
@@ -319,6 +321,124 @@ fn submit_blocks_on_full_queue() {
     );
     for handle in h.into_iter().chain(std::iter::once(h4)) {
         handle.wait().unwrap();
+    }
+}
+
+/// Shed admission: a full queue answers `overloaded` instead of
+/// blocking, the engine keeps serving, and nothing hangs.
+#[test]
+fn shed_admission_returns_overloaded_without_blocking() {
+    let slow = Arc::new(SlowClassifier {
+        inner: classifier(),
+        delay: Duration::from_millis(50),
+    });
+    let mut cfg = cfg();
+    cfg.max_batch = 1;
+    cfg.max_wait = Duration::from_millis(1);
+    cfg.queue_capacity = 2;
+    cfg.admission = AdmissionControl::Shed;
+    let engine = Arc::new(BatchEngine::spawn(slow, cfg).unwrap());
+
+    // Flood far past capacity. No submit may block (each call must
+    // return well under the classifier delay), and the overflow must
+    // surface as Overloaded somewhere — either synchronously or on a
+    // shed queued request's handle.
+    let mut handles = Vec::new();
+    let mut sync_overloaded = 0u32;
+    for i in 0..16u32 {
+        let t0 = Instant::now();
+        match engine.submit(vec![i % 24]) {
+            Ok(h) => handles.push(h),
+            Err(ServeError::Overloaded) => sync_overloaded += 1,
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "shed-mode submit blocked for {:?}",
+            t0.elapsed()
+        );
+    }
+    let mut served = 0u32;
+    let mut shed = 0u32;
+    for h in handles {
+        match h.wait() {
+            Ok(_) => served += 1,
+            Err(ServeError::Overloaded) => shed += 1,
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+    assert!(served > 0, "nothing was served under overload");
+    assert!(
+        shed + sync_overloaded > 0,
+        "16 requests into a 2-slot queue shed nothing"
+    );
+    assert_eq!(engine.shed(), (shed + sync_overloaded) as u64);
+    // The engine is healthy afterwards.
+    assert_eq!(engine.classify(vec![5]).unwrap().len(), 1);
+}
+
+/// Block admission + try_submit: a full queue hands the nodes back as
+/// `TrySubmitError::Full` instead of blocking the caller.
+#[test]
+fn try_submit_returns_full_instead_of_blocking() {
+    let slow = Arc::new(SlowClassifier {
+        inner: classifier(),
+        delay: Duration::from_millis(50),
+    });
+    let mut cfg = cfg();
+    cfg.max_batch = 1;
+    cfg.max_wait = Duration::from_millis(1);
+    cfg.queue_capacity = 1;
+    let engine = BatchEngine::spawn(slow, cfg).unwrap();
+
+    let mut got_full = false;
+    let mut handles = Vec::new();
+    for i in 0..8u32 {
+        let t0 = Instant::now();
+        match engine.try_submit(vec![i % 24]) {
+            Ok(h) => handles.push(h),
+            Err(TrySubmitError::Full(nodes)) => {
+                assert_eq!(nodes, vec![i % 24], "nodes must come back intact");
+                got_full = true;
+            }
+            Err(TrySubmitError::Rejected(e)) => panic!("unexpected rejection {e:?}"),
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(40),
+            "try_submit blocked for {:?}",
+            t0.elapsed()
+        );
+    }
+    assert!(got_full, "8 try_submits into a 1-slot queue never saw Full");
+    for h in handles {
+        h.wait().unwrap();
+    }
+}
+
+/// try_take polls without blocking: None while the engine is busy, the
+/// result exactly once after fulfillment.
+#[test]
+fn response_handle_try_take_polls() {
+    let slow = Arc::new(SlowClassifier {
+        inner: classifier(),
+        delay: Duration::from_millis(60),
+    });
+    let mut cfg = cfg();
+    cfg.max_wait = Duration::from_millis(1);
+    let engine = BatchEngine::spawn(slow, cfg).unwrap();
+    let h = engine.submit(vec![3]).unwrap();
+    assert!(h.try_take().is_none(), "result appeared before the forward");
+    let t0 = Instant::now();
+    loop {
+        if let Some(r) = h.try_take() {
+            assert_eq!(r.unwrap().len(), 1);
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "try_take never saw the result"
+        );
+        std::thread::sleep(Duration::from_millis(2));
     }
 }
 

@@ -1,0 +1,362 @@
+//! Front-end integration tests: the event-driven poller (line + binary
+//! protocols, pipelining, idle eviction, max-conns) and the fixed
+//! thread-per-connection front-end (EOF-mid-line, idle eviction,
+//! shutdown joins — the PR-6 leak fix).
+
+use gsgcn_graph::GraphBuilder;
+use gsgcn_nn::model::{GcnConfig, GcnModel, LossKind};
+use gsgcn_serve::classifier::BatchClassify;
+use gsgcn_serve::poll::{wire, EventFrontend, FrontendConfig, Protocol};
+use gsgcn_serve::tcp::{TcpConfig, TcpFrontend};
+use gsgcn_serve::{
+    AdmissionControl, BatchEngine, ClassifyWorkspace, EngineConfig, NodeClassifier, Prediction,
+};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn classifier() -> Arc<NodeClassifier> {
+    let n = 24;
+    let edges: Vec<(u32, u32)> = (0..n as u32)
+        .map(|i| (i, (i + 1) % n as u32))
+        .chain((0..n as u32 / 2).map(|i| (i, i + n as u32 / 2)))
+        .collect();
+    let g = GraphBuilder::new(n).add_edges(edges).build();
+    let x = gsgcn_tensor::DMatrix::from_fn(n, 6, |i, j| ((i * 5 + j) % 9) as f32 * 0.2 - 0.7);
+    let model = GcnModel::new(
+        GcnConfig {
+            in_dim: 6,
+            hidden_dims: vec![8, 8],
+            num_classes: 4,
+            loss: LossKind::SoftmaxCe,
+            ..GcnConfig::default()
+        },
+        23,
+    );
+    Arc::new(NodeClassifier::new(Arc::new(model), Arc::new(g), Arc::new(x)).unwrap())
+}
+
+fn engine(c: Arc<NodeClassifier>) -> Arc<BatchEngine<NodeClassifier>> {
+    Arc::new(
+        BatchEngine::spawn(
+            c,
+            EngineConfig {
+                workers: 1,
+                max_batch: 64,
+                max_wait: Duration::from_millis(5),
+                queue_capacity: 64,
+                admission: AdmissionControl::Block,
+            },
+        )
+        .unwrap(),
+    )
+}
+
+/// Read exactly one binary response frame off a blocking stream.
+fn read_frame(stream: &mut TcpStream, buf: &mut Vec<u8>) -> (u64, wire::WireResponse) {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some((used, id, resp)) = wire::try_decode_response(buf).expect("well-formed frame") {
+            buf.drain(..used);
+            return (id, resp);
+        }
+        let n = stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "connection closed mid-frame");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+#[test]
+fn poll_line_protocol_round_trip() {
+    let c = classifier();
+    let eng = engine(Arc::clone(&c));
+    let fe = EventFrontend::spawn(eng, "127.0.0.1:0", FrontendConfig::default()).unwrap();
+
+    let stream = TcpStream::connect(fe.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+
+    writer.write_all(b"3, 11 20\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ok "), "{line}");
+    assert_eq!(line.trim()[3..].split(' ').count(), 3);
+    let direct = c.classify(&[3, 11, 20]).unwrap();
+    let first = line.trim()[3..].split(' ').next().unwrap();
+    assert!(
+        first.starts_with(&format!("3:{}", direct[0].labels[0])),
+        "{first}"
+    );
+
+    // Bad id: error reply, connection stays usable.
+    writer.write_all(b"999999\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.starts_with("err ") && line.contains("out of range"),
+        "{line}"
+    );
+
+    writer.write_all(b"0\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ok 0:"), "{line}");
+
+    writer.write_all(b"quit\n").unwrap();
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "should close");
+    fe.shutdown();
+}
+
+#[test]
+fn poll_binary_protocol_pipelines_in_order() {
+    let c = classifier();
+    let eng = engine(Arc::clone(&c));
+    let cfg = FrontendConfig {
+        protocol: Protocol::Binary,
+        ..FrontendConfig::default()
+    };
+    let fe = EventFrontend::spawn(eng, "127.0.0.1:0", cfg).unwrap();
+
+    let mut stream = TcpStream::connect(fe.local_addr()).unwrap();
+    // Pipeline 8 requests in one write, ids 100..108.
+    let mut out = Vec::new();
+    for i in 0..8u64 {
+        wire::encode_request(100 + i, &[i as u32, (i as u32 + 7) % 24], &mut out);
+    }
+    // And one bad request in the middle of the stream.
+    wire::encode_request(999, &[23, 9999], &mut out);
+    stream.write_all(&out).unwrap();
+
+    let direct = |n: &[u32]| c.classify(n).unwrap();
+    let mut buf = Vec::new();
+    for i in 0..8u64 {
+        let (id, resp) = read_frame(&mut stream, &mut buf);
+        assert_eq!(id, 100 + i, "replies must come back in request order");
+        let wire::WireResponse::Ok(preds) = resp else {
+            panic!("unexpected response for id {id}: {resp:?}");
+        };
+        let want = direct(&[i as u32, (i as u32 + 7) % 24]);
+        assert_eq!(preds.len(), 2);
+        for (p, w) in preds.iter().zip(&want) {
+            assert_eq!(p.node, w.node);
+            assert_eq!(p.labels, w.labels);
+            assert!((p.max_prob - w.max_prob()).abs() < 1e-6);
+        }
+    }
+    let (id, resp) = read_frame(&mut stream, &mut buf);
+    assert_eq!(id, 999);
+    let wire::WireResponse::Err(m) = resp else {
+        panic!("expected error frame, got {resp:?}");
+    };
+    assert!(m.contains("out of range"), "{m}");
+    assert_eq!(fe.stats().requests.load(Ordering::Relaxed), 9);
+    fe.shutdown();
+}
+
+#[test]
+fn poll_evicts_idle_connections() {
+    let eng = engine(classifier());
+    let cfg = FrontendConfig {
+        idle_timeout: Duration::from_millis(150),
+        ..FrontendConfig::default()
+    };
+    let fe = EventFrontend::spawn(eng, "127.0.0.1:0", cfg).unwrap();
+
+    let stream = TcpStream::connect(fe.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    // Sit idle: the front-end must close on us.
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "not evicted");
+    assert!(fe.stats().evicted_idle.load(Ordering::Relaxed) >= 1);
+    fe.shutdown();
+}
+
+#[test]
+fn poll_refuses_connections_past_max_conns() {
+    let eng = engine(classifier());
+    let cfg = FrontendConfig {
+        max_conns: 1,
+        ..FrontendConfig::default()
+    };
+    let fe = EventFrontend::spawn(eng, "127.0.0.1:0", cfg).unwrap();
+
+    let keeper = TcpStream::connect(fe.local_addr()).unwrap();
+    let mut kw = keeper.try_clone().unwrap();
+    let mut kr = BufReader::new(keeper);
+    let mut line = String::new();
+    kw.write_all(b"1\n").unwrap();
+    kr.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ok "), "{line}");
+
+    // Second connection: one `overloaded` line, then close.
+    let extra = TcpStream::connect(fe.local_addr()).unwrap();
+    extra
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut er = BufReader::new(extra);
+    line.clear();
+    let t0 = Instant::now();
+    loop {
+        match er.read_line(&mut line) {
+            Ok(_) => break,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                assert!(t0.elapsed() < Duration::from_secs(5), "no refusal reply");
+            }
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+    assert_eq!(line.trim(), "overloaded", "{line}");
+    assert!(fe.stats().refused.load(Ordering::Relaxed) >= 1);
+
+    // The first connection is unaffected.
+    kw.write_all(b"2\n").unwrap();
+    line.clear();
+    kr.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ok "), "{line}");
+    fe.shutdown();
+}
+
+/// Shed admission end-to-end over the binary protocol: flooding a tiny
+/// queue yields explicit status-2 `overloaded` frames, not hangs.
+struct SlowClassifier(Arc<NodeClassifier>);
+
+impl BatchClassify for SlowClassifier {
+    fn classify_into(
+        &self,
+        nodes: &[u32],
+        ws: &mut ClassifyWorkspace,
+        out: &mut Vec<Prediction>,
+    ) -> Result<(), String> {
+        std::thread::sleep(Duration::from_millis(30));
+        self.0.classify_into(nodes, ws, out)
+    }
+    fn num_nodes(&self) -> usize {
+        self.0.num_nodes()
+    }
+}
+
+#[test]
+fn poll_shed_overload_replies_overloaded() {
+    let eng = Arc::new(
+        BatchEngine::spawn(
+            Arc::new(SlowClassifier(classifier())),
+            EngineConfig {
+                workers: 1,
+                max_batch: 1,
+                max_wait: Duration::from_millis(1),
+                queue_capacity: 2,
+                admission: AdmissionControl::Shed,
+            },
+        )
+        .unwrap(),
+    );
+    let cfg = FrontendConfig {
+        protocol: Protocol::Binary,
+        ..FrontendConfig::default()
+    };
+    let fe = EventFrontend::spawn(eng, "127.0.0.1:0", cfg).unwrap();
+
+    let mut stream = TcpStream::connect(fe.local_addr()).unwrap();
+    let total = 24u64;
+    let mut out = Vec::new();
+    for i in 0..total {
+        wire::encode_request(i, &[(i % 24) as u32], &mut out);
+    }
+    stream.write_all(&out).unwrap();
+    let mut buf = Vec::new();
+    let (mut served, mut shed) = (0u32, 0u32);
+    for want in 0..total {
+        let (id, resp) = read_frame(&mut stream, &mut buf);
+        assert_eq!(id, want, "order must survive shedding");
+        match resp {
+            wire::WireResponse::Ok(_) => served += 1,
+            wire::WireResponse::Overloaded => shed += 1,
+            wire::WireResponse::Err(m) => panic!("unexpected err {m}"),
+        }
+    }
+    assert!(served > 0, "nothing served under overload");
+    assert!(shed > 0, "24 requests into a 2-slot queue shed nothing");
+    fe.shutdown();
+}
+
+#[test]
+fn tcp_serves_final_partial_line_on_eof() {
+    let eng = engine(classifier());
+    let fe = TcpFrontend::spawn(eng, "127.0.0.1:0", TcpConfig::default()).unwrap();
+
+    let stream = TcpStream::connect(fe.local_addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    // EOF mid-line: no trailing newline, then close the write half. The
+    // old front-end parked its handler thread forever here.
+    writer.write_all(b"0 5").unwrap();
+    writer.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ok 0:"), "{line}");
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "should close");
+    // Shutdown joining proves the handler thread exited (a leaked
+    // parked thread would hang the join and time the test out).
+    fe.shutdown();
+}
+
+#[test]
+fn tcp_evicts_idle_connections_and_joins() {
+    let eng = engine(classifier());
+    let cfg = TcpConfig {
+        idle_timeout: Duration::from_millis(150),
+        ..TcpConfig::default()
+    };
+    let fe = TcpFrontend::spawn(eng, "127.0.0.1:0", cfg).unwrap();
+
+    let stream = TcpStream::connect(fe.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "not evicted");
+    assert_eq!(fe.evicted_idle(), 1);
+    let t0 = Instant::now();
+    while fe.live_conns() > 0 {
+        assert!(t0.elapsed() < Duration::from_secs(5), "gauge never dropped");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    fe.shutdown();
+}
+
+#[test]
+fn tcp_refuses_connections_past_max_conns() {
+    let eng = engine(classifier());
+    let cfg = TcpConfig {
+        max_conns: 1,
+        ..TcpConfig::default()
+    };
+    let fe = TcpFrontend::spawn(eng, "127.0.0.1:0", cfg).unwrap();
+
+    let keeper = TcpStream::connect(fe.local_addr()).unwrap();
+    let mut kw = keeper.try_clone().unwrap();
+    let mut kr = BufReader::new(keeper);
+    let mut line = String::new();
+    kw.write_all(b"1\n").unwrap();
+    kr.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ok "), "{line}");
+
+    let extra = TcpStream::connect(fe.local_addr()).unwrap();
+    extra
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut er = BufReader::new(extra);
+    line.clear();
+    er.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "overloaded", "{line}");
+    assert!(fe.refused() >= 1);
+    fe.shutdown();
+}

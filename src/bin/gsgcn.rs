@@ -17,8 +17,11 @@
 //! a bare `--load` always runs against the dataset the model was trained
 //! on. `predict` answers a one-shot node batch through the batched
 //! inference engine (L-hop subgraph forward, not a full-graph pass);
-//! `serve` keeps the engine running behind a newline-delimited TCP
-//! protocol (see `gsgcn_serve::tcp`). `kernel` reports the GEMM
+//! `serve` keeps the engine running behind an event-driven TCP
+//! front-end speaking the line protocol or a pipelined binary framing,
+//! with weighted admission control and an optional activation cache
+//! (see `gsgcn_serve`); `--frontend threaded` selects the original
+//! thread-per-connection front-end. `kernel` reports the GEMM
 //! microkernel tier dispatch; `--probe T` exits non-zero when the CPU
 //! lacks tier `T` (used by CI to skip unsupported tiers visibly).
 //!
@@ -50,9 +53,18 @@ const USAGE: &str = "usage:
               for eval] — classify a node batch on its L-hop subgraph
               through the batch engine; --probs prints full class rows
   gsgcn serve --load PATH [--addr HOST:PORT] [--workers N] [--max-batch N]
-              [--max-wait-us N] [--queue N] [dataset overrides as for eval]
-              — newline-delimited TCP: send `3 17 204\\n`, receive
-              `ok 3:<labels>:<p> ..\\n` per request (`quit` to close)
+              [--max-wait-us N] [--queue N] [--admission <block|shed>]
+              [--frontend <event|threaded>] [--protocol <line|binary>]
+              [--cache-bytes SIZE] [--max-conns N] [--idle-timeout-ms N]
+              [dataset overrides as for eval]
+              — line protocol: send `3 17 204\\n`, receive
+              `ok 3:<labels>:<p> ..\\n` (`err ..\\n` on failure,
+              `overloaded\\n` when admission sheds, `quit` to close);
+              --protocol binary selects the pipelined length-prefixed
+              framing (event front-end only; see gsgcn_serve docs).
+              SIZE accepts 64MiB/1GB/..; --cache-bytes 0 disables the
+              activation cache and overrides the GSGCN_ACTIVATION_CACHE
+              env default
   gsgcn kernel [--probe <scalar|avx2|avx512>]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -417,33 +429,111 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
-    use gsgcn::serve::{tcp, BatchEngine, EngineConfig};
+    use gsgcn::serve::poll::{EventFrontend, FrontendConfig, Protocol};
+    use gsgcn::serve::{cache, tcp, ActivationCache, AdmissionControl, BatchEngine, EngineConfig};
     use std::sync::Arc;
 
-    let classifier = Arc::new(build_classifier(flags)?);
+    // Cache budget policy (the GSGCN_KERNEL pattern): an explicit
+    // --cache-bytes wins over the GSGCN_ACTIVATION_CACHE env default,
+    // which `NodeClassifier::new` applies on its own.
+    let classifier = match flags.get("cache-bytes") {
+        None => build_classifier(flags)?,
+        Some(s) => {
+            let bytes = cache::parse_cache_budget(s).map_err(|e| format!("--cache-bytes: {e}"))?;
+            build_classifier(flags)?.with_cache(if bytes == 0 {
+                None
+            } else {
+                Some(Arc::new(ActivationCache::new(bytes)))
+            })
+        }
+    };
+    let cache_note = match classifier.cache() {
+        Some(c) => format!("activation cache {} bytes", c.budget_bytes()),
+        None => "activation cache off".to_string(),
+    };
+    let classifier = Arc::new(classifier);
+
     let cfg = EngineConfig {
         workers: get(flags, "workers", 1usize)?,
         max_batch: get(flags, "max-batch", 64usize)?,
         max_wait: std::time::Duration::from_micros(get(flags, "max-wait-us", 200u64)?),
         queue_capacity: get(flags, "queue", 1024usize)?,
+        // Serving default is shed: an overloaded server answers
+        // `overloaded` fast instead of letting every client's p99
+        // collapse (the library default stays Block).
+        admission: get(flags, "admission", AdmissionControl::Shed)?,
     };
+    let max_conns = get(flags, "max-conns", 1024usize)?;
+    if max_conns == 0 {
+        return Err("--max-conns must be ≥ 1 (0 would refuse every connection)".into());
+    }
+    let idle_ms = get(flags, "idle-timeout-ms", 60_000u64)?;
+    if idle_ms == 0 {
+        return Err("--idle-timeout-ms must be ≥ 1 (0 would evict every connection)".into());
+    }
+    let idle_timeout = std::time::Duration::from_millis(idle_ms);
+    let protocol: Protocol = get(flags, "protocol", Protocol::Line)?;
+    let frontend = flags.get("frontend").map(String::as_str).unwrap_or("event");
     let addr = flags
         .get("addr")
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+
     let engine = Arc::new(BatchEngine::spawn(classifier, cfg)?);
-    let listener =
-        std::net::TcpListener::bind(&addr).map_err(|e| format!("binding {addr}: {e}"))?;
-    let local = listener.local_addr().map_err(|e| e.to_string())?;
-    println!(
-        "serving on {local} — {} worker{}, max batch {} nodes, max wait {}µs \
-         (newline-delimited ids; `quit` closes a connection)",
-        cfg.workers,
-        plural(cfg.workers),
-        cfg.max_batch,
-        cfg.max_wait.as_micros(),
-    );
-    tcp::run(engine, listener).map_err(|e| format!("accept loop failed: {e}"))
+    let banner = |local: std::net::SocketAddr| {
+        println!(
+            "serving on {local} [{frontend}/{}] — {} worker{}, max batch {} nodes, \
+             max wait {}µs, admission {:?}, {cache_note}, max {max_conns} conns, \
+             idle timeout {idle_ms}ms",
+            match protocol {
+                Protocol::Line => "line",
+                Protocol::Binary => "binary",
+            },
+            cfg.workers,
+            plural(cfg.workers),
+            cfg.max_batch,
+            cfg.max_wait.as_micros(),
+            cfg.admission,
+        );
+    };
+    match frontend {
+        "event" => {
+            let fe = EventFrontend::spawn(
+                engine,
+                &addr,
+                FrontendConfig {
+                    protocol,
+                    max_conns,
+                    idle_timeout,
+                    ..FrontendConfig::default()
+                },
+            )
+            .map_err(|e| format!("binding {addr}: {e}"))?;
+            banner(fe.local_addr());
+            fe.join();
+            Ok(())
+        }
+        "threaded" => {
+            if protocol != Protocol::Line {
+                return Err("--frontend threaded only speaks --protocol line".into());
+            }
+            let fe = tcp::TcpFrontend::spawn(
+                engine,
+                &addr,
+                tcp::TcpConfig {
+                    max_conns,
+                    idle_timeout,
+                },
+            )
+            .map_err(|e| format!("binding {addr}: {e}"))?;
+            banner(fe.local_addr());
+            // Park forever: the operator terminates `gsgcn serve`.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        other => Err(format!("bad --frontend {other:?}: expected event|threaded")),
+    }
 }
 
 /// Exit code for `kernel --probe` on a valid tier the CPU cannot run.
