@@ -1,0 +1,204 @@
+//! Out-of-core store benchmark (`BENCH_outofcore.json` in CI): the same
+//! sharded on-disk dataset driven through both `GraphStore` backends.
+//!
+//! A yelp-shaped graph is spilled to a shard directory once, then every
+//! access path the trainer and server exercise is measured per backend:
+//!
+//! * `outofcore/open_B` — `StoreDataset::open_with` cost. The mem
+//!   backend pays full materialization up front; mmap only maps headers.
+//! * `outofcore/gather_B` — scattered 4096-row feature gathers, the
+//!   trainer's per-iteration hot path. Under the deliberately undersized
+//!   cache (`CACHE_BUDGET` ≪ store size) the mmap numbers include CLOCK
+//!   eviction and remapping — that penalty *is* the result, not noise.
+//! * `outofcore/ball2_B` — 2-hop ball expansion of 64 scattered roots
+//!   through the `Topology` trait (adjacency-only traffic).
+//! * `outofcore/train_epoch_B` — one full `GsGcnTrainer` epoch from the
+//!   sharded store.
+//!
+//! Records are tagged `backend=`, `cache=`, `shards=`; the mmap train
+//! record additionally carries the shard-cache hit/miss/eviction counts
+//! and each backend phase carries `peak_rss` (`VmHWM`). The mmap phase
+//! runs FIRST so its reported peak RSS is a true bound on the out-of-core
+//! working set — VmHWM is monotone, so once the mem backend materializes
+//! the store the watermark stops being attributable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsgcn_core::{GsGcnTrainer, TrainerConfig};
+use gsgcn_data::presets;
+use gsgcn_data::store_dataset::StoreDataset;
+use gsgcn_graph::{l_hop_ball, GraphStore, StoreBackend, Topology};
+use gsgcn_metrics::mem::{format_bytes, peak_rss_bytes};
+use gsgcn_sampler::dashboard::FrontierConfig;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Yelp-shaped fixture: big enough that the shard cache genuinely
+/// cannot hold the store, small enough to spill in CI seconds.
+const GRAPH_VERTICES: usize = 30_000;
+const NUM_SHARDS: usize = 12;
+/// Shard-cache budget for the mmap backend — roughly a quarter of the
+/// on-disk store, so gathers and balls must evict to make progress.
+const CACHE_BUDGET: usize = 24 << 20;
+const GATHER_ROWS: usize = 4096;
+const SAMPLES: usize = 30;
+
+fn shard_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("gsgcn-bench-outofcore-{}", std::process::id()))
+}
+
+/// Spill the fixture once; later opens reuse it.
+fn ensure_spilled() -> PathBuf {
+    let dir = shard_dir();
+    if !dir.join("dataset.gss").exists() {
+        let d = presets::scale_spec(&presets::yelp_spec(), GRAPH_VERTICES).generate(3);
+        d.spill_to_dir(&dir, NUM_SHARDS).expect("spill fixture");
+    }
+    dir
+}
+
+fn scattered_rows(iter: usize, count: usize, n: usize) -> Vec<u32> {
+    let stride = (n / count).max(1);
+    (0..count)
+        .map(|k| ((k * stride + iter * 131) % n) as u32)
+        .collect()
+}
+
+fn backend_tags(backend: StoreBackend, extra: &[(&str, String)]) -> Vec<(String, String)> {
+    let mut tags = vec![
+        ("backend".to_string(), format!("{backend:?}").to_lowercase()),
+        ("cache".to_string(), format_bytes(CACHE_BUDGET)),
+        ("shards".to_string(), NUM_SHARDS.to_string()),
+    ];
+    for (k, v) in extra {
+        tags.push((k.to_string(), v.clone()));
+    }
+    tags
+}
+
+fn bench_backend(backend: StoreBackend) {
+    let dir = ensure_spilled();
+    let backend_name = format!("{backend:?}").to_lowercase();
+
+    // Open / materialization cost.
+    let open_lat: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            let sd = StoreDataset::open_with(&dir, backend, CACHE_BUDGET).expect("open store");
+            std::hint::black_box(sd.num_vertices());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    criterion::set_json_tags(backend_tags(backend, &[]));
+    criterion::record_latency_distribution(
+        &format!("outofcore/open_{backend_name}"),
+        &open_lat,
+        None,
+    );
+
+    let sd = StoreDataset::open_with(&dir, backend, CACHE_BUDGET).expect("open store");
+    let full: &GraphStore = &sd.full;
+    let n = full.num_vertices();
+    let fdim = full.feature_dim();
+
+    // Scattered feature gathers — the trainer's per-iteration hot path.
+    let mut buf = gsgcn_tensor::DMatrix::zeros(GATHER_ROWS, fdim);
+    let gather_lat: Vec<f64> = (0..SAMPLES)
+        .map(|i| {
+            let rows = scattered_rows(i, GATHER_ROWS, n);
+            let t0 = Instant::now();
+            full.gather_features_into(&rows, &mut buf).expect("gather");
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    let gather_median = {
+        let mut s = gather_lat.clone();
+        s.sort_by(f64::total_cmp);
+        s[s.len() / 2]
+    };
+    criterion::record_latency_distribution(
+        &format!("outofcore/gather_{backend_name}"),
+        &gather_lat,
+        Some(GATHER_ROWS as f64 / gather_median),
+    );
+
+    // Adjacency traffic: 2-hop balls of scattered roots via `Topology`.
+    let g: &dyn Topology = full;
+    let ball_lat: Vec<f64> = (0..SAMPLES)
+        .map(|i| {
+            let roots = scattered_rows(7 * i + 1, 64, n);
+            let t0 = Instant::now();
+            std::hint::black_box(l_hop_ball(g, &roots, 2).len());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    criterion::record_latency_distribution(
+        &format!("outofcore/ball2_{backend_name}"),
+        &ball_lat,
+        None,
+    );
+
+    // One full training epoch from the sharded store.
+    let cfg = TrainerConfig {
+        sampler: FrontierConfig {
+            frontier_size: 200,
+            budget: 2000,
+            ..FrontierConfig::default()
+        },
+        hidden_dims: vec![128],
+        epochs: 1,
+        eval_every: 0,
+        seed: 5,
+        ..TrainerConfig::default()
+    };
+    let mut trainer = GsGcnTrainer::from_store(&sd, cfg).expect("trainer");
+    trainer.train_epoch().expect("warm-up epoch");
+    let epoch_lat: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            trainer.train_epoch().expect("epoch");
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    let mut extra = Vec::new();
+    if let Some(stats) = full.cache_stats() {
+        extra.push(("cache_hits", stats.hits.to_string()));
+        extra.push(("cache_misses", stats.misses.to_string()));
+        extra.push(("cache_evictions", stats.evictions.to_string()));
+    }
+    if let Some(rss) = peak_rss_bytes() {
+        extra.push(("peak_rss", format_bytes(rss)));
+    }
+    criterion::set_json_tags(backend_tags(backend, &extra));
+    criterion::record_latency_distribution(
+        &format!("outofcore/train_epoch_{backend_name}"),
+        &epoch_lat,
+        None,
+    );
+    if let Some(stats) = full.cache_stats() {
+        println!(
+            "  {backend_name}: shard cache {} hits / {} misses / {} evictions, {} mapped",
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            format_bytes(stats.mapped_bytes),
+        );
+    }
+    if let Some(rss) = peak_rss_bytes() {
+        println!("  {backend_name}: peak RSS so far {}", format_bytes(rss));
+    }
+    criterion::set_json_tags([("backend", backend_name)]);
+}
+
+fn bench_outofcore(c: &mut Criterion) {
+    let _ = c;
+    gsgcn_bench::announce_kernel_tier();
+    // mmap FIRST: VmHWM is monotone, so the out-of-core phase must set
+    // its watermark before the mem backend materializes everything.
+    bench_backend(StoreBackend::Mmap);
+    bench_backend(StoreBackend::Mem);
+    criterion::set_json_tags([] as [(&str, &str); 0]);
+    std::fs::remove_dir_all(shard_dir()).ok();
+}
+
+criterion_group!(benches, bench_outofcore);
+criterion_main!(benches);

@@ -29,7 +29,7 @@ fn bench_training_iteration(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            black_box(sampler.sample_subgraph(&tv.graph, seed))
+            black_box(sampler.sample_subgraph(&*tv.graph, seed))
         });
     });
 
@@ -45,7 +45,7 @@ fn bench_training_iteration(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            let sub = sampler.sample_subgraph(&tv.graph, seed);
+            let sub = sampler.sample_subgraph(&*tv.graph, seed);
             let x = tv.features.gather_rows(&sub.origin);
             let y = tv.labels.gather_rows(&sub.origin);
             black_box(model.train_step(&sub.graph, &x, &y))

@@ -14,7 +14,7 @@ use gsgcn_sampler::GraphSampler;
 fn main() {
     let d = presets::ppi_scaled(seed());
     let tv = d.train_view();
-    let g = &tv.graph;
+    let g = &*tv.graph;
     let reps = if full_mode() { 20 } else { 5 };
 
     header("A1: Dashboard vs naive frontier sampler (serial, per-subgraph seconds)");

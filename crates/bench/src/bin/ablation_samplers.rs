@@ -50,7 +50,7 @@ fn train_with_sampler(
     let mut it = 0u64;
     for _ in 0..epochs {
         for _ in 0..iters_per_epoch {
-            let sub = sampler.sample_subgraph(&tv.graph, seed() ^ it.wrapping_mul(0x9E37));
+            let sub = sampler.sample_subgraph(&*tv.graph, seed() ^ it.wrapping_mul(0x9E37));
             it += 1;
             if sub.num_vertices() == 0 {
                 continue;
@@ -118,7 +118,7 @@ fn main() {
         "sampler", "|V_sub|", "d̄_sub", "cluster", "deg-TV-dist", "LCC%"
     );
     for (name, s) in &samplers {
-        let sub = s.sample_subgraph(&tv.graph, seed());
+        let sub = s.sample_subgraph(&*tv.graph, seed());
         let ds = stats::degree_stats(&sub.graph);
         let tv_dist = stats::degree_distribution_distance(&tv.graph, &sub.graph);
         let lcc = if sub.num_vertices() > 0 {

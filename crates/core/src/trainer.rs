@@ -31,7 +31,9 @@
 
 use crate::config::TrainerConfig;
 use crate::report::{EpochStats, TrainReport};
-use gsgcn_data::dataset::{Dataset, TaskKind, TrainView};
+use gsgcn_data::dataset::{Dataset, Split, TaskKind};
+use gsgcn_data::store_dataset::StoreDataset;
+use gsgcn_graph::{l_hop_ball, l_hop_subgraph, GraphStore, Topology};
 use gsgcn_metrics::convergence::Curve;
 use gsgcn_metrics::f1;
 use gsgcn_metrics::timing::{Breakdown, Phase};
@@ -52,17 +54,66 @@ pub enum EvalSplit {
     Test,
 }
 
+/// Where the evaluation graph lives: fully resident ([`Dataset`]) or in
+/// a sharded on-disk store ([`StoreDataset`]). Training always reads
+/// through a [`GraphStore`]; only evaluation branches on this.
+enum EvalSource<'a> {
+    Resident(&'a Dataset),
+    Stored(&'a StoreDataset),
+}
+
+impl EvalSource<'_> {
+    fn name(&self) -> &str {
+        match self {
+            EvalSource::Resident(d) => &d.name,
+            EvalSource::Stored(sd) => &sd.name,
+        }
+    }
+
+    fn task(&self) -> TaskKind {
+        match self {
+            EvalSource::Resident(d) => d.task,
+            EvalSource::Stored(sd) => sd.task,
+        }
+    }
+
+    fn split(&self) -> &Split {
+        match self {
+            EvalSource::Resident(d) => &d.split,
+            EvalSource::Stored(sd) => &sd.split,
+        }
+    }
+}
+
+/// Roots per chunk for the out-of-core (stored) evaluation path —
+/// an upper bound; the chunk size adapts downward (see
+/// [`EVAL_MAX_BALL_ROWS`]) when L-hop balls grow dense.
+const EVAL_CHUNK_ROOTS: usize = 256;
+
+/// Cap on one eval chunk's L-hop ball, in vertices. The ball of `c`
+/// roots grows like `c · d̄^L`, so on dense graphs a fixed root count
+/// would materialise feature buffers proportional to the *graph*, not
+/// the chunk — exactly the resident-set blowup the stored path exists
+/// to avoid. Chunks halve until the ball fits (single-root overshoot is
+/// accepted: one root's ball is irreducible). 32 Ki rows ≈ 38 MiB of
+/// 300-dim f32 features.
+const EVAL_MAX_BALL_ROWS: usize = 32 * 1024;
+
 /// Trainer state: dataset view, model, sampler pool/pipeline, timers.
 pub struct GsGcnTrainer<'a> {
-    dataset: &'a Dataset,
-    train_view: TrainView,
+    source: EvalSource<'a>,
+    /// Store over the training-induced subgraph. On the resident path
+    /// this is built by [`GraphStore::from_parts_env`], so
+    /// `GSGCN_GRAPH_STORE=mmap` makes even `Dataset`-backed training
+    /// exercise the out-of-core read path.
+    train_store: Arc<GraphStore>,
     model: GcnModel,
     sampler: Arc<DashboardSampler>,
     pool: SubgraphPool,
     /// Producer–consumer sampling pipeline (`None` on the synchronous
-    /// path). Declared after `train_view` but holds its own `Arc` clones
-    /// of the sampler and training graph, so drop order is irrelevant;
-    /// dropping the trainer joins the worker threads.
+    /// path). Holds its own `Arc` clones of the sampler and training
+    /// store, so drop order is irrelevant; dropping the trainer joins
+    /// the worker threads.
     pipeline: Option<SamplerPipeline>,
     cfg: TrainerConfig,
     thread_pool: rayon::ThreadPool,
@@ -85,6 +136,8 @@ pub struct GsGcnTrainer<'a> {
     eval_probs: gsgcn_tensor::DMatrix,
     eval_probs_split: gsgcn_tensor::DMatrix,
     eval_labels_split: gsgcn_tensor::DMatrix,
+    /// Ball-feature gather buffer for the stored (out-of-core) eval path.
+    eval_x: gsgcn_tensor::DMatrix,
 }
 
 impl<'a> GsGcnTrainer<'a> {
@@ -92,14 +145,48 @@ impl<'a> GsGcnTrainer<'a> {
     ///
     /// Fails (rather than panics) on invalid configuration or an
     /// inconsistent dataset, so experiment binaries can surface errors.
-    pub fn new(dataset: &'a Dataset, mut cfg: TrainerConfig) -> Result<Self, String> {
+    pub fn new(dataset: &'a Dataset, cfg: TrainerConfig) -> Result<Self, String> {
         cfg.validate()?;
         dataset.validate()?;
 
+        // Build the training-view store. `from_parts_env` honours
+        // `GSGCN_GRAPH_STORE`: on `mem` it aliases the view's matrices
+        // (zero copy); on `mmap` it spills them to a temporary shard
+        // directory and training reads through the shard cache.
+        let tv = dataset.train_view();
+        let train_store = GraphStore::from_parts_env(
+            Arc::clone(&tv.graph),
+            Some(Arc::clone(&tv.features)),
+            Some(Arc::clone(&tv.labels)),
+        )
+        .map_err(|e| format!("failed to build training graph store: {e}"))?;
+        Self::build(EvalSource::Resident(dataset), Arc::new(train_store), cfg)
+    }
+
+    /// Build a trainer over a sharded on-disk [`StoreDataset`] (see
+    /// `gsgcn shard`). Training samples from the store's training
+    /// subgraph; evaluation streams L-hop balls of the eval roots
+    /// through the shard cache instead of materialising the full graph,
+    /// so peak RSS stays bounded by the cache budget plus one ball.
+    pub fn from_store(sd: &'a StoreDataset, cfg: TrainerConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        if sd.full.feature_dim() == 0 {
+            return Err("graph store has no feature matrix".into());
+        }
+        if sd.full.label_dim() == 0 {
+            return Err("graph store has no label matrix".into());
+        }
+        Self::build(EvalSource::Stored(sd), Arc::clone(&sd.train), cfg)
+    }
+
+    fn build(
+        source: EvalSource<'a>,
+        train_store: Arc<GraphStore>,
+        mut cfg: TrainerConfig,
+    ) -> Result<Self, String> {
         // Clamp the sampling budget to the training-graph size so tiny
         // datasets work with default sampler settings.
-        let train_view = dataset.train_view();
-        let t = train_view.graph.num_vertices();
+        let t = train_store.num_vertices();
         if t == 0 {
             return Err("training split is empty".into());
         }
@@ -110,14 +197,14 @@ impl<'a> GsGcnTrainer<'a> {
             cfg.sampler.frontier_size = (cfg.sampler.budget / 2).max(1);
         }
 
-        let loss = match dataset.task {
+        let loss = match source.task() {
             TaskKind::MultiLabel => LossKind::SigmoidBce,
             TaskKind::SingleLabel => LossKind::SoftmaxCe,
         };
         let model_cfg = GcnConfig {
-            in_dim: dataset.feature_dim(),
+            in_dim: train_store.feature_dim(),
             hidden_dims: cfg.hidden_dims.clone(),
-            num_classes: dataset.num_classes(),
+            num_classes: train_store.label_dim(),
             loss,
             adam: cfg.adam,
             dropout: cfg.dropout,
@@ -135,7 +222,7 @@ impl<'a> GsGcnTrainer<'a> {
         let pipeline = if cfg.sampler_threads > 0 {
             Some(SamplerPipeline::spawn(
                 Arc::clone(&sampler),
-                Arc::clone(&train_view.graph),
+                Arc::clone(&train_store),
                 PipelineConfig {
                     workers: cfg.sampler_threads,
                     p_inter: cfg.p_inter,
@@ -153,8 +240,8 @@ impl<'a> GsGcnTrainer<'a> {
             .map_err(|e| format!("failed to build thread pool: {e}"))?;
 
         Ok(GsGcnTrainer {
-            dataset,
-            train_view,
+            source,
+            train_store,
             model,
             sampler,
             pool,
@@ -170,6 +257,7 @@ impl<'a> GsGcnTrainer<'a> {
             eval_probs: gsgcn_tensor::DMatrix::zeros(0, 0),
             eval_probs_split: gsgcn_tensor::DMatrix::zeros(0, 0),
             eval_labels_split: gsgcn_tensor::DMatrix::zeros(0, 0),
+            eval_x: gsgcn_tensor::DMatrix::zeros(0, 0),
         })
     }
 
@@ -211,8 +299,7 @@ impl<'a> GsGcnTrainer<'a> {
     /// Iterations per epoch: `⌈|V_train| / budget⌉` (one epoch ≈ one full
     /// traversal of the training vertices, Sec. III-B).
     pub fn iterations_per_epoch(&self) -> usize {
-        self.train_view
-            .graph
+        self.train_store
             .num_vertices()
             .div_ceil(self.cfg.sampler.budget)
             .max(1)
@@ -243,9 +330,7 @@ impl<'a> GsGcnTrainer<'a> {
         // Borrow-splitting: move fields we need inside the closure out of
         // `self` references explicitly.
         let sampler = &self.sampler;
-        let train_graph = &self.train_view.graph;
-        let train_features = &self.train_view.features;
-        let train_labels = &self.train_view.labels;
+        let train_store = &self.train_store;
         let pool = &mut self.pool;
         let pipeline = &mut self.pipeline;
         let model = &mut self.model;
@@ -262,15 +347,21 @@ impl<'a> GsGcnTrainer<'a> {
                 let t0 = Instant::now();
                 let sub = match pipeline.as_mut() {
                     Some(pipe) => pipe.pop().map_err(|e| e.to_string())?,
-                    None => pool.pop_or_refill(&**sampler, train_graph),
+                    None => pool.pop_or_refill(&**sampler, &**train_store),
                 };
                 breakdown.add(Phase::Sampling, t0.elapsed().as_secs_f64());
 
                 // --- Gather subgraph rows (Alg. 1 line 5) into reused
-                // buffers — no per-iteration matrix allocation.
+                // buffers — no per-iteration matrix allocation. On the
+                // mmap backend this is the out-of-core read: rows come
+                // through the shard cache.
                 let t0 = Instant::now();
-                train_features.gather_rows_into(&sub.origin, x_buf);
-                train_labels.gather_rows_into(&sub.origin, y_buf);
+                train_store
+                    .gather_features_into(&sub.origin, x_buf)
+                    .map_err(|e| format!("feature gather from graph store failed: {e}"))?;
+                train_store
+                    .gather_labels_into(&sub.origin, y_buf)
+                    .map_err(|e| format!("label gather from graph store failed: {e}"))?;
                 let gather_secs = t0.elapsed().as_secs_f64();
 
                 // --- Forward/backward/update (Alg. 1 lines 6–13) ---
@@ -321,34 +412,82 @@ impl<'a> GsGcnTrainer<'a> {
         Ok(stats)
     }
 
-    /// Full-graph inference + F1-micro on the chosen split.
+    /// Inference + F1-micro on the chosen split.
     ///
-    /// Runs on the trainer's persistent [`InferenceWorkspace`] and
-    /// gather buffers: after the first call everything — forward,
-    /// row gathers, the streaming F1 — is allocation-free, so per-epoch
-    /// validation no longer rebuilds full logits/probs matrices.
+    /// * Resident datasets: one full-graph forward on the trainer's
+    ///   persistent [`InferenceWorkspace`] and gather buffers — after
+    ///   the first call everything (forward, row gathers, streaming F1)
+    ///   is allocation-free.
+    /// * Stored datasets: the full graph may not fit in RAM, so eval
+    ///   streams the split in chunks of [`EVAL_CHUNK_ROOTS`] roots.
+    ///   Each chunk extracts the L-hop ball of its roots through the
+    ///   shard cache, runs L layers on the ball (exact at the roots),
+    ///   and feeds root rows into a chunk-order-free
+    ///   [`f1::F1Accumulator`].
     pub fn evaluate(&mut self, split: EvalSplit) -> f64 {
+        let s = self.source.split();
         let idx: &[u32] = match split {
-            EvalSplit::Train => &self.dataset.split.train,
-            EvalSplit::Val => &self.dataset.split.val,
-            EvalSplit::Test => &self.dataset.split.test,
+            EvalSplit::Train => &s.train,
+            EvalSplit::Val => &s.val,
+            EvalSplit::Test => &s.test,
         };
         if idx.is_empty() {
             return 0.0;
         }
-        let single = self.dataset.task == TaskKind::SingleLabel;
+        let single = self.source.task() == TaskKind::SingleLabel;
         let model = &self.model;
         let eval_ws = &mut self.eval_ws;
         let eval_probs = &mut self.eval_probs;
         let eval_probs_split = &mut self.eval_probs_split;
         let eval_labels_split = &mut self.eval_labels_split;
-        let dataset = self.dataset;
-        self.thread_pool.install(|| {
-            model.infer_probs_into(&dataset.graph, &dataset.features, eval_ws, eval_probs);
-            eval_probs.gather_rows_into(idx, eval_probs_split);
-            dataset.labels.gather_rows_into(idx, eval_labels_split);
-            f1::f1_micro_from_probs(eval_probs_split, eval_labels_split, single)
-        })
+        let eval_x = &mut self.eval_x;
+        match self.source {
+            EvalSource::Resident(dataset) => self.thread_pool.install(|| {
+                model.infer_probs_into(&dataset.graph, &dataset.features, eval_ws, eval_probs);
+                eval_probs.gather_rows_into(idx, eval_probs_split);
+                dataset.labels.gather_rows_into(idx, eval_labels_split);
+                f1::f1_micro_from_probs(eval_probs_split, eval_labels_split, single)
+            }),
+            EvalSource::Stored(sd) => {
+                let full = &sd.full;
+                let hops = model.num_layers();
+                self.thread_pool.install(|| {
+                    let mut acc = f1::F1Accumulator::new(single);
+                    let mut start = 0usize;
+                    let mut chunk = EVAL_CHUNK_ROOTS;
+                    while start < idx.len() {
+                        let roots = &idx[start..(start + chunk).min(idx.len())];
+                        // Probe the ball first: halve the chunk until
+                        // its ball respects the row cap, so eval memory
+                        // is bounded by the cap — not the graph.
+                        let ball_rows = l_hop_ball(&**full, roots, hops).len();
+                        if ball_rows > EVAL_MAX_BALL_ROWS && roots.len() > 1 {
+                            chunk = (chunk / 2).max(1);
+                            continue;
+                        }
+                        let batch = l_hop_subgraph(&**full, roots, hops);
+                        full.gather_features_into(&batch.sub.origin, eval_x)
+                            .unwrap_or_else(|e| panic!("eval feature gather failed: {e}"));
+                        full.gather_labels_into(roots, eval_labels_split)
+                            .unwrap_or_else(|e| panic!("eval label gather failed: {e}"));
+                        // L layers on the L-hop ball are exact at the
+                        // roots (hop distance 0) — same invariant the
+                        // serving engine relies on.
+                        model.infer_probs_into(&batch.sub.graph, eval_x, eval_ws, eval_probs);
+                        for (i, &local) in batch.root_locals.iter().enumerate() {
+                            acc.push_row(eval_probs.row(local as usize), eval_labels_split.row(i));
+                        }
+                        start += roots.len();
+                        // Sparse region: let the chunk re-grow so the
+                        // per-chunk extraction cost stays amortised.
+                        if ball_rows * 2 <= EVAL_MAX_BALL_ROWS {
+                            chunk = (chunk * 2).min(EVAL_CHUNK_ROOTS);
+                        }
+                    }
+                    acc.f1()
+                })
+            }
+        }
     }
 
     /// Run the configured number of epochs, recording the Fig. 2 curve
@@ -356,7 +495,7 @@ impl<'a> GsGcnTrainer<'a> {
     /// again to continue training.
     pub fn train(&mut self) -> Result<TrainReport, String> {
         let mut epochs = Vec::with_capacity(self.cfg.epochs);
-        let mut curve = Curve::new(format!("gsgcn-{}", self.dataset.name));
+        let mut curve = Curve::new(format!("gsgcn-{}", self.source.name()));
         let mut best_f1 = f64::NEG_INFINITY;
         let mut evals_since_best = 0usize;
         for e in 0..self.cfg.epochs {
@@ -509,6 +648,42 @@ mod tests {
         cfg.patience = Some(3);
         cfg.eval_every = 0;
         assert!(GsGcnTrainer::new(&d, cfg).is_err());
+    }
+
+    #[test]
+    fn from_store_matches_resident_training() {
+        let d = quick_dataset();
+        let dir = std::env::temp_dir().join(format!(
+            "gsgcn-trainer-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        d.spill_to_dir(&dir, 4).unwrap();
+        let sd = gsgcn_data::StoreDataset::open(&dir).unwrap();
+
+        let mut cfg = TrainerConfig::quick_test();
+        cfg.epochs = 2;
+        let run = |mut t: GsGcnTrainer<'_>| {
+            let mut losses = Vec::new();
+            for _ in 0..2 {
+                losses.push(t.train_epoch().unwrap().mean_loss);
+            }
+            (losses, t.evaluate(EvalSplit::Val))
+        };
+        let (loss_res, f1_res) = run(GsGcnTrainer::new(&d, cfg.clone()).unwrap());
+        let (loss_st, f1_st) = run(GsGcnTrainer::from_store(&sd, cfg).unwrap());
+
+        // The train store holds the same induced topology and gathered
+        // rows as the resident TrainView, and sampling is seeded — so
+        // the loss trajectory is bit-identical.
+        assert_eq!(loss_res, loss_st);
+        // Stored eval runs L layers on L-hop balls, exact at the roots;
+        // allow a whisker of float slack for the different code path.
+        assert!(
+            (f1_res - f1_st).abs() < 1e-6,
+            "resident {f1_res} vs stored {f1_st}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -82,9 +82,13 @@ pub struct TrainView {
     /// coercion to `&CsrGraph`.
     pub graph: std::sync::Arc<CsrGraph>,
     /// Features of the training vertices (rows aligned with `graph`).
-    pub features: DMatrix,
+    ///
+    /// `Arc`-shared so a [`gsgcn_graph::GraphStore`] built over the view
+    /// can alias the matrices instead of copying them; read-only call
+    /// sites keep working through `Deref`.
+    pub features: std::sync::Arc<DMatrix>,
     /// Labels of the training vertices.
-    pub labels: DMatrix,
+    pub labels: std::sync::Arc<DMatrix>,
     /// Local id → original vertex id.
     pub origin: Vec<u32>,
 }
@@ -142,8 +146,8 @@ impl Dataset {
         let labels = self.labels.gather_rows(&sub.origin);
         TrainView {
             graph: std::sync::Arc::new(sub.graph),
-            features,
-            labels,
+            features: std::sync::Arc::new(features),
+            labels: std::sync::Arc::new(labels),
             origin: sub.origin,
         }
     }

@@ -26,5 +26,7 @@ pub mod features;
 pub mod generators;
 pub mod labels;
 pub mod presets;
+pub mod store_dataset;
 
 pub use dataset::{Dataset, Split, TaskKind};
+pub use store_dataset::StoreDataset;

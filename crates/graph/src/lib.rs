@@ -18,8 +18,17 @@
 //!   subgraphs preserve the connectivity characteristics of the training
 //!   graph (Sec. III-C requirement 1).
 //! * [`partition`] — vertex partitioners used by the 2-D partitioned
-//!   propagation ablation (Theorem 2 compares against graph partitioning).
+//!   propagation ablation (Theorem 2 compares against graph partitioning)
+//!   and by the shard writer (BFS-grown locality-aware shards).
 //! * [`io`] — text edge-list and compact binary (de)serialisation.
+//! * [`store`] — the [`GraphStore`] abstraction over *where the graph
+//!   lives*: fully resident ([`store::MemStore`]) or memory-mapped CSR
+//!   shards behind a CLOCK cache with a bounded mapped-byte budget
+//!   ([`store::MmapStore`]), selected by `--graph-store` /
+//!   `GSGCN_GRAPH_STORE`. Consumers read topology through the object-safe
+//!   [`Topology`] trait, which [`CsrGraph`] also implements — out-of-core
+//!   access is a backend swap, not an API fork. See the `store` module
+//!   docs for the shard format spec, cache policy and consistency rules.
 //!
 //! # Example
 //!
@@ -43,6 +52,7 @@ pub mod io;
 pub mod neighborhood;
 pub mod partition;
 pub mod stats;
+pub mod store;
 pub mod subgraph;
 
 pub use bitset::BitSet;
@@ -51,4 +61,5 @@ pub use csr::CsrGraph;
 pub use neighborhood::{
     l_hop_ball, l_hop_subgraph, one_hop_frontier, FrontierBall, NeighborhoodBatch,
 };
+pub use store::{GraphStore, NeighborsRef, StoreBackend, Topology};
 pub use subgraph::{induced_subgraph, InducedSubgraph};

@@ -19,6 +19,7 @@
 
 use crate::bitset::BitSet;
 use crate::csr::CsrGraph;
+use crate::store::Topology;
 use crate::subgraph::{induced_subgraph, InducedSubgraph};
 
 /// The induced subgraph of an L-hop ball plus the query-root positions
@@ -118,7 +119,7 @@ pub struct FrontierBall {
 ///
 /// # Panics
 /// Panics if any root id is out of range for `g`.
-pub fn one_hop_frontier(g: &CsrGraph, roots: &[u32]) -> FrontierBall {
+pub fn one_hop_frontier<T: Topology + ?Sized>(g: &T, roots: &[u32]) -> FrontierBall {
     let n = g.num_vertices();
     let mut local_of: std::collections::HashMap<u32, u32> =
         std::collections::HashMap::with_capacity(roots.len() * 4);
@@ -142,7 +143,7 @@ pub fn one_hop_frontier(g: &CsrGraph, roots: &[u32]) -> FrontierBall {
     let mut adj = Vec::new();
     for k in 0..num_roots {
         let orig = origin[k];
-        for &u in g.neighbors(orig) {
+        for &u in g.neighbors_ref(orig).iter() {
             let next = origin.len() as u32;
             let id = *local_of.entry(u).or_insert(next);
             if id == next {
@@ -197,7 +198,7 @@ fn bfs_distances(g: &CsrGraph, roots: &[u32]) -> Vec<u32> {
 ///
 /// # Panics
 /// Panics if any root id is out of range for `g`.
-pub fn l_hop_ball(g: &CsrGraph, roots: &[u32], hops: usize) -> Vec<u32> {
+pub fn l_hop_ball<T: Topology + ?Sized>(g: &T, roots: &[u32], hops: usize) -> Vec<u32> {
     let n = g.num_vertices();
     let mut visited = BitSet::new(n);
     let mut frontier: Vec<u32> = Vec::with_capacity(roots.len());
@@ -213,7 +214,7 @@ pub fn l_hop_ball(g: &CsrGraph, roots: &[u32], hops: usize) -> Vec<u32> {
     let mut next = Vec::new();
     for _ in 0..hops {
         for &v in &frontier {
-            for &u in g.neighbors(v) {
+            for &u in g.neighbors_ref(v).iter() {
                 if visited.insert(u as usize) {
                     next.push(u);
                 }
@@ -239,7 +240,11 @@ pub fn l_hop_ball(g: &CsrGraph, roots: &[u32], hops: usize) -> Vec<u32> {
 ///
 /// # Panics
 /// Panics if any root id is out of range for `g`.
-pub fn l_hop_subgraph(g: &CsrGraph, roots: &[u32], hops: usize) -> NeighborhoodBatch {
+pub fn l_hop_subgraph<T: Topology + ?Sized>(
+    g: &T,
+    roots: &[u32],
+    hops: usize,
+) -> NeighborhoodBatch {
     let ball = l_hop_ball(g, roots, hops);
     let sub = induced_subgraph(g, &ball);
     // `origin` is sorted ascending, so each root resolves by binary search.

@@ -1,0 +1,60 @@
+//! The in-memory [`GraphStore`](super::GraphStore) backend: a thin wrapper
+//! over the existing `Arc<CsrGraph>` (plus optional feature/label
+//! matrices) so every consumer that reads through the store abstraction
+//! keeps the exact data — and therefore the exact bits — it read before
+//! the store existed.
+
+use crate::csr::CsrGraph;
+use gsgcn_tensor::DMatrix;
+use std::sync::Arc;
+
+/// Fully resident store backend.
+pub struct MemStore {
+    graph: Arc<CsrGraph>,
+    features: Option<Arc<DMatrix>>,
+    labels: Option<Arc<DMatrix>>,
+}
+
+impl MemStore {
+    /// Wrap already-resident data. Panics if a matrix's row count does not
+    /// match the vertex count — the same invariant the shard writer
+    /// enforces on disk.
+    pub fn new(
+        graph: Arc<CsrGraph>,
+        features: Option<Arc<DMatrix>>,
+        labels: Option<Arc<DMatrix>>,
+    ) -> Self {
+        let n = graph.num_vertices();
+        if let Some(f) = &features {
+            assert_eq!(f.rows(), n, "feature rows must match vertex count");
+        }
+        if let Some(l) = &labels {
+            assert_eq!(l.rows(), n, "label rows must match vertex count");
+        }
+        MemStore {
+            graph,
+            features,
+            labels,
+        }
+    }
+
+    pub fn graph(&self) -> &Arc<CsrGraph> {
+        &self.graph
+    }
+
+    pub fn features(&self) -> Option<&Arc<DMatrix>> {
+        self.features.as_ref()
+    }
+
+    pub fn labels(&self) -> Option<&Arc<DMatrix>> {
+        self.labels.as_ref()
+    }
+
+    pub fn feature_dim(&self) -> usize {
+        self.features.as_ref().map_or(0, |m| m.cols())
+    }
+
+    pub fn label_dim(&self) -> usize {
+        self.labels.as_ref().map_or(0, |m| m.cols())
+    }
+}

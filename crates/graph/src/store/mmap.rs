@@ -1,0 +1,527 @@
+//! The memory-mapped shard backend: lazily maps shard files on demand and
+//! bounds the total mapped bytes with a CLOCK (second-chance) cache —
+//! the same eviction discipline as the serving activation cache, applied
+//! to whole shards instead of activation rows.
+//!
+//! Why bound *mapped* bytes rather than resident bytes: the out-of-core CI
+//! smoke asserts the RSS cap with `ulimit -v`, which limits the address
+//! space — a mapping counts against it whether or not its pages are
+//! resident. Bounding the mappings therefore bounds both.
+//!
+//! Reader safety: `get()` hands out `Arc<ShardData>`. Eviction only drops
+//! the cache's own `Arc`; the munmap runs when the **last** reader drops
+//! theirs, so a reader never observes a partially unmapped (or remapped)
+//! shard — the same "readers never observe partial state" rule the
+//! activation cache enforces with its all-or-nothing gather.
+
+use super::shard::{
+    shard_file_name, ShardData, StoreManifest, FORMAT_VERSION, INDEX_FILE, INDEX_HEADER_LEN,
+    INDEX_MAGIC,
+};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A read-only file mapping (unix: `mmap(2)`; elsewhere: a heap copy so
+/// the store still functions, without the memory bound).
+pub struct Mapping {
+    #[cfg(unix)]
+    ptr: *mut u8,
+    #[cfg(unix)]
+    len: usize,
+    #[cfg(not(unix))]
+    buf: Vec<u8>,
+}
+
+#[cfg(unix)]
+mod sys {
+    extern "C" {
+        pub fn mmap(
+            addr: *mut u8,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut u8;
+        pub fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_SHARED: i32 = 1;
+}
+
+// Safety: the mapping is read-only for its whole lifetime.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Map the first `len` bytes of `file` read-only.
+    #[cfg(unix)]
+    pub fn map(file: &std::fs::File, len: usize) -> io::Result<Mapping> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            return Ok(Mapping {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mapping { ptr, len })
+    }
+
+    #[cfg(not(unix))]
+    pub fn map(file: &std::fs::File, len: usize) -> io::Result<Mapping> {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(len);
+        let got = file.take(len as u64).read_to_end(&mut buf)?;
+        if got != len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("short read: got {got} of {len} bytes"),
+            ));
+        }
+        Ok(Mapping { buf })
+    }
+
+    /// The mapped bytes.
+    #[cfg(unix)]
+    pub fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // Safety: ptr/len come from a successful mmap that lives until Drop.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    #[cfg(not(unix))]
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // Safety: exact pair of the successful mmap in `map`.
+            unsafe {
+                sys::munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// Counters exported by [`MmapStore::cache_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCacheStats {
+    /// Shard probes answered from an already-mapped shard.
+    pub hits: u64,
+    /// Shard probes that had to map the file.
+    pub misses: u64,
+    /// Shards unmapped by the CLOCK hand to respect the budget.
+    pub evictions: u64,
+    /// Bytes currently charged against the budget (mapped shards).
+    pub mapped_bytes: usize,
+    /// Shards currently mapped.
+    pub resident_shards: usize,
+}
+
+impl StoreCacheStats {
+    /// Hit fraction over all shard probes so far (0 when never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cache slot per shard: the resident mapping (if any) plus the CLOCK
+/// bookkeeping bits. `referenced` is flipped lock-free on every hit;
+/// `pinned` exempts hot shards from eviction entirely.
+struct Slot {
+    data: Mutex<Option<Arc<ShardData>>>,
+    referenced: AtomicBool,
+    pinned: AtomicBool,
+    /// Whether the shard file exists on disk (validated at open).
+    present: bool,
+}
+
+/// The global → (shard, local) index, itself memory-mapped (it is the one
+/// O(n) structure the store keeps "resident"; 8 bytes per vertex, charged
+/// as fixed overhead rather than against the shard budget).
+struct IndexView {
+    map: Mapping,
+    n: usize,
+}
+
+impl IndexView {
+    fn open(dir: &Path, n: usize) -> io::Result<IndexView> {
+        let path = dir.join(INDEX_FILE);
+        let bad = |msg: String| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("store index {}: {msg}", path.display()),
+            )
+        };
+        let file = std::fs::File::open(&path).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("opening store index {}: {e}", path.display()),
+            )
+        })?;
+        let len = file.metadata()?.len() as usize;
+        let expect = INDEX_HEADER_LEN + 8 * n;
+        if len != expect {
+            return Err(bad(format!(
+                "file is {len} bytes, expected {expect} for n={n} (truncated or stale)"
+            )));
+        }
+        let map = Mapping::map(&file, len)?;
+        let b = map.bytes();
+        let magic = u32::from_le_bytes(b[0..4].try_into().unwrap());
+        let version = u32::from_le_bytes(b[4..8].try_into().unwrap());
+        let stored_n = u64::from_le_bytes(b[8..16].try_into().unwrap()) as usize;
+        if magic != INDEX_MAGIC {
+            return Err(bad("bad magic".into()));
+        }
+        if version != FORMAT_VERSION {
+            return Err(bad(format!(
+                "format version {version}, this build reads v{FORMAT_VERSION}"
+            )));
+        }
+        if stored_n != n {
+            return Err(bad(format!(
+                "index covers {stored_n} vertices, manifest says {n}"
+            )));
+        }
+        Ok(IndexView { map, n })
+    }
+
+    #[inline]
+    fn entry(&self, base: usize, v: u32) -> u32 {
+        let off = base + 4 * v as usize;
+        let b = &self.map.bytes()[off..off + 4];
+        u32::from_le_bytes(b.try_into().unwrap())
+    }
+
+    #[inline]
+    fn part_of(&self, v: u32) -> u32 {
+        debug_assert!((v as usize) < self.n);
+        self.entry(INDEX_HEADER_LEN, v)
+    }
+
+    #[inline]
+    fn local_of(&self, v: u32) -> u32 {
+        debug_assert!((v as usize) < self.n);
+        self.entry(INDEX_HEADER_LEN + 4 * self.n, v)
+    }
+}
+
+/// A shard store opened for memory-mapped access. See the module docs.
+pub struct MmapStore {
+    dir: PathBuf,
+    manifest: StoreManifest,
+    index: IndexView,
+    slots: Vec<Slot>,
+    /// Mapped-bytes budget the CLOCK hand enforces (best effort: a single
+    /// shard larger than the budget still loads — the alternative is
+    /// livelock).
+    budget: usize,
+    mapped: AtomicUsize,
+    hand: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    /// When set, `Drop` removes the whole store directory (used by the
+    /// env-rerouted temp spill, so test-suite runs leave no tmp litter).
+    remove_on_drop: bool,
+}
+
+impl MmapStore {
+    /// Open the store written under `dir`, bounding mapped shard bytes by
+    /// `budget` (bytes). Eagerly validates the manifest, the index and
+    /// every *present* shard file's length — truncation fails here, not at
+    /// first access. Missing shard files leave their shard unavailable.
+    pub fn open(dir: &Path, budget: usize) -> io::Result<MmapStore> {
+        let manifest = StoreManifest::load(dir)?;
+        let n = manifest.n as usize;
+        let index = IndexView::open(dir, n)?;
+        let mut slots = Vec::with_capacity(manifest.num_shards());
+        for (sid, info) in manifest.shards.iter().enumerate() {
+            let path = dir.join(shard_file_name(sid));
+            let present = match std::fs::metadata(&path) {
+                Ok(meta) => {
+                    if meta.len() != info.file_len {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "shard {}: file is {} bytes but the manifest records {} \
+                                 (truncated or corrupt — refusing to open the store)",
+                                path.display(),
+                                meta.len(),
+                                info.file_len
+                            ),
+                        ));
+                    }
+                    true
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => false,
+                Err(e) => return Err(e),
+            };
+            slots.push(Slot {
+                data: Mutex::new(None),
+                referenced: AtomicBool::new(false),
+                pinned: AtomicBool::new(false),
+                present,
+            });
+        }
+        Ok(MmapStore {
+            dir: dir.to_path_buf(),
+            manifest,
+            index,
+            slots,
+            budget: budget.max(1),
+            mapped: AtomicUsize::new(0),
+            hand: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            remove_on_drop: false,
+        })
+    }
+
+    /// Mark the store directory for removal when the store drops (the
+    /// env-rerouted temp spill owns its directory).
+    pub(super) fn set_remove_on_drop(&mut self) {
+        self.remove_on_drop = true;
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn manifest(&self) -> &StoreManifest {
+        &self.manifest
+    }
+
+    pub fn num_vertices(&self) -> usize {
+        self.manifest.n as usize
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.manifest.num_edges as usize
+    }
+
+    pub fn feature_dim(&self) -> usize {
+        self.manifest.feature_dim as usize
+    }
+
+    pub fn label_dim(&self) -> usize {
+        self.manifest.label_dim as usize
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Mapped-bytes budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Shard id of vertex `v`.
+    #[inline]
+    pub fn shard_of(&self, v: u32) -> u32 {
+        self.index.part_of(v)
+    }
+
+    /// Shard-local slot of vertex `v`.
+    #[inline]
+    pub fn local_of(&self, v: u32) -> u32 {
+        self.index.local_of(v)
+    }
+
+    /// Whether `v` is a valid vertex **and** its shard file is present.
+    pub fn contains(&self, v: u32) -> bool {
+        (v as usize) < self.num_vertices() && self.slots[self.shard_of(v) as usize].present
+    }
+
+    /// Whether shard `sid`'s file is present on disk.
+    pub fn shard_present(&self, sid: usize) -> bool {
+        self.slots.get(sid).is_some_and(|s| s.present)
+    }
+
+    /// Get shard `sid`, mapping it on demand and evicting others to stay
+    /// under the byte budget.
+    pub fn get(&self, sid: usize) -> io::Result<Arc<ShardData>> {
+        let slot = self.slots.get(sid).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("shard {sid} out of range ({} shards)", self.slots.len()),
+            )
+        })?;
+        if !slot.present {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "shard {sid} is not present in store {} (partial deployment?)",
+                    self.dir.display()
+                ),
+            ));
+        }
+        {
+            let guard = slot.data.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(d) = guard.as_ref() {
+                slot.referenced.store(true, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(d));
+            }
+        }
+        // Miss: load under the slot lock (a racing second loader waits and
+        // then takes the hit path above via the re-check).
+        let mut guard = slot.data.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(d) = guard.as_ref() {
+            slot.referenced.store(true, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(d));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let data = Arc::new(ShardData::load(
+            &self.dir.join(shard_file_name(sid)),
+            sid,
+            Some(&self.manifest.shards[sid]),
+        )?);
+        self.mapped
+            .fetch_add(data.mapped_bytes(), Ordering::Relaxed);
+        slot.referenced.store(true, Ordering::Relaxed);
+        *guard = Some(Arc::clone(&data));
+        drop(guard);
+        self.evict_to_budget(sid);
+        Ok(data)
+    }
+
+    /// The shard holding vertex `v` plus `v`'s local slot in it.
+    #[inline]
+    pub fn shard_for(&self, v: u32) -> io::Result<(Arc<ShardData>, usize)> {
+        let sid = self.shard_of(v) as usize;
+        Ok((self.get(sid)?, self.local_of(v) as usize))
+    }
+
+    /// CLOCK sweep: unmap unpinned, unreferenced shards until the mapped
+    /// total fits the budget. `keep` (the shard just loaded) is exempt so
+    /// the caller's handout is never immediately evicted.
+    fn evict_to_budget(&self, keep: usize) {
+        let nslots = self.slots.len();
+        if nslots <= 1 {
+            return;
+        }
+        // Two full sweeps: the first may only clear referenced bits.
+        let mut steps = 2 * nslots;
+        while self.mapped.load(Ordering::Relaxed) > self.budget && steps > 0 {
+            steps -= 1;
+            let i = self.hand.fetch_add(1, Ordering::Relaxed) % nslots;
+            if i == keep || self.slots[i].pinned.load(Ordering::Relaxed) {
+                continue;
+            }
+            if self.slots[i].referenced.swap(false, Ordering::Relaxed) {
+                continue; // second chance
+            }
+            let mut guard = self.slots[i].data.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(d) = guard.take() {
+                self.mapped.fetch_sub(d.mapped_bytes(), Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                // Dropping `d` here only drops the cache's Arc; readers
+                // holding clones keep the mapping alive until they finish.
+            }
+        }
+    }
+
+    /// Pin the shards containing `nodes`: map them now and exempt them
+    /// from eviction until [`Self::unpin_all`]. Used by serving to keep
+    /// the hot working set resident across queries.
+    pub fn pin_nodes(&self, nodes: &[u32]) -> io::Result<usize> {
+        let mut pinned = 0;
+        for &v in nodes {
+            if (v as usize) >= self.num_vertices() {
+                continue;
+            }
+            let sid = self.shard_of(v) as usize;
+            if !self.slots[sid].present {
+                continue;
+            }
+            if !self.slots[sid].pinned.swap(true, Ordering::Relaxed) {
+                self.get(sid)?;
+                pinned += 1;
+            }
+        }
+        Ok(pinned)
+    }
+
+    /// Release every pin taken by [`Self::pin_nodes`].
+    pub fn unpin_all(&self) {
+        for slot in &self.slots {
+            slot.pinned.store(false, Ordering::Relaxed);
+        }
+        // Re-apply the budget now that pins no longer shield shards.
+        self.evict_to_budget(usize::MAX);
+    }
+
+    /// Counter snapshot.
+    pub fn cache_stats(&self) -> StoreCacheStats {
+        let mut resident_shards = 0;
+        for slot in &self.slots {
+            if slot
+                .data
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .is_some()
+            {
+                resident_shards += 1;
+            }
+        }
+        StoreCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            mapped_bytes: self.mapped.load(Ordering::Relaxed),
+            resident_shards,
+        }
+    }
+}
+
+impl Drop for MmapStore {
+    fn drop(&mut self) {
+        if self.remove_on_drop {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+}
+
+impl std::fmt::Debug for MmapStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapStore")
+            .field("dir", &self.dir)
+            .field("n", &self.num_vertices())
+            .field("shards", &self.num_shards())
+            .field("budget_bytes", &self.budget)
+            .field("stats", &self.cache_stats())
+            .finish()
+    }
+}

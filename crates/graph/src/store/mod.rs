@@ -1,0 +1,836 @@
+//! `GraphStore` — one abstraction over "where does the graph live".
+//!
+//! Every consumer in the workspace (sampler, trainer, serving
+//! neighborhood extraction) historically took `&CsrGraph`, which hard-wires
+//! the assumption that the whole CSR plus the feature matrix is resident.
+//! This module breaks that assumption with two backends behind one type:
+//!
+//! * [`MemStore`] — the existing fully-resident `Arc<CsrGraph>` (plus
+//!   optional feature/label matrices). Zero new indirection on the hot
+//!   paths: readers that can see a CSR get the actual slices.
+//! * [`MmapStore`] — CSR shards partitioned by the frontier
+//!   ([`bfs_partition`](crate::partition::bfs_partition)) partitioner,
+//!   written in the versioned on-disk format of [`shard`] and memory-mapped
+//!   on demand behind a CLOCK cache with a **mapped-bytes budget**
+//!   ([`mmap`]). Training and serving a graph ≥10× physical RAM becomes a
+//!   cache-management problem instead of an OOM.
+//!
+//! Consumers read topology through the [`Topology`] trait (object-safe, so
+//! `&CsrGraph` coerces to `&dyn Topology` at existing call sites) and bulk
+//! rows through [`GraphStore::gather_features_into`] /
+//! [`GraphStore::gather_labels_into`].
+//!
+//! Backend selection follows the workspace's flag > env > default policy:
+//! the CLI's `--graph-store mem|mmap` wins, the `GSGCN_GRAPH_STORE`
+//! environment variable supplies the default (this is how CI runs the
+//! whole test matrix out-of-core without touching a single test), and the
+//! default is `mem`. [`GraphStore::from_parts_env`] is the reroute point:
+//! under `GSGCN_GRAPH_STORE=mmap` it spills the given parts to a unique
+//! temp directory, reopens them memory-mapped, and removes the directory
+//! when the store drops. The mapped-bytes budget comes from
+//! `GSGCN_SHARD_CACHE` (default 64 MiB).
+
+pub mod mem;
+pub mod mmap;
+pub mod shard;
+
+pub use mem::MemStore;
+pub use mmap::{MmapStore, StoreCacheStats};
+pub use shard::{verify_store, write_store, ShardData, StoreManifest};
+
+use crate::csr::CsrGraph;
+use gsgcn_tensor::DMatrix;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The fully-resident parts a store can be materialized into: the graph
+/// plus optional feature and label matrices (see
+/// [`GraphStore::materialize`]).
+pub type ResidentParts = (Arc<CsrGraph>, Option<Arc<DMatrix>>, Option<Arc<DMatrix>>);
+
+/// Read-only topology access, implemented by [`CsrGraph`] (fully resident)
+/// and [`GraphStore`] (possibly shard-backed). Object-safe on purpose:
+/// samplers and extractors take `&dyn Topology`, and `&CsrGraph` coerces
+/// implicitly, so pre-store call sites compile unchanged.
+///
+/// Determinism contract: both implementations expose the *same* vertex
+/// ids, degrees and neighbor orderings for the same graph — the shard
+/// format stores neighbor lists verbatim — so anything derived from
+/// topology alone (sampler trajectories, neighborhood balls) is
+/// bit-identical across backends. `proptest_store.rs` pins this.
+pub trait Topology: Sync {
+    /// Number of vertices `|V|`.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of directed edges.
+    fn num_edges(&self) -> usize;
+
+    /// Out-degree of vertex `v`.
+    fn degree(&self, v: u32) -> usize;
+
+    /// The `k`-th neighbor of `v` (0-based, `k < degree(v)`).
+    fn neighbor(&self, v: u32, k: usize) -> u32;
+
+    /// The full neighbor list of `v`. The guard keeps the backing shard
+    /// mapped for its lifetime (see [`NeighborsRef`]).
+    fn neighbors_ref(&self, v: u32) -> NeighborsRef<'_>;
+
+    /// Average degree `|E| / |V|`.
+    fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Escape hatch: the resident CSR, when this topology has one.
+    /// Readers needing raw `offsets()`/`adjacency()` slices (e.g. the
+    /// uniform edge sampler) take this fast path and fall back to
+    /// per-vertex access otherwise.
+    fn as_csr(&self) -> Option<&CsrGraph> {
+        None
+    }
+}
+
+/// A borrowed neighbor list: either a plain slice into a resident CSR or
+/// a slice into a mapped shard, with the `Arc` keeping the mapping alive —
+/// which is exactly why eviction can never pull pages out from under a
+/// reader.
+pub enum NeighborsRef<'a> {
+    /// Slice into resident memory.
+    Slice(&'a [u32]),
+    /// Slice `start..start+len` of a mapped shard's adjacency section.
+    Shard {
+        shard: Arc<ShardData>,
+        start: usize,
+        len: usize,
+    },
+}
+
+impl std::ops::Deref for NeighborsRef<'_> {
+    type Target = [u32];
+
+    #[inline]
+    fn deref(&self) -> &[u32] {
+        match self {
+            NeighborsRef::Slice(s) => s,
+            NeighborsRef::Shard { shard, start, len } => &shard.adj()[*start..*start + *len],
+        }
+    }
+}
+
+impl Topology for CsrGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        CsrGraph::num_edges(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: u32) -> usize {
+        CsrGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn neighbor(&self, v: u32, k: usize) -> u32 {
+        CsrGraph::neighbor(self, v, k)
+    }
+
+    #[inline]
+    fn neighbors_ref(&self, v: u32) -> NeighborsRef<'_> {
+        NeighborsRef::Slice(self.neighbors(v))
+    }
+
+    #[inline]
+    fn as_csr(&self) -> Option<&CsrGraph> {
+        Some(self)
+    }
+}
+
+/// Which [`GraphStore`] backend to build.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreBackend {
+    /// Fully resident (the pre-store behavior).
+    #[default]
+    Mem,
+    /// Memory-mapped shards with a bounded cache.
+    Mmap,
+}
+
+impl StoreBackend {
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreBackend::Mem => "mem",
+            StoreBackend::Mmap => "mmap",
+        }
+    }
+}
+
+impl std::str::FromStr for StoreBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "mem" | "memory" => Ok(StoreBackend::Mem),
+            "mmap" => Ok(StoreBackend::Mmap),
+            other => Err(format!("bad graph store {other:?}: expected mem|mmap")),
+        }
+    }
+}
+
+/// The `GSGCN_GRAPH_STORE` env default (flag > env > default; the CLI flag
+/// overrides this). Unset or empty means [`StoreBackend::Mem`].
+///
+/// # Panics
+/// Panics on an unparseable value: a typo silently falling back to the
+/// in-memory backend would invalidate exactly the out-of-core CI runs the
+/// variable exists for.
+pub fn backend_from_env() -> StoreBackend {
+    match std::env::var("GSGCN_GRAPH_STORE") {
+        Err(_) => StoreBackend::Mem,
+        Ok(raw) if raw.trim().is_empty() => StoreBackend::Mem,
+        Ok(raw) => raw
+            .parse()
+            .unwrap_or_else(|e| panic!("GSGCN_GRAPH_STORE: {e}")),
+    }
+}
+
+/// Parse a human byte-size string: a plain byte count (`"1048576"`) or a
+/// binary/decimal suffix (`KiB`/`MiB`/`GiB` = 2^10/20/30,
+/// `KB`/`MB`/`GB` = 10^3/6/9, bare `K`/`M`/`G` = binary),
+/// case-insensitive, optional whitespace before the suffix.
+pub fn parse_byte_size(s: &str) -> Result<usize, String> {
+    let s = s.trim();
+    let split = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    let (num, suffix) = s.split_at(split);
+    let num: usize = num
+        .parse()
+        .map_err(|_| format!("bad byte size {s:?}: expected <number>[KiB|MiB|GiB|KB|MB|GB]"))?;
+    let mult: usize = match suffix.trim().to_ascii_lowercase().as_str() {
+        "" | "b" => 1,
+        "k" | "kib" => 1 << 10,
+        "m" | "mib" => 1 << 20,
+        "g" | "gib" => 1 << 30,
+        "kb" => 1_000,
+        "mb" => 1_000_000,
+        "gb" => 1_000_000_000,
+        other => return Err(format!("bad byte size suffix {other:?} in {s:?}")),
+    };
+    num.checked_mul(mult)
+        .ok_or_else(|| format!("byte size {s:?} overflows"))
+}
+
+/// Default mapped-bytes budget for the shard cache.
+pub const DEFAULT_SHARD_CACHE_BYTES: usize = 64 << 20;
+
+/// The `GSGCN_SHARD_CACHE` env override for the shard-cache budget. A
+/// parse failure warns on stderr and keeps the default (the cache still
+/// bounds memory either way, unlike a backend typo).
+pub fn shard_cache_budget_from_env() -> usize {
+    match std::env::var("GSGCN_SHARD_CACHE") {
+        Err(_) => DEFAULT_SHARD_CACHE_BYTES,
+        Ok(raw) => match parse_byte_size(&raw) {
+            Ok(0) => {
+                eprintln!("warning: GSGCN_SHARD_CACHE=0 is meaningless; keeping the default");
+                DEFAULT_SHARD_CACHE_BYTES
+            }
+            Ok(bytes) => bytes,
+            Err(e) => {
+                eprintln!("warning: ignoring GSGCN_SHARD_CACHE: {e}");
+                DEFAULT_SHARD_CACHE_BYTES
+            }
+        },
+    }
+}
+
+/// Shard-count heuristic for env-rerouted temp spills: small graphs still
+/// get ≥2 shards (so cross-shard edges are exercised everywhere), large
+/// graphs get shards of ~4k vertices, capped so the cache always has
+/// slack to evict into.
+pub fn default_num_shards(n: usize) -> usize {
+    n.div_ceil(4096).clamp(2, 64)
+}
+
+/// Create a unique, freshly-created temp directory for a spilled store.
+fn fresh_temp_dir() -> io::Result<std::path::PathBuf> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let base = std::env::temp_dir();
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos());
+    loop {
+        let dir = base.join(format!(
+            "gsgcn-store-{}-{}-{nanos}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        match std::fs::create_dir(&dir) {
+            Ok(()) => return Ok(dir),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A graph (plus optional per-vertex feature/label rows) behind one of two
+/// backends. See the module docs for the architecture.
+pub enum GraphStore {
+    Mem(MemStore),
+    Mmap(MmapStore),
+}
+
+impl std::fmt::Debug for GraphStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphStore::Mem(m) => f
+                .debug_struct("GraphStore::Mem")
+                .field("n", &m.graph().num_vertices())
+                .field("feature_dim", &m.feature_dim())
+                .field("label_dim", &m.label_dim())
+                .finish(),
+            GraphStore::Mmap(m) => m.fmt(f),
+        }
+    }
+}
+
+impl GraphStore {
+    /// Fully-resident store over existing parts.
+    pub fn mem(
+        graph: Arc<CsrGraph>,
+        features: Option<Arc<DMatrix>>,
+        labels: Option<Arc<DMatrix>>,
+    ) -> GraphStore {
+        GraphStore::Mem(MemStore::new(graph, features, labels))
+    }
+
+    /// Fully-resident store over a bare graph (no features/labels).
+    pub fn from_graph(graph: Arc<CsrGraph>) -> GraphStore {
+        GraphStore::mem(graph, None, None)
+    }
+
+    /// Open an on-disk shard store with the env-default cache budget.
+    pub fn open(dir: &Path) -> io::Result<GraphStore> {
+        Self::open_with_budget(dir, shard_cache_budget_from_env())
+    }
+
+    /// Open an on-disk shard store with an explicit mapped-bytes budget.
+    pub fn open_with_budget(dir: &Path, budget: usize) -> io::Result<GraphStore> {
+        Ok(GraphStore::Mmap(MmapStore::open(dir, budget)?))
+    }
+
+    /// Build a store over `parts` honoring `GSGCN_GRAPH_STORE`: `mem`
+    /// wraps them as-is; `mmap` spills them to a unique temp directory,
+    /// reopens memory-mapped, and removes the directory on drop. This is
+    /// the single reroute point that lets the whole test suite run
+    /// out-of-core with zero test changes.
+    pub fn from_parts_env(
+        graph: Arc<CsrGraph>,
+        features: Option<Arc<DMatrix>>,
+        labels: Option<Arc<DMatrix>>,
+    ) -> io::Result<GraphStore> {
+        Self::from_parts(backend_from_env(), graph, features, labels)
+    }
+
+    /// As [`Self::from_parts_env`] with an explicit backend choice (the
+    /// CLI flag path).
+    pub fn from_parts(
+        backend: StoreBackend,
+        graph: Arc<CsrGraph>,
+        features: Option<Arc<DMatrix>>,
+        labels: Option<Arc<DMatrix>>,
+    ) -> io::Result<GraphStore> {
+        match backend {
+            StoreBackend::Mem => Ok(GraphStore::mem(graph, features, labels)),
+            StoreBackend::Mmap => {
+                let dir = fresh_temp_dir()?;
+                shard::write_store(
+                    &dir,
+                    &graph,
+                    features.as_deref(),
+                    labels.as_deref(),
+                    default_num_shards(graph.num_vertices()),
+                )?;
+                let mut store = MmapStore::open(&dir, shard_cache_budget_from_env())?;
+                store.set_remove_on_drop();
+                Ok(GraphStore::Mmap(store))
+            }
+        }
+    }
+
+    /// Backend name for logs/bench tags.
+    pub fn backend(&self) -> StoreBackend {
+        match self {
+            GraphStore::Mem(_) => StoreBackend::Mem,
+            GraphStore::Mmap(_) => StoreBackend::Mmap,
+        }
+    }
+
+    pub fn as_mem(&self) -> Option<&MemStore> {
+        match self {
+            GraphStore::Mem(m) => Some(m),
+            GraphStore::Mmap(_) => None,
+        }
+    }
+
+    pub fn as_mmap(&self) -> Option<&MmapStore> {
+        match self {
+            GraphStore::Mem(_) => None,
+            GraphStore::Mmap(m) => Some(m),
+        }
+    }
+
+    /// Feature columns per vertex (0 = store holds no features).
+    pub fn feature_dim(&self) -> usize {
+        match self {
+            GraphStore::Mem(m) => m.feature_dim(),
+            GraphStore::Mmap(m) => m.feature_dim(),
+        }
+    }
+
+    /// Label columns per vertex (0 = store holds no labels).
+    pub fn label_dim(&self) -> usize {
+        match self {
+            GraphStore::Mem(m) => m.label_dim(),
+            GraphStore::Mmap(m) => m.label_dim(),
+        }
+    }
+
+    /// Shard count (the mem backend is one implicit shard).
+    pub fn num_shards(&self) -> usize {
+        match self {
+            GraphStore::Mem(_) => 1,
+            GraphStore::Mmap(m) => m.num_shards(),
+        }
+    }
+
+    /// Whether `v` is a valid vertex whose data this store can actually
+    /// serve (for a partial mmap deployment, the shard file must be
+    /// present). Serving validates requests with this *before* batching,
+    /// so one unavailable node fails one request — it cannot poison a
+    /// coalesced batch.
+    pub fn contains(&self, v: u32) -> bool {
+        match self {
+            GraphStore::Mem(m) => (v as usize) < m.graph().num_vertices(),
+            GraphStore::Mmap(m) => m.contains(v),
+        }
+    }
+
+    /// Shard id of `v` (mmap backend only).
+    pub fn shard_of(&self, v: u32) -> Option<u32> {
+        match self {
+            GraphStore::Mem(_) => None,
+            GraphStore::Mmap(m) => Some(m.shard_of(v)),
+        }
+    }
+
+    /// Pin the shards holding `nodes` into the cache (no-op for mem).
+    /// Returns how many shards were newly pinned.
+    pub fn pin_nodes(&self, nodes: &[u32]) -> io::Result<usize> {
+        match self {
+            GraphStore::Mem(_) => Ok(0),
+            GraphStore::Mmap(m) => m.pin_nodes(nodes),
+        }
+    }
+
+    /// Release all shard pins (no-op for mem).
+    pub fn unpin_all(&self) {
+        if let GraphStore::Mmap(m) = self {
+            m.unpin_all();
+        }
+    }
+
+    /// Shard-cache counters (None for the mem backend).
+    pub fn cache_stats(&self) -> Option<StoreCacheStats> {
+        match self {
+            GraphStore::Mem(_) => None,
+            GraphStore::Mmap(m) => Some(m.cache_stats()),
+        }
+    }
+
+    /// Gather feature rows for `nodes` into `out` (reshaped to
+    /// `nodes.len() × feature_dim`, rows aligned with `nodes`).
+    pub fn gather_features_into(&self, nodes: &[u32], out: &mut DMatrix) -> io::Result<()> {
+        match self {
+            GraphStore::Mem(m) => {
+                let f = m.features().ok_or_else(no_features)?;
+                f.gather_rows_into(nodes, out);
+                Ok(())
+            }
+            GraphStore::Mmap(m) => gather_mmap(m, nodes, out, RowKind::Features),
+        }
+    }
+
+    /// Gather label rows for `nodes` into `out` (reshaped to
+    /// `nodes.len() × label_dim`, rows aligned with `nodes`).
+    pub fn gather_labels_into(&self, nodes: &[u32], out: &mut DMatrix) -> io::Result<()> {
+        match self {
+            GraphStore::Mem(m) => {
+                let l = m.labels().ok_or_else(no_labels)?;
+                l.gather_rows_into(nodes, out);
+                Ok(())
+            }
+            GraphStore::Mmap(m) => gather_mmap(m, nodes, out, RowKind::Labels),
+        }
+    }
+
+    /// Materialize the whole store as resident parts. For the mem backend
+    /// this clones the `Arc`s; for mmap it **allocates the full graph and
+    /// matrices** — that is the point: it is the negative control the
+    /// out-of-core CI smoke runs under a memory cap to prove the cap is
+    /// real. Requires every shard to be present.
+    pub fn materialize(&self) -> io::Result<ResidentParts> {
+        match self {
+            GraphStore::Mem(m) => Ok((
+                Arc::clone(m.graph()),
+                m.features().cloned(),
+                m.labels().cloned(),
+            )),
+            GraphStore::Mmap(m) => materialize_mmap(m),
+        }
+    }
+}
+
+fn no_features() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        "store holds no feature rows (feature_dim = 0)",
+    )
+}
+
+fn no_labels() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        "store holds no label rows (label_dim = 0)",
+    )
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RowKind {
+    Features,
+    Labels,
+}
+
+fn gather_mmap(m: &MmapStore, nodes: &[u32], out: &mut DMatrix, kind: RowKind) -> io::Result<()> {
+    let width = match kind {
+        RowKind::Features => m.feature_dim(),
+        RowKind::Labels => m.label_dim(),
+    };
+    if width == 0 {
+        return Err(match kind {
+            RowKind::Features => no_features(),
+            RowKind::Labels => no_labels(),
+        });
+    }
+    out.ensure_shape(nodes.len(), width);
+    // Batches are usually shard-clustered (BFS partitions follow the same
+    // locality the sampler does), so memoize the last shard handle.
+    let mut cached: Option<(u32, Arc<ShardData>)> = None;
+    for (i, &v) in nodes.iter().enumerate() {
+        let sid = m.shard_of(v);
+        let shard = match &cached {
+            Some((cur, s)) if *cur == sid => s,
+            _ => {
+                cached = Some((sid, m.get(sid as usize)?));
+                &cached.as_ref().unwrap().1
+            }
+        };
+        let local = m.local_of(v) as usize;
+        let row = match kind {
+            RowKind::Features => shard.feature_row(local),
+            RowKind::Labels => shard.label_row(local),
+        };
+        out.row_mut(i).copy_from_slice(row);
+    }
+    Ok(())
+}
+
+fn materialize_mmap(m: &MmapStore) -> io::Result<ResidentParts> {
+    let n = m.num_vertices();
+    let f = m.feature_dim();
+    let l = m.label_dim();
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut adj = Vec::with_capacity(m.num_edges());
+    let mut features = (f > 0).then(|| DMatrix::zeros(n, f));
+    let mut labels = (l > 0).then(|| DMatrix::zeros(n, l));
+    let mut cached: Option<(u32, Arc<ShardData>)> = None;
+    offsets.push(0usize);
+    for v in 0..n as u32 {
+        let sid = m.shard_of(v);
+        let shard = match &cached {
+            Some((cur, s)) if *cur == sid => s,
+            _ => {
+                cached = Some((sid, m.get(sid as usize)?));
+                &cached.as_ref().unwrap().1
+            }
+        };
+        let local = m.local_of(v) as usize;
+        adj.extend_from_slice(shard.neighbors(local));
+        offsets.push(adj.len());
+        if let Some(mat) = &mut features {
+            mat.row_mut(v as usize)
+                .copy_from_slice(shard.feature_row(local));
+        }
+        if let Some(mat) = &mut labels {
+            mat.row_mut(v as usize)
+                .copy_from_slice(shard.label_row(local));
+        }
+    }
+    Ok((
+        Arc::new(CsrGraph::from_raw(offsets, adj)),
+        features.map(Arc::new),
+        labels.map(Arc::new),
+    ))
+}
+
+impl Topology for GraphStore {
+    fn num_vertices(&self) -> usize {
+        match self {
+            GraphStore::Mem(m) => m.graph().num_vertices(),
+            GraphStore::Mmap(m) => m.num_vertices(),
+        }
+    }
+
+    fn num_edges(&self) -> usize {
+        match self {
+            GraphStore::Mem(m) => m.graph().num_edges(),
+            GraphStore::Mmap(m) => m.num_edges(),
+        }
+    }
+
+    fn degree(&self, v: u32) -> usize {
+        match self {
+            GraphStore::Mem(m) => m.graph().degree(v),
+            GraphStore::Mmap(m) => {
+                let (shard, local) = expect_shard(m, v);
+                shard.degree(local)
+            }
+        }
+    }
+
+    fn neighbor(&self, v: u32, k: usize) -> u32 {
+        match self {
+            GraphStore::Mem(m) => m.graph().neighbor(v, k),
+            GraphStore::Mmap(m) => {
+                let (shard, local) = expect_shard(m, v);
+                shard.neighbor(local, k)
+            }
+        }
+    }
+
+    fn neighbors_ref(&self, v: u32) -> NeighborsRef<'_> {
+        match self {
+            GraphStore::Mem(m) => NeighborsRef::Slice(m.graph().neighbors(v)),
+            GraphStore::Mmap(m) => {
+                let (shard, local) = expect_shard(m, v);
+                let (start, len) = shard.adj_range(local);
+                NeighborsRef::Shard { shard, start, len }
+            }
+        }
+    }
+
+    fn as_csr(&self) -> Option<&CsrGraph> {
+        match self {
+            GraphStore::Mem(m) => Some(m.graph()),
+            GraphStore::Mmap(_) => None,
+        }
+    }
+}
+
+/// Topology reads have no error channel; a vertex whose shard cannot be
+/// served is a caller bug (validate with [`GraphStore::contains`] first)
+/// or a vanished/corrupt file — both must be loud, not a wrong answer.
+fn expect_shard(m: &MmapStore, v: u32) -> (Arc<ShardData>, usize) {
+    match m.shard_for(v) {
+        Ok(pair) => pair,
+        Err(e) => panic!(
+            "graph store cannot serve vertex {v} (shard {}): {e}",
+            m.shard_of(v)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    fn two_communities() -> CsrGraph {
+        // Two dense 8-cliques bridged by one edge: bfs_partition splits
+        // them cleanly, and the bridge is a guaranteed cross-shard edge.
+        let mut edges = Vec::new();
+        for base in [0u32, 8] {
+            for i in 0..8 {
+                for j in (i + 1)..8 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((7, 8));
+        from_edges(16, &edges)
+    }
+
+    fn spill(g: &CsrGraph, shards: usize) -> (std::path::PathBuf, StoreManifest) {
+        let dir = fresh_temp_dir().unwrap();
+        let f = DMatrix::from_fn(g.num_vertices(), 3, |i, j| (i * 10 + j) as f32);
+        let l = DMatrix::from_fn(g.num_vertices(), 2, |i, j| (i + j) as f32);
+        let manifest = write_store(&dir, g, Some(&f), Some(&l), shards).unwrap();
+        (dir, manifest)
+    }
+
+    #[test]
+    fn mmap_matches_mem_topology_and_rows() {
+        let g = two_communities();
+        let (dir, manifest) = spill(&g, 2);
+        assert_eq!(manifest.num_shards(), 2);
+        let store = GraphStore::open_with_budget(&dir, 1 << 20).unwrap();
+        assert_eq!(Topology::num_vertices(&store), g.num_vertices());
+        assert_eq!(Topology::num_edges(&store), g.num_edges());
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(Topology::degree(&store, v), g.degree(v));
+            assert_eq!(&*store.neighbors_ref(v), g.neighbors(v), "vertex {v}");
+            for k in 0..g.degree(v) {
+                assert_eq!(Topology::neighbor(&store, v, k), g.neighbor(v, k));
+            }
+        }
+        let mut out = DMatrix::zeros(0, 0);
+        store
+            .gather_features_into(&[15, 0, 7, 8], &mut out)
+            .unwrap();
+        assert_eq!(out.row(0), &[150.0, 151.0, 152.0]);
+        assert_eq!(out.row(2), &[70.0, 71.0, 72.0]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn materialize_roundtrips() {
+        let g = two_communities();
+        let (dir, _) = spill(&g, 3);
+        let store = GraphStore::open_with_budget(&dir, 1 << 20).unwrap();
+        let (back, feats, labels) = store.materialize().unwrap();
+        assert_eq!(*back, g);
+        assert_eq!(feats.unwrap().get(9, 1), 91.0);
+        assert_eq!(labels.unwrap().get(9, 1), 10.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiny_budget_evicts_but_answers_stay_exact() {
+        let g = two_communities();
+        let (dir, _) = spill(&g, 4);
+        // Budget of 1 byte: every cross-shard hop forces an eviction.
+        let store = GraphStore::open_with_budget(&dir, 1).unwrap();
+        for v in 0..g.num_vertices() as u32 {
+            assert_eq!(&*store.neighbors_ref(v), g.neighbors(v));
+        }
+        let stats = store.cache_stats().unwrap();
+        assert!(stats.evictions > 0, "{stats:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pinning_keeps_shards_resident() {
+        let g = two_communities();
+        let (dir, _) = spill(&g, 4);
+        let store = GraphStore::open_with_budget(&dir, 1).unwrap();
+        store.pin_nodes(&[0]).unwrap();
+        let sid = store.shard_of(0).unwrap();
+        // Hammer other shards; shard(0) must stay resident.
+        for v in 0..g.num_vertices() as u32 {
+            let _ = store.neighbors_ref(v);
+        }
+        let m = store.as_mmap().unwrap();
+        let before = m.cache_stats();
+        let _ = store.neighbors_ref(0);
+        let after = m.cache_stats();
+        assert_eq!(
+            after.misses, before.misses,
+            "pinned shard {sid} was evicted"
+        );
+        store.unpin_all();
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_shard_is_partial_not_fatal() {
+        let g = two_communities();
+        let (dir, _) = spill(&g, 2);
+        let probe = GraphStore::open_with_budget(&dir, 1 << 20).unwrap();
+        let gone_sid = probe.shard_of(15).unwrap() as usize;
+        drop(probe);
+        std::fs::remove_file(dir.join(shard::shard_file_name(gone_sid))).unwrap();
+        let store = GraphStore::open_with_budget(&dir, 1 << 20).unwrap();
+        assert!(store.contains(0) != store.contains(15) || gone_sid == 0);
+        let absent: Vec<u32> = (0..16).filter(|&v| !store.contains(v)).collect();
+        assert!(!absent.is_empty());
+        let m = store.as_mmap().unwrap();
+        assert!(m.get(gone_sid).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_shard_fails_open_loudly() {
+        let g = two_communities();
+        let (dir, manifest) = spill(&g, 2);
+        let path = dir.join(shard::shard_file_name(0));
+        let truncated = manifest.shards[0].file_len / 2;
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(truncated).unwrap();
+        drop(file);
+        let err = GraphStore::open_with_budget(&dir, 1 << 20).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_and_oversharded_stores_load() {
+        // More shards than vertices: trailing shards are empty.
+        let g = from_edges(3, &[(0, 1), (1, 2)]);
+        let dir = fresh_temp_dir().unwrap();
+        write_store(&dir, &g, None, None, 8).unwrap();
+        let store = GraphStore::open_with_budget(&dir, 1 << 20).unwrap();
+        assert_eq!(store.num_shards(), 8);
+        for v in 0..3u32 {
+            assert_eq!(&*store.neighbors_ref(v), g.neighbors(v));
+        }
+        assert!(store
+            .gather_features_into(&[0], &mut DMatrix::zeros(0, 0))
+            .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_detects_bitflip() {
+        let g = two_communities();
+        let (dir, manifest) = spill(&g, 2);
+        assert!(verify_store(&dir).unwrap().is_empty());
+        // Flip one byte in shard 1 without changing its length: open()
+        // cannot see it (size matches) but verify() must.
+        let path = dir.join(shard::shard_file_name(1));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(verify_store(&dir).unwrap(), vec![1]);
+        assert_eq!(manifest.shards.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn backend_parsing() {
+        assert_eq!("mem".parse::<StoreBackend>().unwrap(), StoreBackend::Mem);
+        assert_eq!("MMAP".parse::<StoreBackend>().unwrap(), StoreBackend::Mmap);
+        assert!("disk".parse::<StoreBackend>().is_err());
+        assert_eq!(parse_byte_size("64MiB").unwrap(), 64 << 20);
+        assert_eq!(parse_byte_size("10KB").unwrap(), 10_000);
+        assert!(parse_byte_size("64XB").is_err());
+    }
+}

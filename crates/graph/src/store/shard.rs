@@ -1,0 +1,695 @@
+//! The versioned on-disk shard format behind the mmap-backed
+//! [`GraphStore`](super::GraphStore) — see the `store` module docs for the
+//! architecture overview.
+//!
+//! A store is a directory:
+//!
+//! ```text
+//! store/
+//! ├── manifest.gss      store-wide header + per-shard sizes/checksums
+//! ├── index.gss         part_of[u32; n] ++ local_of[u32; n]
+//! ├── shard_0000.gss    one partition's CSR slice + feature/label rows
+//! └── shard_0001.gss    …
+//! ```
+//!
+//! Every file starts with a 4-byte magic and a format version; all integers
+//! and floats are little-endian, and sections inside a shard are 8-byte
+//! aligned so the loader can hand out typed slices straight from the
+//! mapping. One shard file holds, for the `k` member vertices of one
+//! [`bfs_partition`](crate::partition::bfs_partition) part (ascending
+//! global id):
+//!
+//! ```text
+//! header   magic, version, shard id, k, e, feature_dim, label_dim
+//! members  [u32; k]       global vertex ids (ascending)
+//! offsets  [u64; k+1]     shard-local CSR offsets
+//! adj      [u32; e]       neighbor lists — GLOBAL ids (edges may cross shards)
+//! features [f32; k·f]     row-major, aligned with `members`
+//! labels   [f32; k·l]     row-major, aligned with `members`
+//! ```
+//!
+//! Consistency rules (the crash-safety contract pinned by
+//! `proptest_store.rs`):
+//!
+//! * Every file is written to a `*.tmp` sibling and atomically renamed, so
+//!   a crash mid-write never leaves a half-written file under the final
+//!   name.
+//! * The manifest is written **last**; a directory without a valid
+//!   manifest is not a store and fails to open loudly.
+//! * The manifest records every shard's exact file length and FNV-1a
+//!   checksum. [`open`](super::GraphStore::open) eagerly stats every
+//!   present shard file against the recorded length, so truncation is a
+//!   loud [`InvalidData`](std::io::ErrorKind::InvalidData) error at open
+//!   time — never a silent short read later.
+//! * A *missing* shard file is tolerated at open (a partial deployment
+//!   serving a slice of the graph); reads of its vertices fail per-request
+//!   (`GraphStore::contains` is the membership probe).
+
+use crate::csr::CsrGraph;
+use crate::partition::VertexPartition;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gsgcn_tensor::DMatrix;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Manifest magic: `GSTR` (gsgcn store).
+pub const MANIFEST_MAGIC: u32 = 0x4753_5452;
+/// Shard-file magic: `GSHD`.
+pub const SHARD_MAGIC: u32 = 0x4753_4844;
+/// Index-file magic: `GSIX`.
+pub const INDEX_MAGIC: u32 = 0x4753_4958;
+/// Format version; bump on any layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed shard-file header length in bytes.
+pub const SHARD_HEADER_LEN: usize = 40;
+/// Fixed index-file header length in bytes.
+pub const INDEX_HEADER_LEN: usize = 16;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+const fn align8(x: usize) -> usize {
+    (x + 7) & !7
+}
+
+/// FNV-1a 64-bit, streamed over file bytes as they are written.
+#[derive(Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Reinterpret a `u32` slice as raw little-endian file bytes.
+///
+/// The format is little-endian and the loader maps files back as typed
+/// slices, so writer and reader must agree on host byte order; the
+/// big-endian guard in [`write_store`] / [`ShardData::load`] enforces it.
+fn u32s_as_bytes(v: &[u32]) -> &[u8] {
+    // Safety: u32 has no invalid byte patterns and the length is exact.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+}
+
+fn u64s_as_bytes(v: &[u64]) -> &[u8] {
+    // Safety: as above.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+}
+
+fn f32s_as_bytes(v: &[f32]) -> &[u8] {
+    // Safety: as above.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+}
+
+fn endian_guard() -> io::Result<()> {
+    if cfg!(target_endian = "big") {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "shard format is little-endian; big-endian hosts are unsupported",
+        ));
+    }
+    Ok(())
+}
+
+/// Per-shard bookkeeping recorded in the manifest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Member vertex count `k`.
+    pub members: u64,
+    /// Directed edge count `e` stored in the shard.
+    pub edges: u64,
+    /// Exact shard file length in bytes.
+    pub file_len: u64,
+    /// FNV-1a 64 over the whole shard file.
+    pub checksum: u64,
+}
+
+/// Store-wide metadata: the contents of `manifest.gss`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreManifest {
+    /// Total vertex count across all shards.
+    pub n: u64,
+    /// Total directed edge count.
+    pub num_edges: u64,
+    /// Feature columns per vertex (0 = no features stored).
+    pub feature_dim: u32,
+    /// Label columns per vertex (0 = no labels stored).
+    pub label_dim: u32,
+    /// One entry per shard, shard id = position.
+    pub shards: Vec<ShardInfo>,
+}
+
+impl StoreManifest {
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32 + self.shards.len() * 32);
+        buf.put_u32_le(MANIFEST_MAGIC);
+        buf.put_u32_le(FORMAT_VERSION);
+        buf.put_u64_le(self.n);
+        buf.put_u64_le(self.num_edges);
+        buf.put_u32_le(self.shards.len() as u32);
+        buf.put_u32_le(self.feature_dim);
+        buf.put_u32_le(self.label_dim);
+        buf.put_u32_le(0); // padding
+        for s in &self.shards {
+            buf.put_u64_le(s.members);
+            buf.put_u64_le(s.edges);
+            buf.put_u64_le(s.file_len);
+            buf.put_u64_le(s.checksum);
+        }
+        buf.freeze()
+    }
+
+    pub fn from_bytes(mut data: Bytes) -> io::Result<Self> {
+        if data.remaining() < 36 {
+            return Err(bad("truncated store manifest header"));
+        }
+        if data.get_u32_le() != MANIFEST_MAGIC {
+            return Err(bad("bad store manifest magic (not a gsgcn shard store)"));
+        }
+        let version = data.get_u32_le();
+        if version != FORMAT_VERSION {
+            return Err(bad(format!(
+                "unsupported store format version {version} (this build reads v{FORMAT_VERSION})"
+            )));
+        }
+        let n = data.get_u64_le();
+        let num_edges = data.get_u64_le();
+        let num_shards = data.get_u32_le() as usize;
+        let feature_dim = data.get_u32_le();
+        let label_dim = data.get_u32_le();
+        let _pad = data.get_u32_le();
+        if data.remaining() < num_shards * 32 {
+            return Err(bad("truncated store manifest shard table"));
+        }
+        let mut shards = Vec::with_capacity(num_shards);
+        for _ in 0..num_shards {
+            shards.push(ShardInfo {
+                members: data.get_u64_le(),
+                edges: data.get_u64_le(),
+                file_len: data.get_u64_le(),
+                checksum: data.get_u64_le(),
+            });
+        }
+        let total: u64 = shards.iter().map(|s| s.members).sum();
+        if total != n {
+            return Err(bad(format!(
+                "manifest inconsistent: shard member counts sum to {total}, expected n={n}"
+            )));
+        }
+        Ok(StoreManifest {
+            n,
+            num_edges,
+            feature_dim,
+            label_dim,
+            shards,
+        })
+    }
+
+    pub fn save(&self, dir: &Path) -> io::Result<()> {
+        write_atomic(&dir.join(MANIFEST_FILE), &self.to_bytes())
+    }
+
+    pub fn load(dir: &Path) -> io::Result<Self> {
+        let path = dir.join(MANIFEST_FILE);
+        let data = std::fs::read(&path).map_err(|e| {
+            io::Error::new(
+                e.kind(),
+                format!("opening store manifest {}: {e}", path.display()),
+            )
+        })?;
+        Self::from_bytes(Bytes::from(data))
+    }
+}
+
+pub const MANIFEST_FILE: &str = "manifest.gss";
+pub const INDEX_FILE: &str = "index.gss";
+
+/// File name of shard `i`.
+pub fn shard_file_name(i: usize) -> String {
+    format!("shard_{i:04}.gss")
+}
+
+/// Expected byte offsets of each section for a shard with `k` members,
+/// `e` edges, `f` feature columns and `l` label columns.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardLayout {
+    pub members_off: usize,
+    pub offsets_off: usize,
+    pub adj_off: usize,
+    pub feat_off: usize,
+    pub label_off: usize,
+    pub file_len: usize,
+}
+
+impl ShardLayout {
+    pub fn new(k: usize, e: usize, f: usize, l: usize) -> Self {
+        let members_off = SHARD_HEADER_LEN;
+        let offsets_off = align8(members_off + 4 * k);
+        let adj_off = offsets_off + 8 * (k + 1);
+        let feat_off = align8(adj_off + 4 * e);
+        let label_off = align8(feat_off + 4 * k * f);
+        let file_len = label_off + 4 * k * l;
+        ShardLayout {
+            members_off,
+            offsets_off,
+            adj_off,
+            feat_off,
+            label_off,
+            file_len,
+        }
+    }
+}
+
+/// Write `bytes` to `path` atomically (temp sibling + rename).
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|s| s.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// A buffered shard-file writer that checksums everything it writes.
+struct CheckedWriter {
+    w: io::BufWriter<std::fs::File>,
+    hash: Fnv1a,
+    written: usize,
+}
+
+impl CheckedWriter {
+    fn create(path: &Path) -> io::Result<Self> {
+        Ok(CheckedWriter {
+            w: io::BufWriter::new(std::fs::File::create(path)?),
+            hash: Fnv1a::default(),
+            written: 0,
+        })
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.hash.update(bytes);
+        self.written += bytes.len();
+        self.w.write_all(bytes)
+    }
+
+    fn pad_to(&mut self, off: usize) -> io::Result<()> {
+        debug_assert!(off >= self.written && off - self.written < 8);
+        const ZEROS: [u8; 8] = [0; 8];
+        let pad = off - self.written;
+        self.put(&ZEROS[..pad])
+    }
+
+    fn finish(mut self) -> io::Result<(usize, u64)> {
+        self.w.flush()?;
+        Ok((self.written, self.hash.finish()))
+    }
+}
+
+/// Write a complete shard store for `graph` (plus optional per-vertex
+/// feature/label rows) under `dir`, partitioned into `num_shards` parts by
+/// the frontier (BFS-grown) partitioner. Returns the manifest.
+///
+/// `num_shards` may exceed the vertex count; trailing shards are then
+/// empty, which the loader handles. Existing store files in `dir` are
+/// overwritten.
+pub fn write_store(
+    dir: &Path,
+    graph: &CsrGraph,
+    features: Option<&DMatrix>,
+    labels: Option<&DMatrix>,
+    num_shards: usize,
+) -> io::Result<StoreManifest> {
+    endian_guard()?;
+    let n = graph.num_vertices();
+    if let Some(f) = features {
+        if f.rows() != n {
+            return Err(bad(format!(
+                "feature matrix has {} rows for a {n}-vertex graph",
+                f.rows()
+            )));
+        }
+    }
+    if let Some(l) = labels {
+        if l.rows() != n {
+            return Err(bad(format!(
+                "label matrix has {} rows for a {n}-vertex graph",
+                l.rows()
+            )));
+        }
+    }
+    std::fs::create_dir_all(dir)?;
+    let p = num_shards.max(1);
+    let partition = crate::partition::bfs_partition(graph, p);
+    write_partitioned(dir, graph, features, labels, &partition)
+}
+
+/// As [`write_store`] but with a caller-supplied partition (must cover
+/// exactly the graph's vertices).
+pub fn write_partitioned(
+    dir: &Path,
+    graph: &CsrGraph,
+    features: Option<&DMatrix>,
+    labels: Option<&DMatrix>,
+    partition: &VertexPartition,
+) -> io::Result<StoreManifest> {
+    endian_guard()?;
+    let n = graph.num_vertices();
+    if partition.part.len() != n {
+        return Err(bad("partition does not cover the graph's vertex set"));
+    }
+    let p = partition.num_parts.max(1);
+    let f = features.map_or(0, |m| m.cols());
+    let l = labels.map_or(0, |m| m.cols());
+
+    // Global → (shard, local) index, derived once from the partition.
+    let mut part_of = vec![0u32; n];
+    let mut local_of = vec![0u32; n];
+    let mut counts = vec![0u32; p];
+    for v in 0..n {
+        let s = partition.part[v];
+        debug_assert!((s as usize) < p, "partition id out of range");
+        part_of[v] = s;
+        local_of[v] = counts[s as usize];
+        counts[s as usize] += 1;
+    }
+
+    let mut shards = Vec::with_capacity(p);
+    let mut members_of = vec![Vec::new(); p];
+    for v in 0..n {
+        members_of[part_of[v] as usize].push(v as u32);
+    }
+    for (sid, members) in members_of.iter().enumerate() {
+        let k = members.len();
+        let e: usize = members.iter().map(|&v| graph.degree(v)).sum();
+        let layout = ShardLayout::new(k, e, f, l);
+        let path = dir.join(shard_file_name(sid));
+        let tmp = tmp_sibling(&path);
+        let mut w = CheckedWriter::create(&tmp)?;
+        let mut header = Vec::with_capacity(SHARD_HEADER_LEN);
+        header.extend_from_slice(&SHARD_MAGIC.to_le_bytes());
+        header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&(sid as u32).to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes()); // padding
+        header.extend_from_slice(&(k as u64).to_le_bytes());
+        header.extend_from_slice(&(e as u64).to_le_bytes());
+        header.extend_from_slice(&(f as u32).to_le_bytes());
+        header.extend_from_slice(&(l as u32).to_le_bytes());
+        w.put(&header)?;
+        w.put(u32s_as_bytes(members))?;
+        w.pad_to(layout.offsets_off)?;
+        let mut offsets = Vec::with_capacity(k + 1);
+        let mut acc = 0u64;
+        offsets.push(0u64);
+        for &v in members {
+            acc += graph.degree(v) as u64;
+            offsets.push(acc);
+        }
+        w.put(u64s_as_bytes(&offsets))?;
+        for &v in members {
+            w.put(u32s_as_bytes(graph.neighbors(v)))?;
+        }
+        w.pad_to(layout.feat_off)?;
+        if let Some(m) = features {
+            for &v in members {
+                w.put(f32s_as_bytes(m.row(v as usize)))?;
+            }
+        }
+        w.pad_to(layout.label_off)?;
+        if let Some(m) = labels {
+            for &v in members {
+                w.put(f32s_as_bytes(m.row(v as usize)))?;
+            }
+        }
+        let (written, checksum) = w.finish()?;
+        debug_assert_eq!(written, layout.file_len, "shard writer layout drift");
+        std::fs::rename(&tmp, &path)?;
+        shards.push(ShardInfo {
+            members: k as u64,
+            edges: e as u64,
+            file_len: written as u64,
+            checksum,
+        });
+    }
+
+    // Index file: header ++ part_of ++ local_of.
+    let mut index = Vec::with_capacity(INDEX_HEADER_LEN + 8 * n);
+    index.extend_from_slice(&INDEX_MAGIC.to_le_bytes());
+    index.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    index.extend_from_slice(&(n as u64).to_le_bytes());
+    index.extend_from_slice(u32s_as_bytes(&part_of));
+    index.extend_from_slice(u32s_as_bytes(&local_of));
+    write_atomic(&dir.join(INDEX_FILE), &index)?;
+
+    // Manifest last: its presence marks the store complete.
+    let manifest = StoreManifest {
+        n: n as u64,
+        num_edges: graph.num_edges() as u64,
+        feature_dim: f as u32,
+        label_dim: l as u32,
+        shards,
+    };
+    manifest.save(dir)?;
+    Ok(manifest)
+}
+
+/// Recompute every present shard file's checksum against the manifest.
+/// Returns the shard ids that failed (empty = all good). Missing shard
+/// files are skipped — presence is a deployment choice, corruption is not.
+pub fn verify_store(dir: &Path) -> io::Result<Vec<usize>> {
+    let manifest = StoreManifest::load(dir)?;
+    let mut failed = Vec::new();
+    let mut buf = vec![0u8; 1 << 20];
+    for (sid, info) in manifest.shards.iter().enumerate() {
+        let path = dir.join(shard_file_name(sid));
+        let file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        let mut hash = Fnv1a::default();
+        let mut total = 0u64;
+        let mut reader = io::BufReader::new(file);
+        loop {
+            let got = reader.read(&mut buf)?;
+            if got == 0 {
+                break;
+            }
+            hash.update(&buf[..got]);
+            total += got as u64;
+        }
+        if total != info.file_len || hash.finish() != info.checksum {
+            failed.push(sid);
+        }
+    }
+    Ok(failed)
+}
+
+/// One loaded (memory-mapped) shard. Readers hold an `Arc<ShardData>`
+/// handed out by the store's cache, so eviction can never unmap pages a
+/// reader is still walking: the munmap happens when the last `Arc` drops.
+pub struct ShardData {
+    map: super::mmap::Mapping,
+    k: usize,
+    e: usize,
+    f: usize,
+    l: usize,
+    layout: ShardLayout,
+}
+
+impl ShardData {
+    /// Map and validate one shard file. The entire layout is checked
+    /// against the header and `expected` (the manifest entry) before any
+    /// slice is handed out, so truncated or foreign files are loud
+    /// [`InvalidData`](io::ErrorKind::InvalidData) errors here.
+    pub fn load(path: &Path, shard_id: usize, expected: Option<&ShardInfo>) -> io::Result<Self> {
+        endian_guard()?;
+        let file = std::fs::File::open(path).map_err(|e| {
+            io::Error::new(e.kind(), format!("opening shard {}: {e}", path.display()))
+        })?;
+        let file_len = file.metadata()?.len() as usize;
+        let ctx = |msg: String| bad(format!("shard {}: {msg}", path.display()));
+        if file_len < SHARD_HEADER_LEN {
+            return Err(ctx(format!(
+                "file is {file_len} bytes, smaller than the {SHARD_HEADER_LEN}-byte header \
+                 (truncated write?)"
+            )));
+        }
+        if let Some(info) = expected {
+            if file_len as u64 != info.file_len {
+                return Err(ctx(format!(
+                    "file is {file_len} bytes but the manifest records {} \
+                     (truncated or corrupt — refusing to read)",
+                    info.file_len
+                )));
+            }
+        }
+        let map = super::mmap::Mapping::map(&file, file_len)?;
+        let mut header = Bytes::from(map.bytes()[..SHARD_HEADER_LEN].to_vec());
+        if header.get_u32_le() != SHARD_MAGIC {
+            return Err(ctx("bad magic (not a gsgcn shard file)".into()));
+        }
+        let version = header.get_u32_le();
+        if version != FORMAT_VERSION {
+            return Err(ctx(format!(
+                "format version {version}, this build reads v{FORMAT_VERSION}"
+            )));
+        }
+        let id = header.get_u32_le() as usize;
+        if id != shard_id {
+            return Err(ctx(format!("header says shard {id}, expected {shard_id}")));
+        }
+        let _pad = header.get_u32_le();
+        let k = header.get_u64_le() as usize;
+        let e = header.get_u64_le() as usize;
+        let f = header.get_u32_le() as usize;
+        let l = header.get_u32_le() as usize;
+        let layout = ShardLayout::new(k, e, f, l);
+        if layout.file_len != file_len {
+            return Err(ctx(format!(
+                "header implies {} bytes but the file has {file_len} \
+                 (truncated or corrupt — refusing to read)",
+                layout.file_len
+            )));
+        }
+        if let Some(info) = expected {
+            if info.members != k as u64 || info.edges != e as u64 {
+                return Err(ctx(format!(
+                    "header (k={k}, e={e}) disagrees with the manifest (k={}, e={})",
+                    info.members, info.edges
+                )));
+            }
+        }
+        Ok(ShardData {
+            map,
+            k,
+            e,
+            f,
+            l,
+            layout,
+        })
+    }
+
+    fn view_u32(&self, off: usize, count: usize) -> &[u32] {
+        let bytes = &self.map.bytes()[off..off + 4 * count];
+        debug_assert_eq!(bytes.as_ptr() as usize % 4, 0);
+        // Safety: range-checked above, 4-aligned by the section layout.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u32, count) }
+    }
+
+    fn view_u64(&self, off: usize, count: usize) -> &[u64] {
+        let bytes = &self.map.bytes()[off..off + 8 * count];
+        debug_assert_eq!(bytes.as_ptr() as usize % 8, 0);
+        // Safety: range-checked above, 8-aligned by the section layout.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u64, count) }
+    }
+
+    fn view_f32(&self, off: usize, count: usize) -> &[f32] {
+        let bytes = &self.map.bytes()[off..off + 4 * count];
+        debug_assert_eq!(bytes.as_ptr() as usize % 4, 0);
+        // Safety: range-checked above, 4-aligned; any bit pattern is a
+        // valid f32.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const f32, count) }
+    }
+
+    /// Member vertex count `k`.
+    pub fn num_members(&self) -> usize {
+        self.k
+    }
+
+    /// Directed edges stored in this shard.
+    pub fn num_edges(&self) -> usize {
+        self.e
+    }
+
+    /// Bytes this shard holds mapped (charged against the cache budget).
+    pub fn mapped_bytes(&self) -> usize {
+        self.layout.file_len
+    }
+
+    /// Global ids of the member vertices, ascending.
+    pub fn members(&self) -> &[u32] {
+        self.view_u32(self.layout.members_off, self.k)
+    }
+
+    fn offsets(&self) -> &[u64] {
+        self.view_u64(self.layout.offsets_off, self.k + 1)
+    }
+
+    /// Full adjacency section (global ids).
+    pub fn adj(&self) -> &[u32] {
+        self.view_u32(self.layout.adj_off, self.e)
+    }
+
+    /// `(start, len)` of member `local`'s neighbor list within [`Self::adj`].
+    pub fn adj_range(&self, local: usize) -> (usize, usize) {
+        let off = self.offsets();
+        let start = off[local] as usize;
+        (start, off[local + 1] as usize - start)
+    }
+
+    /// Degree of member `local`.
+    pub fn degree(&self, local: usize) -> usize {
+        self.adj_range(local).1
+    }
+
+    /// The `j`-th neighbor (global id) of member `local`.
+    pub fn neighbor(&self, local: usize, j: usize) -> u32 {
+        let (start, len) = self.adj_range(local);
+        debug_assert!(j < len);
+        self.adj()[start + j]
+    }
+
+    /// Neighbor list (global ids) of member `local`.
+    pub fn neighbors(&self, local: usize) -> &[u32] {
+        let (start, len) = self.adj_range(local);
+        &self.adj()[start..start + len]
+    }
+
+    /// Feature columns stored per member (0 = none).
+    pub fn feature_dim(&self) -> usize {
+        self.f
+    }
+
+    /// Label columns stored per member (0 = none).
+    pub fn label_dim(&self) -> usize {
+        self.l
+    }
+
+    /// Feature row of member `local`.
+    pub fn feature_row(&self, local: usize) -> &[f32] {
+        debug_assert!(local < self.k);
+        self.view_f32(self.layout.feat_off + 4 * local * self.f, self.f)
+    }
+
+    /// Label row of member `local`.
+    pub fn label_row(&self, local: usize) -> &[f32] {
+        debug_assert!(local < self.k);
+        self.view_f32(self.layout.label_off + 4 * local * self.l, self.l)
+    }
+}

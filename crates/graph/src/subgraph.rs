@@ -10,6 +10,7 @@
 
 use crate::bitset::BitSet;
 use crate::csr::CsrGraph;
+use crate::store::Topology;
 use rayon::prelude::*;
 
 /// An induced subgraph plus the mapping back to original vertex ids.
@@ -39,7 +40,12 @@ impl InducedSubgraph {
 /// `vertices` may be unsorted and contain duplicates; the output vertex
 /// order is the ascending original-id order, which keeps feature gathers
 /// (`H[V_sub]`, Alg. 1 line 5) sequential in the original feature matrix.
-pub fn induced_subgraph(g: &CsrGraph, vertices: &[u32]) -> InducedSubgraph {
+///
+/// Generic over [`Topology`] so the same extraction runs against a
+/// resident `CsrGraph` or a shard-backed `GraphStore` (including via
+/// `&dyn Topology`) — the output is bit-identical either way because both
+/// expose the same neighbor order.
+pub fn induced_subgraph<T: Topology + ?Sized>(g: &T, vertices: &[u32]) -> InducedSubgraph {
     let mut origin: Vec<u32> = vertices.to_vec();
     origin.sort_unstable();
     origin.dedup();
@@ -60,7 +66,7 @@ pub fn induced_subgraph(g: &CsrGraph, vertices: &[u32]) -> InducedSubgraph {
     let counts: Vec<usize> = origin
         .par_iter()
         .map(|&v| {
-            g.neighbors(v)
+            g.neighbors_ref(v)
                 .iter()
                 .filter(|&&u| member.contains(u as usize))
                 .count()
@@ -90,7 +96,7 @@ pub fn induced_subgraph(g: &CsrGraph, vertices: &[u32]) -> InducedSubgraph {
             .zip(origin.par_iter())
             .for_each(|(out, &v)| {
                 let mut k = 0;
-                for &u in g.neighbors(v) {
+                for &u in g.neighbors_ref(v).iter() {
                     if member.contains(u as usize) {
                         out[k] = relabel[u as usize];
                         k += 1;

@@ -1,0 +1,157 @@
+//! Property-based tests of the sharded `GraphStore`: whatever random
+//! graph, shard count, or cache budget the generator picks, the mmap
+//! backend must be observationally identical to the resident graph —
+//! and any on-disk corruption must surface as an error, never as
+//! silently different data.
+
+use gsgcn_graph::builder::from_edges;
+use gsgcn_graph::store::shard::{shard_file_name, verify_store, write_store};
+use gsgcn_graph::{l_hop_ball, CsrGraph, GraphStore, Topology};
+use gsgcn_tensor::DMatrix;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Strategy: a connected-ish random graph (ring + random chords) so
+/// L-hop balls actually grow, plus a shard count that forces boundary
+/// vertices (down to one-vertex shards) and a deliberately tiny cache
+/// budget so eviction churn is part of every case.
+fn store_case() -> impl Strategy<Value = (CsrGraph, usize, usize)> {
+    (
+        3usize..48,
+        proptest::collection::vec((0u32..48, 0u32..48), 0..96),
+        1usize..9,
+        1usize..64,
+    )
+        .prop_map(|(n, extra, shards, budget_kb)| {
+            let mut edges: Vec<(u32, u32)> =
+                (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+            edges.extend(
+                extra
+                    .into_iter()
+                    .filter(|&(a, b)| (a as usize) < n && (b as usize) < n && a != b),
+            );
+            (from_edges(n, &edges), shards, budget_kb * 1024)
+        })
+}
+
+fn fresh_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gsgcn-proptest-store-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Deterministic per-vertex rows so bitwise comparison is meaningful.
+fn feature_rows(n: usize, dim: usize) -> DMatrix {
+    DMatrix::from_fn(n, dim, |i, j| ((i * 31 + j * 7) as f32).sin())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The mmap store answers every topology probe, L-hop ball, and
+    /// feature gather bit-identically to the resident graph it was
+    /// spilled from — across shard boundaries and under eviction.
+    #[test]
+    fn mmap_store_is_observationally_identical((g, shards, budget) in store_case(), root_seed in any::<u64>()) {
+        let n = g.num_vertices();
+        let f = feature_rows(n, 5);
+        let dir = fresh_dir();
+        write_store(&dir, &g, Some(&f), None, shards).unwrap();
+        let store = GraphStore::open_with_budget(&dir, budget).unwrap();
+
+        prop_assert_eq!(Topology::num_vertices(&store), n);
+        prop_assert_eq!(Topology::num_edges(&store), g.num_edges());
+        for v in 0..n as u32 {
+            prop_assert!(store.contains(v));
+            prop_assert!(store.shard_of(v).is_some());
+            prop_assert_eq!(Topology::degree(&store, v), g.degree(v));
+            prop_assert_eq!(&*store.neighbors_ref(v), g.neighbors(v), "vertex {}", v);
+        }
+
+        // Bit-identical L-hop balls from a few pseudo-random root sets.
+        for hops in 1..=3usize {
+            let roots: Vec<u32> = (0..4u64)
+                .map(|k| ((root_seed.wrapping_mul(2654435761).wrapping_add(k * 97)) % n as u64) as u32)
+                .collect();
+            let ball_mem = l_hop_ball(&g, &roots, hops);
+            let ball_mmap = l_hop_ball(&store, &roots, hops);
+            prop_assert_eq!(ball_mem, ball_mmap, "hops {}", hops);
+        }
+
+        // Bitwise-equal feature gathers, including duplicate rows.
+        let rows: Vec<u32> = (0..n as u32).chain([0, (n - 1) as u32]).collect();
+        let mut got = DMatrix::zeros(rows.len(), 5);
+        store.gather_features_into(&rows, &mut got).unwrap();
+        for (i, &v) in rows.iter().enumerate() {
+            prop_assert_eq!(got.row(i), f.row(v as usize), "row {}", v);
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Materializing the store back to memory round-trips the graph and
+    /// rows exactly, whatever the partition looked like.
+    #[test]
+    fn materialize_roundtrips_any_partition((g, shards, budget) in store_case()) {
+        let n = g.num_vertices();
+        let f = feature_rows(n, 3);
+        let dir = fresh_dir();
+        write_store(&dir, &g, Some(&f), None, shards).unwrap();
+        let store = GraphStore::open_with_budget(&dir, budget).unwrap();
+        let (graph, feats, labels) = store.materialize().unwrap();
+        prop_assert_eq!(&*graph, &g);
+        prop_assert_eq!(&**feats.as_ref().unwrap(), &f);
+        prop_assert!(labels.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Crash safety: truncating any shard at any point must fail the
+    /// open loudly — a partially-written spill can never be read back as
+    /// a plausible-but-wrong graph.
+    #[test]
+    fn truncated_shard_never_reads_back((g, shards, _) in store_case(), pick in any::<u64>()) {
+        let n = g.num_vertices();
+        let f = feature_rows(n, 3);
+        let dir = fresh_dir();
+        let manifest = write_store(&dir, &g, Some(&f), None, shards).unwrap();
+        let sid = (pick % manifest.shards.len() as u64) as usize;
+        let file_len = manifest.shards[sid].file_len;
+        prop_assume!(file_len > 0);
+        let keep = (pick / 7) % file_len; // strictly shorter than written
+        let path = dir.join(shard_file_name(sid));
+        let fh = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        fh.set_len(keep).unwrap();
+        drop(fh);
+        let err = GraphStore::open_with_budget(&dir, 1 << 20).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Corruption that preserves file length is invisible to open() but
+    /// must be flagged by verify_store — or, if it hits the header, fail
+    /// the open. Either way it can never pass both checks.
+    #[test]
+    fn bitflip_is_always_detected((g, shards, _) in store_case(), pick in any::<u64>()) {
+        let n = g.num_vertices();
+        let f = feature_rows(n, 3);
+        let dir = fresh_dir();
+        let manifest = write_store(&dir, &g, Some(&f), None, shards).unwrap();
+        let sid = (pick % manifest.shards.len() as u64) as usize;
+        let path = dir.join(shard_file_name(sid));
+        let mut bytes = std::fs::read(&path).unwrap();
+        prop_assume!(!bytes.is_empty());
+        let at = ((pick / 3) % bytes.len() as u64) as usize;
+        bytes[at] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let open_failed = GraphStore::open_with_budget(&dir, 1 << 20).is_err();
+        let flagged = verify_store(&dir).map(|bad| bad.contains(&sid)).unwrap_or(true);
+        prop_assert!(open_failed || flagged, "corrupt shard {} passed open AND verify", sid);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

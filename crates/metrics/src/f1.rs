@@ -151,6 +151,77 @@ pub fn accuracy(pred: &DMatrix, target: &DMatrix) -> f64 {
     hit as f64 / pred.rows() as f64
 }
 
+/// Streaming micro-F1 accumulator: feed probability/target row pairs in
+/// any order — full matrices at once, or chunk by chunk as an out-of-core
+/// evaluation produces them — and read the pooled F1 at the end. The
+/// decision rule per row is the task-appropriate one (argmax for
+/// single-label, the 0.5 threshold for multi-label), identical to
+/// [`f1_micro_from_probs`], which is the one-shot wrapper over this type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct F1Accumulator {
+    pooled: Confusion,
+    single_label: bool,
+    rows: usize,
+}
+
+impl F1Accumulator {
+    /// Fresh accumulator for the given task kind.
+    pub fn new(single_label: bool) -> Self {
+        F1Accumulator {
+            pooled: Confusion::default(),
+            single_label,
+            rows: 0,
+        }
+    }
+
+    /// Fold one probability row against its binary target row.
+    pub fn push_row(&mut self, probs: &[f32], target: &[f32]) {
+        debug_assert_eq!(probs.len(), target.len(), "probs/target width mismatch");
+        let best = if self.single_label {
+            argmax_row(probs)
+        } else {
+            0
+        };
+        for (c, (&p, &t)) in probs.iter().zip(target).enumerate() {
+            let predicted = if self.single_label {
+                c == best
+            } else {
+                p >= MULTI_LABEL_THRESHOLD
+            };
+            match (predicted, t > 0.5) {
+                (true, true) => self.pooled.tp += 1,
+                (true, false) => self.pooled.fp += 1,
+                (false, true) => self.pooled.fn_ += 1,
+                (false, false) => self.pooled.tn += 1,
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// Fold every row of a probability matrix against its target matrix.
+    pub fn push_rows(&mut self, probs: &DMatrix, target: &DMatrix) {
+        assert_eq!(probs.shape(), target.shape(), "probs/target shape mismatch");
+        for i in 0..probs.rows() {
+            self.push_row(probs.row(i), target.row(i));
+        }
+    }
+
+    /// Rows folded so far.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Pooled confusion counts so far.
+    pub fn confusion(&self) -> Confusion {
+        self.pooled
+    }
+
+    /// Micro-averaged F1 of everything folded so far.
+    pub fn f1(&self) -> f64 {
+        self.pooled.f1()
+    }
+}
+
 /// Convenience: F1-micro of probability outputs against targets, with the
 /// task-appropriate decision rule (argmax for single-label, a 0.5
 /// threshold for multi-label).
@@ -161,26 +232,9 @@ pub fn accuracy(pred: &DMatrix, target: &DMatrix) -> f64 {
 /// `f1_micro(&argmax_onehot(probs) | &binarize(probs, 0.5), target)`,
 /// pinned by a test below).
 pub fn f1_micro_from_probs(probs: &DMatrix, target: &DMatrix, single_label: bool) -> f64 {
-    assert_eq!(probs.shape(), target.shape(), "probs/target shape mismatch");
-    let mut pooled = Confusion::default();
-    for i in 0..probs.rows() {
-        let (pr, tr) = (probs.row(i), target.row(i));
-        let best = if single_label { argmax_row(pr) } else { 0 };
-        for (c, (&p, &t)) in pr.iter().zip(tr).enumerate() {
-            let predicted = if single_label {
-                c == best
-            } else {
-                p >= MULTI_LABEL_THRESHOLD
-            };
-            match (predicted, t > 0.5) {
-                (true, true) => pooled.tp += 1,
-                (true, false) => pooled.fp += 1,
-                (false, true) => pooled.fn_ += 1,
-                (false, false) => pooled.tn += 1,
-            }
-        }
-    }
-    pooled.f1()
+    let mut acc = F1Accumulator::new(single_label);
+    acc.push_rows(probs, target);
+    acc.f1()
 }
 
 #[cfg(test)]
@@ -266,6 +320,25 @@ mod tests {
         assert_eq!(f1_micro_from_probs(&probs, &target, true), single);
         let multi = f1_micro(&binarize(&probs, 0.5), &target);
         assert_eq!(f1_micro_from_probs(&probs, &target, false), multi);
+    }
+
+    /// Chunked accumulation must pool to the same F1 as a single pass —
+    /// the invariant out-of-core evaluation relies on.
+    #[test]
+    fn accumulator_chunking_is_order_free() {
+        let probs = DMatrix::from_fn(23, 4, |i, j| (((i * 13 + j * 5) % 19) as f32) / 18.0);
+        let target = DMatrix::from_fn(23, 4, |i, j| (((i * 3 + j) % 4) == 0) as u8 as f32);
+        for single in [true, false] {
+            let oneshot = f1_micro_from_probs(&probs, &target, single);
+            let mut acc = F1Accumulator::new(single);
+            // Feed rows in a scrambled order, one at a time.
+            for k in 0..23usize {
+                let i = (k * 7) % 23;
+                acc.push_row(probs.row(i), target.row(i));
+            }
+            assert_eq!(acc.rows(), 23);
+            assert_eq!(acc.f1(), oneshot, "single_label={single}");
+        }
     }
 
     #[test]

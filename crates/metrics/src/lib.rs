@@ -8,7 +8,10 @@
 //!   helpers.
 //! * [`convergence`] — time-vs-accuracy curves and the threshold-crossing
 //!   speedup measurement of Sec. VI-B (`a₀ − 0.0025` rule).
+//! * [`mem`] — process resident-set probes (`/proc/self/status`) used by
+//!   the out-of-core bench and the RSS-capped CI smoke test.
 
 pub mod convergence;
 pub mod f1;
+pub mod mem;
 pub mod timing;

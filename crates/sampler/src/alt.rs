@@ -8,7 +8,7 @@
 
 use crate::rng::Xorshift128Plus;
 use crate::GraphSampler;
-use gsgcn_graph::{BitSet, CsrGraph};
+use gsgcn_graph::{BitSet, Topology};
 
 /// Uniform random vertex sampling (no topology awareness).
 #[derive(Clone, Debug)]
@@ -18,7 +18,7 @@ pub struct UniformNodeSampler {
 }
 
 impl GraphSampler for UniformNodeSampler {
-    fn sample_vertices(&self, g: &CsrGraph, seed: u64) -> Vec<u32> {
+    fn sample_vertices(&self, g: &dyn Topology, seed: u64) -> Vec<u32> {
         let n = g.num_vertices();
         let k = self.budget.min(n);
         Xorshift128Plus::new(seed).sample_distinct(n, k)
@@ -40,7 +40,7 @@ pub struct UniformEdgeSampler {
 }
 
 impl GraphSampler for UniformEdgeSampler {
-    fn sample_vertices(&self, g: &CsrGraph, seed: u64) -> Vec<u32> {
+    fn sample_vertices(&self, g: &dyn Topology, seed: u64) -> Vec<u32> {
         let n = g.num_vertices();
         let m = g.num_edges();
         let budget = self.budget.min(n);
@@ -50,10 +50,31 @@ impl GraphSampler for UniformEdgeSampler {
         if m == 0 {
             return Xorshift128Plus::new(seed).sample_distinct(n, budget);
         }
+        // Edge-slot → (source, target) mapping. A resident CSR exposes its
+        // offset/adjacency arrays directly; any other backend gets the
+        // identical mapping from a degree prefix sum plus `neighbor()`
+        // (the prefix sums equal the CSR offsets by construction, so both
+        // paths are bit-identical for a fixed seed).
+        let csr = g.as_csr();
+        let fallback_offsets: Option<Vec<usize>> = if csr.is_none() {
+            let mut off = Vec::with_capacity(n + 1);
+            let mut acc = 0usize;
+            off.push(0);
+            for v in 0..n as u32 {
+                acc += g.degree(v);
+                off.push(acc);
+            }
+            Some(off)
+        } else {
+            None
+        };
+        let offsets: &[usize] = match csr {
+            Some(c) => c.offsets(),
+            None => fallback_offsets.as_deref().unwrap(),
+        };
         // Draw directed edge slots uniformly: equivalent to uniform edges
         // on a symmetric graph. Guard against degenerate loops with a cap.
         let max_draws = budget * 64 + 64;
-        let offsets = g.offsets();
         for _ in 0..max_draws {
             if out.len() >= budget {
                 break;
@@ -61,7 +82,10 @@ impl GraphSampler for UniformEdgeSampler {
             let e = rng.next_range(m);
             // Binary search the source vertex owning edge slot e.
             let u = offsets.partition_point(|&o| o <= e) - 1;
-            let v = g.adjacency()[e];
+            let v = match csr {
+                Some(c) => c.adjacency()[e],
+                None => g.neighbor(u as u32, e - offsets[u]),
+            };
             for w in [u as u32, v] {
                 if out.len() < budget && seen.insert(w as usize) {
                     out.push(w);
@@ -91,7 +115,7 @@ pub struct RandomWalkSampler {
 }
 
 impl GraphSampler for RandomWalkSampler {
-    fn sample_vertices(&self, g: &CsrGraph, seed: u64) -> Vec<u32> {
+    fn sample_vertices(&self, g: &dyn Topology, seed: u64) -> Vec<u32> {
         assert!(self.walkers >= 1);
         let n = g.num_vertices();
         let budget = self.budget.min(n);
@@ -147,7 +171,7 @@ pub struct ForestFireSampler {
 }
 
 impl GraphSampler for ForestFireSampler {
-    fn sample_vertices(&self, g: &CsrGraph, seed: u64) -> Vec<u32> {
+    fn sample_vertices(&self, g: &dyn Topology, seed: u64) -> Vec<u32> {
         assert!((0.0..1.0).contains(&self.burn_prob));
         let n = g.num_vertices();
         let budget = self.budget.min(n);
@@ -212,7 +236,7 @@ impl GraphSampler for ForestFireSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gsgcn_graph::GraphBuilder;
+    use gsgcn_graph::{CsrGraph, GraphBuilder};
 
     fn grid(w: usize, h: usize) -> CsrGraph {
         let mut edges = Vec::new();

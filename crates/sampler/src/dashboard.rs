@@ -32,7 +32,7 @@
 
 use crate::rng::{LaneRng, Xorshift128Plus, LANES};
 use crate::GraphSampler;
-use gsgcn_graph::{BitSet, CsrGraph};
+use gsgcn_graph::{BitSet, Topology};
 
 /// Invalid-slot sentinel (paper's `INV`).
 const INV: u32 = u32::MAX;
@@ -374,7 +374,7 @@ impl DashboardSampler {
     }
 
     /// Run Algorithm 3, returning the sampled vertex set and run stats.
-    pub fn sample_with_stats(&self, g: &CsrGraph, seed: u64) -> (Vec<u32>, SamplerStats) {
+    pub fn sample_with_stats(&self, g: &dyn Topology, seed: u64) -> (Vec<u32>, SamplerStats) {
         let n_total = g.num_vertices();
         let m = self.cfg.frontier_size.min(n_total);
         let budget = self.cfg.budget.min(n_total);
@@ -449,7 +449,7 @@ impl DashboardSampler {
 
 /// Draw a uniform random vertex with degree ≥ 1 (bounded retries, then a
 /// linear fallback scan).
-fn frontier_redraw(g: &CsrGraph, rng: &mut Xorshift128Plus) -> u32 {
+fn frontier_redraw(g: &dyn Topology, rng: &mut Xorshift128Plus) -> u32 {
     let n = g.num_vertices();
     for _ in 0..64 {
         let v = rng.next_range(n) as u32;
@@ -461,7 +461,7 @@ fn frontier_redraw(g: &CsrGraph, rng: &mut Xorshift128Plus) -> u32 {
 }
 
 impl GraphSampler for DashboardSampler {
-    fn sample_vertices(&self, g: &CsrGraph, seed: u64) -> Vec<u32> {
+    fn sample_vertices(&self, g: &dyn Topology, seed: u64) -> Vec<u32> {
         self.sample_with_stats(g, seed).0
     }
 
@@ -473,7 +473,7 @@ impl GraphSampler for DashboardSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gsgcn_graph::GraphBuilder;
+    use gsgcn_graph::{CsrGraph, GraphBuilder};
 
     fn ring(n: usize) -> CsrGraph {
         GraphBuilder::new(n)

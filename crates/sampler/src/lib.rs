@@ -54,22 +54,28 @@ pub mod pool;
 pub mod rng;
 pub mod weighted;
 
-use gsgcn_graph::{induced_subgraph, CsrGraph, InducedSubgraph};
+use gsgcn_graph::{induced_subgraph, InducedSubgraph, Topology};
 
 /// A graph-sampling algorithm: draws a vertex set from `g`.
 ///
 /// Implementations must be deterministic in `(g, seed)` and cheap to share
 /// across threads (`&self` sampling), so one configured sampler can drive
 /// `p_inter` concurrent instances.
+///
+/// Topology is read through `&dyn Topology` so the same sampler runs
+/// against a resident `CsrGraph` or a shard-backed `GraphStore` (a
+/// `&CsrGraph` coerces implicitly at every call site). Both backends
+/// expose identical neighbor order, so sampled vertex sets are
+/// bit-identical for a fixed seed regardless of where the graph lives.
 pub trait GraphSampler: Sync {
     /// Sample a vertex set (deduplicated, unsorted order unspecified).
-    fn sample_vertices(&self, g: &CsrGraph, seed: u64) -> Vec<u32>;
+    fn sample_vertices(&self, g: &dyn Topology, seed: u64) -> Vec<u32>;
 
     /// Human-readable sampler name for reports.
     fn name(&self) -> &'static str;
 
     /// Sample and extract the induced subgraph (Alg. 2 line 8).
-    fn sample_subgraph(&self, g: &CsrGraph, seed: u64) -> InducedSubgraph {
+    fn sample_subgraph(&self, g: &dyn Topology, seed: u64) -> InducedSubgraph {
         let verts = self.sample_vertices(g, seed);
         induced_subgraph(g, &verts)
     }

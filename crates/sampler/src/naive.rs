@@ -12,7 +12,7 @@
 
 use crate::rng::Xorshift128Plus;
 use crate::GraphSampler;
-use gsgcn_graph::{BitSet, CsrGraph};
+use gsgcn_graph::{BitSet, Topology};
 
 /// Frontier sampler with per-pop linear scan over the frontier.
 #[derive(Clone, Debug)]
@@ -37,7 +37,7 @@ impl NaiveFrontierSampler {
 }
 
 impl GraphSampler for NaiveFrontierSampler {
-    fn sample_vertices(&self, g: &CsrGraph, seed: u64) -> Vec<u32> {
+    fn sample_vertices(&self, g: &dyn Topology, seed: u64) -> Vec<u32> {
         let n_total = g.num_vertices();
         assert!(n_total > 0, "cannot sample an empty graph");
         let m = self.frontier_size.min(n_total);
@@ -106,7 +106,7 @@ impl GraphSampler for NaiveFrontierSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gsgcn_graph::GraphBuilder;
+    use gsgcn_graph::{CsrGraph, GraphBuilder};
 
     fn ring(n: usize) -> CsrGraph {
         GraphBuilder::new(n)

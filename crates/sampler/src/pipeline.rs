@@ -57,7 +57,7 @@
 
 use crate::pool::Ticket;
 use crate::GraphSampler;
-use gsgcn_graph::{CsrGraph, InducedSubgraph};
+use gsgcn_graph::{InducedSubgraph, Topology};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -165,10 +165,12 @@ impl SamplerPipeline {
     /// The sampler and graph are shared by `Arc` because the workers are
     /// detached OS threads that outlive any single training call; both are
     /// read-only during sampling ([`GraphSampler`] samples through
-    /// `&self`).
-    pub fn spawn<S>(sampler: Arc<S>, graph: Arc<CsrGraph>, cfg: PipelineConfig) -> Self
+    /// `&self`). Generic over the topology backend so the same pipeline
+    /// runs over an `Arc<CsrGraph>` or an `Arc<GraphStore>`.
+    pub fn spawn<S, G>(sampler: Arc<S>, graph: Arc<G>, cfg: PipelineConfig) -> Self
     where
         S: GraphSampler + Send + Sync + 'static,
+        G: Topology + Send + Sync + 'static,
     {
         assert!(cfg.workers >= 1, "pipeline needs at least one worker");
         assert!(cfg.p_inter >= 1, "p_inter must be ≥ 1");
@@ -195,7 +197,7 @@ impl SamplerPipeline {
                 let graph = Arc::clone(&graph);
                 std::thread::Builder::new()
                     .name(format!("gsgcn-sampler-{i}"))
-                    .spawn(move || worker_loop(&shared, &*sampler, &graph))
+                    .spawn(move || worker_loop(&shared, &*sampler, &*graph))
                     .expect("failed to spawn sampler worker thread")
             })
             .collect();
@@ -292,7 +294,7 @@ impl Drop for SamplerPipeline {
 
 /// Producer loop: claim the next ticket (parking when the buffer is
 /// full), sample it outside the lock, deliver into the reorder buffer.
-fn worker_loop<S: GraphSampler + ?Sized>(shared: &Shared, sampler: &S, graph: &CsrGraph) {
+fn worker_loop<S: GraphSampler + ?Sized>(shared: &Shared, sampler: &S, graph: &dyn Topology) {
     loop {
         // --- Claim phase (under lock, with backpressure) ---
         let seq = {
@@ -360,7 +362,7 @@ mod tests {
     use super::*;
     use crate::dashboard::{DashboardSampler, FrontierConfig};
     use crate::pool::SubgraphPool;
-    use gsgcn_graph::GraphBuilder;
+    use gsgcn_graph::{CsrGraph, GraphBuilder};
     use std::sync::atomic::AtomicUsize;
 
     fn ring(n: usize) -> CsrGraph {
@@ -395,7 +397,7 @@ mod tests {
 
         let mut pool = SubgraphPool::new(p_inter, 42);
         let reference: Vec<Vec<u32>> = (0..n_pops)
-            .map(|_| pool.pop_or_refill(&*s, &g).origin)
+            .map(|_| pool.pop_or_refill(&*s, &*g).origin)
             .collect();
 
         for workers in [1usize, 2, 4] {
@@ -444,7 +446,7 @@ mod tests {
     }
 
     impl GraphSampler for PanickySampler {
-        fn sample_vertices(&self, g: &CsrGraph, seed: u64) -> Vec<u32> {
+        fn sample_vertices(&self, g: &dyn Topology, seed: u64) -> Vec<u32> {
             if self.calls.fetch_add(1, Ordering::SeqCst) == self.panic_at {
                 panic!("injected sampler failure");
             }
@@ -495,7 +497,7 @@ mod tests {
     }
 
     impl GraphSampler for SlowSampler {
-        fn sample_vertices(&self, g: &CsrGraph, seed: u64) -> Vec<u32> {
+        fn sample_vertices(&self, g: &dyn Topology, seed: u64) -> Vec<u32> {
             std::thread::sleep(self.delay);
             self.inner.sample_vertices(g, seed)
         }

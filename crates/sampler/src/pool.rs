@@ -16,7 +16,7 @@
 
 use crate::rng::splitmix64;
 use crate::GraphSampler;
-use gsgcn_graph::{CsrGraph, InducedSubgraph};
+use gsgcn_graph::{InducedSubgraph, Topology};
 use rayon::prelude::*;
 use std::collections::VecDeque;
 
@@ -66,7 +66,7 @@ impl Ticket {
 /// Sample `count` subgraphs in parallel on the current rayon pool.
 pub fn sample_many<S: GraphSampler + ?Sized>(
     sampler: &S,
-    g: &CsrGraph,
+    g: &dyn Topology,
     count: usize,
     base_seed: u64,
     batch: u64,
@@ -125,7 +125,7 @@ impl SubgraphPool {
 
     /// Launch `p_inter` parallel sampler instances and enqueue their
     /// subgraphs (Alg. 5 lines 3–5).
-    pub fn refill<S: GraphSampler + ?Sized>(&mut self, sampler: &S, g: &CsrGraph) {
+    pub fn refill<S: GraphSampler + ?Sized>(&mut self, sampler: &S, g: &dyn Topology) {
         let subs = sample_many(sampler, g, self.p_inter, self.base_seed, self.batch);
         self.batch += 1;
         self.queue.extend(subs);
@@ -136,7 +136,7 @@ impl SubgraphPool {
     pub fn pop_or_refill<S: GraphSampler + ?Sized>(
         &mut self,
         sampler: &S,
-        g: &CsrGraph,
+        g: &dyn Topology,
     ) -> InducedSubgraph {
         if self.queue.is_empty() {
             self.refill(sampler, g);
@@ -151,7 +151,7 @@ impl SubgraphPool {
 mod tests {
     use super::*;
     use crate::dashboard::{DashboardSampler, FrontierConfig};
-    use gsgcn_graph::GraphBuilder;
+    use gsgcn_graph::{CsrGraph, GraphBuilder};
 
     fn ring(n: usize) -> CsrGraph {
         GraphBuilder::new(n)

@@ -18,7 +18,7 @@
 use crate::dashboard::{Dashboard, ProbeMode, SamplerStats};
 use crate::rng::{LaneRng, Xorshift128Plus};
 use crate::GraphSampler;
-use gsgcn_graph::{BitSet, CsrGraph};
+use gsgcn_graph::{BitSet, Topology};
 
 /// Frontier sampler with `deg^α` pop weights on the Dashboard.
 #[derive(Clone, Debug)]
@@ -62,7 +62,7 @@ impl WeightedFrontierSampler {
     }
 
     /// Run the sampler, returning the vertex set and stats.
-    pub fn sample_with_stats(&self, g: &CsrGraph, seed: u64) -> (Vec<u32>, SamplerStats) {
+    pub fn sample_with_stats(&self, g: &dyn Topology, seed: u64) -> (Vec<u32>, SamplerStats) {
         assert!(self.frontier_size >= 1, "frontier_size must be ≥ 1");
         assert!(self.alpha >= 0.0, "alpha must be non-negative");
         assert!(self.eta > 1.0, "eta must exceed 1");
@@ -134,7 +134,7 @@ impl WeightedFrontierSampler {
 }
 
 impl GraphSampler for WeightedFrontierSampler {
-    fn sample_vertices(&self, g: &CsrGraph, seed: u64) -> Vec<u32> {
+    fn sample_vertices(&self, g: &dyn Topology, seed: u64) -> Vec<u32> {
         self.sample_with_stats(g, seed).0
     }
 
@@ -146,7 +146,7 @@ impl GraphSampler for WeightedFrontierSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gsgcn_graph::GraphBuilder;
+    use gsgcn_graph::{CsrGraph, GraphBuilder};
 
     fn hub_graph() -> CsrGraph {
         // Hub 0 connected to 1..=20; ring over 1..=20.

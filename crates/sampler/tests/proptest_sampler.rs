@@ -179,4 +179,32 @@ proptest! {
         prop_assert_eq!(sorted.len(), k);
         prop_assert!(s.iter().all(|&x| (x as usize) < n));
     }
+
+    /// Sampled batches are bit-identical whether the topology behind the
+    /// `Topology` trait is the resident CSR graph or the mmap shard
+    /// store — under a tiny cache budget, so eviction churn is in play.
+    #[test]
+    fn sampler_batches_backend_invariant(g in graph_strategy(), seed in any::<u64>(), shards in 1usize..6) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gsgcn-proptest-sampler-store-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        gsgcn_graph::store::shard::write_store(&dir, &g, None, None, shards).unwrap();
+        let store = gsgcn_graph::GraphStore::open_with_budget(&dir, 4 * 1024).unwrap();
+        let budget = 16.min(g.num_vertices());
+        let s = DashboardSampler::new(FrontierConfig {
+            frontier_size: (budget / 2).max(1),
+            budget,
+            ..FrontierConfig::default()
+        });
+        let from_mem = s.sample_subgraph(&g, seed);
+        let from_store = s.sample_subgraph(&store, seed);
+        prop_assert_eq!(from_mem.origin, from_store.origin);
+        prop_assert_eq!(from_mem.graph, from_store.graph);
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -306,24 +306,9 @@ impl std::fmt::Debug for ActivationCache {
 /// `KB`/`MB`/`GB` = 10^3/6/9, bare `K`/`M`/`G` = binary), case-insensitive,
 /// optional whitespace before the suffix. `"0"` means *disabled*.
 pub fn parse_cache_budget(s: &str) -> Result<usize, String> {
-    let s = s.trim();
-    let split = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
-    let (num, suffix) = s.split_at(split);
-    let num: usize = num
-        .parse()
-        .map_err(|_| format!("bad cache size {s:?}: expected <number>[KiB|MiB|GiB|KB|MB|GB]"))?;
-    let mult: usize = match suffix.trim().to_ascii_lowercase().as_str() {
-        "" | "b" => 1,
-        "k" | "kib" => 1 << 10,
-        "m" | "mib" => 1 << 20,
-        "g" | "gib" => 1 << 30,
-        "kb" => 1_000,
-        "mb" => 1_000_000,
-        "gb" => 1_000_000_000,
-        other => return Err(format!("bad cache size suffix {other:?} in {s:?}")),
-    };
-    num.checked_mul(mult)
-        .ok_or_else(|| format!("cache size {s:?} overflows"))
+    // One byte-size grammar across the workspace: this is the same
+    // parser the graph store uses for GSGCN_SHARD_CACHE.
+    gsgcn_graph::store::parse_byte_size(s)
 }
 
 /// The `GSGCN_ACTIVATION_CACHE` env default (the `GSGCN_KERNEL`

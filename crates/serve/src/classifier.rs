@@ -34,7 +34,7 @@
 //! proptests in `tests/cache_equivalence.rs`.
 
 use crate::cache::ActivationCache;
-use gsgcn_graph::{l_hop_subgraph, one_hop_frontier, CsrGraph};
+use gsgcn_graph::{l_hop_subgraph, one_hop_frontier, CsrGraph, GraphStore, Topology};
 use gsgcn_nn::model::{GcnModel, LossKind};
 use gsgcn_nn::InferenceWorkspace;
 use gsgcn_tensor::DMatrix;
@@ -123,14 +123,32 @@ pub trait BatchClassify: Send + Sync + 'static {
 
     /// Number of servable vertices (valid ids are `0..num_nodes`).
     fn num_nodes(&self) -> usize;
+
+    /// Check every node is servable — called by the engine *before*
+    /// queueing, so one bad request never poisons the unrelated
+    /// requests it would have been coalesced with. The default checks
+    /// the id range; [`NodeClassifier`] overrides with shard-aware
+    /// validation (a node whose shard is not loaded is rejected with a
+    /// message naming the shard).
+    fn validate_nodes(&self, nodes: &[u32]) -> Result<(), String> {
+        let n = self.num_nodes() as u32;
+        match nodes.iter().find(|&&v| v >= n) {
+            Some(&bad) => Err(format!("node {bad} out of range (graph has {n} vertices)")),
+            None => Ok(()),
+        }
+    }
 }
 
 /// One trained model plus the graph it serves, immutable and `Sync`:
 /// clone the `Arc`s in, share the classifier across worker threads.
+///
+/// Topology and feature rows are read through a [`GraphStore`], so the
+/// same classifier serves a fully resident graph (`mem` backend) or a
+/// sharded on-disk one (`mmap` backend) whose working set is bounded by
+/// the shard-cache budget.
 pub struct NodeClassifier {
     model: Arc<GcnModel>,
-    graph: Arc<CsrGraph>,
-    features: Arc<DMatrix>,
+    store: Arc<GraphStore>,
     /// Shared `(node, version)` → `acts^{L-1}` row cache; `None` serves
     /// every query on the exact cone-pruned path. Single-layer models
     /// never attach one — their "hidden" state is the feature matrix,
@@ -159,10 +177,26 @@ impl NodeClassifier {
                 graph.num_vertices()
             ));
         }
-        if features.cols() != model.config().in_dim {
+        // `from_parts_env` honours GSGCN_GRAPH_STORE, so the whole serve
+        // stack — tests included — flips between resident and
+        // out-of-core without code changes.
+        let store = GraphStore::from_parts_env(graph, Some(features), None)
+            .map_err(|e| format!("failed to build serving graph store: {e}"))?;
+        Self::from_store(model, Arc::new(store))
+    }
+
+    /// Assemble a classifier over an existing [`GraphStore`] (e.g. a
+    /// pre-sharded on-disk graph opened with `GraphStore::open`). Fails
+    /// if the store has no feature matrix or its width does not match
+    /// the model's input.
+    pub fn from_store(model: Arc<GcnModel>, store: Arc<GraphStore>) -> Result<Self, String> {
+        if store.feature_dim() == 0 {
+            return Err("graph store holds no feature matrix".into());
+        }
+        if store.feature_dim() != model.config().in_dim {
             return Err(format!(
                 "features are {}-dimensional but the model expects {}",
-                features.cols(),
+                store.feature_dim(),
                 model.config().in_dim
             ));
         }
@@ -173,8 +207,7 @@ impl NodeClassifier {
         };
         Ok(NodeClassifier {
             model,
-            graph,
-            features,
+            store,
             cache,
         })
     }
@@ -199,7 +232,53 @@ impl NodeClassifier {
 
     /// Number of vertices servable (valid node ids are `0..num_nodes`).
     pub fn num_nodes(&self) -> usize {
-        self.graph.num_vertices()
+        self.store.num_vertices()
+    }
+
+    /// The graph store backing this classifier.
+    pub fn store(&self) -> &Arc<GraphStore> {
+        &self.store
+    }
+
+    /// Pin the shards holding `nodes` (plus their one-hop frontiers)
+    /// resident, exempt from cache eviction, until
+    /// [`GraphStore::unpin_all`]. A no-op returning 0 on the `mem`
+    /// backend. Use for a known-hot working set so cone-pruned serving
+    /// never faults its roots back in.
+    pub fn pin_hot(&self, nodes: &[u32]) -> std::io::Result<usize> {
+        let mut ball: Vec<u32> = Vec::with_capacity(nodes.len() * 4);
+        for &v in nodes {
+            if !self.store.contains(v) {
+                continue;
+            }
+            ball.push(v);
+            ball.extend_from_slice(&self.store.neighbors_ref(v));
+        }
+        self.store.pin_nodes(&ball)
+    }
+
+    /// Check every requested node is servable. Distinguishes ids beyond
+    /// the graph from ids whose **shard is not loaded** (a partial
+    /// store deployment): either way the request fails cleanly with a
+    /// per-node message instead of poisoning a coalesced batch.
+    pub fn validate_nodes(&self, nodes: &[u32]) -> Result<(), String> {
+        let n = self.store.num_vertices() as u32;
+        for &v in nodes {
+            if v >= n {
+                return Err(format!("node {v} out of range (graph has {n} vertices)"));
+            }
+            if !self.store.contains(v) {
+                let shard = self
+                    .store
+                    .shard_of(v)
+                    .map(|s| format!(" (shard {s})"))
+                    .unwrap_or_default();
+                return Err(format!(
+                    "node {v} is not servable: its shard{shard} is not loaded in this store"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Number of output classes.
@@ -229,17 +308,17 @@ impl NodeClassifier {
         if nodes.is_empty() {
             return Ok(());
         }
-        let n = self.graph.num_vertices() as u32;
-        if let Some(&bad) = nodes.iter().find(|&&v| v >= n) {
-            return Err(format!("node {bad} out of range (graph has {n} vertices)"));
-        }
+        self.validate_nodes(nodes)?;
+        let g: &GraphStore = &self.store;
         let hops = self.model.num_layers();
         if hops == 1 {
             // Single layer: acts^{L-1} *is* the feature matrix, so the
             // final hop over the original-graph frontier ball is the
             // whole forward (no cache involved).
-            let fb = one_hop_frontier(&self.graph, nodes);
-            self.features.gather_rows_into(&fb.origin, &mut ws.hidden);
+            let fb = one_hop_frontier(g, nodes);
+            self.store
+                .gather_features_into(&fb.origin, &mut ws.hidden)
+                .map_err(|e| format!("feature read from graph store failed: {e}"))?;
             self.model.infer_probs_final_hop_into(
                 &fb.graph,
                 &ws.hidden,
@@ -251,7 +330,7 @@ impl NodeClassifier {
             return Ok(());
         }
         if let Some(cache) = &self.cache {
-            let fb = one_hop_frontier(&self.graph, nodes);
+            let fb = one_hop_frontier(g, nodes);
             if cache.try_gather(&fb.origin, self.model.hidden_width(), &mut ws.hidden) {
                 // Warm path: every ball row was resident — the L-hop
                 // cone is never touched.
@@ -274,9 +353,11 @@ impl NodeClassifier {
         // *inner* cone, not the full ball. Values within dist ≤ 1 of
         // the roots are exact after L-1 layers — the rows the final hop
         // consumes and the cache stores.
-        let batch = l_hop_subgraph(&self.graph, nodes, hops);
+        let batch = l_hop_subgraph(g, nodes, hops);
         let layer_graphs = batch.layer_graphs(hops);
-        self.features.gather_rows_into(&batch.sub.origin, &mut ws.x);
+        self.store
+            .gather_features_into(&batch.sub.origin, &mut ws.x)
+            .map_err(|e| format!("feature read from graph store failed: {e}"))?;
         let fb = one_hop_frontier(&batch.sub.graph, &batch.root_locals);
         {
             let hidden_cone = self.model.infer_hidden_pruned_into(
@@ -341,15 +422,27 @@ impl NodeClassifier {
 
     /// Probabilities from a full-graph forward (every vertex) — the
     /// reference the batched path is tested and benchmarked against.
+    /// Materialises the store (cheap `Arc` clones on the `mem` backend;
+    /// a full read on `mmap` — reference/diagnostic use only there).
     pub fn full_graph_probs(&self) -> DMatrix {
-        self.model.infer_probs(&self.graph, &self.features)
+        let (graph, features, _) = self
+            .store
+            .materialize()
+            .expect("graph store materialize failed");
+        let features = features.expect("classifier store always holds features");
+        self.model.infer_probs(&graph, &features)
     }
 
     /// In-place variant of [`NodeClassifier::full_graph_probs`] for
     /// benchmark loops.
     pub fn full_graph_probs_into(&self, ws: &mut ClassifyWorkspace) {
+        let (graph, features, _) = self
+            .store
+            .materialize()
+            .expect("graph store materialize failed");
+        let features = features.expect("classifier store always holds features");
         self.model
-            .infer_probs_into(&self.graph, &self.features, &mut ws.infer, &mut ws.probs);
+            .infer_probs_into(&graph, &features, &mut ws.infer, &mut ws.probs);
     }
 }
 
@@ -366,6 +459,10 @@ impl BatchClassify for NodeClassifier {
     fn num_nodes(&self) -> usize {
         NodeClassifier::num_nodes(self)
     }
+
+    fn validate_nodes(&self, nodes: &[u32]) -> Result<(), String> {
+        NodeClassifier::validate_nodes(self, nodes)
+    }
 }
 
 #[cfg(test)]
@@ -374,7 +471,7 @@ mod tests {
     use gsgcn_graph::GraphBuilder;
     use gsgcn_nn::model::GcnConfig;
 
-    fn fixture(loss: LossKind) -> NodeClassifier {
+    fn fixture_parts(loss: LossKind) -> (Arc<GcnModel>, Arc<CsrGraph>, Arc<DMatrix>) {
         // Ring of 12 with chords, 2-layer model.
         let n = 12;
         let edges: Vec<(u32, u32)> = (0..n as u32)
@@ -391,14 +488,19 @@ mod tests {
             ..GcnConfig::default()
         };
         let model = GcnModel::new(cfg, 17);
-        NodeClassifier::new(Arc::new(model), Arc::new(g), Arc::new(x)).unwrap()
+        (Arc::new(model), Arc::new(g), Arc::new(x))
+    }
+
+    fn fixture(loss: LossKind) -> NodeClassifier {
+        let (model, g, x) = fixture_parts(loss);
+        NodeClassifier::new(model, g, x).unwrap()
     }
 
     #[test]
     fn batched_matches_full_graph_forward() {
         for loss in [LossKind::SoftmaxCe, LossKind::SigmoidBce] {
             let c = fixture(loss);
-            let full = c.model.infer_probs(&c.graph, &c.features);
+            let full = c.full_graph_probs();
             let preds = c.classify(&[3, 7, 7, 0]).unwrap();
             assert_eq!(preds.len(), 4);
             for p in &preds {
@@ -417,7 +519,7 @@ mod tests {
     #[test]
     fn whole_node_set_is_bit_identical() {
         let c = fixture(LossKind::SoftmaxCe);
-        let full = c.model.infer_probs(&c.graph, &c.features);
+        let full = c.full_graph_probs();
         let all: Vec<u32> = (0..c.num_nodes() as u32).collect();
         let preds = c.classify(&all).unwrap();
         for p in &preds {
@@ -455,11 +557,9 @@ mod tests {
 
     #[test]
     fn mismatched_features_rejected() {
-        let c = fixture(LossKind::SoftmaxCe);
+        let (model, g, _) = fixture_parts(LossKind::SoftmaxCe);
         let bad = DMatrix::zeros(5, 5);
-        assert!(
-            NodeClassifier::new(Arc::clone(&c.model), Arc::clone(&c.graph), Arc::new(bad)).is_err()
-        );
+        assert!(NodeClassifier::new(model, g, Arc::new(bad)).is_err());
     }
 
     #[test]

@@ -323,11 +323,10 @@ impl<C: BatchClassify> BatchEngine<C> {
                 "empty node batch".into(),
             )));
         }
-        let n = self.classifier.num_nodes() as u32;
-        if let Some(&bad) = nodes.iter().find(|&&v| v >= n) {
-            return Err(TrySubmitError::Rejected(ServeError::BadRequest(format!(
-                "node {bad} out of range (graph has {n} vertices)"
-            ))));
+        // Shard-aware for store-backed classifiers: a node whose shard
+        // is not loaded fails *this* request only, before coalescing.
+        if let Err(msg) = self.classifier.validate_nodes(&nodes) {
+            return Err(TrySubmitError::Rejected(ServeError::BadRequest(msg)));
         }
         let slot = Arc::new(ResponseSlot {
             result: Mutex::new(None),

@@ -19,7 +19,7 @@ use gsgcn::sampler::GraphSampler;
 fn main() {
     let dataset = presets::reddit_scaled(5);
     let tv = dataset.train_view();
-    let g = &tv.graph;
+    let g = &*tv.graph;
     let budget = 800;
 
     println!(

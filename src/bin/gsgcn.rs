@@ -2,15 +2,28 @@
 //!
 //! ```text
 //! gsgcn datasets
+//! gsgcn shard --dataset ppi --out DIR [--vertices N] [--num-shards K]
 //! gsgcn train --dataset ppi [--epochs 30] [--hidden 128,128] [--budget 1000]
 //!             [--frontier 100] [--lr 0.02] [--threads 0]
 //!             [--sampler-threads auto] [--patience N] [--seed 42]
-//!             [--save model.gcn]
+//!             [--save model.gcn] [--shards DIR] [--graph-store mem|mmap]
 //! gsgcn eval    --load model.gcn [--dataset ppi] [--hidden 128,128] [--seed 42]
 //! gsgcn predict --load model.gcn --nodes 3,17,204
 //! gsgcn serve   --load model.gcn [--addr 127.0.0.1:7878] [--workers 1]
 //! gsgcn kernel [--probe avx512]
 //! ```
+//!
+//! # Out-of-core operation
+//!
+//! `shard` writes a dataset as a partitioned on-disk graph store
+//! (`gsgcn_data::StoreDataset`); `train`/`eval`/`predict`/`serve` accept
+//! `--shards DIR` to run against it without regenerating (or fully
+//! loading) the dataset. `--graph-store mem|mmap` picks the store
+//! backend with flag > `GSGCN_GRAPH_STORE` env > default (`mem`)
+//! precedence: `mmap` keeps the resident set bounded by the
+//! `GSGCN_SHARD_CACHE` budget, `mem` materialises everything (the
+//! negative control for the RSS-capped CI smoke test). `train` and
+//! `predict` report the kernel-measured peak RSS on exit.
 //!
 //! `eval`, `predict` and `serve` default the dataset, seed, scale and
 //! hidden dims to the values stored in the checkpoint (v2 provenance), so
@@ -38,18 +51,28 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   gsgcn datasets
+  gsgcn shard --dataset <ppi|reddit|yelp|amazon> --out DIR [--vertices N]
+              [--num-shards K] [--seed N] [--full]
+              — generate the dataset and write it as a partitioned
+              on-disk graph store; --vertices scales the graph to N
+              vertices, --num-shards 0 (default) picks a shard count
+              from the graph size
   gsgcn train --dataset <ppi|reddit|yelp|amazon> [--epochs N] [--hidden A,B,..]
               [--budget N] [--frontier N] [--lr F] [--threads N]
               [--sampler-threads N|auto] [--patience N] [--seed N] [--full]
-              [--save PATH]
+              [--save PATH] [--shards DIR] [--graph-store <mem|mmap>]
+              (--shards trains from a pre-sharded store dir instead of
+               generating the dataset; --graph-store picks the store
+               backend, flag > GSGCN_GRAPH_STORE env > mem)
               (--sampler-threads: dedicated sampler workers overlapping
                sampling with compute; default auto = min(2, cores/4),
                0 = synchronous in-loop sampling)
   gsgcn eval  --load PATH [--dataset <name>] [--hidden A,B,..] [--seed N]
-              [--full|--scaled]
+              [--full|--scaled] [--shards DIR] [--graph-store <mem|mmap>]
               (dataset/seed/scale/hidden default to the checkpoint's training
                values; an explicit flag overrides with a warning)
-  gsgcn predict --load PATH --nodes N,N,.. [--probs] [dataset overrides as
+  gsgcn predict --load PATH --nodes N,N,.. [--probs] [--shards DIR]
+              [--graph-store <mem|mmap>] [dataset overrides as
               for eval] — classify a node batch on its L-hop subgraph
               through the batch engine; --probs prints full class rows
   gsgcn serve --load PATH [--addr HOST:PORT] [--workers N] [--max-batch N]
@@ -64,7 +87,7 @@ const USAGE: &str = "usage:
               framing (event front-end only; see gsgcn_serve docs).
               SIZE accepts 64MiB/1GB/..; --cache-bytes 0 disables the
               activation cache and overrides the GSGCN_ACTIVATION_CACHE
-              env default
+              env default; accepts --shards/--graph-store as for predict
   gsgcn kernel [--probe <scalar|avx2|avx512>]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -118,6 +141,21 @@ fn load_dataset(flags: &HashMap<String, String>) -> Result<Dataset, String> {
         .to_lowercase();
     let seed = dataset_seed(flags)?;
     let full = flags.contains_key("full");
+    // --vertices N: scale the named dataset's spec to an explicit vertex
+    // count (used by `shard` to size out-of-core fixtures).
+    if let Some(v) = flags.get("vertices") {
+        let nv: usize = v
+            .parse()
+            .map_err(|_| format!("invalid value {v:?} for --vertices"))?;
+        let spec = match name.as_str() {
+            "ppi" => presets::ppi_spec(),
+            "reddit" => presets::reddit_spec(),
+            "yelp" => presets::yelp_spec(),
+            "amazon" => presets::amazon_spec(),
+            _ => return Err(format!("unknown dataset {name:?} (ppi|reddit|yelp|amazon)")),
+        };
+        return Ok(presets::scale_spec(&spec, nv).generate(seed));
+    }
     let d = match (name.as_str(), full) {
         ("ppi", false) => presets::ppi_scaled(seed),
         ("reddit", false) => presets::reddit_scaled(seed),
@@ -130,6 +168,32 @@ fn load_dataset(flags: &HashMap<String, String>) -> Result<Dataset, String> {
         _ => return Err(format!("unknown dataset {name:?} (ppi|reddit|yelp|amazon)")),
     };
     Ok(d)
+}
+
+/// Apply `--graph-store <mem|mmap>` with flag > env > default precedence:
+/// the flag simply wins by overwriting `GSGCN_GRAPH_STORE` before any
+/// store is built, so every downstream `from_parts_env`/`open` agrees.
+fn apply_graph_store_flag(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(v) = flags.get("graph-store") {
+        match v.to_lowercase().as_str() {
+            "mem" | "mmap" => std::env::set_var("GSGCN_GRAPH_STORE", v.to_lowercase()),
+            other => return Err(format!("bad --graph-store {other:?}: expected mem|mmap")),
+        }
+    }
+    Ok(())
+}
+
+/// Report the kernel-measured peak resident set (`VmHWM`) and peak
+/// address space (`VmPeak`) — the numbers the out-of-core CI smoke test
+/// caps (via `ulimit -v`, which limits virtual memory).
+fn print_peak_rss() {
+    use gsgcn::metrics::mem::{format_bytes, peak_rss_bytes, peak_vm_bytes};
+    if let Some(peak) = peak_rss_bytes() {
+        let vm = peak_vm_bytes()
+            .map(|b| format!(" (peak VM {})", format_bytes(b)))
+            .unwrap_or_default();
+        println!("peak RSS {}{vm}", format_bytes(peak));
+    }
 }
 
 fn parse_hidden(flags: &HashMap<String, String>) -> Result<Vec<usize>, String> {
@@ -210,7 +274,49 @@ fn plural(n: usize) -> &'static str {
     }
 }
 
+fn cmd_shard(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = flags.get("out").ok_or("missing --out")?;
+    let num_shards = get(flags, "num-shards", 0usize)?;
+    let dataset = load_dataset(flags)?;
+    let dir = std::path::Path::new(out);
+    println!(
+        "sharding {} (|V|={}, |E|={}, f={}, classes={}) into {out}",
+        dataset.name,
+        dataset.graph.num_vertices(),
+        dataset.graph.num_edges(),
+        dataset.feature_dim(),
+        dataset.num_classes(),
+    );
+    dataset
+        .spill_to_dir(dir, num_shards)
+        .map_err(|e| format!("sharding into {out:?}: {e}"))?;
+    // Report what landed on disk so operators can sanity-check sizes.
+    let mut bytes = 0u64;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        if let Ok(entries) = std::fs::read_dir(&d) {
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if let Ok(m) = e.metadata() {
+                    bytes += m.len();
+                }
+            }
+        }
+    }
+    println!(
+        "wrote full + train stores ({} on disk); open with --shards {out}",
+        gsgcn::metrics::mem::format_bytes(bytes as usize)
+    );
+    Ok(())
+}
+
 fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    apply_graph_store_flag(flags)?;
+    if let Some(dir) = flags.get("shards") {
+        return train_from_shards(flags, dir);
+    }
     let dataset = load_dataset(flags)?;
     let cfg = build_config(flags)?;
     println!(
@@ -245,6 +351,57 @@ fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|e| format!("saving {path:?}: {e}"))?;
         println!("saved {} parameters to {path}", weights.num_params());
     }
+    print_peak_rss();
+    Ok(())
+}
+
+/// `gsgcn train --shards DIR`: train against a pre-sharded on-disk
+/// store. On the `mmap` backend nothing is materialised — sampling and
+/// evaluation stream through the shard cache, so the resident set stays
+/// bounded regardless of graph size.
+fn train_from_shards(flags: &HashMap<String, String>, dir: &str) -> Result<(), String> {
+    let sd = gsgcn::data::StoreDataset::open(std::path::Path::new(dir))
+        .map_err(|e| format!("opening shard dir {dir:?}: {e}"))?;
+    let cfg = build_config(flags)?;
+    println!(
+        "training on sharded {} from {dir} (|V|={}, f={}, classes={}, backend {:?}, {} shard{}) \
+         — {} epochs, hidden {:?}",
+        sd.name,
+        sd.num_vertices(),
+        sd.feature_dim(),
+        sd.num_classes(),
+        sd.full.backend(),
+        sd.full.num_shards(),
+        plural(sd.full.num_shards()),
+        cfg.epochs,
+        cfg.hidden_dims
+    );
+    let mut trainer = GsGcnTrainer::from_store(&sd, cfg)?;
+    let report = trainer.train()?;
+    println!("{}", report.summary());
+    if let Some(stats) = sd.full.cache_stats() {
+        println!(
+            "shard cache: {} hits, {} misses, {} evictions, {} mapped",
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            gsgcn::metrics::mem::format_bytes(stats.mapped_bytes)
+        );
+    }
+    if let Some(path) = flags.get("save") {
+        let meta = CheckpointMeta {
+            dataset: sd.name.to_lowercase(),
+            seed: dataset_seed(flags)?,
+            full: flags.contains_key("full"),
+            hidden_dims: parse_hidden(flags)?,
+        };
+        let weights = trainer.model().export_weights().with_meta(meta);
+        weights
+            .save(path)
+            .map_err(|e| format!("saving {path:?}: {e}"))?;
+        println!("saved {} parameters to {path}", weights.num_params());
+    }
+    print_peak_rss();
     Ok(())
 }
 
@@ -316,6 +473,7 @@ fn apply_checkpoint_meta(flags: &mut HashMap<String, String>, meta: &CheckpointM
 }
 
 fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    apply_graph_store_flag(flags)?;
     let path = flags.get("load").ok_or("missing --load")?;
     let weights = ModelWeights::load(path).map_err(|e| format!("loading {path:?}: {e}"))?;
     let mut flags = flags.clone();
@@ -330,13 +488,27 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
             }
         }
     }
-    let dataset = load_dataset(&flags)?;
     let mut cfg = build_config(&flags)?;
     cfg.epochs = 1;
     // Evaluation never consumes training subgraphs: don't spin up sampler
     // workers that would immediately fill their queue for nothing.
     cfg.sampler_threads = 0;
-    let mut trainer = GsGcnTrainer::new(&dataset, cfg)?;
+    // The sharded store and the regenerated dataset are mutually
+    // exclusive sources; a StoreDataset needs no provenance (its graph
+    // is on disk, not regenerated).
+    let sd;
+    let dataset;
+    let mut trainer = match flags.get("shards") {
+        Some(dir) => {
+            sd = gsgcn::data::StoreDataset::open(std::path::Path::new(dir))
+                .map_err(|e| format!("opening shard dir {dir:?}: {e}"))?;
+            GsGcnTrainer::from_store(&sd, cfg)?
+        }
+        None => {
+            dataset = load_dataset(&flags)?;
+            GsGcnTrainer::new(&dataset, cfg)?
+        }
+    };
     trainer.import_weights(&weights)?;
     println!("loaded {} parameters from {path}", weights.num_params());
     for (name, split) in [
@@ -363,6 +535,37 @@ fn build_classifier(
     let mut flags = flags.clone();
     if let Some(meta) = &weights.meta {
         apply_checkpoint_meta(&mut flags, meta);
+    }
+    // `--shards DIR` serves straight from the on-disk store; otherwise
+    // the training dataset is regenerated from checkpoint provenance.
+    if let Some(dir) = flags.get("shards") {
+        let sd = gsgcn::data::StoreDataset::open(std::path::Path::new(dir))
+            .map_err(|e| format!("opening shard dir {dir:?}: {e}"))?;
+        let loss = match sd.task {
+            gsgcn::data::TaskKind::MultiLabel => LossKind::SigmoidBce,
+            gsgcn::data::TaskKind::SingleLabel => LossKind::SoftmaxCe,
+        };
+        let cfg = GcnConfig {
+            in_dim: sd.feature_dim(),
+            hidden_dims: parse_hidden(&flags)?,
+            num_classes: sd.num_classes(),
+            loss,
+            ..GcnConfig::default()
+        };
+        cfg.validate()?;
+        let mut model = GcnModel::new(cfg, 1);
+        model.import_weights(&weights)?;
+        println!(
+            "loaded {} parameters from {path} — serving sharded {} from {dir} \
+             (|V|={}, {} classes, backend {:?}, {}-hop queries)",
+            weights.num_params(),
+            sd.name,
+            sd.num_vertices(),
+            sd.num_classes(),
+            sd.full.backend(),
+            model.num_layers(),
+        );
+        return gsgcn::serve::NodeClassifier::from_store(Arc::new(model), Arc::clone(&sd.full));
     }
     let dataset = load_dataset(&flags)?;
     let loss = match dataset.task {
@@ -398,6 +601,7 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
     use gsgcn::serve::{BatchEngine, EngineConfig};
     use std::sync::Arc;
 
+    apply_graph_store_flag(flags)?;
     // Same id syntax as one TCP request line (commas and/or spaces).
     let nodes = gsgcn::serve::tcp::parse_request(flags.get("nodes").ok_or("missing --nodes")?)
         .map_err(|e| format!("--nodes: {e}"))?;
@@ -425,6 +629,7 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         println!();
     }
+    print_peak_rss();
     Ok(())
 }
 
@@ -433,6 +638,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     use gsgcn::serve::{cache, tcp, ActivationCache, AdmissionControl, BatchEngine, EngineConfig};
     use std::sync::Arc;
 
+    apply_graph_store_flag(flags)?;
     // Cache budget policy (the GSGCN_KERNEL pattern): an explicit
     // --cache-bytes wins over the GSGCN_ACTIVATION_CACHE env default,
     // which `NodeClassifier::new` applies on its own.
@@ -577,8 +783,9 @@ fn main() -> ExitCode {
             Ok(code) => return code,
             Err(e) => Err(e),
         },
-        "train" | "eval" | "predict" | "serve" => match parse_flags(&args[1..]) {
+        "shard" | "train" | "eval" | "predict" | "serve" => match parse_flags(&args[1..]) {
             Ok(flags) => match cmd.as_str() {
+                "shard" => cmd_shard(&flags),
                 "train" => cmd_train(&flags),
                 "eval" => cmd_eval(&flags),
                 "predict" => cmd_predict(&flags),

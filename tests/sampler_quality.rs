@@ -26,9 +26,9 @@ fn frontier_preserves_connectivity_better_than_uniform() {
     // degree), the quantity Sec. III-C's requirement 1 is about.
     let (mut frontier_deg, mut uniform_deg) = (0.0f64, 0.0f64);
     for seed in 0..5 {
-        let fs = frontier.sample_subgraph(&tv.graph, seed);
+        let fs = frontier.sample_subgraph(&*tv.graph, seed);
         frontier_deg += fs.graph.num_edges() as f64 / fs.num_vertices().max(1) as f64;
-        let us = uniform.sample_subgraph(&tv.graph, seed);
+        let us = uniform.sample_subgraph(&*tv.graph, seed);
         uniform_deg += us.graph.num_edges() as f64 / us.num_vertices().max(1) as f64;
     }
     assert!(
@@ -54,11 +54,11 @@ fn frontier_degree_shape_no_worse_than_uniform() {
     for seed in 0..5 {
         f_dist += stats::degree_distribution_distance(
             &tv.graph,
-            &frontier.sample_subgraph(&tv.graph, seed).graph,
+            &frontier.sample_subgraph(&*tv.graph, seed).graph,
         );
         u_dist += stats::degree_distribution_distance(
             &tv.graph,
-            &uniform.sample_subgraph(&tv.graph, seed).graph,
+            &uniform.sample_subgraph(&*tv.graph, seed).graph,
         );
     }
     assert!(
@@ -81,7 +81,7 @@ fn every_vertex_eventually_sampled() {
     });
     let mut seen = vec![false; n];
     for seed in 0..200 {
-        for v in sampler.sample_vertices(&tv.graph, seed) {
+        for v in sampler.sample_vertices(&*tv.graph, seed) {
             seen[v as usize] = true;
         }
         if seen.iter().all(|&s| s) {
@@ -115,8 +115,8 @@ fn degree_cap_reduces_hub_domination() {
     });
     // Jaccard overlap between two subsequent subgraphs' vertex sets.
     let overlap = |s: &DashboardSampler| -> f64 {
-        let a = s.sample_vertices(&tv.graph, 1);
-        let b = s.sample_vertices(&tv.graph, 2);
+        let a = s.sample_vertices(&*tv.graph, 1);
+        let b = s.sample_vertices(&*tv.graph, 2);
         let sa: std::collections::HashSet<u32> = a.into_iter().collect();
         let sb: std::collections::HashSet<u32> = b.into_iter().collect();
         let inter = sa.intersection(&sb).count() as f64;
@@ -140,10 +140,10 @@ fn pool_refill_samples_are_distinct() {
         ..FrontierConfig::default()
     });
     let mut pool = SubgraphPool::new(6, 99);
-    pool.refill(&sampler, &tv.graph);
+    pool.refill(&sampler, &*tv.graph);
     let mut sets = Vec::new();
     while !pool.is_empty() {
-        sets.push(pool.pop_or_refill(&sampler, &tv.graph).origin);
+        sets.push(pool.pop_or_refill(&sampler, &*tv.graph).origin);
     }
     for i in 0..sets.len() {
         for j in (i + 1)..sets.len() {
