@@ -1,6 +1,7 @@
 //! Training reports: everything an experiment binary needs to print the
 //! paper's tables and figures.
 
+use gsgcn_graph::StoreCacheStats;
 use gsgcn_metrics::convergence::Curve;
 use gsgcn_metrics::timing::Breakdown;
 
@@ -36,6 +37,9 @@ pub struct TrainReport {
     pub breakdown: Breakdown,
     /// Total training seconds (excluding evaluation).
     pub total_train_secs: f64,
+    /// Shard-cache counters of the training store at the end of the run
+    /// (`None` when training read a fully-resident store).
+    pub shard_cache: Option<StoreCacheStats>,
 }
 
 impl TrainReport {
@@ -64,7 +68,7 @@ impl TrainReport {
     /// sampling-overlap percentage when the pipelined sampler hid any
     /// sampling time behind compute.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} epochs, {:.2}s train, loss {:.4}, val F1 {:.4}, test F1 {:.4} [{}]",
             self.epochs.len(),
             self.total_train_secs,
@@ -72,7 +76,11 @@ impl TrainReport {
             self.final_val_f1,
             self.test_f1,
             self.breakdown.report()
-        )
+        );
+        if let Some(cache) = &self.shard_cache {
+            s.push_str(&format!(" [shard cache: {}]", cache.summary()));
+        }
+        s
     }
 }
 
@@ -106,6 +114,7 @@ mod tests {
             curve: Curve::new("test"),
             breakdown: Breakdown::default(),
             total_train_secs: 4.0,
+            shard_cache: None,
         }
     }
 
@@ -145,6 +154,7 @@ mod tests {
             curve: Curve::new("x"),
             breakdown: Breakdown::default(),
             total_train_secs: 0.0,
+            shard_cache: None,
         };
         assert_eq!(r.secs_per_iteration(), 0.0);
         assert!(r.final_loss().is_nan());

@@ -179,6 +179,74 @@ impl<'a> GsGcnTrainer<'a> {
         Self::build(EvalSource::Stored(sd), Arc::clone(&sd.train), cfg)
     }
 
+    /// Like [`Self::new`], but reusing a pipeline taken from a previous
+    /// trainer ([`Self::take_pipeline`]) instead of spawning fresh worker
+    /// threads — the cheap way to run a hyper-parameter sweep's `train()`
+    /// calls back to back. The pipeline is rewound over this trainer's
+    /// sampler, store and seed, so the subgraph stream is bit-identical
+    /// to what a freshly spawned pipeline would produce. With
+    /// `sampler_threads == 0` the handed-in pipeline is simply dropped
+    /// (its workers join).
+    pub fn new_with_pipeline(
+        dataset: &'a Dataset,
+        cfg: TrainerConfig,
+        pipeline: SamplerPipeline,
+    ) -> Result<Self, String> {
+        let mut t = Self::new(dataset, cfg)?;
+        t.install_pipeline(pipeline);
+        Ok(t)
+    }
+
+    /// [`Self::from_store`] with a reused pipeline; see
+    /// [`Self::new_with_pipeline`].
+    pub fn from_store_with_pipeline(
+        sd: &'a StoreDataset,
+        cfg: TrainerConfig,
+        pipeline: SamplerPipeline,
+    ) -> Result<Self, String> {
+        let mut t = Self::from_store(sd, cfg)?;
+        t.install_pipeline(pipeline);
+        Ok(t)
+    }
+
+    /// Detach the sampling pipeline for reuse by the next trainer in a
+    /// sweep (`None` on the synchronous path). The trainer falls back to
+    /// synchronous sampling if trained further afterwards.
+    pub fn take_pipeline(&mut self) -> Option<SamplerPipeline> {
+        self.pipeline.take()
+    }
+
+    /// Replace the freshly spawned pipeline (if any) with a reused one,
+    /// rewound over this trainer's sampler × store × seed stream.
+    fn install_pipeline(&mut self, mut pipeline: SamplerPipeline) {
+        if self.pipeline.is_none() {
+            return; // synchronous path: drop the pipeline, joining it
+        }
+        pipeline.reset_with(
+            Arc::clone(&self.sampler),
+            Arc::clone(&self.train_store),
+            self.cfg.seed ^ 0x5A4B,
+        );
+        self.pipeline = Some(pipeline);
+        self.wire_prefetch_hook();
+    }
+
+    /// Feed the shard prefetcher from the sampler pipeline: each
+    /// delivered subgraph announces its origin set before the consumer
+    /// can pop it, so the shards a batch will gather from are paging in
+    /// while the previous batch computes. No-op unless both the
+    /// pipelined sampler and the store prefetcher are active.
+    fn wire_prefetch_hook(&self) {
+        let Some(pipe) = &self.pipeline else { return };
+        if !self.train_store.prefetch_enabled() {
+            return;
+        }
+        let store = Arc::clone(&self.train_store);
+        pipe.set_on_ready(Some(Arc::new(move |origin: &[u32]| {
+            store.prefetch_nodes(origin);
+        })));
+    }
+
     fn build(
         source: EvalSource<'a>,
         train_store: Arc<GraphStore>,
@@ -239,7 +307,7 @@ impl<'a> GsGcnTrainer<'a> {
             .build()
             .map_err(|e| format!("failed to build thread pool: {e}"))?;
 
-        Ok(GsGcnTrainer {
+        let trainer = GsGcnTrainer {
             source,
             train_store,
             model,
@@ -258,7 +326,9 @@ impl<'a> GsGcnTrainer<'a> {
             eval_probs_split: gsgcn_tensor::DMatrix::zeros(0, 0),
             eval_labels_split: gsgcn_tensor::DMatrix::zeros(0, 0),
             eval_x: gsgcn_tensor::DMatrix::zeros(0, 0),
-        })
+        };
+        trainer.wire_prefetch_hook();
+        Ok(trainer)
     }
 
     /// The effective configuration (after dataset-dependent clamping).
@@ -465,6 +535,14 @@ impl<'a> GsGcnTrainer<'a> {
                             chunk = (chunk / 2).max(1);
                             continue;
                         }
+                        // Hint chunk c+1's roots while chunk c computes:
+                        // their shards page in behind this chunk's forward.
+                        let next_start = start + roots.len();
+                        if full.prefetch_enabled() && next_start < idx.len() {
+                            full.prefetch_nodes(
+                                &idx[next_start..(next_start + chunk).min(idx.len())],
+                            );
+                        }
                         let batch = l_hop_subgraph(&**full, roots, hops);
                         full.gather_features_into(&batch.sub.origin, eval_x)
                             .unwrap_or_else(|e| panic!("eval feature gather failed: {e}"));
@@ -530,6 +608,7 @@ impl<'a> GsGcnTrainer<'a> {
             curve,
             breakdown: self.breakdown,
             total_train_secs: self.train_secs,
+            shard_cache: self.train_store.cache_stats(),
         })
     }
 }
@@ -684,6 +763,39 @@ mod tests {
             "resident {f1_res} vs stored {f1_st}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_over_shared_pipeline_matches_owned_pipelines() {
+        let d = quick_dataset();
+        let cfg_for = |seed: u64| {
+            let mut cfg = TrainerConfig::quick_test();
+            cfg.epochs = 2;
+            cfg.sampler_threads = 1;
+            cfg.seed = seed;
+            cfg
+        };
+        let run = |mut t: GsGcnTrainer<'_>| -> (Vec<f32>, Option<SamplerPipeline>) {
+            let mut losses = Vec::new();
+            for _ in 0..2 {
+                losses.push(t.train_epoch().unwrap().mean_loss);
+            }
+            let pipe = t.take_pipeline();
+            (losses, pipe)
+        };
+
+        // Reference: each sweep point spawns its own pipeline.
+        let (own_a, _) = run(GsGcnTrainer::new(&d, cfg_for(7)).unwrap());
+        let (own_b, _) = run(GsGcnTrainer::new(&d, cfg_for(8)).unwrap());
+
+        // One pipeline threaded through the whole sweep.
+        let (shared_a, pipe) = run(GsGcnTrainer::new(&d, cfg_for(7)).unwrap());
+        let pipe = pipe.expect("pipelined trainer must hold a pipeline");
+        let (shared_b, pipe) = run(GsGcnTrainer::new_with_pipeline(&d, cfg_for(8), pipe).unwrap());
+        assert!(pipe.is_some(), "pipeline must survive the second leg");
+
+        assert_eq!(own_a, shared_a, "sweep leg 1 diverged under pipeline reuse");
+        assert_eq!(own_b, shared_b, "sweep leg 2 diverged under pipeline reuse");
     }
 
     #[test]

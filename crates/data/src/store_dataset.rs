@@ -20,9 +20,9 @@
 
 use crate::dataset::{Dataset, Split, TaskKind};
 use gsgcn_graph::store::{
-    default_num_shards, shard_cache_budget_from_env, write_store, StoreBackend,
+    default_num_shards, shard_cache_budget_from_env, write_store_ordered, StoreBackend,
 };
-use gsgcn_graph::{GraphStore, Topology};
+use gsgcn_graph::{GraphStore, StoreOrder, Topology};
 use std::io::{self, Write};
 use std::path::Path;
 use std::sync::Arc;
@@ -39,11 +39,27 @@ pub const FULL_SUBDIR: &str = "full";
 pub const TRAIN_SUBDIR: &str = "train";
 
 impl Dataset {
-    /// Spill this dataset to `dir` as two shard stores plus metadata.
+    /// Spill this dataset to `dir` as two shard stores plus metadata,
+    /// in natural (vertex-id) placement order.
     ///
     /// `num_shards = 0` picks the size-based default per store. Existing
     /// store files in `dir` are overwritten.
     pub fn spill_to_dir(&self, dir: &Path, num_shards: usize) -> io::Result<()> {
+        self.spill_to_dir_ordered(dir, num_shards, StoreOrder::Natural)
+    }
+
+    /// Spill with an explicit placement order (`gsgcn shard --order`).
+    ///
+    /// Both the full and the train store are laid out in `order`; vertex
+    /// ids in the metadata (splits, train origins) stay in the user's
+    /// numbering — translation happens once at the store boundary, so
+    /// results are bit-identical across orders.
+    pub fn spill_to_dir_ordered(
+        &self,
+        dir: &Path,
+        num_shards: usize,
+        order: StoreOrder,
+    ) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let full_dir = dir.join(FULL_SUBDIR);
         std::fs::create_dir_all(&full_dir)?;
@@ -52,12 +68,13 @@ impl Dataset {
         } else {
             num_shards
         };
-        write_store(
+        write_store_ordered(
             &full_dir,
             &self.graph,
             Some(&self.features),
             Some(&self.labels),
             full_shards,
+            order,
         )?;
 
         let tv = self.train_view();
@@ -68,12 +85,13 @@ impl Dataset {
         } else {
             num_shards
         };
-        write_store(
+        write_store_ordered(
             &train_dir,
             &tv.graph,
             Some(&*tv.features),
             Some(&*tv.labels),
             train_shards,
+            order,
         )?;
 
         // Metadata last: its presence certifies both stores are complete.
@@ -383,6 +401,34 @@ mod tests {
         }
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ordered_spill_is_observationally_identical() {
+        let d = small_dataset();
+        for order in [StoreOrder::Bfs, StoreOrder::Degree] {
+            let dir = tmp_dir(&format!("ordered-{}", order.name()));
+            d.spill_to_dir_ordered(&dir, 4, order).unwrap();
+            let sd = StoreDataset::open_with(&dir, StoreBackend::Mmap, 1 << 20).unwrap();
+            assert_eq!(sd.full.order(), order);
+            assert_eq!(sd.train.order(), order);
+            // Same user-facing numbering: adjacency and rows unchanged.
+            for v in 0..d.graph.num_vertices() as u32 {
+                assert_eq!(
+                    sd.full.neighbors_ref(v).to_vec(),
+                    d.graph.neighbors(v).to_vec(),
+                    "{order:?} vertex {v}"
+                );
+            }
+            let probe: Vec<u32> = (0..d.graph.num_vertices() as u32).step_by(5).collect();
+            let mut rows = DMatrix::zeros(probe.len(), sd.feature_dim());
+            sd.full.gather_features_into(&probe, &mut rows).unwrap();
+            for (i, &v) in probe.iter().enumerate() {
+                assert_eq!(rows.row(i), d.features.row(v as usize), "{order:?} row {v}");
+            }
+            assert_eq!(sd.train_origin, d.train_view().origin);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
     }
 
     #[test]

@@ -61,5 +61,5 @@ pub use csr::CsrGraph;
 pub use neighborhood::{
     l_hop_ball, l_hop_subgraph, one_hop_frontier, FrontierBall, NeighborhoodBatch,
 };
-pub use store::{GraphStore, NeighborsRef, StoreBackend, Topology};
+pub use store::{GraphStore, NeighborsRef, StoreBackend, StoreCacheStats, StoreOrder, Topology};
 pub use subgraph::{induced_subgraph, InducedSubgraph};

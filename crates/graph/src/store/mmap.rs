@@ -13,7 +13,21 @@
 //! theirs, so a reader never observes a partially unmapped (or remapped)
 //! shard — the same "readers never observe partial state" rule the
 //! activation cache enforces with its all-or-nothing gather.
+//!
+//! # Structure
+//!
+//! The cache state lives in [`StoreCore`], shared by `Arc` between the
+//! consumer-facing [`MmapStore`] and the optional background
+//! [`Prefetcher`](super::prefetch::Prefetcher) thread
+//! (`GSGCN_SHARD_PREFETCH`, or the CLI's `--prefetch`). The prefetcher
+//! pages shards in *ahead* of the consumer through
+//! [`StoreCore::prefetch_load`], whose eviction sweep is **guarded**: it
+//! never clears referenced bits and never evicts pinned or referenced
+//! shards, so speculative page-in cannot push out what the current batch
+//! is reading — at worst it declines and the demand path pays the map
+//! synchronously, exactly as with no prefetcher at all.
 
+use super::prefetch::{prefetch_from_env, Prefetcher};
 use super::shard::{
     shard_file_name, ShardData, StoreManifest, FORMAT_VERSION, INDEX_FILE, INDEX_HEADER_LEN,
     INDEX_MAGIC,
@@ -137,6 +151,13 @@ pub struct StoreCacheStats {
     pub mapped_bytes: usize,
     /// Shards currently mapped.
     pub resident_shards: usize,
+    /// Prefetch requests accepted into the queue (post-dedup).
+    pub prefetch_issued: u64,
+    /// Demand probes served by a shard the prefetcher had mapped.
+    pub prefetch_hits: u64,
+    /// Prefetched shards evicted (or declined for lack of evictable
+    /// room) without ever serving a demand probe.
+    pub prefetch_wasted: u64,
 }
 
 impl StoreCacheStats {
@@ -149,15 +170,38 @@ impl StoreCacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// One-line human summary for CLI reports and banners.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "hits {} misses {} evictions {} ({:.1}% hit rate, {} shards / {:.1} MiB mapped)",
+            self.hits,
+            self.misses,
+            self.evictions,
+            100.0 * self.hit_rate(),
+            self.resident_shards,
+            self.mapped_bytes as f64 / (1 << 20) as f64,
+        );
+        if self.prefetch_issued > 0 {
+            s.push_str(&format!(
+                "; prefetch issued {} hit {} wasted {}",
+                self.prefetch_issued, self.prefetch_hits, self.prefetch_wasted
+            ));
+        }
+        s
+    }
 }
 
 /// One cache slot per shard: the resident mapping (if any) plus the CLOCK
 /// bookkeeping bits. `referenced` is flipped lock-free on every hit;
-/// `pinned` exempts hot shards from eviction entirely.
+/// `pinned` exempts hot shards from eviction entirely; `prefetched`
+/// marks a mapping the prefetcher brought in that no demand probe has
+/// used yet (for the hit/wasted accounting).
 struct Slot {
     data: Mutex<Option<Arc<ShardData>>>,
     referenced: AtomicBool,
     pinned: AtomicBool,
+    prefetched: AtomicBool,
     /// Whether the shard file exists on disk (validated at open).
     present: bool,
 }
@@ -233,10 +277,17 @@ impl IndexView {
     }
 }
 
-/// A shard store opened for memory-mapped access. See the module docs.
-pub struct MmapStore {
+/// The shared cache state behind an opened store: manifest, index, slots
+/// and every counter. [`MmapStore`] and the prefetch thread each hold an
+/// `Arc<StoreCore>`, so the thread needs no lifetime tie to the store
+/// (drop order is handled by [`MmapStore::drop`] joining the thread
+/// before the core can be orphaned).
+pub(super) struct StoreCore {
     dir: PathBuf,
     manifest: StoreManifest,
+    /// Inverse of `manifest.rank` (internal id → external vertex);
+    /// empty for natural stores (identity).
+    unrank: Vec<u32>,
     index: IndexView,
     slots: Vec<Slot>,
     /// Mapped-bytes budget the CLOCK hand enforces (best effort: a single
@@ -248,6 +299,218 @@ pub struct MmapStore {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    prefetch_issued: AtomicU64,
+    prefetch_hits: AtomicU64,
+    prefetch_wasted: AtomicU64,
+    /// `(cap, d_eff)` memo for `Topology::capped_mean_degree` — the scan
+    /// touches every shard, which a bounded cache must never repeat per
+    /// sampler batch.
+    mean_degree_memo: Mutex<Vec<(u32, f64)>>,
+}
+
+impl StoreCore {
+    pub(super) fn num_vertices(&self) -> usize {
+        self.manifest.n as usize
+    }
+
+    pub(super) fn num_shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn shard_of(&self, v: u32) -> u32 {
+        self.index.part_of(v)
+    }
+
+    /// Get shard `sid`, mapping it on demand and evicting others to stay
+    /// under the byte budget.
+    fn get(&self, sid: usize) -> io::Result<Arc<ShardData>> {
+        let slot = self.slots.get(sid).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("shard {sid} out of range ({} shards)", self.slots.len()),
+            )
+        })?;
+        if !slot.present {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "shard {sid} is not present in store {} (partial deployment?)",
+                    self.dir.display()
+                ),
+            ));
+        }
+        {
+            let guard = slot.data.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(d) = guard.as_ref() {
+                self.note_demand_hit(slot);
+                return Ok(Arc::clone(d));
+            }
+        }
+        // Miss: load under the slot lock (a racing second loader waits and
+        // then takes the hit path above via the re-check).
+        let mut guard = slot.data.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(d) = guard.as_ref() {
+            self.note_demand_hit(slot);
+            return Ok(Arc::clone(d));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let data = Arc::new(ShardData::load(
+            &self.dir.join(shard_file_name(sid)),
+            sid,
+            Some(&self.manifest.shards[sid]),
+        )?);
+        self.mapped
+            .fetch_add(data.mapped_bytes(), Ordering::Relaxed);
+        slot.referenced.store(true, Ordering::Relaxed);
+        slot.prefetched.store(false, Ordering::Relaxed);
+        *guard = Some(Arc::clone(&data));
+        drop(guard);
+        self.evict_to_budget(sid);
+        Ok(data)
+    }
+
+    /// Demand-probe hit bookkeeping: flip the CLOCK bit, count the hit,
+    /// and credit the prefetcher when it was the one that mapped this.
+    fn note_demand_hit(&self, slot: &Slot) {
+        slot.referenced.store(true, Ordering::Relaxed);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if slot.prefetched.swap(false, Ordering::Relaxed) {
+            self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// CLOCK sweep: unmap unpinned, unreferenced shards until the mapped
+    /// total fits the budget. `keep` (the shard just loaded) is exempt so
+    /// the caller's handout is never immediately evicted.
+    fn evict_to_budget(&self, keep: usize) {
+        let nslots = self.slots.len();
+        if nslots <= 1 {
+            return;
+        }
+        // Two full sweeps: the first may only clear referenced bits.
+        let mut steps = 2 * nslots;
+        while self.mapped.load(Ordering::Relaxed) > self.budget && steps > 0 {
+            steps -= 1;
+            let i = self.hand.fetch_add(1, Ordering::Relaxed) % nslots;
+            if i == keep || self.slots[i].pinned.load(Ordering::Relaxed) {
+                continue;
+            }
+            if self.slots[i].referenced.swap(false, Ordering::Relaxed) {
+                continue; // second chance
+            }
+            self.evict_slot(i);
+        }
+    }
+
+    /// Unmap slot `i` if mapped (caller has already decided it is
+    /// evictable). A still-prefetched mapping going out unused is counted
+    /// wasted.
+    fn evict_slot(&self, i: usize) {
+        let mut guard = self.slots[i].data.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(d) = guard.take() {
+            self.mapped.fetch_sub(d.mapped_bytes(), Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if self.slots[i].prefetched.swap(false, Ordering::Relaxed) {
+                self.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
+            }
+            // Dropping `d` here only drops the cache's Arc; readers
+            // holding clones keep the mapping alive until they finish.
+        }
+    }
+
+    /// Guarded eviction for the prefetch path: one sweep that skips
+    /// pinned **and referenced** slots without clearing any referenced
+    /// bit — speculative page-in must never push out what the current
+    /// batch is reading, and must not perturb the demand CLOCK state.
+    /// Returns whether `extra` more bytes now fit the budget.
+    fn evict_guarded(&self, extra: usize) -> bool {
+        let nslots = self.slots.len();
+        for i in 0..nslots {
+            if self.mapped.load(Ordering::Relaxed) + extra <= self.budget {
+                return true;
+            }
+            if self.slots[i].pinned.load(Ordering::Relaxed)
+                || self.slots[i].referenced.load(Ordering::Relaxed)
+            {
+                continue;
+            }
+            self.evict_slot(i);
+        }
+        self.mapped.load(Ordering::Relaxed) + extra <= self.budget
+    }
+
+    /// Prefetch-side page-in of shard `sid`: map it if absent, evicting
+    /// only via the guarded sweep. Declines (counting the request wasted)
+    /// when nothing evictable can make room — the demand path then pays
+    /// the map synchronously, exactly as without a prefetcher.
+    pub(super) fn prefetch_load(&self, sid: usize) -> io::Result<()> {
+        let Some(slot) = self.slots.get(sid) else {
+            return Ok(());
+        };
+        if !slot.present {
+            return Ok(());
+        }
+        {
+            let guard = slot.data.lock().unwrap_or_else(|p| p.into_inner());
+            if guard.is_some() {
+                return Ok(()); // already resident: nothing to do
+            }
+        }
+        let need = self.manifest.shards[sid].file_len as usize;
+        if self.mapped.load(Ordering::Relaxed) + need > self.budget && !self.evict_guarded(need) {
+            self.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let mut guard = slot.data.lock().unwrap_or_else(|p| p.into_inner());
+        if guard.is_some() {
+            return Ok(()); // raced with a demand load
+        }
+        let data = Arc::new(ShardData::load(
+            &self.dir.join(shard_file_name(sid)),
+            sid,
+            Some(&self.manifest.shards[sid]),
+        )?);
+        self.mapped
+            .fetch_add(data.mapped_bytes(), Ordering::Relaxed);
+        // Not referenced yet: a prefetched-but-never-used shard is the
+        // first thing both sweeps may reclaim.
+        slot.referenced.store(false, Ordering::Relaxed);
+        slot.prefetched.store(true, Ordering::Relaxed);
+        *guard = Some(data);
+        Ok(())
+    }
+
+    fn cache_stats(&self) -> StoreCacheStats {
+        let mut resident_shards = 0;
+        for slot in &self.slots {
+            if slot
+                .data
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .is_some()
+            {
+                resident_shards += 1;
+            }
+        }
+        StoreCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            mapped_bytes: self.mapped.load(Ordering::Relaxed),
+            resident_shards,
+            prefetch_issued: self.prefetch_issued.load(Ordering::Relaxed),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            prefetch_wasted: self.prefetch_wasted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A shard store opened for memory-mapped access. See the module docs.
+pub struct MmapStore {
+    core: Arc<StoreCore>,
+    /// Background page-in thread, when enabled at open.
+    prefetcher: Option<Prefetcher>,
     /// When set, `Drop` removes the whole store directory (used by the
     /// env-rerouted temp spill, so test-suite runs leave no tmp litter).
     remove_on_drop: bool,
@@ -255,10 +518,17 @@ pub struct MmapStore {
 
 impl MmapStore {
     /// Open the store written under `dir`, bounding mapped shard bytes by
-    /// `budget` (bytes). Eagerly validates the manifest, the index and
-    /// every *present* shard file's length — truncation fails here, not at
-    /// first access. Missing shard files leave their shard unavailable.
+    /// `budget` (bytes); prefetch follows `GSGCN_SHARD_PREFETCH`. Eagerly
+    /// validates the manifest, the index and every *present* shard file's
+    /// length — truncation fails here, not at first access. Missing shard
+    /// files leave their shard unavailable.
     pub fn open(dir: &Path, budget: usize) -> io::Result<MmapStore> {
+        Self::open_with_prefetch(dir, budget, prefetch_from_env())
+    }
+
+    /// As [`Self::open`] with an explicit prefetch choice (the CLI flag
+    /// path, and tests that must not depend on the environment).
+    pub fn open_with_prefetch(dir: &Path, budget: usize, prefetch: bool) -> io::Result<MmapStore> {
         let manifest = StoreManifest::load(dir)?;
         let n = manifest.n as usize;
         let index = IndexView::open(dir, n)?;
@@ -288,12 +558,21 @@ impl MmapStore {
                 data: Mutex::new(None),
                 referenced: AtomicBool::new(false),
                 pinned: AtomicBool::new(false),
+                prefetched: AtomicBool::new(false),
                 present,
             });
         }
-        Ok(MmapStore {
+        let mut unrank = Vec::new();
+        if !manifest.rank.is_empty() {
+            unrank = vec![0u32; n];
+            for (v, &r) in manifest.rank.iter().enumerate() {
+                unrank[r as usize] = v as u32;
+            }
+        }
+        let core = Arc::new(StoreCore {
             dir: dir.to_path_buf(),
             manifest,
+            unrank,
             index,
             slots,
             budget: budget.max(1),
@@ -302,6 +581,15 @@ impl MmapStore {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            prefetch_issued: AtomicU64::new(0),
+            prefetch_hits: AtomicU64::new(0),
+            prefetch_wasted: AtomicU64::new(0),
+            mean_degree_memo: Mutex::new(Vec::new()),
+        });
+        let prefetcher = prefetch.then(|| Prefetcher::spawn(Arc::clone(&core)));
+        Ok(MmapStore {
+            core,
+            prefetcher,
             remove_on_drop: false,
         })
     }
@@ -314,143 +602,164 @@ impl MmapStore {
 
     /// The store directory.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        &self.core.dir
     }
 
     pub fn manifest(&self) -> &StoreManifest {
-        &self.manifest
+        &self.core.manifest
     }
 
     pub fn num_vertices(&self) -> usize {
-        self.manifest.n as usize
+        self.core.num_vertices()
     }
 
     pub fn num_edges(&self) -> usize {
-        self.manifest.num_edges as usize
+        self.core.manifest.num_edges as usize
     }
 
     pub fn feature_dim(&self) -> usize {
-        self.manifest.feature_dim as usize
+        self.core.manifest.feature_dim as usize
     }
 
     pub fn label_dim(&self) -> usize {
-        self.manifest.label_dim as usize
+        self.core.manifest.label_dim as usize
     }
 
     pub fn num_shards(&self) -> usize {
-        self.slots.len()
+        self.core.num_shards()
+    }
+
+    /// Memoized `d_eff` for `cap`, if a scan already ran on this store.
+    pub fn cached_mean_degree(&self, cap: u32) -> Option<f64> {
+        let memo = self
+            .core
+            .mean_degree_memo
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        memo.iter().find(|&&(c, _)| c == cap).map(|&(_, d)| d)
+    }
+
+    /// Record the result of a `capped_mean_degree` scan for `cap`.
+    pub fn store_mean_degree(&self, cap: u32, d_eff: f64) {
+        let mut memo = self
+            .core
+            .mean_degree_memo
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        if !memo.iter().any(|&(c, _)| c == cap) {
+            memo.push((cap, d_eff));
+        }
     }
 
     /// Mapped-bytes budget.
     pub fn budget_bytes(&self) -> usize {
-        self.budget
+        self.core.budget
+    }
+
+    /// Placement order this store was written with.
+    pub fn order(&self) -> super::order::StoreOrder {
+        self.core.manifest.order
+    }
+
+    /// Internal (placement) id of external vertex `v` (identity for
+    /// natural stores).
+    #[inline]
+    pub fn to_internal(&self, v: u32) -> u32 {
+        self.core.manifest.to_internal(v)
+    }
+
+    /// External vertex of internal (placement) id `i` — the inverse of
+    /// [`Self::to_internal`].
+    #[inline]
+    pub fn to_external(&self, i: u32) -> u32 {
+        if self.core.unrank.is_empty() {
+            i
+        } else {
+            self.core.unrank[i as usize]
+        }
+    }
+
+    /// Whether a prefetch thread is serving this store.
+    pub fn prefetch_enabled(&self) -> bool {
+        self.prefetcher.as_ref().is_some_and(|p| !p.degraded())
+    }
+
+    /// Hand upcoming vertices to the prefetch thread (advisory, never
+    /// blocks): their shards are paged in ahead of the demand reads.
+    /// Returns how many shard requests were accepted; 0 with prefetch
+    /// off, degraded, or everything already queued.
+    pub fn prefetch_nodes(&self, nodes: &[u32]) -> usize {
+        if self.prefetcher.is_none() {
+            return 0;
+        }
+        let n = self.num_vertices();
+        let mut want = Vec::new();
+        let mut seen = vec![false; self.core.slots.len()];
+        for &v in nodes {
+            if (v as usize) >= n {
+                continue;
+            }
+            let sid = self.core.shard_of(v) as usize;
+            if !seen[sid] && self.core.slots[sid].present {
+                seen[sid] = true;
+                want.push(sid as u32);
+            }
+        }
+        self.prefetch_shards(&want)
+    }
+
+    /// As [`Self::prefetch_nodes`] for explicit shard ids.
+    pub fn prefetch_shards(&self, sids: &[u32]) -> usize {
+        let Some(pf) = &self.prefetcher else { return 0 };
+        let accepted = pf.request(sids);
+        self.core
+            .prefetch_issued
+            .fetch_add(accepted as u64, Ordering::Relaxed);
+        accepted
+    }
+
+    /// Test hook: make the prefetch thread panic on its next request, to
+    /// exercise the degraded (synchronous page-in) path.
+    #[cfg(test)]
+    pub(crate) fn inject_prefetch_panic(&self) {
+        if let Some(pf) = &self.prefetcher {
+            pf.inject_panic();
+        }
     }
 
     /// Shard id of vertex `v`.
     #[inline]
     pub fn shard_of(&self, v: u32) -> u32 {
-        self.index.part_of(v)
+        self.core.shard_of(v)
     }
 
     /// Shard-local slot of vertex `v`.
     #[inline]
     pub fn local_of(&self, v: u32) -> u32 {
-        self.index.local_of(v)
+        self.core.index.local_of(v)
     }
 
     /// Whether `v` is a valid vertex **and** its shard file is present.
     pub fn contains(&self, v: u32) -> bool {
-        (v as usize) < self.num_vertices() && self.slots[self.shard_of(v) as usize].present
+        (v as usize) < self.num_vertices() && self.core.slots[self.shard_of(v) as usize].present
     }
 
     /// Whether shard `sid`'s file is present on disk.
     pub fn shard_present(&self, sid: usize) -> bool {
-        self.slots.get(sid).is_some_and(|s| s.present)
+        self.core.slots.get(sid).is_some_and(|s| s.present)
     }
 
     /// Get shard `sid`, mapping it on demand and evicting others to stay
     /// under the byte budget.
     pub fn get(&self, sid: usize) -> io::Result<Arc<ShardData>> {
-        let slot = self.slots.get(sid).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("shard {sid} out of range ({} shards)", self.slots.len()),
-            )
-        })?;
-        if !slot.present {
-            return Err(io::Error::new(
-                io::ErrorKind::NotFound,
-                format!(
-                    "shard {sid} is not present in store {} (partial deployment?)",
-                    self.dir.display()
-                ),
-            ));
-        }
-        {
-            let guard = slot.data.lock().unwrap_or_else(|p| p.into_inner());
-            if let Some(d) = guard.as_ref() {
-                slot.referenced.store(true, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(d));
-            }
-        }
-        // Miss: load under the slot lock (a racing second loader waits and
-        // then takes the hit path above via the re-check).
-        let mut guard = slot.data.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some(d) = guard.as_ref() {
-            slot.referenced.store(true, Ordering::Relaxed);
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(d));
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let data = Arc::new(ShardData::load(
-            &self.dir.join(shard_file_name(sid)),
-            sid,
-            Some(&self.manifest.shards[sid]),
-        )?);
-        self.mapped
-            .fetch_add(data.mapped_bytes(), Ordering::Relaxed);
-        slot.referenced.store(true, Ordering::Relaxed);
-        *guard = Some(Arc::clone(&data));
-        drop(guard);
-        self.evict_to_budget(sid);
-        Ok(data)
+        self.core.get(sid)
     }
 
     /// The shard holding vertex `v` plus `v`'s local slot in it.
     #[inline]
     pub fn shard_for(&self, v: u32) -> io::Result<(Arc<ShardData>, usize)> {
         let sid = self.shard_of(v) as usize;
-        Ok((self.get(sid)?, self.local_of(v) as usize))
-    }
-
-    /// CLOCK sweep: unmap unpinned, unreferenced shards until the mapped
-    /// total fits the budget. `keep` (the shard just loaded) is exempt so
-    /// the caller's handout is never immediately evicted.
-    fn evict_to_budget(&self, keep: usize) {
-        let nslots = self.slots.len();
-        if nslots <= 1 {
-            return;
-        }
-        // Two full sweeps: the first may only clear referenced bits.
-        let mut steps = 2 * nslots;
-        while self.mapped.load(Ordering::Relaxed) > self.budget && steps > 0 {
-            steps -= 1;
-            let i = self.hand.fetch_add(1, Ordering::Relaxed) % nslots;
-            if i == keep || self.slots[i].pinned.load(Ordering::Relaxed) {
-                continue;
-            }
-            if self.slots[i].referenced.swap(false, Ordering::Relaxed) {
-                continue; // second chance
-            }
-            let mut guard = self.slots[i].data.lock().unwrap_or_else(|p| p.into_inner());
-            if let Some(d) = guard.take() {
-                self.mapped.fetch_sub(d.mapped_bytes(), Ordering::Relaxed);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-                // Dropping `d` here only drops the cache's Arc; readers
-                // holding clones keep the mapping alive until they finish.
-            }
-        }
+        Ok((self.core.get(sid)?, self.local_of(v) as usize))
     }
 
     /// Pin the shards containing `nodes`: map them now and exempt them
@@ -463,11 +772,11 @@ impl MmapStore {
                 continue;
             }
             let sid = self.shard_of(v) as usize;
-            if !self.slots[sid].present {
+            if !self.core.slots[sid].present {
                 continue;
             }
-            if !self.slots[sid].pinned.swap(true, Ordering::Relaxed) {
-                self.get(sid)?;
+            if !self.core.slots[sid].pinned.swap(true, Ordering::Relaxed) {
+                self.core.get(sid)?;
                 pinned += 1;
             }
         }
@@ -476,40 +785,26 @@ impl MmapStore {
 
     /// Release every pin taken by [`Self::pin_nodes`].
     pub fn unpin_all(&self) {
-        for slot in &self.slots {
+        for slot in &self.core.slots {
             slot.pinned.store(false, Ordering::Relaxed);
         }
         // Re-apply the budget now that pins no longer shield shards.
-        self.evict_to_budget(usize::MAX);
+        self.core.evict_to_budget(usize::MAX);
     }
 
     /// Counter snapshot.
     pub fn cache_stats(&self) -> StoreCacheStats {
-        let mut resident_shards = 0;
-        for slot in &self.slots {
-            if slot
-                .data
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .is_some()
-            {
-                resident_shards += 1;
-            }
-        }
-        StoreCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            mapped_bytes: self.mapped.load(Ordering::Relaxed),
-            resident_shards,
-        }
+        self.core.cache_stats()
     }
 }
 
 impl Drop for MmapStore {
     fn drop(&mut self) {
+        // Join the prefetch thread before any directory teardown: its
+        // in-flight load must not race the removal below.
+        self.prefetcher.take();
         if self.remove_on_drop {
-            let _ = std::fs::remove_dir_all(&self.dir);
+            let _ = std::fs::remove_dir_all(&self.core.dir);
         }
     }
 }
@@ -517,10 +812,12 @@ impl Drop for MmapStore {
 impl std::fmt::Debug for MmapStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MmapStore")
-            .field("dir", &self.dir)
+            .field("dir", &self.core.dir)
             .field("n", &self.num_vertices())
             .field("shards", &self.num_shards())
-            .field("budget_bytes", &self.budget)
+            .field("budget_bytes", &self.core.budget)
+            .field("order", &self.order())
+            .field("prefetch", &self.prefetcher.is_some())
             .field("stats", &self.cache_stats())
             .finish()
     }

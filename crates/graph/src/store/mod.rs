@@ -32,11 +32,15 @@
 
 pub mod mem;
 pub mod mmap;
+pub mod order;
+pub mod prefetch;
 pub mod shard;
 
 pub use mem::MemStore;
 pub use mmap::{MmapStore, StoreCacheStats};
-pub use shard::{verify_store, write_store, ShardData, StoreManifest};
+pub use order::{order_from_env, StoreOrder};
+pub use prefetch::prefetch_from_env;
+pub use shard::{verify_store, write_store, write_store_ordered, ShardData, StoreManifest};
 
 use crate::csr::CsrGraph;
 use gsgcn_tensor::DMatrix;
@@ -86,6 +90,37 @@ pub trait Topology: Sync {
         }
     }
 
+    /// Mean of `clamp(degree(v), 1, cap)` over all vertices — the
+    /// effective average degree the frontier sampler sizes its dashboard
+    /// with. The default scans every vertex on each call; shard-backed
+    /// topologies memoize it, because out of core the sweep is both
+    /// O(|V|) per batch and a cache-flooding access pattern that evicts
+    /// the batch's own working set.
+    fn capped_mean_degree(&self, cap: u32) -> f64 {
+        scan_capped_mean_degree(self, cap)
+    }
+
+    /// Locality group (physical shard) of vertex `v`; `0` everywhere
+    /// when the topology is fully resident. Group-aware consumers batch
+    /// their accesses per group so a bounded shard cache sees one run
+    /// per shard instead of scattered probes.
+    fn locality_group(&self, v: u32) -> u32 {
+        let _ = v;
+        0
+    }
+
+    /// Number of distinct locality groups (`1` = resident, nothing worth
+    /// grouping by).
+    fn num_locality_groups(&self) -> usize {
+        1
+    }
+
+    /// Advise that `nodes` are about to be read (asynchronous page-in
+    /// where supported; default no-op).
+    fn prefetch_hint(&self, nodes: &[u32]) {
+        let _ = nodes;
+    }
+
     /// Escape hatch: the resident CSR, when this topology has one.
     /// Readers needing raw `offsets()`/`adjacency()` slices (e.g. the
     /// uniform edge sampler) take this fast path and fall back to
@@ -93,6 +128,21 @@ pub trait Topology: Sync {
     fn as_csr(&self) -> Option<&CsrGraph> {
         None
     }
+}
+
+/// The [`Topology::capped_mean_degree`] scan, summed in ascending vertex
+/// order. Overrides must preserve this exact order and arithmetic —
+/// samplers size their tables from the result, so a last-ulp difference
+/// between backends would fork otherwise bit-identical trajectories.
+pub fn scan_capped_mean_degree<T: Topology + ?Sized>(g: &T, cap: u32) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = (0..n as u32)
+        .map(|v| (g.degree(v) as u32).min(cap).max(1) as f64)
+        .sum();
+    total / n as f64
 }
 
 /// A borrowed neighbor list: either a plain slice into a resident CSR or
@@ -350,12 +400,13 @@ impl GraphStore {
             StoreBackend::Mem => Ok(GraphStore::mem(graph, features, labels)),
             StoreBackend::Mmap => {
                 let dir = fresh_temp_dir()?;
-                shard::write_store(
+                shard::write_store_ordered(
                     &dir,
                     &graph,
                     features.as_deref(),
                     labels.as_deref(),
                     default_num_shards(graph.num_vertices()),
+                    order_from_env(),
                 )?;
                 let mut store = MmapStore::open(&dir, shard_cache_budget_from_env())?;
                 store.set_remove_on_drop();
@@ -454,6 +505,56 @@ impl GraphStore {
         }
     }
 
+    /// Placement order of the backing store (mem is trivially natural).
+    pub fn order(&self) -> StoreOrder {
+        match self {
+            GraphStore::Mem(_) => StoreOrder::Natural,
+            GraphStore::Mmap(m) => m.order(),
+        }
+    }
+
+    /// Internal (placement) id of external vertex `v`. Identity for the
+    /// mem backend and natural-order stores; every public API — the CLI's
+    /// `--nodes`, the serve protocol, labels, eval splits — speaks
+    /// external ids, and this is the one boundary where they translate.
+    #[inline]
+    pub fn to_internal(&self, v: u32) -> u32 {
+        match self {
+            GraphStore::Mem(_) => v,
+            GraphStore::Mmap(m) => m.to_internal(v),
+        }
+    }
+
+    /// External vertex id of internal (placement) id `i` — inverse of
+    /// [`Self::to_internal`].
+    #[inline]
+    pub fn to_external(&self, i: u32) -> u32 {
+        match self {
+            GraphStore::Mem(_) => i,
+            GraphStore::Mmap(m) => m.to_external(i),
+        }
+    }
+
+    /// Whether a background prefetch thread serves this store (and has
+    /// not degraded).
+    pub fn prefetch_enabled(&self) -> bool {
+        match self {
+            GraphStore::Mem(_) => false,
+            GraphStore::Mmap(m) => m.prefetch_enabled(),
+        }
+    }
+
+    /// Advise the store that `nodes` are about to be read: their shards
+    /// are paged in asynchronously ahead of the demand reads. Never
+    /// blocks; a no-op for mem / prefetch-off / degraded stores. Returns
+    /// the number of shard requests accepted.
+    pub fn prefetch_nodes(&self, nodes: &[u32]) -> usize {
+        match self {
+            GraphStore::Mem(_) => 0,
+            GraphStore::Mmap(m) => m.prefetch_nodes(nodes),
+        }
+    }
+
     /// Gather feature rows for `nodes` into `out` (reshaped to
     /// `nodes.len() × feature_dim`, rows aligned with `nodes`).
     pub fn gather_features_into(&self, nodes: &[u32], out: &mut DMatrix) -> io::Result<()> {
@@ -529,6 +630,9 @@ fn gather_mmap(m: &MmapStore, nodes: &[u32], out: &mut DMatrix, kind: RowKind) -
         });
     }
     out.ensure_shape(nodes.len(), width);
+    if m.prefetch_enabled() && nodes.len() > 1 {
+        return gather_mmap_grouped(m, nodes, out, kind);
+    }
     // Batches are usually shard-clustered (BFS partitions follow the same
     // locality the sampler does), so memoize the last shard handle.
     let mut cached: Option<(u32, Arc<ShardData>)> = None;
@@ -547,6 +651,66 @@ fn gather_mmap(m: &MmapStore, nodes: &[u32], out: &mut DMatrix, kind: RowKind) -
             RowKind::Labels => shard.label_row(local),
         };
         out.row_mut(i).copy_from_slice(row);
+    }
+    Ok(())
+}
+
+/// How many shard groups ahead of the copy cursor a grouped gather keeps
+/// requested at the prefetcher.
+const GATHER_PREFETCH_AHEAD: usize = 2;
+
+/// Shard-grouped gather, used when a prefetch thread is available: visit
+/// the rows shard by shard (each shard mapped exactly once per gather, no
+/// matter how scattered `nodes` is) while the prefetcher pages in the
+/// next [`GATHER_PREFETCH_AHEAD`] shards behind the copies. Output rows
+/// land at their original positions, so the result is byte-identical to
+/// the sequential path.
+fn gather_mmap_grouped(
+    m: &MmapStore,
+    nodes: &[u32],
+    out: &mut DMatrix,
+    kind: RowKind,
+) -> io::Result<()> {
+    // Stable sort of row indices by shard keeps the per-shard copy order
+    // deterministic (it does not affect the output, which is indexed).
+    let mut by_shard: Vec<(u32, u32)> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (m.shard_of(v), i as u32))
+        .collect();
+    by_shard.sort_by_key(|&(sid, _)| sid);
+
+    // Group boundaries + the distinct shard sequence for lookahead.
+    let mut groups: Vec<(u32, std::ops::Range<usize>)> = Vec::new();
+    let mut start = 0;
+    for i in 1..=by_shard.len() {
+        if i == by_shard.len() || by_shard[i].0 != by_shard[start].0 {
+            groups.push((by_shard[start].0, start..i));
+            start = i;
+        }
+    }
+
+    for (g, (sid, range)) in groups.iter().enumerate() {
+        if let Some((ahead_sid, _)) = groups.get(g + GATHER_PREFETCH_AHEAD) {
+            m.prefetch_shards(&[*ahead_sid]);
+        }
+        if g == 0 {
+            // Kick the pipeline: the shards after the one we are about to
+            // map synchronously.
+            for (ahead_sid, _) in groups.iter().skip(1).take(GATHER_PREFETCH_AHEAD - 1) {
+                m.prefetch_shards(&[*ahead_sid]);
+            }
+        }
+        let shard = m.get(*sid as usize)?;
+        for &(_, idx) in &by_shard[range.clone()] {
+            let v = nodes[idx as usize];
+            let local = m.local_of(v) as usize;
+            let row = match kind {
+                RowKind::Features => shard.feature_row(local),
+                RowKind::Labels => shard.label_row(local),
+            };
+            out.row_mut(idx as usize).copy_from_slice(row);
+        }
     }
     Ok(())
 }
@@ -633,6 +797,40 @@ impl Topology for GraphStore {
                 NeighborsRef::Shard { shard, start, len }
             }
         }
+    }
+
+    fn capped_mean_degree(&self, cap: u32) -> f64 {
+        match self {
+            GraphStore::Mem(m) => scan_capped_mean_degree(m.graph().as_ref(), cap),
+            GraphStore::Mmap(m) => {
+                if let Some(d) = m.cached_mean_degree(cap) {
+                    return d;
+                }
+                // Same helper (and thus the same summation order) as the
+                // trait default — the memo only skips repeat scans.
+                let d = scan_capped_mean_degree(self, cap);
+                m.store_mean_degree(cap, d);
+                d
+            }
+        }
+    }
+
+    fn locality_group(&self, v: u32) -> u32 {
+        match self {
+            GraphStore::Mem(_) => 0,
+            GraphStore::Mmap(m) => m.shard_of(v),
+        }
+    }
+
+    fn num_locality_groups(&self) -> usize {
+        match self {
+            GraphStore::Mem(_) => 1,
+            GraphStore::Mmap(m) => m.num_shards(),
+        }
+    }
+
+    fn prefetch_hint(&self, nodes: &[u32]) {
+        self.prefetch_nodes(nodes);
     }
 
     fn as_csr(&self) -> Option<&CsrGraph> {
@@ -822,6 +1020,205 @@ mod tests {
         assert_eq!(verify_store(&dir).unwrap(), vec![1]);
         assert_eq!(manifest.shards.len(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ordered_store_roundtrips_manifest_and_translation() {
+        let g = two_communities();
+        let f = DMatrix::from_fn(g.num_vertices(), 3, |i, j| (i * 10 + j) as f32);
+        for order in [StoreOrder::Bfs, StoreOrder::Degree] {
+            let dir = fresh_temp_dir().unwrap();
+            let manifest = shard::write_store_ordered(&dir, &g, Some(&f), None, 4, order).unwrap();
+            assert_eq!(manifest.order, order);
+            assert_eq!(manifest.rank.len(), g.num_vertices());
+            let store = GraphStore::open_with_budget(&dir, 1 << 20).unwrap();
+            assert_eq!(store.order(), order);
+            // The recorded mapping is a permutation consistent with the
+            // physical layout: internal id = shard base + local slot.
+            let m = store.as_mmap().unwrap();
+            let mut base = vec![0u32; m.num_shards()];
+            for sid in 1..m.num_shards() {
+                base[sid] = base[sid - 1] + m.manifest().shards[sid - 1].members as u32;
+            }
+            for v in 0..g.num_vertices() as u32 {
+                let internal = store.to_internal(v);
+                assert_eq!(store.to_external(internal), v);
+                assert_eq!(
+                    internal,
+                    base[m.shard_of(v) as usize] + m.local_of(v),
+                    "vertex {v} placement disagrees with the manifest rank"
+                );
+            }
+            // Observational identity: topology and rows are unchanged.
+            for v in 0..g.num_vertices() as u32 {
+                assert_eq!(&*store.neighbors_ref(v), g.neighbors(v), "{order:?} v{v}");
+            }
+            let mut out = DMatrix::zeros(0, 0);
+            store
+                .gather_features_into(&[15, 0, 7, 8], &mut out)
+                .unwrap();
+            assert_eq!(out.row(0), &[150.0, 151.0, 152.0]);
+            assert_eq!(out.row(3), &[80.0, 81.0, 82.0]);
+            assert!(verify_store(&dir).unwrap().is_empty());
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn natural_order_is_byte_identical_to_legacy_writer() {
+        let g = two_communities();
+        let f = DMatrix::from_fn(g.num_vertices(), 3, |i, j| (i + j) as f32);
+        let d1 = fresh_temp_dir().unwrap();
+        let d2 = fresh_temp_dir().unwrap();
+        write_store(&d1, &g, Some(&f), None, 3).unwrap();
+        shard::write_store_ordered(&d2, &g, Some(&f), None, 3, StoreOrder::Natural).unwrap();
+        for name in [shard::MANIFEST_FILE, shard::INDEX_FILE] {
+            assert_eq!(
+                std::fs::read(d1.join(name)).unwrap(),
+                std::fs::read(d2.join(name)).unwrap(),
+                "{name} differs between legacy and natural-order writers"
+            );
+        }
+        for sid in 0..3 {
+            let name = shard::shard_file_name(sid);
+            assert_eq!(
+                std::fs::read(d1.join(&name)).unwrap(),
+                std::fs::read(d2.join(&name)).unwrap(),
+                "{name} differs"
+            );
+        }
+        // Natural stores report identity translation.
+        let store = GraphStore::open_with_budget(&d1, 1 << 20).unwrap();
+        assert_eq!(store.order(), StoreOrder::Natural);
+        assert_eq!(store.to_internal(13), 13);
+        assert_eq!(store.to_external(13), 13);
+        std::fs::remove_dir_all(&d1).unwrap();
+        std::fs::remove_dir_all(&d2).unwrap();
+    }
+
+    #[test]
+    fn prefetch_pages_shards_in_and_counts_hits() {
+        let g = two_communities();
+        let (dir, _) = spill(&g, 4);
+        let store = GraphStore::Mmap(MmapStore::open_with_prefetch(&dir, 1 << 20, true).unwrap());
+        assert!(store.prefetch_enabled());
+        let nodes: Vec<u32> = (0..16).collect();
+        let accepted = store.prefetch_nodes(&nodes);
+        assert!(accepted > 0, "no prefetch requests accepted");
+        // Wait (bounded) for the worker to drain the queue.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let stats = store.cache_stats().unwrap();
+            if stats.resident_shards == 4 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "prefetcher never paged the shards in: {stats:?}"
+            );
+            std::thread::yield_now();
+        }
+        // Demand reads now hit without a single demand miss, and the
+        // prefetch-hit counter credits the prefetcher.
+        for v in 0..16u32 {
+            assert_eq!(&*store.neighbors_ref(v), g.neighbors(v));
+        }
+        let stats = store.cache_stats().unwrap();
+        assert_eq!(stats.misses, 0, "{stats:?}");
+        assert_eq!(stats.prefetch_hits, 4, "{stats:?}");
+        assert_eq!(stats.prefetch_issued, accepted as u64);
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prefetch_never_evicts_referenced_shards() {
+        let g = two_communities();
+        let (dir, _) = spill(&g, 4);
+        // Budget fits roughly one shard: prefetching all shards must
+        // decline rather than evict what the reader is using.
+        let one_shard = std::fs::metadata(dir.join(shard::shard_file_name(0)))
+            .unwrap()
+            .len() as usize;
+        let store = GraphStore::Mmap(
+            MmapStore::open_with_prefetch(&dir, one_shard + one_shard / 2, true).unwrap(),
+        );
+        // Touch vertex 0's shard so its referenced bit is set.
+        let hot = store.neighbors_ref(0);
+        let hot_sid = store.shard_of(0).unwrap();
+        store.prefetch_nodes(&(0..16).collect::<Vec<u32>>());
+        // Drain the queue.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while store.cache_stats().unwrap().prefetch_issued
+            > store.cache_stats().unwrap().prefetch_hits
+                + store.cache_stats().unwrap().prefetch_wasted
+                + store.cache_stats().unwrap().resident_shards as u64
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // The hot shard was never evicted: re-reading it is a hit, not a
+        // reload (misses for it stay at 1).
+        let before = store.cache_stats().unwrap();
+        assert_eq!(&*store.neighbors_ref(0), &*hot);
+        let after = store.cache_stats().unwrap();
+        assert_eq!(
+            after.misses, before.misses,
+            "prefetch evicted referenced shard {hot_sid}"
+        );
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn panicked_prefetcher_degrades_to_synchronous_reads() {
+        let g = two_communities();
+        let (dir, _) = spill(&g, 4);
+        let store = MmapStore::open_with_prefetch(&dir, 1 << 20, true).unwrap();
+        store.inject_prefetch_panic();
+        // Trigger the panic with a real request, then wait for degrade.
+        store.prefetch_nodes(&[0]);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while store.prefetch_enabled() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "prefetcher never degraded after injected panic"
+            );
+            std::thread::yield_now();
+        }
+        // Requests are no-ops now; demand reads still answer exactly.
+        assert_eq!(store.prefetch_nodes(&(0..16).collect::<Vec<u32>>()), 0);
+        let store = GraphStore::Mmap(store);
+        for v in 0..16u32 {
+            assert_eq!(&*store.neighbors_ref(v), g.neighbors(v));
+        }
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn grouped_gather_matches_sequential_under_churn() {
+        let g = two_communities();
+        let (dir, _) = spill(&g, 4);
+        let plain = GraphStore::open_with_budget(&dir, 1).unwrap();
+        let pf = GraphStore::Mmap(MmapStore::open_with_prefetch(&dir, 1, true).unwrap());
+        // Deliberately scattered and duplicated row set.
+        let nodes: Vec<u32> = (0..64u32).map(|i| (i * 7) % 16).collect();
+        let mut want = DMatrix::zeros(0, 0);
+        let mut got = DMatrix::zeros(0, 0);
+        plain.gather_features_into(&nodes, &mut want).unwrap();
+        pf.gather_features_into(&nodes, &mut got).unwrap();
+        assert_eq!(want.data(), got.data());
+        drop(pf);
+        drop(plain);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn order_and_prefetch_env_parsing() {
+        assert_eq!("bfs".parse::<StoreOrder>().unwrap(), StoreOrder::Bfs);
+        assert!("zorder".parse::<StoreOrder>().is_err());
     }
 
     #[test]

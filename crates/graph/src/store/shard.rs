@@ -16,17 +16,47 @@
 //! and floats are little-endian, and sections inside a shard are 8-byte
 //! aligned so the loader can hand out typed slices straight from the
 //! mapping. One shard file holds, for the `k` member vertices of one
-//! [`bfs_partition`](crate::partition::bfs_partition) part (ascending
-//! global id):
+//! partition part:
 //!
 //! ```text
 //! header   magic, version, shard id, k, e, feature_dim, label_dim
-//! members  [u32; k]       global vertex ids (ascending)
+//! members  [u32; k]       global vertex ids
 //! offsets  [u64; k+1]     shard-local CSR offsets
 //! adj      [u32; e]       neighbor lists — GLOBAL ids (edges may cross shards)
 //! features [f32; k·f]     row-major, aligned with `members`
 //! labels   [f32; k·l]     row-major, aligned with `members`
 //! ```
+//!
+//! # Placement orders and the manifest ordering section
+//!
+//! Which vertices share a shard — and in what sequence inside it — is the
+//! *placement order* (see [`super::order`]):
+//!
+//! * `natural` (default): the historical layout — a
+//!   [`bfs_partition`](crate::partition::bfs_partition) part per shard,
+//!   members ascending by global id. The manifest carries **no** ordering
+//!   section, so natural stores are byte-identical to stores written
+//!   before orders existed, and pre-order stores read back as natural.
+//! * `bfs` / `degree`: a rank permutation is computed
+//!   ([`super::order::order_rank`]), shard membership is contiguous rank
+//!   ranges, members are stored in rank order, and the manifest gains a
+//!   trailing section (`ORDER_MAGIC`, order code, `n`, `rank[u32; n]`)
+//!   recording the old↔new mapping. Old readers ignore trailing manifest
+//!   bytes, so the format version is unchanged.
+//!
+//! All ids **on disk stay global (user numbering)** regardless of order:
+//! adjacency, members, the CLI/serve protocol and eval splits never
+//! translate. The order only decides *placement*, which is why answers
+//! are bit-identical across orders while the shards an L-hop ball
+//! touches (and therefore out-of-core gather cost) differ.
+//!
+//! Choosing an order: `bfs` is the right default for training and
+//! ball-shaped serving reads — neighbors get adjacent ranks, so L-hop
+//! balls stay within few shards. `degree` is the cheap alternative (one
+//! sort, no traversal) that concentrates the hub vertices most gathers
+//! touch; prefer it when shard-write time dominates (huge graphs,
+//! re-shard pipelines). `natural` exists for byte-stable reproduction of
+//! pre-order stores.
 //!
 //! Consistency rules (the crash-safety contract pinned by
 //! `proptest_store.rs`):
@@ -45,6 +75,7 @@
 //!   serving a slice of the graph); reads of its vertices fail per-request
 //!   (`GraphStore::contains` is the membership probe).
 
+use super::order::{order_rank, partition_by_rank, StoreOrder};
 use crate::csr::CsrGraph;
 use crate::partition::VertexPartition;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -54,6 +85,8 @@ use std::path::{Path, PathBuf};
 
 /// Manifest magic: `GSTR` (gsgcn store).
 pub const MANIFEST_MAGIC: u32 = 0x4753_5452;
+/// Magic of the optional manifest ordering section: `GSOR`.
+pub const ORDER_MAGIC: u32 = 0x4753_4F52;
 /// Shard-file magic: `GSHD`.
 pub const SHARD_MAGIC: u32 = 0x4753_4844;
 /// Index-file magic: `GSIX`.
@@ -153,6 +186,14 @@ pub struct StoreManifest {
     pub label_dim: u32,
     /// One entry per shard, shard id = position.
     pub shards: Vec<ShardInfo>,
+    /// Placement order the store was written with (see
+    /// [`super::order`]). [`StoreOrder::Natural`] writes no manifest
+    /// section, so natural stores are byte-identical to pre-order ones.
+    pub order: StoreOrder,
+    /// `rank[v]` = position of vertex `v` in `order`; empty for
+    /// [`StoreOrder::Natural`] (identity). This is the old↔new mapping:
+    /// internal id of `v` is `rank[v]`.
+    pub rank: Vec<u32>,
 }
 
 impl StoreManifest {
@@ -160,8 +201,24 @@ impl StoreManifest {
         self.shards.len()
     }
 
+    /// Internal (placement) id of external vertex `v`: its rank in the
+    /// store's order, identity for natural stores.
+    #[inline]
+    pub fn to_internal(&self, v: u32) -> u32 {
+        if self.rank.is_empty() {
+            v
+        } else {
+            self.rank[v as usize]
+        }
+    }
+
     pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(32 + self.shards.len() * 32);
+        let order_extra = if self.order == StoreOrder::Natural {
+            0
+        } else {
+            16 + 4 * self.rank.len()
+        };
+        let mut buf = BytesMut::with_capacity(32 + self.shards.len() * 32 + order_extra);
         buf.put_u32_le(MANIFEST_MAGIC);
         buf.put_u32_le(FORMAT_VERSION);
         buf.put_u64_le(self.n);
@@ -175,6 +232,17 @@ impl StoreManifest {
             buf.put_u64_le(s.edges);
             buf.put_u64_le(s.file_len);
             buf.put_u64_le(s.checksum);
+        }
+        // Optional trailing ordering section. Readers that predate it
+        // ignore trailing bytes, and its absence means natural order, so
+        // the format version does not need to change.
+        if self.order != StoreOrder::Natural {
+            buf.put_u32_le(ORDER_MAGIC);
+            buf.put_u32_le(self.order.code());
+            buf.put_u64_le(self.rank.len() as u64);
+            for &r in &self.rank {
+                buf.put_u32_le(r);
+            }
         }
         buf.freeze()
     }
@@ -216,12 +284,43 @@ impl StoreManifest {
                 "manifest inconsistent: shard member counts sum to {total}, expected n={n}"
             )));
         }
+        // Optional ordering section (absent in pre-order stores = natural).
+        let (order, rank) = if data.remaining() >= 16 && data.clone().get_u32_le() == ORDER_MAGIC {
+            let _magic = data.get_u32_le();
+            let code = data.get_u32_le();
+            let order = StoreOrder::from_code(code)
+                .ok_or_else(|| bad(format!("manifest ordering section: unknown order {code}")))?;
+            let len = data.get_u64_le() as usize;
+            if len != n as usize {
+                return Err(bad(format!(
+                    "manifest ordering section covers {len} vertices, expected n={n}"
+                )));
+            }
+            if data.remaining() < 4 * len {
+                return Err(bad("truncated manifest ordering section"));
+            }
+            let mut rank = Vec::with_capacity(len);
+            let mut seen = vec![false; len];
+            for _ in 0..len {
+                let r = data.get_u32_le();
+                if (r as usize) >= len || seen[r as usize] {
+                    return Err(bad("manifest ordering section is not a permutation"));
+                }
+                seen[r as usize] = true;
+                rank.push(r);
+            }
+            (order, rank)
+        } else {
+            (StoreOrder::Natural, Vec::new())
+        };
         Ok(StoreManifest {
             n,
             num_edges,
             feature_dim,
             label_dim,
             shards,
+            order,
+            rank,
         })
     }
 
@@ -345,6 +444,30 @@ pub fn write_store(
     labels: Option<&DMatrix>,
     num_shards: usize,
 ) -> io::Result<StoreManifest> {
+    write_store_ordered(
+        dir,
+        graph,
+        features,
+        labels,
+        num_shards,
+        StoreOrder::Natural,
+    )
+}
+
+/// As [`write_store`] with an explicit placement order. `Natural` keeps
+/// the historical BFS-grown partition with members ascending — stores it
+/// writes are byte-identical to pre-order ones. `Bfs`/`Degree` compute a
+/// rank permutation ([`order_rank`]), cut it into contiguous-rank shards
+/// and store members in rank order, recording the permutation in the
+/// manifest's ordering section.
+pub fn write_store_ordered(
+    dir: &Path,
+    graph: &CsrGraph,
+    features: Option<&DMatrix>,
+    labels: Option<&DMatrix>,
+    num_shards: usize,
+    order: StoreOrder,
+) -> io::Result<StoreManifest> {
     endian_guard()?;
     let n = graph.num_vertices();
     if let Some(f) = features {
@@ -365,8 +488,23 @@ pub fn write_store(
     }
     std::fs::create_dir_all(dir)?;
     let p = num_shards.max(1);
-    let partition = crate::partition::bfs_partition(graph, p);
-    write_partitioned(dir, graph, features, labels, &partition)
+    match order_rank(graph, order) {
+        None => {
+            let partition = crate::partition::bfs_partition(graph, p);
+            write_partitioned_ordered(dir, graph, features, labels, &partition, None)
+        }
+        Some(rank) => {
+            let partition = partition_by_rank(&rank, p);
+            write_partitioned_ordered(
+                dir,
+                graph,
+                features,
+                labels,
+                &partition,
+                Some((order, rank)),
+            )
+        }
+    }
 }
 
 /// As [`write_store`] but with a caller-supplied partition (must cover
@@ -378,32 +516,60 @@ pub fn write_partitioned(
     labels: Option<&DMatrix>,
     partition: &VertexPartition,
 ) -> io::Result<StoreManifest> {
+    write_partitioned_ordered(dir, graph, features, labels, partition, None)
+}
+
+/// The writer core: partition + optional `(order, rank)` placement
+/// permutation. Without a rank, members are ascending global ids (the
+/// historical layout); with one, members are stored in rank order and
+/// the manifest records the ordering section.
+fn write_partitioned_ordered(
+    dir: &Path,
+    graph: &CsrGraph,
+    features: Option<&DMatrix>,
+    labels: Option<&DMatrix>,
+    partition: &VertexPartition,
+    ordering: Option<(StoreOrder, Vec<u32>)>,
+) -> io::Result<StoreManifest> {
     endian_guard()?;
     let n = graph.num_vertices();
     if partition.part.len() != n {
         return Err(bad("partition does not cover the graph's vertex set"));
     }
+    if let Some((_, rank)) = &ordering {
+        if rank.len() != n {
+            return Err(bad("placement rank does not cover the graph's vertex set"));
+        }
+    }
     let p = partition.num_parts.max(1);
     let f = features.map_or(0, |m| m.cols());
     let l = labels.map_or(0, |m| m.cols());
 
-    // Global → (shard, local) index, derived once from the partition.
-    let mut part_of = vec![0u32; n];
-    let mut local_of = vec![0u32; n];
-    let mut counts = vec![0u32; p];
+    // Shard member lists: ascending global id without an order, rank
+    // order with one (readers resolve via the index either way).
+    let mut members_of = vec![Vec::new(); p];
     for v in 0..n {
         let s = partition.part[v];
         debug_assert!((s as usize) < p, "partition id out of range");
-        part_of[v] = s;
-        local_of[v] = counts[s as usize];
-        counts[s as usize] += 1;
+        members_of[s as usize].push(v as u32);
+    }
+    if let Some((_, rank)) = &ordering {
+        for members in &mut members_of {
+            members.sort_by_key(|&v| rank[v as usize]);
+        }
+    }
+
+    // Global → (shard, local) index, derived from the member lists.
+    let mut part_of = vec![0u32; n];
+    let mut local_of = vec![0u32; n];
+    for (sid, members) in members_of.iter().enumerate() {
+        for (local, &v) in members.iter().enumerate() {
+            part_of[v as usize] = sid as u32;
+            local_of[v as usize] = local as u32;
+        }
     }
 
     let mut shards = Vec::with_capacity(p);
-    let mut members_of = vec![Vec::new(); p];
-    for v in 0..n {
-        members_of[part_of[v] as usize].push(v as u32);
-    }
     for (sid, members) in members_of.iter().enumerate() {
         let k = members.len();
         let e: usize = members.iter().map(|&v| graph.degree(v)).sum();
@@ -467,12 +633,15 @@ pub fn write_partitioned(
     write_atomic(&dir.join(INDEX_FILE), &index)?;
 
     // Manifest last: its presence marks the store complete.
+    let (order, rank) = ordering.unwrap_or((StoreOrder::Natural, Vec::new()));
     let manifest = StoreManifest {
         n: n as u64,
         num_edges: graph.num_edges() as u64,
         feature_dim: f as u32,
         label_dim: l as u32,
         shards,
+        order,
+        rank,
     };
     manifest.save(dir)?;
     Ok(manifest)
@@ -632,7 +801,9 @@ impl ShardData {
         self.layout.file_len
     }
 
-    /// Global ids of the member vertices, ascending.
+    /// Global ids of the member vertices, in placement order (ascending
+    /// for natural stores, rank order for ordered ones — readers resolve
+    /// vertices through the index, never by searching this list).
     pub fn members(&self) -> &[u32] {
         self.view_u32(self.layout.members_off, self.k)
     }

@@ -5,8 +5,9 @@
 //! silently different data.
 
 use gsgcn_graph::builder::from_edges;
-use gsgcn_graph::store::shard::{shard_file_name, verify_store, write_store};
-use gsgcn_graph::{l_hop_ball, CsrGraph, GraphStore, Topology};
+use gsgcn_graph::store::mmap::MmapStore;
+use gsgcn_graph::store::shard::{shard_file_name, verify_store, write_store, write_store_ordered};
+use gsgcn_graph::{l_hop_ball, CsrGraph, GraphStore, StoreOrder, Topology};
 use gsgcn_tensor::DMatrix;
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -152,6 +153,82 @@ proptest! {
         let open_failed = GraphStore::open_with_budget(&dir, 1 << 20).is_err();
         let flagged = verify_store(&dir).map(|bad| bad.contains(&sid)).unwrap_or(true);
         prop_assert!(open_failed || flagged, "corrupt shard {} passed open AND verify", sid);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A bfs- or degree-ordered store is observationally identical to the
+    /// natural one: placement moved, but every topology probe, L-hop
+    /// ball, and feature gather answers in the user's vertex numbering,
+    /// bit for bit — and the recorded mapping is a true inverse pair.
+    #[test]
+    fn reordered_store_is_observationally_identical((g, shards, budget) in store_case(), root_seed in any::<u64>()) {
+        let n = g.num_vertices();
+        let f = feature_rows(n, 5);
+        for order in [StoreOrder::Bfs, StoreOrder::Degree] {
+            let dir = fresh_dir();
+            write_store_ordered(&dir, &g, Some(&f), None, shards, order).unwrap();
+            prop_assert!(verify_store(&dir).unwrap().is_empty());
+            let store = GraphStore::open_with_budget(&dir, budget).unwrap();
+            prop_assert_eq!(store.order(), order);
+
+            for v in 0..n as u32 {
+                prop_assert_eq!(store.to_external(store.to_internal(v)), v);
+                prop_assert_eq!(Topology::degree(&store, v), g.degree(v));
+                prop_assert_eq!(&*store.neighbors_ref(v), g.neighbors(v), "{:?} vertex {}", order, v);
+            }
+
+            let roots: Vec<u32> = (0..4u64)
+                .map(|k| ((root_seed.wrapping_mul(2654435761).wrapping_add(k * 97)) % n as u64) as u32)
+                .collect();
+            for hops in 1..=3usize {
+                prop_assert_eq!(l_hop_ball(&g, &roots, hops), l_hop_ball(&store, &roots, hops));
+            }
+
+            let rows: Vec<u32> = (0..n as u32).chain([0, (n - 1) as u32]).collect();
+            let mut got = DMatrix::zeros(rows.len(), 5);
+            store.gather_features_into(&rows, &mut got).unwrap();
+            for (i, &v) in rows.iter().enumerate() {
+                prop_assert_eq!(got.row(i), f.row(v as usize), "{:?} row {}", order, v);
+            }
+
+            drop(store);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// Turning the prefetcher on never changes any result, whatever the
+    /// cache budget — eviction churn, guarded eviction declines, and the
+    /// grouped gather path must all be invisible to the reader.
+    #[test]
+    fn prefetch_on_off_is_observationally_identical((g, shards, budget) in store_case(), root_seed in any::<u64>()) {
+        let n = g.num_vertices();
+        let f = feature_rows(n, 5);
+        let dir = fresh_dir();
+        write_store_ordered(&dir, &g, Some(&f), None, shards, StoreOrder::Bfs).unwrap();
+        let plain = GraphStore::open_with_budget(&dir, budget).unwrap();
+        let pf = GraphStore::Mmap(MmapStore::open_with_prefetch(&dir, budget, true).unwrap());
+
+        // Scattered, duplicated row set exercises the grouped gather.
+        let rows: Vec<u32> = (0..2 * n as u64)
+            .map(|k| ((root_seed.wrapping_mul(6364136223846793005).wrapping_add(k * 1442695041)) % n as u64) as u32)
+            .collect();
+        // Hint the prefetcher, then read both stores identically.
+        prop_assert!(pf.prefetch_enabled());
+        pf.prefetch_nodes(&rows);
+        let mut want = DMatrix::zeros(0, 0);
+        let mut got = DMatrix::zeros(0, 0);
+        plain.gather_features_into(&rows, &mut want).unwrap();
+        pf.gather_features_into(&rows, &mut got).unwrap();
+        prop_assert_eq!(want.data(), got.data());
+
+        for v in 0..n as u32 {
+            prop_assert_eq!(&*pf.neighbors_ref(v), g.neighbors(v), "vertex {}", v);
+        }
+        let roots: Vec<u32> = rows.iter().take(4).copied().collect();
+        prop_assert_eq!(l_hop_ball(&plain, &roots, 2), l_hop_ball(&pf, &roots, 2));
+
+        drop(pf);
+        drop(plain);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -108,8 +108,18 @@ impl std::fmt::Display for PipelinePoisoned {
 
 impl std::error::Error for PipelinePoisoned {}
 
+/// Hook invoked by producer threads right after a subgraph lands in the
+/// reorder buffer — i.e. *ahead* of the consumer popping it. The argument
+/// is the subgraph's origin vertex set. Used to feed the shard
+/// prefetcher with upcoming vertex ranges (advisory: must be cheap and
+/// must not panic).
+pub type ReadyHook = Arc<dyn Fn(&[u32]) + Send + Sync>;
+
 /// Mutex-guarded pipeline state (see module docs for the protocol).
 struct State {
+    /// Bumped by [`SamplerPipeline::reset_with`]; deliveries from tickets
+    /// claimed under an older generation are dropped.
+    generation: u64,
     /// Next ticket sequence a producer will claim.
     next_ticket: u64,
     /// Next ticket sequence the consumer will release.
@@ -122,6 +132,14 @@ struct State {
     stop: bool,
     /// Panic payload of the first worker that panicked.
     poisoned: Option<String>,
+    /// Base seed of the `(batch, instance)` seed scheme (per generation).
+    base_seed: u64,
+    /// Sampler of the current generation (workers clone at claim time).
+    sampler: Arc<dyn GraphSampler + Send + Sync>,
+    /// Graph of the current generation (workers clone at claim time).
+    graph: Arc<dyn Topology + Send + Sync>,
+    /// Optional delivered-subgraph callback of the current generation.
+    on_ready: Option<ReadyHook>,
 }
 
 struct Shared {
@@ -136,7 +154,6 @@ struct Shared {
     sampling_nanos: AtomicU64,
     capacity: usize,
     p_inter: usize,
-    base_seed: u64,
 }
 
 impl Shared {
@@ -176,28 +193,30 @@ impl SamplerPipeline {
         assert!(cfg.p_inter >= 1, "p_inter must be ≥ 1");
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
+                generation: 0,
                 next_ticket: 0,
                 next_out: 0,
                 ready: BTreeMap::new(),
                 in_flight: 0,
                 stop: false,
                 poisoned: None,
+                base_seed: cfg.base_seed,
+                sampler,
+                graph,
+                on_ready: None,
             }),
             can_produce: Condvar::new(),
             can_consume: Condvar::new(),
             sampling_nanos: AtomicU64::new(0),
             capacity: cfg.effective_capacity(),
             p_inter: cfg.p_inter,
-            base_seed: cfg.base_seed,
         });
         let workers = (0..cfg.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let sampler = Arc::clone(&sampler);
-                let graph = Arc::clone(&graph);
                 std::thread::Builder::new()
                     .name(format!("gsgcn-sampler-{i}"))
-                    .spawn(move || worker_loop(&shared, &*sampler, &*graph))
+                    .spawn(move || worker_loop(&shared))
                     .expect("failed to spawn sampler worker thread")
             })
             .collect();
@@ -207,6 +226,54 @@ impl SamplerPipeline {
             popped: 0,
             stall_secs: 0.0,
         }
+    }
+
+    /// Rewind the ticket stream over a (possibly new) sampler × graph ×
+    /// seed, **reusing the existing worker threads** instead of joining
+    /// and respawning them — the cheap way to run a hyper-parameter
+    /// sweep's `train()` calls over one pipeline.
+    ///
+    /// The generation counter makes this safe mid-stream: tickets claimed
+    /// before the reset deliver into the void (their subgraphs are
+    /// dropped, never mixed into the new stream), so the consumed stream
+    /// after a reset is bit-identical to the one a freshly spawned
+    /// pipeline would produce. `p_inter` and capacity are fixed at spawn;
+    /// consumer-side counters (`popped`, stall/sampling times) keep
+    /// accumulating across generations.
+    ///
+    /// # Panics
+    /// Panics if the pipeline is poisoned — its workers are gone, so a
+    /// reset could never produce again.
+    pub fn reset_with<S, G>(&mut self, sampler: Arc<S>, graph: Arc<G>, base_seed: u64)
+    where
+        S: GraphSampler + Send + Sync + 'static,
+        G: Topology + Send + Sync + 'static,
+    {
+        let mut st = self.shared.lock();
+        if let Some(message) = &st.poisoned {
+            panic!("cannot reset a poisoned pipeline: {message}");
+        }
+        st.generation += 1;
+        st.next_ticket = 0;
+        st.next_out = 0;
+        st.ready.clear();
+        st.base_seed = base_seed;
+        st.sampler = sampler;
+        st.graph = graph;
+        st.on_ready = None;
+        drop(st);
+        // `ready` just emptied: every parked producer has room again.
+        self.shared.can_produce.notify_all();
+    }
+
+    /// Install (or clear) the delivered-subgraph hook for the current
+    /// generation. Producers call it with each subgraph's origin set the
+    /// moment the subgraph enters the reorder buffer — ahead of the
+    /// consumer — which is exactly when a shard prefetcher wants to hear
+    /// about upcoming vertices. Cleared automatically by
+    /// [`Self::reset_with`].
+    pub fn set_on_ready(&self, hook: Option<ReadyHook>) {
+        self.shared.lock().on_ready = hook;
     }
 
     /// Pop the next subgraph in ticket-sequence order, blocking until a
@@ -294,10 +361,14 @@ impl Drop for SamplerPipeline {
 
 /// Producer loop: claim the next ticket (parking when the buffer is
 /// full), sample it outside the lock, deliver into the reorder buffer.
-fn worker_loop<S: GraphSampler + ?Sized>(shared: &Shared, sampler: &S, graph: &dyn Topology) {
+/// Sampler, graph, seed and hook are snapshotted at claim time so a
+/// concurrent [`SamplerPipeline::reset_with`] can swap them without
+/// racing a mid-sample worker; the generation stamp makes the stale
+/// delivery detectable.
+fn worker_loop(shared: &Shared) {
     loop {
         // --- Claim phase (under lock, with backpressure) ---
-        let seq = {
+        let (generation, seq, seed, sampler, graph) = {
             let mut st = shared.lock();
             loop {
                 if st.stop {
@@ -314,13 +385,19 @@ fn worker_loop<S: GraphSampler + ?Sized>(shared: &Shared, sampler: &S, graph: &d
             let seq = st.next_ticket;
             st.next_ticket += 1;
             st.in_flight += 1;
-            seq
+            let seed = Ticket::from_sequence(seq, shared.p_inter).seed(st.base_seed);
+            (
+                st.generation,
+                seq,
+                seed,
+                Arc::clone(&st.sampler),
+                Arc::clone(&st.graph),
+            )
         };
 
         // --- Sample phase (no lock held) ---
-        let seed = Ticket::from_sequence(seq, shared.p_inter).seed(shared.base_seed);
         let t0 = Instant::now();
-        let result = catch_unwind(AssertUnwindSafe(|| sampler.sample_subgraph(graph, seed)));
+        let result = catch_unwind(AssertUnwindSafe(|| sampler.sample_subgraph(&*graph, seed)));
         shared
             .sampling_nanos
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -330,9 +407,26 @@ fn worker_loop<S: GraphSampler + ?Sized>(shared: &Shared, sampler: &S, graph: &d
         st.in_flight -= 1;
         match result {
             Ok(sub) => {
-                st.ready.insert(seq, sub);
-                drop(st);
-                shared.can_consume.notify_all();
+                if st.generation == generation {
+                    // Announce before insertion — under the state lock, so
+                    // the prefetcher hears the origin set strictly before
+                    // any pop can release the subgraph. The hook is
+                    // advisory: a panicking hook is dropped, never allowed
+                    // to kill the worker (which would wedge `pop`).
+                    if let Some(hook) = st.on_ready.clone() {
+                        if catch_unwind(AssertUnwindSafe(|| hook(&sub.origin))).is_err() {
+                            st.on_ready = None;
+                        }
+                    }
+                    st.ready.insert(seq, sub);
+                    drop(st);
+                    shared.can_consume.notify_all();
+                } else {
+                    // Stale ticket from before a reset: the subgraph is
+                    // dropped, but its capacity slot frees a producer.
+                    drop(st);
+                    shared.can_produce.notify_one();
+                }
             }
             Err(payload) => {
                 st.poisoned.get_or_insert(panic_message(payload));
@@ -486,6 +580,83 @@ mod tests {
             );
             // Poison is sticky.
             assert_eq!(pipe.pop().unwrap_err(), err);
+        }
+    }
+
+    #[test]
+    fn reset_with_matches_fresh_spawn_bit_for_bit() {
+        let g = Arc::new(ring(300));
+        let s = Arc::new(sampler());
+        let p_inter = 3;
+
+        // Reference streams from freshly spawned pipelines.
+        let fresh = |seed: u64, n: usize| -> Vec<Vec<u32>> {
+            let mut pipe = SamplerPipeline::spawn(
+                Arc::clone(&s),
+                Arc::clone(&g),
+                PipelineConfig {
+                    workers: 2,
+                    p_inter,
+                    base_seed: seed,
+                    capacity: 0,
+                },
+            );
+            (0..n).map(|_| pipe.pop().unwrap().origin).collect()
+        };
+        let want_a = fresh(42, 7);
+        let want_b = fresh(99, 7);
+
+        // One pipeline, reset between "train() calls": streams identical,
+        // including a reset taken mid-stream with subgraphs in flight.
+        let mut pipe = SamplerPipeline::spawn(Arc::clone(&s), Arc::clone(&g), cfg(2, p_inter));
+        pipe.reset_with(Arc::clone(&s), Arc::clone(&g), 42);
+        let got_a: Vec<Vec<u32>> = (0..7).map(|_| pipe.pop().unwrap().origin).collect();
+        assert_eq!(got_a, want_a, "first generation diverged");
+        pipe.reset_with(Arc::clone(&s), Arc::clone(&g), 99);
+        let got_b: Vec<Vec<u32>> = (0..7).map(|_| pipe.pop().unwrap().origin).collect();
+        assert_eq!(got_b, want_b, "post-reset generation diverged");
+        // And back again: no stale generation-0/1 subgraphs leak in.
+        pipe.reset_with(Arc::clone(&s), Arc::clone(&g), 42);
+        let again: Vec<Vec<u32>> = (0..7).map(|_| pipe.pop().unwrap().origin).collect();
+        assert_eq!(again, want_a, "third generation diverged");
+    }
+
+    #[test]
+    fn on_ready_hook_sees_origins_ahead_of_pop() {
+        let g = Arc::new(ring(300));
+        let s = Arc::new(sampler());
+        let p_inter = 2;
+        let mut pipe = SamplerPipeline::spawn(Arc::clone(&s), Arc::clone(&g), cfg(1, p_inter));
+        let capacity = (2 * p_inter).max(1);
+        let seen = Arc::new(Mutex::new(Vec::<Vec<u32>>::new()));
+        let sink = Arc::clone(&seen);
+        pipe.set_on_ready(Some(Arc::new(move |origin: &[u32]| {
+            sink.lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(origin.to_vec());
+        })));
+        // Up to `capacity` subgraphs may have been delivered before the
+        // hook was installed; everything claimed after the first pop is
+        // guaranteed to announce through the hook before release.
+        let popped: Vec<Vec<u32>> = (0..2 * capacity)
+            .map(|_| pipe.pop().unwrap().origin)
+            .collect();
+        let seen = seen.lock().unwrap_or_else(|p| p.into_inner());
+        for origin in &popped[capacity..] {
+            assert!(seen.contains(origin), "popped origin never hit the hook");
+        }
+    }
+
+    #[test]
+    fn panicking_on_ready_hook_is_dropped_not_fatal() {
+        let g = Arc::new(ring(300));
+        let s = Arc::new(sampler());
+        let mut pipe = SamplerPipeline::spawn(Arc::clone(&s), Arc::clone(&g), cfg(2, 2));
+        pipe.set_on_ready(Some(Arc::new(|_: &[u32]| panic!("bad hook"))));
+        // The stream keeps flowing: the broken hook is discarded, the
+        // workers survive, and pops neither hang nor poison.
+        for _ in 0..8 {
+            pipe.pop().unwrap();
         }
     }
 

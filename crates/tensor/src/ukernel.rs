@@ -60,6 +60,16 @@ const NR_AVX2: usize = 16;
 #[cfg(target_arch = "x86_64")]
 const NR_AVX512: usize = 48;
 
+/// How many `kk` iterations ahead the explicit tiers prefetch the A
+/// panel, in rows of `MR` f32 (8 rows × 32 B = two cache lines ahead).
+/// The A panel is read once per tile at stride `MR·4 = 32` B — too sparse
+/// a footprint for the L2 streamer to reliably run ahead of the FMA
+/// chain, so the kernel issues the touch itself. Prefetching past the
+/// panel's end is benign (`prefetch` never faults), so the loop needs no
+/// tail guard.
+#[cfg(target_arch = "x86_64")]
+const A_PF_DIST: usize = 8;
+
 /// A microkernel tier. Order is ascending preference for auto-selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Tier {
@@ -393,6 +403,7 @@ unsafe fn ukr_avx2(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
     for half in 0..2 {
         let mut c: [[__m256; 2]; 4] = [[_mm256_setzero_ps(); 2]; 4];
         for kk in 0..kc {
+            _mm_prefetch::<_MM_HINT_T0>(a.add((kk + A_PF_DIST) * MR) as *const i8);
             let bp = b.add(kk * NR_AVX2);
             let b0 = _mm256_loadu_ps(bp);
             let b1 = _mm256_loadu_ps(bp.add(8));
@@ -429,6 +440,7 @@ unsafe fn ukr_avx512(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
     use std::arch::x86_64::*;
     let mut c: [[__m512; 3]; MR] = [[_mm512_setzero_ps(); 3]; MR];
     for kk in 0..kc {
+        _mm_prefetch::<_MM_HINT_T0>(a.add((kk + A_PF_DIST) * MR) as *const i8);
         let bp = b.add(kk * NR_AVX512);
         let b0 = _mm512_loadu_ps(bp);
         let b1 = _mm512_loadu_ps(bp.add(16));

@@ -52,27 +52,34 @@ use std::process::ExitCode;
 const USAGE: &str = "usage:
   gsgcn datasets
   gsgcn shard --dataset <ppi|reddit|yelp|amazon> --out DIR [--vertices N]
-              [--num-shards K] [--seed N] [--full]
+              [--num-shards K] [--order <natural|bfs|degree>] [--seed N]
+              [--full]
               — generate the dataset and write it as a partitioned
               on-disk graph store; --vertices scales the graph to N
               vertices, --num-shards 0 (default) picks a shard count
-              from the graph size
+              from the graph size, --order picks the locality-aware
+              placement (bfs groups neighborhoods into the same shard;
+              ids the store answers to are unchanged)
   gsgcn train --dataset <ppi|reddit|yelp|amazon> [--epochs N] [--hidden A,B,..]
               [--budget N] [--frontier N] [--lr F] [--threads N]
               [--sampler-threads N|auto] [--patience N] [--seed N] [--full]
               [--save PATH] [--shards DIR] [--graph-store <mem|mmap>]
+              [--prefetch]
               (--shards trains from a pre-sharded store dir instead of
                generating the dataset; --graph-store picks the store
-               backend, flag > GSGCN_GRAPH_STORE env > mem)
+               backend, flag > GSGCN_GRAPH_STORE env > mem; --prefetch
+               pages upcoming shards in on a background thread, flag >
+               GSGCN_SHARD_PREFETCH env > off)
               (--sampler-threads: dedicated sampler workers overlapping
                sampling with compute; default auto = min(2, cores/4),
                0 = synchronous in-loop sampling)
   gsgcn eval  --load PATH [--dataset <name>] [--hidden A,B,..] [--seed N]
               [--full|--scaled] [--shards DIR] [--graph-store <mem|mmap>]
+              [--prefetch]
               (dataset/seed/scale/hidden default to the checkpoint's training
                values; an explicit flag overrides with a warning)
   gsgcn predict --load PATH --nodes N,N,.. [--probs] [--shards DIR]
-              [--graph-store <mem|mmap>] [dataset overrides as
+              [--graph-store <mem|mmap>] [--prefetch] [dataset overrides as
               for eval] — classify a node batch on its L-hop subgraph
               through the batch engine; --probs prints full class rows
   gsgcn serve --load PATH [--addr HOST:PORT] [--workers N] [--max-batch N]
@@ -87,7 +94,8 @@ const USAGE: &str = "usage:
               framing (event front-end only; see gsgcn_serve docs).
               SIZE accepts 64MiB/1GB/..; --cache-bytes 0 disables the
               activation cache and overrides the GSGCN_ACTIVATION_CACHE
-              env default; accepts --shards/--graph-store as for predict
+              env default; accepts --shards/--graph-store/--prefetch as
+              for predict
   gsgcn kernel [--probe <scalar|avx2|avx512>]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -99,7 +107,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument {a:?}"));
         }
         let key = a.trim_start_matches("--").to_string();
-        if key == "full" || key == "scaled" || key == "probs" {
+        if key == "full" || key == "scaled" || key == "probs" || key == "prefetch" {
             flags.insert(key, "1".to_string());
             i += 1;
         } else {
@@ -180,7 +188,22 @@ fn apply_graph_store_flag(flags: &HashMap<String, String>) -> Result<(), String>
             other => return Err(format!("bad --graph-store {other:?}: expected mem|mmap")),
         }
     }
+    // `--prefetch`: enable the async shard prefetcher on every mmap store
+    // this command opens, same flag > GSGCN_SHARD_PREFETCH env precedence.
+    if flags.contains_key("prefetch") {
+        std::env::set_var("GSGCN_SHARD_PREFETCH", "1");
+    }
     Ok(())
+}
+
+/// One-line shard-cache report printed by `train`/`eval`/`predict`
+/// whenever the command read through an mmap store — with or without
+/// prefetch (the prefetch counters appear only when requests were
+/// issued).
+fn print_cache_stats(store: &gsgcn::graph::GraphStore) {
+    if let Some(stats) = store.cache_stats() {
+        println!("shard cache: {}", stats.summary());
+    }
 }
 
 /// Report the kernel-measured peak resident set (`VmHWM`) and peak
@@ -277,18 +300,23 @@ fn plural(n: usize) -> &'static str {
 fn cmd_shard(flags: &HashMap<String, String>) -> Result<(), String> {
     let out = flags.get("out").ok_or("missing --out")?;
     let num_shards = get(flags, "num-shards", 0usize)?;
+    let order: gsgcn::graph::StoreOrder = match flags.get("order") {
+        None => gsgcn::graph::StoreOrder::Natural,
+        Some(v) => v.parse().map_err(|e| format!("--order: {e}"))?,
+    };
     let dataset = load_dataset(flags)?;
     let dir = std::path::Path::new(out);
     println!(
-        "sharding {} (|V|={}, |E|={}, f={}, classes={}) into {out}",
+        "sharding {} (|V|={}, |E|={}, f={}, classes={}) into {out}, {} order",
         dataset.name,
         dataset.graph.num_vertices(),
         dataset.graph.num_edges(),
         dataset.feature_dim(),
         dataset.num_classes(),
+        order.name(),
     );
     dataset
-        .spill_to_dir(dir, num_shards)
+        .spill_to_dir_ordered(dir, num_shards, order)
         .map_err(|e| format!("sharding into {out:?}: {e}"))?;
     // Report what landed on disk so operators can sanity-check sizes.
     let mut bytes = 0u64;
@@ -364,8 +392,8 @@ fn train_from_shards(flags: &HashMap<String, String>, dir: &str) -> Result<(), S
         .map_err(|e| format!("opening shard dir {dir:?}: {e}"))?;
     let cfg = build_config(flags)?;
     println!(
-        "training on sharded {} from {dir} (|V|={}, f={}, classes={}, backend {:?}, {} shard{}) \
-         — {} epochs, hidden {:?}",
+        "training on sharded {} from {dir} (|V|={}, f={}, classes={}, backend {:?}, \
+         {} shard{}, {} order, prefetch {}) — {} epochs, hidden {:?}",
         sd.name,
         sd.num_vertices(),
         sd.feature_dim(),
@@ -373,21 +401,19 @@ fn train_from_shards(flags: &HashMap<String, String>, dir: &str) -> Result<(), S
         sd.full.backend(),
         sd.full.num_shards(),
         plural(sd.full.num_shards()),
+        sd.full.order().name(),
+        if sd.train.prefetch_enabled() {
+            "on"
+        } else {
+            "off"
+        },
         cfg.epochs,
         cfg.hidden_dims
     );
     let mut trainer = GsGcnTrainer::from_store(&sd, cfg)?;
     let report = trainer.train()?;
     println!("{}", report.summary());
-    if let Some(stats) = sd.full.cache_stats() {
-        println!(
-            "shard cache: {} hits, {} misses, {} evictions, {} mapped",
-            stats.hits,
-            stats.misses,
-            stats.evictions,
-            gsgcn::metrics::mem::format_bytes(stats.mapped_bytes)
-        );
-    }
+    print_cache_stats(&sd.full);
     if let Some(path) = flags.get("save") {
         let meta = CheckpointMeta {
             dataset: sd.name.to_lowercase(),
@@ -496,15 +522,18 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     // The sharded store and the regenerated dataset are mutually
     // exclusive sources; a StoreDataset needs no provenance (its graph
     // is on disk, not regenerated).
-    let sd;
+    let sd: Option<gsgcn::data::StoreDataset>;
     let dataset;
     let mut trainer = match flags.get("shards") {
         Some(dir) => {
-            sd = gsgcn::data::StoreDataset::open(std::path::Path::new(dir))
-                .map_err(|e| format!("opening shard dir {dir:?}: {e}"))?;
-            GsGcnTrainer::from_store(&sd, cfg)?
+            sd = Some(
+                gsgcn::data::StoreDataset::open(std::path::Path::new(dir))
+                    .map_err(|e| format!("opening shard dir {dir:?}: {e}"))?,
+            );
+            GsGcnTrainer::from_store(sd.as_ref().unwrap(), cfg)?
         }
         None => {
+            sd = None;
             dataset = load_dataset(&flags)?;
             GsGcnTrainer::new(&dataset, cfg)?
         }
@@ -517,6 +546,9 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
         ("test", EvalSplit::Test),
     ] {
         println!("{name:<6} F1-micro {:.4}", trainer.evaluate(split));
+    }
+    if let Some(sd) = &sd {
+        print_cache_stats(&sd.full);
     }
     Ok(())
 }
@@ -557,13 +589,21 @@ fn build_classifier(
         model.import_weights(&weights)?;
         println!(
             "loaded {} parameters from {path} — serving sharded {} from {dir} \
-             (|V|={}, {} classes, backend {:?}, {}-hop queries)",
+             (|V|={}, {} classes, backend {:?}, {}-hop queries, {} order, \
+             shard cache {}, prefetch {})",
             weights.num_params(),
             sd.name,
             sd.num_vertices(),
             sd.num_classes(),
             sd.full.backend(),
             model.num_layers(),
+            sd.full.order().name(),
+            gsgcn::metrics::mem::format_bytes(gsgcn::graph::store::shard_cache_budget_from_env()),
+            if sd.full.prefetch_enabled() {
+                "on"
+            } else {
+                "off"
+            },
         );
         return gsgcn::serve::NodeClassifier::from_store(Arc::new(model), Arc::clone(&sd.full));
     }
@@ -607,6 +647,7 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| format!("--nodes: {e}"))?;
     let classifier = Arc::new(build_classifier(flags)?);
     let want_probs = flags.contains_key("probs");
+    let store = Arc::clone(classifier.store());
     // One-shot batch through the engine — the same path `serve` runs.
     let engine =
         BatchEngine::spawn(classifier, EngineConfig::default()).map_err(|e| e.to_string())?;
@@ -629,6 +670,7 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         println!();
     }
+    print_cache_stats(&store);
     print_peak_rss();
     Ok(())
 }
