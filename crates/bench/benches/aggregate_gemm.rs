@@ -10,17 +10,24 @@
 //! * `fused`   — the aggregation runs as the GEMM's A-panel producer and
 //!   the aggregated matrix never leaves L2.
 //!
+//! A third contender, `fused_bf16`, is the same fused pipeline reading
+//! bf16 storage (features quantised once up front, the way a bf16 shard
+//! store or activation cache hands them over): the aggregation re-reads
+//! each feature row `deg(u)` times at half the bytes, so on the
+//! bandwidth-bound shapes it should clear ≥1.5× over f32 fused.
+//!
 //! Run with `GSGCN_BENCH_JSON=BENCH_fused_layer.json` to archive the
 //! numbers (CI does); records are tagged with the dispatched GEMM
 //! microkernel tier — the fused pipeline rides the same kernel dispatch
-//! as the dense GEMMs.
+//! as the dense GEMMs — and with `precision=` for the storage type the
+//! A-side rows are read in.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gsgcn_data::generators::{community_powerlaw, CommunityGraphSpec};
-use gsgcn_prop::fused::AggregatedRows;
+use gsgcn_prop::fused::{AggregatedRows, AggregatedRowsBf16};
 use gsgcn_prop::kernels;
 use gsgcn_prop::propagator::scale_rows_by_inv_degree;
-use gsgcn_tensor::{gemm, DMatrix};
+use gsgcn_tensor::{bf16, gemm, Bf16MatRef, DMatrix};
 use std::hint::black_box;
 
 /// Per-core fast-memory size handed to Alg. 6 (the paper's 256 KiB L2).
@@ -28,6 +35,15 @@ const CACHE_BYTES: usize = 256 * 1024;
 
 fn bench_aggregate_gemm(c: &mut Criterion) {
     gsgcn_bench::announce_kernel_tier();
+    // Per-record precision tag: the f32 and bf16 contenders run in the
+    // same process, so the storage type is a property of the record, not
+    // of the session.
+    let set_precision_tag = |p: &str| {
+        let mut tags = gsgcn_bench::base_tags();
+        tags.retain(|(k, _)| k != "precision");
+        tags.push(("precision".to_string(), p.to_string()));
+        criterion::set_json_tags(tags);
+    };
     let mut group = c.benchmark_group("aggregate_gemm");
     group.sample_size(15);
     // (n, f, h): subgraph vertices × input width × neighbor-half width.
@@ -51,6 +67,7 @@ fn bench_aggregate_gemm(c: &mut Criterion) {
         ));
 
         let mut c_out = DMatrix::zeros(n, h);
+        set_precision_tag("f32");
         group.bench_with_input(
             BenchmarkId::new("fused", format!("{n}x{f}x{h}")),
             &n,
@@ -68,6 +85,31 @@ fn bench_aggregate_gemm(c: &mut Criterion) {
             },
         );
 
+        // bf16 storage: features quantised once (as a bf16 shard store or
+        // activation cache would hand them over), aggregation widens rows
+        // on load and accumulates in f32.
+        let mut qbits = vec![0u16; n * f];
+        bf16::quantize_slice(hm.data(), bf16::from_bits_slice_mut(&mut qbits));
+        let qh = Bf16MatRef::new(bf16::from_bits_slice(&qbits), n, f);
+        set_precision_tag("bf16");
+        group.bench_with_input(
+            BenchmarkId::new("fused_bf16", format!("{n}x{f}x{h}")),
+            &n,
+            |bch, _| {
+                bch.iter(|| {
+                    gemm::gemm_source_nn_bf16_v(
+                        1.0,
+                        &AggregatedRowsBf16::mean(g, qh),
+                        w.view(),
+                        0.0,
+                        c_out.view_mut(),
+                    );
+                    black_box(c_out.get(0, 0))
+                });
+            },
+        );
+
+        set_precision_tag("f32");
         let mut agg = DMatrix::zeros(n, f);
         group.bench_with_input(
             BenchmarkId::new("unfused", format!("{n}x{f}x{h}")),

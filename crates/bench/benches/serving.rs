@@ -36,8 +36,9 @@
 //! The headline sweep serves a depth-1 model — 1-hop query balls are the
 //! regime where batching wins an order of magnitude — and deeper serving
 //! at full throughput wants cached intermediate activations (ROADMAP
-//! follow-on). Records are tagged `batch=`, `layers=` and the GEMM
-//! kernel tier.
+//! follow-on). Records are tagged `batch=`, `layers=`, the GEMM kernel
+//! tier and the session storage precision (`precision=` — run under
+//! `GSGCN_PRECISION=bf16` for half-width activation storage).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gsgcn_data::presets;
@@ -55,6 +56,15 @@ const GRAPH_VERTICES: usize = 32_768;
 const BATCH_SIZES: [usize; 4] = [1, 16, 64, 256];
 /// Per-request latency samples per batch size.
 const SAMPLES: usize = 40;
+
+/// Replace the record tags with the shared base (kernel tier +
+/// precision) plus bench-specific extras — the shim's `set_json_tags`
+/// replaces wholesale, so every site routes through here.
+fn set_tags(extra: &[(&str, String)]) {
+    let mut tags = gsgcn_bench::base_tags();
+    tags.extend(extra.iter().map(|(k, v)| (k.to_string(), v.clone())));
+    criterion::set_json_tags(tags);
+}
 
 fn serving_classifier(depth: usize) -> Arc<NodeClassifier> {
     let d = presets::scale_spec(&presets::reddit_spec(), GRAPH_VERTICES).generate(3);
@@ -129,7 +139,6 @@ fn measure_batches(
 
 fn bench_batched_vs_full(c: &mut Criterion) {
     gsgcn_bench::announce_kernel_tier();
-    let kernel = gsgcn_tensor::gemm::selected_tier().name();
     let classifier = serving_classifier(1);
     let n = classifier.num_nodes();
 
@@ -137,11 +146,7 @@ fn bench_batched_vs_full(c: &mut Criterion) {
     group.sample_size(10);
 
     // Baseline: the full-graph forward that used to answer every query.
-    criterion::set_json_tags([
-        ("kernel", kernel.to_string()),
-        ("layers", "1".to_string()),
-        ("batch", "full".to_string()),
-    ]);
+    set_tags(&[("layers", "1".to_string()), ("batch", "full".to_string())]);
     let mut full_ws = ClassifyWorkspace::new();
     classifier.full_graph_probs_into(&mut full_ws); // warm-up
     let full_lat: Vec<f64> = (0..3)
@@ -163,11 +168,7 @@ fn bench_batched_vs_full(c: &mut Criterion) {
     // Batch-size sweep on the L-hop (here 1-hop) subgraph path.
     let mut batch64_median = f64::NAN;
     for batch in BATCH_SIZES {
-        criterion::set_json_tags([
-            ("kernel", kernel.to_string()),
-            ("layers", "1".to_string()),
-            ("batch", batch.to_string()),
-        ]);
+        set_tags(&[("layers", "1".to_string()), ("batch", batch.to_string())]);
         let lat = measure_batches(&classifier, batch, |i| window_roots(i, batch, n));
         let mut sorted = lat.clone();
         sorted.sort_by(f64::total_cmp);
@@ -183,8 +184,7 @@ fn bench_batched_vs_full(c: &mut Criterion) {
     }
 
     // Adversarial spread for B = 64.
-    criterion::set_json_tags([
-        ("kernel", kernel.to_string()),
+    set_tags(&[
         ("layers", "1".to_string()),
         ("batch", "64_scattered".to_string()),
     ]);
@@ -209,11 +209,7 @@ fn bench_batched_vs_full(c: &mut Criterion) {
     // covers ~the whole graph; cone pruning keeps the sparse work on
     // the inner cone (see the module docs).
     let deep = serving_classifier(2);
-    criterion::set_json_tags([
-        ("kernel", kernel.to_string()),
-        ("layers", "2".to_string()),
-        ("batch", "64".to_string()),
-    ]);
+    set_tags(&[("layers", "2".to_string()), ("batch", "64".to_string())]);
     let lat = measure_batches(&deep, 64, |i| window_roots(i, 64, n));
     let mut sorted = lat.clone();
     sorted.sort_by(f64::total_cmp);
@@ -223,7 +219,7 @@ fn bench_batched_vs_full(c: &mut Criterion) {
         Some(64.0 / sorted[sorted.len() / 2]),
     );
 
-    criterion::set_json_tags([("kernel", kernel.to_string())]);
+    set_tags(&[]);
     group.finish();
 }
 
@@ -277,7 +273,6 @@ fn sustained_run(
 /// is only meaningful on the multi-core CI runners).
 fn bench_engine_sustained(c: &mut Criterion) {
     let _ = c;
-    let kernel = gsgcn_tensor::gemm::selected_tier().name();
     let classifier = serving_classifier(1);
     let n = classifier.num_nodes();
 
@@ -295,8 +290,7 @@ fn bench_engine_sustained(c: &mut Criterion) {
             )
             .expect("engine"),
         );
-        criterion::set_json_tags([
-            ("kernel", kernel.to_string()),
+        set_tags(&[
             ("layers", "1".to_string()),
             ("batch", SUSTAINED_BATCH.to_string()),
             ("workers", workers.to_string()),
@@ -320,7 +314,7 @@ fn bench_engine_sustained(c: &mut Criterion) {
             if workers == 1 { "" } else { "s" },
         );
     }
-    criterion::set_json_tags([("kernel", kernel.to_string())]);
+    set_tags(&[]);
 }
 
 /// Activation-cache hit-rate sweep at depth 2, batch 64: the same query
@@ -330,10 +324,14 @@ fn bench_engine_sustained(c: &mut Criterion) {
 /// baseline is `serving/batch_64_depth2`.
 fn bench_cache_hit_sweep(c: &mut Criterion) {
     let _ = c;
-    let kernel = gsgcn_tensor::gemm::selected_tier().name();
     let classifier = serving_classifier(2);
     let n = classifier.num_nodes();
-    let cache = Arc::new(ActivationCache::new(512 << 20));
+    // The cache stores rows at the session precision, so a bf16 run
+    // measures the half-width-row hit path end to end.
+    let cache = Arc::new(ActivationCache::with_precision(
+        512 << 20,
+        gsgcn_tensor::precision::current(),
+    ));
     let classifier = Arc::new(
         Arc::try_unwrap(classifier)
             .ok()
@@ -357,8 +355,7 @@ fn bench_cache_hit_sweep(c: &mut Criterion) {
 
     let mut medians = [f64::NAN; 3];
     for (slot, warm_pct) in [(0usize, 0u32), (1, 50), (2, 100)] {
-        criterion::set_json_tags([
-            ("kernel", kernel.to_string()),
+        set_tags(&[
             ("layers", "2".to_string()),
             ("batch", "64".to_string()),
             ("cache", warm_pct.to_string()),
@@ -418,7 +415,7 @@ fn bench_cache_hit_sweep(c: &mut Criterion) {
         "  warm-cache speedup (0% → 100% warm): {:.2}×",
         medians[0] / medians[2],
     );
-    criterion::set_json_tags([("kernel", kernel.to_string())]);
+    set_tags(&[]);
 }
 
 /// Overload behavior under shed admission: measure closed-loop capacity,
@@ -426,7 +423,6 @@ fn bench_cache_hit_sweep(c: &mut Criterion) {
 /// latency distribution (the p99 bound claim) plus the shed fraction.
 fn bench_overload_shed(c: &mut Criterion) {
     let _ = c;
-    let kernel = gsgcn_tensor::gemm::selected_tier().name();
     let classifier = serving_classifier(1);
     let n = classifier.num_nodes();
     let batch = 64usize;
@@ -493,8 +489,7 @@ fn bench_overload_shed(c: &mut Criterion) {
     let (served, shed_async) = waiter.join().expect("waiter");
     let shed_total = shed_sync + shed_async;
 
-    criterion::set_json_tags([
-        ("kernel", kernel.to_string()),
+    set_tags(&[
         ("layers", "1".to_string()),
         ("batch", batch.to_string()),
         ("admission", "shed".to_string()),
@@ -518,7 +513,7 @@ fn bench_overload_shed(c: &mut Criterion) {
         100.0 * shed_total as f64 / offered as f64,
         engine.shed(),
     );
-    criterion::set_json_tags([("kernel", kernel.to_string())]);
+    set_tags(&[]);
 }
 
 /// Front-end comparison over real sockets: 8 closed-loop connections,
@@ -530,7 +525,6 @@ fn bench_frontends(c: &mut Criterion) {
     use std::io::{BufRead, BufReader, Read, Write};
 
     let _ = c;
-    let kernel = gsgcn_tensor::gemm::selected_tier().name();
     let classifier = serving_classifier(1);
     let n = classifier.num_nodes();
     let batch = 64usize;
@@ -622,8 +616,7 @@ fn bench_frontends(c: &mut Criterion) {
             },
         )
         .expect("frontend");
-        criterion::set_json_tags([
-            ("kernel", kernel.to_string()),
+        set_tags(&[
             ("layers", "1".to_string()),
             ("batch", batch.to_string()),
             ("frontend", "event-binary".to_string()),
@@ -640,8 +633,7 @@ fn bench_frontends(c: &mut Criterion) {
         let engine =
             Arc::new(BatchEngine::spawn(Arc::clone(&classifier), engine_cfg).expect("engine"));
         let fe = TcpFrontend::spawn(engine, "127.0.0.1:0", TcpConfig::default()).expect("frontend");
-        criterion::set_json_tags([
-            ("kernel", kernel.to_string()),
+        set_tags(&[
             ("layers", "1".to_string()),
             ("batch", batch.to_string()),
             ("frontend", "threaded-line".to_string()),
@@ -652,7 +644,7 @@ fn bench_frontends(c: &mut Criterion) {
         println!("  threaded/line front-end: {rate:.0} nodes/s over {conns} connections");
         fe.shutdown();
     }
-    criterion::set_json_tags([("kernel", kernel.to_string())]);
+    set_tags(&[]);
 }
 
 criterion_group!(

@@ -20,10 +20,29 @@
 
 use std::time::Instant;
 
+/// The JSON tags every bench record should carry: the dispatched GEMM
+/// microkernel tier and the session storage precision. Benches that set
+/// record-specific tags must extend this base (the shim's
+/// `set_json_tags` replaces tags wholesale) so archived numbers stay
+/// attributable to an ISA and a precision.
+pub fn base_tags() -> Vec<(String, String)> {
+    vec![
+        (
+            "kernel".to_string(),
+            gsgcn_tensor::gemm::selected_tier().name().to_string(),
+        ),
+        (
+            "precision".to_string(),
+            gsgcn_tensor::precision::current().name().to_string(),
+        ),
+    ]
+}
+
 /// Print the dispatched GEMM microkernel tier (once per process) and tag
-/// all subsequent criterion JSON records with it, so every bench artifact
-/// is attributable to an ISA. Call at the top of each criterion bench
-/// group; CI greps the line to attribute archived numbers.
+/// all subsequent criterion JSON records with it plus the storage
+/// precision, so every bench artifact is attributable to an ISA and a
+/// precision. Call at the top of each criterion bench group; CI greps
+/// the line to attribute archived numbers.
 pub fn announce_kernel_tier() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
@@ -33,11 +52,13 @@ pub fn announce_kernel_tier() {
             .map(|t| t.name())
             .collect();
         println!(
-            "GEMM kernel tier: {} (available: {})",
+            "GEMM kernel tier: {} (available: {}), storing {}, bf16 via {}",
             selected.name(),
-            available.join(", ")
+            available.join(", "),
+            gsgcn_tensor::precision::current().name(),
+            gsgcn_tensor::gemm::bf16_engine(selected),
         );
-        criterion::set_json_tags([("kernel", selected.name())]);
+        criterion::set_json_tags(base_tags());
     });
 }
 

@@ -20,9 +20,10 @@
 
 use crate::dataset::{Dataset, Split, TaskKind};
 use gsgcn_graph::store::{
-    default_num_shards, shard_cache_budget_from_env, write_store_ordered, StoreBackend,
+    default_num_shards, shard_cache_budget_from_env, write_store_with_precision, StoreBackend,
 };
 use gsgcn_graph::{GraphStore, StoreOrder, Topology};
+use gsgcn_tensor::Precision;
 use std::io::{self, Write};
 use std::path::Path;
 use std::sync::Arc;
@@ -60,6 +61,20 @@ impl Dataset {
         num_shards: usize,
         order: StoreOrder,
     ) -> io::Result<()> {
+        self.spill_to_dir_with_precision(dir, num_shards, order, Precision::F32)
+    }
+
+    /// Spill with an explicit feature storage precision (`gsgcn shard
+    /// --features bf16`): bf16 halves both stores' feature payload, at
+    /// one bf16 rounding per feature element. Labels stay f32; gathers
+    /// widen rows back to f32 on read.
+    pub fn spill_to_dir_with_precision(
+        &self,
+        dir: &Path,
+        num_shards: usize,
+        order: StoreOrder,
+        feature_precision: Precision,
+    ) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let full_dir = dir.join(FULL_SUBDIR);
         std::fs::create_dir_all(&full_dir)?;
@@ -68,13 +83,14 @@ impl Dataset {
         } else {
             num_shards
         };
-        write_store_ordered(
+        write_store_with_precision(
             &full_dir,
             &self.graph,
             Some(&self.features),
             Some(&self.labels),
             full_shards,
             order,
+            feature_precision,
         )?;
 
         let tv = self.train_view();
@@ -85,13 +101,14 @@ impl Dataset {
         } else {
             num_shards
         };
-        write_store_ordered(
+        write_store_with_precision(
             &train_dir,
             &tv.graph,
             Some(&*tv.features),
             Some(&*tv.labels),
             train_shards,
             order,
+            feature_precision,
         )?;
 
         // Metadata last: its presence certifies both stores are complete.

@@ -621,6 +621,12 @@ impl MmapStore {
         self.core.manifest.feature_dim as usize
     }
 
+    /// Element type of the stored feature rows (f32 unless the store was
+    /// written with `--features bf16`). Gathers always return f32.
+    pub fn feature_precision(&self) -> gsgcn_tensor::Precision {
+        self.core.manifest.feature_precision
+    }
+
     pub fn label_dim(&self) -> usize {
         self.core.manifest.label_dim as usize
     }

@@ -40,7 +40,10 @@ pub use mem::MemStore;
 pub use mmap::{MmapStore, StoreCacheStats};
 pub use order::{order_from_env, StoreOrder};
 pub use prefetch::prefetch_from_env;
-pub use shard::{verify_store, write_store, write_store_ordered, ShardData, StoreManifest};
+pub use shard::{
+    verify_store, write_store, write_store_ordered, write_store_with_precision, ShardData,
+    StoreManifest,
+};
 
 use crate::csr::CsrGraph;
 use gsgcn_tensor::DMatrix;
@@ -646,11 +649,10 @@ fn gather_mmap(m: &MmapStore, nodes: &[u32], out: &mut DMatrix, kind: RowKind) -
             }
         };
         let local = m.local_of(v) as usize;
-        let row = match kind {
-            RowKind::Features => shard.feature_row(local),
-            RowKind::Labels => shard.label_row(local),
-        };
-        out.row_mut(i).copy_from_slice(row);
+        match kind {
+            RowKind::Features => shard.copy_feature_row_into(local, out.row_mut(i)),
+            RowKind::Labels => out.row_mut(i).copy_from_slice(shard.label_row(local)),
+        }
     }
     Ok(())
 }
@@ -705,11 +707,12 @@ fn gather_mmap_grouped(
         for &(_, idx) in &by_shard[range.clone()] {
             let v = nodes[idx as usize];
             let local = m.local_of(v) as usize;
-            let row = match kind {
-                RowKind::Features => shard.feature_row(local),
-                RowKind::Labels => shard.label_row(local),
-            };
-            out.row_mut(idx as usize).copy_from_slice(row);
+            match kind {
+                RowKind::Features => shard.copy_feature_row_into(local, out.row_mut(idx as usize)),
+                RowKind::Labels => out
+                    .row_mut(idx as usize)
+                    .copy_from_slice(shard.label_row(local)),
+            }
         }
     }
     Ok(())
@@ -738,8 +741,7 @@ fn materialize_mmap(m: &MmapStore) -> io::Result<ResidentParts> {
         adj.extend_from_slice(shard.neighbors(local));
         offsets.push(adj.len());
         if let Some(mat) = &mut features {
-            mat.row_mut(v as usize)
-                .copy_from_slice(shard.feature_row(local));
+            shard.copy_feature_row_into(local, mat.row_mut(v as usize));
         }
         if let Some(mat) = &mut labels {
             mat.row_mut(v as usize)
@@ -1094,6 +1096,131 @@ mod tests {
         assert_eq!(store.to_external(13), 13);
         std::fs::remove_dir_all(&d1).unwrap();
         std::fs::remove_dir_all(&d2).unwrap();
+    }
+
+    #[test]
+    fn f32_precision_writer_is_byte_identical_to_legacy() {
+        use gsgcn_tensor::Precision;
+        let g = two_communities();
+        let f = DMatrix::from_fn(g.num_vertices(), 3, |i, j| (i + j) as f32 * 0.37);
+        let d1 = fresh_temp_dir().unwrap();
+        let d2 = fresh_temp_dir().unwrap();
+        write_store(&d1, &g, Some(&f), None, 3).unwrap();
+        shard::write_store_with_precision(
+            &d2,
+            &g,
+            Some(&f),
+            None,
+            3,
+            StoreOrder::Natural,
+            Precision::F32,
+        )
+        .unwrap();
+        let mut names = vec![
+            shard::MANIFEST_FILE.to_string(),
+            shard::INDEX_FILE.to_string(),
+        ];
+        names.extend((0..3).map(shard::shard_file_name));
+        for name in names {
+            assert_eq!(
+                std::fs::read(d1.join(&name)).unwrap(),
+                std::fs::read(d2.join(&name)).unwrap(),
+                "{name} differs between legacy and f32-precision writers"
+            );
+        }
+        std::fs::remove_dir_all(&d1).unwrap();
+        std::fs::remove_dir_all(&d2).unwrap();
+    }
+
+    #[test]
+    fn bf16_store_roundtrips_quantized_features() {
+        use gsgcn_tensor::{Bf16, Precision};
+        let g = two_communities();
+        let n = g.num_vertices();
+        // Values that do NOT round-trip bf16 exactly, so a silent f32
+        // fallback would fail the equality below.
+        let f = DMatrix::from_fn(n, 5, |i, j| (i * 7 + j) as f32 * 0.123 + 0.001);
+        let l = DMatrix::from_fn(n, 2, |i, j| (i + j) as f32 * 0.456);
+        let dir = fresh_temp_dir().unwrap();
+        let manifest = shard::write_store_with_precision(
+            &dir,
+            &g,
+            Some(&f),
+            Some(&l),
+            3,
+            StoreOrder::Natural,
+            Precision::Bf16,
+        )
+        .unwrap();
+        assert_eq!(manifest.feature_precision, Precision::Bf16);
+        // The manifest round-trips the precision through its GSFP section.
+        assert_eq!(
+            StoreManifest::load(&dir).unwrap().feature_precision,
+            Precision::Bf16
+        );
+        assert!(verify_store(&dir).unwrap().is_empty());
+
+        let store = GraphStore::open_with_budget(&dir, 1 << 20).unwrap();
+        if let GraphStore::Mmap(m) = &store {
+            assert_eq!(m.feature_precision(), Precision::Bf16);
+        } else {
+            panic!("expected mmap store");
+        }
+        // Gathers widen each element to exactly its bf16 rounding; labels
+        // stay exact f32.
+        let nodes: Vec<u32> = (0..n as u32).rev().collect();
+        let mut feat = DMatrix::zeros(0, 0);
+        let mut lab = DMatrix::zeros(0, 0);
+        store.gather_features_into(&nodes, &mut feat).unwrap();
+        store.gather_labels_into(&nodes, &mut lab).unwrap();
+        for (i, &v) in nodes.iter().enumerate() {
+            for j in 0..5 {
+                let want = Bf16::from_f32(f.get(v as usize, j)).to_f32();
+                assert_eq!(feat.get(i, j), want, "feature ({v},{j})");
+            }
+            for j in 0..2 {
+                assert_eq!(lab.get(i, j), l.get(v as usize, j), "label ({v},{j})");
+            }
+        }
+        // Materialize widens through the same path.
+        let (back, feats, _) = store.materialize().unwrap();
+        assert_eq!(*back, g);
+        let feats = feats.unwrap();
+        assert_eq!(feats.get(9, 3), Bf16::from_f32(f.get(9, 3)).to_f32());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bf16_store_halves_feature_bytes() {
+        use gsgcn_tensor::Precision;
+        let g = two_communities();
+        let n = g.num_vertices();
+        let f_dim = 64;
+        let f = DMatrix::from_fn(n, f_dim, |i, j| (i * f_dim + j) as f32 * 0.01);
+        let d32 = fresh_temp_dir().unwrap();
+        let d16 = fresh_temp_dir().unwrap();
+        let m32 = write_store(&d32, &g, Some(&f), None, 3).unwrap();
+        let m16 = shard::write_store_with_precision(
+            &d16,
+            &g,
+            Some(&f),
+            None,
+            3,
+            StoreOrder::Natural,
+            Precision::Bf16,
+        )
+        .unwrap();
+        let total = |m: &StoreManifest| m.shards.iter().map(|s| s.file_len).sum::<u64>();
+        // Per shard the feature section shrinks from 4·k·f to 2·k·f bytes,
+        // give or take ≤8 bytes of section alignment.
+        let saved = total(&m32) - total(&m16);
+        let expect = 2 * (n * f_dim) as u64;
+        assert!(
+            saved + 8 * m32.num_shards() as u64 >= expect && saved <= expect,
+            "bf16 saved {saved} bytes, expected ~{expect}"
+        );
+        std::fs::remove_dir_all(&d32).unwrap();
+        std::fs::remove_dir_all(&d16).unwrap();
     }
 
     #[test]

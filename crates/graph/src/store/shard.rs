@@ -19,13 +19,24 @@
 //! partition part:
 //!
 //! ```text
-//! header   magic, version, shard id, k, e, feature_dim, label_dim
+//! header   magic, version, shard id, feat-precision, k, e, feature_dim, label_dim
 //! members  [u32; k]       global vertex ids
 //! offsets  [u64; k+1]     shard-local CSR offsets
 //! adj      [u32; e]       neighbor lists — GLOBAL ids (edges may cross shards)
-//! features [f32; k·f]     row-major, aligned with `members`
+//! features [f32|bf16; k·f] row-major, aligned with `members`
 //! labels   [f32; k·l]     row-major, aligned with `members`
 //! ```
+//!
+//! # Feature precision
+//!
+//! Feature rows are stored as f32 (the historical layout) or bf16
+//! ([`write_store_with_precision`]), halving the feature payload. The
+//! element type lives in the shard header's precision slot — the u32 at
+//! offset 12 that was always-zero padding before, so pre-precision shards
+//! decode as f32 — and, for non-f32 stores, in a trailing manifest
+//! section ([`FEATPREC_MAGIC`]). Readers widen rows back to f32 on copy
+//! ([`ShardData::copy_feature_row_into`]); labels are always f32. f32
+//! stores remain byte-identical to pre-precision stores.
 //!
 //! # Placement orders and the manifest ordering section
 //!
@@ -79,7 +90,7 @@ use super::order::{order_rank, partition_by_rank, StoreOrder};
 use crate::csr::CsrGraph;
 use crate::partition::VertexPartition;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use gsgcn_tensor::DMatrix;
+use gsgcn_tensor::{bf16, DMatrix, Precision};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
@@ -87,6 +98,11 @@ use std::path::{Path, PathBuf};
 pub const MANIFEST_MAGIC: u32 = 0x4753_5452;
 /// Magic of the optional manifest ordering section: `GSOR`.
 pub const ORDER_MAGIC: u32 = 0x4753_4F52;
+/// Magic of the optional manifest feature-precision section: `GSFP`.
+/// Written only for non-f32 stores (same trailing-section gating as
+/// [`ORDER_MAGIC`]: f32 stores stay byte-identical to pre-precision ones,
+/// and its absence means f32).
+pub const FEATPREC_MAGIC: u32 = 0x4753_4650;
 /// Shard-file magic: `GSHD`.
 pub const SHARD_MAGIC: u32 = 0x4753_4844;
 /// Index-file magic: `GSIX`.
@@ -150,6 +166,11 @@ fn f32s_as_bytes(v: &[f32]) -> &[u8] {
     unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
 }
 
+fn u16s_as_bytes(v: &[u16]) -> &[u8] {
+    // Safety: as above.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+}
+
 fn endian_guard() -> io::Result<()> {
     if cfg!(target_endian = "big") {
         return Err(io::Error::new(
@@ -194,6 +215,29 @@ pub struct StoreManifest {
     /// [`StoreOrder::Natural`] (identity). This is the old↔new mapping:
     /// internal id of `v` is `rank[v]`.
     pub rank: Vec<u32>,
+    /// Element type of the stored feature rows. [`Precision::F32`] writes
+    /// no manifest section (byte-identical to pre-precision stores);
+    /// [`Precision::Bf16`] halves the feature payload and adds the
+    /// trailing [`FEATPREC_MAGIC`] section. Labels are always f32.
+    pub feature_precision: Precision,
+}
+
+/// On-disk code for a feature precision (shard header + manifest section).
+/// 0 is f32 so pre-precision shard headers (which wrote 0 padding in the
+/// slot) read back correctly.
+pub(crate) fn precision_code(p: Precision) -> u32 {
+    match p {
+        Precision::F32 => 0,
+        Precision::Bf16 => 1,
+    }
+}
+
+pub(crate) fn precision_from_code(code: u32) -> Option<Precision> {
+    match code {
+        0 => Some(Precision::F32),
+        1 => Some(Precision::Bf16),
+        _ => None,
+    }
 }
 
 impl StoreManifest {
@@ -243,6 +287,12 @@ impl StoreManifest {
             for &r in &self.rank {
                 buf.put_u32_le(r);
             }
+        }
+        // Optional trailing feature-precision section, gated the same way:
+        // absent means f32, so f32 manifests keep their historical bytes.
+        if self.feature_precision != Precision::F32 {
+            buf.put_u32_le(FEATPREC_MAGIC);
+            buf.put_u32_le(precision_code(self.feature_precision));
         }
         buf.freeze()
     }
@@ -313,6 +363,19 @@ impl StoreManifest {
         } else {
             (StoreOrder::Natural, Vec::new())
         };
+        // Optional feature-precision section (absent = f32).
+        let feature_precision =
+            if data.remaining() >= 8 && data.clone().get_u32_le() == FEATPREC_MAGIC {
+                let _magic = data.get_u32_le();
+                let code = data.get_u32_le();
+                precision_from_code(code).ok_or_else(|| {
+                    bad(format!(
+                        "manifest feature-precision section: unknown precision code {code}"
+                    ))
+                })?
+            } else {
+                Precision::F32
+            };
         Ok(StoreManifest {
             n,
             num_edges,
@@ -321,6 +384,7 @@ impl StoreManifest {
             shards,
             order,
             rank,
+            feature_precision,
         })
     }
 
@@ -362,11 +426,18 @@ pub struct ShardLayout {
 
 impl ShardLayout {
     pub fn new(k: usize, e: usize, f: usize, l: usize) -> Self {
+        Self::with_precision(k, e, f, l, Precision::F32)
+    }
+
+    /// Layout for a shard whose feature rows are stored at `fp` element
+    /// width (f32 = 4 bytes, bf16 = 2). Labels are always f32; sections
+    /// stay 8-byte aligned either way.
+    pub fn with_precision(k: usize, e: usize, f: usize, l: usize, fp: Precision) -> Self {
         let members_off = SHARD_HEADER_LEN;
         let offsets_off = align8(members_off + 4 * k);
         let adj_off = offsets_off + 8 * (k + 1);
         let feat_off = align8(adj_off + 4 * e);
-        let label_off = align8(feat_off + 4 * k * f);
+        let label_off = align8(feat_off + feature_elem_size(fp) * k * f);
         let file_len = label_off + 4 * k * l;
         ShardLayout {
             members_off,
@@ -376,6 +447,14 @@ impl ShardLayout {
             label_off,
             file_len,
         }
+    }
+}
+
+/// Bytes per stored feature element at precision `p`.
+pub(crate) const fn feature_elem_size(p: Precision) -> usize {
+    match p {
+        Precision::F32 => 4,
+        Precision::Bf16 => 2,
     }
 }
 
@@ -468,6 +547,33 @@ pub fn write_store_ordered(
     num_shards: usize,
     order: StoreOrder,
 ) -> io::Result<StoreManifest> {
+    write_store_with_precision(
+        dir,
+        graph,
+        features,
+        labels,
+        num_shards,
+        order,
+        Precision::F32,
+    )
+}
+
+/// As [`write_store_ordered`] with an explicit feature storage precision.
+/// [`Precision::F32`] stores features verbatim (byte-identical to
+/// [`write_store_ordered`]); [`Precision::Bf16`] rounds each feature
+/// element to bf16 (round-to-nearest-even), halving the feature payload of
+/// every shard. Labels are always stored as f32. Readers widen bf16 rows
+/// back to f32 on gather, so downstream code sees f32 either way — rows
+/// just carry bf16 rounding.
+pub fn write_store_with_precision(
+    dir: &Path,
+    graph: &CsrGraph,
+    features: Option<&DMatrix>,
+    labels: Option<&DMatrix>,
+    num_shards: usize,
+    order: StoreOrder,
+    feature_precision: Precision,
+) -> io::Result<StoreManifest> {
     endian_guard()?;
     let n = graph.num_vertices();
     if let Some(f) = features {
@@ -491,7 +597,15 @@ pub fn write_store_ordered(
     match order_rank(graph, order) {
         None => {
             let partition = crate::partition::bfs_partition(graph, p);
-            write_partitioned_ordered(dir, graph, features, labels, &partition, None)
+            write_partitioned_ordered(
+                dir,
+                graph,
+                features,
+                labels,
+                &partition,
+                None,
+                feature_precision,
+            )
         }
         Some(rank) => {
             let partition = partition_by_rank(&rank, p);
@@ -502,6 +616,7 @@ pub fn write_store_ordered(
                 labels,
                 &partition,
                 Some((order, rank)),
+                feature_precision,
             )
         }
     }
@@ -516,7 +631,15 @@ pub fn write_partitioned(
     labels: Option<&DMatrix>,
     partition: &VertexPartition,
 ) -> io::Result<StoreManifest> {
-    write_partitioned_ordered(dir, graph, features, labels, partition, None)
+    write_partitioned_ordered(
+        dir,
+        graph,
+        features,
+        labels,
+        partition,
+        None,
+        Precision::F32,
+    )
 }
 
 /// The writer core: partition + optional `(order, rank)` placement
@@ -530,8 +653,16 @@ fn write_partitioned_ordered(
     labels: Option<&DMatrix>,
     partition: &VertexPartition,
     ordering: Option<(StoreOrder, Vec<u32>)>,
+    feature_precision: Precision,
 ) -> io::Result<StoreManifest> {
     endian_guard()?;
+    // With no feature rows the precision is vacuous; normalise to f32 so
+    // the store stays byte-identical to historical feature-less stores.
+    let feature_precision = if features.is_none() {
+        Precision::F32
+    } else {
+        feature_precision
+    };
     let n = graph.num_vertices();
     if partition.part.len() != n {
         return Err(bad("partition does not cover the graph's vertex set"));
@@ -570,10 +701,11 @@ fn write_partitioned_ordered(
     }
 
     let mut shards = Vec::with_capacity(p);
+    let mut qrow: Vec<bf16::Bf16> = vec![bf16::Bf16::ZERO; f];
     for (sid, members) in members_of.iter().enumerate() {
         let k = members.len();
         let e: usize = members.iter().map(|&v| graph.degree(v)).sum();
-        let layout = ShardLayout::new(k, e, f, l);
+        let layout = ShardLayout::with_precision(k, e, f, l, feature_precision);
         let path = dir.join(shard_file_name(sid));
         let tmp = tmp_sibling(&path);
         let mut w = CheckedWriter::create(&tmp)?;
@@ -581,7 +713,9 @@ fn write_partitioned_ordered(
         header.extend_from_slice(&SHARD_MAGIC.to_le_bytes());
         header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         header.extend_from_slice(&(sid as u32).to_le_bytes());
-        header.extend_from_slice(&0u32.to_le_bytes()); // padding
+        // Historically padding (always 0); now the feature-precision code.
+        // F32 writes 0, so f32 shards keep their pre-precision bytes.
+        header.extend_from_slice(&precision_code(feature_precision).to_le_bytes());
         header.extend_from_slice(&(k as u64).to_le_bytes());
         header.extend_from_slice(&(e as u64).to_le_bytes());
         header.extend_from_slice(&(f as u32).to_le_bytes());
@@ -602,8 +736,18 @@ fn write_partitioned_ordered(
         }
         w.pad_to(layout.feat_off)?;
         if let Some(m) = features {
-            for &v in members {
-                w.put(f32s_as_bytes(m.row(v as usize)))?;
+            match feature_precision {
+                Precision::F32 => {
+                    for &v in members {
+                        w.put(f32s_as_bytes(m.row(v as usize)))?;
+                    }
+                }
+                Precision::Bf16 => {
+                    for &v in members {
+                        bf16::quantize_slice(m.row(v as usize), &mut qrow);
+                        w.put(u16s_as_bytes(bf16::to_bits_slice(&qrow)))?;
+                    }
+                }
             }
         }
         w.pad_to(layout.label_off)?;
@@ -642,6 +786,7 @@ fn write_partitioned_ordered(
         shards,
         order,
         rank,
+        feature_precision,
     };
     manifest.save(dir)?;
     Ok(manifest)
@@ -688,6 +833,7 @@ pub struct ShardData {
     e: usize,
     f: usize,
     l: usize,
+    fp: Precision,
     layout: ShardLayout,
 }
 
@@ -733,12 +879,19 @@ impl ShardData {
         if id != shard_id {
             return Err(ctx(format!("header says shard {id}, expected {shard_id}")));
         }
-        let _pad = header.get_u32_le();
+        // The one-time padding slot now carries the feature-precision
+        // code; pre-precision shards wrote 0 there, which decodes to f32.
+        let prec_code = header.get_u32_le();
+        let fp = precision_from_code(prec_code).ok_or_else(|| {
+            ctx(format!(
+                "unknown feature-precision code {prec_code} (written by a newer build?)"
+            ))
+        })?;
         let k = header.get_u64_le() as usize;
         let e = header.get_u64_le() as usize;
         let f = header.get_u32_le() as usize;
         let l = header.get_u32_le() as usize;
-        let layout = ShardLayout::new(k, e, f, l);
+        let layout = ShardLayout::with_precision(k, e, f, l, fp);
         if layout.file_len != file_len {
             return Err(ctx(format!(
                 "header implies {} bytes but the file has {file_len} \
@@ -760,6 +913,7 @@ impl ShardData {
             e,
             f,
             l,
+            fp,
             layout,
         })
     }
@@ -784,6 +938,13 @@ impl ShardData {
         // Safety: range-checked above, 4-aligned; any bit pattern is a
         // valid f32.
         unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const f32, count) }
+    }
+
+    fn view_u16(&self, off: usize, count: usize) -> &[u16] {
+        let bytes = &self.map.bytes()[off..off + 2 * count];
+        debug_assert_eq!(bytes.as_ptr() as usize % 2, 0);
+        // Safety: range-checked above, 2-aligned by the section layout.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u16, count) }
     }
 
     /// Member vertex count `k`.
@@ -852,10 +1013,39 @@ impl ShardData {
         self.l
     }
 
-    /// Feature row of member `local`.
+    /// Element type of the stored feature rows (from the shard header,
+    /// so a shard is self-describing even without its manifest).
+    pub fn feature_precision(&self) -> Precision {
+        self.fp
+    }
+
+    /// Feature row of member `local` as a borrowed `&[f32]` slice.
+    /// Only valid for f32 shards — bf16 rows have no f32 representation
+    /// in the mapping; use [`Self::copy_feature_row_into`] instead.
     pub fn feature_row(&self, local: usize) -> &[f32] {
+        assert_eq!(
+            self.fp,
+            Precision::F32,
+            "feature_row: shard stores bf16 features; use copy_feature_row_into"
+        );
         debug_assert!(local < self.k);
         self.view_f32(self.layout.feat_off + 4 * local * self.f, self.f)
+    }
+
+    /// Copy member `local`'s feature row into `out` as f32, widening from
+    /// the stored precision (memcpy for f32 shards, exact bf16→f32 widen
+    /// for bf16 shards — widening never rounds).
+    pub fn copy_feature_row_into(&self, local: usize, out: &mut [f32]) {
+        debug_assert!(local < self.k);
+        assert_eq!(out.len(), self.f, "feature row destination length mismatch");
+        match self.fp {
+            Precision::F32 => out
+                .copy_from_slice(self.view_f32(self.layout.feat_off + 4 * local * self.f, self.f)),
+            Precision::Bf16 => {
+                let bits = self.view_u16(self.layout.feat_off + 2 * local * self.f, self.f);
+                bf16::widen_slice(bf16::from_bits_slice(bits), out);
+            }
+        }
     }
 
     /// Label row of member `local`.

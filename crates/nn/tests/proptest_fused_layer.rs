@@ -8,7 +8,7 @@ use gsgcn_graph::{CsrGraph, GraphBuilder};
 use gsgcn_nn::gcn_layer::GcnLayer;
 use gsgcn_nn::model::{GcnConfig, GcnModel, LossKind};
 use gsgcn_prop::propagator::FeaturePropagator;
-use gsgcn_tensor::DMatrix;
+use gsgcn_tensor::{precision, DMatrix, Precision};
 use proptest::prelude::*;
 
 const N_DIMS: [usize; 6] = [2, 7, 9, 33, 65, 80];
@@ -68,12 +68,18 @@ proptest! {
         let d_out = mat(n, 2 * half, seed ^ 0xB);
         let prop = FeaturePropagator::default();
 
+        // Pinned to f32 storage: the unfused reference has no bf16 path,
+        // so this equivalence is exact only at full precision. (The
+        // override wraps the forward call inside the pool, where the
+        // precision is read.)
         let run = |fused: bool, threads: usize| {
             let mut layer = GcnLayer::new(f_in, half, true, seed ^ 0xC).with_fused(fused);
             in_pool(threads, || {
-                let (out, _) = layer.forward(&g, &h, &prop);
-                let (d_in, grads, _) = layer.backward(&g, &d_out, &prop);
-                (out, d_in, grads.d_w_neigh.clone(), grads.d_w_self.clone())
+                precision::with_precision(Precision::F32, || {
+                    let (out, _) = layer.forward(&g, &h, &prop);
+                    let (d_in, grads, _) = layer.backward(&g, &d_out, &prop);
+                    (out, d_in, grads.d_w_neigh.clone(), grads.d_w_self.clone())
+                })
             })
         };
         let (of, df, wnf, wsf) = run(true, THREADS[ti]);
@@ -109,14 +115,67 @@ proptest! {
                 ..GcnConfig::default()
             };
             let mut m = GcnModel::new(cfg, seed ^ 0xE);
+            // Pinned to f32 storage — same rationale as the layer test.
             in_pool(THREADS[ti], || {
-                (0..4).map(|_| m.train_step(&g, &x, &y).loss).collect::<Vec<f32>>()
+                precision::with_precision(Precision::F32, || {
+                    (0..4).map(|_| m.train_step(&g, &x, &y).loss).collect::<Vec<f32>>()
+                })
             })
         };
         let lf = run(true);
         let lu = run(false);
         for (a, b) in lf.iter().zip(&lu) {
             prop_assert!((a - b).abs() < 1e-4, "loss trajectory diverged: {lf:?} vs {lu:?}");
+        }
+    }
+
+    /// Mixed-precision trajectory band: a model trained with bf16
+    /// activation storage must track the f32 trajectory within the
+    /// composed tolerance model (`precision::rel_tolerance` at the
+    /// model's depth), across kernel tiers and 1/2/4 threads. Weight
+    /// updates compound the storage rounding, so the band widens per
+    /// step — but it must stay far inside the <0.5% F1 budget.
+    #[test]
+    fn bf16_model_trajectory_within_band(
+        ni in 0..N_DIMS.len(), ti in 0..THREADS.len(), seed in any::<u64>(),
+    ) {
+        use gsgcn_tensor::gemm;
+        let n = N_DIMS[ni].max(4);
+        let g = rand_graph(n, 3 * n, seed);
+        let x = mat(n, 6, seed ^ 0xD);
+        let y = DMatrix::from_fn(n, 3, |i, j| ((i + j + seed as usize) % 2) as f32);
+        let run = |p: Precision, tier: gemm::Tier| {
+            let cfg = GcnConfig {
+                in_dim: 6,
+                hidden_dims: vec![8, 8],
+                num_classes: 3,
+                loss: LossKind::SigmoidBce,
+                ..GcnConfig::default()
+            };
+            let mut m = GcnModel::new(cfg, seed ^ 0x10);
+            in_pool(THREADS[ti], || {
+                gemm::with_tier(tier, || {
+                    precision::with_precision(p, || {
+                        (0..4).map(|_| m.train_step(&g, &x, &y).loss).collect::<Vec<f32>>()
+                    })
+                })
+            })
+        };
+        let reference = run(Precision::F32, gemm::Tier::Scalar);
+        // Depth 3 (two hidden layers + classifier), fan-in = widest input.
+        let tol = precision::rel_tolerance(Precision::Bf16, 3, 8);
+        for tier in gemm::available_tiers() {
+            let losses = run(Precision::Bf16, tier);
+            for (step, (a, b)) in losses.iter().zip(&reference).enumerate() {
+                // The rounding compounds through the optimiser: widen the
+                // band per completed update.
+                let band = tol * (step + 1) as f32 * (1.0 + b.abs());
+                prop_assert!(
+                    (a - b).abs() <= band,
+                    "tier {} step {step}: bf16 loss {a} vs f32 {b} outside {band}",
+                    tier.name()
+                );
+            }
         }
     }
 

@@ -16,8 +16,8 @@
 //! second aggregation pass.
 
 use gsgcn_graph::CsrGraph;
-use gsgcn_tensor::gemm::{PackSource, MR};
-use gsgcn_tensor::{scratch, DMatrix, MatRef};
+use gsgcn_tensor::gemm::{PackSource, PackSourceBf16, MR};
+use gsgcn_tensor::{scratch, Bf16, Bf16MatRef, DMatrix, MatRef};
 
 /// Raw spill target; tasks write disjoint row ranges (see SAFETY notes).
 struct Spill {
@@ -187,6 +187,138 @@ impl PackSource for AggregatedRows<'_> {
     }
 }
 
+/// The bf16-storage twin of [`AggregatedRows`] for the forward pass:
+/// `H` is stored bf16 (quantised activations or shard feature rows); the
+/// neighbor sum still accumulates in a **f32** scratch row (each gathered
+/// element widens exactly, so the aggregation itself adds no rounding
+/// beyond f32), and the result is rounded **once** on the scatter into
+/// the bf16 panel — α and the mean's `1/deg` are folded in before that
+/// single quantisation, per the [`PackSourceBf16`] contract.
+///
+/// Forward-only: no spill, no adjoint — the backward pass stays on the
+/// f32 master path.
+pub struct AggregatedRowsBf16<'a> {
+    g: &'a CsrGraph,
+    h: Bf16MatRef<'a>,
+    mean: bool,
+}
+
+impl<'a> AggregatedRowsBf16<'a> {
+    /// Mean-aggregated rows over bf16 storage: `A = Â·H`.
+    pub fn mean(g: &'a CsrGraph, h: Bf16MatRef<'a>) -> Self {
+        assert_eq!(
+            h.rows(),
+            g.num_vertices(),
+            "feature rows must match vertex count"
+        );
+        AggregatedRowsBf16 { g, h, mean: true }
+    }
+
+    /// Unnormalised neighbor sums over bf16 storage: `A = A_adj·H`.
+    pub fn sum(g: &'a CsrGraph, h: Bf16MatRef<'a>) -> Self {
+        assert_eq!(
+            h.rows(),
+            g.num_vertices(),
+            "feature rows must match vertex count"
+        );
+        AggregatedRowsBf16 { g, h, mean: false }
+    }
+}
+
+impl PackSourceBf16 for AggregatedRowsBf16<'_> {
+    fn shape(&self) -> (usize, usize) {
+        (self.g.num_vertices(), self.h.cols())
+    }
+
+    fn pack_a_bf16(
+        &self,
+        alpha: f32,
+        ic: usize,
+        mc: usize,
+        pc: usize,
+        kc: usize,
+        out: &mut [Bf16],
+    ) {
+        let panels = mc.div_ceil(MR);
+        debug_assert_eq!(out.len(), panels * kc * MR);
+        scratch::with_buf(kc, |acc| {
+            for (p, panel) in out.chunks_exact_mut(kc * MR).enumerate() {
+                let r0 = p * MR;
+                let rows_here = MR.min(mc - r0);
+                for r in 0..rows_here {
+                    let v = ic + r0 + r;
+                    acc.fill(0.0);
+                    for &u in self.g.neighbors(v as u32) {
+                        let src = &self.h.row(u as usize)[pc..pc + kc];
+                        for (a, &s) in acc.iter_mut().zip(src) {
+                            *a += s.to_f32();
+                        }
+                    }
+                    let deg = self.g.degree(v as u32);
+                    let inv = if self.mean && deg > 0 {
+                        1.0 / deg as f32
+                    } else {
+                        1.0
+                    };
+                    let scale = alpha * inv;
+                    for (kk, &a) in acc.iter().enumerate() {
+                        panel[kk * MR + r] = Bf16::from_f32(a * scale);
+                    }
+                }
+                if rows_here < MR {
+                    for kk in 0..kc {
+                        panel[kk * MR + rows_here..(kk + 1) * MR].fill(Bf16::ZERO);
+                    }
+                }
+            }
+        });
+    }
+
+    fn pack_a_bf16_rowmajor(
+        &self,
+        alpha: f32,
+        ic: usize,
+        mc: usize,
+        pc: usize,
+        kc: usize,
+        kc_pad: usize,
+        out: &mut [Bf16],
+    ) {
+        // The accumulator row is already contiguous — quantise it straight
+        // into the row-major block the AMX tile driver strides over,
+        // skipping the MR scatter + de-interleave of the default path.
+        // Same operation order as `pack_a_bf16` (f32 sum, one 1/deg·α
+        // fold, single rounding), so the two layouts hold identical bits.
+        scratch::with_buf(kc, |acc| {
+            for (r, dst) in out.chunks_exact_mut(kc_pad).enumerate() {
+                if r >= mc {
+                    dst.fill(Bf16::ZERO);
+                    continue;
+                }
+                let v = ic + r;
+                acc.fill(0.0);
+                for &u in self.g.neighbors(v as u32) {
+                    let src = &self.h.row(u as usize)[pc..pc + kc];
+                    for (a, &s) in acc.iter_mut().zip(src) {
+                        *a += s.to_f32();
+                    }
+                }
+                let deg = self.g.degree(v as u32);
+                let inv = if self.mean && deg > 0 {
+                    1.0 / deg as f32
+                } else {
+                    1.0
+                };
+                let scale = alpha * inv;
+                for (d, &a) in dst[..kc].iter_mut().zip(acc.iter()) {
+                    *d = Bf16::from_f32(a * scale);
+                }
+                dst[kc..].fill(Bf16::ZERO);
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +389,38 @@ mod tests {
         let mut r = DMatrix::filled(n, f, 0.25);
         gemm::gemm_nt(1.0, &agg, &w, 1.0, &mut r);
         assert!(c.max_abs_diff(&r) < 1e-4);
+    }
+
+    #[test]
+    fn fused_bf16_nn_within_tolerance_of_f32() {
+        use gsgcn_tensor::precision::{rel_tolerance, Precision};
+        for &(n, f, h) in &[(33usize, 9usize, 7usize), (70, 40, 17)] {
+            let g = rand_graph(n, 2 * n, n as u64);
+            let hm = features(n, f);
+            let w = features(f, h);
+            let q: Vec<Bf16> = hm.data().iter().map(|&x| Bf16::from_f32(x)).collect();
+            let mut c = DMatrix::filled(n, h, f32::NAN);
+            gemm::gemm_source_nn_bf16_v(
+                1.0,
+                &AggregatedRowsBf16::mean(&g, Bf16MatRef::new(&q, n, f)),
+                w.view(),
+                0.0,
+                c.view_mut(),
+            );
+            // f32 reference on the unquantised operands: the bf16 result
+            // must stay inside the depth-1 tolerance band.
+            let mut agg = kernels::aggregate_reference(&g, &hm);
+            scale_rows_by_inv_degree(&g, &mut agg);
+            let r = gemm::matmul(&agg, &w);
+            let tol = rel_tolerance(Precision::Bf16, 1, f);
+            let scale = r.data().iter().fold(0f32, |s, &x| s.max(x.abs()));
+            for (cv, rv) in c.data().iter().zip(r.data()) {
+                assert!(
+                    (cv - rv).abs() <= tol * scale,
+                    "n={n} f={f} h={h}: bf16 {cv} vs f32 {rv}"
+                );
+            }
+        }
     }
 
     #[test]

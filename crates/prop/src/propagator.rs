@@ -8,7 +8,7 @@
 //! is implemented by pre-scaling `dY` rows by `1/deg` and running the same
 //! aggregation kernel — one kernel, both directions.
 
-use crate::fused::AggregatedRows;
+use crate::fused::{AggregatedRows, AggregatedRowsBf16};
 use crate::kernels;
 use gsgcn_graph::partition::{range_partition, VertexPartition};
 use gsgcn_graph::CsrGraph;
@@ -167,6 +167,22 @@ impl FeaturePropagator {
         c: MatMut<'_>,
     ) {
         gemm::gemm_source_nn_v(1.0, &AggregatedRows::mean(g, h.view()), w, beta, c);
+    }
+
+    /// [`Self::forward_gemm_into`] over **bf16-stored** activations:
+    /// `C = β·C + (Â·H)·W` where `H` is quantised storage, aggregation
+    /// accumulates f32, and panels carry bf16 (see
+    /// [`crate::fused::AggregatedRowsBf16`]). Forward/serving only — the
+    /// backward pass always runs the f32 master path.
+    pub fn forward_gemm_bf16_into(
+        &self,
+        g: &CsrGraph,
+        h: gsgcn_tensor::Bf16MatRef<'_>,
+        w: MatRef<'_>,
+        beta: f32,
+        c: MatMut<'_>,
+    ) {
+        gemm::gemm_source_nn_bf16_v(1.0, &AggregatedRowsBf16::mean(g, h), w, beta, c);
     }
 
     /// Fused backward: `d_in += (Âᵀ·dY)·Wᵀ`, with the intermediate

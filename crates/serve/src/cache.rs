@@ -27,8 +27,21 @@
 //! `GSGCN_ACTIVATION_CACHE` variable (`"64MiB"`, `"0"` to disable)
 //! supplies a default, and the `gsgcn serve --cache-bytes` flag
 //! overrides it (see the CLI).
+//!
+//! # Row storage precision
+//!
+//! Rows are stored f32 by default, or bf16 when the cache is built with
+//! [`ActivationCache::with_precision`] — halving bytes-per-row, so the
+//! same budget keeps twice the working set resident. bf16 rows are
+//! widened back to f32 on gather (widening is exact); the rounding
+//! happens once, at insert, and is covered by the serving tolerance
+//! band (`gsgcn_tensor::precision::rel_tolerance`) since the final
+//! fused layer re-accumulates in f32 either way. The precision is fixed
+//! at construction — mixing would make hit bytes depend on insert
+//! history — and the serving engine passes the session's resolved
+//! precision (`--precision` flag / `GSGCN_PRECISION` env).
 
-use gsgcn_tensor::DMatrix;
+use gsgcn_tensor::{bf16, Bf16, DMatrix, Precision};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -66,15 +79,65 @@ impl CacheStats {
     }
 }
 
+/// One cached activation row at the cache's storage precision.
+enum RowData {
+    F32(Box<[f32]>),
+    Bf16(Box<[Bf16]>),
+}
+
+impl RowData {
+    fn quantize(row: &[f32], p: Precision) -> RowData {
+        match p {
+            Precision::F32 => RowData::F32(row.into()),
+            Precision::Bf16 => {
+                let mut q = vec![Bf16::ZERO; row.len()].into_boxed_slice();
+                bf16::quantize_slice(row, &mut q);
+                RowData::Bf16(q)
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            RowData::F32(d) => d.len(),
+            RowData::Bf16(d) => d.len(),
+        }
+    }
+
+    fn data_bytes(&self) -> usize {
+        match self {
+            RowData::F32(d) => d.len() * std::mem::size_of::<f32>(),
+            RowData::Bf16(d) => d.len() * std::mem::size_of::<Bf16>(),
+        }
+    }
+
+    /// Overwrite in place from an f32 row of the same length, keeping
+    /// the storage variant.
+    fn overwrite(&mut self, row: &[f32]) {
+        match self {
+            RowData::F32(d) => d.copy_from_slice(row),
+            RowData::Bf16(d) => bf16::quantize_slice(row, d),
+        }
+    }
+
+    /// Copy into an f32 destination, widening bf16 exactly.
+    fn copy_into(&self, out: &mut [f32]) {
+        match self {
+            RowData::F32(d) => out.copy_from_slice(d),
+            RowData::Bf16(d) => bf16::widen_slice(d, out),
+        }
+    }
+}
+
 struct Entry {
     version: u64,
     referenced: bool,
-    data: Box<[f32]>,
+    data: RowData,
 }
 
 impl Entry {
     fn bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f32>() + ENTRY_OVERHEAD
+        self.data.data_bytes() + ENTRY_OVERHEAD
     }
 }
 
@@ -122,6 +185,8 @@ pub struct ActivationCache {
     shards: Vec<Mutex<Shard>>,
     /// Per-shard slice of the global byte budget.
     shard_budget: usize,
+    /// Storage element type of cached rows (fixed at construction).
+    precision: Precision,
     /// Current model version; entries with an older stamp are stale.
     version: AtomicU64,
     hits: AtomicU64,
@@ -137,18 +202,31 @@ impl ActivationCache {
     pub const DEFAULT_SHARDS: usize = 16;
 
     /// A cache bounded by `budget_bytes` across [`Self::DEFAULT_SHARDS`]
-    /// shards.
+    /// shards, storing rows as f32.
     pub fn new(budget_bytes: usize) -> Self {
         Self::with_shards(budget_bytes, Self::DEFAULT_SHARDS)
     }
 
     /// A cache with an explicit shard count (≥ 1; tests use 1 to make
-    /// eviction order deterministic).
+    /// eviction order deterministic), storing rows as f32.
     pub fn with_shards(budget_bytes: usize, shards: usize) -> Self {
+        Self::with_shards_precision(budget_bytes, shards, Precision::F32)
+    }
+
+    /// As [`Self::new`] with an explicit row storage precision.
+    /// [`Precision::Bf16`] halves bytes-per-row — the same budget holds
+    /// twice the rows — at one bf16 rounding per cached element.
+    pub fn with_precision(budget_bytes: usize, precision: Precision) -> Self {
+        Self::with_shards_precision(budget_bytes, Self::DEFAULT_SHARDS, precision)
+    }
+
+    /// The fully explicit constructor: budget, shard count, precision.
+    pub fn with_shards_precision(budget_bytes: usize, shards: usize, precision: Precision) -> Self {
         let shards = shards.max(1);
         ActivationCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             shard_budget: budget_bytes / shards,
+            precision,
             version: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -160,6 +238,11 @@ impl ActivationCache {
     /// Total byte budget (sum of the per-shard slices).
     pub fn budget_bytes(&self) -> usize {
         self.shard_budget * self.shards.len()
+    }
+
+    /// Storage element type of cached rows.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Current model version stamp.
@@ -201,7 +284,7 @@ impl ActivationCache {
             match shard.map.get_mut(&node) {
                 Some(e) if e.version == version && e.data.len() == width => {
                     e.referenced = true;
-                    out.row_mut(i).copy_from_slice(&e.data);
+                    e.data.copy_into(out.row_mut(i));
                 }
                 _ => {
                     drop(shard);
@@ -222,7 +305,11 @@ impl ActivationCache {
     pub fn insert_rows(&self, nodes: &[u32], rows: &DMatrix) {
         assert_eq!(nodes.len(), rows.rows(), "node/row count mismatch");
         let version = self.version();
-        let row_bytes = rows.cols() * std::mem::size_of::<f32>() + ENTRY_OVERHEAD;
+        let elem = match self.precision {
+            Precision::F32 => std::mem::size_of::<f32>(),
+            Precision::Bf16 => std::mem::size_of::<Bf16>(),
+        };
+        let row_bytes = rows.cols() * elem + ENTRY_OVERHEAD;
         if row_bytes > self.shard_budget {
             return;
         }
@@ -236,10 +323,10 @@ impl ActivationCache {
                 // Refresh in place (version bump or re-computation);
                 // the key keeps its ring slot.
                 if e.data.len() == row.len() {
-                    e.data.copy_from_slice(row);
+                    e.data.overwrite(row);
                 } else {
                     shard.bytes -= e.bytes();
-                    e.data = row.into();
+                    e.data = RowData::quantize(row, self.precision);
                     shard.bytes += e.bytes();
                 }
                 e.version = version;
@@ -259,7 +346,7 @@ impl ActivationCache {
                     // earns the second chance, else a full hand sweep
                     // degenerates to FIFO and evicts hot rows.
                     referenced: false,
-                    data: row.into(),
+                    data: RowData::quantize(row, self.precision),
                 },
             );
             shard.ring.push_back(node);
@@ -294,6 +381,7 @@ impl std::fmt::Debug for ActivationCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ActivationCache")
             .field("budget_bytes", &self.budget_bytes())
+            .field("precision", &self.precision)
             .field("shards", &self.shards.len())
             .field("version", &self.version())
             .field("stats", &self.stats())
@@ -456,6 +544,52 @@ mod tests {
             t.join().unwrap();
         }
         assert!(c.stats().resident_bytes <= c.budget_bytes() + 64);
+    }
+
+    #[test]
+    fn bf16_rows_halve_bytes_and_widen_to_exact_rounding() {
+        let width = 32;
+        let (nodes, rows) = row_matrix(&[(3, 0.123), (9, 1.456), (7, 2.789)], width);
+        let c32 = ActivationCache::with_shards(1 << 20, 1);
+        let c16 = ActivationCache::with_shards_precision(1 << 20, 1, Precision::Bf16);
+        assert_eq!(c16.precision(), Precision::Bf16);
+        c32.insert_rows(&nodes, &rows);
+        c16.insert_rows(&nodes, &rows);
+        // Same rows, half the data bytes per entry.
+        let per_row_32 = c32.stats().resident_bytes / 3 - ENTRY_OVERHEAD;
+        let per_row_16 = c16.stats().resident_bytes / 3 - ENTRY_OVERHEAD;
+        assert_eq!(per_row_32, width * 4);
+        assert_eq!(per_row_16, width * 2);
+        // A hit widens each element to exactly its bf16 rounding — one
+        // quantisation at insert, none on the read path.
+        let mut out = DMatrix::zeros(0, 0);
+        assert!(c16.try_gather(&nodes, width, &mut out));
+        for i in 0..nodes.len() {
+            for j in 0..width {
+                let want = Bf16::from_f32(rows.get(i, j)).to_f32();
+                assert_eq!(out.get(i, j), want, "row {i} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_budget_holds_more_rows() {
+        // Same budget, sized for exactly 4 f32 rows: the bf16 cache keeps
+        // budget/(2·width+overhead) resident — the working-set win bf16
+        // storage buys (→ 2× as width dwarfs the bookkeeping overhead).
+        let width = 48;
+        let budget = 4 * (width * 4 + ENTRY_OVERHEAD);
+        let c32 = ActivationCache::with_shards(budget, 1);
+        let c16 = ActivationCache::with_shards_precision(budget, 1, Precision::Bf16);
+        for node in 0u32..64 {
+            let rows = DMatrix::from_fn(1, width, |_, j| node as f32 + j as f32);
+            c32.insert_rows(&[node], &rows);
+            c16.insert_rows(&[node], &rows);
+        }
+        assert_eq!(c32.stats().entries, 4);
+        assert_eq!(c16.stats().entries, budget / (width * 2 + ENTRY_OVERHEAD));
+        assert!(c16.stats().entries > c32.stats().entries);
+        assert!(c16.stats().resident_bytes <= c16.budget_bytes());
     }
 
     #[test]

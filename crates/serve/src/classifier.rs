@@ -201,7 +201,15 @@ impl NodeClassifier {
             ));
         }
         let cache = if model.num_layers() >= 2 {
-            crate::cache::budget_from_env().map(|bytes| Arc::new(ActivationCache::new(bytes)))
+            // Cached rows follow the session's resolved activation
+            // precision (--precision flag / GSGCN_PRECISION env): bf16
+            // serving halves cache bytes-per-row too.
+            crate::cache::budget_from_env().map(|bytes| {
+                Arc::new(ActivationCache::with_precision(
+                    bytes,
+                    gsgcn_tensor::precision::current(),
+                ))
+            })
         } else {
             None
         };

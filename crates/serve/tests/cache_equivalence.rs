@@ -76,7 +76,12 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// Cold pass bit-identical, warm pass ≤ 1e-4, on every available
-    /// kernel tier — and the warm pass must actually hit the cache.
+    /// kernel tier — and the warm pass must actually hit the cache. The
+    /// uncached baseline is computed **per tier**: the contract is that
+    /// attaching a cache never changes that tier's answer, not that
+    /// tiers agree with each other (under bf16 storage the top tier's
+    /// native dot-product kernel is tolerance-banded, not bit-identical,
+    /// against the widen tiers).
     #[test]
     fn cached_matches_uncached_across_tiers(
         ni in 0..N_DIMS.len(),
@@ -88,14 +93,17 @@ proptest! {
         let loss = if single { LossKind::SoftmaxCe } else { LossKind::SigmoidBce };
         let uncached = classifier_for(n, DEPTHS[di], loss, seed);
         let batch = batch_of(n, seed);
-        let baseline = uncached.classify(&batch).unwrap();
 
         for tier in gemm::available_tiers() {
             let cache = Arc::new(ActivationCache::new(8 << 20));
             let cached = classifier_for(n, DEPTHS[di], loss, seed)
                 .with_cache(Some(Arc::clone(&cache)));
-            let (cold, warm) = gemm::with_tier(tier, || {
-                (cached.classify(&batch).unwrap(), cached.classify(&batch).unwrap())
+            let (baseline, cold, warm) = gemm::with_tier(tier, || {
+                (
+                    uncached.classify(&batch).unwrap(),
+                    cached.classify(&batch).unwrap(),
+                    cached.classify(&batch).unwrap(),
+                )
             });
             let probed = cache.stats();
             prop_assert!(

@@ -69,7 +69,44 @@
 //! sparse aggregation `Â·H` of a GCN layer with the weight GEMM
 //! ([`gemm_source_nn_v`] / [`gemm_source_nt_v`]), so the aggregated matrix
 //! never materialises in DRAM.
+//!
+//! # Precision: bf16 panels, f32 accumulate
+//!
+//! The fused layer is memory-bandwidth-bound at the GCN shapes, so the
+//! driver has a second panel pipeline where both packed operands hold
+//! **bf16** (u16) elements: [`gemm_source_nn_bf16_v`] packs B by rounding
+//! once ([`Bf16::from_f32`], round-to-nearest-even) and asks a
+//! [`PackSourceBf16`] for bf16 A panels, and the microkernel widens both
+//! in registers (a 16-bit shift) while accumulating in f32 — see
+//! [`crate::ukernel`]'s precision section. Panel indices and the `MR`
+//! interleave are identical to the f32 path, only the element width
+//! halves, which halves the panel bytes re-streamed per block (packed B
+//! is re-read for every `MC`-row block — ~1 MiB/strip in f32 — and
+//! packed A is re-swept per `NR` tile column). Conversions happen **at
+//! pack time inside the L2-resident panel**, never as a separate DRAM
+//! pass: a bf16 producer (quantised activations, bf16 shard rows)
+//! aggregates/copies straight into the panel, and any f32
+//! [`PackSource`] rides along via [`QuantizePack`] with exactly one
+//! rounding per element. α is folded into the A-pack *before* that
+//! rounding, so the stored panel carries a single quantisation. The
+//! result differs from the f32 path only by the per-element input
+//! rounding (≤ 2⁻⁸ relative); equivalence tests are therefore
+//! tolerance-banded via [`crate::precision::rel_tolerance`], while the
+//! f32 path itself stays bit-identical. On CPUs with AVX512-BF16 the
+//! avx512 row swaps its widen kernel for a native `vdpbf16ps`
+//! dot-product over pair-interleaved panels (two k-steps per FMA-port
+//! issue — see [`crate::ukernel`]'s native-dot section and
+//! [`bf16_dot_native`]); its pairwise accumulation stays inside the same
+//! tolerance bands. When the **AMX tile unit** is present
+//! ([`crate::amx`]), the bf16 driver escalates past the vector kernels
+//! altogether: A packs **row-major** (what `tileloadd` strides over,
+//! via [`PackSourceBf16::pack_a_bf16_rowmajor`]) and B packs 16-column
+//! VNNI panels, and each `tdpbf16ps` call covers a 32×32×32 brick —
+//! measured ~5× over the f32 GEMM on the GCN layer shape, where the
+//! widen kernels only break even. [`bf16_engine`] reports the path;
+//! `GSGCN_AMX=0` falls back to the vector kernels.
 
+use crate::bf16::{self, Bf16, Bf16MatRef};
 use crate::matrix::DMatrix;
 use crate::scratch;
 use crate::ukernel::{self, Kernel, NR_MAX};
@@ -80,7 +117,8 @@ use rayon::prelude::*;
 // inspection/override API is re-exported here because this is the module
 // callers already import for everything GEMM.
 pub use crate::ukernel::{
-    available_tiers, best_available_tier, selected_tier, with_tier, Tier, ALL_TIERS,
+    available_tiers, best_available_tier, bf16_dot_native, bf16_engine, selected_tier, with_tier,
+    Tier, ALL_TIERS,
 };
 
 /// Microkernel tile height (rows of C per register tile), identical for
@@ -302,6 +340,199 @@ pub fn gemm_source_nt_v<S: PackSource + ?Sized>(
 }
 
 // ---------------------------------------------------------------------------
+// bf16 A-panel sources and entry points
+// ---------------------------------------------------------------------------
+
+/// A source of packed **bf16** A panels — the half-width twin of
+/// [`PackSource`] (same `(ic, mc, pc, kc)` protocol, same MR
+/// interleave, same zero padding).
+///
+/// `α` must be applied *before* the bf16 rounding so the stored panel
+/// carries exactly one quantisation; producers that accumulate (the
+/// fused aggregation) do so in f32 and round once on the final scatter.
+pub trait PackSourceBf16: Sync {
+    /// Logical shape `(m, k)` of the A operand.
+    fn shape(&self) -> (usize, usize);
+
+    /// Pack `bf16(α·A[ic..ic+mc, pc..pc+kc])` into MR-tall row panels
+    /// (layout as [`PackSource::pack_a`], u16-width elements).
+    fn pack_a_bf16(&self, alpha: f32, ic: usize, mc: usize, pc: usize, kc: usize, out: &mut [Bf16]);
+
+    /// Pack the same block **row-major** for the AMX tile driver:
+    /// `out[r·kc_pad + kk] = bf16(α·A[ic+r, pc+kk])`, rows past `mc` and
+    /// depth past `kc` zero-filled. `out.len()` is `mc_pad · kc_pad`
+    /// with both dimensions padded to the tile grid.
+    ///
+    /// The default goes through [`Self::pack_a_bf16`] and de-interleaves
+    /// — correct for any source; producers whose natural output is a
+    /// contiguous row (the dense and fused-aggregation sources) override
+    /// it to skip the intermediate scatter.
+    #[allow(clippy::too_many_arguments)]
+    fn pack_a_bf16_rowmajor(
+        &self,
+        alpha: f32,
+        ic: usize,
+        mc: usize,
+        pc: usize,
+        kc: usize,
+        kc_pad: usize,
+        out: &mut [Bf16],
+    ) {
+        let panels = mc.div_ceil(MR);
+        scratch::with_buf_u16(panels * kc * MR, |lin| {
+            self.pack_a_bf16(alpha, ic, mc, pc, kc, bf16::from_bits_slice_mut(lin));
+            out.fill(Bf16::ZERO);
+            for r in 0..mc {
+                let panel = &lin[(r / MR) * kc * MR..];
+                let dst = &mut out[r * kc_pad..][..kc];
+                for (kk, d) in dst.iter_mut().enumerate() {
+                    *d = Bf16(panel[kk * MR + r % MR]);
+                }
+            }
+        });
+    }
+}
+
+/// The dense [`PackSourceBf16`]: an A operand already stored bf16
+/// (quantised activations, bf16 shard feature rows). With `α = 1` the
+/// pack is a pure u16 interleave — no conversion at all; other `α`
+/// widen, scale and re-round (documented single extra rounding).
+pub struct DensePackBf16<'a> {
+    a: Bf16MatRef<'a>,
+}
+
+impl<'a> DensePackBf16<'a> {
+    pub fn new(a: Bf16MatRef<'a>) -> Self {
+        DensePackBf16 { a }
+    }
+}
+
+impl PackSourceBf16 for DensePackBf16<'_> {
+    fn shape(&self) -> (usize, usize) {
+        (self.a.rows(), self.a.cols())
+    }
+
+    fn pack_a_bf16(
+        &self,
+        alpha: f32,
+        ic: usize,
+        mc: usize,
+        pc: usize,
+        kc: usize,
+        out: &mut [Bf16],
+    ) {
+        let panels = mc.div_ceil(MR);
+        debug_assert_eq!(out.len(), panels * kc * MR);
+        for (p, panel) in out.chunks_exact_mut(kc * MR).enumerate() {
+            let r0 = p * MR;
+            let rows_here = MR.min(mc - r0);
+            for r in 0..rows_here {
+                let src = &self.a.row(ic + r0 + r)[pc..pc + kc];
+                if alpha == 1.0 {
+                    for (kk, &s) in src.iter().enumerate() {
+                        panel[kk * MR + r] = s;
+                    }
+                } else {
+                    for (kk, &s) in src.iter().enumerate() {
+                        panel[kk * MR + r] = Bf16::from_f32(alpha * s.to_f32());
+                    }
+                }
+            }
+            if rows_here < MR {
+                for kk in 0..kc {
+                    panel[kk * MR + rows_here..(kk + 1) * MR].fill(Bf16::ZERO);
+                }
+            }
+        }
+    }
+
+    fn pack_a_bf16_rowmajor(
+        &self,
+        alpha: f32,
+        ic: usize,
+        mc: usize,
+        pc: usize,
+        kc: usize,
+        kc_pad: usize,
+        out: &mut [Bf16],
+    ) {
+        // Already row-major bf16 storage: at α = 1 the pack is a straight
+        // row copy; other α widen, scale and re-round.
+        for (r, dst) in out.chunks_exact_mut(kc_pad).enumerate() {
+            if r < mc {
+                let src = &self.a.row(ic + r)[pc..pc + kc];
+                if alpha == 1.0 {
+                    dst[..kc].copy_from_slice(src);
+                } else {
+                    for (d, &s) in dst[..kc].iter_mut().zip(src) {
+                        *d = Bf16::from_f32(alpha * s.to_f32());
+                    }
+                }
+                dst[kc..].fill(Bf16::ZERO);
+            } else {
+                dst.fill(Bf16::ZERO);
+            }
+        }
+    }
+}
+
+/// Adapter giving every existing f32 [`PackSource`] a bf16 panel path:
+/// the wrapped source packs `α·A` into f32 scratch (one L2-resident
+/// panel), which is rounded once into the bf16 panel. This is how
+/// producers "ride along" without a bf16-native implementation.
+pub struct QuantizePack<'a, S: PackSource + ?Sized>(pub &'a S);
+
+impl<S: PackSource + ?Sized> PackSourceBf16 for QuantizePack<'_, S> {
+    fn shape(&self) -> (usize, usize) {
+        self.0.shape()
+    }
+
+    fn pack_a_bf16(
+        &self,
+        alpha: f32,
+        ic: usize,
+        mc: usize,
+        pc: usize,
+        kc: usize,
+        out: &mut [Bf16],
+    ) {
+        scratch::with_buf(out.len(), |tmp| {
+            self.0.pack_a(alpha, ic, mc, pc, kc, tmp);
+            for (d, &s) in out.iter_mut().zip(tmp.iter()) {
+                *d = Bf16::from_f32(s);
+            }
+        });
+    }
+}
+
+/// `C = α·S·B + β·C` on **bf16 panels with f32 accumulate**: A panels
+/// come from a [`PackSourceBf16`], B is rounded to bf16 at pack time,
+/// and the selected tier's bf16 microkernel widens both in registers.
+/// C and the accumulation stay f32.
+pub fn gemm_source_nn_bf16_v<S: PackSourceBf16 + ?Sized>(
+    alpha: f32,
+    src: &S,
+    b: MatRef<'_>,
+    beta: f32,
+    c: MatMut<'_>,
+) {
+    let (m, k) = src.shape();
+    let (kb, n) = b.shape();
+    assert_eq!(
+        k, kb,
+        "inner dimensions must match: source is {m}x{k}, B is {kb}x{n}"
+    );
+    assert_eq!(c.shape(), (m, n), "C shape mismatch");
+    driver_bf16(alpha, src, b, beta, c);
+}
+
+/// `C = α·A·B + β·C` with a bf16-stored A (convenience wrapper over
+/// [`DensePackBf16`]).
+pub fn gemm_bf16_nn_v(alpha: f32, a: Bf16MatRef<'_>, b: MatRef<'_>, beta: f32, c: MatMut<'_>) {
+    gemm_source_nn_bf16_v(alpha, &DensePackBf16::new(a), b, beta, c);
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -370,6 +601,238 @@ fn driver<S: PackSource + ?Sized>(
     }
 }
 
+/// The bf16-panel driver: [`driver`]'s blocking with u16 panel scratch
+/// and the tier's bf16 microkernel. Only the `nn` orientation exists —
+/// the backward GEMMs (`tn`/`nt`) stay on the f32 master path.
+fn driver_bf16<S: PackSourceBf16 + ?Sized>(
+    alpha: f32,
+    a: &S,
+    b: MatRef<'_>,
+    beta: f32,
+    mut c: MatMut<'_>,
+) {
+    let (m, n) = c.shape();
+    let k = a.shape().1;
+
+    if m == 0 || n == 0 {
+        return;
+    }
+    scale_c(&mut c, beta);
+    if k == 0 || alpha == 0.0 {
+        return;
+    }
+
+    let c_base = CPtr {
+        ptr: c.as_mut_ptr(),
+        row_stride: c.row_stride(),
+    };
+
+    let kern = ukernel::current_kernel();
+
+    // At the top tier, hand the whole block schedule to the AMX tile
+    // driver when the unit is present — the only path on these parts
+    // where bf16 buys compute throughput, not just bandwidth.
+    #[cfg(target_arch = "x86_64")]
+    {
+        if kern.tier == Tier::Avx512 && crate::amx::bf16_ready() {
+            driver_bf16_amx(alpha, a, b, c_base, m, n, k);
+            return;
+        }
+    }
+
+    let nr = kern.nr;
+
+    let ic_blocks = m.div_ceil(MC);
+    // A paired (native-dot) kernel reads pair-interleaved panels of
+    // `next_even(kc)` rows; panels are packed in the standard layout and
+    // interleaved once per pack, amortised over every tile re-read.
+    let kc_rows = |kc: usize| kern.bf16_panel_rows(kc);
+    for jc in (0..n).step_by(kern.nc) {
+        let nc = kern.nc.min(n - jc);
+        let b_panels = nc.div_ceil(nr);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            scratch::with_buf_u16(b_panels * kc_rows(kc) * nr, |b_bits| {
+                if kern.bf16_paired() {
+                    scratch::with_buf_u16(b_panels * kc * nr, |lin| {
+                        pack_b_bf16(b, pc, kc, jc, nc, nr, bf16::from_bits_slice_mut(lin));
+                        ukernel::pair_interleave_bf16_panels(lin, b_bits, kc, nr, kc_rows(kc));
+                    });
+                } else {
+                    pack_b_bf16(b, pc, kc, jc, nc, nr, bf16::from_bits_slice_mut(b_bits));
+                }
+                let b_pack = bf16::from_bits_slice(b_bits);
+                (0..ic_blocks).into_par_iter().for_each(|blk| {
+                    let ic = blk * MC;
+                    let mc = MC.min(m - ic);
+                    let a_panels = mc.div_ceil(MR);
+                    scratch::with_buf_u16(a_panels * kc_rows(kc) * MR, |a_bits| {
+                        if kern.bf16_paired() {
+                            scratch::with_buf_u16(a_panels * kc * MR, |lin| {
+                                a.pack_a_bf16(
+                                    alpha,
+                                    ic,
+                                    mc,
+                                    pc,
+                                    kc,
+                                    bf16::from_bits_slice_mut(lin),
+                                );
+                                ukernel::pair_interleave_bf16_panels(
+                                    lin,
+                                    a_bits,
+                                    kc,
+                                    MR,
+                                    kc_rows(kc),
+                                );
+                            });
+                        } else {
+                            a.pack_a_bf16(alpha, ic, mc, pc, kc, bf16::from_bits_slice_mut(a_bits));
+                        }
+                        let a_pack = bf16::from_bits_slice(a_bits);
+                        multiply_block_bf16(kern, a_pack, b_pack, c_base, ic, mc, jc, nc, kc);
+                    });
+                });
+            });
+        }
+    }
+}
+
+/// The AMX tile driver: same `MC×KC` block schedule as [`driver_bf16`],
+/// but panels are laid out for the tile unit — A blocks **row-major**
+/// (what `tileloadd` strides over; produced directly by
+/// [`PackSourceBf16::pack_a_bf16_rowmajor`], no MR interleave), B in
+/// 16-column VNNI pair-interleaved panels, both zero-padded to the
+/// 32×32×32 tile grid. Each microkernel call covers a 32×32 block of C
+/// with the accumulation held in tile registers across the whole `kc`.
+#[cfg(target_arch = "x86_64")]
+fn driver_bf16_amx<S: PackSourceBf16 + ?Sized>(
+    alpha: f32,
+    a: &S,
+    b: MatRef<'_>,
+    c_base: CPtr,
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    use crate::amx::{self, TILE_K, TILE_M, TILE_N};
+    /// B VNNI panel width: half a C-tile column block.
+    const NR_AMX: usize = 16;
+    /// C column strip per packed-B round (panel bytes stay L2-resident:
+    /// `512 · KC · 2` = 256 KiB).
+    const NC_AMX: usize = 512;
+
+    let ic_blocks = m.div_ceil(MC);
+    for jc in (0..n).step_by(NC_AMX) {
+        let nc = NC_AMX.min(n - jc);
+        let b_panels = nc.div_ceil(NR_AMX);
+        // Pad the panel count to the 2-panel C-tile grid; a dangling
+        // half tile (nc % 32 ≤ 16) reads an all-zero right panel.
+        let panels_pad = nc.div_ceil(TILE_N) * 2;
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let kc_pad = kc.next_multiple_of(TILE_K);
+            scratch::with_buf_u16(panels_pad * kc_pad * NR_AMX, |b_vnni| {
+                scratch::with_buf_u16(b_panels * kc * NR_AMX, |lin| {
+                    pack_b_bf16(b, pc, kc, jc, nc, NR_AMX, bf16::from_bits_slice_mut(lin));
+                    b_vnni[b_panels * kc_pad * NR_AMX..].fill(0);
+                    ukernel::pair_interleave_bf16_panels(
+                        lin,
+                        &mut b_vnni[..b_panels * kc_pad * NR_AMX],
+                        kc,
+                        NR_AMX,
+                        kc_pad,
+                    );
+                });
+                let b_vnni = &*b_vnni;
+                (0..ic_blocks).into_par_iter().for_each(|blk| {
+                    amx::ensure_thread_configured();
+                    let ic = blk * MC;
+                    let mc = MC.min(m - ic);
+                    let mc_pad = mc.next_multiple_of(TILE_M);
+                    scratch::with_buf_u16(mc_pad * kc_pad, |a_bits| {
+                        a.pack_a_bf16_rowmajor(
+                            alpha,
+                            ic,
+                            mc,
+                            pc,
+                            kc,
+                            kc_pad,
+                            bf16::from_bits_slice_mut(a_bits),
+                        );
+                        multiply_block_amx(a_bits, b_vnni, c_base, ic, mc, mc_pad, jc, nc, kc_pad);
+                    });
+                });
+            });
+        }
+    }
+}
+
+/// 32×32 f32 tile buffer the AMX kernel `tilestored`s into.
+#[cfg(target_arch = "x86_64")]
+#[repr(align(64))]
+struct AccTile32([f32; 32 * 32]);
+
+/// `C[ic..ic+mc, jc..jc+nc] += rowmajor_A · vnni_B` for one row block on
+/// the tile unit: the store loop mirrors [`multiply_block`], clipped to
+/// the block edge.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn multiply_block_amx(
+    a_bits: &[u16],
+    b_vnni: &[u16],
+    c_base: CPtr,
+    ic: usize,
+    mc: usize,
+    mc_pad: usize,
+    jc: usize,
+    nc: usize,
+    kc_pad: usize,
+) {
+    use crate::amx::{self, TILE_K, TILE_M, TILE_N};
+    let kpads = kc_pad / TILE_K;
+    // One 16-column VNNI panel: `kc_pad/2` pair rows × 32 elements.
+    let panel_len = kc_pad * 16;
+    let mut acc = AccTile32([0.0f32; 32 * 32]);
+    for jt in 0..nc.div_ceil(TILE_N) {
+        let jr = jt * TILE_N;
+        let tile_cols = TILE_N.min(nc - jr);
+        let b0 = b_vnni[2 * jt * panel_len..].as_ptr();
+        let b1 = b_vnni[(2 * jt + 1) * panel_len..].as_ptr();
+        for it in 0..mc_pad / TILE_M {
+            let ir = it * TILE_M;
+            let tile_rows = TILE_M.min(mc - ir);
+            // SAFETY: the packed A block holds `mc_pad ≥ ir+32` rows of
+            // `kc_pad` elements, `b0`/`b1` each cover one full padded
+            // panel (`panels_pad` is even), and `acc` is 32×32. The
+            // driver gated on `amx::bf16_ready()` and configured this
+            // thread's tile palette.
+            unsafe {
+                amx::tile_kernel_32x32(
+                    kpads,
+                    a_bits.as_ptr().add(ir * kc_pad),
+                    kc_pad * 2,
+                    b0,
+                    b1,
+                    acc.0.as_mut_ptr(),
+                );
+            }
+            for (r, acc_row) in acc.0.chunks_exact(TILE_N).enumerate().take(tile_rows) {
+                // SAFETY: this task owns rows [ic, ic+mc) of C, and
+                // jc+jr+tile_cols ≤ n by construction.
+                let c_row: &mut [f32] = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        c_base.ptr.add((ic + ir + r) * c_base.row_stride + jc + jr),
+                        tile_cols,
+                    )
+                };
+                for (cv, av) in c_row.iter_mut().zip(acc_row.iter()) {
+                    *cv += *av;
+                }
+            }
+        }
+    }
+}
+
 /// Stack tile buffer for the microkernel output, 64-byte aligned so the
 /// widest tier's stores stay within cache lines.
 #[repr(align(64))]
@@ -401,6 +864,55 @@ fn multiply_block(
             kern.run(kc, a_panel, b_panel, acc);
             // (acc now holds the full tile product for this pc panel.)
             // Store: C[ic+ir .., jc+jr ..] += acc (clipped to the edge).
+            for (r, acc_row) in acc.chunks_exact(nr).enumerate().take(tile_rows) {
+                // SAFETY: this task owns rows [ic, ic+mc) of C, and
+                // jc+jr+tile_cols ≤ n by construction.
+                let c_row: &mut [f32] = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        c_base.ptr.add((ic + ir + r) * c_base.row_stride + jc + jr),
+                        tile_cols,
+                    )
+                };
+                for (cv, av) in c_row.iter_mut().zip(acc_row.iter()) {
+                    *cv += *av;
+                }
+            }
+        }
+    }
+}
+
+/// [`multiply_block`] over bf16 panels: identical tiling and store loop,
+/// but the tier's bf16 microkernel widens panel elements in registers
+/// (or consumes pair-interleaved panels when the kernel is the native
+/// dot-product — panel strides follow [`Kernel::bf16_panel_rows`]).
+#[allow(clippy::too_many_arguments)]
+fn multiply_block_bf16(
+    kern: &Kernel,
+    a_pack: &[Bf16],
+    b_pack: &[Bf16],
+    c_base: CPtr,
+    ic: usize,
+    mc: usize,
+    jc: usize,
+    nc: usize,
+    kc: usize,
+) {
+    let nr = kern.nr;
+    let rows = kern.bf16_panel_rows(kc);
+    let mut acc = AccTile([0.0f32; MR * NR_MAX]);
+    let acc = &mut acc.0[..MR * nr];
+    for (jp, b_panel) in b_pack.chunks_exact(rows * nr).enumerate() {
+        let jr = jp * nr;
+        let tile_cols = nr.min(nc - jr);
+        for (ip, a_panel) in a_pack.chunks_exact(rows * MR).enumerate() {
+            let ir = ip * MR;
+            let tile_rows = MR.min(mc - ir);
+            kern.run_bf16(
+                kc,
+                bf16::to_bits_slice(a_panel),
+                bf16::to_bits_slice(b_panel),
+                acc,
+            );
             for (r, acc_row) in acc.chunks_exact(nr).enumerate().take(tile_rows) {
                 // SAFETY: this task owns rows [ic, ic+mc) of C, and
                 // jc+jr+tile_cols ≤ n by construction.
@@ -503,6 +1015,35 @@ fn pack_b(
                 dst[..cols_here].copy_from_slice(src);
                 dst[cols_here..].fill(0.0);
             }
+        }
+    }
+}
+
+/// [`pack_b`] into bf16 panels: same `nr`-wide layout, each element
+/// rounded once (RNE) as it enters the L2-resident panel — this is the
+/// pack-time dequantisation boundary; the microkernel widens in
+/// registers. Only the `k×n` orientation exists (forward path).
+#[allow(clippy::too_many_arguments)]
+fn pack_b_bf16(
+    b: MatRef<'_>,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    nr: usize,
+    out: &mut [Bf16],
+) {
+    let panels = nc.div_ceil(nr);
+    debug_assert_eq!(out.len(), panels * kc * nr);
+    for (p, panel) in out.chunks_exact_mut(kc * nr).enumerate() {
+        let c0 = p * nr;
+        let cols_here = nr.min(nc - c0);
+        for (kk, dst) in panel.chunks_exact_mut(nr).enumerate() {
+            let src = &b.row(pc + kk)[jc + c0..jc + c0 + cols_here];
+            for (d, &s) in dst[..cols_here].iter_mut().zip(src) {
+                *d = Bf16::from_f32(s);
+            }
+            dst[cols_here..].fill(Bf16::ZERO);
         }
     }
 }
@@ -873,5 +1414,156 @@ mod tests {
         let mut c2 = DMatrix::zeros(12, 9);
         gemm_nt_v(1.0, dd.view(), w_wide.view_cols(2, 7), 0.0, c2.view_mut());
         assert!(c2.max_abs_diff(&matmul_nt(&dd, &w)) < 1e-4);
+    }
+
+    /// Quantise a dense matrix to its bf16 storage values.
+    fn quantize_mat(m: &DMatrix) -> Vec<Bf16> {
+        m.data().iter().map(|&x| Bf16::from_f32(x)).collect()
+    }
+
+    /// Exact widening of a quantised matrix back to f32 — the reference
+    /// operand for bf16-path comparisons (storage rounding applied, so
+    /// only accumulation-order differences remain).
+    fn widen_mat(vals: &[Bf16], rows: usize, cols: usize) -> DMatrix {
+        DMatrix::from_fn(rows, cols, |i, j| vals[i * cols + j].to_f32())
+    }
+
+    #[test]
+    fn bf16_matches_widened_reference() {
+        // The bf16 path's only deviation from an f32 GEMM over the
+        // *widened* operands is accumulation order — panels store the
+        // exact quantised values. Shapes straddle MR/NR/KC/MC edges.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (9, 7, 33),
+            (65, 257, 49),
+            (70, 300, 17),
+        ] {
+            let a = seq(m, k, 0.8);
+            let b = seq(k, n, 1.2);
+            let qa = quantize_mat(&a);
+            let qb = quantize_mat(&b);
+            let r = matmul_reference(&widen_mat(&qa, m, k), &widen_mat(&qb, k, n));
+            let mut c = DMatrix::filled(m, n, f32::NAN);
+            gemm_bf16_nn_v(1.0, Bf16MatRef::new(&qa, m, k), b.view(), 0.0, c.view_mut());
+            assert!(c.max_abs_diff(&r) < 5e-3, "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn bf16_tiers_are_bit_identical() {
+        // The widen-based bf16 microkernels run the same FMA chain per C
+        // element as each other, so tier choice must not change bf16
+        // results at all (mirrors `tiers_are_bit_identical`). A tier
+        // whose bf16 kernel is the native `vdpbf16ps` dot-product sums
+        // each k pair before joining the chain, so it is banded against
+        // the widen result instead of bit-compared — the deviation is
+        // pure f32 accumulation-order noise, orders of magnitude below
+        // the bf16 input rounding.
+        let a = seq(70, 260, 0.9);
+        let b = seq(260, 50, 1.1);
+        let qa = quantize_mat(&a);
+        let run = |tier| {
+            with_tier(tier, || {
+                let mut c = DMatrix::zeros(70, 50);
+                gemm_bf16_nn_v(
+                    1.0,
+                    Bf16MatRef::new(&qa, 70, 260),
+                    b.view(),
+                    0.0,
+                    c.view_mut(),
+                );
+                c
+            })
+        };
+        let reference = run(Tier::Scalar);
+        let scale = reference.data().iter().fold(0f32, |s, &x| s.max(x.abs()));
+        for tier in available_tiers() {
+            let got = run(tier);
+            if bf16_dot_native(tier) {
+                assert!(
+                    got.max_abs_diff(&reference) <= 1e-5 * scale.max(1.0),
+                    "native-dot tier {} outside accumulation band",
+                    tier.name()
+                );
+            } else {
+                assert_eq!(got, reference, "tier {}", tier.name());
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_pack_rides_along_bit_exact() {
+        // QuantizePack rounds the wrapped f32 source's panel once, so at
+        // α = 1 it must equal packing the pre-quantised matrix directly.
+        let (m, k, n) = (65usize, 257usize, 40usize);
+        let src = FnSource { m, k };
+        let b = seq(k, n, 1.1);
+        let mut via_adapter = DMatrix::filled(m, n, f32::NAN);
+        gemm_source_nn_bf16_v(
+            1.0,
+            &QuantizePack(&src),
+            b.view(),
+            0.0,
+            via_adapter.view_mut(),
+        );
+        let qa = quantize_mat(&src.materialise());
+        let mut direct = DMatrix::filled(m, n, f32::NAN);
+        gemm_bf16_nn_v(
+            1.0,
+            Bf16MatRef::new(&qa, m, k),
+            b.view(),
+            0.0,
+            direct.view_mut(),
+        );
+        assert_eq!(via_adapter, direct);
+    }
+
+    #[test]
+    fn bf16_alpha_beta_accumulation() {
+        // α ≠ 1 widens, scales and re-rounds the stored A exactly once;
+        // β scales C first. Build the same double-rounded operand for
+        // the reference.
+        let (m, k, n) = (9usize, 20usize, 12usize);
+        let a = seq(m, k, 1.0);
+        let b = seq(k, n, 0.9);
+        let qa = quantize_mat(&a);
+        let qb = quantize_mat(&b);
+        let a2 = DMatrix::from_fn(m, k, |i, j| {
+            Bf16::from_f32(2.0 * qa[i * k + j].to_f32()).to_f32()
+        });
+        let mut r = matmul_reference(&a2, &widen_mat(&qb, k, n));
+        let c0 = seq(m, n, 0.3);
+        for i in 0..m {
+            for j in 0..n {
+                r.set(i, j, r.get(i, j) + 0.5 * c0.get(i, j));
+            }
+        }
+        let mut c = c0.clone();
+        gemm_bf16_nn_v(2.0, Bf16MatRef::new(&qa, m, k), b.view(), 0.5, c.view_mut());
+        assert!(c.max_abs_diff(&r) < 1e-3);
+    }
+
+    #[test]
+    fn bf16_result_within_tolerance_of_f32_path() {
+        // End-to-end band check: bf16 storage vs the pure-f32 GEMM on
+        // the *unquantised* operands stays inside the composed
+        // `rel_tolerance` model for depth 1.
+        let (m, k, n) = (64usize, 300usize, 48usize);
+        let a = seq(m, k, 0.8);
+        let b = seq(k, n, 1.2);
+        let qa = quantize_mat(&a);
+        let f32_c = matmul(&a, &b);
+        let mut c = DMatrix::zeros(m, n);
+        gemm_bf16_nn_v(1.0, Bf16MatRef::new(&qa, m, k), b.view(), 0.0, c.view_mut());
+        let tol = crate::precision::rel_tolerance(crate::Precision::Bf16, 1, k);
+        let scale = f32_c.data().iter().fold(0f32, |s, &x| s.max(x.abs()));
+        assert!(scale > 0.0);
+        for (cv, rv) in c.data().iter().zip(f32_c.data()) {
+            assert!(
+                (cv - rv).abs() <= tol * scale,
+                "bf16 {cv} vs f32 {rv} outside band {tol}"
+            );
+        }
     }
 }

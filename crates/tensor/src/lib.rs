@@ -23,13 +23,18 @@
 //! ```
 
 pub mod alloc;
+pub mod amx;
+pub mod bf16;
 pub mod gemm;
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod precision;
 pub mod scratch;
 pub mod ukernel;
 pub mod view;
 
+pub use bf16::{Bf16, Bf16MatRef};
 pub use matrix::DMatrix;
+pub use precision::Precision;
 pub use view::{MatMut, MatRef};

@@ -63,6 +63,37 @@ pub fn with_buf<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
 }
 
 thread_local! {
+    static POOL_U16: RefCell<Vec<Vec<u16>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Worst-case u16 elements skipped to reach the alignment boundary.
+const ALIGN_SLACK_U16: usize = ALIGN_BYTES / std::mem::size_of::<u16>() - 1;
+
+/// [`with_buf`] for `u16` scratch — bf16 GEMM panels and quantised
+/// activation shadows. Same contract: unspecified contents, 64-byte
+/// aligned, returned to a per-thread LIFO pool.
+pub fn with_buf_u16<R>(len: usize, f: impl FnOnce(&mut [u16]) -> R) -> R {
+    let mut buf = POOL_U16.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    let need = len + ALIGN_SLACK_U16;
+    if buf.capacity() < need {
+        crate::alloc::record_alloc();
+    }
+    if buf.len() < need {
+        buf.resize(need, 0);
+    }
+    let off = buf.as_ptr().align_offset(ALIGN_BYTES);
+    debug_assert!(off <= ALIGN_SLACK_U16);
+    let out = f(&mut buf[off..off + len]);
+    POOL_U16.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    });
+    out
+}
+
+thread_local! {
     static MATRIX_POOL: RefCell<Vec<crate::DMatrix>> = const { RefCell::new(Vec::new()) };
 }
 

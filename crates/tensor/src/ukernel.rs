@@ -41,6 +41,50 @@
 //! multiply-adds over `kc` (one chain per element, `pc`-major), so tiers
 //! agree to the last bit on the same input — pinned (to 1e-4, defensively)
 //! by the tier-equivalence proptests in `tests/proptest_packed_gemm.rs`.
+//!
+//! # Precision tiers
+//!
+//! Each dispatch-table row carries **two** entry points over the same
+//! `MR×NR` tile geometry: the f32 kernel (`ukr`) and a bf16-panel kernel
+//! (`ukr_bf16`) that reads `u16` A/B panels, widens them in registers
+//! (bf16 → f32 is a 16-bit left shift: `_mm512_slli_epi32` /
+//! `_mm256_slli_epi32` after a zero-extending `cvtepu16` load; the
+//! scalar tier shifts in plain code) and accumulates in f32. Panels stay
+//! `MR`-interleaved with identical indices, only the element width
+//! halves — so the blocked driver, the [`crate::gemm::PackSource`]
+//! protocol and the tile geometry are shared across precisions, and the
+//! bandwidth-bound panel traffic (packed B re-streamed per row block,
+//! packed A re-swept per column strip) halves. Accumulation never
+//! narrows: each C element is still one f32 FMA chain over `kc`, so the
+//! only error source is the input rounding — |q(x)−x| ≤ 2⁻⁸·|x| per
+//! element, which is what makes the precision-equivalence tests
+//! tolerance-banded rather than bit-identical (see `gemm.rs`).
+//! Within one precision, the widen-based tiers agree bit-for-bit.
+//!
+//! ## Native bf16 dot-product (AVX512-BF16)
+//!
+//! On CPUs with `avx512bf16` (+`avx512bw`), the avx512 row's bf16 entry
+//! upgrades to a `vdpbf16ps` kernel: each instruction multiplies 32 bf16
+//! pairs and accumulates 16 f32 lanes — **two** k-steps per FMA-port
+//! issue, doubling the peak MAC rate over the widen kernels. It consumes
+//! **pair-interleaved** panels ([`Kernel::bf16_paired`]): consecutive
+//! k-rows are merged so element pairs `(kk, kk+1)` sit adjacently, and an
+//! odd `kc` tail is padded with a zero row (a zero pair contributes
+//! nothing). The GEMM driver performs that interleave once per packed
+//! panel ([`pair_interleave_bf16_panels`]), amortised across every tile
+//! that re-reads the panel. `vdpbf16ps` sums each pair before joining the
+//! f32 chain (and flushes denormals), so this kernel is tolerance-banded
+//! against the widen tiers rather than bit-identical — well inside the
+//! bf16 storage-rounding band the precision tests already allow.
+//!
+//! In practice `vdpbf16ps` only *matches* the f32 peak on current parts
+//! (it issues on one port; the f32 FMA on two), so above it the GEMM
+//! driver escalates once more: when the **AMX** tile unit is present
+//! ([`crate::amx`]), the bf16 driver bypasses the vector kernels
+//! entirely for a `tdpbf16ps` tile schedule — that is where bf16
+//! storage buys real compute throughput (measured ~5× over the f32
+//! path on the GCN layer shape). [`bf16_engine`] reports which path a
+//! tier takes; `GSGCN_AMX=0` forces the vector kernels.
 
 use std::cell::Cell;
 use std::sync::OnceLock;
@@ -107,6 +151,14 @@ impl Tier {
         }
     }
 
+    /// Storage precisions this tier's dispatch row implements (every
+    /// tier carries both an f32 and a bf16-panel kernel). Listed by
+    /// `gsgcn kernel --probe` so archived bench records stay
+    /// attributable to a (tier, precision) pair.
+    pub fn precisions(self) -> &'static [&'static str] {
+        &["f32", "bf16"]
+    }
+
     /// Whether this CPU can run the tier.
     pub fn is_available(self) -> bool {
         match self {
@@ -127,6 +179,11 @@ impl Tier {
 /// `acc[r·nr + j] = Σ_kk a[kk·MR + r] · b[kk·nr + j]` (acc overwritten).
 type MicroKernelFn = unsafe fn(kc: usize, a: *const f32, b: *const f32, acc: *mut f32);
 
+/// Same tile product over **bf16 panels**: `a`/`b` hold bf16 bit
+/// patterns, widened in registers; `acc` stays f32 (see the module docs'
+/// precision section).
+type MicroKernelBf16Fn = unsafe fn(kc: usize, a: *const u16, b: *const u16, acc: *mut f32);
+
 /// A resolved microkernel: the tier's tile geometry plus its entry point.
 /// Obtained from the dispatch table ([`current_kernel`]); never constructed
 /// for a tier the CPU cannot run.
@@ -140,6 +197,10 @@ pub struct Kernel {
     /// `KC×nc` packed B around 1 MiB (L2-resident).
     pub nc: usize,
     ukr: MicroKernelFn,
+    ukr_bf16: MicroKernelBf16Fn,
+    /// Whether `ukr_bf16` consumes pair-interleaved panels (the native
+    /// `vdpbf16ps` kernel; see the module docs' native-dot section).
+    paired_bf16: bool,
 }
 
 impl Kernel {
@@ -155,6 +216,125 @@ impl Kernel {
         // guards the table, `with_tier`/env parsing assert availability).
         unsafe { (self.ukr)(kc, a_panel.as_ptr(), b_panel.as_ptr(), acc.as_mut_ptr()) }
     }
+
+    /// Run the bf16-panel microkernel (f32 accumulate): same contract as
+    /// [`Kernel::run`] with `u16` bf16 bit-pattern panels. A paired
+    /// kernel ([`Kernel::bf16_paired`]) reads pair-interleaved panels of
+    /// [`Kernel::bf16_panel_rows`] rows instead of the linear `kc`.
+    #[inline]
+    pub(crate) fn run_bf16(&self, kc: usize, a_panel: &[u16], b_panel: &[u16], acc: &mut [f32]) {
+        let rows = self.bf16_panel_rows(kc);
+        assert_eq!(a_panel.len(), rows * MR);
+        assert_eq!(b_panel.len(), rows * self.nr);
+        assert!(acc.len() >= MR * self.nr);
+        // SAFETY: as in `run` — bounds checked, ISA availability
+        // guaranteed by the dispatch table.
+        unsafe { (self.ukr_bf16)(kc, a_panel.as_ptr(), b_panel.as_ptr(), acc.as_mut_ptr()) }
+    }
+
+    /// Whether the bf16 microkernel consumes pair-interleaved panels
+    /// (prepared with [`pair_interleave_bf16_panels`]).
+    pub(crate) fn bf16_paired(&self) -> bool {
+        self.paired_bf16
+    }
+
+    /// Panel rows the bf16 microkernel reads for a logical depth `kc`:
+    /// `kc` for the widen kernels, `kc` rounded up to even (zero-padded
+    /// tail row) for the paired native-dot kernel.
+    pub(crate) fn bf16_panel_rows(&self, kc: usize) -> usize {
+        if self.paired_bf16 {
+            kc.next_multiple_of(2)
+        } else {
+            kc
+        }
+    }
+}
+
+/// Pair-interleave bf16 panels for the native-dot kernels: `src` holds
+/// panels of `kc` rows × `w` interleaved elements (the standard pack
+/// layout, `w` = [`MR`] for A panels or the tier `nr` for B panels);
+/// `dst` receives the same panels with consecutive row pairs merged —
+/// `dst[t·2w + 2j + s] = src[(2t+s)·w + j]` — zero-padded to `rows`
+/// logical rows (`rows` is the kernel's padded depth: `next_even(kc)`
+/// for `vdpbf16ps`, a multiple of the tile depth for AMX; `rows ≥ kc`
+/// and even). `dst` must hold `panels · rows · w` elements.
+pub(crate) fn pair_interleave_bf16_panels(
+    src: &[u16],
+    dst: &mut [u16],
+    kc: usize,
+    w: usize,
+    rows: usize,
+) {
+    debug_assert!(rows >= kc && rows.is_multiple_of(2));
+    let panels = src.len() / (kc * w);
+    debug_assert_eq!(src.len(), panels * kc * w);
+    debug_assert_eq!(dst.len(), panels * rows * w);
+    for (s, d) in src.chunks_exact(kc * w).zip(dst.chunks_exact_mut(rows * w)) {
+        for t in 0..kc / 2 {
+            let r0 = &s[2 * t * w..][..w];
+            let r1 = &s[(2 * t + 1) * w..][..w];
+            let out = &mut d[2 * t * w..][..2 * w];
+            for j in 0..w {
+                out[2 * j] = r0[j];
+                out[2 * j + 1] = r1[j];
+            }
+        }
+        if kc % 2 == 1 {
+            let r0 = &s[(kc - 1) * w..][..w];
+            let out = &mut d[(kc - 1) * w..][..2 * w];
+            for j in 0..w {
+                out[2 * j] = r0[j];
+                out[2 * j + 1] = 0;
+            }
+        }
+        d[kc.next_multiple_of(2) * w..].fill(0);
+    }
+}
+
+/// Whether `tier` runs bf16 panels through native dot-product hardware
+/// on this CPU — the `vdpbf16ps` vector kernel or, above it, the AMX
+/// tile unit (`tdpbf16ps`). Native paths accumulate each input pair (or
+/// 32-deep tile group) before joining the f32 chain, so their results
+/// are tolerance-banded against the widen kernels rather than
+/// bit-identical. Attribution for probes, banners, bench records and
+/// test bands.
+pub fn bf16_dot_native(tier: Tier) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        tier == Tier::Avx512 && (vdpbf16_available() || crate::amx::bf16_ready())
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = tier;
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn vdpbf16_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512bw")
+        && std::arch::is_x86_feature_detected!("avx512bf16")
+}
+
+/// Short name of the hardware path `tier`'s bf16 kernel takes on this
+/// CPU: the AMX tile unit (`tdpbf16ps`, engaged above the avx512 tier),
+/// the `vdpbf16ps` vector dot product, or register widening over the
+/// f32 FMA pipe. For probes, banners and bench attributions.
+pub fn bf16_engine(tier: Tier) -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if tier == Tier::Avx512 {
+            if crate::amx::bf16_ready() {
+                return "amx";
+            }
+            if vdpbf16_available() {
+                return "vdpbf16ps";
+            }
+        }
+    }
+    let _ = tier;
+    "widen"
 }
 
 static SCALAR_KERNEL: Kernel = Kernel {
@@ -162,6 +342,8 @@ static SCALAR_KERNEL: Kernel = Kernel {
     nr: NR_SCALAR,
     nc: 1024,
     ukr: ukr_scalar,
+    ukr_bf16: ukr_scalar_bf16,
+    paired_bf16: false,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -170,6 +352,8 @@ static AVX2_KERNEL: Kernel = Kernel {
     nr: NR_AVX2,
     nc: 1024,
     ukr: ukr_avx2,
+    ukr_bf16: ukr_avx2_bf16,
+    paired_bf16: false,
 };
 
 #[cfg(target_arch = "x86_64")]
@@ -178,6 +362,21 @@ static AVX512_KERNEL: Kernel = Kernel {
     nr: NR_AVX512,
     nc: 1008, // 21 × NR — keeps strips NR-aligned, ≈1 MiB packed B
     ukr: ukr_avx512,
+    ukr_bf16: ukr_avx512_bf16,
+    paired_bf16: false,
+};
+
+/// The avx512 row with the native `vdpbf16ps` bf16 kernel — selected in
+/// place of [`AVX512_KERNEL`] when the CPU has AVX512-BF16. Same f32
+/// entry and blocking; only the bf16 path differs.
+#[cfg(target_arch = "x86_64")]
+static AVX512_BFDOT_KERNEL: Kernel = Kernel {
+    tier: Tier::Avx512,
+    nr: NR_AVX512,
+    nc: 1008,
+    ukr: ukr_avx512,
+    ukr_bf16: ukr_avx512_bfdot,
+    paired_bf16: true,
 };
 
 /// The dispatch table row for `tier`.
@@ -197,7 +396,13 @@ pub(crate) fn kernel_for(tier: Tier) -> &'static Kernel {
         #[cfg(target_arch = "x86_64")]
         Tier::Avx2 => &AVX2_KERNEL,
         #[cfg(target_arch = "x86_64")]
-        Tier::Avx512 => &AVX512_KERNEL,
+        Tier::Avx512 => {
+            if bf16_dot_native(Tier::Avx512) {
+                &AVX512_BFDOT_KERNEL
+            } else {
+                &AVX512_KERNEL
+            }
+        }
         #[cfg(not(target_arch = "x86_64"))]
         _ => unreachable!("non-scalar tier on non-x86_64"),
     }
@@ -381,6 +586,46 @@ unsafe fn ukr_scalar(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
     }
 }
 
+/// Widen one bf16 bit pattern to f32 (a 16-bit shift — exact).
+#[inline(always)]
+fn widen_bf16(u: u16) -> f32 {
+    f32::from_bits((u as u32) << 16)
+}
+
+/// The portable bf16-panel tile kernel: [`ukr_scalar`] with a widening
+/// load. The widen is a shift the vectorizer folds into the lane loads,
+/// so the loop body stays packed-FMA-shaped.
+///
+/// # Safety
+/// Same panel bounds as [`ukr_scalar`] ([`Kernel::run_bf16`] checks).
+unsafe fn ukr_scalar_bf16(kc: usize, a: *const u16, b: *const u16, acc: *mut f32) {
+    let a_panel = std::slice::from_raw_parts(a, kc * MR);
+    let b_panel = std::slice::from_raw_parts(b, kc * NR_SCALAR);
+    let acc = std::slice::from_raw_parts_mut(acc, MR * NR_SCALAR);
+    let mut tile = [[V([0.0; LANES]); NV]; MR];
+    for kk in 0..kc {
+        let a_k: &[u16; MR] = a_panel[kk * MR..kk * MR + MR].try_into().unwrap();
+        let b_k = &b_panel[kk * NR_SCALAR..kk * NR_SCALAR + NR_SCALAR];
+        let mut bv = [V([0.0; LANES]); NV];
+        for (v, bvv) in bv.iter_mut().enumerate() {
+            for l in 0..LANES {
+                bvv.0[l] = widen_bf16(b_k[v * LANES + l]);
+            }
+        }
+        unroll_mr!(R, {
+            let ar = widen_bf16(a_k[R]);
+            for v in 0..NV {
+                vfma(&mut tile[R][v], ar, bv[v]);
+            }
+        });
+    }
+    for (r, row) in tile.iter().enumerate() {
+        for (v, vec) in row.iter().enumerate() {
+            acc[r * NR_SCALAR + v * LANES..r * NR_SCALAR + (v + 1) * LANES].copy_from_slice(&vec.0);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // AVX2+FMA tier
 // ---------------------------------------------------------------------------
@@ -393,6 +638,14 @@ unsafe fn ukr_scalar(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
 /// per `kk` issues 8 FMAs against 2 loads + 4 broadcasts — FMA-bound. The
 /// B panel row (one cache line) is re-read from L1 by the second half.
 ///
+/// The `kk` loop is unrolled by two: with only 8 independent FMA chains
+/// per half-tile, a single-step loop leaves the FMA pipes under-occupied
+/// (8 chains × 4-cycle latency vs 2 ports × 4 = 8 in flight is exactly
+/// break-even, so any loop overhead stalls the chain). Two sequential
+/// `kk` steps per iteration halve the loop-carried overhead without
+/// changing the per-element FMA order — each accumulator still sees the
+/// same chain, so results stay bit-identical to the rolled form.
+///
 /// # Safety
 /// Caller must ensure AVX2+FMA are available and the panel bounds of
 /// [`Kernel::run`].
@@ -402,14 +655,68 @@ unsafe fn ukr_avx2(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
     use std::arch::x86_64::*;
     for half in 0..2 {
         let mut c: [[__m256; 2]; 4] = [[_mm256_setzero_ps(); 2]; 4];
+        macro_rules! step {
+            ($kk:expr) => {{
+                let kk = $kk;
+                _mm_prefetch::<_MM_HINT_T0>(a.add((kk + A_PF_DIST) * MR) as *const i8);
+                let bp = b.add(kk * NR_AVX2);
+                let b0 = _mm256_loadu_ps(bp);
+                let b1 = _mm256_loadu_ps(bp.add(8));
+                let ap = a.add(kk * MR + half * 4);
+                for (r, cr) in c.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*ap.add(r));
+                    cr[0] = _mm256_fmadd_ps(av, b0, cr[0]);
+                    cr[1] = _mm256_fmadd_ps(av, b1, cr[1]);
+                }
+            }};
+        }
+        let mut kk = 0;
+        while kk + 2 <= kc {
+            step!(kk);
+            step!(kk + 1);
+            kk += 2;
+        }
+        if kk < kc {
+            step!(kk);
+        }
+        for (r, cr) in c.iter().enumerate() {
+            let out = acc.add((half * 4 + r) * NR_AVX2);
+            _mm256_storeu_ps(out, cr[0]);
+            _mm256_storeu_ps(out.add(8), cr[1]);
+        }
+    }
+}
+
+/// The AVX2 bf16-panel MR×16 tile kernel: [`ukr_avx2`]'s geometry with
+/// widening B loads (`vpmovzxwd` + `vpslld 16` — two cheap shuffles/
+/// shifts per 8 elements) and a scalar shift-widen on the A broadcast.
+/// Accumulators are f32 `ymm`; the FMA chain per C element is identical
+/// to the f32 kernel's, so bf16 tiers also agree bit-for-bit with each
+/// other on the same bf16 panels.
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA are available and the panel bounds of
+/// [`Kernel::run_bf16`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn ukr_avx2_bf16(kc: usize, a: *const u16, b: *const u16, acc: *mut f32) {
+    use std::arch::x86_64::*;
+    for half in 0..2 {
+        let mut c: [[__m256; 2]; 4] = [[_mm256_setzero_ps(); 2]; 4];
         for kk in 0..kc {
+            // bf16 A rows are 16 B, so the same row distance covers half
+            // the bytes — still ≥ one line ahead of the FMA chain.
             _mm_prefetch::<_MM_HINT_T0>(a.add((kk + A_PF_DIST) * MR) as *const i8);
             let bp = b.add(kk * NR_AVX2);
-            let b0 = _mm256_loadu_ps(bp);
-            let b1 = _mm256_loadu_ps(bp.add(8));
+            let b0 = _mm256_castsi256_ps(_mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(
+                _mm_loadu_si128(bp as *const __m128i),
+            )));
+            let b1 = _mm256_castsi256_ps(_mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(
+                _mm_loadu_si128(bp.add(8) as *const __m128i),
+            )));
             let ap = a.add(kk * MR + half * 4);
             for (r, cr) in c.iter_mut().enumerate() {
-                let av = _mm256_set1_ps(*ap.add(r));
+                let av = _mm256_set1_ps(widen_bf16(*ap.add(r)));
                 cr[0] = _mm256_fmadd_ps(av, b0, cr[0]);
                 cr[1] = _mm256_fmadd_ps(av, b1, cr[1]);
             }
@@ -461,6 +768,92 @@ unsafe fn ukr_avx512(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
     }
 }
 
+/// The AVX-512 bf16-panel MR×48 tile kernel: [`ukr_avx512`]'s geometry
+/// with widening B loads — each 16-element group is one `vpmovzxwd`
+/// (`_mm512_cvtepu16_epi32`, AVX-512F) plus one `_mm512_slli_epi32` by
+/// 16 — and a scalar shift-widen on the A broadcast. 24 f32 `zmm`
+/// accumulators as in the f32 kernel; the extra 6 widen uops per `kk`
+/// ride the shift port while the 24 FMAs keep both FMA ports saturated.
+///
+/// # Safety
+/// Caller must ensure AVX-512F is available and the panel bounds of
+/// [`Kernel::run_bf16`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn ukr_avx512_bf16(kc: usize, a: *const u16, b: *const u16, acc: *mut f32) {
+    use std::arch::x86_64::*;
+    let mut c: [[__m512; 3]; MR] = [[_mm512_setzero_ps(); 3]; MR];
+    for kk in 0..kc {
+        _mm_prefetch::<_MM_HINT_T0>(a.add((kk + A_PF_DIST) * MR) as *const i8);
+        let bp = b.add(kk * NR_AVX512);
+        let b0 = _mm512_castsi512_ps(_mm512_slli_epi32::<16>(_mm512_cvtepu16_epi32(
+            _mm256_loadu_si256(bp as *const __m256i),
+        )));
+        let b1 = _mm512_castsi512_ps(_mm512_slli_epi32::<16>(_mm512_cvtepu16_epi32(
+            _mm256_loadu_si256(bp.add(16) as *const __m256i),
+        )));
+        let b2 = _mm512_castsi512_ps(_mm512_slli_epi32::<16>(_mm512_cvtepu16_epi32(
+            _mm256_loadu_si256(bp.add(32) as *const __m256i),
+        )));
+        let ap = a.add(kk * MR);
+        for (r, cr) in c.iter_mut().enumerate() {
+            let av = _mm512_set1_ps(widen_bf16(*ap.add(r)));
+            cr[0] = _mm512_fmadd_ps(av, b0, cr[0]);
+            cr[1] = _mm512_fmadd_ps(av, b1, cr[1]);
+            cr[2] = _mm512_fmadd_ps(av, b2, cr[2]);
+        }
+    }
+    for (r, cr) in c.iter().enumerate() {
+        let out = acc.add(r * NR_AVX512);
+        _mm512_storeu_ps(out, cr[0]);
+        _mm512_storeu_ps(out.add(16), cr[1]);
+        _mm512_storeu_ps(out.add(32), cr[2]);
+    }
+}
+
+/// The AVX512-BF16 MR×48 tile kernel: `vdpbf16ps` over pair-interleaved
+/// panels ([`pair_interleave_bf16_panels`]). Per pair-step the 24 dot
+/// instructions retire **two** k-steps of the whole tile — half the
+/// FMA-port issues of the widen kernel — while the A pair broadcast is a
+/// single 32-bit memory broadcast (the pair sits adjacent in the panel)
+/// and the three B vectors are plain loads (the interleave happened at
+/// pack time). `vdpbf16ps` widens each bf16 operand exactly, so the pair
+/// products are exact in f32; only the pairwise add order differs from
+/// the widen kernels.
+///
+/// # Safety
+/// Caller must ensure AVX512F/BW/BF16 are available and the **paired**
+/// panel bounds of [`Kernel::run_bf16`] (`next_even(kc)` rows).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512bf16")]
+unsafe fn ukr_avx512_bfdot(kc: usize, a: *const u16, b: *const u16, acc: *mut f32) {
+    use std::arch::x86_64::*;
+    let npairs = kc.div_ceil(2);
+    let mut c: [[__m512; 3]; MR] = [[_mm512_setzero_ps(); 3]; MR];
+    for kk2 in 0..npairs {
+        // Pair rows are 2·MR u16 = 32 B; the same lookahead distance in
+        // pair rows covers the f32 kernel's byte horizon.
+        _mm_prefetch::<_MM_HINT_T0>(a.add((kk2 + A_PF_DIST) * 2 * MR) as *const i8);
+        let bp = b.add(kk2 * 2 * NR_AVX512);
+        let b0: __m512bh = std::mem::transmute(_mm512_loadu_si512(bp as *const __m512i));
+        let b1: __m512bh = std::mem::transmute(_mm512_loadu_si512(bp.add(32) as *const __m512i));
+        let b2: __m512bh = std::mem::transmute(_mm512_loadu_si512(bp.add(64) as *const __m512i));
+        let ap = (a as *const i32).add(kk2 * MR);
+        for (r, cr) in c.iter_mut().enumerate() {
+            let av: __m512bh = std::mem::transmute(_mm512_set1_epi32(ap.add(r).read_unaligned()));
+            cr[0] = _mm512_dpbf16_ps(cr[0], av, b0);
+            cr[1] = _mm512_dpbf16_ps(cr[1], av, b1);
+            cr[2] = _mm512_dpbf16_ps(cr[2], av, b2);
+        }
+    }
+    for (r, cr) in c.iter().enumerate() {
+        let out = acc.add(r * NR_AVX512);
+        _mm512_storeu_ps(out, cr[0]);
+        _mm512_storeu_ps(out.add(16), cr[1]);
+        _mm512_storeu_ps(out.add(32), cr[2]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +893,82 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// Every tier's bf16 kernel must agree with the reference product of
+    /// the *widened* panels (widening is exact, so the only slack is f32
+    /// accumulation — for the native-dot kernel, pairwise f32
+    /// accumulation). Paired kernels get their panels pair-interleaved
+    /// the way the driver would.
+    #[test]
+    fn every_available_tier_bf16_tile_matches_reference() {
+        use crate::bf16::Bf16;
+        for tier in available_tiers() {
+            let kern = kernel_for(tier);
+            for kc in [1usize, 3, 17, 64] {
+                let a: Vec<u16> = (0..kc * MR)
+                    .map(|i| Bf16::from_f32(((i % 23) as f32) * 0.25 - 2.0).0)
+                    .collect();
+                let b: Vec<u16> = (0..kc * kern.nr)
+                    .map(|i| Bf16::from_f32(((i % 19) as f32) * 0.125 - 1.0).0)
+                    .collect();
+                let mut acc = vec![f32::NAN; MR * kern.nr];
+                if kern.bf16_paired() {
+                    let rows = kern.bf16_panel_rows(kc);
+                    let mut ap = vec![0u16; rows * MR];
+                    let mut bp = vec![0u16; rows * kern.nr];
+                    pair_interleave_bf16_panels(&a, &mut ap, kc, MR, rows);
+                    pair_interleave_bf16_panels(&b, &mut bp, kc, kern.nr, rows);
+                    kern.run_bf16(kc, &ap, &bp, &mut acc);
+                } else {
+                    kern.run_bf16(kc, &a, &b, &mut acc);
+                }
+                let aw: Vec<f32> = a.iter().map(|&u| Bf16(u).to_f32()).collect();
+                let bw: Vec<f32> = b.iter().map(|&u| Bf16(u).to_f32()).collect();
+                let r = tile_reference(kc, kern.nr, &aw, &bw);
+                for (i, (&got, &want)) in acc.iter().zip(&r).enumerate() {
+                    assert!(
+                        (got - want).abs() < 1e-3,
+                        "tier {} kc {kc} elem {i}: {got} vs {want}",
+                        tier.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The pair interleave places `(kk, kk+1)` element pairs adjacently
+    /// per interleaved column and zero-pads an odd tail row.
+    #[test]
+    fn pair_interleave_layout_and_padding() {
+        let w = 4usize;
+        for kc in [1usize, 2, 5, 6] {
+            let panels = 3usize;
+            let src: Vec<u16> = (0..panels * kc * w).map(|i| i as u16 + 1).collect();
+            let rows = kc.next_multiple_of(2);
+            let mut dst = vec![0xFFFFu16; panels * rows * w];
+            pair_interleave_bf16_panels(&src, &mut dst, kc, w, rows);
+            for p in 0..panels {
+                for kk in 0..rows {
+                    for j in 0..w {
+                        let got = dst[p * rows * w + (kk / 2) * 2 * w + 2 * j + (kk % 2)];
+                        let want = if kk < kc {
+                            src[p * kc * w + kk * w + j]
+                        } else {
+                            0
+                        };
+                        assert_eq!(got, want, "panel {p} kk {kk} j {j} (kc {kc})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_tier_lists_both_precisions() {
+        for t in ALL_TIERS {
+            assert_eq!(t.precisions(), &["f32", "bf16"]);
         }
     }
 

@@ -45,7 +45,7 @@ use gsgcn::core::trainer::EvalSplit;
 use gsgcn::core::{GsGcnTrainer, TrainerConfig};
 use gsgcn::data::{presets, Dataset};
 use gsgcn::nn::checkpoint::{CheckpointMeta, ModelWeights};
-use gsgcn::tensor::gemm;
+use gsgcn::tensor::{gemm, precision, Precision};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -53,13 +53,15 @@ const USAGE: &str = "usage:
   gsgcn datasets
   gsgcn shard --dataset <ppi|reddit|yelp|amazon> --out DIR [--vertices N]
               [--num-shards K] [--order <natural|bfs|degree>] [--seed N]
-              [--full]
+              [--features <f32|bf16>] [--full]
               — generate the dataset and write it as a partitioned
               on-disk graph store; --vertices scales the graph to N
               vertices, --num-shards 0 (default) picks a shard count
               from the graph size, --order picks the locality-aware
               placement (bfs groups neighborhoods into the same shard;
-              ids the store answers to are unchanged)
+              ids the store answers to are unchanged), --features bf16
+              stores feature rows at half width (labels stay f32;
+              gathers widen back to f32)
   gsgcn train --dataset <ppi|reddit|yelp|amazon> [--epochs N] [--hidden A,B,..]
               [--budget N] [--frontier N] [--lr F] [--threads N]
               [--sampler-threads N|auto] [--patience N] [--seed N] [--full]
@@ -73,6 +75,10 @@ const USAGE: &str = "usage:
               (--sampler-threads: dedicated sampler workers overlapping
                sampling with compute; default auto = min(2, cores/4),
                0 = synchronous in-loop sampling)
+              (--precision <f32|bf16> on train/eval/predict/serve picks
+               the activation storage precision, flag > GSGCN_PRECISION
+               env > f32; bf16 stores activations at half width with f32
+               accumulation — weights and gradients stay f32)
   gsgcn eval  --load PATH [--dataset <name>] [--hidden A,B,..] [--seed N]
               [--full|--scaled] [--shards DIR] [--graph-store <mem|mmap>]
               [--prefetch]
@@ -196,6 +202,25 @@ fn apply_graph_store_flag(flags: &HashMap<String, String>) -> Result<(), String>
     Ok(())
 }
 
+/// Apply `--precision <f32|bf16>` with flag > `GSGCN_PRECISION` env > f32
+/// precedence. Must run before anything computes (the global precision
+/// latches on first read); a flag that loses that race is a bug, so it
+/// fails loudly instead of silently running at the wrong precision.
+fn apply_precision_flag(flags: &HashMap<String, String>) -> Result<(), String> {
+    let Some(spec) = flags.get("precision") else {
+        return Ok(());
+    };
+    let want = Precision::parse(spec)
+        .ok_or_else(|| format!("bad --precision {spec:?}: expected f32|bf16"))?;
+    let got = precision::force_global(want);
+    if got != want {
+        return Err(format!(
+            "--precision {want} requested but the session already latched {got}"
+        ));
+    }
+    Ok(())
+}
+
 /// One-line shard-cache report printed by `train`/`eval`/`predict`
 /// whenever the command read through an mmap store — with or without
 /// prefetch (the prefetch counters appear only when requests were
@@ -304,10 +329,16 @@ fn cmd_shard(flags: &HashMap<String, String>) -> Result<(), String> {
         None => gsgcn::graph::StoreOrder::Natural,
         Some(v) => v.parse().map_err(|e| format!("--order: {e}"))?,
     };
+    let feat_prec = match flags.get("features") {
+        None => Precision::F32,
+        Some(v) => {
+            Precision::parse(v).ok_or_else(|| format!("bad --features {v:?}: expected f32|bf16"))?
+        }
+    };
     let dataset = load_dataset(flags)?;
     let dir = std::path::Path::new(out);
     println!(
-        "sharding {} (|V|={}, |E|={}, f={}, classes={}) into {out}, {} order",
+        "sharding {} (|V|={}, |E|={}, f={}, classes={}) into {out}, {} order, {feat_prec} features",
         dataset.name,
         dataset.graph.num_vertices(),
         dataset.graph.num_edges(),
@@ -316,7 +347,7 @@ fn cmd_shard(flags: &HashMap<String, String>) -> Result<(), String> {
         order.name(),
     );
     dataset
-        .spill_to_dir_ordered(dir, num_shards, order)
+        .spill_to_dir_with_precision(dir, num_shards, order, feat_prec)
         .map_err(|e| format!("sharding into {out:?}: {e}"))?;
     // Report what landed on disk so operators can sanity-check sizes.
     let mut bytes = 0u64;
@@ -341,6 +372,7 @@ fn cmd_shard(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_train(flags: &HashMap<String, String>) -> Result<(), String> {
+    apply_precision_flag(flags)?;
     apply_graph_store_flag(flags)?;
     if let Some(dir) = flags.get("shards") {
         return train_from_shards(flags, dir);
@@ -499,6 +531,7 @@ fn apply_checkpoint_meta(flags: &mut HashMap<String, String>, meta: &CheckpointM
 }
 
 fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    apply_precision_flag(flags)?;
     apply_graph_store_flag(flags)?;
     let path = flags.get("load").ok_or("missing --load")?;
     let weights = ModelWeights::load(path).map_err(|e| format!("loading {path:?}: {e}"))?;
@@ -641,6 +674,7 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<(), String> {
     use gsgcn::serve::{BatchEngine, EngineConfig};
     use std::sync::Arc;
 
+    apply_precision_flag(flags)?;
     apply_graph_store_flag(flags)?;
     // Same id syntax as one TCP request line (commas and/or spaces).
     let nodes = gsgcn::serve::tcp::parse_request(flags.get("nodes").ok_or("missing --nodes")?)
@@ -680,6 +714,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     use gsgcn::serve::{cache, tcp, ActivationCache, AdmissionControl, BatchEngine, EngineConfig};
     use std::sync::Arc;
 
+    apply_precision_flag(flags)?;
     apply_graph_store_flag(flags)?;
     // Cache budget policy (the GSGCN_KERNEL pattern): an explicit
     // --cache-bytes wins over the GSGCN_ACTIVATION_CACHE env default,
@@ -691,7 +726,12 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             build_classifier(flags)?.with_cache(if bytes == 0 {
                 None
             } else {
-                Some(Arc::new(ActivationCache::new(bytes)))
+                // Cached rows follow the resolved activation precision:
+                // bf16 serving halves cache bytes-per-row.
+                Some(Arc::new(ActivationCache::with_precision(
+                    bytes,
+                    precision::current(),
+                )))
             })
         }
     };
@@ -795,18 +835,34 @@ fn cmd_kernel(flags: &HashMap<String, String>) -> Result<ExitCode, String> {
         let tier = gemm::Tier::parse(spec)
             .ok_or_else(|| format!("unknown kernel tier {spec:?} (scalar|avx2|avx512)"))?;
         if tier.is_available() {
-            println!("{} available", tier.name());
+            println!(
+                "{} available ({}; bf16 via {})",
+                tier.name(),
+                tier.precisions().join(", "),
+                gemm::bf16_engine(tier)
+            );
             return Ok(ExitCode::SUCCESS);
         }
         eprintln!("kernel tier `{}` is not available on this CPU", tier.name());
         return Ok(ExitCode::from(PROBE_UNAVAILABLE));
     }
-    println!("selected  {}", gemm::selected_tier().name());
+    println!(
+        "selected  {} (storing {})",
+        gemm::selected_tier().name(),
+        precision::current()
+    );
     println!(
         "available {}",
         gemm::available_tiers()
             .iter()
-            .map(|t| t.name())
+            .map(|t| {
+                let engine = gemm::bf16_engine(*t);
+                if engine == "widen" {
+                    format!("{}[{}]", t.name(), t.precisions().join(","))
+                } else {
+                    format!("{}[f32,bf16:{engine}]", t.name())
+                }
+            })
             .collect::<Vec<_>>()
             .join(" ")
     );
